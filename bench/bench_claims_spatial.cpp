@@ -1,0 +1,77 @@
+// Reproduces the Spatial-SpinDrop claims (C2, paper §III-A.2):
+//   * "reduction in the number of dropout modules per network by 9x"
+//   * "energy consumption by 94.11x" (dropout machinery)
+//   * "2.94x more energy efficient than the SpinDrop concept" (overall)
+// plus the mapping-strategy generalization the method needs (Fig. 1).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/census.h"
+#include "energy/accountant.h"
+
+int main() {
+  using namespace neuspin;
+  bench::banner("bench_claims_spatial",
+                "C2 — Spatial-SpinDrop vs SpinDrop module & energy reduction");
+
+  const core::ArchSpec arch = core::small_cnn_arch();
+  core::CensusConfig config;
+  config.mc_passes = 20;
+  const auto& params = energy::default_energy_params();
+
+  const std::size_t modules_spin = core::dropout_module_count(arch, core::Method::kSpinDrop);
+  const std::size_t modules_spatial =
+      core::dropout_module_count(arch, core::Method::kSpatialSpinDrop);
+  std::printf("Dropout modules: SpinDrop %zu vs Spatial-SpinDrop %zu -> %.1fx fewer "
+              "(paper: 9x)\n",
+              modules_spin, modules_spatial,
+              static_cast<double>(modules_spin) / static_cast<double>(modules_spatial));
+
+  const auto spin = core::inference_census(arch, core::Method::kSpinDrop, config);
+  const auto spatial =
+      core::inference_census(arch, core::Method::kSpatialSpinDrop, config);
+
+  const double rng_spin =
+      spin.component_energy(energy::Component::kRngDropoutCycle, params);
+  const double rng_spatial =
+      spatial.component_energy(energy::Component::kRngDropoutCycle, params);
+  std::printf("Dropout-path energy: %.1f pJ vs %.1f pJ -> %.1fx reduction "
+              "(paper: 94.11x)\n",
+              rng_spin, rng_spatial, rng_spin / rng_spatial);
+
+  const double total_spin = spin.total_energy(params);
+  const double total_spatial = spatial.total_energy(params);
+  std::printf("Total inference energy: %.3f uJ vs %.3f uJ -> %.2fx reduction "
+              "(paper: 2.94x)\n",
+              energy::to_microjoule(total_spin), energy::to_microjoule(total_spatial),
+              total_spin / total_spatial);
+
+  // Per-layer module detail: where the 9x comes from. Dropping a feature
+  // map of layer L gates rows of layer L+1's crossbar: per-neuron SpinDrop
+  // needs one module per word-line pair (K*K*Cin of them for a conv
+  // consumer), Spatial-SpinDrop one per input channel — a K^2 = 9x module
+  // reduction for 3x3 kernels, which is exactly the paper's figure.
+  std::printf("\n%-10s %10s %14s %22s\n", "layer", "neurons", "feature maps",
+              "wordline modules s/sp");
+  for (std::size_t i = 0; i + 1 < arch.layers.size(); ++i) {
+    const auto& consumer = arch.layers[i + 1];
+    const auto& producer = arch.layers[i];
+    if (!producer.hidden) {
+      continue;
+    }
+    const std::size_t spin_modules = consumer.mvm_rows();
+    const std::size_t spatial_modules =
+        consumer.kind == core::LayerSpec::Kind::kConv ? consumer.in_channels
+                                                      : 1;
+    std::printf("%-10zu %10zu %14zu %12zu / %-6zu (%.0fx)\n", i, producer.neurons(),
+                producer.feature_maps(), spin_modules, spatial_modules,
+                static_cast<double>(spin_modules) /
+                    static_cast<double>(spatial_modules));
+  }
+  std::printf("\nStochastic bits per pass: %llu vs %llu\n",
+              static_cast<unsigned long long>(
+                  core::rng_bits_per_pass(arch, core::Method::kSpinDrop, config)),
+              static_cast<unsigned long long>(core::rng_bits_per_pass(
+                  arch, core::Method::kSpatialSpinDrop, config)));
+  return 0;
+}

@@ -1,0 +1,99 @@
+// P1 — substrate microbenchmarks (google-benchmark): device physics, RNG
+// throughput, crossbar MAC, ADC and tile forward passes. These support all
+// table/figure reproductions by showing the simulator itself is fast
+// enough for the Monte-Carlo protocols.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "device/rng.h"
+#include "device/switching.h"
+#include "xbar/adc.h"
+#include "xbar/crossbar.h"
+#include "xbar/tile.h"
+
+namespace {
+
+using namespace neuspin;
+
+void BM_SwitchingProbability(benchmark::State& state) {
+  const device::SwitchingModel model{device::MtjParams{}};
+  double current = 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.switching_probability(current, 2.0));
+    current = current < 100.0 ? current + 1.0 : 10.0;
+  }
+}
+BENCHMARK(BM_SwitchingProbability);
+
+void BM_CurrentForProbability(benchmark::State& state) {
+  const device::SwitchingModel model{device::MtjParams{}};
+  double p = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.current_for_probability(p, 2.0));
+    p = p < 0.9 ? p + 0.05 : 0.1;
+  }
+}
+BENCHMARK(BM_CurrentForProbability);
+
+void BM_SpinRngBit(benchmark::State& state) {
+  device::SpinRng rng(device::SpinRngConfig{}, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_bit());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpinRngBit);
+
+void BM_CrossbarMac(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  xbar::CrossbarConfig config;
+  config.rows = rows;
+  config.cols = 128;
+  xbar::Crossbar xb(config);
+  std::vector<float> weights(rows * 128, 1.0f);
+  xb.program_binary(weights);
+  std::vector<device::Volt> v(rows, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xb.mac(v));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows) * 128);
+}
+BENCHMARK(BM_CrossbarMac)->Arg(32)->Arg(128);
+
+void BM_AdcQuantize(benchmark::State& state) {
+  const xbar::Adc adc(8, 100.0);
+  double i = -99.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adc.quantize(i));
+    i = i < 99.0 ? i + 0.37 : -99.0;
+  }
+}
+BENCHMARK(BM_AdcQuantize);
+
+void BM_TileForward(benchmark::State& state) {
+  const std::size_t in = 256;
+  const std::size_t out = 128;
+  std::mt19937_64 engine(1);
+  std::vector<float> weights(in * out);
+  for (auto& w : weights) {
+    w = (engine() & 1) ? 1.0f : -1.0f;
+  }
+  std::vector<float> scales(out, 1.0f);
+  xbar::TileConfig config;
+  xbar::DenseTile tile(config, in, out, weights, scales, 2);
+  std::vector<float> input(in, 1.0f);
+  std::mt19937_64 fwd(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tile.forward(input, nullptr, fwd));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(in) * static_cast<int64_t>(out));
+}
+BENCHMARK(BM_TileForward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

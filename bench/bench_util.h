@@ -1,0 +1,17 @@
+// Shared helpers for the experiment harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace neuspin::bench {
+
+/// Print a banner naming the reproduced paper artifact.
+inline void banner(const std::string& experiment, const std::string& paper_artifact) {
+  std::printf("\n==============================================================\n");
+  std::printf("NeuSpin reproduction | %s\n", experiment.c_str());
+  std::printf("Paper artifact: %s\n", paper_artifact.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace neuspin::bench

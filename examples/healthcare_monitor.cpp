@@ -1,0 +1,86 @@
+// Healthcare wearable scenario (the paper's IoT motivation): a vitals
+// classifier running on a spintronic BayNN flags out-of-distribution
+// readings instead of silently misclassifying them.
+//
+// Synthetic "vitals" are 8-dimensional Gaussian clusters standing in for
+// activity/physiology regimes (resting, walking, running, sleeping). OOD
+// events are drawn from a shifted distribution (sensor fault / unseen
+// condition); the monitor escalates any reading whose predictive entropy
+// exceeds the calibrated threshold.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/models.h"
+#include "core/pipeline.h"
+#include "data/clusters.h"
+
+int main() {
+  using namespace neuspin;
+  std::printf("NeuSpin healthcare monitor: uncertainty-gated vitals classification\n\n");
+
+  // Four physiological regimes in an 8-D feature space.
+  data::ClusterConfig cc;
+  cc.classes = 4;
+  cc.dimensions = 8;
+  cc.samples_per_class = 250;
+  cc.center_spread = 4.0f;
+  cc.cluster_sigma = 0.9f;
+  const nn::Dataset all = data::make_gaussian_clusters(cc, 7);
+  nn::Dataset train;
+  nn::Dataset test;
+  {
+    auto [head_x, head_y] = all.batch(0, 800);
+    train = {std::move(head_x), std::move(head_y)};
+    auto [tail_x, tail_y] = all.batch(800, all.size());
+    test = {std::move(tail_x), std::move(tail_y)};
+  }
+
+  // Sub-set VI model: binary weights + Bayesian scale vector — the method
+  // the paper recommends for the tightest memory budgets (§III-B.1).
+  core::ModelConfig config;
+  config.method = core::Method::kSubsetVi;
+  core::BuiltModel model = core::make_binary_mlp(config, 8, {32, 32}, 4);
+  core::FitConfig fit_config;
+  fit_config.epochs = 10;
+  fit_config.kl_weight = 1e-4f;
+  (void)core::fit(model, train, fit_config);
+
+  const core::EvalResult ev = core::evaluate(model, test, 20);
+  std::printf("regime classification: acc %.2f%%  NLL %.3f  ECE %.3f\n\n",
+              100.0f * ev.accuracy, ev.nll, ev.ece);
+
+  // OOD events: a fifth, unseen regime far from the training clusters
+  // (e.g. a sensor detaching or an arrhythmia-like signature).
+  data::ClusterConfig anomaly_cfg = cc;
+  anomaly_cfg.classes = 1;
+  anomaly_cfg.samples_per_class = 200;
+  anomaly_cfg.center_spread = 14.0f;  // far outside the known regimes
+  anomaly_cfg.cluster_sigma = 2.0f;   // erratic, high-variance readings
+  const nn::Dataset anomalies = data::make_gaussian_clusters(anomaly_cfg, 991);
+
+  const core::OodResult ood = core::evaluate_ood(model, test, anomalies, 20);
+  std::printf("anomaly flagging: AUROC %.3f, detection rate at 95%% specificity "
+              "%.1f%%\n",
+              ood.auroc, 100.0f * ood.detection_rate);
+
+  // Show the triage policy in action on a handful of readings.
+  const std::vector<float> id_scores = core::entropy_scores(model, test, 20);
+  std::vector<float> sorted = id_scores;
+  std::sort(sorted.begin(), sorted.end());
+  const float threshold = sorted[static_cast<std::size_t>(0.95 * sorted.size())];
+  std::printf("entropy escalation threshold (95th percentile of in-distribution): "
+              "%.3f nats\n\n",
+              threshold);
+
+  const std::vector<float> anomaly_scores = core::entropy_scores(model, anomalies, 20);
+  std::printf("sample triage:\n");
+  for (std::size_t i = 0; i < 5; ++i) {
+    std::printf("  normal reading  %zu: entropy %.3f -> %s\n", i, id_scores[i],
+                id_scores[i] > threshold ? "ESCALATE to clinician" : "auto-log");
+  }
+  for (std::size_t i = 0; i < 5; ++i) {
+    std::printf("  anomalous event %zu: entropy %.3f -> %s\n", i, anomaly_scores[i],
+                anomaly_scores[i] > threshold ? "ESCALATE to clinician" : "auto-log");
+  }
+  return 0;
+}

@@ -1,0 +1,178 @@
+#include "core/affinedrop.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace neuspin::core {
+
+void AffineDropConfig::validate() const {
+  if (features == 0) {
+    throw std::invalid_argument("AffineDropConfig: features must be positive");
+  }
+  if (dropout_p < 0.0 || dropout_p >= 1.0) {
+    throw std::invalid_argument("AffineDropConfig: dropout_p must lie in [0,1)");
+  }
+  if (eps <= 0.0f) {
+    throw std::invalid_argument("AffineDropConfig: eps must be positive");
+  }
+}
+
+InvertedNormLayer::InvertedNormLayer(const AffineDropConfig& config)
+    : config_(config),
+      weight_({config.features}, 1.0f),
+      bias_({config.features}),
+      weight_grad_({config.features}),
+      bias_grad_({config.features}),
+      running_mean_({config.features}),
+      running_var_({config.features}, 1.0f),
+      engine_(config.seed),
+      batch_std_({config.features}) {
+  config_.validate();
+}
+
+void InvertedNormLayer::resolve_geometry(const nn::Shape& shape, std::size_t& outer,
+                                         std::size_t& inner) const {
+  if (shape.size() == 2 && shape[1] == config_.features) {
+    outer = shape[0];
+    inner = 1;
+    return;
+  }
+  if (shape.size() == 4 && shape[1] == config_.features) {
+    outer = shape[0];
+    inner = shape[2] * shape[3];
+    return;
+  }
+  throw std::invalid_argument("InvertedNormLayer(" + std::to_string(config_.features) +
+                              "): unsupported input shape " +
+                              nn::shape_to_string(shape));
+}
+
+nn::Tensor InvertedNormLayer::forward(const nn::Tensor& input, bool training) {
+  std::size_t outer = 0;
+  std::size_t inner = 0;
+  resolve_geometry(input.shape(), outer, inner);
+  input_shape_ = input.shape();
+  input_cache_ = input;
+
+  // Sample the two scalar masks (vector-wise dropout, paper §III-A.4).
+  weight_dropped_ = false;
+  bias_dropped_ = false;
+  if (dropout_enabled_ && (training || mc_mode_)) {
+    std::bernoulli_distribution drop(config_.dropout_p);
+    weight_dropped_ = drop(engine_);
+    bias_dropped_ = drop(engine_);
+  }
+
+  // Affine first (the inversion): a = w_eff (.) x + b_eff.
+  const std::size_t features = config_.features;
+  affine_cache_ = nn::Tensor(input.shape());
+  for (std::size_t o = 0; o < outer; ++o) {
+    for (std::size_t f = 0; f < features; ++f) {
+      const float w = weight_dropped_ ? 1.0f : weight_[f];
+      const float b = bias_dropped_ ? 0.0f : bias_[f];
+      for (std::size_t i = 0; i < inner; ++i) {
+        const std::size_t idx = (o * features + f) * inner + i;
+        affine_cache_[idx] = w * input[idx] + b;
+      }
+    }
+  }
+
+  // ...then normalize, with no further affine stage.
+  const float count = static_cast<float>(outer * inner);
+  nn::Tensor out(input.shape());
+  normalized_cache_ = nn::Tensor(input.shape());
+  // Self-healing evaluation re-estimates statistics from the batch itself
+  // (only meaningful with more than one value per feature).
+  const bool use_batch_stats = training || (self_healing_ && outer * inner > 1);
+  for (std::size_t f = 0; f < features; ++f) {
+    float mean = 0.0f;
+    float var = 0.0f;
+    if (use_batch_stats) {
+      for (std::size_t o = 0; o < outer; ++o) {
+        for (std::size_t i = 0; i < inner; ++i) {
+          mean += affine_cache_[(o * features + f) * inner + i];
+        }
+      }
+      mean /= count;
+      for (std::size_t o = 0; o < outer; ++o) {
+        for (std::size_t i = 0; i < inner; ++i) {
+          const float d = affine_cache_[(o * features + f) * inner + i] - mean;
+          var += d * d;
+        }
+      }
+      var /= count;
+      if (training) {
+        running_mean_[f] = (1.0f - config_.momentum) * running_mean_[f] +
+                           config_.momentum * mean;
+        running_var_[f] =
+            (1.0f - config_.momentum) * running_var_[f] + config_.momentum * var;
+      }
+    } else {
+      mean = running_mean_[f];
+      var = running_var_[f];
+    }
+    const float inv_std = 1.0f / std::sqrt(var + config_.eps);
+    batch_std_[f] = std::sqrt(var + config_.eps);
+    for (std::size_t o = 0; o < outer; ++o) {
+      for (std::size_t i = 0; i < inner; ++i) {
+        const std::size_t idx = (o * features + f) * inner + i;
+        const float norm = (affine_cache_[idx] - mean) * inv_std;
+        normalized_cache_[idx] = norm;
+        out[idx] = norm;
+      }
+    }
+  }
+  return out;
+}
+
+nn::Tensor InvertedNormLayer::backward(const nn::Tensor& grad_output) {
+  std::size_t outer = 0;
+  std::size_t inner = 0;
+  resolve_geometry(input_shape_, outer, inner);
+  const float count = static_cast<float>(outer * inner);
+  const std::size_t features = config_.features;
+
+  nn::Tensor grad_input(input_shape_);
+  for (std::size_t f = 0; f < features; ++f) {
+    // Gradient through the normalization (gamma == 1, beta == 0).
+    float sum_g = 0.0f;
+    float sum_gn = 0.0f;
+    for (std::size_t o = 0; o < outer; ++o) {
+      for (std::size_t i = 0; i < inner; ++i) {
+        const std::size_t idx = (o * features + f) * inner + i;
+        sum_g += grad_output[idx];
+        sum_gn += grad_output[idx] * normalized_cache_[idx];
+      }
+    }
+    const float inv_std = 1.0f / batch_std_[f];
+    const float w_eff = weight_dropped_ ? 1.0f : weight_[f];
+    float dw = 0.0f;
+    float db = 0.0f;
+    for (std::size_t o = 0; o < outer; ++o) {
+      for (std::size_t i = 0; i < inner; ++i) {
+        const std::size_t idx = (o * features + f) * inner + i;
+        // d(loss)/d(affine) through the batch-normalization.
+        const float da = inv_std * (grad_output[idx] - sum_g / count -
+                                    normalized_cache_[idx] * sum_gn / count);
+        dw += da * input_cache_[idx];
+        db += da;
+        grad_input[idx] = da * w_eff;
+      }
+    }
+    // Dropped parameters receive no gradient for this pass (they were not
+    // part of the computation).
+    if (!weight_dropped_) {
+      weight_grad_[f] += dw;
+    }
+    if (!bias_dropped_) {
+      bias_grad_[f] += db;
+    }
+  }
+  return grad_input;
+}
+
+std::vector<nn::ParamRef> InvertedNormLayer::parameters() {
+  return {{&weight_, &weight_grad_}, {&bias_, &bias_grad_}};
+}
+
+}  // namespace neuspin::core

@@ -1,0 +1,90 @@
+// Inverted Normalization with Affine Dropout (paper §III-A.4).
+//
+// Traditional batch norm normalizes first and then applies an optional
+// affine transform. The inverted normalization layer flips the order: a
+// learnable affine transform (weight w, bias b, treated like ordinary
+// parameters) is applied FIRST, and the result is then normalized without
+// any further affine stage — keeping the learning process stable under
+// the stochastic transformations below.
+//
+// Affine Dropout adds stochasticity with two *scalar* Bernoulli masks per
+// layer (vector-wise dropout, chosen over element-wise to minimize RNG
+// count): when the weight mask fires, w is replaced by ones; when the bias
+// mask fires, b is replaced by zeros. Multiple forward passes with fresh
+// masks give the Monte-Carlo posterior approximation, and the stochastic
+// affine stage acts as the self-healing mechanism under device faults.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "nn/layers.h"
+
+namespace neuspin::core {
+
+/// Configuration of one inverted-normalization / affine-dropout layer.
+struct AffineDropConfig {
+  std::size_t features = 0;   ///< channel count (axis 1)
+  double dropout_p = 0.15;    ///< probability of each scalar mask firing
+  float momentum = 0.1f;      ///< running-stat update rate
+  float eps = 1e-5f;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+/// y = normalize(w (.) x + b); the affine part is stochastic.
+class InvertedNormLayer : public nn::Layer {
+ public:
+  explicit InvertedNormLayer(const AffineDropConfig& config);
+
+  nn::Tensor forward(const nn::Tensor& input, bool training) override;
+  nn::Tensor backward(const nn::Tensor& grad_output) override;
+  std::vector<nn::ParamRef> parameters() override;
+  std::vector<nn::Tensor*> state_tensors() override {
+    return {&running_mean_, &running_var_};
+  }
+  [[nodiscard]] std::string name() const override { return "InvertedNorm"; }
+
+  void enable_mc(bool on) { mc_mode_ = on; }
+  /// Disable the stochastic masks entirely (ablation: inverted norm only).
+  void enable_dropout(bool on) { dropout_enabled_ = on; }
+  /// Self-healing mode: normalize evaluation batches with their own
+  /// statistics instead of the training-time running statistics. When
+  /// device faults shift the activation distribution, re-normalizing
+  /// against the *observed* statistics re-centers the layer — the
+  /// mechanism behind the paper's "self-healing BayNN". Requires
+  /// evaluation batches of more than one sample.
+  void enable_self_healing(bool on) { self_healing_ = on; }
+
+  [[nodiscard]] nn::Tensor& weight() { return weight_; }
+  [[nodiscard]] nn::Tensor& bias() { return bias_; }
+  [[nodiscard]] bool last_weight_dropped() const { return weight_dropped_; }
+  [[nodiscard]] bool last_bias_dropped() const { return bias_dropped_; }
+
+ private:
+  void resolve_geometry(const nn::Shape& shape, std::size_t& outer,
+                        std::size_t& inner) const;
+
+  AffineDropConfig config_;
+  nn::Tensor weight_;  ///< per-feature affine weight, init 1
+  nn::Tensor bias_;    ///< per-feature affine bias, init 0
+  nn::Tensor weight_grad_;
+  nn::Tensor bias_grad_;
+  nn::Tensor running_mean_;
+  nn::Tensor running_var_;
+  std::mt19937_64 engine_;
+  bool mc_mode_ = false;
+  bool dropout_enabled_ = true;
+  bool self_healing_ = false;
+  bool weight_dropped_ = false;
+  bool bias_dropped_ = false;
+  // Caches for backward.
+  nn::Tensor input_cache_;
+  nn::Tensor affine_cache_;      ///< w x + b (post-dropout affine output)
+  nn::Tensor normalized_cache_;
+  nn::Tensor batch_std_;
+  nn::Shape input_shape_;
+};
+
+}  // namespace neuspin::core

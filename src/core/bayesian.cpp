@@ -1,0 +1,49 @@
+#include "core/bayesian.h"
+
+#include <stdexcept>
+
+namespace neuspin::core {
+
+std::vector<std::size_t> Prediction::predicted_class() const {
+  std::vector<std::size_t> out(mean_probs.dim(0));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < mean_probs.dim(1); ++j) {
+      if (mean_probs.at(i, j) > mean_probs.at(i, best)) {
+        best = j;
+      }
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+McPredictor::McPredictor(std::size_t samples) : samples_(samples) {
+  if (samples == 0) {
+    throw std::invalid_argument("McPredictor: need at least one MC sample");
+  }
+}
+
+Prediction McPredictor::predict(
+    const nn::Tensor& input,
+    const std::function<nn::Tensor(const nn::Tensor&)>& stochastic_forward) const {
+  Prediction pred;
+  pred.member_probs.reserve(samples_);
+  for (std::size_t t = 0; t < samples_; ++t) {
+    const nn::Tensor logits = stochastic_forward(input);
+    if (logits.rank() != 2) {
+      throw std::invalid_argument("McPredictor: forward must return (batch x classes)");
+    }
+    pred.member_probs.push_back(nn::softmax_rows(logits));
+  }
+  pred.mean_probs = nn::Tensor(pred.member_probs.front().shape());
+  for (const auto& p : pred.member_probs) {
+    pred.mean_probs += p;
+  }
+  pred.mean_probs *= 1.0f / static_cast<float>(samples_);
+  pred.entropy = predictive_entropy(pred.mean_probs);
+  pred.mutual_info = mutual_information(pred.member_probs);
+  return pred;
+}
+
+}  // namespace neuspin::core

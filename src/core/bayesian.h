@@ -1,0 +1,47 @@
+// Monte-Carlo Bayesian predictive loop (paper §II-C).
+//
+// Every NeuSpin method reduces Bayesian inference to the same pattern: run
+// T stochastic forward passes (each pass samples dropout masks, scale
+// vectors, variational parameters or crossbar selections), average the
+// softmax outputs for the predictive mean, and derive uncertainty from the
+// spread. McPredictor implements that loop over any stochastic model.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/uncertainty.h"
+#include "nn/tensor.h"
+
+namespace neuspin::core {
+
+/// Result of Bayesian inference over a batch.
+struct Prediction {
+  nn::Tensor mean_probs;              ///< (batch x classes) predictive mean
+  std::vector<float> entropy;         ///< total predictive uncertainty
+  std::vector<float> mutual_info;     ///< epistemic part
+  std::vector<nn::Tensor> member_probs;  ///< per-pass probabilities (T entries)
+
+  /// Argmax class of each sample.
+  [[nodiscard]] std::vector<std::size_t> predicted_class() const;
+};
+
+/// Runs the Monte-Carlo predictive loop.
+class McPredictor {
+ public:
+  /// `samples` is T, the number of stochastic forward passes.
+  explicit McPredictor(std::size_t samples);
+
+  /// `stochastic_forward` must return LOGITS of shape (batch x classes) and
+  /// be stochastic across invocations (that is the Bayesian approximation).
+  [[nodiscard]] Prediction predict(
+      const nn::Tensor& input,
+      const std::function<nn::Tensor(const nn::Tensor&)>& stochastic_forward) const;
+
+  [[nodiscard]] std::size_t samples() const { return samples_; }
+
+ private:
+  std::size_t samples_;
+};
+
+}  // namespace neuspin::core

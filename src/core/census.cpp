@@ -1,0 +1,344 @@
+#include "core/census.h"
+
+#include <stdexcept>
+
+namespace neuspin::core {
+
+LayerSpec LayerSpec::dense(std::size_t in, std::size_t out, bool hidden_layer) {
+  LayerSpec s;
+  s.kind = Kind::kDense;
+  s.in_features = in;
+  s.out_features = out;
+  s.hidden = hidden_layer;
+  return s;
+}
+
+LayerSpec LayerSpec::conv(std::size_t in_ch, std::size_t out_ch, std::size_t kernel,
+                          std::size_t out_h, std::size_t out_w) {
+  LayerSpec s;
+  s.kind = Kind::kConv;
+  s.in_channels = in_ch;
+  s.out_channels = out_ch;
+  s.kernel = kernel;
+  s.out_height = out_h;
+  s.out_width = out_w;
+  s.hidden = true;
+  return s;
+}
+
+std::size_t LayerSpec::mvm_rows() const {
+  return kind == Kind::kDense ? in_features : kernel * kernel * in_channels;
+}
+
+std::size_t LayerSpec::mvm_cols() const {
+  return kind == Kind::kDense ? out_features : out_channels;
+}
+
+std::size_t LayerSpec::mvm_count() const {
+  return kind == Kind::kDense ? 1 : out_height * out_width;
+}
+
+std::size_t LayerSpec::neurons() const { return mvm_cols() * mvm_count(); }
+
+std::size_t LayerSpec::feature_maps() const {
+  return kind == Kind::kConv ? out_channels : 1;
+}
+
+std::size_t LayerSpec::weights() const { return mvm_rows() * mvm_cols(); }
+
+std::size_t LayerSpec::scale_entries() const { return mvm_cols(); }
+
+std::size_t ArchSpec::total_weights() const {
+  std::size_t n = 0;
+  for (const auto& l : layers) {
+    n += l.weights();
+  }
+  return n;
+}
+
+std::size_t ArchSpec::total_neurons() const {
+  std::size_t n = 0;
+  for (const auto& l : layers) {
+    if (l.hidden) {
+      n += l.neurons();
+    }
+  }
+  return n;
+}
+
+std::size_t ArchSpec::total_feature_maps() const {
+  std::size_t n = 0;
+  for (const auto& l : layers) {
+    if (l.hidden) {
+      n += l.feature_maps();
+    }
+  }
+  return n;
+}
+
+std::size_t ArchSpec::total_scale_entries() const {
+  std::size_t n = 0;
+  for (const auto& l : layers) {
+    if (l.hidden) {
+      n += l.scale_entries();
+    }
+  }
+  return n;
+}
+
+std::size_t ArchSpec::hidden_layer_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers) {
+    if (l.hidden) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+ArchSpec small_cnn_arch() {
+  ArchSpec arch;
+  arch.layers = {
+      LayerSpec::conv(1, 8, 3, 16, 16),   // conv1, pooled to 8x8 afterwards
+      LayerSpec::conv(8, 16, 3, 8, 8),    // conv2, pooled to 4x4 afterwards
+      LayerSpec::dense(256, 64, true),    // 4*4*16 = 256
+      LayerSpec::dense(64, 10, false),
+  };
+  return arch;
+}
+
+ArchSpec mlp_arch() {
+  ArchSpec arch;
+  arch.layers = {
+      LayerSpec::dense(256, 128, true),
+      LayerSpec::dense(128, 128, true),
+      LayerSpec::dense(128, 10, false),
+  };
+  return arch;
+}
+
+namespace {
+
+/// Does the method use the binary-activation (sense-amp) read-out for
+/// hidden layers? (Fig. 2 / Fig. 3 architectures.)
+bool sense_amp_architecture(Method method) {
+  // Fig. 2's scale-dropout and the sub-set VI design fold normalization
+  // into sense-amp thresholds; SpinBayes (Fig. 3) stores quantized
+  // multi-level weights and keeps multi-bit ADC read-out.
+  switch (method) {
+    case Method::kSpinScaleDrop:
+    case Method::kSubsetVi:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::size_t dropout_module_count(const ArchSpec& arch, Method method) {
+  switch (method) {
+    case Method::kDeterministic:
+      return 0;
+    case Method::kSpinDrop: {
+      // One module per neuron of the widest layer; modules are reused
+      // across layers (the paper notes reuse), but a layer's neurons fire
+      // concurrently so the pool must cover the widest hidden layer.
+      std::size_t widest = 0;
+      for (const auto& l : arch.layers) {
+        if (l.hidden) {
+          widest = std::max(widest, l.neurons());
+        }
+      }
+      return widest;
+    }
+    case Method::kSpatialSpinDrop: {
+      std::size_t widest = 0;
+      for (const auto& l : arch.layers) {
+        if (l.hidden) {
+          widest = std::max(widest, l.feature_maps());
+        }
+      }
+      return widest;
+    }
+    case Method::kSpinScaleDrop:
+      return arch.hidden_layer_count();  // exactly one module per layer
+    case Method::kAffineDropout:
+      return 2 * arch.hidden_layer_count();  // weight mask + bias mask
+    case Method::kSubsetVi: {
+      // One Gaussian sampler per layer, shared across channels serially.
+      return arch.hidden_layer_count();
+    }
+    case Method::kSpinBayes:
+      return arch.hidden_layer_count();  // one arbiter per layer
+    case Method::kTraditionalVi: {
+      // On-the-fly per-weight sampling: a sampler bank per layer sized to
+      // the widest layer's weight count.
+      std::size_t widest = 0;
+      for (const auto& l : arch.layers) {
+        widest = std::max(widest, l.weights());
+      }
+      return widest;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t rng_bits_per_pass(const ArchSpec& arch, Method method,
+                                const CensusConfig& config) {
+  std::uint64_t bits = 0;
+  for (const auto& l : arch.layers) {
+    if (!l.hidden) {
+      continue;
+    }
+    switch (method) {
+      case Method::kDeterministic:
+        break;
+      case Method::kSpinDrop:
+        bits += l.neurons();  // one decision per neuron
+        break;
+      case Method::kSpatialSpinDrop:
+        bits += l.feature_maps();  // one per feature map (dense: one)
+        break;
+      case Method::kSpinScaleDrop:
+        bits += 1;  // single scale-dropout module per layer
+        break;
+      case Method::kAffineDropout:
+        bits += 2;  // scalar weight mask + scalar bias mask
+        break;
+      case Method::kSubsetVi:
+        bits += config.bits_per_gaussian * l.scale_entries();
+        break;
+      case Method::kSpinBayes: {
+        std::size_t b = 0;
+        std::size_t cap = 1;
+        while (cap < config.spinbayes_instances) {
+          cap *= 2;
+          ++b;
+        }
+        bits += b;  // arbiter one-hot draw
+        break;
+      }
+      case Method::kTraditionalVi:
+        bits += config.bits_per_gaussian * l.weights();
+        break;
+    }
+  }
+  return bits;
+}
+
+energy::EnergyLedger inference_census(const ArchSpec& arch, Method method,
+                                      const CensusConfig& config) {
+  if (config.mc_passes == 0 || config.max_rows == 0) {
+    throw std::invalid_argument("inference_census: invalid config");
+  }
+  energy::EnergyLedger ledger(config.adc_bits_full);
+  const bool sa_arch = sense_amp_architecture(method);
+  // Deterministic point networks run a single pass; Bayesian methods run T.
+  const std::uint64_t passes = method == Method::kDeterministic ? 1 : config.mc_passes;
+
+  for (const auto& l : arch.layers) {
+    const std::uint64_t rows = l.mvm_rows();
+    const std::uint64_t cols = l.mvm_cols();
+    const std::uint64_t mvms = l.mvm_count();
+    const std::uint64_t blocks = (rows + config.max_rows - 1) / config.max_rows;
+
+    // Analog MAC path, identical for every method.
+    ledger.add(energy::Component::kWordlineActivation, passes * rows * mvms);
+    ledger.add(energy::Component::kInputDriver, passes * rows * mvms);
+    ledger.add(energy::Component::kXbarCellRead, passes * 2 * rows * cols * mvms);
+
+    if (l.hidden && sa_arch) {
+      // Binary-activation read-out: one SA evaluation per column per MVM;
+      // batch-norm is folded into the SA threshold at deployment time.
+      ledger.add(energy::Component::kSenseAmp, passes * cols * mvms);
+    } else {
+      // Full ADC read-out + digital normalization per neuron.
+      ledger.add(energy::Component::kAdcConversion, passes * cols * blocks * mvms);
+      if (blocks > 1) {
+        ledger.add(energy::Component::kDigitalAdd, passes * cols * (blocks - 1) * mvms);
+      }
+      if (l.hidden) {
+        // BatchNorm: one multiply + one add per output activation.
+        ledger.add(energy::Component::kDigitalMult, passes * cols * mvms);
+        ledger.add(energy::Component::kDigitalAdd, passes * cols * mvms);
+      }
+    }
+
+    // Method-specific per-layer machinery.
+    if (l.hidden) {
+      switch (method) {
+        case Method::kSpinScaleDrop:
+          // Scale vector fetched from SRAM and folded into the SA
+          // thresholds once per pass.
+          ledger.add(energy::Component::kSramReadWord, passes * l.scale_entries());
+          ledger.add(energy::Component::kDigitalMult, passes * l.scale_entries());
+          break;
+        case Method::kSubsetVi:
+          // Posterior parameters read from the scale crossbar (mu, sigma
+          // planes) and combined with the sampled noise.
+          ledger.add(energy::Component::kXbarCellRead, passes * 2 * l.scale_entries());
+          ledger.add(energy::Component::kDigitalMult, passes * l.scale_entries());
+          ledger.add(energy::Component::kDigitalAdd, passes * l.scale_entries());
+          break;
+        case Method::kSpinBayes:
+          // Selected instance read from its crossbar.
+          ledger.add(energy::Component::kXbarCellRead, passes * l.scale_entries());
+          break;
+        case Method::kAffineDropout:
+          // Affine transform: multiply + add per activation (already
+          // covered by the BN charge above for the ADC architecture).
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  ledger.add(energy::Component::kRngDropoutCycle,
+             passes * rng_bits_per_pass(arch, method, config));
+  // Monte-Carlo averaging of the class logits.
+  const std::size_t classes = arch.layers.back().mvm_cols();
+  ledger.add(energy::Component::kDigitalAdd, passes * classes);
+  return ledger;
+}
+
+energy::MemoryFootprint storage_census(const ArchSpec& arch, Method method,
+                                       const CensusConfig& config) {
+  energy::ModelShape shape;
+  shape.weight_count = arch.total_weights();
+  shape.scale_entries = arch.total_scale_entries();
+  shape.norm_entries = 2 * arch.total_scale_entries();  // gamma+beta per channel
+
+  switch (method) {
+    case Method::kDeterministic:
+    case Method::kSpinDrop:
+    case Method::kSpatialSpinDrop:
+      return energy::footprint(shape, energy::StorageScheme::kBinaryPoint);
+    case Method::kSpinScaleDrop:
+    case Method::kAffineDropout:
+      // Binary weights + one float scale (or affine w/b) vector.
+      return energy::footprint(shape, energy::StorageScheme::kBinaryPoint);
+    case Method::kSubsetVi:
+      return energy::footprint(shape, energy::StorageScheme::kSubsetVi);
+    case Method::kSpinBayes: {
+      auto fp = energy::footprint(shape, energy::StorageScheme::kSubsetVi);
+      // N quantized instances replace the (mu, sigma) parameterization.
+      std::size_t level_bits = 0;
+      std::size_t cap = 1;
+      while (cap < 8) {  // 8-level multi-value cell
+        cap *= 2;
+        ++level_bits;
+      }
+      fp.variational_bits = 0;
+      fp.other_bits = static_cast<std::uint64_t>(config.spinbayes_instances) *
+                      shape.scale_entries * level_bits;
+      return fp;
+    }
+    case Method::kTraditionalVi:
+      return energy::footprint(shape, energy::StorageScheme::kPerWeightGaussianVi);
+  }
+  return {};
+}
+
+}  // namespace neuspin::core

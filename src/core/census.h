@@ -1,0 +1,102 @@
+// Architecture census: event counts, RNG/dropout-module inventory and
+// storage footprint of one Bayesian inference, per method.
+//
+// This is the machinery behind Table I's energy column and all of the
+// paper's x-factor claims (9x / 94.11x / 2.94x / 100x / 70x / 158.7x):
+// every method's cost is derived from the SAME architecture description
+// under the SAME component cost table; only the per-method counting rules
+// differ, and those follow the circuit descriptions in §III.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/method.h"
+#include "energy/accountant.h"
+#include "energy/memory.h"
+
+namespace neuspin::core {
+
+/// One layer of the deployed architecture.
+struct LayerSpec {
+  enum class Kind : std::uint8_t { kDense, kConv } kind = Kind::kDense;
+  // Dense fields.
+  std::size_t in_features = 0;
+  std::size_t out_features = 0;
+  // Conv fields.
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t kernel = 0;
+  std::size_t out_height = 0;
+  std::size_t out_width = 0;
+  /// Hidden layers carry normalization + binary activation; the final
+  /// (classifier) layer does not.
+  bool hidden = true;
+
+  [[nodiscard]] static LayerSpec dense(std::size_t in, std::size_t out, bool hidden);
+  [[nodiscard]] static LayerSpec conv(std::size_t in_ch, std::size_t out_ch,
+                                      std::size_t kernel, std::size_t out_h,
+                                      std::size_t out_w);
+
+  /// Rows of one matrix-vector multiply on the crossbar.
+  [[nodiscard]] std::size_t mvm_rows() const;
+  /// Columns of one MVM.
+  [[nodiscard]] std::size_t mvm_cols() const;
+  /// MVMs needed per forward pass (conv: one per output pixel).
+  [[nodiscard]] std::size_t mvm_count() const;
+  /// Output activations ("neurons") of this layer.
+  [[nodiscard]] std::size_t neurons() const;
+  /// Feature maps (conv) — dense layers report 1.
+  [[nodiscard]] std::size_t feature_maps() const;
+  /// Synaptic weights.
+  [[nodiscard]] std::size_t weights() const;
+  /// Per-channel scale-vector entries.
+  [[nodiscard]] std::size_t scale_entries() const;
+};
+
+/// The whole deployed network.
+struct ArchSpec {
+  std::vector<LayerSpec> layers;
+
+  [[nodiscard]] std::size_t total_weights() const;
+  [[nodiscard]] std::size_t total_neurons() const;        ///< hidden only
+  [[nodiscard]] std::size_t total_feature_maps() const;   ///< hidden only
+  [[nodiscard]] std::size_t total_scale_entries() const;  ///< hidden only
+  [[nodiscard]] std::size_t hidden_layer_count() const;
+};
+
+/// The LeNet-class binary CNN used by the Table I benchmark
+/// (16x16x1 -> conv8 -> conv16 -> dense64 -> 10).
+[[nodiscard]] ArchSpec small_cnn_arch();
+
+/// The binary MLP used by MLP-level experiments (256-128-128-10).
+[[nodiscard]] ArchSpec mlp_arch();
+
+/// Census knobs.
+struct CensusConfig {
+  std::size_t mc_passes = 20;    ///< T, Monte-Carlo forward passes
+  std::size_t max_rows = 128;    ///< crossbar height (row blocking)
+  std::size_t adc_bits_full = 8; ///< ADC-architecture resolution
+  std::size_t spinbayes_instances = 8;
+  /// Bernoulli trials per Gaussian sample when SOT devices synthesize
+  /// Gaussians by accumulation (sub-set VI, traditional VI).
+  std::size_t bits_per_gaussian = 8;
+};
+
+/// Number of physical dropout/RNG modules the method instantiates
+/// (the paper's "9x fewer dropout modules" metric).
+[[nodiscard]] std::size_t dropout_module_count(const ArchSpec& arch, Method method);
+
+/// Stochastic bits consumed by ONE forward pass.
+[[nodiscard]] std::uint64_t rng_bits_per_pass(const ArchSpec& arch, Method method,
+                                              const CensusConfig& config);
+
+/// Full event ledger of one Bayesian inference (T stochastic passes).
+[[nodiscard]] energy::EnergyLedger inference_census(const ArchSpec& arch, Method method,
+                                                    const CensusConfig& config);
+
+/// Storage footprint of the deployed model under the method's scheme.
+[[nodiscard]] energy::MemoryFootprint storage_census(const ArchSpec& arch, Method method,
+                                                     const CensusConfig& config);
+
+}  // namespace neuspin::core

@@ -1,0 +1,90 @@
+#include "core/dropconnect.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/binarize.h"
+
+namespace neuspin::core {
+
+DropConnectDense::DropConnectDense(std::size_t in_features, std::size_t out_features,
+                                   double p, std::mt19937_64& engine,
+                                   std::uint64_t mask_seed,
+                                   energy::EnergyLedger* ledger)
+    : in_(in_features),
+      out_(out_features),
+      p_(p),
+      latent_weight_(nn::Tensor::randn(
+          {in_features, out_features},
+          std::sqrt(2.0f / static_cast<float>(in_features)), engine)),
+      bias_({out_features}),
+      weight_grad_({in_features, out_features}),
+      bias_grad_({out_features}),
+      mask_engine_(mask_seed),
+      ledger_(ledger) {
+  if (in_features == 0 || out_features == 0) {
+    throw std::invalid_argument("DropConnectDense: feature counts must be positive");
+  }
+  if (p < 0.0 || p >= 1.0) {
+    throw std::invalid_argument("DropConnectDense: p must lie in [0,1)");
+  }
+}
+
+nn::Tensor DropConnectDense::forward(const nn::Tensor& input, bool training) {
+  if (input.rank() != 2 || input.dim(1) != in_) {
+    throw std::invalid_argument("DropConnectDense: expected (batch x " +
+                                std::to_string(in_) + ")");
+  }
+  input_cache_ = input;
+  masked_binary_cache_ = nn::sign_of(latent_weight_);
+  alpha_cache_ = nn::column_abs_mean(latent_weight_);
+
+  const bool stochastic = (training || mc_mode_) && p_ > 0.0;
+  if (stochastic) {
+    std::bernoulli_distribution drop(p_);
+    for (std::size_t i = 0; i < masked_binary_cache_.numel(); ++i) {
+      if (drop(mask_engine_)) {
+        masked_binary_cache_[i] = 0.0f;  // gated connection
+      }
+    }
+    if (ledger_ != nullptr) {
+      // One stochastic module decision per weight per pass — the cost the
+      // paper's resource-scalability argument is about.
+      ledger_->add(energy::Component::kRngDropoutCycle, in_ * out_);
+    }
+  }
+
+  nn::Tensor out = matmul(input, masked_binary_cache_);
+  for (std::size_t i = 0; i < out.dim(0); ++i) {
+    for (std::size_t j = 0; j < out_; ++j) {
+      out.at(i, j) = out.at(i, j) * alpha_cache_[j] + bias_[j];
+    }
+  }
+  return out;
+}
+
+nn::Tensor DropConnectDense::backward(const nn::Tensor& grad_output) {
+  const std::size_t batch = grad_output.dim(0);
+  nn::Tensor g_scaled = grad_output;
+  for (std::size_t i = 0; i < batch; ++i) {
+    for (std::size_t j = 0; j < out_; ++j) {
+      g_scaled.at(i, j) *= alpha_cache_[j];
+      bias_grad_[j] += grad_output.at(i, j);
+    }
+  }
+  nn::Tensor wg = matmul_a_transposed(input_cache_, g_scaled);
+  for (std::size_t i = 0; i < wg.numel(); ++i) {
+    // STE window, and no gradient through connections dropped this pass.
+    if (std::abs(latent_weight_[i]) > 1.0f || masked_binary_cache_[i] == 0.0f) {
+      wg[i] = 0.0f;
+    }
+  }
+  weight_grad_ += wg;
+  return matmul_transposed(g_scaled, masked_binary_cache_);
+}
+
+std::vector<nn::ParamRef> DropConnectDense::parameters() {
+  return {{&latent_weight_, &weight_grad_}, {&bias_, &bias_grad_}};
+}
+
+}  // namespace neuspin::core

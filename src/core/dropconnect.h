@@ -1,0 +1,61 @@
+// MC-DropConnect (paper §II-D): dropout applied to each *weight* rather
+// than each neuron. The paper discusses it as the costliest point of the
+// design space — "the number of Dropout modules equals the total number of
+// weights ... the number of Dropout modules in the hardware can be huge
+// and the overall sampling latency can be long" — and NeuSpin's methods
+// exist to avoid exactly this. The layer is implemented so the census and
+// ablation benches can quantify that argument.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "energy/accountant.h"
+#include "nn/layers.h"
+#include "nn/tensor.h"
+
+namespace neuspin::core {
+
+/// Binary dense layer with per-weight Bernoulli connection dropout.
+///
+/// Forward: y = x (M (.) sign(W)) * alpha + b, with mask M resampled per
+/// training step and per MC pass. Dropped connections contribute nothing —
+/// on the crossbar this is a cell whose word-line/bit-line intersection is
+/// gated off for the pass, which is why the hardware cost scales with the
+/// weight count.
+class DropConnectDense : public nn::Layer {
+ public:
+  DropConnectDense(std::size_t in_features, std::size_t out_features, double p,
+                   std::mt19937_64& engine, std::uint64_t mask_seed,
+                   energy::EnergyLedger* ledger = nullptr);
+
+  nn::Tensor forward(const nn::Tensor& input, bool training) override;
+  nn::Tensor backward(const nn::Tensor& grad_output) override;
+  std::vector<nn::ParamRef> parameters() override;
+  [[nodiscard]] std::string name() const override { return "DropConnectDense"; }
+
+  void enable_mc(bool on) { mc_mode_ = on; }
+  [[nodiscard]] std::size_t in_features() const { return in_; }
+  [[nodiscard]] std::size_t out_features() const { return out_; }
+  [[nodiscard]] double probability() const { return p_; }
+  /// RNG decisions one stochastic pass consumes (== weight count).
+  [[nodiscard]] std::size_t decisions_per_pass() const { return in_ * out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  double p_;
+  nn::Tensor latent_weight_;
+  nn::Tensor bias_;
+  nn::Tensor weight_grad_;
+  nn::Tensor bias_grad_;
+  std::mt19937_64 mask_engine_;
+  bool mc_mode_ = false;
+  // Caches for backward.
+  nn::Tensor input_cache_;
+  nn::Tensor masked_binary_cache_;  ///< M (.) sign(W)
+  nn::Tensor alpha_cache_;
+  energy::EnergyLedger* ledger_;
+};
+
+}  // namespace neuspin::core

@@ -1,0 +1,232 @@
+#include "core/hw_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/spindrop.h"
+
+namespace neuspin::core {
+
+AnalogReadout::AnalogReadout(const HwNoiseConfig& config)
+    : config_(config), engine_(config.seed) {
+  if (config.noise_fraction < 0.0f) {
+    throw std::invalid_argument("AnalogReadout: noise_fraction must be non-negative");
+  }
+  if (config.quant_levels == 1) {
+    throw std::invalid_argument("AnalogReadout: quant_levels must be 0 or >= 2");
+  }
+}
+
+nn::Tensor AnalogReadout::forward(const nn::Tensor& input, bool training) {
+  if (training || !config_.enabled) {
+    return input;
+  }
+  // Auto-ranged full scale: the largest magnitude in this batch, matching
+  // a SAR ADC whose reference tracks the layer's dynamic range.
+  float full_scale = 0.0f;
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    full_scale = std::max(full_scale, std::abs(input[i]));
+  }
+  if (full_scale == 0.0f) {
+    return input;
+  }
+  const float sigma = config_.noise_fraction * full_scale;
+  const float lsb = config_.quant_levels >= 2
+                        ? 2.0f * full_scale / static_cast<float>(config_.quant_levels)
+                        : 0.0f;
+  nn::Tensor out = input;
+  std::normal_distribution<float> noise(0.0f, sigma);
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    float v = out[i];
+    if (sigma > 0.0f) {
+      v += noise(engine_);
+    }
+    if (lsb > 0.0f) {
+      v = std::round(v / lsb) * lsb;
+    }
+    out[i] = v;
+  }
+  return out;
+}
+
+nn::Tensor AnalogReadout::backward(const nn::Tensor& grad_output) {
+  return grad_output;  // straight-through
+}
+
+std::size_t inject_weight_defects(nn::Sequential& net, float flip_rate,
+                                  std::uint64_t seed) {
+  if (flip_rate < 0.0f || flip_rate > 1.0f) {
+    throw std::invalid_argument("inject_weight_defects: flip_rate must lie in [0,1]");
+  }
+  std::mt19937_64 engine(seed);
+  std::uniform_real_distribution<float> u01(0.0f, 1.0f);
+  std::size_t flipped = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    nn::Tensor* latent = nullptr;
+    if (auto* dense = dynamic_cast<nn::BinaryDense*>(&net.layer(i))) {
+      latent = &dense->latent_weight();
+    } else if (auto* conv = dynamic_cast<nn::BinaryConv2d*>(&net.layer(i))) {
+      latent = &conv->latent_weight();
+    }
+    if (latent == nullptr) {
+      continue;
+    }
+    for (std::size_t w = 0; w < latent->numel(); ++w) {
+      if (u01(engine) < flip_rate) {
+        (*latent)[w] = -(*latent)[w];
+        ++flipped;
+      }
+    }
+  }
+  return flipped;
+}
+
+std::size_t perturb_weights(nn::Sequential& net, float rel_sigma, std::uint64_t seed,
+                            bool include_norm_params) {
+  if (rel_sigma < 0.0f) {
+    throw std::invalid_argument("perturb_weights: rel_sigma must be non-negative");
+  }
+  if (rel_sigma == 0.0f) {
+    return 0;
+  }
+  std::mt19937_64 engine(seed);
+  std::normal_distribution<float> noise(0.0f, rel_sigma);
+  std::size_t perturbed = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (!include_norm_params && !net.layer(i).state_tensors().empty()) {
+      continue;  // normalization layers keep their digital registers intact
+    }
+    for (auto& param : net.layer(i).parameters()) {
+      for (std::size_t w = 0; w < param.value->numel(); ++w) {
+        (*param.value)[w] *= 1.0f + noise(engine);
+        ++perturbed;
+      }
+    }
+  }
+  return perturbed;
+}
+
+TiledMlp::TiledMlp(nn::Sequential& net, const xbar::TileConfig& tile_config,
+                   std::uint64_t seed)
+    : engine_(seed ^ 0x7117), dropout_seed_(seed ^ 0xd407) {
+  // Walk the canonical [BinaryDense -> BatchNorm -> Sign]* -> BinaryDense
+  // layout, skipping dropout/readout decorations.
+  std::size_t i = 0;
+  while (i < net.size()) {
+    auto* dense = dynamic_cast<nn::BinaryDense*>(&net.layer(i));
+    if (dense == nullptr) {
+      ++i;
+      continue;
+    }
+    // Find the matching BatchNorm (if any) before the next BinaryDense.
+    nn::BatchNorm* bn = nullptr;
+    for (std::size_t j = i + 1; j < net.size(); ++j) {
+      if (dynamic_cast<nn::BinaryDense*>(&net.layer(j)) != nullptr) {
+        break;
+      }
+      if (auto* candidate = dynamic_cast<nn::BatchNorm*>(&net.layer(j))) {
+        bn = candidate;
+        break;
+      }
+    }
+
+    FoldedLayer folded;
+    const nn::Tensor weights = dense->binary_weight();
+    const nn::Tensor scales = dense->scales();
+    std::vector<float> w(weights.data().begin(), weights.data().end());
+    std::vector<float> s(scales.data().begin(), scales.data().end());
+    folded.tile = std::make_unique<xbar::DenseTile>(
+        tile_config, dense->in_features(), dense->out_features(), w, s,
+        seed + 131 * tiles_.size());
+    folded.bias.assign(dense->bias().data().begin(), dense->bias().data().end());
+    folded.hidden = bn != nullptr;
+    if (bn != nullptr) {
+      // Fold sign(gamma * (a - mean)/std + beta) into a threshold on the
+      // pre-normalization activation a: theta = mean - beta * std / gamma.
+      const std::size_t n = dense->out_features();
+      folded.threshold.resize(n);
+      folded.bn_sign.resize(n);
+      for (std::size_t c = 0; c < n; ++c) {
+        const float gamma = bn->gamma()[c];
+        const float beta = bn->beta()[c];
+        const float mean = bn->running_mean()[c];
+        const float std_dev = std::sqrt(bn->running_var()[c] + 1e-5f);
+        const float safe_gamma = std::abs(gamma) < 1e-6f
+                                     ? (gamma < 0.0f ? -1e-6f : 1e-6f)
+                                     : gamma;
+        folded.threshold[c] = mean - beta * std_dev / safe_gamma;
+        folded.bn_sign[c] = safe_gamma >= 0.0f ? 1.0f : -1.0f;
+      }
+    }
+    tiles_.push_back(std::move(folded));
+    ++i;
+  }
+  if (tiles_.empty()) {
+    throw std::invalid_argument("TiledMlp: network contains no BinaryDense layers");
+  }
+}
+
+void TiledMlp::inject_defects(const device::DefectRates& rates, std::uint64_t seed) {
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    tiles_[t].tile->inject_defects(rates, seed + 977 * t);
+  }
+}
+
+nn::Tensor TiledMlp::forward(const nn::Tensor& input, energy::EnergyLedger* ledger) {
+  return forward_spindrop(input, 0.0, ledger);
+}
+
+nn::Tensor TiledMlp::forward_spindrop(const nn::Tensor& input, double p,
+                                      energy::EnergyLedger* ledger) {
+  if (input.rank() != 2) {
+    throw std::invalid_argument("TiledMlp: expected (batch x features) input");
+  }
+  const std::size_t batch = input.dim(0);
+  const std::size_t classes = tiles_.back().tile->out_features();
+  nn::Tensor logits({batch, classes});
+
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::vector<float> x(input.dim(1));
+    for (std::size_t f = 0; f < x.size(); ++f) {
+      x[f] = input.at(b, f);
+    }
+    std::vector<std::uint8_t> enabled(x.size(), 1);
+    for (std::size_t t = 0; t < tiles_.size(); ++t) {
+      FoldedLayer& layer = tiles_[t];
+      const std::vector<float> sums =
+          layer.tile->forward_gated(x, enabled, ledger, engine_);
+      const std::size_t n = layer.tile->out_features();
+      std::vector<float> a(n);
+      for (std::size_t c = 0; c < n; ++c) {
+        a[c] = sums[c] + layer.bias[c];
+      }
+      if (layer.hidden) {
+        std::vector<float> h(n);
+        std::vector<std::uint8_t> next_enabled(n, 1);
+        for (std::size_t c = 0; c < n; ++c) {
+          h[c] = (a[c] - layer.threshold[c]) >= 0.0f ? layer.bn_sign[c]
+                                                     : -layer.bn_sign[c];
+          if (p > 0.0) {
+            // One stochastic MTJ dropout decision per neuron per pass.
+            if (ledger != nullptr) {
+              ledger->add(energy::Component::kRngDropoutCycle, 1);
+            }
+            if (u01(engine_) < p) {
+              next_enabled[c] = 0;
+            }
+          }
+        }
+        x = std::move(h);
+        enabled = std::move(next_enabled);
+      } else {
+        for (std::size_t c = 0; c < n; ++c) {
+          logits.at(b, c) = a[c];
+        }
+      }
+    }
+  }
+  return logits;
+}
+
+}  // namespace neuspin::core

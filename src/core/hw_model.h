@@ -1,0 +1,112 @@
+// Hardware deployment models.
+//
+// Two fidelity levels, used for different purposes (DESIGN.md §2):
+//
+//  * DenseTile-based inference (TiledMlp): full electrical simulation of
+//    every MVM — crossbar currents, ADC quantization, IR drop, defects.
+//    Used by the quickstart example, integration tests and substrate
+//    benches. Exact but too slow for full accuracy sweeps of CNNs.
+//
+//  * Behavioural hardware noise (AnalogReadout + inject_weight_defects):
+//    the same non-idealities folded into fast tensor ops — pre-activation
+//    quantization to the ADC LSB, Gaussian read noise, and binary-weight
+//    sign flips for stuck-at defects. Validated against the tile path in
+//    tests/hw_consistency_test.cpp; used by the accuracy benches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "energy/accountant.h"
+#include "nn/binarize.h"
+#include "nn/layers.h"
+#include "nn/model.h"
+#include "xbar/tile.h"
+
+namespace neuspin::core {
+
+/// Behavioural non-ideality knobs for fast hardware-aware evaluation.
+struct HwNoiseConfig {
+  bool enabled = false;
+  /// ADC level count (2^bits); pre-activations are quantized onto this
+  /// many levels across the batch's observed dynamic range (a SAR ADC
+  /// with auto-ranged full scale). 0 disables quantization.
+  std::size_t quant_levels = 256;
+  /// Read-noise sigma as a fraction of the observed dynamic range
+  /// (cycle-to-cycle conductance noise + residual IR drop).
+  float noise_fraction = 0.0f;
+  std::uint64_t seed = 99;
+};
+
+/// Identity during training; at evaluation applies ADC quantization and
+/// additive read noise to the pre-activations of the preceding binary
+/// layer. Backward is a straight pass-through (STE), so the layer can stay
+/// in the graph during training without affecting gradients.
+class AnalogReadout : public nn::Layer {
+ public:
+  explicit AnalogReadout(const HwNoiseConfig& config);
+
+  nn::Tensor forward(const nn::Tensor& input, bool training) override;
+  nn::Tensor backward(const nn::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "AnalogReadout"; }
+
+ private:
+  HwNoiseConfig config_;
+  std::mt19937_64 engine_;
+};
+
+/// Flip the sign of a fraction `flip_rate` of latent weights in every
+/// BinaryDense / BinaryConv2d layer of `net` — the behavioural equivalent
+/// of stuck-at defects landing on the wrong state. Returns the number of
+/// flipped weights.
+std::size_t inject_weight_defects(nn::Sequential& net, float flip_rate,
+                                  std::uint64_t seed);
+
+/// Multiply every learnable parameter of `net` by (1 + N(0, rel_sigma)) —
+/// the conductance-variation analogue for layers whose parameters live in
+/// the NVM crossbars (LSTM gates, dense weights, multi-level cells).
+/// Normalization parameters are skipped by default: they live in digital
+/// registers, not in analog conductances. Returns the perturbed count.
+std::size_t perturb_weights(nn::Sequential& net, float rel_sigma, std::uint64_t seed,
+                            bool include_norm_params = false);
+
+/// Tile-backed inference for a trained binary MLP of the canonical layout
+///   [BinaryDense -> BatchNorm -> Sign]* -> BinaryDense.
+/// Batch-norm is folded into per-neuron thresholds; hidden activations are
+/// computed with sign read-out, the final layer with the configured ADC.
+class TiledMlp {
+ public:
+  /// Map `net` (which must follow the canonical layout) onto tiles.
+  TiledMlp(nn::Sequential& net, const xbar::TileConfig& tile_config,
+           std::uint64_t seed);
+
+  /// Deterministic hardware forward pass of a (batch x features) tensor.
+  [[nodiscard]] nn::Tensor forward(const nn::Tensor& input,
+                                   energy::EnergyLedger* ledger = nullptr);
+
+  /// SpinDrop hardware pass: hidden activations are gated by per-neuron
+  /// stochastic MTJ modules with dropout probability `p`.
+  [[nodiscard]] nn::Tensor forward_spindrop(const nn::Tensor& input, double p,
+                                            energy::EnergyLedger* ledger = nullptr);
+
+  [[nodiscard]] std::size_t layer_count() const { return tiles_.size(); }
+  /// Inject extra stuck-at defects into every tile.
+  void inject_defects(const device::DefectRates& rates, std::uint64_t seed);
+
+ private:
+  struct FoldedLayer {
+    std::unique_ptr<xbar::DenseTile> tile;
+    std::vector<float> bias;       ///< dense bias per column
+    std::vector<float> threshold;  ///< folded BN threshold (hidden layers)
+    std::vector<float> bn_sign;    ///< sign of gamma (threshold comparison flips)
+    bool hidden = false;
+  };
+
+  std::vector<FoldedLayer> tiles_;
+  std::mt19937_64 engine_;
+  std::uint64_t dropout_seed_;
+};
+
+}  // namespace neuspin::core

@@ -1,0 +1,34 @@
+#include "core/method.h"
+
+namespace neuspin::core {
+
+std::string method_name(Method m) {
+  switch (m) {
+    case Method::kDeterministic:
+      return "Deterministic-BNN";
+    case Method::kSpinDrop:
+      return "SpinDrop";
+    case Method::kSpatialSpinDrop:
+      return "Spatial-SpinDrop";
+    case Method::kSpinScaleDrop:
+      return "SpinScaleDropout";
+    case Method::kAffineDropout:
+      return "InvNorm-AffineDropout";
+    case Method::kSubsetVi:
+      return "Bayesian-SubSet";
+    case Method::kSpinBayes:
+      return "SpinBayes";
+    case Method::kTraditionalVi:
+      return "Traditional-VI";
+  }
+  return "unknown";
+}
+
+const std::vector<Method>& table1_methods() {
+  static const std::vector<Method> kRows = {
+      Method::kSpinDrop, Method::kSpatialSpinDrop, Method::kSpinScaleDrop,
+      Method::kSubsetVi, Method::kSpinBayes};
+  return kRows;
+}
+
+}  // namespace neuspin::core

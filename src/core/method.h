@@ -1,0 +1,29 @@
+// Enumeration of the Bayesian approximation methods the NeuSpin project
+// compares (paper Table I plus the baselines the in-text claims are made
+// against).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace neuspin::core {
+
+/// All methods the benches compare.
+enum class Method : std::uint8_t {
+  kDeterministic,   ///< point-estimate binary NN (no Bayesian treatment)
+  kSpinDrop,        ///< per-neuron MTJ dropout (§III-A.1)
+  kSpatialSpinDrop, ///< per-feature-map dropout (§III-A.2)
+  kSpinScaleDrop,   ///< per-layer scale dropout (§III-A.3)
+  kAffineDropout,   ///< inverted norm + stochastic affine (§III-A.4)
+  kSubsetVi,        ///< Bayesian sub-set parameter inference (§III-B.1)
+  kSpinBayes,       ///< N-crossbar in-memory approximation (§III-B.2)
+  kTraditionalVi,   ///< per-weight Gaussian VI baseline (related work)
+};
+
+[[nodiscard]] std::string method_name(Method m);
+
+/// The five methods of the paper's Table I, in its row order.
+[[nodiscard]] const std::vector<Method>& table1_methods();
+
+}  // namespace neuspin::core

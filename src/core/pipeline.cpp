@@ -1,0 +1,98 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+namespace neuspin::core {
+
+float fit(BuiltModel& model, const nn::Dataset& train, const FitConfig& config) {
+  model.enable_mc(false);
+  nn::TrainConfig tc;
+  tc.epochs = config.epochs;
+  tc.batch_size = config.batch_size;
+  tc.lr = config.lr;
+  tc.verbose = config.verbose;
+  tc.label_smoothing = config.label_smoothing;
+  tc.regularizer = model.make_regularizer(config.kl_weight, config.scale_lambda);
+  const auto history = nn::train_classifier(model.net, train, tc);
+  return history.empty() ? 0.0f : history.back().train_accuracy;
+}
+
+EvalResult evaluate(BuiltModel& model, const nn::Dataset& test, std::size_t mc_samples,
+                    std::size_t batch_size) {
+  model.enable_mc(true);
+  McPredictor predictor(mc_samples);
+  auto forward = [&model](const nn::Tensor& x) { return model.stochastic_logits(x); };
+
+  EvalResult result;
+  nn::Tensor all_probs({test.size(), 0});
+  std::vector<nn::Tensor> prob_batches;
+  std::vector<float> entropies;
+  for (std::size_t begin = 0; begin < test.size(); begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, test.size());
+    auto [inputs, labels] = test.batch(begin, end);
+    const Prediction pred = predictor.predict(inputs, forward);
+    prob_batches.push_back(pred.mean_probs);
+    entropies.insert(entropies.end(), pred.entropy.begin(), pred.entropy.end());
+  }
+  // Stitch the batches back together.
+  const std::size_t classes = prob_batches.front().dim(1);
+  nn::Tensor probs({test.size(), classes});
+  std::size_t row = 0;
+  for (const auto& batch : prob_batches) {
+    for (std::size_t i = 0; i < batch.dim(0); ++i, ++row) {
+      for (std::size_t j = 0; j < classes; ++j) {
+        probs.at(row, j) = batch.at(i, j);
+      }
+    }
+  }
+  model.enable_mc(false);
+
+  result.accuracy = accuracy(probs, test.labels);
+  result.nll = negative_log_likelihood(probs, test.labels);
+  result.ece = expected_calibration_error(probs, test.labels);
+  result.brier = brier_score(probs, test.labels);
+  float h = 0.0f;
+  for (float e : entropies) {
+    h += e;
+  }
+  result.mean_entropy = entropies.empty() ? 0.0f
+                                          : h / static_cast<float>(entropies.size());
+  return result;
+}
+
+std::vector<float> entropy_scores(BuiltModel& model, const nn::Dataset& data,
+                                  std::size_t mc_samples, std::size_t batch_size) {
+  model.enable_mc(true);
+  McPredictor predictor(mc_samples);
+  auto forward = [&model](const nn::Tensor& x) { return model.stochastic_logits(x); };
+  std::vector<float> scores;
+  scores.reserve(data.size());
+  for (std::size_t begin = 0; begin < data.size(); begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, data.size());
+    auto [inputs, labels] = data.batch(begin, end);
+    const Prediction pred = predictor.predict(inputs, forward);
+    scores.insert(scores.end(), pred.entropy.begin(), pred.entropy.end());
+  }
+  model.enable_mc(false);
+  return scores;
+}
+
+OodResult evaluate_ood(BuiltModel& model, const nn::Dataset& in_dist,
+                       const nn::Dataset& ood, std::size_t mc_samples,
+                       std::size_t batch_size) {
+  const std::vector<float> id_scores =
+      entropy_scores(model, in_dist, mc_samples, batch_size);
+  const std::vector<float> ood_scores = entropy_scores(model, ood, mc_samples, batch_size);
+
+  std::vector<float> all = id_scores;
+  all.insert(all.end(), ood_scores.begin(), ood_scores.end());
+  std::vector<bool> is_ood(id_scores.size(), false);
+  is_ood.insert(is_ood.end(), ood_scores.size(), true);
+
+  OodResult result;
+  result.auroc = auroc(all, is_ood);
+  result.detection_rate = detection_rate(id_scores, ood_scores);
+  return result;
+}
+
+}  // namespace neuspin::core

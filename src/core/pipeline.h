@@ -1,0 +1,63 @@
+// Co-design pipeline: train -> (convert) -> Bayesian CIM evaluation.
+//
+// Bundles the recurring experiment steps so examples/benches stay short:
+// training with the method's regularizer, Monte-Carlo evaluation of
+// accuracy + calibration, and the OOD detection protocol.
+#pragma once
+
+#include <cstdint>
+
+#include "core/bayesian.h"
+#include "core/models.h"
+#include "nn/model.h"
+
+namespace neuspin::core {
+
+/// Training knobs for a method model.
+struct FitConfig {
+  std::size_t epochs = 8;
+  std::size_t batch_size = 32;
+  float lr = 0.01f;
+  float kl_weight = 1e-4f;      ///< sub-set VI KL weight per step
+  float scale_lambda = 1e-2f;   ///< scale-dropout regularizer weight
+  /// Label smoothing of the training objective. The NeuSpin training
+  /// recipes use a calibration-friendly objective; 0.1 keeps logits small
+  /// so predictive entropy stays informative on OOD inputs.
+  float label_smoothing = 0.05f;
+  bool verbose = false;
+};
+
+/// Train `model` on `train` (handles the method's regularizer and leaves
+/// the model in deterministic-eval state). Returns final train accuracy.
+float fit(BuiltModel& model, const nn::Dataset& train, const FitConfig& config);
+
+/// Monte-Carlo evaluation summary.
+struct EvalResult {
+  float accuracy = 0.0f;
+  float nll = 0.0f;
+  float ece = 0.0f;
+  float brier = 0.0f;
+  float mean_entropy = 0.0f;
+};
+
+/// Bayesian evaluation with `mc_samples` stochastic passes per batch.
+[[nodiscard]] EvalResult evaluate(BuiltModel& model, const nn::Dataset& test,
+                                  std::size_t mc_samples, std::size_t batch_size = 100);
+
+/// Per-sample uncertainty scores (predictive entropy) over a dataset.
+[[nodiscard]] std::vector<float> entropy_scores(BuiltModel& model,
+                                                const nn::Dataset& data,
+                                                std::size_t mc_samples,
+                                                std::size_t batch_size = 100);
+
+/// OOD detection summary following the paper's protocol.
+struct OodResult {
+  float auroc = 0.0f;
+  float detection_rate = 0.0f;  ///< at the 95th in-distribution percentile
+};
+
+[[nodiscard]] OodResult evaluate_ood(BuiltModel& model, const nn::Dataset& in_dist,
+                                     const nn::Dataset& ood, std::size_t mc_samples,
+                                     std::size_t batch_size = 100);
+
+}  // namespace neuspin::core

@@ -1,0 +1,120 @@
+#include "core/scaledrop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace neuspin::core {
+
+double adaptive_scale_dropout_p(std::size_t layer_param_count, double p_min,
+                                double p_max) {
+  if (layer_param_count == 0) {
+    throw std::invalid_argument("adaptive_scale_dropout_p: empty layer");
+  }
+  if (p_min <= 0.0 || p_max >= 1.0 || p_min > p_max) {
+    throw std::invalid_argument("adaptive_scale_dropout_p: need 0 < p_min <= p_max < 1");
+  }
+  const double lo = std::log10(1e3);
+  const double hi = std::log10(1e6);
+  const double x = std::clamp(std::log10(static_cast<double>(layer_param_count)), lo, hi);
+  return p_min + (p_max - p_min) * (x - lo) / (hi - lo);
+}
+
+void ScaleDropConfig::validate() const {
+  if (channels == 0) {
+    throw std::invalid_argument("ScaleDropConfig: channels must be positive");
+  }
+  if (dropout_p < 0.0 || dropout_p >= 1.0) {
+    throw std::invalid_argument("ScaleDropConfig: dropout_p must lie in [0,1)");
+  }
+  if (hw_p_sigma < 0.0) {
+    throw std::invalid_argument("ScaleDropConfig: hw_p_sigma must be non-negative");
+  }
+}
+
+ScaleDropLayer::ScaleDropLayer(const ScaleDropConfig& config,
+                               energy::EnergyLedger* ledger)
+    : config_(config),
+      realized_p_(config.dropout_p),
+      scale_({config.channels}, 1.0f),
+      scale_grad_({config.channels}),
+      engine_(config.seed),
+      ledger_(ledger) {
+  config_.validate();
+  if (config_.hw_p_sigma > 0.0) {
+    // The physical module's probability is Gaussian around the target
+    // (manufacturing + in-field variation), clamped to a valid range.
+    std::normal_distribution<double> dist(config_.dropout_p, config_.hw_p_sigma);
+    realized_p_ = std::clamp(dist(engine_), 0.001, 0.999);
+  }
+}
+
+void ScaleDropLayer::check_shape(const nn::Shape& shape) const {
+  if (shape.size() < 2 || shape[1] != config_.channels) {
+    throw std::invalid_argument("ScaleDropLayer: expected channel axis of size " +
+                                std::to_string(config_.channels));
+  }
+}
+
+nn::Tensor ScaleDropLayer::forward(const nn::Tensor& input, bool training) {
+  check_shape(input.shape());
+  input_cache_ = input;
+  const bool stochastic = training || mc_mode_;
+  last_dropped_ = false;
+  if (stochastic) {
+    if (ledger_ != nullptr) {
+      ledger_->add(energy::Component::kRngDropoutCycle, 1);
+    }
+    std::bernoulli_distribution drop(realized_p_);
+    last_dropped_ = drop(engine_);
+  }
+  nn::Tensor out = input;
+  if (last_dropped_) {
+    return out;  // scale modulated to the neutral vector: out = x * 1
+  }
+  const std::size_t batch = input.dim(0);
+  const std::size_t channels = config_.channels;
+  const std::size_t inner = input.numel() / batch / channels;
+  if (ledger_ != nullptr) {
+    // Scale vector fetched from the neighbouring SRAM once per pass.
+    ledger_->add(energy::Component::kSramReadWord, channels);
+    ledger_->add(energy::Component::kDigitalMult, channels);
+  }
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const float s = scale_[c];
+      for (std::size_t i = 0; i < inner; ++i) {
+        out[(b * channels + c) * inner + i] *= s;
+      }
+    }
+  }
+  return out;
+}
+
+nn::Tensor ScaleDropLayer::backward(const nn::Tensor& grad_output) {
+  nn::Tensor grad = grad_output;
+  if (last_dropped_) {
+    return grad;  // identity pass-through; no scale gradient this step
+  }
+  const std::size_t batch = grad.dim(0);
+  const std::size_t channels = config_.channels;
+  const std::size_t inner = grad.numel() / batch / channels;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < inner; ++i) {
+        const std::size_t idx = (b * channels + c) * inner + i;
+        acc += grad_output[idx] * input_cache_[idx];
+        grad[idx] *= scale_[c];
+      }
+      scale_grad_[c] += acc;
+    }
+  }
+  return grad;
+}
+
+std::vector<nn::ParamRef> ScaleDropLayer::parameters() {
+  return {{&scale_, &scale_grad_}};
+}
+
+}  // namespace neuspin::core

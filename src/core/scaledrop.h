@@ -1,0 +1,83 @@
+// SpinScaleDrop (paper §III-A.3, Fig. 2).
+//
+// A learnable per-channel scale vector multiplies the layer activation;
+// Bayesian behaviour comes from a *single* dropout module per layer that
+// stochastically deactivates the whole scale vector (scale modulation
+// rather than information zeroing: a dropped scale becomes the neutral 1).
+//
+// Placement: the scale stage multiplies the *binary activations* feeding
+// the next crossbar (electrically, per-channel modulation of the input
+// driver amplitude). Scaling before the normalization would be absorbed by
+// the batch statistics and learn nothing.
+//
+// Hardware fidelity: the physical dropout module's probability is itself a
+// random variable — manufacturing/in-field variation of the MTJ shifts it
+// — modeled as a Gaussian around the target p (the paper fits exactly this
+// distribution). A layer-dependent adaptive rule sets p from the layer's
+// parameter count, removing the design-space exploration for p.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "energy/accountant.h"
+#include "nn/layers.h"
+
+namespace neuspin::core {
+
+/// Adaptive layer-dependent dropout probability (paper: "selects the
+/// dropout probability based on the parameter size of the layer").
+/// Larger layers carry more co-adaptation risk and get a higher p; the
+/// rule interpolates log-linearly between p_min at <=1k parameters and
+/// p_max at >=1M parameters.
+[[nodiscard]] double adaptive_scale_dropout_p(std::size_t layer_param_count,
+                                              double p_min = 0.05, double p_max = 0.25);
+
+/// Configuration of one scale-dropout layer.
+struct ScaleDropConfig {
+  std::size_t channels = 0;       ///< scale vector length
+  double dropout_p = 0.1;         ///< target dropout probability
+  /// Sigma of the Gaussian the *hardware* dropout probability is drawn
+  /// from (0 = ideal module). Drawn once at construction per module.
+  double hw_p_sigma = 0.0;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+/// The scale-dropout layer: out = x * s (broadcast over batch/spatial),
+/// with s replaced by the neutral vector 1 when the per-pass dropout fires.
+class ScaleDropLayer : public nn::Layer {
+ public:
+  explicit ScaleDropLayer(const ScaleDropConfig& config,
+                          energy::EnergyLedger* ledger = nullptr);
+
+  nn::Tensor forward(const nn::Tensor& input, bool training) override;
+  nn::Tensor backward(const nn::Tensor& grad_output) override;
+  std::vector<nn::ParamRef> parameters() override;
+  [[nodiscard]] std::string name() const override { return "ScaleDrop"; }
+
+  void enable_mc(bool on) { mc_mode_ = on; }
+  /// Probability the physical module realizes (Gaussian-shifted).
+  [[nodiscard]] double realized_p() const { return realized_p_; }
+  [[nodiscard]] nn::Tensor& scale() { return scale_; }
+  [[nodiscard]] nn::Tensor& scale_grad() { return scale_grad_; }
+  /// Whether the most recent forward dropped the scale vector.
+  [[nodiscard]] bool last_pass_dropped() const { return last_dropped_; }
+
+ private:
+  /// Channels live on axis 1 (rank 2 or 4); broadcast multiply / reduce.
+  void check_shape(const nn::Shape& shape) const;
+
+  ScaleDropConfig config_;
+  double realized_p_;
+  nn::Tensor scale_;
+  nn::Tensor scale_grad_;
+  std::mt19937_64 engine_;
+  bool mc_mode_ = false;
+  bool last_dropped_ = false;
+  nn::Tensor input_cache_;
+  energy::EnergyLedger* ledger_;
+};
+
+}  // namespace neuspin::core

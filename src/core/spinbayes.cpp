@@ -1,0 +1,147 @@
+#include "core/spinbayes.h"
+
+#include <stdexcept>
+
+namespace neuspin::core {
+
+SpinArbiter::SpinArbiter(std::size_t fan_out, std::uint64_t seed,
+                         energy::EnergyLedger* ledger)
+    : fan_out_(fan_out), engine_(seed), ledger_(ledger) {
+  if (fan_out == 0) {
+    throw std::invalid_argument("SpinArbiter: fan_out must be positive");
+  }
+  bits_per_draw_ = 0;
+  std::size_t capacity = 1;
+  while (capacity < fan_out_) {
+    capacity *= 2;
+    ++bits_per_draw_;
+  }
+}
+
+std::size_t SpinArbiter::select() {
+  // Rejection-sampled binary tournament: draw ceil(log2 N) stochastic
+  // switching bits; retry on overflow so the distribution stays uniform.
+  std::uniform_int_distribution<std::size_t> bit(0, 1);
+  std::size_t value = 0;
+  do {
+    value = 0;
+    for (std::size_t b = 0; b < bits_per_draw_; ++b) {
+      value = (value << 1) | bit(engine_);
+    }
+    if (ledger_ != nullptr) {
+      ledger_->add(energy::Component::kRngDropoutCycle, bits_per_draw_);
+    }
+  } while (value >= fan_out_);
+  last_selection_ = value;
+  return value;
+}
+
+std::vector<std::uint8_t> SpinArbiter::one_hot() const {
+  std::vector<std::uint8_t> v(fan_out_, 0);
+  v[last_selection_] = 1;
+  return v;
+}
+
+void SpinBayesConfig::validate() const {
+  if (instances == 0) {
+    throw std::invalid_argument("SpinBayesConfig: need at least one instance");
+  }
+  if (quant_levels < 2) {
+    throw std::invalid_argument("SpinBayesConfig: quant_levels must be >= 2");
+  }
+  if (quant_lo >= quant_hi) {
+    throw std::invalid_argument("SpinBayesConfig: need quant_lo < quant_hi");
+  }
+}
+
+SpinBayesScaleLayer::SpinBayesScaleLayer(std::vector<nn::Tensor> instances,
+                                         std::uint64_t seed,
+                                         energy::EnergyLedger* ledger)
+    : instances_(std::move(instances)),
+      arbiter_(instances_.empty() ? 1 : instances_.size(), seed, ledger),
+      ledger_(ledger) {
+  if (instances_.empty()) {
+    throw std::invalid_argument("SpinBayesScaleLayer: need at least one instance");
+  }
+  for (const auto& inst : instances_) {
+    if (inst.shape() != instances_.front().shape()) {
+      throw std::invalid_argument("SpinBayesScaleLayer: instance shape mismatch");
+    }
+  }
+}
+
+std::unique_ptr<SpinBayesScaleLayer> SpinBayesScaleLayer::from_posterior(
+    const BayesianScaleLayer& posterior, const SpinBayesConfig& config,
+    energy::EnergyLedger* ledger) {
+  config.validate();
+  // Re-quantize the posterior samples on the SpinBayes grid.
+  BayesScaleConfig quantized_cfg = posterior.config();
+  quantized_cfg.quant_levels = config.quant_levels;
+  quantized_cfg.quant_lo = config.quant_lo;
+  quantized_cfg.quant_hi = config.quant_hi;
+  // A scratch layer shares mu/rho values through sample_scale()'s use of
+  // the posterior's own parameters; we simply call sample_scale with a
+  // dedicated engine and apply the SpinBayes grid ourselves.
+  std::mt19937_64 engine(config.seed);
+  std::vector<nn::Tensor> instances;
+  instances.reserve(config.instances);
+  const float lo = config.quant_lo;
+  const float hi = config.quant_hi;
+  const float step = (hi - lo) / static_cast<float>(config.quant_levels - 1);
+  for (std::size_t n = 0; n < config.instances; ++n) {
+    nn::Tensor s = posterior.sample_scale(engine);
+    for (std::size_t c = 0; c < s.numel(); ++c) {
+      const float clipped = std::min(std::max(s[c], lo), hi);
+      s[c] = lo + std::round((clipped - lo) / step) * step;
+    }
+    instances.push_back(std::move(s));
+  }
+  return std::make_unique<SpinBayesScaleLayer>(std::move(instances), config.seed ^ 0x5b5b,
+                                               ledger);
+}
+
+nn::Tensor SpinBayesScaleLayer::forward(const nn::Tensor& input, bool training) {
+  const std::size_t channels = instances_.front().numel();
+  if (input.rank() < 2 || input.dim(1) != channels) {
+    throw std::invalid_argument("SpinBayesScaleLayer: expected channel axis of size " +
+                                std::to_string(channels));
+  }
+  const bool stochastic = training || mc_mode_;
+  last_selection_ = stochastic ? arbiter_.select() : 0;
+  const nn::Tensor& s = instances_[last_selection_];
+  if (ledger_ != nullptr && stochastic) {
+    // Selected instance is read out of its crossbar.
+    ledger_->add(energy::Component::kXbarCellRead, channels);
+  }
+
+  nn::Tensor out = input;
+  const std::size_t batch = input.dim(0);
+  const std::size_t inner = input.numel() / batch / channels;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      for (std::size_t i = 0; i < inner; ++i) {
+        out[(b * channels + c) * inner + i] *= s[c];
+      }
+    }
+  }
+  return out;
+}
+
+nn::Tensor SpinBayesScaleLayer::backward(const nn::Tensor& grad_output) {
+  // Inference-only layer: propagate through the fixed selected scale.
+  nn::Tensor grad = grad_output;
+  const nn::Tensor& s = instances_[last_selection_];
+  const std::size_t channels = s.numel();
+  const std::size_t batch = grad.dim(0);
+  const std::size_t inner = grad.numel() / batch / channels;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      for (std::size_t i = 0; i < inner; ++i) {
+        grad[(b * channels + c) * inner + i] *= s[c];
+      }
+    }
+  }
+  return grad;
+}
+
+}  // namespace neuspin::core

@@ -1,0 +1,96 @@
+// SpinBayes: Bayesian in-memory approximation with an N-crossbar topology
+// and a spintronic Arbiter (paper §III-B.2, Fig. 3).
+//
+// Idea: rather than sampling a continuous posterior on the fly (expensive
+// on CIM hardware), approximate it *in memory*: materialize N posterior
+// samples of the Bayesian parameters, quantize each to the multi-level
+// MTJ cell grid, and store them as N crossbar instances. At inference,
+// a spintronic stochastic Arbiter generates a random one-hot vector per
+// forward pass that selects which instance participates — Monte-Carlo
+// sampling becomes a crossbar *select*, with latency independent of the
+// parameter count.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/subset_vi.h"
+#include "energy/accountant.h"
+#include "nn/layers.h"
+
+namespace neuspin::core {
+
+/// Spintronic one-hot Arbiter: selects one of N crossbars per pass using
+/// stochastic MTJ switching events as the entropy source.
+class SpinArbiter {
+ public:
+  /// `fan_out` is N, the number of selectable crossbars.
+  SpinArbiter(std::size_t fan_out, std::uint64_t seed,
+              energy::EnergyLedger* ledger = nullptr);
+
+  /// Draw a uniformly distributed selection in [0, fan_out).
+  /// Implemented as a binary tournament over stochastic switching bits
+  /// (ceil(log2 N) device firings per draw), charged to the ledger.
+  [[nodiscard]] std::size_t select();
+
+  /// One-hot vector of the latest selection.
+  [[nodiscard]] std::vector<std::uint8_t> one_hot() const;
+
+  [[nodiscard]] std::size_t fan_out() const { return fan_out_; }
+  [[nodiscard]] std::size_t bits_per_draw() const { return bits_per_draw_; }
+
+ private:
+  std::size_t fan_out_;
+  std::size_t bits_per_draw_;
+  std::size_t last_selection_ = 0;
+  std::mt19937_64 engine_;
+  energy::EnergyLedger* ledger_;
+};
+
+/// Configuration of the SpinBayes scale stage.
+struct SpinBayesConfig {
+  std::size_t instances = 8;     ///< N crossbar copies of the posterior
+  std::size_t quant_levels = 8;  ///< multi-level cell resolution
+  float quant_lo = 0.5f;
+  float quant_hi = 1.5f;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+/// Inference-only layer holding N quantized posterior samples of a scale
+/// vector; the Arbiter picks one instance per stochastic pass.
+///
+/// Built from a trained BayesianScaleLayer via `from_posterior` — this is
+/// the "Bayesian in-memory approximation" step (posterior -> memory-
+/// friendly distribution -> CIM mapping).
+class SpinBayesScaleLayer : public nn::Layer {
+ public:
+  SpinBayesScaleLayer(std::vector<nn::Tensor> instances, std::uint64_t seed,
+                      energy::EnergyLedger* ledger = nullptr);
+
+  /// Materialize N quantized samples from a trained posterior.
+  [[nodiscard]] static std::unique_ptr<SpinBayesScaleLayer> from_posterior(
+      const BayesianScaleLayer& posterior, const SpinBayesConfig& config,
+      energy::EnergyLedger* ledger = nullptr);
+
+  nn::Tensor forward(const nn::Tensor& input, bool training) override;
+  nn::Tensor backward(const nn::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "SpinBayesScale"; }
+
+  void enable_mc(bool on) { mc_mode_ = on; }
+  [[nodiscard]] std::size_t instance_count() const { return instances_.size(); }
+  [[nodiscard]] const nn::Tensor& instance(std::size_t i) const { return instances_[i]; }
+  [[nodiscard]] std::size_t last_selection() const { return last_selection_; }
+  [[nodiscard]] SpinArbiter& arbiter() { return arbiter_; }
+
+ private:
+  std::vector<nn::Tensor> instances_;
+  SpinArbiter arbiter_;
+  bool mc_mode_ = false;
+  std::size_t last_selection_ = 0;
+  energy::EnergyLedger* ledger_;
+};
+
+}  // namespace neuspin::core

@@ -1,0 +1,223 @@
+#include "core/spindrop.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace neuspin::core {
+
+PseudoDropoutSource::PseudoDropoutSource(double p, std::uint64_t seed)
+    : p_(p), engine_(seed) {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::invalid_argument("PseudoDropoutSource: p must lie in [0,1)");
+  }
+}
+
+bool PseudoDropoutSource::sample() { return uniform_(engine_) < p_; }
+
+namespace {
+
+device::SpinRngConfig spin_config_for(double target_p, double delta_shift) {
+  device::SpinRngConfig config;
+  config.target_probability = target_p;
+  if (delta_shift != 0.0) {
+    config.delta_override = config.mtj.delta + delta_shift;
+  }
+  return config;
+}
+
+}  // namespace
+
+SpinDropoutSource::SpinDropoutSource(double target_p, double delta_shift,
+                                     std::uint64_t seed, energy::EnergyLedger* ledger)
+    : rng_(spin_config_for(target_p, delta_shift), seed), ledger_(ledger) {}
+
+bool SpinDropoutSource::sample() {
+  if (ledger_ != nullptr) {
+    ledger_->add(energy::Component::kRngDropoutCycle, 1);
+  }
+  return rng_.next_bit();
+}
+
+double SpinDropoutSource::probability() const { return rng_.realized_probability(); }
+
+SpinDropLayer::SpinDropLayer(DropGranularity granularity,
+                             std::vector<std::unique_ptr<DropoutSource>> sources,
+                             std::uint64_t train_seed)
+    : granularity_(granularity), sources_(std::move(sources)), train_engine_(train_seed) {
+  if (sources_.empty()) {
+    throw std::invalid_argument("SpinDropLayer: need at least one dropout source");
+  }
+  for (const auto& s : sources_) {
+    if (s == nullptr) {
+      throw std::invalid_argument("SpinDropLayer: null dropout source");
+    }
+  }
+}
+
+std::string SpinDropLayer::name() const {
+  switch (granularity_) {
+    case DropGranularity::kNeuron:
+      return "SpinDrop";
+    case DropGranularity::kFeatureMap:
+      return "SpatialSpinDrop";
+    case DropGranularity::kLayer:
+      return "LayerSpinDrop";
+  }
+  return "SpinDrop";
+}
+
+double SpinDropLayer::realized_probability() const {
+  double p = 0.0;
+  for (const auto& s : sources_) {
+    p += s->probability();
+  }
+  return p / static_cast<double>(sources_.size());
+}
+
+std::size_t SpinDropLayer::unit_count(const nn::Shape& shape) const {
+  switch (granularity_) {
+    case DropGranularity::kNeuron: {
+      std::size_t per_sample = 1;
+      for (std::size_t a = 1; a < shape.size(); ++a) {
+        per_sample *= shape[a];
+      }
+      return per_sample;
+    }
+    case DropGranularity::kFeatureMap:
+      if (shape.size() < 2) {
+        throw std::invalid_argument("SpinDropLayer: feature-map dropout needs rank>=2");
+      }
+      return shape[1];
+    case DropGranularity::kLayer:
+      return 1;
+  }
+  return 1;
+}
+
+void SpinDropLayer::apply_unit_mask(nn::Tensor& x,
+                                    const std::vector<float>& unit_mask) const {
+  const nn::Shape& shape = x.shape();
+  const std::size_t batch = shape[0];
+  const std::size_t per_sample = x.numel() / batch;
+  switch (granularity_) {
+    case DropGranularity::kNeuron:
+      for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t u = 0; u < per_sample; ++u) {
+          x[b * per_sample + u] *= unit_mask[u];
+        }
+      }
+      break;
+    case DropGranularity::kFeatureMap: {
+      const std::size_t channels = shape[1];
+      const std::size_t inner = per_sample / channels;
+      for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t c = 0; c < channels; ++c) {
+          const float m = unit_mask[c];
+          if (m == 1.0f) {
+            continue;
+          }
+          for (std::size_t i = 0; i < inner; ++i) {
+            x[(b * channels + c) * inner + i] *= m;
+          }
+        }
+      }
+      break;
+    }
+    case DropGranularity::kLayer:
+      if (unit_mask[0] != 1.0f) {
+        x.fill(0.0f);
+      }
+      break;
+  }
+}
+
+nn::Tensor SpinDropLayer::forward(const nn::Tensor& input, bool training) {
+  const bool active = training || mc_mode_;
+  nn::Tensor out = input;
+  if (!active) {
+    mask_ = nn::Tensor(input.shape(), 1.0f);
+    return out;
+  }
+  if (training) {
+    // Per-sample pseudo masks at the layer's granularity (fast path, the
+    // standard MC-dropout training procedure).
+    const double p = sources_.front()->probability();
+    std::bernoulli_distribution drop(p);
+    mask_ = nn::Tensor(input.shape(), 1.0f);
+    const std::size_t batch = input.dim(0);
+    const std::size_t per_sample = input.numel() / batch;
+    const std::size_t units = unit_count(input.shape());
+    const std::size_t inner = per_sample / units;
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t u = 0; u < units; ++u) {
+        if (drop(train_engine_)) {
+          for (std::size_t i = 0; i < inner; ++i) {
+            mask_[(b * units + u) * inner + i] = 0.0f;
+          }
+        }
+      }
+    }
+    for (std::size_t i = 0; i < out.numel(); ++i) {
+      out[i] *= mask_[i];
+    }
+    return out;
+  }
+  // Bayesian inference: one decision per unit per pass, drawn from the
+  // physical (or pseudo) modules and shared across the batch.
+  const std::size_t units = unit_count(input.shape());
+  if (units > sources_.size() && granularity_ != DropGranularity::kLayer) {
+    throw std::logic_error("SpinDropLayer: " + std::to_string(units) +
+                           " units but only " + std::to_string(sources_.size()) +
+                           " dropout modules");
+  }
+  std::vector<float> unit_mask(units, 1.0f);
+  for (std::size_t u = 0; u < units; ++u) {
+    // Modules are reusable across units when fewer exist (paper notes the
+    // module can be time-multiplexed); index modulo the pool size.
+    if (sources_[u % sources_.size()]->sample()) {
+      unit_mask[u] = 0.0f;
+    }
+  }
+  apply_unit_mask(out, unit_mask);
+  // Cache an element-wise mask so backward stays correct even in mc mode.
+  mask_ = nn::Tensor(input.shape(), 1.0f);
+  apply_unit_mask(mask_, unit_mask);
+  return out;
+}
+
+nn::Tensor SpinDropLayer::backward(const nn::Tensor& grad_output) {
+  nn::Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    grad[i] *= mask_[i];
+  }
+  return grad;
+}
+
+std::unique_ptr<SpinDropLayer> make_pseudo_spindrop(DropGranularity granularity,
+                                                    std::size_t units, double p,
+                                                    std::uint64_t seed) {
+  std::vector<std::unique_ptr<DropoutSource>> sources;
+  sources.reserve(units);
+  for (std::size_t u = 0; u < units; ++u) {
+    sources.push_back(std::make_unique<PseudoDropoutSource>(p, seed + 31 * u + 1));
+  }
+  return std::make_unique<SpinDropLayer>(granularity, std::move(sources), seed ^ 0xabcd);
+}
+
+std::unique_ptr<SpinDropLayer> make_spintronic_spindrop(DropGranularity granularity,
+                                                        std::size_t units, double p,
+                                                        double delta_sigma,
+                                                        std::uint64_t seed,
+                                                        energy::EnergyLedger* ledger) {
+  std::mt19937_64 engine(seed);
+  std::normal_distribution<double> shift(0.0, delta_sigma);
+  std::vector<std::unique_ptr<DropoutSource>> sources;
+  sources.reserve(units);
+  for (std::size_t u = 0; u < units; ++u) {
+    sources.push_back(std::make_unique<SpinDropoutSource>(
+        p, delta_sigma > 0.0 ? shift(engine) : 0.0, seed + 977 * u + 5, ledger));
+  }
+  return std::make_unique<SpinDropLayer>(granularity, std::move(sources), seed ^ 0xdcba);
+}
+
+}  // namespace neuspin::core

@@ -1,0 +1,129 @@
+// SpinDrop and Spatial-SpinDrop layers (paper §III-A.1, §III-A.2).
+//
+// SpinDrop equips each neuron with a stochastic MTJ dropout module: a
+// calibrated sub-critical SET pulse flips the device with probability p,
+// a sense-amp read of the state *is* the dropout signal, and a RESET
+// rearms it. Spatial-SpinDrop replaces per-neuron gating with per-feature-
+// map gating, cutting the module count by ~an order of magnitude and
+// making the module generalize over both conv mapping strategies (Fig. 1).
+//
+// Both layers draw their bits from a DropoutSource, so training can use a
+// fast pseudo-random source while hardware-accurate inference uses
+// device::SpinRng modules whose *realized* probability is shifted by
+// device variation. Generated bits are charged to an EnergyLedger.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "device/rng.h"
+#include "energy/accountant.h"
+#include "nn/layers.h"
+
+namespace neuspin::core {
+
+/// Source of dropout decisions (true = drop).
+class DropoutSource {
+ public:
+  virtual ~DropoutSource() = default;
+  /// Draw one dropout decision.
+  [[nodiscard]] virtual bool sample() = 0;
+  /// Probability the source actually realizes.
+  [[nodiscard]] virtual double probability() const = 0;
+};
+
+/// Ideal Bernoulli source (software training path).
+class PseudoDropoutSource final : public DropoutSource {
+ public:
+  PseudoDropoutSource(double p, std::uint64_t seed);
+  [[nodiscard]] bool sample() override;
+  [[nodiscard]] double probability() const override { return p_; }
+
+ private:
+  double p_;
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};
+
+/// Hardware source backed by one stochastic MTJ module. The realized
+/// probability deviates from the target according to the device's
+/// variation-shifted thermal stability factor.
+class SpinDropoutSource final : public DropoutSource {
+ public:
+  /// `target_p` is the requested dropout probability; `delta_shift` is the
+  /// variation offset applied to the MTJ's thermal stability factor (0 for
+  /// a nominal device); bits are charged to `ledger` when non-null.
+  SpinDropoutSource(double target_p, double delta_shift, std::uint64_t seed,
+                    energy::EnergyLedger* ledger = nullptr);
+
+  [[nodiscard]] bool sample() override;
+  [[nodiscard]] double probability() const override;
+  [[nodiscard]] const device::SpinRng& rng() const { return rng_; }
+
+ private:
+  device::SpinRng rng_;
+  energy::EnergyLedger* ledger_;
+};
+
+/// Dropout granularity of the spin-dropout layer family.
+enum class DropGranularity : std::uint8_t {
+  kNeuron,      ///< SpinDrop: one decision per neuron (per element)
+  kFeatureMap,  ///< Spatial-SpinDrop: one decision per channel
+  kLayer,       ///< one decision for the whole layer (scale-dropout style)
+};
+
+/// Dropout layer whose decisions come from DropoutSources.
+///
+/// Training uses per-sample pseudo-random masks (standard MC-dropout
+/// training); during Bayesian inference (`mc_mode`), masks are drawn once
+/// per forward pass and shared across the batch, matching the hardware,
+/// where one physical module gates one neuron/feature map for the pass.
+/// Dropped units output zero, which on the crossbar is a disabled
+/// word-line pair — no rescaling is applied, matching the binary-NN
+/// convention of the paper.
+class SpinDropLayer : public nn::Layer {
+ public:
+  /// `sources`: one per gated unit (neuron count for kNeuron, channel
+  /// count for kFeatureMap, 1 for kLayer). `train_seed` drives the
+  /// training-path pseudo masks.
+  SpinDropLayer(DropGranularity granularity,
+                std::vector<std::unique_ptr<DropoutSource>> sources,
+                std::uint64_t train_seed);
+
+  nn::Tensor forward(const nn::Tensor& input, bool training) override;
+  nn::Tensor backward(const nn::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override;
+
+  void enable_mc(bool on) { mc_mode_ = on; }
+  [[nodiscard]] bool mc_enabled() const { return mc_mode_; }
+  [[nodiscard]] DropGranularity granularity() const { return granularity_; }
+  [[nodiscard]] std::size_t module_count() const { return sources_.size(); }
+  /// Mean realized probability across this layer's physical modules.
+  [[nodiscard]] double realized_probability() const;
+
+ private:
+  /// Units gated for `shape` (elements, channels or 1).
+  [[nodiscard]] std::size_t unit_count(const nn::Shape& shape) const;
+  /// Broadcast a per-unit mask over the tensor.
+  void apply_unit_mask(nn::Tensor& x, const std::vector<float>& unit_mask) const;
+
+  DropGranularity granularity_;
+  std::vector<std::unique_ptr<DropoutSource>> sources_;
+  std::mt19937_64 train_engine_;
+  bool mc_mode_ = false;
+  nn::Tensor mask_;  ///< element-wise mask cached for backward
+};
+
+/// Build a SpinDropLayer with ideal pseudo sources (training / ablation).
+[[nodiscard]] std::unique_ptr<SpinDropLayer> make_pseudo_spindrop(
+    DropGranularity granularity, std::size_t units, double p, std::uint64_t seed);
+
+/// Build a SpinDropLayer backed by MTJ modules with device-to-device
+/// variation of the thermal stability factor (sigma `delta_sigma`).
+[[nodiscard]] std::unique_ptr<SpinDropLayer> make_spintronic_spindrop(
+    DropGranularity granularity, std::size_t units, double p, double delta_sigma,
+    std::uint64_t seed, energy::EnergyLedger* ledger = nullptr);
+
+}  // namespace neuspin::core

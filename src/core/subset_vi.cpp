@@ -1,0 +1,143 @@
+#include "core/subset_vi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/loss.h"
+
+namespace neuspin::core {
+
+void BayesScaleConfig::validate() const {
+  if (channels == 0) {
+    throw std::invalid_argument("BayesScaleConfig: channels must be positive");
+  }
+  if (prior_sigma <= 0.0f) {
+    throw std::invalid_argument("BayesScaleConfig: prior_sigma must be positive");
+  }
+  if (quant_levels == 1) {
+    throw std::invalid_argument("BayesScaleConfig: quant_levels must be 0 or >= 2");
+  }
+  if (quant_levels >= 2 && quant_lo >= quant_hi) {
+    throw std::invalid_argument("BayesScaleConfig: need quant_lo < quant_hi");
+  }
+}
+
+BayesianScaleLayer::BayesianScaleLayer(const BayesScaleConfig& config,
+                                       energy::EnergyLedger* ledger)
+    : config_(config),
+      mu_({config.channels}, 1.0f),
+      rho_({config.channels}, config.init_rho),
+      mu_grad_({config.channels}),
+      rho_grad_({config.channels}),
+      engine_(config.seed),
+      ledger_(ledger) {
+  config_.validate();
+}
+
+nn::Tensor BayesianScaleLayer::posterior_std() const {
+  nn::Tensor std_({config_.channels});
+  for (std::size_t c = 0; c < config_.channels; ++c) {
+    std_[c] = nn::softplus(rho_[c]);
+  }
+  return std_;
+}
+
+float BayesianScaleLayer::quantize(float s) const {
+  if (config_.quant_levels < 2) {
+    return s;
+  }
+  const float lo = config_.quant_lo;
+  const float hi = config_.quant_hi;
+  const float clipped = std::clamp(s, lo, hi);
+  const float step = (hi - lo) / static_cast<float>(config_.quant_levels - 1);
+  const float level = std::round((clipped - lo) / step);
+  return lo + level * step;
+}
+
+nn::Tensor BayesianScaleLayer::sample_scale(std::mt19937_64& engine) const {
+  std::normal_distribution<float> normal(0.0f, 1.0f);
+  nn::Tensor s({config_.channels});
+  for (std::size_t c = 0; c < config_.channels; ++c) {
+    s[c] = quantize(mu_[c] + nn::softplus(rho_[c]) * normal(engine));
+  }
+  return s;
+}
+
+nn::Tensor BayesianScaleLayer::forward(const nn::Tensor& input, bool training) {
+  if (input.rank() < 2 || input.dim(1) != config_.channels) {
+    throw std::invalid_argument("BayesianScaleLayer: expected channel axis of size " +
+                                std::to_string(config_.channels));
+  }
+  input_cache_ = input;
+  const bool stochastic = training || mc_mode_;
+  deterministic_pass_ = !stochastic;
+
+  scale_cache_ = nn::Tensor({config_.channels});
+  eps_cache_ = nn::Tensor({config_.channels});
+  std::normal_distribution<float> normal(0.0f, 1.0f);
+  for (std::size_t c = 0; c < config_.channels; ++c) {
+    if (stochastic) {
+      eps_cache_[c] = normal(engine_);
+      scale_cache_[c] = mu_[c] + nn::softplus(rho_[c]) * eps_cache_[c];
+      // Quantize only outside training: the multi-level grid is a
+      // deployment constraint, while training needs smooth gradients.
+      if (!training) {
+        scale_cache_[c] = quantize(scale_cache_[c]);
+      }
+    } else {
+      eps_cache_[c] = 0.0f;
+      scale_cache_[c] = mu_[c];
+    }
+  }
+  if (ledger_ != nullptr && stochastic) {
+    // One Gaussian sample per channel via sum-of-Bernoullis on the SOT
+    // stochastic devices: 8 switching trials per sample.
+    ledger_->add(energy::Component::kRngDropoutCycle, 8 * config_.channels);
+    // Posterior parameters fetched from the scale crossbar.
+    ledger_->add(energy::Component::kXbarCellRead, 2 * config_.channels);
+    ledger_->add(energy::Component::kDigitalMult, config_.channels);
+  }
+
+  nn::Tensor out = input;
+  const std::size_t batch = input.dim(0);
+  const std::size_t inner = input.numel() / batch / config_.channels;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < config_.channels; ++c) {
+      const float s = scale_cache_[c];
+      for (std::size_t i = 0; i < inner; ++i) {
+        out[(b * config_.channels + c) * inner + i] *= s;
+      }
+    }
+  }
+  return out;
+}
+
+nn::Tensor BayesianScaleLayer::backward(const nn::Tensor& grad_output) {
+  nn::Tensor grad = grad_output;
+  const std::size_t batch = grad.dim(0);
+  const std::size_t channels = config_.channels;
+  const std::size_t inner = grad.numel() / batch / channels;
+  for (std::size_t c = 0; c < channels; ++c) {
+    float ds = 0.0f;  // d(loss)/d(scale_c)
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t i = 0; i < inner; ++i) {
+        const std::size_t idx = (b * channels + c) * inner + i;
+        ds += grad_output[idx] * input_cache_[idx];
+        grad[idx] *= scale_cache_[c];
+      }
+    }
+    // Reparameterization: s = mu + softplus(rho) * eps.
+    mu_grad_[c] += ds;
+    if (!deterministic_pass_) {
+      rho_grad_[c] += ds * eps_cache_[c] * nn::softplus_grad(rho_[c]);
+    }
+  }
+  return grad;
+}
+
+std::vector<nn::ParamRef> BayesianScaleLayer::parameters() {
+  return {{&mu_, &mu_grad_}, {&rho_, &rho_grad_}};
+}
+
+}  // namespace neuspin::core

@@ -1,0 +1,87 @@
+// Bayesian Sub-Set Parameter Inference (paper §III-B.1).
+//
+// Instead of a distribution over every weight (intractable on binary CIM
+// hardware and 2-10x more memory), only a *small* parameter group — the
+// per-channel scale vector — receives the Bayesian treatment. Weights stay
+// deterministic (binary, learned by maximum likelihood); the scale vector
+// gets a diagonal Gaussian variational posterior q(s) = N(mu, softplus(rho)^2)
+// trained with the reparameterization trick against a N(1, sigma_p^2)
+// prior (centered at one: scales multiply binary +-1 weights).
+//
+// Hardware realization: a second, small crossbar of multi-level MTJ cells
+// stores the posterior parameters; SOT stochastic switching provides the
+// Gaussian samples (sum-of-Bernoullis). The layer optionally quantizes
+// sampled scales to the multi-level cell's grid, which is also the entry
+// point for the SpinBayes in-memory approximation.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "energy/accountant.h"
+#include "nn/layers.h"
+
+namespace neuspin::core {
+
+/// Configuration of one Bayesian scale layer.
+struct BayesScaleConfig {
+  std::size_t channels = 0;
+  float prior_sigma = 0.1f;     ///< prior N(1, prior_sigma^2)
+  float init_rho = -3.0f;       ///< softplus(-3) ~ 0.049 initial posterior std
+  /// Quantization levels for the multi-level cell (0 = no quantization).
+  std::size_t quant_levels = 0;
+  /// Scale range the quantizer covers.
+  float quant_lo = 0.5f;
+  float quant_hi = 1.5f;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+/// out = x * s with s ~ q(s) sampled fresh every stochastic pass.
+class BayesianScaleLayer : public nn::Layer {
+ public:
+  explicit BayesianScaleLayer(const BayesScaleConfig& config,
+                              energy::EnergyLedger* ledger = nullptr);
+
+  nn::Tensor forward(const nn::Tensor& input, bool training) override;
+  nn::Tensor backward(const nn::Tensor& grad_output) override;
+  std::vector<nn::ParamRef> parameters() override;
+  [[nodiscard]] std::string name() const override { return "BayesianScale"; }
+
+  void enable_mc(bool on) { mc_mode_ = on; }
+
+  [[nodiscard]] nn::Tensor& mu() { return mu_; }
+  [[nodiscard]] nn::Tensor& rho() { return rho_; }
+  [[nodiscard]] nn::Tensor& mu_grad() { return mu_grad_; }
+  [[nodiscard]] nn::Tensor& rho_grad() { return rho_grad_; }
+  [[nodiscard]] const BayesScaleConfig& config() const { return config_; }
+
+  /// Posterior standard deviation per channel (softplus(rho)).
+  [[nodiscard]] nn::Tensor posterior_std() const;
+
+  /// Draw one posterior sample of the scale vector (quantized if the
+  /// config enables it) without running a forward pass. Used by SpinBayes
+  /// to materialize its crossbar instances.
+  [[nodiscard]] nn::Tensor sample_scale(std::mt19937_64& engine) const;
+
+  /// Quantize a scale value to the configured multi-level grid.
+  [[nodiscard]] float quantize(float s) const;
+
+ private:
+  BayesScaleConfig config_;
+  nn::Tensor mu_;
+  nn::Tensor rho_;
+  nn::Tensor mu_grad_;
+  nn::Tensor rho_grad_;
+  std::mt19937_64 engine_;
+  bool mc_mode_ = false;
+  // Caches for backward.
+  nn::Tensor input_cache_;
+  nn::Tensor eps_cache_;    ///< the reparameterization noise of this pass
+  nn::Tensor scale_cache_;  ///< the sampled scale actually applied
+  bool deterministic_pass_ = false;
+  energy::EnergyLedger* ledger_;
+};
+
+}  // namespace neuspin::core

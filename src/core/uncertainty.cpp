@@ -1,0 +1,208 @@
+#include "core/uncertainty.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace neuspin::core {
+
+namespace {
+
+float entropy_of_row(const nn::Tensor& probs, std::size_t row) {
+  float h = 0.0f;
+  for (std::size_t j = 0; j < probs.dim(1); ++j) {
+    const float p = probs.at(row, j);
+    if (p > 1e-12f) {
+      h -= p * std::log(p);
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<float> predictive_entropy(const nn::Tensor& probs) {
+  if (probs.rank() != 2) {
+    throw std::invalid_argument("predictive_entropy: expected (batch x classes)");
+  }
+  std::vector<float> h(probs.dim(0));
+  for (std::size_t i = 0; i < probs.dim(0); ++i) {
+    h[i] = entropy_of_row(probs, i);
+  }
+  return h;
+}
+
+std::vector<float> mutual_information(const std::vector<nn::Tensor>& member_probs) {
+  if (member_probs.empty()) {
+    throw std::invalid_argument("mutual_information: need at least one member");
+  }
+  const std::size_t batch = member_probs.front().dim(0);
+  const std::size_t classes = member_probs.front().dim(1);
+  nn::Tensor mean({batch, classes});
+  for (const auto& p : member_probs) {
+    if (p.shape() != mean.shape()) {
+      throw std::invalid_argument("mutual_information: member shape mismatch");
+    }
+    mean += p;
+  }
+  mean *= 1.0f / static_cast<float>(member_probs.size());
+
+  std::vector<float> mi = predictive_entropy(mean);
+  for (std::size_t i = 0; i < batch; ++i) {
+    float expected_h = 0.0f;
+    for (const auto& p : member_probs) {
+      expected_h += entropy_of_row(p, i);
+    }
+    mi[i] -= expected_h / static_cast<float>(member_probs.size());
+    mi[i] = std::max(mi[i], 0.0f);  // numerical floor
+  }
+  return mi;
+}
+
+float negative_log_likelihood(const nn::Tensor& probs,
+                              const std::vector<std::size_t>& labels) {
+  if (probs.dim(0) != labels.size()) {
+    throw std::invalid_argument("negative_log_likelihood: batch mismatch");
+  }
+  float nll = 0.0f;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    nll -= std::log(std::max(probs.at(i, labels[i]), 1e-12f));
+  }
+  return nll / static_cast<float>(labels.size());
+}
+
+float brier_score(const nn::Tensor& probs, const std::vector<std::size_t>& labels) {
+  if (probs.dim(0) != labels.size()) {
+    throw std::invalid_argument("brier_score: batch mismatch");
+  }
+  float score = 0.0f;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    for (std::size_t j = 0; j < probs.dim(1); ++j) {
+      const float target = j == labels[i] ? 1.0f : 0.0f;
+      const float d = probs.at(i, j) - target;
+      score += d * d;
+    }
+  }
+  return score / static_cast<float>(labels.size());
+}
+
+float expected_calibration_error(const nn::Tensor& probs,
+                                 const std::vector<std::size_t>& labels,
+                                 std::size_t bins) {
+  if (bins == 0) {
+    throw std::invalid_argument("expected_calibration_error: bins must be positive");
+  }
+  if (probs.dim(0) != labels.size()) {
+    throw std::invalid_argument("expected_calibration_error: batch mismatch");
+  }
+  std::vector<float> bin_conf(bins, 0.0f);
+  std::vector<float> bin_acc(bins, 0.0f);
+  std::vector<std::size_t> bin_count(bins, 0);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < probs.dim(1); ++j) {
+      if (probs.at(i, j) > probs.at(i, best)) {
+        best = j;
+      }
+    }
+    const float conf = probs.at(i, best);
+    auto bin = static_cast<std::size_t>(conf * static_cast<float>(bins));
+    bin = std::min(bin, bins - 1);
+    bin_conf[bin] += conf;
+    bin_acc[bin] += best == labels[i] ? 1.0f : 0.0f;
+    ++bin_count[bin];
+  }
+  float ece = 0.0f;
+  const float n = static_cast<float>(labels.size());
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (bin_count[b] == 0) {
+      continue;
+    }
+    const float count = static_cast<float>(bin_count[b]);
+    ece += count / n * std::abs(bin_acc[b] / count - bin_conf[b] / count);
+  }
+  return ece;
+}
+
+float accuracy(const nn::Tensor& probs, const std::vector<std::size_t>& labels) {
+  if (probs.dim(0) != labels.size()) {
+    throw std::invalid_argument("accuracy: batch mismatch");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < probs.dim(1); ++j) {
+      if (probs.at(i, j) > probs.at(i, best)) {
+        best = j;
+      }
+    }
+    if (best == labels[i]) {
+      ++correct;
+    }
+  }
+  return static_cast<float>(correct) / static_cast<float>(labels.size());
+}
+
+float auroc(const std::vector<float>& score, const std::vector<bool>& is_ood) {
+  if (score.size() != is_ood.size() || score.empty()) {
+    throw std::invalid_argument("auroc: size mismatch or empty input");
+  }
+  // Rank-sum (Mann-Whitney U) formulation with average ranks for ties.
+  std::vector<std::size_t> order(score.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return score[a] < score[b]; });
+
+  std::size_t positives = 0;
+  std::size_t negatives = 0;
+  for (bool o : is_ood) {
+    (o ? positives : negatives)++;
+  }
+  if (positives == 0 || negatives == 0) {
+    throw std::invalid_argument("auroc: need both OOD and in-distribution samples");
+  }
+
+  double rank_sum_pos = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && score[order[j + 1]] == score[order[i]]) {
+      ++j;
+    }
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      if (is_ood[order[k]]) {
+        rank_sum_pos += avg_rank;
+      }
+    }
+    i = j + 1;
+  }
+  const double u = rank_sum_pos - static_cast<double>(positives) *
+                                      (static_cast<double>(positives) + 1.0) / 2.0;
+  return static_cast<float>(u / (static_cast<double>(positives) *
+                                 static_cast<double>(negatives)));
+}
+
+float detection_rate(const std::vector<float>& id_scores,
+                     const std::vector<float>& ood_scores, float quantile) {
+  if (id_scores.empty() || ood_scores.empty()) {
+    throw std::invalid_argument("detection_rate: empty score vector");
+  }
+  if (quantile <= 0.0f || quantile >= 1.0f) {
+    throw std::invalid_argument("detection_rate: quantile must lie in (0,1)");
+  }
+  std::vector<float> sorted = id_scores;
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(quantile * static_cast<float>(sorted.size()));
+  const float threshold = sorted[std::min(idx, sorted.size() - 1)];
+  std::size_t detected = 0;
+  for (float s : ood_scores) {
+    if (s > threshold) {
+      ++detected;
+    }
+  }
+  return static_cast<float>(detected) / static_cast<float>(ood_scores.size());
+}
+
+}  // namespace neuspin::core

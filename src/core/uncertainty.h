@@ -1,0 +1,52 @@
+// Uncertainty quantification metrics (paper §II-B and the OOD / corrupted
+// data evaluations throughout §III).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace neuspin::core {
+
+/// Per-sample predictive entropy of (batch x classes) probabilities, nats.
+[[nodiscard]] std::vector<float> predictive_entropy(const nn::Tensor& probs);
+
+/// Mutual information between prediction and posterior (epistemic
+/// uncertainty): H(mean_probs) - mean_t H(probs_t). `member_probs` holds T
+/// tensors of (batch x classes).
+[[nodiscard]] std::vector<float> mutual_information(
+    const std::vector<nn::Tensor>& member_probs);
+
+/// Negative log-likelihood of labels under predicted probabilities,
+/// averaged over the batch.
+[[nodiscard]] float negative_log_likelihood(const nn::Tensor& probs,
+                                            const std::vector<std::size_t>& labels);
+
+/// Brier score (mean squared error against one-hot labels).
+[[nodiscard]] float brier_score(const nn::Tensor& probs,
+                                const std::vector<std::size_t>& labels);
+
+/// Expected calibration error with `bins` equal-width confidence bins.
+[[nodiscard]] float expected_calibration_error(const nn::Tensor& probs,
+                                               const std::vector<std::size_t>& labels,
+                                               std::size_t bins = 10);
+
+/// Classification accuracy of argmax predictions.
+[[nodiscard]] float accuracy(const nn::Tensor& probs,
+                             const std::vector<std::size_t>& labels);
+
+/// AUROC of an OOD detector that scores each sample with `score`
+/// (higher = more OOD). `is_ood[i]` marks ground truth.
+[[nodiscard]] float auroc(const std::vector<float>& score,
+                          const std::vector<bool>& is_ood);
+
+/// OOD detection rate at a threshold calibrated so that `quantile` of the
+/// in-distribution scores fall below it (the paper's "detects up to X% of
+/// OOD samples" protocol). Returns the fraction of OOD samples whose score
+/// exceeds the threshold.
+[[nodiscard]] float detection_rate(const std::vector<float>& id_scores,
+                                   const std::vector<float>& ood_scores,
+                                   float quantile = 0.95f);
+
+}  // namespace neuspin::core

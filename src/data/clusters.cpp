@@ -1,0 +1,78 @@
+#include "data/clusters.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace neuspin::data {
+
+nn::Dataset make_gaussian_clusters(const ClusterConfig& config, std::uint64_t seed) {
+  if (config.classes == 0 || config.dimensions == 0 || config.samples_per_class == 0) {
+    throw std::invalid_argument("make_gaussian_clusters: counts must be positive");
+  }
+  std::mt19937_64 engine(seed);
+  std::normal_distribution<float> normal(0.0f, 1.0f);
+
+  // Class centers: uniform directions on the hypersphere, fixed radius.
+  std::vector<std::vector<float>> centers(config.classes,
+                                          std::vector<float>(config.dimensions));
+  for (auto& center : centers) {
+    float norm = 0.0f;
+    for (auto& c : center) {
+      c = normal(engine);
+      norm += c * c;
+    }
+    norm = std::sqrt(norm) + 1e-9f;
+    for (auto& c : center) {
+      c = c / norm * config.center_spread;
+    }
+  }
+
+  const std::size_t n = config.classes * config.samples_per_class;
+  nn::Dataset data;
+  data.inputs = nn::Tensor({n, config.dimensions});
+  data.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cls = i % config.classes;  // class-interleaved
+    data.labels[i] = cls;
+    for (std::size_t d = 0; d < config.dimensions; ++d) {
+      data.inputs.at(i, d) = centers[cls][d] + config.cluster_sigma * normal(engine);
+    }
+  }
+  return data;
+}
+
+nn::Dataset make_two_moons(std::size_t samples_per_class, float noise,
+                           std::uint64_t seed) {
+  if (samples_per_class == 0) {
+    throw std::invalid_argument("make_two_moons: samples_per_class must be positive");
+  }
+  std::mt19937_64 engine(seed);
+  std::uniform_real_distribution<float> u01(0.0f, 1.0f);
+  std::normal_distribution<float> jitter(0.0f, noise);
+
+  const std::size_t n = 2 * samples_per_class;
+  nn::Dataset data;
+  data.inputs = nn::Tensor({n, 2});
+  data.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cls = i % 2;
+    const float t = u01(engine) * 3.14159265f;
+    float x;
+    float y;
+    if (cls == 0) {
+      x = std::cos(t);
+      y = std::sin(t);
+    } else {
+      x = 1.0f - std::cos(t);
+      y = 0.5f - std::sin(t);
+    }
+    data.inputs.at(i, 0) = x + jitter(engine);
+    data.inputs.at(i, 1) = y + jitter(engine);
+    data.labels[i] = cls;
+  }
+  return data;
+}
+
+}  // namespace neuspin::data

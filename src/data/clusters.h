@@ -1,0 +1,32 @@
+// Low-dimensional synthetic classification tasks: Gaussian mixtures (used
+// for the wearable-vitals example and the 100-class SpinBayes experiment)
+// and the classic two-moons shape.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/model.h"
+#include "nn/tensor.h"
+
+namespace neuspin::data {
+
+/// Gaussian-mixture generation knobs.
+struct ClusterConfig {
+  std::size_t classes = 4;
+  std::size_t dimensions = 8;
+  std::size_t samples_per_class = 100;
+  float center_spread = 4.0f;   ///< radius of the hypersphere centers live on
+  float cluster_sigma = 0.8f;   ///< within-class standard deviation
+};
+
+/// Generate `classes` Gaussian blobs with centers sampled uniformly on a
+/// hypersphere of radius `center_spread`. Samples are class-interleaved.
+/// Inputs have shape (N x dimensions).
+[[nodiscard]] nn::Dataset make_gaussian_clusters(const ClusterConfig& config,
+                                                 std::uint64_t seed);
+
+/// Classic two-moons binary task in 2D with additive Gaussian noise.
+[[nodiscard]] nn::Dataset make_two_moons(std::size_t samples_per_class, float noise,
+                                         std::uint64_t seed);
+
+}  // namespace neuspin::data

@@ -1,0 +1,166 @@
+#include "data/corruption.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace neuspin::data {
+
+std::string corruption_name(CorruptionKind kind) {
+  switch (kind) {
+    case CorruptionKind::kGaussianNoise:
+      return "gaussian_noise";
+    case CorruptionKind::kSaltPepper:
+      return "salt_pepper";
+    case CorruptionKind::kBlur:
+      return "blur";
+    case CorruptionKind::kRotation:
+      return "rotation";
+  }
+  return "unknown";
+}
+
+const std::vector<CorruptionKind>& all_corruptions() {
+  static const std::vector<CorruptionKind> kAll = {
+      CorruptionKind::kGaussianNoise, CorruptionKind::kSaltPepper,
+      CorruptionKind::kBlur, CorruptionKind::kRotation};
+  return kAll;
+}
+
+namespace {
+
+void apply_gaussian_noise(nn::Tensor& images, float severity, std::mt19937_64& engine) {
+  std::normal_distribution<float> noise(0.0f, 0.5f * severity);
+  for (std::size_t i = 0; i < images.numel(); ++i) {
+    images[i] = std::clamp(images[i] + noise(engine), 0.0f, 1.0f);
+  }
+}
+
+void apply_salt_pepper(nn::Tensor& images, float severity, std::mt19937_64& engine) {
+  std::uniform_real_distribution<float> u01(0.0f, 1.0f);
+  const float p = 0.3f * severity;
+  for (std::size_t i = 0; i < images.numel(); ++i) {
+    const float u = u01(engine);
+    if (u < p * 0.5f) {
+      images[i] = 0.0f;
+    } else if (u < p) {
+      images[i] = 1.0f;
+    }
+  }
+}
+
+void apply_blur(nn::Tensor& images, float severity) {
+  const int passes = static_cast<int>(std::round(3.0f * severity));
+  const std::size_t n = images.dim(0);
+  const std::size_t c = images.dim(1);
+  const std::size_t h = images.dim(2);
+  const std::size_t w = images.dim(3);
+  for (int pass = 0; pass < passes; ++pass) {
+    nn::Tensor source = images;
+    for (std::size_t b = 0; b < n; ++b) {
+      for (std::size_t ch = 0; ch < c; ++ch) {
+        for (std::size_t y = 0; y < h; ++y) {
+          for (std::size_t x = 0; x < w; ++x) {
+            float acc = 0.0f;
+            int count = 0;
+            for (int dy = -1; dy <= 1; ++dy) {
+              for (int dx = -1; dx <= 1; ++dx) {
+                const int yy = static_cast<int>(y) + dy;
+                const int xx = static_cast<int>(x) + dx;
+                if (yy < 0 || xx < 0 || yy >= static_cast<int>(h) ||
+                    xx >= static_cast<int>(w)) {
+                  continue;
+                }
+                acc += source.at4(b, ch, static_cast<std::size_t>(yy),
+                                  static_cast<std::size_t>(xx));
+                ++count;
+              }
+            }
+            images.at4(b, ch, y, x) = acc / static_cast<float>(count);
+          }
+        }
+      }
+    }
+  }
+}
+
+void apply_rotation(nn::Tensor& images, float degrees) {
+  const std::size_t n = images.dim(0);
+  const std::size_t c = images.dim(1);
+  const std::size_t h = images.dim(2);
+  const std::size_t w = images.dim(3);
+  const float angle = degrees * 3.14159265f / 180.0f;
+  const float cos_a = std::cos(angle);
+  const float sin_a = std::sin(angle);
+  const float cy = static_cast<float>(h) / 2.0f - 0.5f;
+  const float cx = static_cast<float>(w) / 2.0f - 0.5f;
+
+  nn::Tensor source = images;
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+          // Inverse rotation with bilinear sampling.
+          const float oy = static_cast<float>(y) - cy;
+          const float ox = static_cast<float>(x) - cx;
+          const float sy = cos_a * oy - sin_a * ox + cy;
+          const float sx = sin_a * oy + cos_a * ox + cx;
+          const int y0 = static_cast<int>(std::floor(sy));
+          const int x0 = static_cast<int>(std::floor(sx));
+          const float fy = sy - static_cast<float>(y0);
+          const float fx = sx - static_cast<float>(x0);
+          auto sample = [&](int yy, int xx) -> float {
+            if (yy < 0 || xx < 0 || yy >= static_cast<int>(h) ||
+                xx >= static_cast<int>(w)) {
+              return 0.0f;
+            }
+            return source.at4(b, ch, static_cast<std::size_t>(yy),
+                              static_cast<std::size_t>(xx));
+          };
+          const float v = (1.0f - fy) * ((1.0f - fx) * sample(y0, x0) +
+                                         fx * sample(y0, x0 + 1)) +
+                          fy * ((1.0f - fx) * sample(y0 + 1, x0) +
+                                fx * sample(y0 + 1, x0 + 1));
+          images.at4(b, ch, y, x) = v;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+nn::Dataset corrupt(const nn::Dataset& images, CorruptionKind kind, float severity,
+                    std::uint64_t seed) {
+  if (images.inputs.rank() != 4) {
+    throw std::invalid_argument("corrupt: expected NCHW images");
+  }
+  if (severity < 0.0f || severity > 1.0f) {
+    throw std::invalid_argument("corrupt: severity must lie in [0,1]");
+  }
+  nn::Dataset out;
+  out.inputs = images.inputs;
+  out.labels = images.labels;
+  if (severity == 0.0f) {
+    return out;
+  }
+  std::mt19937_64 engine(seed);
+  switch (kind) {
+    case CorruptionKind::kGaussianNoise:
+      apply_gaussian_noise(out.inputs, severity, engine);
+      break;
+    case CorruptionKind::kSaltPepper:
+      apply_salt_pepper(out.inputs, severity, engine);
+      break;
+    case CorruptionKind::kBlur:
+      apply_blur(out.inputs, severity);
+      break;
+    case CorruptionKind::kRotation:
+      apply_rotation(out.inputs, 45.0f * severity);
+      break;
+  }
+  return out;
+}
+
+}  // namespace neuspin::data

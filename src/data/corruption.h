@@ -1,0 +1,35 @@
+// Input-corruption suite for robustness experiments (paper §IV takeaway 2:
+// "Improvement in Inference Accuracy for Corrupted Data").
+//
+// Each corruption takes an NCHW image dataset and a severity in [0, 1];
+// severity 0 is the identity. Severities map to physically meaningful
+// ranges (noise sigma, blur passes, rotation angle) so sweeps are
+// comparable across corruption kinds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace neuspin::data {
+
+/// Kinds of input corruption.
+enum class CorruptionKind : std::uint8_t {
+  kGaussianNoise,   ///< additive pixel noise, sigma = 0.5 * severity
+  kSaltPepper,      ///< pixel flip probability = 0.3 * severity
+  kBlur,            ///< repeated 3x3 box blur, passes = round(3 * severity)
+  kRotation,        ///< bilinear rotation by 45deg * severity
+};
+
+[[nodiscard]] std::string corruption_name(CorruptionKind kind);
+
+/// All corruption kinds, for sweeps.
+[[nodiscard]] const std::vector<CorruptionKind>& all_corruptions();
+
+/// Apply a corruption at the given severity. Inputs must be NCHW.
+[[nodiscard]] nn::Dataset corrupt(const nn::Dataset& images, CorruptionKind kind,
+                                  float severity, std::uint64_t seed);
+
+}  // namespace neuspin::data

@@ -1,0 +1,126 @@
+#include "data/ood.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "data/corruption.h"
+
+namespace neuspin::data {
+
+std::string ood_name(OodKind kind) {
+  switch (kind) {
+    case OodKind::kUniformNoise:
+      return "uniform_noise";
+    case OodKind::kRandomRotation:
+      return "random_rotation";
+    case OodKind::kDisjointPatterns:
+      return "disjoint_patterns";
+  }
+  return "unknown";
+}
+
+const std::vector<OodKind>& all_ood_kinds() {
+  static const std::vector<OodKind> kAll = {
+      OodKind::kUniformNoise, OodKind::kRandomRotation, OodKind::kDisjointPatterns};
+  return kAll;
+}
+
+namespace {
+
+nn::Dataset make_uniform_noise(const nn::Shape& shape, std::size_t count,
+                               std::uint64_t seed) {
+  nn::Shape out_shape = shape;
+  out_shape[0] = count;
+  std::mt19937_64 engine(seed);
+  nn::Dataset out;
+  out.inputs = nn::Tensor::uniform(out_shape, 0.0f, 1.0f, engine);
+  out.labels.assign(count, 0);
+  return out;
+}
+
+/// Procedural texture patches: checkerboards, stripes and radial rings at
+/// random phase/frequency — clearly structured, clearly not digits.
+nn::Dataset make_patterns(const nn::Shape& shape, std::size_t count,
+                          std::uint64_t seed) {
+  nn::Shape out_shape = shape;
+  out_shape[0] = count;
+  nn::Dataset out;
+  out.inputs = nn::Tensor(out_shape);
+  out.labels.assign(count, 0);
+
+  std::mt19937_64 engine(seed);
+  std::uniform_real_distribution<float> u01(0.0f, 1.0f);
+  const std::size_t c = out_shape[1];
+  const std::size_t h = out_shape[2];
+  const std::size_t w = out_shape[3];
+  for (std::size_t i = 0; i < count; ++i) {
+    const int family = static_cast<int>(u01(engine) * 3.0f);
+    const float freq = 0.3f + u01(engine) * 0.8f;
+    const float phase = u01(engine) * 6.28f;
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+          float v = 0.0f;
+          const float fy = static_cast<float>(y);
+          const float fx = static_cast<float>(x);
+          switch (family) {
+            case 0:  // checkerboard
+              v = (std::sin(freq * fy + phase) * std::sin(freq * fx + phase)) > 0.0f
+                      ? 1.0f
+                      : 0.0f;
+              break;
+            case 1:  // diagonal stripes
+              v = 0.5f + 0.5f * std::sin(freq * (fy + fx) + phase);
+              break;
+            default: {  // radial rings
+              const float cy = static_cast<float>(h) / 2.0f;
+              const float cx = static_cast<float>(w) / 2.0f;
+              const float r = std::hypot(fy - cy, fx - cx);
+              v = 0.5f + 0.5f * std::sin(freq * r * 2.0f + phase);
+              break;
+            }
+          }
+          out.inputs.at4(i, ch, y, x) = v;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+nn::Dataset make_ood(const nn::Dataset& reference, OodKind kind, std::size_t count,
+                     std::uint64_t seed) {
+  if (reference.inputs.rank() != 4) {
+    throw std::invalid_argument("make_ood: expected NCHW reference dataset");
+  }
+  if (count == 0 || count > reference.size()) {
+    throw std::invalid_argument("make_ood: count must lie in [1, reference size]");
+  }
+  switch (kind) {
+    case OodKind::kUniformNoise:
+      return make_uniform_noise(reference.inputs.shape(), count, seed);
+    case OodKind::kRandomRotation: {
+      // Heavy rotation (90..180 deg) of real in-distribution content.
+      auto [subset, labels] = reference.batch(0, count);
+      nn::Dataset base{std::move(subset), std::move(labels)};
+      std::mt19937_64 engine(seed);
+      std::uniform_real_distribution<float> deg(90.0f, 180.0f);
+      // corrupt() maps severity 1.0 -> 45deg, so rotate 2-4 times.
+      nn::Dataset rotated = base;
+      const int passes = 2 + static_cast<int>(deg(engine) / 90.0f);
+      for (int p = 0; p < passes; ++p) {
+        rotated = corrupt(rotated, CorruptionKind::kRotation, 1.0f, seed + p);
+      }
+      rotated.labels.assign(count, 0);
+      return rotated;
+    }
+    case OodKind::kDisjointPatterns:
+      return make_patterns(reference.inputs.shape(), count, seed);
+  }
+  throw std::logic_error("make_ood: unhandled kind");
+}
+
+}  // namespace neuspin::data

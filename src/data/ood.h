@@ -1,0 +1,36 @@
+// Out-of-distribution suites (paper §IV takeaway 1: "Effective Detection
+// of Out-of-Distribution Data", and §III-A.4's uniform-noise / random-
+// rotation OOD experiments).
+//
+// Three suites mirror the paper's evaluation protocol:
+//   * uniform noise  — inputs carry no class structure at all
+//   * random rotation — in-distribution content, heavily rotated (90-180deg)
+//   * disjoint patterns — a different synthetic "dataset" (textures) in the
+//     same input space, the analogue of evaluating MNIST-trained models on
+//     FashionMNIST
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace neuspin::data {
+
+/// Kind of OOD suite.
+enum class OodKind : std::uint8_t {
+  kUniformNoise,
+  kRandomRotation,
+  kDisjointPatterns,
+};
+
+[[nodiscard]] std::string ood_name(OodKind kind);
+[[nodiscard]] const std::vector<OodKind>& all_ood_kinds();
+
+/// Build an OOD set of `count` samples shaped like `reference` inputs
+/// (NCHW). Labels are meaningless for OOD data and set to 0.
+[[nodiscard]] nn::Dataset make_ood(const nn::Dataset& reference, OodKind kind,
+                                   std::size_t count, std::uint64_t seed);
+
+}  // namespace neuspin::data

@@ -1,0 +1,166 @@
+#include "data/strokes.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace neuspin::data {
+
+namespace {
+
+/// A line segment in normalized canvas coordinates ([0,1]^2, y down).
+struct Segment {
+  float x0, y0, x1, y1;
+};
+
+/// Stylized digit skeletons. Coordinates follow a 7-segment-like frame
+/// with a few diagonals; tuned so classes are distinct but share strokes
+/// (8 contains 0's loop, 7 shares 1's vertical, etc.) — the overlap is what
+/// makes the task non-trivial.
+const std::vector<Segment>& digit_segments(std::size_t digit) {
+  static const std::array<std::vector<Segment>, kStrokeClassCount> kDigits = {{
+      // 0: rounded rectangle
+      {{0.25f, 0.15f, 0.75f, 0.15f}, {0.75f, 0.15f, 0.75f, 0.85f},
+       {0.75f, 0.85f, 0.25f, 0.85f}, {0.25f, 0.85f, 0.25f, 0.15f}},
+      // 1: vertical bar with flag
+      {{0.55f, 0.10f, 0.55f, 0.90f}, {0.40f, 0.25f, 0.55f, 0.10f}},
+      // 2: top bar, right upper, middle, left lower, bottom bar
+      {{0.25f, 0.20f, 0.75f, 0.20f}, {0.75f, 0.20f, 0.75f, 0.50f},
+       {0.75f, 0.50f, 0.25f, 0.50f}, {0.25f, 0.50f, 0.25f, 0.85f},
+       {0.25f, 0.85f, 0.75f, 0.85f}},
+      // 3: top, middle, bottom bars with right spine
+      {{0.25f, 0.15f, 0.75f, 0.15f}, {0.30f, 0.50f, 0.75f, 0.50f},
+       {0.25f, 0.85f, 0.75f, 0.85f}, {0.75f, 0.15f, 0.75f, 0.85f}},
+      // 4: left upper, middle, right full
+      {{0.30f, 0.10f, 0.30f, 0.55f}, {0.30f, 0.55f, 0.78f, 0.55f},
+       {0.65f, 0.10f, 0.65f, 0.90f}},
+      // 5: top bar, left upper, middle, right lower, bottom bar
+      {{0.75f, 0.15f, 0.25f, 0.15f}, {0.25f, 0.15f, 0.25f, 0.50f},
+       {0.25f, 0.50f, 0.75f, 0.50f}, {0.75f, 0.50f, 0.75f, 0.85f},
+       {0.75f, 0.85f, 0.25f, 0.85f}},
+      // 6: like 5 plus left lower spine
+      {{0.72f, 0.15f, 0.28f, 0.15f}, {0.28f, 0.15f, 0.28f, 0.85f},
+       {0.28f, 0.85f, 0.72f, 0.85f}, {0.72f, 0.85f, 0.72f, 0.50f},
+       {0.72f, 0.50f, 0.28f, 0.50f}},
+      // 7: top bar and diagonal
+      {{0.22f, 0.15f, 0.78f, 0.15f}, {0.78f, 0.15f, 0.42f, 0.90f}},
+      // 8: full rectangle plus waist
+      {{0.25f, 0.15f, 0.75f, 0.15f}, {0.75f, 0.15f, 0.75f, 0.85f},
+       {0.75f, 0.85f, 0.25f, 0.85f}, {0.25f, 0.85f, 0.25f, 0.15f},
+       {0.25f, 0.50f, 0.75f, 0.50f}},
+      // 9: like 8 without lower-left spine
+      {{0.72f, 0.50f, 0.28f, 0.50f}, {0.28f, 0.50f, 0.28f, 0.15f},
+       {0.28f, 0.15f, 0.72f, 0.15f}, {0.72f, 0.15f, 0.72f, 0.85f},
+       {0.72f, 0.85f, 0.35f, 0.85f}},
+  }};
+  return kDigits[digit];
+}
+
+/// Distance from point p to segment s, all in canvas pixels.
+float point_segment_distance(float px, float py, const Segment& s, float size) {
+  const float x0 = s.x0 * size;
+  const float y0 = s.y0 * size;
+  const float x1 = s.x1 * size;
+  const float y1 = s.y1 * size;
+  const float dx = x1 - x0;
+  const float dy = y1 - y0;
+  const float len2 = dx * dx + dy * dy;
+  float t = len2 > 0.0f ? ((px - x0) * dx + (py - y0) * dy) / len2 : 0.0f;
+  t = std::clamp(t, 0.0f, 1.0f);
+  const float cx = x0 + t * dx;
+  const float cy = y0 + t * dy;
+  return std::hypot(px - cx, py - cy);
+}
+
+}  // namespace
+
+nn::Dataset make_stroke_digits(const StrokeConfig& config, std::uint64_t seed) {
+  const std::size_t n = config.samples_per_class * kStrokeClassCount;
+  const std::size_t size = kStrokeImageSize;
+  nn::Dataset data;
+  data.inputs = nn::Tensor({n, 1, size, size});
+  data.labels.resize(n);
+
+  std::mt19937_64 engine(seed);
+  std::uniform_real_distribution<float> u01(0.0f, 1.0f);
+  std::normal_distribution<float> noise(0.0f, config.pixel_noise);
+
+  const float center = static_cast<float>(size) / 2.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t digit = i % kStrokeClassCount;  // class-interleaved
+    data.labels[i] = digit;
+
+    // Per-sample affine jitter.
+    const float angle = (2.0f * u01(engine) - 1.0f) * config.max_rotation_deg *
+                        3.14159265f / 180.0f;
+    const float scale =
+        config.min_scale + u01(engine) * (config.max_scale - config.min_scale);
+    const float tx = (2.0f * u01(engine) - 1.0f) * config.max_translation;
+    const float ty = (2.0f * u01(engine) - 1.0f) * config.max_translation;
+    const float cos_a = std::cos(angle);
+    const float sin_a = std::sin(angle);
+
+    const auto& segments = digit_segments(digit);
+    for (std::size_t y = 0; y < size; ++y) {
+      for (std::size_t x = 0; x < size; ++x) {
+        // Inverse-map the output pixel into the digit frame.
+        const float ox = static_cast<float>(x) - center - tx;
+        const float oy = static_cast<float>(y) - center - ty;
+        const float rx = (cos_a * ox + sin_a * oy) / scale + center;
+        const float ry = (-sin_a * ox + cos_a * oy) / scale + center;
+
+        float min_dist = 1e9f;
+        for (const auto& s : segments) {
+          min_dist = std::min(min_dist,
+                              point_segment_distance(rx, ry, s, static_cast<float>(size)));
+        }
+        // Gaussian pen profile plus pixel noise, clamped to [0, 1].
+        const float ink =
+            std::exp(-min_dist * min_dist / (2.0f * config.stroke_sigma *
+                                             config.stroke_sigma));
+        const float v = std::clamp(ink + noise(engine), 0.0f, 1.0f);
+        data.inputs.at4(i, 0, y, x) = v;
+      }
+    }
+  }
+  return data;
+}
+
+nn::Dataset flatten_dataset(const nn::Dataset& images) {
+  nn::Dataset flat;
+  const std::size_t n = images.size();
+  flat.inputs = images.inputs.reshaped({n, images.inputs.numel() / n});
+  flat.labels = images.labels;
+  return flat;
+}
+
+nn::Dataset make_stroke_digits_flat(const StrokeConfig& config, std::uint64_t seed) {
+  return flatten_dataset(make_stroke_digits(config, seed));
+}
+
+nn::Dataset standardize_per_sample(const nn::Dataset& data) {
+  nn::Dataset out = data;
+  const std::size_t per_sample = out.inputs.numel() / out.size();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    float mean = 0.0f;
+    for (std::size_t p = 0; p < per_sample; ++p) {
+      mean += out.inputs[i * per_sample + p];
+    }
+    mean /= static_cast<float>(per_sample);
+    float var = 0.0f;
+    for (std::size_t p = 0; p < per_sample; ++p) {
+      const float d = out.inputs[i * per_sample + p] - mean;
+      var += d * d;
+    }
+    const float inv_std =
+        1.0f / (std::sqrt(var / static_cast<float>(per_sample)) + 1e-5f);
+    for (std::size_t p = 0; p < per_sample; ++p) {
+      out.inputs[i * per_sample + p] = (out.inputs[i * per_sample + p] - mean) * inv_std;
+    }
+  }
+  return out;
+}
+
+}  // namespace neuspin::data

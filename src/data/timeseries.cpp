@@ -1,0 +1,50 @@
+#include "data/timeseries.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace neuspin::data {
+
+SeriesDataset make_series(const SeriesConfig& config, std::uint64_t seed) {
+  if (config.length <= config.window + 1) {
+    throw std::invalid_argument("make_series: length must exceed window + 1");
+  }
+  std::mt19937_64 engine(seed);
+  std::normal_distribution<float> noise(0.0f, config.noise);
+
+  std::vector<float> series(config.length);
+  for (std::size_t t = 0; t < config.length; ++t) {
+    const float ft = static_cast<float>(t);
+    series[t] = 0.6f * std::sin(2.0f * 3.14159265f * ft / config.period_a) +
+                0.3f * std::sin(2.0f * 3.14159265f * ft / config.period_b) +
+                config.trend * ft + noise(engine);
+  }
+
+  const std::size_t n = config.length - config.window;
+  SeriesDataset data;
+  data.inputs = nn::Tensor({n, config.window, 1});
+  data.targets = nn::Tensor({n, 1});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t w = 0; w < config.window; ++w) {
+      data.inputs[(i * config.window + w)] = series[i + w];
+    }
+    data.targets[i] = series[i + config.window];
+  }
+  return data;
+}
+
+float rmse(const nn::Tensor& prediction, const nn::Tensor& target) {
+  if (prediction.shape() != target.shape()) {
+    throw std::invalid_argument("rmse: shape mismatch");
+  }
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < prediction.numel(); ++i) {
+    const float d = prediction[i] - target[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<float>(prediction.numel()));
+}
+
+}  // namespace neuspin::data

@@ -1,0 +1,38 @@
+// Synthetic time-series generator for the LSTM forecasting experiment
+// (paper §III-A.4's RMSE claim). The signal is a sum of sinusoids with a
+// slow trend and observation noise — a stand-in for the wearable sensor
+// streams the paper's IoT motivation describes.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/tensor.h"
+
+namespace neuspin::data {
+
+/// Windowed sequence-regression dataset: predict the next value from the
+/// previous `window` values.
+struct SeriesDataset {
+  nn::Tensor inputs;   ///< (N x window x 1)
+  nn::Tensor targets;  ///< (N x 1)
+
+  [[nodiscard]] std::size_t size() const { return targets.dim(0); }
+};
+
+/// Generation knobs.
+struct SeriesConfig {
+  std::size_t length = 1200;  ///< raw series length before windowing
+  std::size_t window = 16;    ///< history length fed to the model
+  float period_a = 23.0f;     ///< first sinusoid period (samples)
+  float period_b = 7.0f;      ///< second sinusoid period
+  float trend = 0.0005f;      ///< linear drift per sample
+  float noise = 0.05f;        ///< observation noise sigma
+};
+
+/// Build the windowed dataset. Values are scaled to roughly [-1, 1].
+[[nodiscard]] SeriesDataset make_series(const SeriesConfig& config, std::uint64_t seed);
+
+/// Root-mean-square error between two (N x 1) tensors.
+[[nodiscard]] float rmse(const nn::Tensor& prediction, const nn::Tensor& target);
+
+}  // namespace neuspin::data

@@ -1,0 +1,70 @@
+#include "device/defects.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace neuspin::device {
+
+double DefectRates::total() const {
+  return stuck_at_p + stuck_at_ap + open + short_circuit;
+}
+
+void DefectRates::validate() const {
+  if (stuck_at_p < 0.0 || stuck_at_ap < 0.0 || open < 0.0 || short_circuit < 0.0) {
+    throw std::invalid_argument("DefectRates: rates must be non-negative");
+  }
+  if (total() > 1.0) {
+    throw std::invalid_argument("DefectRates: total defect rate exceeds 1");
+  }
+}
+
+DefectMap::DefectMap(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), cells_(rows * cols, DefectKind::kNone) {}
+
+DefectMap::DefectMap(std::size_t rows, std::size_t cols, const DefectRates& rates,
+                     std::uint64_t seed)
+    : DefectMap(rows, cols) {
+  rates.validate();
+  std::mt19937_64 engine(seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  for (auto& cell : cells_) {
+    const double u = uniform(engine);
+    if (u < rates.stuck_at_p) {
+      cell = DefectKind::kStuckAtParallel;
+    } else if (u < rates.stuck_at_p + rates.stuck_at_ap) {
+      cell = DefectKind::kStuckAtAntiParallel;
+    } else if (u < rates.stuck_at_p + rates.stuck_at_ap + rates.open) {
+      cell = DefectKind::kOpen;
+    } else if (u < rates.total()) {
+      cell = DefectKind::kShort;
+    }
+  }
+}
+
+std::size_t DefectMap::defect_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(cells_.begin(), cells_.end(),
+                    [](DefectKind k) { return k != DefectKind::kNone; }));
+}
+
+MicroSiemens DefectMap::effective_conductance(std::size_t row, std::size_t col,
+                                              MicroSiemens healthy,
+                                              MicroSiemens g_parallel,
+                                              MicroSiemens g_antiparallel,
+                                              MicroSiemens short_conductance) const {
+  switch (at(row, col)) {
+    case DefectKind::kNone:
+      return healthy;
+    case DefectKind::kStuckAtParallel:
+      return g_parallel;
+    case DefectKind::kStuckAtAntiParallel:
+      return g_antiparallel;
+    case DefectKind::kOpen:
+      return 0.0;
+    case DefectKind::kShort:
+      return short_conductance;
+  }
+  return healthy;  // unreachable; keeps GCC's -Wreturn-type satisfied
+}
+
+}  // namespace neuspin::device

@@ -1,0 +1,83 @@
+// Manufacturing defect models for MTJ arrays (paper §IV takeaway 4).
+//
+// Four defect classes are modeled, following the standard memory fault
+// taxonomy adapted to resistive arrays:
+//   * stuck-at-P  — pinhole in the barrier keeps the device low-resistive
+//   * stuck-at-AP — blocked free layer keeps the device high-resistive
+//   * open        — broken via; the cell contributes no conductance
+//   * short       — bit-line short; the cell is a near-zero resistance
+//
+// A DefectMap is generated once per fabricated array from per-class rates
+// and is then consulted by the crossbar on every read.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "device/units.h"
+
+namespace neuspin::device {
+
+/// Kind of manufacturing defect affecting one cell.
+enum class DefectKind : std::uint8_t {
+  kNone,
+  kStuckAtParallel,
+  kStuckAtAntiParallel,
+  kOpen,
+  kShort,
+};
+
+/// Per-class defect rates (probability that any given cell has the defect).
+struct DefectRates {
+  double stuck_at_p = 0.0;
+  double stuck_at_ap = 0.0;
+  double open = 0.0;
+  double short_circuit = 0.0;
+
+  /// Total defect probability; throws std::invalid_argument if rates are
+  /// negative or sum above 1.
+  [[nodiscard]] double total() const;
+  void validate() const;
+};
+
+/// Dense map of defects for a rows x cols array.
+class DefectMap {
+ public:
+  /// Defect-free map.
+  DefectMap(std::size_t rows, std::size_t cols);
+
+  /// Randomly generated map with the given per-class rates.
+  DefectMap(std::size_t rows, std::size_t cols, const DefectRates& rates,
+            std::uint64_t seed);
+
+  [[nodiscard]] DefectKind at(std::size_t row, std::size_t col) const {
+    return cells_[row * cols_ + col];
+  }
+  void set(std::size_t row, std::size_t col, DefectKind kind) {
+    cells_[row * cols_ + col] = kind;
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  /// Number of cells whose defect kind is not kNone.
+  [[nodiscard]] std::size_t defect_count() const;
+
+  /// Effective conductance of a cell given its healthy conductances.
+  /// Healthy cells return `healthy`; stuck-at cells return the state-forced
+  /// conductance; opens return 0; shorts return `short_conductance`.
+  [[nodiscard]] MicroSiemens effective_conductance(std::size_t row, std::size_t col,
+                                                   MicroSiemens healthy,
+                                                   MicroSiemens g_parallel,
+                                                   MicroSiemens g_antiparallel,
+                                                   MicroSiemens short_conductance) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<DefectKind> cells_;
+};
+
+}  // namespace neuspin::device

@@ -1,0 +1,68 @@
+#include "device/mtj.h"
+
+#include <string>
+
+namespace neuspin::device {
+
+void MtjParams::validate() const {
+  if (r_parallel <= 0.0) {
+    throw std::invalid_argument("MtjParams: r_parallel must be positive, got " +
+                                std::to_string(r_parallel));
+  }
+  if (tmr <= 0.0) {
+    throw std::invalid_argument("MtjParams: tmr must be positive, got " +
+                                std::to_string(tmr));
+  }
+  if (delta <= 0.0) {
+    throw std::invalid_argument("MtjParams: delta must be positive, got " +
+                                std::to_string(delta));
+  }
+  if (i_c0 <= 0.0) {
+    throw std::invalid_argument("MtjParams: i_c0 must be positive, got " +
+                                std::to_string(i_c0));
+  }
+  if (attempt_time <= 0.0) {
+    throw std::invalid_argument("MtjParams: attempt_time must be positive");
+  }
+  if (read_voltage <= 0.0) {
+    throw std::invalid_argument("MtjParams: read_voltage must be positive");
+  }
+}
+
+Mtj::Mtj(const MtjParams& params, MtjState initial)
+    : params_(params),
+      r_p_(params.r_parallel),
+      r_ap_(params.r_antiparallel()),
+      delta_(params.delta),
+      state_(initial) {
+  params_.validate();
+}
+
+void Mtj::apply_resistance_variation(double factor) {
+  if (factor <= 0.0) {
+    throw std::invalid_argument("Mtj: resistance variation factor must be positive");
+  }
+  r_p_ *= factor;
+  r_ap_ *= factor;
+}
+
+void Mtj::set_delta(double delta) {
+  if (delta <= 0.0) {
+    throw std::invalid_argument("Mtj: delta must be positive");
+  }
+  delta_ = delta;
+}
+
+PicoJoule Mtj::read_energy(Nanosecond read_pulse) const {
+  const Volt v = params_.read_voltage;
+  const MicroAmp i = v / resistance() * 1000.0;  // V/kOhm = mA -> uA
+  return joule_energy(v, i, read_pulse);
+}
+
+PicoJoule Mtj::write_energy(MicroAmp current, Nanosecond pulse) const {
+  // I^2 * R: uA^2 * kOhm = (1e-6)^2 * 1e3 W = 1e-9 W; times ns (1e-9 s)
+  // gives 1e-18 J = aJ; convert to pJ by dividing by 1e6.
+  return current * current * resistance() * pulse / 1.0e6;
+}
+
+}  // namespace neuspin::device

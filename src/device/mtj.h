@@ -1,0 +1,104 @@
+// Magnetic Tunnel Junction (MTJ) device model.
+//
+// The MTJ is the fundamental storage/stochasticity element of the NeuSpin
+// system (paper §II-A): two ferromagnetic layers (free + reference)
+// separated by a tunnel barrier. The relative magnetization — Parallel (P)
+// or Anti-Parallel (AP) — sets the device resistance through the tunnel
+// magnetoresistance (TMR) effect.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "device/units.h"
+
+namespace neuspin::device {
+
+/// Magnetization state of the free layer relative to the reference layer.
+enum class MtjState : std::uint8_t {
+  kParallel,      ///< low-resistance state, encodes logic 0 / weight +1
+  kAntiParallel,  ///< high-resistance state, encodes logic 1 / weight -1
+};
+
+/// Switching mechanism of the magnetic memory cell (paper §II-A).
+enum class SwitchMechanism : std::uint8_t {
+  kSpinTransferTorque,  ///< STT-MRAM: two-terminal, shared read/write path
+  kSpinOrbitTorque,     ///< SOT-MRAM: three-terminal, separate read/write path
+};
+
+/// Nominal (design-time) parameters of an MTJ device.
+///
+/// Defaults follow published perpendicular STT/SOT-MRAM figures in the
+/// 28nm-class node the paper's SPINTEC devices target: R_P of tens of kOhm,
+/// TMR around 100-200%, thermal stability factor Delta around 40-60.
+struct MtjParams {
+  KiloOhm r_parallel = 6.0;      ///< resistance in the P state
+  double tmr = 1.5;              ///< (R_AP - R_P) / R_P; R_AP = R_P * (1 + TMR)
+  double delta = 45.0;           ///< thermal stability factor E_b / (k_B T)
+  MicroAmp i_c0 = 40.0;          ///< critical switching current at 0 K
+  Nanosecond attempt_time = 1.0; ///< inverse attempt frequency tau_0
+  Volt read_voltage = 0.1;       ///< sense voltage used during reads
+  SwitchMechanism mechanism = SwitchMechanism::kSpinOrbitTorque;
+
+  /// Resistance in the AP state implied by R_P and TMR.
+  [[nodiscard]] KiloOhm r_antiparallel() const { return r_parallel * (1.0 + tmr); }
+
+  /// Throws std::invalid_argument when physically meaningless.
+  void validate() const;
+};
+
+/// A single MTJ instance with its (possibly variation-shifted) resistances.
+///
+/// The class is deliberately cheap to copy: crossbars hold millions of
+/// them. All stochastic behaviour (switching, variation) is injected from
+/// outside so the device itself stays deterministic and testable.
+class Mtj {
+ public:
+  Mtj() : Mtj(MtjParams{}) {}
+  explicit Mtj(const MtjParams& params, MtjState initial = MtjState::kParallel);
+
+  /// Device resistance in its current state.
+  [[nodiscard]] KiloOhm resistance() const {
+    return state_ == MtjState::kParallel ? r_p_ : r_ap_;
+  }
+  /// Device conductance in its current state.
+  [[nodiscard]] MicroSiemens conductance() const {
+    return conductance_from_kohm(resistance());
+  }
+
+  [[nodiscard]] MtjState state() const { return state_; }
+  void set_state(MtjState s) { state_ = s; }
+
+  /// Resistances of the two states (after any variation shift).
+  [[nodiscard]] KiloOhm r_parallel() const { return r_p_; }
+  [[nodiscard]] KiloOhm r_antiparallel() const { return r_ap_; }
+
+  /// Scale both state resistances by `factor` (manufacturing variation).
+  /// TMR is preserved; factor must be positive.
+  void apply_resistance_variation(double factor);
+
+  /// Thermal stability factor (possibly shifted by variation).
+  [[nodiscard]] double delta() const { return delta_; }
+  void set_delta(double delta);
+
+  /// Nominal parameters this device was built from.
+  [[nodiscard]] const MtjParams& params() const { return params_; }
+
+  /// Energy dissipated by one read at the configured sense voltage:
+  /// E = V^2 / R * t.
+  [[nodiscard]] PicoJoule read_energy(Nanosecond read_pulse) const;
+
+  /// Energy dissipated by one write pulse of amplitude `current`:
+  /// E = I^2 * R * t (for STT; SOT uses the heavy-metal line resistance,
+  /// see SotCell, but the same order of magnitude applies).
+  [[nodiscard]] PicoJoule write_energy(MicroAmp current, Nanosecond pulse) const;
+
+ private:
+  MtjParams params_;
+  KiloOhm r_p_;
+  KiloOhm r_ap_;
+  double delta_;
+  MtjState state_;
+};
+
+}  // namespace neuspin::device

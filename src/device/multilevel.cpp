@@ -1,0 +1,116 @@
+#include "device/multilevel.h"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace neuspin::device {
+
+MultiLevelCell::MultiLevelCell(const MtjParams& params, std::size_t junction_count,
+                               MultiLevelSizing sizing)
+    : sizing_(sizing) {
+  if (junction_count == 0) {
+    throw std::invalid_argument("MultiLevelCell: junction_count must be >= 1");
+  }
+  if (sizing == MultiLevelSizing::kBinaryWeighted && junction_count > 16) {
+    throw std::invalid_argument(
+        "MultiLevelCell: binary-weighted cells beyond 16 junctions are not practical");
+  }
+  junctions_.reserve(junction_count);
+  for (std::size_t i = 0; i < junction_count; ++i) {
+    junctions_.emplace_back(params, MtjState::kAntiParallel);
+  }
+  program(0);
+}
+
+std::size_t MultiLevelCell::level_count() const {
+  if (sizing_ == MultiLevelSizing::kUniform) {
+    return junctions_.size() + 1;
+  }
+  return std::size_t{1} << junctions_.size();
+}
+
+double MultiLevelCell::area_factor(std::size_t index) const {
+  if (sizing_ == MultiLevelSizing::kUniform) {
+    return 1.0;
+  }
+  return static_cast<double>(std::size_t{1} << index);
+}
+
+std::vector<MtjState> MultiLevelCell::states_for_level(std::size_t level) const {
+  if (level >= level_count()) {
+    throw std::out_of_range("MultiLevelCell: level " + std::to_string(level) +
+                            " out of range (cell has " +
+                            std::to_string(level_count()) + " levels)");
+  }
+  std::vector<MtjState> states(junctions_.size(), MtjState::kAntiParallel);
+  if (sizing_ == MultiLevelSizing::kUniform) {
+    // Thermometer code: the first `level` junctions are parallel.
+    for (std::size_t i = 0; i < level; ++i) {
+      states[i] = MtjState::kParallel;
+    }
+  } else {
+    // Binary code: bit k of `level` selects junction k's state.
+    for (std::size_t i = 0; i < junctions_.size(); ++i) {
+      if ((level >> i) & 1u) {
+        states[i] = MtjState::kParallel;
+      }
+    }
+  }
+  return states;
+}
+
+void MultiLevelCell::program(std::size_t level) {
+  const auto states = states_for_level(level);
+  for (std::size_t i = 0; i < junctions_.size(); ++i) {
+    junctions_[i].set_state(states[i]);
+  }
+  level_ = level;
+}
+
+MicroSiemens MultiLevelCell::conductance() const {
+  MicroSiemens total = 0.0;
+  for (std::size_t i = 0; i < junctions_.size(); ++i) {
+    // A larger-area junction has proportionally lower resistance, i.e.
+    // proportionally higher conductance.
+    total += junctions_[i].conductance() * area_factor(i);
+  }
+  return total;
+}
+
+MicroSiemens MultiLevelCell::conductance_at(std::size_t level) const {
+  const auto states = states_for_level(level);
+  MicroSiemens total = 0.0;
+  for (std::size_t i = 0; i < junctions_.size(); ++i) {
+    const Mtj& j = junctions_[i];
+    const KiloOhm r =
+        states[i] == MtjState::kParallel ? j.r_parallel() : j.r_antiparallel();
+    total += conductance_from_kohm(r) * area_factor(i);
+  }
+  return total;
+}
+
+MicroSiemens MultiLevelCell::level_step() const {
+  MicroSiemens step = std::numeric_limits<double>::infinity();
+  for (std::size_t level = 1; level < level_count(); ++level) {
+    const MicroSiemens gap = conductance_at(level) - conductance_at(level - 1);
+    if (gap > 0.0 && gap < step) {
+      step = gap;
+    }
+  }
+  return step;
+}
+
+std::size_t MultiLevelCell::pulses_to_program(std::size_t target) const {
+  const auto current = states_for_level(level_);
+  const auto wanted = states_for_level(target);
+  std::size_t pulses = 0;
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    if (current[i] != wanted[i]) {
+      ++pulses;
+    }
+  }
+  return pulses;
+}
+
+}  // namespace neuspin::device

@@ -1,0 +1,73 @@
+// Multi-level SOT cell built from several MTJs sharing one heavy-metal
+// track (paper §II-A: "SOT-MRAM ... allows also for the integration of
+// multiple MTJs on the same layer, simulating a multi-value cell"; §III-B:
+// "a multi-level device composed of multiple MTJs is implemented to
+// quantitatively represent Bayesian parameters").
+//
+// With M parallel MTJs, each either P or AP, the cell conductance is the
+// sum of the branch conductances, giving M+1 distinct levels when the MTJs
+// are identical (and up to 2^M with binary-weighted sizing). Both sizing
+// schemes are supported; SpinBayes uses the binary-weighted variant for
+// quantized weight storage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "device/mtj.h"
+#include "device/units.h"
+
+namespace neuspin::device {
+
+/// Sizing scheme of the constituent MTJs.
+enum class MultiLevelSizing : std::uint8_t {
+  kUniform,        ///< identical junctions: M+1 thermometer-coded levels
+  kBinaryWeighted, ///< areas scale as 2^k: 2^M binary-coded levels
+};
+
+/// A multi-value cell of `junction_count` MTJs on a shared SOT track.
+class MultiLevelCell {
+ public:
+  MultiLevelCell(const MtjParams& params, std::size_t junction_count,
+                 MultiLevelSizing sizing);
+
+  /// Number of programmable conductance levels.
+  [[nodiscard]] std::size_t level_count() const;
+
+  /// Program the cell to level `level` (0 = all AP = minimum conductance).
+  /// Throws std::out_of_range for an invalid level.
+  void program(std::size_t level);
+
+  /// Currently programmed level.
+  [[nodiscard]] std::size_t level() const { return level_; }
+
+  /// Total cell conductance at the programmed level.
+  [[nodiscard]] MicroSiemens conductance() const;
+
+  /// Conductance the cell would have at `level` (for calibration tables).
+  [[nodiscard]] MicroSiemens conductance_at(std::size_t level) const;
+
+  /// Smallest conductance step between adjacent levels; the effective
+  /// "LSB" of the cell used when quantizing Bayesian parameters.
+  [[nodiscard]] MicroSiemens level_step() const;
+
+  /// Number of write pulses needed to move from the current level to
+  /// `target` (one pulse per junction whose state differs).
+  [[nodiscard]] std::size_t pulses_to_program(std::size_t target) const;
+
+  [[nodiscard]] std::size_t junction_count() const { return junctions_.size(); }
+  [[nodiscard]] MultiLevelSizing sizing() const { return sizing_; }
+
+ private:
+  /// Per-junction area factor (1 for uniform; 2^k for binary-weighted).
+  [[nodiscard]] double area_factor(std::size_t index) const;
+  /// Junction states encoding `level` under the active sizing scheme.
+  [[nodiscard]] std::vector<MtjState> states_for_level(std::size_t level) const;
+
+  std::vector<Mtj> junctions_;
+  MultiLevelSizing sizing_;
+  std::size_t level_ = 0;
+};
+
+}  // namespace neuspin::device

@@ -1,0 +1,45 @@
+#include "device/retention.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace neuspin::device {
+
+RetentionModel::RetentionModel(const MtjParams& params) : params_(params) {
+  params_.validate();
+}
+
+double RetentionModel::flip_rate_per_second(double delta) const {
+  if (delta <= 0.0) {
+    throw std::invalid_argument("RetentionModel: delta must be positive");
+  }
+  // attempt_time is in ns; convert the attempt frequency to per-second.
+  const double attempt_rate = 1.0e9 / params_.attempt_time;
+  return attempt_rate * std::exp(-delta);
+}
+
+double RetentionModel::flip_rate_per_second() const {
+  return flip_rate_per_second(params_.delta);
+}
+
+double RetentionModel::flip_probability(double seconds, double delta) const {
+  if (seconds < 0.0) {
+    throw std::invalid_argument("RetentionModel: time must be non-negative");
+  }
+  const double r = flip_rate_per_second(delta);
+  return 0.5 * (1.0 - std::exp(-2.0 * r * seconds));
+}
+
+double RetentionModel::flip_probability(double seconds) const {
+  return flip_probability(seconds, params_.delta);
+}
+
+double RetentionModel::retention_seconds(double p) const {
+  if (p <= 0.0 || p >= 0.5) {
+    throw std::invalid_argument("RetentionModel: p must lie in (0, 0.5)");
+  }
+  const double r = flip_rate_per_second();
+  return -std::log(1.0 - 2.0 * p) / (2.0 * r);
+}
+
+}  // namespace neuspin::device

@@ -1,0 +1,48 @@
+// Data-retention / thermal-relaxation model (paper §IV takeaway 4:
+// in-field variation and non-ideal behaviour of the stored state).
+//
+// An idle MTJ flips spontaneously at the Neel-Brown rate
+//   r = (1 / tau0) * exp(-Delta),
+// so the probability that a stored bit has flipped after time t is
+//   P_flip(t) = 0.5 * (1 - exp(-2 r t))
+// (the factor 2 and the 0.5 asymptote come from the two-state telegraph
+// process: at infinite time the state is uniformly random).
+//
+// Retention is the long-term reliability axis the bench_ablations drift
+// experiment sweeps: thermally weak devices (low Delta) lose the stored
+// network first, and the Bayesian models' fault tolerance decides how
+// gracefully accuracy decays.
+#pragma once
+
+#include "device/mtj.h"
+#include "device/units.h"
+
+namespace neuspin::device {
+
+/// Retention model bound to a device design point.
+class RetentionModel {
+ public:
+  explicit RetentionModel(const MtjParams& params);
+
+  /// Spontaneous flip rate (events per second) at thermal stability
+  /// `delta`; uses the nominal Delta when omitted.
+  [[nodiscard]] double flip_rate_per_second(double delta) const;
+  [[nodiscard]] double flip_rate_per_second() const;
+
+  /// Probability the stored state has flipped after `seconds` of idle
+  /// storage (two-state telegraph process, asymptote 0.5).
+  [[nodiscard]] double flip_probability(double seconds, double delta) const;
+  [[nodiscard]] double flip_probability(double seconds) const;
+
+  /// Storage time after which the flip probability reaches `p`
+  /// (p in (0, 0.5)); the usual "10-year retention" figure of merit is
+  /// retention_seconds(1e-9)-class numbers for Delta ~ 60.
+  [[nodiscard]] double retention_seconds(double p) const;
+
+  [[nodiscard]] const MtjParams& params() const { return params_; }
+
+ private:
+  MtjParams params_;
+};
+
+}  // namespace neuspin::device

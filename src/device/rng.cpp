@@ -1,0 +1,116 @@
+#include "device/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace neuspin::device {
+
+void SpinRngConfig::validate() const {
+  mtj.validate();
+  if (target_probability <= 0.0 || target_probability >= 1.0) {
+    throw std::invalid_argument("SpinRngConfig: target_probability must lie in (0,1)");
+  }
+  if (set_pulse <= 0.0 || read_pulse <= 0.0 || reset_pulse <= 0.0) {
+    throw std::invalid_argument("SpinRngConfig: pulse widths must be positive");
+  }
+  if (reset_current <= mtj.i_c0) {
+    throw std::invalid_argument(
+        "SpinRngConfig: reset_current must exceed the critical current for a "
+        "deterministic reset");
+  }
+}
+
+SpinRng::SpinRng(const SpinRngConfig& config, std::uint64_t seed)
+    : config_(config),
+      model_(config.mtj),
+      device_(config.mtj, MtjState::kParallel),
+      realized_p_(0.0),
+      bias_current_(0.0),
+      engine_(seed) {
+  config_.validate();
+  // Calibration: choose the bias current that hits the target probability
+  // with the *nominal* Delta (that is what a shared calibration DAC would
+  // be trimmed against), then evaluate what this current achieves on the
+  // actual device, whose Delta may be variation-shifted.
+  bias_current_ = model_.current_for_probability(config_.target_probability,
+                                                 config_.set_pulse);
+  const double delta =
+      config_.delta_override > 0.0 ? config_.delta_override : config_.mtj.delta;
+  realized_p_ = model_.switching_probability(bias_current_, config_.set_pulse, delta);
+  if (config_.delta_override > 0.0) {
+    device_.set_delta(config_.delta_override);
+  }
+}
+
+bool SpinRng::next_bit() {
+  ++bits_generated_;
+  // SET attempt: stochastic switch P -> AP with the realized probability.
+  const bool switched = uniform_(engine_) < realized_p_;
+  device_.set_state(switched ? MtjState::kAntiParallel : MtjState::kParallel);
+  // Read (sense amplifier) observes the state; RESET returns it to P.
+  const bool bit = device_.state() == MtjState::kAntiParallel;
+  device_.set_state(MtjState::kParallel);
+  return bit;
+}
+
+std::vector<bool> SpinRng::bitstream(std::size_t count) {
+  std::vector<bool> bits(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bits[i] = next_bit();
+  }
+  return bits;
+}
+
+PicoJoule SpinRng::energy_per_bit() const {
+  const PicoJoule set_energy =
+      device_.write_energy(bias_current_, config_.set_pulse);
+  const PicoJoule read_energy = device_.read_energy(config_.read_pulse);
+  const PicoJoule reset_energy =
+      device_.write_energy(config_.reset_current, config_.reset_pulse);
+  return set_energy + read_energy + reset_energy;
+}
+
+Nanosecond SpinRng::latency_per_bit() const {
+  return config_.set_pulse + config_.read_pulse + config_.reset_pulse;
+}
+
+BitstreamStats analyze_bitstream(const std::vector<bool>& bits) {
+  BitstreamStats stats;
+  if (bits.empty()) {
+    return stats;
+  }
+  double sum = 0.0;
+  std::size_t run = 1;
+  stats.longest_run = 1;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    sum += bits[i] ? 1.0 : 0.0;
+    if (i > 0) {
+      if (bits[i] == bits[i - 1]) {
+        ++run;
+        stats.longest_run = std::max(stats.longest_run, run);
+      } else {
+        run = 1;
+      }
+    }
+  }
+  stats.mean = sum / static_cast<double>(bits.size());
+
+  if (bits.size() > 1) {
+    // Lag-1 autocorrelation of the centered sequence.
+    const double mean = stats.mean;
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      const double x = (bits[i] ? 1.0 : 0.0) - mean;
+      den += x * x;
+      if (i + 1 < bits.size()) {
+        const double y = (bits[i + 1] ? 1.0 : 0.0) - mean;
+        num += x * y;
+      }
+    }
+    stats.lag1_autocorr = den > 0.0 ? num / den : 0.0;
+  }
+  return stats;
+}
+
+}  // namespace neuspin::device

@@ -1,0 +1,95 @@
+// Spintronic true-random-number generation (paper §III-A.1, SpinDrop).
+//
+// The generator runs the SET -> read -> RESET loop the paper describes:
+//  1. a calibrated sub-critical SET pulse flips the MTJ with probability p,
+//  2. a sense-amplifier read detects whether the switch occurred — this bit
+//     *is* the dropout signal,
+//  3. a deterministic over-critical RESET pulse returns the device to P.
+//
+// The bias current for a requested p comes from SwitchingModel's inverse.
+// Device-to-device variation makes the *realized* probability of each
+// physical module deviate from the target — exactly the effect the
+// SpinScaleDrop Gaussian-fitted dropout probability models — so the module
+// optionally accepts a variation-shifted Delta.
+//
+// Energy accounting: every generated bit costs one SET pulse, one read and
+// one RESET pulse; `energy_per_bit()` exposes the total so architecture
+// models can charge RNG energy truthfully.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "device/mtj.h"
+#include "device/switching.h"
+#include "device/units.h"
+
+namespace neuspin::device {
+
+/// Configuration of one stochastic MTJ RNG module.
+struct SpinRngConfig {
+  MtjParams mtj;                  ///< device the module is built around
+  double target_probability = 0.5;///< requested P(bit == 1)
+  Nanosecond set_pulse = 2.0;     ///< width of the stochastic SET pulse
+  Nanosecond read_pulse = 1.0;    ///< width of the verification read
+  Nanosecond reset_pulse = 3.0;   ///< width of the deterministic RESET
+  MicroAmp reset_current = 120.0; ///< over-critical reset amplitude
+  /// Optional variation-shifted thermal stability factor; 0 keeps nominal.
+  double delta_override = 0.0;
+
+  void validate() const;
+};
+
+/// One SET/read/RESET stochastic bitstream generator.
+class SpinRng {
+ public:
+  SpinRng(const SpinRngConfig& config, std::uint64_t seed);
+
+  /// Generate one random bit (true == "switched" == dropout asserted).
+  [[nodiscard]] bool next_bit();
+
+  /// Generate `count` bits as a packed vector.
+  [[nodiscard]] std::vector<bool> bitstream(std::size_t count);
+
+  /// Probability the physical module actually realizes, after accounting
+  /// for the (possibly variation-shifted) thermal stability factor.
+  [[nodiscard]] double realized_probability() const { return realized_p_; }
+
+  /// Bias current the calibration chose for the target probability.
+  [[nodiscard]] MicroAmp bias_current() const { return bias_current_; }
+
+  /// Energy of one full SET + read + RESET bit-generation cycle.
+  [[nodiscard]] PicoJoule energy_per_bit() const;
+
+  /// Latency of one bit-generation cycle.
+  [[nodiscard]] Nanosecond latency_per_bit() const;
+
+  /// Total bits generated so far (for energy ledgers).
+  [[nodiscard]] std::uint64_t bits_generated() const { return bits_generated_; }
+
+  [[nodiscard]] const SpinRngConfig& config() const { return config_; }
+
+ private:
+  SpinRngConfig config_;
+  SwitchingModel model_;
+  Mtj device_;
+  double realized_p_;
+  MicroAmp bias_current_;
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+  std::uint64_t bits_generated_ = 0;
+};
+
+/// Statistical quality summary of a bitstream (used by tests and the
+/// substrate benchmark to show the module behaves as a Bernoulli source).
+struct BitstreamStats {
+  double mean = 0.0;            ///< fraction of ones
+  double lag1_autocorr = 0.0;   ///< lag-1 autocorrelation
+  std::size_t longest_run = 0;  ///< longest run of identical bits
+};
+
+/// Compute quality statistics over a bitstream.
+[[nodiscard]] BitstreamStats analyze_bitstream(const std::vector<bool>& bits);
+
+}  // namespace neuspin::device

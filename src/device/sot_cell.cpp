@@ -1,0 +1,30 @@
+#include "device/sot_cell.h"
+
+#include <stdexcept>
+
+namespace neuspin::device {
+
+void SotCellParams::validate() const {
+  mtj.validate();
+  if (heavy_metal_resistance <= 0.0) {
+    throw std::invalid_argument("SotCellParams: heavy_metal_resistance must be positive");
+  }
+  if (write_current <= 0.0 || write_pulse <= 0.0) {
+    throw std::invalid_argument("SotCellParams: write current and pulse must be positive");
+  }
+}
+
+SotCell::SotCell(const SotCellParams& params, MtjState initial)
+    : params_(params), mtj_(params.mtj, initial) {
+  params_.validate();
+}
+
+void SotCell::write(MtjState target) { mtj_.set_state(target); }
+
+PicoJoule SotCell::write_energy() const {
+  // uA^2 * kOhm * ns = aJ; 1e6 aJ per pJ.
+  return params_.write_current * params_.write_current *
+         params_.heavy_metal_resistance * params_.write_pulse / 1.0e6;
+}
+
+}  // namespace neuspin::device

@@ -1,0 +1,63 @@
+// Three-terminal SOT-MRAM cell (paper §II-A).
+//
+// Unlike the two-terminal STT device, the SOT cell writes by passing a
+// current through the heavy-metal track *under* the MTJ and reads through
+// the junction itself. The separation matters architecturally:
+//   * reads never disturb the stored state (no read-disturb),
+//   * the junction resistance can be engineered to several MOhm, which is
+//     what makes analog matrix-vector multiplication in crossbars practical
+//     (small read currents, large dynamic range).
+#pragma once
+
+#include "device/mtj.h"
+#include "device/units.h"
+
+namespace neuspin::device {
+
+/// Parameters specific to the three-terminal SOT structure.
+struct SotCellParams {
+  MtjParams mtj;                     ///< junction on top of the track
+  KiloOhm heavy_metal_resistance = 1.0;  ///< write-path track resistance
+  MicroAmp write_current = 150.0;    ///< amplitude for deterministic writes
+  Nanosecond write_pulse = 1.0;      ///< sub-ns..ns switching, SOT is fast
+
+  void validate() const;
+};
+
+/// A single SOT bit cell with separated read and write paths.
+class SotCell {
+ public:
+  explicit SotCell(const SotCellParams& params,
+                   MtjState initial = MtjState::kParallel);
+
+  /// Deterministic write through the heavy-metal track. The junction is
+  /// untouched electrically; only its free layer flips.
+  void write(MtjState target);
+
+  /// Read the cell conductance through the junction path.
+  [[nodiscard]] MicroSiemens read_conductance() const { return mtj_.conductance(); }
+
+  [[nodiscard]] MtjState state() const { return mtj_.state(); }
+
+  /// Energy of one deterministic write: I^2 * R_track * t. Note the track
+  /// resistance, not the junction resistance, sets the write energy — this
+  /// is why SOT writes are cheap even for MOhm-class junctions.
+  [[nodiscard]] PicoJoule write_energy() const;
+
+  /// Energy of one read through the junction at the sense voltage.
+  [[nodiscard]] PicoJoule read_energy(Nanosecond read_pulse) const {
+    return mtj_.read_energy(read_pulse);
+  }
+
+  /// Mutable access for variation/defect injection.
+  [[nodiscard]] Mtj& junction() { return mtj_; }
+  [[nodiscard]] const Mtj& junction() const { return mtj_; }
+
+  [[nodiscard]] const SotCellParams& params() const { return params_; }
+
+ private:
+  SotCellParams params_;
+  Mtj mtj_;
+};
+
+}  // namespace neuspin::device

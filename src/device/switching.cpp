@@ -1,0 +1,87 @@
+#include "device/switching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace neuspin::device {
+
+namespace {
+
+/// Attempt-rate exponent of the Neel-Brown law, clamped so exp() stays finite.
+double activation_rate(double delta, double current_ratio) {
+  const double exponent = -delta * (1.0 - current_ratio);
+  return std::exp(std::min(exponent, 50.0));
+}
+
+}  // namespace
+
+SwitchingModel::SwitchingModel(const MtjParams& params) : params_(params) {
+  params_.validate();
+}
+
+double SwitchingModel::switching_probability(MicroAmp current, Nanosecond pulse) const {
+  return switching_probability(current, pulse, params_.delta);
+}
+
+double SwitchingModel::switching_probability(MicroAmp current, Nanosecond pulse,
+                                             double delta) const {
+  if (current <= 0.0 || pulse <= 0.0) {
+    return 0.0;
+  }
+  const double ratio = current / params_.i_c0;
+  if (ratio < 1.0) {
+    // Thermal-activation (Neel-Brown) regime.
+    const double rate = activation_rate(delta, ratio) / params_.attempt_time;
+    return 1.0 - std::exp(-rate * pulse);
+  }
+  // Precessional regime: above critical current the characteristic
+  // switching time shrinks as tau0 / (I/Ic0), which matches the thermal
+  // regime exactly at I == Ic0 (rate 1/tau0), keeping the model continuous.
+  const Nanosecond t_sw = params_.attempt_time / ratio;
+  return 1.0 - std::exp(-pulse / t_sw);
+}
+
+MicroAmp SwitchingModel::current_for_probability(double p, Nanosecond pulse) const {
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::domain_error("SwitchingModel: probability must lie in (0,1), got " +
+                            std::to_string(p));
+  }
+  if (pulse <= 0.0) {
+    throw std::domain_error("SwitchingModel: pulse width must be positive");
+  }
+  // Invert the thermal-activation law first:
+  //   p = 1 - exp(-(pulse/tau0) * exp(-Delta (1 - I/Ic0)))
+  //   I = Ic0 * (1 + ln( -ln(1-p) * tau0 / pulse ) / Delta)
+  const double log_term = std::log(-std::log(1.0 - p) * params_.attempt_time / pulse);
+  const MicroAmp thermal = params_.i_c0 * (1.0 + log_term / params_.delta);
+  if (thermal < params_.i_c0 && thermal > 0.0) {
+    return thermal;
+  }
+  // Requested probability needs the precessional regime; bisect on current.
+  MicroAmp lo = params_.i_c0;
+  MicroAmp hi = params_.i_c0 * 64.0;
+  for (int iter = 0; iter < 80; ++iter) {
+    const MicroAmp mid = 0.5 * (lo + hi);
+    if (switching_probability(mid, pulse) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+Nanosecond SwitchingModel::mean_switching_time(MicroAmp current) const {
+  if (current <= 0.0) {
+    throw std::domain_error("SwitchingModel: current must be positive");
+  }
+  const double ratio = current / params_.i_c0;
+  if (ratio >= 1.0) {
+    return params_.attempt_time / ratio;
+  }
+  return params_.attempt_time * std::exp(params_.delta * (1.0 - ratio));
+}
+
+}  // namespace neuspin::device

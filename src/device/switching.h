@@ -1,0 +1,53 @@
+// Stochastic switching model for STT/SOT MTJs (paper §II-A).
+//
+// Both STT and SOT devices switch probabilistically: a current pulse of a
+// given amplitude and duration flips the free layer with a probability that
+// grows with both. NeuSpin exploits this as a tunable-probability random
+// number source ("stochasticity as a feature rather than a foe").
+//
+// Two regimes are modeled:
+//  * thermal activation (I < Ic0): Neel-Brown law,
+//      P_sw(t) = 1 - exp( -(t / tau0) * exp( -Delta * (1 - I/Ic0) ) )
+//  * precessional (I >= Ic0): switching time shrinks as 1/(I - Ic0);
+//      modeled as an exponential ramp that saturates at 1.
+//
+// The inverse problem — which bias current yields a requested switching
+// probability for a fixed pulse width — is what the SpinDrop module's
+// current-mode DAC solves; `current_for_probability` provides it in closed
+// form for the thermal regime and by bisection above it.
+#pragma once
+
+#include "device/mtj.h"
+#include "device/units.h"
+
+namespace neuspin::device {
+
+/// Stochastic switching model bound to a set of MTJ parameters.
+class SwitchingModel {
+ public:
+  explicit SwitchingModel(const MtjParams& params);
+
+  /// Probability that a pulse of `current` lasting `pulse` flips the device.
+  /// Monotonically increasing in both arguments; clamped to [0, 1].
+  [[nodiscard]] double switching_probability(MicroAmp current, Nanosecond pulse) const;
+
+  /// Probability using a device-specific thermal stability `delta`
+  /// (manufacturing variation shifts delta device-to-device).
+  [[nodiscard]] double switching_probability(MicroAmp current, Nanosecond pulse,
+                                             double delta) const;
+
+  /// Bias current that achieves switching probability `p` for a fixed
+  /// `pulse` width. Requires p in (0, 1); throws std::domain_error outside.
+  [[nodiscard]] MicroAmp current_for_probability(double p, Nanosecond pulse) const;
+
+  /// Mean switching time at a given overdrive current (thermal regime),
+  /// tau = tau0 * exp(Delta * (1 - I/Ic0)).
+  [[nodiscard]] Nanosecond mean_switching_time(MicroAmp current) const;
+
+  [[nodiscard]] const MtjParams& params() const { return params_; }
+
+ private:
+  MtjParams params_;
+};
+
+}  // namespace neuspin::device

@@ -1,0 +1,42 @@
+// Unit conventions used throughout the NeuSpin device and architecture
+// models. All quantities are plain doubles; the suffix in the name states
+// the unit. Keeping a single convention avoids a heavyweight units library
+// while still making interfaces self-describing.
+#pragma once
+
+namespace neuspin::device {
+
+/// Resistance is expressed in kilo-ohms (kOhm).
+using KiloOhm = double;
+/// Conductance is expressed in micro-siemens (uS). 1/kOhm == 1000 uS / 1000;
+/// conversion helpers below keep the factors in one place.
+using MicroSiemens = double;
+/// Current in micro-amperes (uA).
+using MicroAmp = double;
+/// Voltage in volts (V).
+using Volt = double;
+/// Time in nanoseconds (ns).
+using Nanosecond = double;
+/// Energy in picojoules (pJ).
+using PicoJoule = double;
+/// Temperature in kelvin (K).
+using Kelvin = double;
+
+/// Convert a resistance in kOhm to a conductance in uS.
+[[nodiscard]] constexpr MicroSiemens conductance_from_kohm(KiloOhm r) {
+  return 1000.0 / r;
+}
+
+/// Convert a conductance in uS to a resistance in kOhm.
+[[nodiscard]] constexpr KiloOhm kohm_from_conductance(MicroSiemens g) {
+  return 1000.0 / g;
+}
+
+/// Joule heating energy of a read/write event: E = V * I * t.
+/// With V in volts, I in uA and t in ns the product is in femtojoules;
+/// divide by 1000 to express it in pJ.
+[[nodiscard]] constexpr PicoJoule joule_energy(Volt v, MicroAmp i, Nanosecond t) {
+  return v * i * t / 1000.0;
+}
+
+}  // namespace neuspin::device

@@ -1,0 +1,45 @@
+#include "device/variability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace neuspin::device {
+
+void VariabilityParams::validate() const {
+  if (resistance_sigma < 0.0 || delta_sigma < 0.0 || read_noise_sigma < 0.0) {
+    throw std::invalid_argument("VariabilityParams: sigmas must be non-negative");
+  }
+}
+
+VariabilityModel::VariabilityModel(const VariabilityParams& params, std::uint64_t seed)
+    : params_(params), engine_(seed) {
+  params_.validate();
+}
+
+double VariabilityModel::sample_resistance_factor() {
+  if (params_.resistance_sigma == 0.0) {
+    return 1.0;
+  }
+  return std::exp(params_.resistance_sigma * unit_normal_(engine_));
+}
+
+double VariabilityModel::sample_delta(double nominal_delta) {
+  const double delta = nominal_delta + params_.delta_sigma * unit_normal_(engine_);
+  return std::max(delta, 1.0);
+}
+
+double VariabilityModel::sample_read_noise() {
+  if (params_.read_noise_sigma == 0.0) {
+    return 1.0;
+  }
+  // Clamp at a small positive floor so conductance never flips sign.
+  return std::max(1.0 + params_.read_noise_sigma * unit_normal_(engine_), 0.01);
+}
+
+void VariabilityModel::perturb(Mtj& mtj) {
+  mtj.apply_resistance_variation(sample_resistance_factor());
+  mtj.set_delta(sample_delta(mtj.params().delta));
+}
+
+}  // namespace neuspin::device

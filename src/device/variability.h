@@ -1,0 +1,60 @@
+// Manufacturing and in-field variability models (paper §II, §IV takeaway 4:
+// "Modeling defects in Devices").
+//
+// Device-to-device variation: tunnel-barrier thickness variation makes the
+// resistance log-normally distributed around its design value; the thermal
+// stability factor Delta is approximately Gaussian. Cycle-to-cycle variation
+// perturbs each read with a small Gaussian conductance noise.
+//
+// All draws flow through a caller-supplied engine so that experiments are
+// reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "device/mtj.h"
+#include "device/units.h"
+
+namespace neuspin::device {
+
+/// Parameters of the device-to-device / cycle-to-cycle variation model.
+struct VariabilityParams {
+  /// Sigma of ln(R) for device-to-device resistance variation. A value of
+  /// 0.05 corresponds to ~5% resistance spread, typical of mature MRAM.
+  double resistance_sigma = 0.05;
+  /// Absolute Gaussian sigma on the thermal stability factor Delta.
+  double delta_sigma = 2.0;
+  /// Relative Gaussian sigma applied per read (cycle-to-cycle noise).
+  double read_noise_sigma = 0.01;
+
+  void validate() const;
+};
+
+/// Draws per-device and per-cycle perturbations.
+class VariabilityModel {
+ public:
+  explicit VariabilityModel(const VariabilityParams& params, std::uint64_t seed);
+
+  /// Multiplicative log-normal factor for a device's resistances.
+  [[nodiscard]] double sample_resistance_factor();
+
+  /// A device's thermal stability factor, Gaussian around the nominal value
+  /// and clamped to stay physical (>= 1).
+  [[nodiscard]] double sample_delta(double nominal_delta);
+
+  /// Multiplicative per-read conductance noise factor (mean 1).
+  [[nodiscard]] double sample_read_noise();
+
+  /// Apply device-to-device variation to an MTJ in place.
+  void perturb(Mtj& mtj);
+
+  [[nodiscard]] const VariabilityParams& params() const { return params_; }
+
+ private:
+  VariabilityParams params_;
+  std::mt19937_64 engine_;
+  std::normal_distribution<double> unit_normal_{0.0, 1.0};
+};
+
+}  // namespace neuspin::device

@@ -1,0 +1,151 @@
+#include "energy/accountant.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace neuspin::energy {
+
+const EnergyParams& default_energy_params() {
+  static const EnergyParams kDefaults{};
+  return kDefaults;
+}
+
+std::string component_name(Component c) {
+  switch (c) {
+    case Component::kXbarCellRead:
+      return "xbar_cell_read";
+    case Component::kWordlineActivation:
+      return "wordline_activation";
+    case Component::kAdcConversion:
+      return "adc_conversion";
+    case Component::kSenseAmp:
+      return "sense_amp";
+    case Component::kInputDriver:
+      return "input_driver";
+    case Component::kRngDropoutCycle:
+      return "rng_dropout_cycle";
+    case Component::kMtjWrite:
+      return "mtj_write";
+    case Component::kDigitalAdd:
+      return "digital_add";
+    case Component::kDigitalMult:
+      return "digital_mult";
+    case Component::kSramReadWord:
+      return "sram_read_word";
+    case Component::kRegisterAccess:
+      return "register_access";
+    case Component::kCount_:
+      break;
+  }
+  return "unknown";
+}
+
+EnergyLedger::EnergyLedger(std::size_t adc_bits) : adc_bits_(adc_bits) {
+  if (adc_bits == 0 || adc_bits > 16) {
+    throw std::invalid_argument("EnergyLedger: ADC resolution must be 1..16 bits");
+  }
+}
+
+void EnergyLedger::add(Component c, std::uint64_t count) {
+  counts_[static_cast<std::size_t>(c)] += count;
+}
+
+std::uint64_t EnergyLedger::count(Component c) const {
+  return counts_[static_cast<std::size_t>(c)];
+}
+
+PicoJoule EnergyLedger::component_energy(Component c, const EnergyParams& params) const {
+  const double n = static_cast<double>(count(c));
+  switch (c) {
+    case Component::kXbarCellRead:
+      return n * params.xbar_cell_read;
+    case Component::kWordlineActivation:
+      return n * params.wordline_activation;
+    case Component::kAdcConversion:
+      return n * params.adc_conversion(adc_bits_);
+    case Component::kSenseAmp:
+      return n * params.sense_amp;
+    case Component::kInputDriver:
+      return n * params.input_driver;
+    case Component::kRngDropoutCycle:
+      return n * params.rng_dropout_cycle;
+    case Component::kMtjWrite:
+      return n * params.mtj_write;
+    case Component::kDigitalAdd:
+      return n * params.add32;
+    case Component::kDigitalMult:
+      return n * params.mult32;
+    case Component::kSramReadWord:
+      return n * params.sram_read_word;
+    case Component::kRegisterAccess:
+      return n * params.register_access;
+    case Component::kCount_:
+      break;
+  }
+  return 0.0;
+}
+
+PicoJoule EnergyLedger::total_energy(const EnergyParams& params) const {
+  PicoJoule total = 0.0;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Component::kCount_); ++i) {
+    total += component_energy(static_cast<Component>(i), params);
+  }
+  return total;
+}
+
+PicoJoule EnergyLedger::total_energy() const {
+  return total_energy(default_energy_params());
+}
+
+Nanosecond EnergyLedger::total_latency(const EnergyParams& params) const {
+  // Serialize the dominant phases; cell reads within one wordline
+  // activation happen in parallel, so charge reads at wordline granularity.
+  return static_cast<double>(count(Component::kWordlineActivation)) * params.t_xbar_read +
+         static_cast<double>(count(Component::kAdcConversion)) * params.t_adc +
+         static_cast<double>(count(Component::kRngDropoutCycle)) * params.t_rng_cycle +
+         static_cast<double>(count(Component::kDigitalMult)) * params.t_digital_mac +
+         static_cast<double>(count(Component::kSramReadWord)) * params.t_sram_read;
+}
+
+EnergyLedger& EnergyLedger::operator+=(const EnergyLedger& other) {
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  return *this;
+}
+
+EnergyLedger& EnergyLedger::operator*=(std::uint64_t factor) {
+  for (auto& c : counts_) {
+    c *= factor;
+  }
+  return *this;
+}
+
+void EnergyLedger::reset() { counts_.fill(0); }
+
+std::string EnergyLedger::report(const EnergyParams& params) const {
+  const PicoJoule total = total_energy(params);
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-22s %14s %12s %7s\n", "component", "events",
+                "energy[pJ]", "share");
+  out += line;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Component::kCount_); ++i) {
+    const auto c = static_cast<Component>(i);
+    if (count(c) == 0) {
+      continue;
+    }
+    const PicoJoule e = component_energy(c, params);
+    std::snprintf(line, sizeof(line), "%-22s %14llu %12.2f %6.1f%%\n",
+                  component_name(c).c_str(),
+                  static_cast<unsigned long long>(count(c)), e,
+                  total > 0.0 ? 100.0 * e / total : 0.0);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-22s %14s %12.2f (%.3f uJ)\n", "total", "", total,
+                to_microjoule(total));
+  out += line;
+  return out;
+}
+
+}  // namespace neuspin::energy

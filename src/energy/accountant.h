@@ -1,0 +1,80 @@
+// Event-counting energy ledger.
+//
+// Architecture models record *events* (cell reads, ADC conversions, RNG
+// cycles, ...); the ledger multiplies counts by the EnergyParams cost table
+// and produces per-component and total energies. Keeping raw counts (not
+// pre-multiplied energy) makes ablations cheap: the same ledger can be
+// re-priced under a different parameter set.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "energy/params.h"
+
+namespace neuspin::energy {
+
+/// Every kind of chargeable event in the architecture models.
+enum class Component : std::uint8_t {
+  kXbarCellRead,
+  kWordlineActivation,
+  kAdcConversion,     ///< priced at the ledger's ADC resolution
+  kSenseAmp,
+  kInputDriver,
+  kRngDropoutCycle,
+  kMtjWrite,
+  kDigitalAdd,
+  kDigitalMult,
+  kSramReadWord,
+  kRegisterAccess,
+  kCount_,            ///< sentinel
+};
+
+[[nodiscard]] std::string component_name(Component c);
+
+/// Counts events and prices them under an EnergyParams table.
+class EnergyLedger {
+ public:
+  explicit EnergyLedger(std::size_t adc_bits = 8);
+
+  /// Record `count` events of kind `c`.
+  void add(Component c, std::uint64_t count);
+
+  [[nodiscard]] std::uint64_t count(Component c) const;
+
+  /// Energy of one component under `params`.
+  [[nodiscard]] PicoJoule component_energy(Component c, const EnergyParams& params) const;
+
+  /// Total energy under `params`.
+  [[nodiscard]] PicoJoule total_energy(const EnergyParams& params) const;
+  /// Total under the default parameter set.
+  [[nodiscard]] PicoJoule total_energy() const;
+
+  /// Total latency assuming the serialized schedule recorded in the counts
+  /// (reads, conversions and RNG cycles do not overlap). Conservative.
+  [[nodiscard]] Nanosecond total_latency(const EnergyParams& params) const;
+
+  /// Merge another ledger's counts into this one.
+  EnergyLedger& operator+=(const EnergyLedger& other);
+
+  /// Multiply all counts (e.g. per-sample ledger -> per-batch ledger).
+  EnergyLedger& operator*=(std::uint64_t factor);
+
+  [[nodiscard]] std::size_t adc_bits() const { return adc_bits_; }
+  void set_adc_bits(std::size_t bits) { adc_bits_ = bits; }
+
+  void reset();
+
+  /// Multi-line human-readable breakdown (component, count, energy, share).
+  [[nodiscard]] std::string report(const EnergyParams& params) const;
+
+ private:
+  std::size_t adc_bits_;
+  std::array<std::uint64_t, static_cast<std::size_t>(Component::kCount_)> counts_{};
+};
+
+/// Convert pJ to uJ (the unit of the paper's Table I).
+[[nodiscard]] constexpr double to_microjoule(PicoJoule pj) { return pj * 1e-6; }
+
+}  // namespace neuspin::energy

@@ -1,0 +1,70 @@
+#include "energy/memory.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace neuspin::energy {
+
+std::string MemoryFootprint::report() const {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "weights=%llu scale=%llu variational=%llu norm=%llu other=%llu "
+                "total=%.2f KiB",
+                static_cast<unsigned long long>(weight_bits),
+                static_cast<unsigned long long>(scale_bits),
+                static_cast<unsigned long long>(variational_bits),
+                static_cast<unsigned long long>(norm_bits),
+                static_cast<unsigned long long>(other_bits), total_kib());
+  return line;
+}
+
+std::string storage_scheme_name(StorageScheme s) {
+  switch (s) {
+    case StorageScheme::kBinaryPoint:
+      return "binary_point";
+    case StorageScheme::kFullPrecisionPoint:
+      return "fp32_point";
+    case StorageScheme::kPerWeightGaussianVi:
+      return "per_weight_gaussian_vi";
+    case StorageScheme::kEnsemble:
+      return "deep_ensemble";
+    case StorageScheme::kSubsetVi:
+      return "subset_vi";
+  }
+  return "unknown";
+}
+
+MemoryFootprint footprint(const ModelShape& shape, StorageScheme scheme) {
+  constexpr std::uint64_t kFloatBits = 32;
+  MemoryFootprint fp;
+  fp.norm_bits = shape.norm_entries * kFloatBits;
+  switch (scheme) {
+    case StorageScheme::kBinaryPoint:
+      fp.weight_bits = shape.weight_count;
+      fp.scale_bits = shape.scale_entries * kFloatBits;
+      break;
+    case StorageScheme::kFullPrecisionPoint:
+      fp.weight_bits = shape.weight_count * kFloatBits;
+      fp.scale_bits = shape.scale_entries * kFloatBits;
+      break;
+    case StorageScheme::kPerWeightGaussianVi:
+      fp.variational_bits = shape.weight_count * 2 * kFloatBits;
+      fp.scale_bits = shape.scale_entries * kFloatBits;
+      break;
+    case StorageScheme::kEnsemble:
+      if (shape.ensemble_members == 0) {
+        throw std::invalid_argument("footprint: ensemble needs >= 1 member");
+      }
+      fp.weight_bits = shape.weight_count * kFloatBits * shape.ensemble_members;
+      fp.scale_bits = shape.scale_entries * kFloatBits * shape.ensemble_members;
+      fp.norm_bits *= shape.ensemble_members;
+      break;
+    case StorageScheme::kSubsetVi:
+      fp.weight_bits = shape.weight_count;                       // binary
+      fp.variational_bits = shape.scale_entries * 2 * kFloatBits; // mu + rho
+      break;
+  }
+  return fp;
+}
+
+}  // namespace neuspin::energy

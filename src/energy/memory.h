@@ -1,0 +1,58 @@
+// Storage-footprint model (paper §III-B.1: "158.7x lower storage memory
+// requirements compared to traditional methods").
+//
+// The footprint of a Bayesian NN depends on how its posterior is stored:
+//   * binary point weights:       1 bit / weight
+//   * full-precision weights:     32 bit / weight
+//   * per-weight Gaussian VI:     64 bit / weight (mean + variance)
+//   * deep ensembles:             members x weight storage
+//   * subset-VI (NeuSpin):        1 bit / weight + 64 bit / scale entry
+// plus small per-layer vectors (scales, norm parameters).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace neuspin::energy {
+
+/// Bit-level footprint of one model under a storage scheme.
+struct MemoryFootprint {
+  std::uint64_t weight_bits = 0;       ///< synaptic storage
+  std::uint64_t scale_bits = 0;        ///< per-layer/per-channel scale vectors
+  std::uint64_t variational_bits = 0;  ///< distribution parameters (mu, sigma)
+  std::uint64_t norm_bits = 0;         ///< normalization parameters
+  std::uint64_t other_bits = 0;        ///< anything else (arbiter state, ...)
+
+  [[nodiscard]] std::uint64_t total_bits() const {
+    return weight_bits + scale_bits + variational_bits + norm_bits + other_bits;
+  }
+  [[nodiscard]] double total_kib() const {
+    return static_cast<double>(total_bits()) / 8.0 / 1024.0;
+  }
+  [[nodiscard]] std::string report() const;
+};
+
+/// Storage schemes for which footprints can be computed.
+enum class StorageScheme : std::uint8_t {
+  kBinaryPoint,        ///< deterministic BNN, 1 bit/weight
+  kFullPrecisionPoint, ///< deterministic float NN, 32 bit/weight
+  kPerWeightGaussianVi,///< classic VI: mu + sigma per weight
+  kEnsemble,           ///< `ensemble_members` full-precision copies
+  kSubsetVi,           ///< NeuSpin: binary weights + Gaussian scale vector
+};
+
+[[nodiscard]] std::string storage_scheme_name(StorageScheme s);
+
+/// Shape summary a footprint is computed from.
+struct ModelShape {
+  std::uint64_t weight_count = 0;   ///< total synapses
+  std::uint64_t scale_entries = 0;  ///< total scale-vector entries
+  std::uint64_t norm_entries = 0;   ///< total normalization parameters
+  std::size_t ensemble_members = 5; ///< used by kEnsemble only
+};
+
+/// Compute the footprint of `shape` under `scheme`.
+[[nodiscard]] MemoryFootprint footprint(const ModelShape& shape, StorageScheme scheme);
+
+}  // namespace neuspin::energy

@@ -1,0 +1,224 @@
+#include "nn/binarize.h"
+
+#include <cmath>
+
+namespace neuspin::nn {
+
+Tensor sign_of(const Tensor& t) {
+  Tensor out = t;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    out[i] = out[i] >= 0.0f ? 1.0f : -1.0f;
+  }
+  return out;
+}
+
+Tensor column_abs_mean(const Tensor& weight) {
+  const std::size_t rows = weight.dim(0);
+  const std::size_t cols = weight.dim(1);
+  Tensor alpha({cols});
+  for (std::size_t j = 0; j < cols; ++j) {
+    float s = 0.0f;
+    for (std::size_t i = 0; i < rows; ++i) {
+      s += std::abs(weight.at(i, j));
+    }
+    alpha[j] = s / static_cast<float>(rows);
+  }
+  return alpha;
+}
+
+// ---------------------------------------------------------- BinaryDense ----
+
+BinaryDense::BinaryDense(std::size_t in_features, std::size_t out_features,
+                         std::mt19937_64& engine)
+    : in_(in_features),
+      out_(out_features),
+      latent_weight_(Tensor::randn({in_features, out_features},
+                                   std::sqrt(2.0f / static_cast<float>(in_features)),
+                                   engine)),
+      bias_({out_features}),
+      weight_grad_({in_features, out_features}),
+      bias_grad_({out_features}) {
+  if (in_features == 0 || out_features == 0) {
+    throw std::invalid_argument("BinaryDense: feature counts must be positive");
+  }
+}
+
+Tensor BinaryDense::forward(const Tensor& input, bool /*training*/) {
+  if (input.rank() != 2 || input.dim(1) != in_) {
+    throw std::invalid_argument("BinaryDense: expected (batch x " + std::to_string(in_) +
+                                "), got " + shape_to_string(input.shape()));
+  }
+  input_cache_ = input;
+  binary_cache_ = sign_of(latent_weight_);
+  alpha_cache_ = column_abs_mean(latent_weight_);
+  Tensor out = matmul(input, binary_cache_);
+  const std::size_t batch = out.dim(0);
+  for (std::size_t i = 0; i < batch; ++i) {
+    for (std::size_t j = 0; j < out_; ++j) {
+      out.at(i, j) = out.at(i, j) * alpha_cache_[j] + bias_[j];
+    }
+  }
+  return out;
+}
+
+Tensor BinaryDense::backward(const Tensor& grad_output) {
+  const std::size_t batch = grad_output.dim(0);
+  // Scale gradients back through alpha (treated as constant per step, the
+  // standard XNOR-Net simplification), then apply the STE window.
+  Tensor g_scaled = grad_output;
+  for (std::size_t i = 0; i < batch; ++i) {
+    for (std::size_t j = 0; j < out_; ++j) {
+      g_scaled.at(i, j) *= alpha_cache_[j];
+      bias_grad_[j] += grad_output.at(i, j);
+    }
+  }
+  Tensor wg = matmul_a_transposed(input_cache_, g_scaled);
+  for (std::size_t i = 0; i < wg.numel(); ++i) {
+    // STE: zero the gradient where the latent weight left the clip window.
+    if (std::abs(latent_weight_[i]) > 1.0f) {
+      wg[i] = 0.0f;
+    }
+  }
+  weight_grad_ += wg;
+  return matmul_transposed(g_scaled, binary_cache_);
+}
+
+std::vector<ParamRef> BinaryDense::parameters() {
+  return {{&latent_weight_, &weight_grad_}, {&bias_, &bias_grad_}};
+}
+
+// --------------------------------------------------------- BinaryConv2d ----
+
+BinaryConv2d::BinaryConv2d(std::size_t in_channels, std::size_t out_channels,
+                           std::size_t kernel, std::size_t padding,
+                           std::mt19937_64& engine)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kernel_(kernel),
+      padding_(padding),
+      latent_weight_(Tensor::randn(
+          {out_channels, in_channels, kernel, kernel},
+          std::sqrt(2.0f / static_cast<float>(in_channels * kernel * kernel)), engine)),
+      bias_({out_channels}),
+      weight_grad_({out_channels, in_channels, kernel, kernel}),
+      bias_grad_({out_channels}) {
+  if (kernel == 0 || in_channels == 0 || out_channels == 0) {
+    throw std::invalid_argument("BinaryConv2d: channels and kernel must be positive");
+  }
+}
+
+Tensor BinaryConv2d::channel_scales() const {
+  const std::size_t per_channel = in_ch_ * kernel_ * kernel_;
+  Tensor alpha({out_ch_});
+  for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+    float s = 0.0f;
+    for (std::size_t i = 0; i < per_channel; ++i) {
+      s += std::abs(latent_weight_[oc * per_channel + i]);
+    }
+    alpha[oc] = s / static_cast<float>(per_channel);
+  }
+  return alpha;
+}
+
+Tensor BinaryConv2d::forward(const Tensor& input, bool /*training*/) {
+  if (input.rank() != 4 || input.dim(1) != in_ch_) {
+    throw std::invalid_argument("BinaryConv2d: expected NCHW with C=" +
+                                std::to_string(in_ch_) + ", got " +
+                                shape_to_string(input.shape()));
+  }
+  input_cache_ = input;
+  binary_cache_ = sign_of(latent_weight_);
+  alpha_cache_ = channel_scales();
+
+  const std::size_t n = input.dim(0);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  const std::size_t oh = h + 2 * padding_ - kernel_ + 1;
+  const std::size_t ow = w + 2 * padding_ - kernel_ + 1;
+  Tensor out({n, out_ch_, oh, ow});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const float alpha = alpha_cache_[oc];
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x) {
+          float acc = 0.0f;
+          for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+            for (std::size_t ky = 0; ky < kernel_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(y + ky) - static_cast<std::ptrdiff_t>(padding_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+                continue;
+              }
+              for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(x + kx) - static_cast<std::ptrdiff_t>(padding_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) {
+                  continue;
+                }
+                acc += input.at4(b, ic, static_cast<std::size_t>(iy),
+                                 static_cast<std::size_t>(ix)) *
+                       binary_cache_.at4(oc, ic, ky, kx);
+              }
+            }
+          }
+          out.at4(b, oc, y, x) = acc * alpha + bias_[oc];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BinaryConv2d::backward(const Tensor& grad_output) {
+  const Tensor& input = input_cache_;
+  const std::size_t n = input.dim(0);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  const std::size_t oh = grad_output.dim(2);
+  const std::size_t ow = grad_output.dim(3);
+  Tensor grad_input(input.shape());
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const float alpha = alpha_cache_[oc];
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x) {
+          const float g_raw = grad_output.at4(b, oc, y, x);
+          if (g_raw == 0.0f) {
+            continue;
+          }
+          bias_grad_[oc] += g_raw;
+          const float g = g_raw * alpha;
+          for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+            for (std::size_t ky = 0; ky < kernel_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(y + ky) - static_cast<std::ptrdiff_t>(padding_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+                continue;
+              }
+              for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(x + kx) - static_cast<std::ptrdiff_t>(padding_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) {
+                  continue;
+                }
+                const auto uy = static_cast<std::size_t>(iy);
+                const auto ux = static_cast<std::size_t>(ix);
+                if (std::abs(latent_weight_.at4(oc, ic, ky, kx)) <= 1.0f) {
+                  weight_grad_.at4(oc, ic, ky, kx) += g * input.at4(b, ic, uy, ux);
+                }
+                grad_input.at4(b, ic, uy, ux) += g * binary_cache_.at4(oc, ic, ky, kx);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> BinaryConv2d::parameters() {
+  return {{&latent_weight_, &weight_grad_}, {&bias_, &bias_grad_}};
+}
+
+}  // namespace neuspin::nn

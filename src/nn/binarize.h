@@ -1,0 +1,98 @@
+// Binary (XNOR-style) layers with latent full-precision weights and
+// straight-through-estimator training (paper §III-A.1 BinBayNN and
+// §IV takeaway 6 "Quantized BayNNs").
+//
+// Weights are binarized as sign(w) scaled by a per-output-column factor
+// alpha = mean(|w_col|) (XNOR-Net style). With +-1 weights and +-1
+// activations, the dense product is exactly the XNOR/popcount operation the
+// 2x(1T-1MTJ) bit-cell computes, so the crossbar mapping in src/xbar is a
+// faithful hardware realization of these layers.
+#pragma once
+
+#include <random>
+
+#include "nn/layers.h"
+#include "nn/tensor.h"
+
+namespace neuspin::nn {
+
+/// Binarize a tensor element-wise to +-1.
+[[nodiscard]] Tensor sign_of(const Tensor& t);
+
+/// Per-column scale alpha_j = mean_i |W_ij| of an (in x out) weight matrix.
+[[nodiscard]] Tensor column_abs_mean(const Tensor& weight);
+
+/// Fully connected layer computing y = (x · sign(W)) * alpha + b.
+///
+/// The latent weight is full precision and receives STE gradients clipped
+/// to the [-1, 1] window; at inference only sign(W) and alpha survive,
+/// which is what gets programmed into the MTJ crossbar.
+class BinaryDense : public Layer {
+ public:
+  BinaryDense(std::size_t in_features, std::size_t out_features,
+              std::mt19937_64& engine);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> parameters() override;
+  [[nodiscard]] std::string name() const override { return "BinaryDense"; }
+
+  [[nodiscard]] std::size_t in_features() const { return in_; }
+  [[nodiscard]] std::size_t out_features() const { return out_; }
+
+  /// Binarized weights (+-1) as deployed on hardware.
+  [[nodiscard]] Tensor binary_weight() const { return sign_of(latent_weight_); }
+  /// Per-column scale factors as deployed on hardware.
+  [[nodiscard]] Tensor scales() const { return column_abs_mean(latent_weight_); }
+  [[nodiscard]] Tensor& latent_weight() { return latent_weight_; }
+  [[nodiscard]] Tensor& bias() { return bias_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Tensor latent_weight_;
+  Tensor bias_;
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor input_cache_;
+  Tensor binary_cache_;
+  Tensor alpha_cache_;
+};
+
+/// Binary convolution: kernels binarized to sign(W) with one alpha per
+/// output channel. NCHW, stride 1, symmetric zero padding.
+class BinaryConv2d : public Layer {
+ public:
+  BinaryConv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               std::size_t padding, std::mt19937_64& engine);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> parameters() override;
+  [[nodiscard]] std::string name() const override { return "BinaryConv2d"; }
+
+  [[nodiscard]] std::size_t in_channels() const { return in_ch_; }
+  [[nodiscard]] std::size_t out_channels() const { return out_ch_; }
+  [[nodiscard]] std::size_t kernel() const { return kernel_; }
+  [[nodiscard]] std::size_t padding() const { return padding_; }
+
+  [[nodiscard]] Tensor binary_weight() const { return sign_of(latent_weight_); }
+  /// One alpha per output channel: mean |W| over (in_ch x k x k).
+  [[nodiscard]] Tensor channel_scales() const;
+  [[nodiscard]] Tensor& latent_weight() { return latent_weight_; }
+
+ private:
+  std::size_t in_ch_;
+  std::size_t out_ch_;
+  std::size_t kernel_;
+  std::size_t padding_;
+  Tensor latent_weight_;  ///< (out_ch, in_ch, k, k)
+  Tensor bias_;
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor input_cache_;
+  Tensor binary_cache_;
+  Tensor alpha_cache_;
+};
+
+}  // namespace neuspin::nn

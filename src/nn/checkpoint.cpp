@@ -1,0 +1,98 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace neuspin::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4e535031;  // "NSP1"
+
+/// Collect every persisted tensor of the model, in a stable order.
+std::vector<Tensor*> persisted_tensors(Sequential& model) {
+  std::vector<Tensor*> tensors;
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    for (const auto& p : model.layer(i).parameters()) {
+      tensors.push_back(p.value);
+    }
+    for (Tensor* s : model.layer(i).state_tensors()) {
+      tensors.push_back(s);
+    }
+  }
+  return tensors;
+}
+
+void write_u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void save_checkpoint(Sequential& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("save_checkpoint: cannot open " + path);
+  }
+  const auto tensors = persisted_tensors(model);
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  write_u64(out, tensors.size());
+  for (const Tensor* t : tensors) {
+    write_u64(out, t->rank());
+    for (std::size_t a = 0; a < t->rank(); ++a) {
+      write_u64(out, t->dim(a));
+    }
+    out.write(reinterpret_cast<const char*>(t->data().data()),
+              static_cast<std::streamsize>(t->numel() * sizeof(float)));
+  }
+  if (!out) {
+    throw std::runtime_error("save_checkpoint: write failed for " + path);
+  }
+}
+
+void load_checkpoint(Sequential& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("load_checkpoint: cannot open " + path);
+  }
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (magic != kMagic) {
+    throw std::runtime_error("load_checkpoint: " + path + " is not a NeuSpin checkpoint");
+  }
+  const auto tensors = persisted_tensors(model);
+  const std::uint64_t count = read_u64(in);
+  if (count != tensors.size()) {
+    throw std::runtime_error("load_checkpoint: checkpoint holds " +
+                             std::to_string(count) + " tensors, model expects " +
+                             std::to_string(tensors.size()));
+  }
+  for (Tensor* t : tensors) {
+    const std::uint64_t rank = read_u64(in);
+    if (rank != t->rank()) {
+      throw std::runtime_error("load_checkpoint: tensor rank mismatch");
+    }
+    for (std::size_t a = 0; a < rank; ++a) {
+      const std::uint64_t dim = read_u64(in);
+      if (dim != t->dim(a)) {
+        throw std::runtime_error("load_checkpoint: tensor shape mismatch at axis " +
+                                 std::to_string(a));
+      }
+    }
+    in.read(reinterpret_cast<char*>(t->data().data()),
+            static_cast<std::streamsize>(t->numel() * sizeof(float)));
+    if (!in) {
+      throw std::runtime_error("load_checkpoint: truncated checkpoint " + path);
+    }
+  }
+}
+
+}  // namespace neuspin::nn

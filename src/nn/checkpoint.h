@@ -1,0 +1,22 @@
+// Model checkpointing: save/load all learnable parameters and persistent
+// state (batch-norm running statistics) of a Sequential to a simple
+// versioned binary format. Loading validates every tensor's shape against
+// the receiving model, so architecture mismatches fail loudly instead of
+// silently corrupting weights.
+#pragma once
+
+#include <string>
+
+#include "nn/model.h"
+
+namespace neuspin::nn {
+
+/// Serialize parameters + state of `model` to `path`.
+/// Throws std::runtime_error on I/O failure.
+void save_checkpoint(Sequential& model, const std::string& path);
+
+/// Restore parameters + state from `path` into `model`.
+/// Throws std::runtime_error on I/O failure or shape/count mismatch.
+void load_checkpoint(Sequential& model, const std::string& path);
+
+}  // namespace neuspin::nn

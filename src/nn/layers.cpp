@@ -1,0 +1,443 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace neuspin::nn {
+
+// ---------------------------------------------------------------- Dense ----
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, std::mt19937_64& engine)
+    : in_(in_features),
+      out_(out_features),
+      weight_(Tensor::randn({in_features, out_features},
+                            std::sqrt(2.0f / static_cast<float>(in_features)), engine)),
+      bias_({out_features}),
+      weight_grad_({in_features, out_features}),
+      bias_grad_({out_features}) {
+  if (in_features == 0 || out_features == 0) {
+    throw std::invalid_argument("Dense: feature counts must be positive");
+  }
+}
+
+Tensor Dense::forward(const Tensor& input, bool /*training*/) {
+  if (input.rank() != 2 || input.dim(1) != in_) {
+    throw std::invalid_argument("Dense: expected (batch x " + std::to_string(in_) +
+                                "), got " + shape_to_string(input.shape()));
+  }
+  input_cache_ = input;
+  Tensor out = matmul(input, weight_);
+  const std::size_t batch = out.dim(0);
+  for (std::size_t i = 0; i < batch; ++i) {
+    for (std::size_t j = 0; j < out_; ++j) {
+      out.at(i, j) += bias_[j];
+    }
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  // dW += x^T g ; db += sum_rows(g) ; dx = g W^T
+  Tensor wg = matmul_a_transposed(input_cache_, grad_output);
+  weight_grad_ += wg;
+  const std::size_t batch = grad_output.dim(0);
+  for (std::size_t i = 0; i < batch; ++i) {
+    for (std::size_t j = 0; j < out_; ++j) {
+      bias_grad_[j] += grad_output.at(i, j);
+    }
+  }
+  return matmul_transposed(grad_output, weight_);
+}
+
+std::vector<ParamRef> Dense::parameters() {
+  return {{&weight_, &weight_grad_}, {&bias_, &bias_grad_}};
+}
+
+// --------------------------------------------------------------- Conv2d ----
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               std::size_t padding, std::mt19937_64& engine)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kernel_(kernel),
+      padding_(padding),
+      weight_(Tensor::randn(
+          {out_channels, in_channels, kernel, kernel},
+          std::sqrt(2.0f / static_cast<float>(in_channels * kernel * kernel)), engine)),
+      bias_({out_channels}),
+      weight_grad_({out_channels, in_channels, kernel, kernel}),
+      bias_grad_({out_channels}) {
+  if (kernel == 0 || in_channels == 0 || out_channels == 0) {
+    throw std::invalid_argument("Conv2d: channels and kernel must be positive");
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+  if (input.rank() != 4 || input.dim(1) != in_ch_) {
+    throw std::invalid_argument("Conv2d: expected NCHW with C=" + std::to_string(in_ch_) +
+                                ", got " + shape_to_string(input.shape()));
+  }
+  input_cache_ = input;
+  const std::size_t n = input.dim(0);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  const std::size_t oh = h + 2 * padding_ - kernel_ + 1;
+  const std::size_t ow = w + 2 * padding_ - kernel_ + 1;
+  Tensor out({n, out_ch_, oh, ow});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x) {
+          float acc = bias_[oc];
+          for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+            for (std::size_t ky = 0; ky < kernel_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(y + ky) - static_cast<std::ptrdiff_t>(padding_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+                continue;
+              }
+              for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(x + kx) - static_cast<std::ptrdiff_t>(padding_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) {
+                  continue;
+                }
+                acc += input.at4(b, ic, static_cast<std::size_t>(iy),
+                                 static_cast<std::size_t>(ix)) *
+                       weight_.at4(oc, ic, ky, kx);
+              }
+            }
+          }
+          out.at4(b, oc, y, x) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const Tensor& input = input_cache_;
+  const std::size_t n = input.dim(0);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  const std::size_t oh = grad_output.dim(2);
+  const std::size_t ow = grad_output.dim(3);
+  Tensor grad_input(input.shape());
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x) {
+          const float g = grad_output.at4(b, oc, y, x);
+          if (g == 0.0f) {
+            continue;
+          }
+          bias_grad_[oc] += g;
+          for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+            for (std::size_t ky = 0; ky < kernel_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(y + ky) - static_cast<std::ptrdiff_t>(padding_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+                continue;
+              }
+              for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(x + kx) - static_cast<std::ptrdiff_t>(padding_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) {
+                  continue;
+                }
+                const auto uy = static_cast<std::size_t>(iy);
+                const auto ux = static_cast<std::size_t>(ix);
+                weight_grad_.at4(oc, ic, ky, kx) += g * input.at4(b, ic, uy, ux);
+                grad_input.at4(b, ic, uy, ux) += g * weight_.at4(oc, ic, ky, kx);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> Conv2d::parameters() {
+  return {{&weight_, &weight_grad_}, {&bias_, &bias_grad_}};
+}
+
+// ------------------------------------------------------------ MaxPool2d ----
+
+Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("MaxPool2d: expected NCHW, got " +
+                                shape_to_string(input.shape()));
+  }
+  input_shape_ = input.shape();
+  const std::size_t n = input.dim(0);
+  const std::size_t c = input.dim(1);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  const std::size_t oh = h / 2;
+  const std::size_t ow = w / 2;
+  Tensor out({n, c, oh, ow});
+  argmax_.assign(out.numel(), 0);
+  std::size_t flat = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x, ++flat) {
+          float best = input.at4(b, ch, 2 * y, 2 * x);
+          std::size_t best_idx = ((b * c + ch) * h + 2 * y) * w + 2 * x;
+          for (std::size_t dy = 0; dy < 2; ++dy) {
+            for (std::size_t dx = 0; dx < 2; ++dx) {
+              const float v = input.at4(b, ch, 2 * y + dy, 2 * x + dx);
+              if (v > best) {
+                best = v;
+                best_idx = ((b * c + ch) * h + 2 * y + dy) * w + 2 * x + dx;
+              }
+            }
+          }
+          out.at4(b, ch, y, x) = best;
+          argmax_[flat] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  Tensor grad_input(input_shape_);
+  for (std::size_t i = 0; i < grad_output.numel(); ++i) {
+    grad_input[argmax_[i]] += grad_output[i];
+  }
+  return grad_input;
+}
+
+// -------------------------------------------------------------- Flatten ----
+
+Tensor Flatten::forward(const Tensor& input, bool /*training*/) {
+  input_shape_ = input.shape();
+  const std::size_t batch = input.dim(0);
+  return input.reshaped({batch, input.numel() / batch});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(input_shape_);
+}
+
+// ----------------------------------------------------------------- ReLU ----
+
+Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+  input_cache_ = input;
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    out[i] = std::max(out[i], 0.0f);
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    if (input_cache_[i] <= 0.0f) {
+      grad[i] = 0.0f;
+    }
+  }
+  return grad;
+}
+
+// ------------------------------------------------------------- HardTanh ----
+
+Tensor HardTanh::forward(const Tensor& input, bool /*training*/) {
+  input_cache_ = input;
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    out[i] = std::clamp(out[i], -1.0f, 1.0f);
+  }
+  return out;
+}
+
+Tensor HardTanh::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    if (input_cache_[i] < -1.0f || input_cache_[i] > 1.0f) {
+      grad[i] = 0.0f;
+    }
+  }
+  return grad;
+}
+
+// ------------------------------------------------------- SignActivation ----
+
+Tensor SignActivation::forward(const Tensor& input, bool /*training*/) {
+  input_cache_ = input;
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    out[i] = out[i] >= 0.0f ? 1.0f : -1.0f;
+  }
+  return out;
+}
+
+Tensor SignActivation::backward(const Tensor& grad_output) {
+  // Straight-through estimator with the |x| <= 1 window (Hubara et al.).
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    if (std::abs(input_cache_[i]) > 1.0f) {
+      grad[i] = 0.0f;
+    }
+  }
+  return grad;
+}
+
+// ------------------------------------------------------------ BatchNorm ----
+
+BatchNorm::BatchNorm(std::size_t features, float momentum, float eps)
+    : features_(features),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_({features}, 1.0f),
+      beta_({features}),
+      gamma_grad_({features}),
+      beta_grad_({features}),
+      running_mean_({features}),
+      running_var_({features}, 1.0f),
+      batch_std_({features}) {
+  if (features == 0) {
+    throw std::invalid_argument("BatchNorm: features must be positive");
+  }
+}
+
+void BatchNorm::resolve_geometry(const Shape& shape, std::size_t& outer,
+                                 std::size_t& inner) const {
+  if (shape.size() == 2 && shape[1] == features_) {
+    outer = shape[0];
+    inner = 1;
+    return;
+  }
+  if (shape.size() == 4 && shape[1] == features_) {
+    outer = shape[0];
+    inner = shape[2] * shape[3];
+    return;
+  }
+  throw std::invalid_argument("BatchNorm(" + std::to_string(features_) +
+                              "): unsupported input shape " + shape_to_string(shape));
+}
+
+Tensor BatchNorm::forward(const Tensor& input, bool training) {
+  std::size_t outer = 0;
+  std::size_t inner = 0;
+  resolve_geometry(input.shape(), outer, inner);
+  input_shape_ = input.shape();
+  const std::size_t count = outer * inner;
+
+  Tensor out(input.shape());
+  normalized_cache_ = Tensor(input.shape());
+
+  for (std::size_t f = 0; f < features_; ++f) {
+    float mean = 0.0f;
+    float var = 0.0f;
+    if (training) {
+      for (std::size_t o = 0; o < outer; ++o) {
+        for (std::size_t i = 0; i < inner; ++i) {
+          mean += input[(o * features_ + f) * inner + i];
+        }
+      }
+      mean /= static_cast<float>(count);
+      for (std::size_t o = 0; o < outer; ++o) {
+        for (std::size_t i = 0; i < inner; ++i) {
+          const float d = input[(o * features_ + f) * inner + i] - mean;
+          var += d * d;
+        }
+      }
+      var /= static_cast<float>(count);
+      running_mean_[f] = (1.0f - momentum_) * running_mean_[f] + momentum_ * mean;
+      running_var_[f] = (1.0f - momentum_) * running_var_[f] + momentum_ * var;
+    } else {
+      mean = running_mean_[f];
+      var = running_var_[f];
+    }
+    const float inv_std = 1.0f / std::sqrt(var + eps_);
+    batch_std_[f] = std::sqrt(var + eps_);
+    for (std::size_t o = 0; o < outer; ++o) {
+      for (std::size_t i = 0; i < inner; ++i) {
+        const std::size_t idx = (o * features_ + f) * inner + i;
+        const float norm = (input[idx] - mean) * inv_std;
+        normalized_cache_[idx] = norm;
+        out[idx] = gamma_[f] * norm + beta_[f];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm::backward(const Tensor& grad_output) {
+  std::size_t outer = 0;
+  std::size_t inner = 0;
+  resolve_geometry(input_shape_, outer, inner);
+  const float count = static_cast<float>(outer * inner);
+
+  Tensor grad_input(input_shape_);
+  for (std::size_t f = 0; f < features_; ++f) {
+    float sum_g = 0.0f;
+    float sum_gx = 0.0f;
+    for (std::size_t o = 0; o < outer; ++o) {
+      for (std::size_t i = 0; i < inner; ++i) {
+        const std::size_t idx = (o * features_ + f) * inner + i;
+        sum_g += grad_output[idx];
+        sum_gx += grad_output[idx] * normalized_cache_[idx];
+      }
+    }
+    gamma_grad_[f] += sum_gx;
+    beta_grad_[f] += sum_g;
+    const float scale = gamma_[f] / batch_std_[f];
+    for (std::size_t o = 0; o < outer; ++o) {
+      for (std::size_t i = 0; i < inner; ++i) {
+        const std::size_t idx = (o * features_ + f) * inner + i;
+        grad_input[idx] = scale * (grad_output[idx] - sum_g / count -
+                                   normalized_cache_[idx] * sum_gx / count);
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> BatchNorm::parameters() {
+  return {{&gamma_, &gamma_grad_}, {&beta_, &beta_grad_}};
+}
+
+// -------------------------------------------------------------- Dropout ----
+
+Dropout::Dropout(float probability, std::uint64_t seed)
+    : p_(probability), engine_(seed) {
+  if (probability < 0.0f || probability >= 1.0f) {
+    throw std::invalid_argument("Dropout: probability must lie in [0,1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  const bool active = training || mc_mode_;
+  if (!active || p_ == 0.0f) {
+    mask_ = Tensor(input.shape(), 1.0f);
+    return input;
+  }
+  std::bernoulli_distribution keep(1.0 - p_);
+  const float scale = 1.0f / (1.0f - p_);
+  mask_ = Tensor(input.shape());
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    const float m = keep(engine_) ? scale : 0.0f;
+    mask_[i] = m;
+    out[i] *= m;
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    grad[i] *= mask_[i];
+  }
+  return grad;
+}
+
+}  // namespace neuspin::nn

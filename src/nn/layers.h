@@ -1,0 +1,227 @@
+// Layer zoo of the from-scratch NN framework.
+//
+// Every layer implements forward/backward with explicit caches, exposes its
+// learnable parameters through ParamRef so optimizers can update them, and
+// keeps all randomness behind injected engines for reproducibility.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace neuspin::nn {
+
+/// A view of one learnable parameter and its gradient accumulator.
+struct ParamRef {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+/// Abstract differentiable layer.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Compute the layer output. `training` toggles batch statistics,
+  /// dropout sampling, and other train-only behaviour.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Back-propagate: given dL/d(output), return dL/d(input) and accumulate
+  /// parameter gradients. Must be called after a forward pass.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters (empty for stateless layers).
+  virtual std::vector<ParamRef> parameters() { return {}; }
+
+  /// Non-learnable persistent state (e.g. batch-norm running statistics),
+  /// exposed so checkpoints can round-trip a trained model exactly.
+  virtual std::vector<Tensor*> state_tensors() { return {}; }
+
+  /// Human-readable identifier for diagnostics.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Fully connected layer: y = x W + b, x is (batch x in), W is (in x out).
+class Dense : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features, std::mt19937_64& engine);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> parameters() override;
+  [[nodiscard]] std::string name() const override { return "Dense"; }
+
+  [[nodiscard]] std::size_t in_features() const { return in_; }
+  [[nodiscard]] std::size_t out_features() const { return out_; }
+  [[nodiscard]] Tensor& weight() { return weight_; }
+  [[nodiscard]] Tensor& bias() { return bias_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Tensor weight_;
+  Tensor bias_;
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor input_cache_;
+};
+
+/// 2D convolution over NCHW tensors, stride 1, symmetric zero padding.
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t padding, std::mt19937_64& engine);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> parameters() override;
+  [[nodiscard]] std::string name() const override { return "Conv2d"; }
+
+  [[nodiscard]] std::size_t in_channels() const { return in_ch_; }
+  [[nodiscard]] std::size_t out_channels() const { return out_ch_; }
+  [[nodiscard]] std::size_t kernel() const { return kernel_; }
+  [[nodiscard]] Tensor& weight() { return weight_; }
+
+ private:
+  std::size_t in_ch_;
+  std::size_t out_ch_;
+  std::size_t kernel_;
+  std::size_t padding_;
+  Tensor weight_;  ///< (out_ch, in_ch, k, k)
+  Tensor bias_;    ///< (out_ch)
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor input_cache_;
+};
+
+/// 2x2 max pooling with stride 2 over NCHW tensors.
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d() = default;
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  Shape input_shape_;
+  std::vector<std::size_t> argmax_;  ///< flat input index of each pooled max
+};
+
+/// Collapse all non-batch axes: (N, ...) -> (N, features).
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape input_shape_;
+};
+
+/// Rectified linear activation.
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor input_cache_;
+};
+
+/// Hard tanh used as the binary activation's latent clamp.
+class HardTanh : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "HardTanh"; }
+
+ private:
+  Tensor input_cache_;
+};
+
+/// Sign activation with straight-through estimator (BNN activation;
+/// paper §III-A.1: "standard matrix-vector multiplications are replaced
+/// with XNOR operations", which requires +-1 activations).
+class SignActivation : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "Sign"; }
+
+ private:
+  Tensor input_cache_;
+};
+
+/// Batch normalization over features (rank-2) or channels (rank-4).
+/// Standard order: normalize first, then the optional affine transform —
+/// the paper's InvertedNorm (src/core/affinedrop.h) flips this order.
+class BatchNorm : public Layer {
+ public:
+  explicit BatchNorm(std::size_t features, float momentum = 0.1f, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> parameters() override;
+  [[nodiscard]] std::string name() const override { return "BatchNorm"; }
+
+  std::vector<Tensor*> state_tensors() override {
+    return {&running_mean_, &running_var_};
+  }
+
+  [[nodiscard]] std::size_t features() const { return features_; }
+  [[nodiscard]] Tensor& gamma() { return gamma_; }
+  [[nodiscard]] Tensor& beta() { return beta_; }
+  [[nodiscard]] const Tensor& running_mean() const { return running_mean_; }
+  [[nodiscard]] const Tensor& running_var() const { return running_var_; }
+
+ private:
+  /// Iterate input as (outer, features, inner): rank-2 has inner == 1;
+  /// rank-4 NCHW has inner == H*W.
+  void resolve_geometry(const Shape& shape, std::size_t& outer,
+                        std::size_t& inner) const;
+
+  std::size_t features_;
+  float momentum_;
+  float eps_;
+  Tensor gamma_;
+  Tensor beta_;
+  Tensor gamma_grad_;
+  Tensor beta_grad_;
+  Tensor running_mean_;
+  Tensor running_var_;
+  // Caches for backward.
+  Tensor normalized_cache_;
+  Tensor batch_std_;
+  Shape input_shape_;
+};
+
+/// Conventional element-wise dropout (baseline MC-Dropout). Keeps the
+/// activation scale by inverted-dropout (divide kept units by 1-p).
+/// In NeuSpin, hardware variants replace the mask source with SpinRng.
+class Dropout : public Layer {
+ public:
+  Dropout(float probability, std::uint64_t seed);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "Dropout"; }
+
+  [[nodiscard]] float probability() const { return p_; }
+  /// MC-Dropout keeps sampling at inference; enable_at_inference(true)
+  /// makes `training == false` forward passes stochastic too.
+  void enable_at_inference(bool on) { mc_mode_ = on; }
+
+ private:
+  float p_;
+  bool mc_mode_ = false;
+  std::mt19937_64 engine_;
+  Tensor mask_;
+};
+
+}  // namespace neuspin::nn

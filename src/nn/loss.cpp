@@ -1,0 +1,119 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace neuspin::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::size_t>& labels,
+                                 float label_smoothing) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax_cross_entropy: expected rank-2 logits");
+  }
+  if (label_smoothing < 0.0f || label_smoothing >= 1.0f) {
+    throw std::invalid_argument("softmax_cross_entropy: label_smoothing must lie in [0,1)");
+  }
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  if (labels.size() != batch) {
+    throw std::invalid_argument("softmax_cross_entropy: label count " +
+                                std::to_string(labels.size()) + " != batch " +
+                                std::to_string(batch));
+  }
+  Tensor probs = softmax_rows(logits);
+  LossResult result;
+  result.grad = probs;
+  float loss = 0.0f;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  const float off_target = label_smoothing / static_cast<float>(classes);
+  const float on_target = 1.0f - label_smoothing + off_target;
+  for (std::size_t i = 0; i < batch; ++i) {
+    const std::size_t y = labels[i];
+    if (y >= classes) {
+      throw std::out_of_range("softmax_cross_entropy: label " + std::to_string(y) +
+                              " out of range for " + std::to_string(classes) +
+                              " classes");
+    }
+    // Cross-entropy against the smoothed target distribution.
+    for (std::size_t j = 0; j < classes; ++j) {
+      const float target = j == y ? on_target : off_target;
+      if (target > 0.0f) {
+        loss -= target * std::log(std::max(probs.at(i, j), 1e-12f));
+      }
+      result.grad.at(i, j) -= target;
+    }
+  }
+  result.grad *= inv_batch;
+  result.value = loss * inv_batch;
+  return result;
+}
+
+LossResult mean_squared_error(const Tensor& prediction, const Tensor& target) {
+  if (prediction.shape() != target.shape()) {
+    throw std::invalid_argument("mean_squared_error: shape mismatch " +
+                                shape_to_string(prediction.shape()) + " vs " +
+                                shape_to_string(target.shape()));
+  }
+  LossResult result;
+  result.grad = Tensor(prediction.shape());
+  const float inv_n = 1.0f / static_cast<float>(prediction.numel());
+  float loss = 0.0f;
+  for (std::size_t i = 0; i < prediction.numel(); ++i) {
+    const float d = prediction[i] - target[i];
+    loss += d * d;
+    result.grad[i] = 2.0f * d * inv_n;
+  }
+  result.value = loss * inv_n;
+  return result;
+}
+
+float scale_regularizer(const Tensor& scale, float lambda, Tensor& grad) {
+  if (grad.shape() != scale.shape()) {
+    throw std::invalid_argument("scale_regularizer: grad shape mismatch");
+  }
+  const float inv_n = 1.0f / static_cast<float>(scale.numel());
+  float value = 0.0f;
+  for (std::size_t i = 0; i < scale.numel(); ++i) {
+    const float d = scale[i] - 1.0f;
+    value += d * d;
+    grad[i] += lambda * 2.0f * d * inv_n;
+  }
+  return lambda * value * inv_n;
+}
+
+float softplus(float x) {
+  if (x > 20.0f) {
+    return x;
+  }
+  return std::log1p(std::exp(x));
+}
+
+float softplus_grad(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+float gaussian_scale_kl(const Tensor& mu, const Tensor& rho, float prior_sigma,
+                        float weight, Tensor& mu_grad, Tensor& rho_grad) {
+  if (mu.shape() != rho.shape() || mu_grad.shape() != mu.shape() ||
+      rho_grad.shape() != rho.shape()) {
+    throw std::invalid_argument("gaussian_scale_kl: shape mismatch");
+  }
+  if (prior_sigma <= 0.0f) {
+    throw std::invalid_argument("gaussian_scale_kl: prior_sigma must be positive");
+  }
+  // KL(N(mu, s^2) || N(1, p^2)) =
+  //   log(p/s) + (s^2 + (mu-1)^2) / (2 p^2) - 1/2, summed over entries.
+  const float p2 = prior_sigma * prior_sigma;
+  float kl = 0.0f;
+  for (std::size_t i = 0; i < mu.numel(); ++i) {
+    const float s = softplus(rho[i]) + 1e-8f;
+    const float d = mu[i] - 1.0f;
+    kl += std::log(prior_sigma / s) + (s * s + d * d) / (2.0f * p2) - 0.5f;
+    mu_grad[i] += weight * d / p2;
+    // dKL/ds = -1/s + s/p^2, chain through softplus.
+    rho_grad[i] += weight * (-1.0f / s + s / p2) * softplus_grad(rho[i]);
+  }
+  return weight * kl;
+}
+
+}  // namespace neuspin::nn

@@ -1,0 +1,54 @@
+// Loss functions and regularizers.
+//
+// Besides the standard classification/regression losses, this module hosts
+// the paper-specific regularizers: the scale regularizer of SpinScaleDrop
+// (§III-A.3: "encourage it to be positive and centered around one") and the
+// KL term of the Gaussian variational posterior used by the VI methods.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace neuspin::nn {
+
+/// Result of a loss evaluation: scalar value + gradient wrt predictions.
+struct LossResult {
+  float value = 0.0f;
+  Tensor grad;  ///< dL/d(prediction), already averaged over the batch
+};
+
+/// Softmax cross-entropy over (batch x classes) logits with integer labels.
+/// `label_smoothing` in [0,1) mixes the one-hot target with the uniform
+/// distribution — the calibration-friendly objective the SpinDrop paper's
+/// "specifically designed learning objective" calls for (it keeps logits
+/// small so predictive entropy remains informative on unfamiliar inputs).
+[[nodiscard]] LossResult softmax_cross_entropy(const Tensor& logits,
+                                               const std::vector<std::size_t>& labels,
+                                               float label_smoothing = 0.0f);
+
+/// Mean squared error for (batch x dims) predictions.
+[[nodiscard]] LossResult mean_squared_error(const Tensor& prediction,
+                                            const Tensor& target);
+
+/// SpinScaleDrop scale regularizer: lambda * mean((s - 1)^2), penalizing
+/// scale entries that drift from one (the natural "identity" for binary
+/// weights). Returns value and accumulates gradient into `grad`.
+[[nodiscard]] float scale_regularizer(const Tensor& scale, float lambda, Tensor& grad);
+
+/// KL divergence of a diagonal Gaussian q = N(mu, sigma^2) from the unit
+/// Gaussian prior N(1, prior_sigma^2) — the prior is centered at one, not
+/// zero, because the Bayesian subset parameters are *scales*.
+/// sigma is parameterized as softplus(rho).
+/// Gradients are accumulated into mu_grad / rho_grad.
+[[nodiscard]] float gaussian_scale_kl(const Tensor& mu, const Tensor& rho,
+                                      float prior_sigma, float weight, Tensor& mu_grad,
+                                      Tensor& rho_grad);
+
+/// Numerically stable softplus.
+[[nodiscard]] float softplus(float x);
+/// Derivative of softplus (the logistic sigmoid).
+[[nodiscard]] float softplus_grad(float x);
+
+}  // namespace neuspin::nn

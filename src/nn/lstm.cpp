@@ -1,0 +1,153 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace neuspin::nn {
+
+namespace {
+
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+Lstm::Lstm(std::size_t input_dim, std::size_t hidden_dim, std::mt19937_64& engine)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      wx_(Tensor::randn({input_dim, 4 * hidden_dim},
+                        1.0f / std::sqrt(static_cast<float>(input_dim)), engine)),
+      wh_(Tensor::randn({hidden_dim, 4 * hidden_dim},
+                        1.0f / std::sqrt(static_cast<float>(hidden_dim)), engine)),
+      b_({4 * hidden_dim}),
+      wx_grad_({input_dim, 4 * hidden_dim}),
+      wh_grad_({hidden_dim, 4 * hidden_dim}),
+      b_grad_({4 * hidden_dim}) {
+  if (input_dim == 0 || hidden_dim == 0) {
+    throw std::invalid_argument("Lstm: dimensions must be positive");
+  }
+  // Forget-gate bias starts at 1 (standard trick for gradient flow).
+  for (std::size_t j = 0; j < hidden_dim_; ++j) {
+    b_[hidden_dim_ + j] = 1.0f;
+  }
+}
+
+Tensor Lstm::forward(const Tensor& input, bool /*training*/) {
+  if (input.rank() != 3 || input.dim(2) != input_dim_) {
+    throw std::invalid_argument("Lstm: expected (batch x time x " +
+                                std::to_string(input_dim_) + "), got " +
+                                shape_to_string(input.shape()));
+  }
+  input_cache_ = input;
+  const std::size_t n = input.dim(0);
+  const std::size_t t_len = input.dim(1);
+  const std::size_t h = hidden_dim_;
+
+  gates_.assign(t_len, Tensor({n, 4 * h}));
+  cells_.assign(t_len, Tensor({n, h}));
+  hiddens_.assign(t_len, Tensor({n, h}));
+
+  Tensor h_prev({n, h});
+  Tensor c_prev({n, h});
+  for (std::size_t t = 0; t < t_len; ++t) {
+    Tensor& gates = gates_[t];
+    // pre-activations: x_t Wx + h_{t-1} Wh + b
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < 4 * h; ++j) {
+        float acc = b_[j];
+        for (std::size_t d = 0; d < input_dim_; ++d) {
+          acc += input[(i * t_len + t) * input_dim_ + d] * wx_.at(d, j);
+        }
+        for (std::size_t d = 0; d < h; ++d) {
+          acc += h_prev.at(i, d) * wh_.at(d, j);
+        }
+        gates.at(i, j) = acc;
+      }
+    }
+    // activations and state update
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < h; ++j) {
+        const float ig = sigmoid(gates.at(i, j));
+        const float fg = sigmoid(gates.at(i, h + j));
+        const float gg = std::tanh(gates.at(i, 2 * h + j));
+        const float og = sigmoid(gates.at(i, 3 * h + j));
+        gates.at(i, j) = ig;
+        gates.at(i, h + j) = fg;
+        gates.at(i, 2 * h + j) = gg;
+        gates.at(i, 3 * h + j) = og;
+        const float c = fg * c_prev.at(i, j) + ig * gg;
+        cells_[t].at(i, j) = c;
+        hiddens_[t].at(i, j) = og * std::tanh(c);
+      }
+    }
+    h_prev = hiddens_[t];
+    c_prev = cells_[t];
+  }
+  return hiddens_.back();
+}
+
+Tensor Lstm::backward(const Tensor& grad_output) {
+  const std::size_t n = input_cache_.dim(0);
+  const std::size_t t_len = input_cache_.dim(1);
+  const std::size_t h = hidden_dim_;
+  if (grad_output.rank() != 2 || grad_output.dim(0) != n || grad_output.dim(1) != h) {
+    throw std::invalid_argument("Lstm::backward: expected (batch x hidden) gradient");
+  }
+
+  Tensor grad_input(input_cache_.shape());
+  Tensor dh = grad_output;
+  Tensor dc({n, h});
+  for (std::size_t t = t_len; t-- > 0;) {
+    const Tensor& gates = gates_[t];
+    Tensor dgates({n, 4 * h});  // gradient on pre-activations
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < h; ++j) {
+        const float ig = gates.at(i, j);
+        const float fg = gates.at(i, h + j);
+        const float gg = gates.at(i, 2 * h + j);
+        const float og = gates.at(i, 3 * h + j);
+        const float c = cells_[t].at(i, j);
+        const float tanh_c = std::tanh(c);
+        const float c_prev = t > 0 ? cells_[t - 1].at(i, j) : 0.0f;
+
+        const float dht = dh.at(i, j);
+        float dct = dc.at(i, j) + dht * og * (1.0f - tanh_c * tanh_c);
+
+        dgates.at(i, 3 * h + j) = dht * tanh_c * og * (1.0f - og);
+        dgates.at(i, j) = dct * gg * ig * (1.0f - ig);
+        dgates.at(i, h + j) = dct * c_prev * fg * (1.0f - fg);
+        dgates.at(i, 2 * h + j) = dct * ig * (1.0f - gg * gg);
+        dc.at(i, j) = dct * fg;
+      }
+    }
+    // Parameter gradients and propagated gradients.
+    Tensor dh_next({n, h});
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < 4 * h; ++j) {
+        const float dg = dgates.at(i, j);
+        if (dg == 0.0f) {
+          continue;
+        }
+        b_grad_[j] += dg;
+        for (std::size_t d = 0; d < input_dim_; ++d) {
+          const float x = input_cache_[(i * t_len + t) * input_dim_ + d];
+          wx_grad_.at(d, j) += dg * x;
+          grad_input[(i * t_len + t) * input_dim_ + d] += dg * wx_.at(d, j);
+        }
+        if (t > 0) {
+          for (std::size_t d = 0; d < h; ++d) {
+            wh_grad_.at(d, j) += dg * hiddens_[t - 1].at(i, d);
+            dh_next.at(i, d) += dg * wh_.at(d, j);
+          }
+        }
+      }
+    }
+    dh = dh_next;
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> Lstm::parameters() {
+  return {{&wx_, &wx_grad_}, {&wh_, &wh_grad_}, {&b_, &b_grad_}};
+}
+
+}  // namespace neuspin::nn

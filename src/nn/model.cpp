@@ -1,0 +1,165 @@
+#include "nn/model.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace neuspin::nn {
+
+std::pair<Tensor, std::vector<std::size_t>> Dataset::batch(std::size_t begin,
+                                                           std::size_t end) const {
+  if (begin >= end || end > size()) {
+    throw std::out_of_range("Dataset::batch: invalid range");
+  }
+  const std::size_t per_sample = inputs.numel() / size();
+  Shape batch_shape = inputs.shape();
+  batch_shape[0] = end - begin;
+  Tensor out(batch_shape);
+  std::copy(inputs.data().begin() + static_cast<std::ptrdiff_t>(begin * per_sample),
+            inputs.data().begin() + static_cast<std::ptrdiff_t>(end * per_sample),
+            out.data().begin());
+  std::vector<std::size_t> batch_labels(labels.begin() + static_cast<std::ptrdiff_t>(begin),
+                                        labels.begin() + static_cast<std::ptrdiff_t>(end));
+  return {std::move(out), std::move(batch_labels)};
+}
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers_) {
+    x = layer->forward(x, training);
+  }
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<ParamRef> Sequential::parameters() {
+  std::vector<ParamRef> all;
+  for (auto& layer : layers_) {
+    auto p = layer->parameters();
+    all.insert(all.end(), p.begin(), p.end());
+  }
+  return all;
+}
+
+std::size_t Sequential::parameter_count() {
+  std::size_t n = 0;
+  for (const auto& p : parameters()) {
+    n += p.value->numel();
+  }
+  return n;
+}
+
+namespace {
+
+/// Reorder a dataset along the batch axis by `order`.
+Dataset shuffled(const Dataset& data, const std::vector<std::size_t>& order) {
+  const std::size_t per_sample = data.inputs.numel() / data.size();
+  Dataset out;
+  out.inputs = Tensor(data.inputs.shape());
+  out.labels.resize(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::size_t src = order[i];
+    std::copy(
+        data.inputs.data().begin() + static_cast<std::ptrdiff_t>(src * per_sample),
+        data.inputs.data().begin() + static_cast<std::ptrdiff_t>((src + 1) * per_sample),
+        out.inputs.data().begin() + static_cast<std::ptrdiff_t>(i * per_sample));
+    out.labels[i] = data.labels[src];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<EpochStats> train_classifier(Sequential& model, const Dataset& train,
+                                         const TrainConfig& config) {
+  if (train.size() == 0) {
+    throw std::invalid_argument("train_classifier: empty dataset");
+  }
+  Adam optimizer(model.parameters(), config.lr);
+  std::mt19937_64 shuffle_engine(config.shuffle_seed);
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<EpochStats> history;
+  history.reserve(config.epochs);
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    optimizer.set_lr(config.lr *
+                     std::pow(config.lr_decay,
+                              static_cast<float>(epoch / std::max<std::size_t>(
+                                                             config.lr_decay_period, 1))));
+    std::shuffle(order.begin(), order.end(), shuffle_engine);
+    const Dataset data = shuffled(train, order);
+
+    EpochStats stats;
+    std::size_t correct = 0;
+    std::size_t steps = 0;
+    for (std::size_t begin = 0; begin < data.size(); begin += config.batch_size) {
+      const std::size_t end = std::min(begin + config.batch_size, data.size());
+      auto [inputs, labels] = data.batch(begin, end);
+      Tensor logits = model.forward(inputs, /*training=*/true);
+      LossResult loss = softmax_cross_entropy(logits, labels, config.label_smoothing);
+      if (config.regularizer) {
+        loss.value += config.regularizer();
+      }
+      (void)model.backward(loss.grad);
+      optimizer.step();
+
+      stats.train_loss += loss.value;
+      ++steps;
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        std::size_t best = 0;
+        for (std::size_t j = 1; j < logits.dim(1); ++j) {
+          if (logits.at(i, j) > logits.at(i, best)) {
+            best = j;
+          }
+        }
+        if (best == labels[i]) {
+          ++correct;
+        }
+      }
+    }
+    stats.train_loss /= static_cast<float>(std::max<std::size_t>(steps, 1));
+    stats.train_accuracy = static_cast<float>(correct) / static_cast<float>(data.size());
+    history.push_back(stats);
+    if (config.verbose) {
+      std::printf("epoch %zu: loss=%.4f acc=%.4f\n", epoch, stats.train_loss,
+                  static_cast<double>(stats.train_accuracy));
+    }
+  }
+  return history;
+}
+
+float evaluate_accuracy(Sequential& model, const Dataset& test) {
+  if (test.size() == 0) {
+    throw std::invalid_argument("evaluate_accuracy: empty dataset");
+  }
+  std::size_t correct = 0;
+  const std::size_t batch_size = 64;
+  for (std::size_t begin = 0; begin < test.size(); begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, test.size());
+    auto [inputs, labels] = test.batch(begin, end);
+    const Tensor logits = model.forward(inputs, /*training=*/false);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      std::size_t best = 0;
+      for (std::size_t j = 1; j < logits.dim(1); ++j) {
+        if (logits.at(i, j) > logits.at(i, best)) {
+          best = j;
+        }
+      }
+      if (best == labels[i]) {
+        ++correct;
+      }
+    }
+  }
+  return static_cast<float>(correct) / static_cast<float>(test.size());
+}
+
+}  // namespace neuspin::nn

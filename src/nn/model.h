@@ -1,0 +1,101 @@
+// Sequential model container plus training/evaluation loops.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/optim.h"
+#include "nn/tensor.h"
+
+namespace neuspin::nn {
+
+/// Supervised classification dataset: inputs (N x ...) with one label each.
+struct Dataset {
+  Tensor inputs;
+  std::vector<std::size_t> labels;
+
+  [[nodiscard]] std::size_t size() const { return labels.size(); }
+  /// Extract rows [begin, end) as a batch (copies).
+  [[nodiscard]] std::pair<Tensor, std::vector<std::size_t>> batch(std::size_t begin,
+                                                                  std::size_t end) const;
+};
+
+/// Linear stack of layers; owns them.
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  /// Construct a layer in place and return a typed reference to it.
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  /// Replace the layer at index `i` (used e.g. to swap a trained
+  /// variational layer for its in-memory SpinBayes approximation).
+  void replace(std::size_t i, std::unique_ptr<Layer> layer) {
+    layers_.at(i) = std::move(layer);
+  }
+
+  [[nodiscard]] Tensor forward(const Tensor& input, bool training);
+  /// Back-propagate through the whole stack; returns dL/d(input).
+  [[nodiscard]] Tensor backward(const Tensor& grad_output);
+
+  [[nodiscard]] std::vector<ParamRef> parameters();
+
+  [[nodiscard]] std::size_t size() const { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_[i]; }
+  [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+  /// Total learnable scalar count.
+  [[nodiscard]] std::size_t parameter_count();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Configuration of the classification training loop.
+struct TrainConfig {
+  std::size_t epochs = 10;
+  std::size_t batch_size = 32;
+  float lr = 0.01f;
+  float lr_decay = 0.5f;          ///< multiplied in every `lr_decay_period`
+  std::size_t lr_decay_period = 5;
+  std::uint64_t shuffle_seed = 7;
+  bool verbose = false;
+  /// Label smoothing of the cross-entropy target (0 disables).
+  float label_smoothing = 0.0f;
+  /// Extra loss hook evaluated once per step (regularizers: KL, scale reg).
+  /// Returns the additional loss value; gradients must be accumulated into
+  /// the parameters' own grad tensors by the hook.
+  std::function<float()> regularizer;
+};
+
+/// Per-epoch training record.
+struct EpochStats {
+  float train_loss = 0.0f;
+  float train_accuracy = 0.0f;
+};
+
+/// Train `model` on `train` with softmax cross-entropy and Adam.
+/// Returns per-epoch statistics.
+std::vector<EpochStats> train_classifier(Sequential& model, const Dataset& train,
+                                         const TrainConfig& config);
+
+/// Fraction of correctly classified samples (single deterministic pass).
+[[nodiscard]] float evaluate_accuracy(Sequential& model, const Dataset& test);
+
+}  // namespace neuspin::nn

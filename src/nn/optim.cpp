@@ -1,0 +1,98 @@
+#include "nn/optim.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace neuspin::nn {
+
+Optimizer::Optimizer(std::vector<ParamRef> params) : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    if (p.value == nullptr || p.grad == nullptr) {
+      throw std::invalid_argument("Optimizer: null parameter reference");
+    }
+    if (p.value->shape() != p.grad->shape()) {
+      throw std::invalid_argument("Optimizer: value/grad shape mismatch");
+    }
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) {
+    p.grad->fill(0.0f);
+  }
+}
+
+std::size_t Optimizer::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& p : params_) {
+    n += p.value->numel();
+  }
+  return n;
+}
+
+Sgd::Sgd(std::vector<ParamRef> params, float lr, float momentum, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.emplace_back(p.value->shape());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Tensor& value = *params_[k].value;
+    Tensor& grad = *params_[k].grad;
+    Tensor& vel = velocity_[k];
+    for (std::size_t i = 0; i < value.numel(); ++i) {
+      const float g = grad[i] + weight_decay_ * value[i];
+      vel[i] = momentum_ * vel[i] + g;
+      value[i] -= lr_ * vel[i];
+    }
+    grad.fill(0.0f);
+  }
+}
+
+Adam::Adam(std::vector<ParamRef> params, float lr, float beta1, float beta2, float eps)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value->shape());
+    v_.emplace_back(p.value->shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Tensor& value = *params_[k].value;
+    Tensor& grad = *params_[k].grad;
+    for (std::size_t i = 0; i < value.numel(); ++i) {
+      const float g = grad[i];
+      m_[k][i] = beta1_ * m_[k][i] + (1.0f - beta1_) * g;
+      v_[k][i] = beta2_ * v_[k][i] + (1.0f - beta2_) * g * g;
+      const float mhat = m_[k][i] / bc1;
+      const float vhat = v_[k][i] / bc2;
+      value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+    grad.fill(0.0f);
+  }
+}
+
+StepDecay::StepDecay(float initial_lr, float factor, std::size_t period)
+    : initial_lr_(initial_lr), factor_(factor), period_(period) {
+  if (initial_lr <= 0.0f || factor <= 0.0f || period == 0) {
+    throw std::invalid_argument("StepDecay: invalid schedule parameters");
+  }
+}
+
+float StepDecay::lr_for_epoch(std::size_t epoch) const {
+  return initial_lr_ * std::pow(factor_, static_cast<float>(epoch / period_));
+}
+
+}  // namespace neuspin::nn

@@ -1,0 +1,82 @@
+// Optimizers operating on ParamRef views exposed by layers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace neuspin::nn {
+
+/// Abstract first-order optimizer.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ParamRef> params);
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the accumulated gradients, then clear them.
+  virtual void step() = 0;
+
+  /// Zero all gradient accumulators.
+  void zero_grad();
+
+  [[nodiscard]] std::size_t parameter_count() const;
+
+ protected:
+  std::vector<ParamRef> params_;
+};
+
+/// Stochastic gradient descent with classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ParamRef> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.0f);
+
+  void step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  [[nodiscard]] float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ParamRef> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f);
+
+  void step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  [[nodiscard]] float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  std::size_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Step-decay learning-rate schedule: lr *= factor every `period` epochs.
+class StepDecay {
+ public:
+  StepDecay(float initial_lr, float factor, std::size_t period);
+
+  /// Learning rate to use for `epoch` (0-based).
+  [[nodiscard]] float lr_for_epoch(std::size_t epoch) const;
+
+ private:
+  float initial_lr_;
+  float factor_;
+  std::size_t period_;
+};
+
+}  // namespace neuspin::nn

@@ -1,0 +1,262 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace neuspin::nn {
+
+namespace {
+
+std::size_t shape_numel(const Shape& shape) {
+  if (shape.empty()) {
+    return 0;
+  }
+  std::size_t n = 1;
+  for (std::size_t d : shape) {
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::string shape_to_string(const Shape& shape) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += std::to_string(shape[i]);
+  }
+  return out + "]";
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_numel(shape_)) {
+    throw std::invalid_argument("Tensor: data size " + std::to_string(data_.size()) +
+                                " does not match shape " + shape_to_string(shape_));
+  }
+}
+
+Tensor Tensor::randn(Shape shape, float stddev, std::mt19937_64& engine) {
+  Tensor t(std::move(shape));
+  std::normal_distribution<float> dist(0.0f, stddev);
+  for (auto& v : t.data_) {
+    v = dist(engine);
+  }
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, float lo, float hi, std::mt19937_64& engine) {
+  Tensor t(std::move(shape));
+  std::uniform_real_distribution<float> dist(lo, hi);
+  for (auto& v : t.data_) {
+    v = dist(engine);
+  }
+  return t;
+}
+
+std::size_t Tensor::dim(std::size_t axis) const {
+  if (axis >= shape_.size()) {
+    throw std::out_of_range("Tensor: axis " + std::to_string(axis) +
+                            " out of range for shape " + shape_to_string(shape_));
+  }
+  return shape_[axis];
+}
+
+Tensor Tensor::reshaped(Shape shape) const {
+  if (shape_numel(shape) != data_.size()) {
+    throw std::invalid_argument("Tensor: cannot reshape " + shape_to_string(shape_) +
+                                " to " + shape_to_string(shape));
+  }
+  Tensor out;
+  out.shape_ = std::move(shape);
+  out.data_ = data_;
+  return out;
+}
+
+float& Tensor::at(std::size_t i, std::size_t j) {
+  return data_[i * shape_[1] + j];
+}
+
+float Tensor::at(std::size_t i, std::size_t j) const {
+  return data_[i * shape_[1] + j];
+}
+
+float& Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const {
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+void Tensor::check_same_shape(const Tensor& other, const char* op) const {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument(std::string("Tensor: shape mismatch in ") + op + ": " +
+                                shape_to_string(shape_) + " vs " +
+                                shape_to_string(other.shape_));
+  }
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  check_same_shape(other, "+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += other.data_[i];
+  }
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  check_same_shape(other, "-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] -= other.data_[i];
+  }
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (auto& v : data_) {
+    v *= scalar;
+  }
+  return *this;
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+float Tensor::sum() const { return std::accumulate(data_.begin(), data_.end(), 0.0f); }
+
+float Tensor::mean() const {
+  return data_.empty() ? 0.0f : sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::abs_mean() const {
+  if (data_.empty()) {
+    return 0.0f;
+  }
+  float s = 0.0f;
+  for (float v : data_) {
+    s += std::abs(v);
+  }
+  return s / static_cast<float>(data_.size());
+}
+
+float Tensor::max() const {
+  if (data_.empty()) {
+    throw std::logic_error("Tensor: max() of empty tensor");
+  }
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::size_t Tensor::argmax() const {
+  if (data_.empty()) {
+    throw std::logic_error("Tensor: argmax() of empty tensor");
+  }
+  return static_cast<std::size_t>(
+      std::distance(data_.begin(), std::max_element(data_.begin(), data_.end())));
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
+    throw std::invalid_argument("matmul: incompatible shapes " +
+                                shape_to_string(a.shape()) + " x " +
+                                shape_to_string(b.shape()));
+  }
+  const std::size_t m = a.dim(0);
+  const std::size_t k = a.dim(1);
+  const std::size_t n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a.at(i, p);
+      if (av == 0.0f) {
+        continue;
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        c.at(i, j) += av * b.at(p, j);
+      }
+    }
+  }
+  return c;
+}
+
+Tensor matmul_transposed(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(1)) {
+    throw std::invalid_argument("matmul_transposed: incompatible shapes " +
+                                shape_to_string(a.shape()) + " x " +
+                                shape_to_string(b.shape()) + "^T");
+  }
+  const std::size_t m = a.dim(0);
+  const std::size_t k = a.dim(1);
+  const std::size_t n = b.dim(0);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += a.at(i, p) * b.at(j, p);
+      }
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+Tensor matmul_a_transposed(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(0) != b.dim(0)) {
+    throw std::invalid_argument("matmul_a_transposed: incompatible shapes " +
+                                shape_to_string(a.shape()) + "^T x " +
+                                shape_to_string(b.shape()));
+  }
+  const std::size_t k = a.dim(0);
+  const std::size_t m = a.dim(1);
+  const std::size_t n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = a.at(p, i);
+      if (av == 0.0f) {
+        continue;
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        c.at(i, j) += av * b.at(p, j);
+      }
+    }
+  }
+  return c;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax_rows: expected rank-2 tensor, got " +
+                                shape_to_string(logits.shape()));
+  }
+  const std::size_t rows = logits.dim(0);
+  const std::size_t cols = logits.dim(1);
+  Tensor out(logits.shape());
+  for (std::size_t i = 0; i < rows; ++i) {
+    float row_max = logits.at(i, 0);
+    for (std::size_t j = 1; j < cols; ++j) {
+      row_max = std::max(row_max, logits.at(i, j));
+    }
+    float denom = 0.0f;
+    for (std::size_t j = 0; j < cols; ++j) {
+      const float e = std::exp(logits.at(i, j) - row_max);
+      out.at(i, j) = e;
+      denom += e;
+    }
+    for (std::size_t j = 0; j < cols; ++j) {
+      out.at(i, j) /= denom;
+    }
+  }
+  return out;
+}
+
+}  // namespace neuspin::nn

@@ -1,0 +1,100 @@
+// Minimal dense tensor used by the from-scratch NN framework.
+//
+// Row-major, float storage, shapes up to rank 4 (N, C, H, W). The class is
+// intentionally small: NeuSpin's models are edge-scale (the paper targets
+// IoT/wearable inference), so clarity and determinism beat BLAS-grade
+// performance. All randomness is injected through seeded engines.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace neuspin::nn {
+
+/// Shape of a tensor; element order is row-major with the last axis fastest.
+using Shape = std::vector<std::size_t>;
+
+/// Render a shape as "[2, 3, 4]" for error messages.
+[[nodiscard]] std::string shape_to_string(const Shape& shape);
+
+/// Dense row-major float tensor.
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill);
+  Tensor(Shape shape, std::vector<float> data);
+
+  /// Factory helpers -------------------------------------------------------
+  [[nodiscard]] static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  [[nodiscard]] static Tensor full(Shape shape, float value) {
+    return Tensor(std::move(shape), value);
+  }
+  /// Gaussian init, N(0, stddev^2).
+  [[nodiscard]] static Tensor randn(Shape shape, float stddev, std::mt19937_64& engine);
+  /// Uniform init over [lo, hi).
+  [[nodiscard]] static Tensor uniform(Shape shape, float lo, float hi,
+                                      std::mt19937_64& engine);
+
+  /// Structure --------------------------------------------------------------
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::size_t rank() const { return shape_.size(); }
+  [[nodiscard]] std::size_t numel() const { return data_.size(); }
+  [[nodiscard]] std::size_t dim(std::size_t axis) const;
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Reshape to a compatible shape (same numel). Returns a copy sharing no
+  /// storage; tensors are value types here.
+  [[nodiscard]] Tensor reshaped(Shape shape) const;
+
+  /// Element access ---------------------------------------------------------
+  [[nodiscard]] float& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] float operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] float& at(std::size_t i, std::size_t j);
+  [[nodiscard]] float at(std::size_t i, std::size_t j) const;
+  [[nodiscard]] float& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+  [[nodiscard]] float at4(std::size_t n, std::size_t c, std::size_t h,
+                          std::size_t w) const;
+
+  [[nodiscard]] std::span<float> data() { return data_; }
+  [[nodiscard]] std::span<const float> data() const { return data_; }
+
+  /// In-place arithmetic ----------------------------------------------------
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scalar);
+  void fill(float value);
+
+  /// Reductions -------------------------------------------------------------
+  [[nodiscard]] float sum() const;
+  [[nodiscard]] float mean() const;
+  [[nodiscard]] float abs_mean() const;
+  [[nodiscard]] float max() const;
+  [[nodiscard]] std::size_t argmax() const;
+
+ private:
+  void check_same_shape(const Tensor& other, const char* op) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// C = A(mxk) * B(kxn), plain triple loop with the k-loop innermost hoisted.
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A(mxk) * B^T where B is (n x k). Used by dense backward passes.
+[[nodiscard]] Tensor matmul_transposed(const Tensor& a, const Tensor& b);
+
+/// C = A^T(kxm) * B(kxn). Used for weight gradients.
+[[nodiscard]] Tensor matmul_a_transposed(const Tensor& a, const Tensor& b);
+
+/// Row-wise softmax of a (batch x classes) tensor.
+[[nodiscard]] Tensor softmax_rows(const Tensor& logits);
+
+}  // namespace neuspin::nn

@@ -1,0 +1,36 @@
+#include "xbar/adc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace neuspin::xbar {
+
+Adc::Adc(std::size_t bits, device::MicroAmp full_scale)
+    : bits_(bits), full_scale_(full_scale) {
+  if (bits == 0 || bits > 16) {
+    throw std::invalid_argument("Adc: resolution must be 1..16 bits");
+  }
+  if (full_scale <= 0.0) {
+    throw std::invalid_argument("Adc: full_scale must be positive");
+  }
+  // Symmetric mid-rise quantizer: codes span [-2^(b-1), +2^(b-1)] so both
+  // full-scale extremes are exactly representable and the in-range error
+  // stays within LSB/2 everywhere.
+  lsb_ = full_scale_ / static_cast<double>(std::int64_t{1} << (bits_ - 1));
+}
+
+std::int64_t Adc::code(device::MicroAmp current) const {
+  const double clipped = std::clamp(current, -full_scale_, full_scale_);
+  const auto max_code = std::int64_t{1} << (bits_ - 1);
+  const auto c = static_cast<std::int64_t>(std::llround(clipped / lsb_));
+  return std::clamp(c, -max_code, max_code);
+}
+
+double Adc::quantize(device::MicroAmp current) const {
+  return static_cast<double>(code(current)) * lsb_;
+}
+
+SenseAmp::SenseAmp(device::MicroAmp threshold) : threshold_(threshold) {}
+
+}  // namespace neuspin::xbar

@@ -1,0 +1,58 @@
+// ADC and sense-amplifier models for the crossbar read-out path.
+//
+// The ADC quantizes an analog column current into a signed digital code.
+// Resolution is the central accuracy/energy lever the paper's §II-D
+// quantization-error discussion refers to; bench_ablations sweeps it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "device/units.h"
+
+namespace neuspin::xbar {
+
+/// Successive-approximation ADC with a symmetric full-scale range.
+class Adc {
+ public:
+  /// `bits` resolution (1..16); `full_scale` is the largest magnitude
+  /// current (uA) representable without clipping.
+  Adc(std::size_t bits, device::MicroAmp full_scale);
+
+  /// Quantize a signed current to the nearest code, clipping to range,
+  /// and return the reconstructed analog value (uA) of that code.
+  [[nodiscard]] double quantize(device::MicroAmp current) const;
+
+  /// Integer code for a current (symmetric, two's-complement style).
+  [[nodiscard]] std::int64_t code(device::MicroAmp current) const;
+
+  [[nodiscard]] std::size_t bits() const { return bits_; }
+  [[nodiscard]] device::MicroAmp full_scale() const { return full_scale_; }
+  /// Smallest representable current step.
+  [[nodiscard]] device::MicroAmp lsb() const { return lsb_; }
+
+ private:
+  std::size_t bits_;
+  device::MicroAmp full_scale_;
+  device::MicroAmp lsb_;
+};
+
+/// One-bit sense amplifier: sign detector with a programmable threshold.
+/// The binary-activation architectures (Fig. 2, Fig. 3) use this instead
+/// of a full ADC, which is where most of their energy saving comes from.
+class SenseAmp {
+ public:
+  explicit SenseAmp(device::MicroAmp threshold = 0.0);
+
+  /// +1 if the current exceeds the threshold, else -1.
+  [[nodiscard]] float evaluate(device::MicroAmp current) const {
+    return current > threshold_ ? 1.0f : -1.0f;
+  }
+
+  [[nodiscard]] device::MicroAmp threshold() const { return threshold_; }
+
+ private:
+  device::MicroAmp threshold_;
+};
+
+}  // namespace neuspin::xbar

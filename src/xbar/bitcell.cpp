@@ -1,0 +1,41 @@
+#include "xbar/bitcell.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace neuspin::xbar {
+
+XnorBitcell::XnorBitcell(const device::MtjParams& params, float weight)
+    : true_cell_(params), comp_cell_(params), weight_(0.0f) {
+  program(weight);
+}
+
+void XnorBitcell::program(float weight) {
+  weight_ = weight >= 0.0f ? 1.0f : -1.0f;
+  if (weight_ > 0.0f) {
+    true_cell_.set_state(device::MtjState::kParallel);
+    comp_cell_.set_state(device::MtjState::kAntiParallel);
+  } else {
+    true_cell_.set_state(device::MtjState::kAntiParallel);
+    comp_cell_.set_state(device::MtjState::kParallel);
+  }
+}
+
+device::MicroAmp XnorBitcell::differential_current(float input,
+                                                   device::Volt read_voltage) const {
+  if (std::abs(input) != 1.0f) {
+    throw std::invalid_argument("XnorBitcell: input must be +-1");
+  }
+  // input +1 drives the true line positively; input -1 swaps the roles of
+  // the two lines, which is electrically a sign flip of the difference.
+  const device::MicroSiemens diff =
+      true_cell_.conductance() - comp_cell_.conductance();
+  return read_voltage * diff * input;
+}
+
+device::MicroSiemens XnorBitcell::delta_conductance(const device::MtjParams& params) {
+  return device::conductance_from_kohm(params.r_parallel) -
+         device::conductance_from_kohm(params.r_antiparallel());
+}
+
+}  // namespace neuspin::xbar

@@ -1,0 +1,54 @@
+// XNOR bit-cell: the unit storing one binary weight as two complementary
+// 1T-1MTJ cells (paper §III-A.1: "each trained weight is stored in a unit
+// represented by two 1T-1MTJ cells").
+//
+// Encoding: weight +1 -> (P, AP), weight -1 -> (AP, P). An input of +1
+// drives the true line, -1 drives the complement line; the differential
+// current through the pair is then proportional to input XNOR weight:
+//
+//   I_diff = V * (G_true - G_comp) * input = V * dG * (weight * input)
+//
+// so a column of such cells sums to the signed popcount a binary dense
+// layer needs. The Crossbar class vectorizes exactly this arithmetic; the
+// bit-cell class documents and unit-tests the single-cell contract.
+#pragma once
+
+#include "device/mtj.h"
+#include "device/units.h"
+
+namespace neuspin::xbar {
+
+/// One differential XNOR bit-cell.
+class XnorBitcell {
+ public:
+  explicit XnorBitcell(const device::MtjParams& params, float weight = 1.0f);
+
+  /// Program the stored weight (+1 or -1; sign of `weight` is used).
+  void program(float weight);
+
+  /// Stored weight as +-1.
+  [[nodiscard]] float weight() const { return weight_; }
+
+  /// Differential current contribution for an input of +-1 at `read_voltage`.
+  [[nodiscard]] device::MicroAmp differential_current(float input,
+                                                      device::Volt read_voltage) const;
+
+  /// Conductances of the true/complement branches.
+  [[nodiscard]] device::MicroSiemens true_conductance() const {
+    return true_cell_.conductance();
+  }
+  [[nodiscard]] device::MicroSiemens complement_conductance() const {
+    return comp_cell_.conductance();
+  }
+
+  /// Conductance difference magnitude dG = G_P - G_AP of this design point.
+  [[nodiscard]] static device::MicroSiemens delta_conductance(
+      const device::MtjParams& params);
+
+ private:
+  device::Mtj true_cell_;
+  device::Mtj comp_cell_;
+  float weight_;
+};
+
+}  // namespace neuspin::xbar

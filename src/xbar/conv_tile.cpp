@@ -1,0 +1,86 @@
+#include "xbar/conv_tile.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace neuspin::xbar {
+
+ConvTile::ConvTile(const TileConfig& config, std::size_t in_channels,
+                   std::size_t out_channels, std::size_t kernel, std::size_t padding,
+                   std::span<const float> binary_weights, std::span<const float> scales,
+                   std::uint64_t seed)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kernel_(kernel),
+      padding_(padding),
+      engine_(seed ^ 0xc0117) {
+  if (in_channels == 0 || out_channels == 0 || kernel == 0) {
+    throw std::invalid_argument("ConvTile: geometry must be positive");
+  }
+  const std::size_t rows = kernel * kernel * in_channels;
+  if (binary_weights.size() != out_channels * rows) {
+    throw std::invalid_argument("ConvTile: weight count mismatch");
+  }
+  if (scales.size() != out_channels) {
+    throw std::invalid_argument("ConvTile: expected one scale per output channel");
+  }
+  // Unfold kernels into crossbar columns (strategy 1): weight tensor is
+  // (oc, ic, ky, kx) row-major; the tile wants (row, col) = (ic*k*k, oc).
+  std::vector<float> unfolded(rows * out_channels);
+  for (std::size_t oc = 0; oc < out_channels; ++oc) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      unfolded[r * out_channels + oc] = binary_weights[oc * rows + r];
+    }
+  }
+  tile_ = std::make_unique<DenseTile>(config, rows, out_channels, unfolded, scales,
+                                      seed);
+}
+
+nn::Tensor ConvTile::forward(const nn::Tensor& input, energy::EnergyLedger* ledger) {
+  if (input.rank() != 4 || input.dim(1) != in_ch_) {
+    throw std::invalid_argument("ConvTile: expected NCHW input with C=" +
+                                std::to_string(in_ch_));
+  }
+  const std::size_t n = input.dim(0);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  const std::size_t oh = h + 2 * padding_ - kernel_ + 1;
+  const std::size_t ow = w + 2 * padding_ - kernel_ + 1;
+  const std::size_t rows = kernel_ * kernel_ * in_ch_;
+
+  nn::Tensor out({n, out_ch_, oh, ow});
+  std::vector<float> patch(rows);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t x = 0; x < ow; ++x) {
+        // im2col: gather the receptive field in (ic, ky, kx) order, the
+        // same order the kernels were unfolded in.
+        std::size_t r = 0;
+        for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            for (std::size_t kx = 0; kx < kernel_; ++kx, ++r) {
+              const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(y + ky) -
+                                        static_cast<std::ptrdiff_t>(padding_);
+              const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(x + kx) -
+                                        static_cast<std::ptrdiff_t>(padding_);
+              if (iy < 0 || ix < 0 || iy >= static_cast<std::ptrdiff_t>(h) ||
+                  ix >= static_cast<std::ptrdiff_t>(w)) {
+                patch[r] = 0.0f;  // zero padding drives no word line
+              } else {
+                patch[r] = input.at4(b, ic, static_cast<std::size_t>(iy),
+                                     static_cast<std::size_t>(ix));
+              }
+            }
+          }
+        }
+        const std::vector<float> sums = tile_->forward(patch, ledger, engine_);
+        for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+          out.at4(b, oc, y, x) = sums[oc];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace neuspin::xbar

@@ -1,0 +1,59 @@
+// Convolution tile: tile-level execution of a binary conv layer using the
+// im2col decomposition onto a DenseTile (mapping strategy 1 of Fig. 1:
+// each K*K*Cin kernel becomes one crossbar column; every output pixel is
+// one MVM).
+//
+// This completes the electrically faithful path for CNNs: the same
+// crossbar/ADC/defect models that DenseTile uses, driven once per output
+// pixel, with every event charged to the ledger. It is exact but pays one
+// crossbar read phase per pixel, so accuracy sweeps use the behavioural
+// path (core::AnalogReadout) and this tile anchors its validation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <span>
+
+#include "energy/accountant.h"
+#include "nn/tensor.h"
+#include "xbar/tile.h"
+
+namespace neuspin::xbar {
+
+/// One binary conv layer (stride 1, symmetric zero padding) on a tile.
+class ConvTile {
+ public:
+  /// `binary_weights` is the (out_ch, in_ch, k, k) +-1 kernel tensor
+  /// flattened row-major; `scales` one alpha per output channel.
+  ConvTile(const TileConfig& config, std::size_t in_channels, std::size_t out_channels,
+           std::size_t kernel, std::size_t padding,
+           std::span<const float> binary_weights, std::span<const float> scales,
+           std::uint64_t seed);
+
+  /// Hardware forward pass of one NCHW input tensor. Every output pixel
+  /// drives one MVM on the underlying crossbar pair.
+  [[nodiscard]] nn::Tensor forward(const nn::Tensor& input,
+                                   energy::EnergyLedger* ledger = nullptr);
+
+  [[nodiscard]] std::size_t in_channels() const { return in_ch_; }
+  [[nodiscard]] std::size_t out_channels() const { return out_ch_; }
+  [[nodiscard]] std::size_t kernel() const { return kernel_; }
+  /// The underlying unfolded-column tile (strategy 1 geometry).
+  [[nodiscard]] const DenseTile& tile() const { return *tile_; }
+
+  /// Inject stuck-at defects into the underlying crossbars.
+  void inject_defects(const device::DefectRates& rates, std::uint64_t seed) {
+    tile_->inject_defects(rates, seed);
+  }
+
+ private:
+  std::size_t in_ch_;
+  std::size_t out_ch_;
+  std::size_t kernel_;
+  std::size_t padding_;
+  std::unique_ptr<DenseTile> tile_;  ///< (k*k*in_ch) x out_ch
+  std::mt19937_64 engine_;
+};
+
+}  // namespace neuspin::xbar

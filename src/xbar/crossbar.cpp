@@ -1,0 +1,163 @@
+#include "xbar/crossbar.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace neuspin::xbar {
+
+void CrossbarConfig::validate() const {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("CrossbarConfig: dimensions must be positive");
+  }
+  mtj.validate();
+  if (read_voltage <= 0.0) {
+    throw std::invalid_argument("CrossbarConfig: read_voltage must be positive");
+  }
+  if (wire_resistance < 0.0) {
+    throw std::invalid_argument("CrossbarConfig: wire_resistance must be non-negative");
+  }
+}
+
+Crossbar::Crossbar(const CrossbarConfig& config)
+    : config_(config),
+      g_parallel_(config.rows * config.cols,
+                  device::conductance_from_kohm(config.mtj.r_parallel)),
+      g_antiparallel_(config.rows * config.cols,
+                      device::conductance_from_kohm(config.mtj.r_antiparallel())),
+      state_(config.rows * config.cols, device::MtjState::kAntiParallel),
+      defects_(config.rows, config.cols) {
+  config_.validate();
+}
+
+Crossbar::Crossbar(const CrossbarConfig& config,
+                   const device::VariabilityParams& variability,
+                   const device::DefectRates& defects, std::uint64_t seed)
+    : config_(config),
+      g_parallel_(config.rows * config.cols),
+      g_antiparallel_(config.rows * config.cols),
+      state_(config.rows * config.cols, device::MtjState::kAntiParallel),
+      defects_(config.rows, config.cols, defects, seed ^ 0x9e3779b97f4a7c15ULL) {
+  config_.validate();
+  device::VariabilityModel model(variability, seed);
+  const MicroSiemens g_p = device::conductance_from_kohm(config.mtj.r_parallel);
+  const MicroSiemens g_ap = device::conductance_from_kohm(config.mtj.r_antiparallel());
+  for (std::size_t i = 0; i < g_parallel_.size(); ++i) {
+    // Log-normal resistance factor scales both states (barrier thickness
+    // shifts P and AP together); conductance scales inversely.
+    const double factor = model.sample_resistance_factor();
+    g_parallel_[i] = g_p / factor;
+    g_antiparallel_[i] = g_ap / factor;
+  }
+}
+
+void Crossbar::program(std::size_t row, std::size_t col, device::MtjState state) {
+  if (row >= config_.rows || col >= config_.cols) {
+    throw std::out_of_range("Crossbar::program: cell (" + std::to_string(row) + "," +
+                            std::to_string(col) + ") out of range");
+  }
+  state_[row * config_.cols + col] = state;
+}
+
+void Crossbar::program_binary(std::span<const float> weights) {
+  if (weights.size() != config_.rows * config_.cols) {
+    throw std::invalid_argument("Crossbar::program_binary: expected " +
+                                std::to_string(config_.rows * config_.cols) +
+                                " weights, got " + std::to_string(weights.size()));
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    state_[i] = weights[i] >= 0.0f ? device::MtjState::kParallel
+                                   : device::MtjState::kAntiParallel;
+  }
+}
+
+MicroSiemens Crossbar::conductance(std::size_t row, std::size_t col) const {
+  const std::size_t i = row * config_.cols + col;
+  const MicroSiemens healthy = state_[i] == device::MtjState::kParallel
+                                   ? g_parallel_[i]
+                                   : g_antiparallel_[i];
+  return defects_.effective_conductance(row, col, healthy, g_parallel_[i],
+                                        g_antiparallel_[i], config_.short_conductance);
+}
+
+double Crossbar::ir_drop_factor(std::size_t active_rows) const {
+  // First-order column IR drop: the column wire of length `rows` carries the
+  // summed current of all active rows; the voltage seen by distant cells
+  // sags by roughly (wire R per pitch) * rows/2 * G_on * active_rows.
+  const MicroSiemens g_on = device::conductance_from_kohm(config_.mtj.r_parallel);
+  const double sag = config_.wire_resistance * static_cast<double>(config_.rows) / 2.0 *
+                     (g_on / 1000.0) * static_cast<double>(active_rows);
+  return 1.0 / (1.0 + sag);
+}
+
+std::vector<MicroAmp> Crossbar::mac(std::span<const Volt> row_voltages) const {
+  if (row_voltages.size() != config_.rows) {
+    throw std::invalid_argument("Crossbar::mac: expected " +
+                                std::to_string(config_.rows) + " row voltages, got " +
+                                std::to_string(row_voltages.size()));
+  }
+  std::size_t active = 0;
+  for (Volt v : row_voltages) {
+    if (v != 0.0) {
+      ++active;
+    }
+  }
+  const double attenuation = ir_drop_factor(active);
+  // Hoisted: defect_count() walks the whole map, so it must not sit in the
+  // per-cell loop.
+  const bool has_defects = defects_.defect_count() > 0;
+
+  std::vector<MicroAmp> currents(config_.cols, 0.0);
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    const Volt v = row_voltages[r];
+    if (v == 0.0) {
+      continue;
+    }
+    const std::size_t base = r * config_.cols;
+    for (std::size_t c = 0; c < config_.cols; ++c) {
+      const std::size_t i = base + c;
+      MicroSiemens g = state_[i] == device::MtjState::kParallel ? g_parallel_[i]
+                                                                : g_antiparallel_[i];
+      if (has_defects) {
+        g = defects_.effective_conductance(r, c, g, g_parallel_[i], g_antiparallel_[i],
+                                           config_.short_conductance);
+      }
+      // V [V] * G [uS] = I [uA]
+      currents[c] += v * g;
+    }
+  }
+  for (auto& i : currents) {
+    i *= attenuation;
+  }
+  return currents;
+}
+
+std::vector<MicroAmp> Crossbar::mac_noisy(std::span<const Volt> row_voltages,
+                                          std::mt19937_64& engine,
+                                          double read_noise_sigma) const {
+  auto currents = mac(row_voltages);
+  if (read_noise_sigma > 0.0) {
+    std::normal_distribution<double> noise(1.0, read_noise_sigma);
+    for (auto& i : currents) {
+      i *= noise(engine);
+    }
+  }
+  return currents;
+}
+
+MicroSiemens Crossbar::mean_on_conductance() const {
+  double s = 0.0;
+  for (MicroSiemens g : g_parallel_) {
+    s += g;
+  }
+  return s / static_cast<double>(g_parallel_.size());
+}
+
+MicroSiemens Crossbar::mean_off_conductance() const {
+  double s = 0.0;
+  for (MicroSiemens g : g_antiparallel_) {
+    s += g;
+  }
+  return s / static_cast<double>(g_antiparallel_.size());
+}
+
+}  // namespace neuspin::xbar

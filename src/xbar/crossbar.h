@@ -1,0 +1,102 @@
+// Analog SOT-MRAM crossbar array (paper Fig. 2 / Fig. 3 substrate).
+//
+// The crossbar stores a matrix of conductances and computes matrix-vector
+// products by Kirchhoff current summation: applying row voltages v_i makes
+// column j carry I_j = sum_i v_i * G_ij. Binary weights use the XNOR
+// bit-cell (two complementary 1T-1MTJ cells, paper §III-A.1), realized as
+// a differential pair of conductance matrices G+ / G-.
+//
+// Non-idealities modeled:
+//   * device-to-device variability at programming time (VariabilityModel)
+//   * manufacturing defects (DefectMap) consulted at every read
+//   * cycle-to-cycle read noise (optional, per read)
+//   * IR drop along the columns: a first-order attenuation that grows with
+//     the number of simultaneously active rows and the wire resistance.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "device/defects.h"
+#include "device/mtj.h"
+#include "device/variability.h"
+
+namespace neuspin::xbar {
+
+using device::MicroAmp;
+using device::MicroSiemens;
+using device::Volt;
+
+/// Construction parameters of a physical crossbar.
+struct CrossbarConfig {
+  std::size_t rows = 128;
+  std::size_t cols = 128;
+  device::MtjParams mtj{};              ///< junction design point
+  Volt read_voltage = 0.1;              ///< row drive amplitude
+  /// Column wire resistance per cell pitch (kOhm); sets the IR-drop scale.
+  /// The default corresponds to a few percent of gain sag on a fully
+  /// active 128-row column — noticeable but calibratable, matching
+  /// copper interconnect at the 28nm-class node.
+  double wire_resistance = 0.00005;
+  /// Conductance a shorted cell presents (uS).
+  MicroSiemens short_conductance = 2000.0;
+
+  void validate() const;
+};
+
+/// One programmable conductance plane with defects and variability.
+class Crossbar {
+ public:
+  /// Ideal, defect-free crossbar.
+  explicit Crossbar(const CrossbarConfig& config);
+
+  /// Crossbar with device-to-device variability and manufacturing defects
+  /// drawn from `seed`.
+  Crossbar(const CrossbarConfig& config, const device::VariabilityParams& variability,
+           const device::DefectRates& defects, std::uint64_t seed);
+
+  /// Program a cell to P (weight bit 1) or AP (weight bit 0). Programming a
+  /// defective cell has no effect (the defect wins), matching hardware.
+  void program(std::size_t row, std::size_t col, device::MtjState state);
+
+  /// Program from a +-1 weight matrix row-major span (rows*cols entries):
+  /// +1 -> parallel (high G), -1 -> anti-parallel (low G).
+  void program_binary(std::span<const float> weights);
+
+  /// Effective conductance of a cell after defects.
+  [[nodiscard]] MicroSiemens conductance(std::size_t row, std::size_t col) const;
+
+  /// Analog MAC: row voltages (one per row, volts) -> column currents (uA).
+  /// `active_rows` restricts the computation to rows whose voltage is
+  /// non-zero; IR drop is applied based on how many rows are active.
+  [[nodiscard]] std::vector<MicroAmp> mac(std::span<const Volt> row_voltages) const;
+
+  /// MAC with cycle-to-cycle read noise from `engine`.
+  [[nodiscard]] std::vector<MicroAmp> mac_noisy(std::span<const Volt> row_voltages,
+                                                std::mt19937_64& engine,
+                                                double read_noise_sigma) const;
+
+  [[nodiscard]] std::size_t rows() const { return config_.rows; }
+  [[nodiscard]] std::size_t cols() const { return config_.cols; }
+  [[nodiscard]] const CrossbarConfig& config() const { return config_; }
+  [[nodiscard]] const device::DefectMap& defects() const { return defects_; }
+  [[nodiscard]] device::DefectMap& defects() { return defects_; }
+
+  /// Conductances of the two healthy states after this instance's
+  /// variability draw, averaged over cells (used for SA thresholds).
+  [[nodiscard]] MicroSiemens mean_on_conductance() const;
+  [[nodiscard]] MicroSiemens mean_off_conductance() const;
+
+ private:
+  [[nodiscard]] double ir_drop_factor(std::size_t active_rows) const;
+
+  CrossbarConfig config_;
+  std::vector<MicroSiemens> g_parallel_;      ///< per-cell P-state conductance
+  std::vector<MicroSiemens> g_antiparallel_;  ///< per-cell AP-state conductance
+  std::vector<device::MtjState> state_;
+  device::DefectMap defects_;
+};
+
+}  // namespace neuspin::xbar

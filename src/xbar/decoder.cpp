@@ -1,0 +1,69 @@
+#include "xbar/decoder.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace neuspin::xbar {
+
+WordlineDecoder::WordlineDecoder(std::size_t line_count) : enabled_(line_count, false) {
+  if (line_count == 0) {
+    throw std::invalid_argument("WordlineDecoder: line_count must be positive");
+  }
+}
+
+void WordlineDecoder::enable_range(std::size_t first, std::size_t count) {
+  if (first + count > enabled_.size()) {
+    throw std::out_of_range("WordlineDecoder: range [" + std::to_string(first) + ", " +
+                            std::to_string(first + count) + ") exceeds " +
+                            std::to_string(enabled_.size()) + " lines");
+  }
+  std::fill(enabled_.begin() + static_cast<std::ptrdiff_t>(first),
+            enabled_.begin() + static_cast<std::ptrdiff_t>(first + count), true);
+}
+
+void WordlineDecoder::disable_range(std::size_t first, std::size_t count) {
+  if (first + count > enabled_.size()) {
+    throw std::out_of_range("WordlineDecoder: disable range out of bounds");
+  }
+  std::fill(enabled_.begin() + static_cast<std::ptrdiff_t>(first),
+            enabled_.begin() + static_cast<std::ptrdiff_t>(first + count), false);
+}
+
+void WordlineDecoder::disable_all() {
+  std::fill(enabled_.begin(), enabled_.end(), false);
+}
+
+bool WordlineDecoder::is_enabled(std::size_t line) const {
+  if (line >= enabled_.size()) {
+    throw std::out_of_range("WordlineDecoder: line out of range");
+  }
+  return enabled_[line];
+}
+
+std::size_t WordlineDecoder::enabled_count() const {
+  return static_cast<std::size_t>(std::count(enabled_.begin(), enabled_.end(), true));
+}
+
+std::size_t WordlineDecoder::address_bits() const {
+  std::size_t bits = 0;
+  std::size_t capacity = 1;
+  while (capacity < enabled_.size()) {
+    capacity *= 2;
+    ++bits;
+  }
+  return bits;
+}
+
+void WordlineDecoder::apply(std::vector<double>& row_voltages) const {
+  if (row_voltages.size() != enabled_.size()) {
+    throw std::invalid_argument("WordlineDecoder::apply: size mismatch");
+  }
+  for (std::size_t i = 0; i < row_voltages.size(); ++i) {
+    if (!enabled_[i]) {
+      row_voltages[i] = 0.0;
+    }
+  }
+}
+
+}  // namespace neuspin::xbar

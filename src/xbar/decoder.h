@@ -1,0 +1,41 @@
+// Word-line decoder with multi-consecutive-address enable (paper
+// §III-A.1: "a word-line decoder is used with the capability to enable
+// multiple consecutive addresses"). The multi-enable is what lets a whole
+// input vector drive the crossbar in one read phase, and what lets a
+// SpinDrop module gate a *pair* of word lines (one XNOR cell pair) at once.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace neuspin::xbar {
+
+/// Decoder for `line_count` word lines.
+class WordlineDecoder {
+ public:
+  explicit WordlineDecoder(std::size_t line_count);
+
+  /// Enable lines [first, first+count). Throws std::out_of_range on
+  /// overflow. Previously enabled lines stay enabled.
+  void enable_range(std::size_t first, std::size_t count);
+
+  /// Disable lines [first, first+count).
+  void disable_range(std::size_t first, std::size_t count);
+
+  void disable_all();
+
+  [[nodiscard]] bool is_enabled(std::size_t line) const;
+  [[nodiscard]] std::size_t enabled_count() const;
+  [[nodiscard]] std::size_t line_count() const { return enabled_.size(); }
+
+  /// Address bits needed for this decoder (ceil(log2(line_count))).
+  [[nodiscard]] std::size_t address_bits() const;
+
+  /// Mask the rows of a voltage vector: disabled lines are forced to 0.
+  void apply(std::vector<double>& row_voltages) const;
+
+ private:
+  std::vector<bool> enabled_;
+};
+
+}  // namespace neuspin::xbar

@@ -1,0 +1,51 @@
+#include "xbar/mapping.h"
+
+#include <stdexcept>
+
+namespace neuspin::xbar {
+
+std::string mapping_name(MappingStrategy s) {
+  switch (s) {
+    case MappingStrategy::kUnfoldedColumns:
+      return "strategy1_unfolded_columns";
+    case MappingStrategy::kKernelPosition:
+      return "strategy2_kernel_position";
+  }
+  return "unknown";
+}
+
+MappingCensus census(const ConvGeometry& geometry, MappingStrategy strategy) {
+  if (geometry.in_channels == 0 || geometry.out_channels == 0 || geometry.kernel == 0) {
+    throw std::invalid_argument("census: geometry fields must be positive");
+  }
+  MappingCensus c;
+  switch (strategy) {
+    case MappingStrategy::kUnfoldedColumns:
+      c.crossbar_count = 1;
+      c.crossbar_rows = geometry.kernel_area() * geometry.in_channels;
+      c.crossbar_cols = geometry.out_channels;
+      // All rows fire for each output pixel.
+      c.wordline_acts_per_pixel = c.crossbar_rows;
+      // One module per input feature map; each must gate K*K scattered row
+      // groups inside the tall array.
+      c.dropout_modules = geometry.in_channels;
+      c.dropout_fanout = geometry.kernel_area();
+      c.adc_per_pixel = geometry.out_channels;
+      break;
+    case MappingStrategy::kKernelPosition:
+      c.crossbar_count = geometry.kernel_area();
+      c.crossbar_rows = geometry.in_channels;
+      c.crossbar_cols = geometry.out_channels;
+      c.wordline_acts_per_pixel = geometry.kernel_area() * geometry.in_channels;
+      // One module per input feature map; it drives the same row index in
+      // every kernel-position crossbar through one broadcast line.
+      c.dropout_modules = geometry.in_channels;
+      c.dropout_fanout = 1;
+      c.adc_per_pixel = geometry.kernel_area() * geometry.out_channels;
+      break;
+  }
+  c.total_cells = c.crossbar_count * c.crossbar_rows * c.crossbar_cols;
+  return c;
+}
+
+}  // namespace neuspin::xbar

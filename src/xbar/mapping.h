@@ -1,0 +1,67 @@
+// Convolution-to-crossbar mapping strategies (paper Fig. 1).
+//
+// Strategy 1 (Gokmen et al. [21]): every kernel of shape K x K x Cin is
+// unfolded into one crossbar *column*; the layer becomes a single logical
+// crossbar of (K*K*Cin) rows by Cout columns.
+//
+// Strategy 2 (Peng et al. [22]): each of the K*K kernel positions gets its
+// own small crossbar of Cin rows by Cout columns; partial sums from the
+// K*K crossbars are accumulated at the periphery.
+//
+// Both compute identical math; they differ in crossbar count, shape,
+// word-line activity and — the paper's point — in how a Spatial-SpinDrop
+// module must gate rows to drop an input feature map:
+//   * strategy 1: a dropped input channel corresponds to K*K row *groups*
+//     scattered through the tall crossbar -> the dropout module must drive
+//     a grouped multi-row enable;
+//   * strategy 2: a dropped input channel is exactly one row in each of
+//     the K*K small crossbars -> one broadcast line per channel.
+// The census functions below quantify these differences for the Fig. 1
+// benchmark.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace neuspin::xbar {
+
+/// Conv layer geometry the mapping is computed for.
+struct ConvGeometry {
+  std::size_t in_channels = 16;
+  std::size_t out_channels = 32;
+  std::size_t kernel = 3;
+  std::size_t output_height = 14;
+  std::size_t output_width = 14;
+
+  [[nodiscard]] std::size_t kernel_area() const { return kernel * kernel; }
+  [[nodiscard]] std::size_t output_pixels() const { return output_height * output_width; }
+};
+
+/// The two mapping strategies of Fig. 1.
+enum class MappingStrategy : std::uint8_t {
+  kUnfoldedColumns,   ///< strategy 1: K*K*Cin rows x Cout cols, one crossbar
+  kKernelPosition,    ///< strategy 2: K*K crossbars of Cin x Cout
+};
+
+[[nodiscard]] std::string mapping_name(MappingStrategy s);
+
+/// Physical census of a conv layer under a mapping strategy.
+struct MappingCensus {
+  std::size_t crossbar_count = 0;      ///< physical arrays
+  std::size_t crossbar_rows = 0;       ///< rows per array
+  std::size_t crossbar_cols = 0;       ///< cols per array
+  std::size_t total_cells = 0;         ///< differential pairs across arrays
+  /// Word-line activations needed to compute ONE output pixel.
+  std::size_t wordline_acts_per_pixel = 0;
+  /// Spatial-SpinDrop modules needed to gate all *input* feature maps.
+  std::size_t dropout_modules = 0;
+  /// Row-enable signals one dropout decision must drive (fan-out).
+  std::size_t dropout_fanout = 0;
+  /// ADC conversions per output pixel (one per column per crossbar).
+  std::size_t adc_per_pixel = 0;
+};
+
+/// Compute the census of `geometry` under `strategy`.
+[[nodiscard]] MappingCensus census(const ConvGeometry& geometry, MappingStrategy strategy);
+
+}  // namespace neuspin::xbar

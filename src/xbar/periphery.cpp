@@ -1,0 +1,82 @@
+#include "xbar/periphery.h"
+
+namespace neuspin::xbar {
+
+AccumulatorAdder::AccumulatorAdder(std::size_t width, energy::EnergyLedger* ledger)
+    : acc_(width, 0.0), ledger_(ledger) {
+  if (width == 0) {
+    throw std::invalid_argument("AccumulatorAdder: width must be positive");
+  }
+}
+
+void AccumulatorAdder::accumulate(const std::vector<double>& partial) {
+  if (partial.size() != acc_.size()) {
+    throw std::invalid_argument("AccumulatorAdder: width mismatch");
+  }
+  for (std::size_t i = 0; i < acc_.size(); ++i) {
+    acc_[i] += partial[i];
+  }
+  if (ledger_ != nullptr) {
+    ledger_->add(energy::Component::kDigitalAdd, acc_.size());
+  }
+}
+
+void AccumulatorAdder::reset() { std::fill(acc_.begin(), acc_.end(), 0.0); }
+
+AveragingBlock::AveragingBlock(std::size_t width, energy::EnergyLedger* ledger)
+    : sum_(width, 0.0), sum_sq_(width, 0.0), ledger_(ledger) {
+  if (width == 0) {
+    throw std::invalid_argument("AveragingBlock: width must be positive");
+  }
+}
+
+void AveragingBlock::add_sample(const std::vector<double>& sample) {
+  if (sample.size() != sum_.size()) {
+    throw std::invalid_argument("AveragingBlock: width mismatch");
+  }
+  for (std::size_t i = 0; i < sum_.size(); ++i) {
+    sum_[i] += sample[i];
+    sum_sq_[i] += sample[i] * sample[i];
+  }
+  ++count_;
+  if (ledger_ != nullptr) {
+    // One add per lane for the running sum; the square path costs a mult.
+    ledger_->add(energy::Component::kDigitalAdd, sum_.size());
+    ledger_->add(energy::Component::kDigitalMult, sum_.size());
+  }
+}
+
+std::vector<double> AveragingBlock::mean() const {
+  if (count_ == 0) {
+    throw std::logic_error("AveragingBlock: no samples added");
+  }
+  std::vector<double> m(sum_.size());
+  for (std::size_t i = 0; i < sum_.size(); ++i) {
+    m[i] = sum_[i] / static_cast<double>(count_);
+  }
+  return m;
+}
+
+std::vector<double> AveragingBlock::variance() const {
+  if (count_ < 2) {
+    throw std::logic_error("AveragingBlock: variance needs >= 2 samples");
+  }
+  std::vector<double> v(sum_.size());
+  const double n = static_cast<double>(count_);
+  for (std::size_t i = 0; i < sum_.size(); ++i) {
+    const double mean = sum_[i] / n;
+    v[i] = sum_sq_[i] / n - mean * mean;
+    if (v[i] < 0.0) {
+      v[i] = 0.0;  // numerical floor
+    }
+  }
+  return v;
+}
+
+void AveragingBlock::reset() {
+  std::fill(sum_.begin(), sum_.end(), 0.0);
+  std::fill(sum_sq_.begin(), sum_sq_.end(), 0.0);
+  count_ = 0;
+}
+
+}  // namespace neuspin::xbar

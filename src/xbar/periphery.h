@@ -1,0 +1,56 @@
+// Digital periphery blocks around the crossbars (paper Fig. 2 / Fig. 3:
+// accumulator-adder, registers, averaging block).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "energy/accountant.h"
+
+namespace neuspin::xbar {
+
+/// Accumulates partial sums across row-blocks / kernel-position crossbars.
+/// Counts its add operations into an optional ledger.
+class AccumulatorAdder {
+ public:
+  explicit AccumulatorAdder(std::size_t width, energy::EnergyLedger* ledger = nullptr);
+
+  /// acc[i] += partial[i]; charges one digital add per lane.
+  void accumulate(const std::vector<double>& partial);
+
+  [[nodiscard]] const std::vector<double>& value() const { return acc_; }
+  void reset();
+
+  [[nodiscard]] std::size_t width() const { return acc_.size(); }
+
+ private:
+  std::vector<double> acc_;
+  energy::EnergyLedger* ledger_;
+};
+
+/// Averages T Monte-Carlo output vectors (paper Fig. 3 "Averaging Block").
+class AveragingBlock {
+ public:
+  explicit AveragingBlock(std::size_t width, energy::EnergyLedger* ledger = nullptr);
+
+  /// Add one forward-pass output.
+  void add_sample(const std::vector<double>& sample);
+
+  /// Mean over added samples; throws std::logic_error if none were added.
+  [[nodiscard]] std::vector<double> mean() const;
+  /// Per-lane variance (population); requires >= 2 samples.
+  [[nodiscard]] std::vector<double> variance() const;
+
+  [[nodiscard]] std::size_t sample_count() const { return count_; }
+  void reset();
+
+ private:
+  std::vector<double> sum_;
+  std::vector<double> sum_sq_;
+  std::size_t count_ = 0;
+  energy::EnergyLedger* ledger_;
+};
+
+}  // namespace neuspin::xbar

@@ -1,0 +1,186 @@
+#include "xbar/tile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "xbar/bitcell.h"
+
+namespace neuspin::xbar {
+
+void TileConfig::validate() const {
+  if (max_rows == 0) {
+    throw std::invalid_argument("TileConfig: max_rows must be positive");
+  }
+  if (adc_bits == 0 || adc_bits > 16) {
+    throw std::invalid_argument("TileConfig: adc_bits must be 1..16");
+  }
+  crossbar.validate();
+}
+
+DenseTile::DenseTile(const TileConfig& config, std::size_t in_features,
+                     std::size_t out_features, std::span<const float> binary_weights,
+                     std::span<const float> scales, std::uint64_t seed)
+    : config_(config),
+      in_(in_features),
+      out_(out_features),
+      scales_(scales.begin(), scales.end()),
+      adc_(config.adc_bits, 1.0),  // re-initialized below once unit current is known
+      sense_amp_(0.0),
+      unit_current_(0.0) {
+  config_.validate();
+  if (in_features == 0 || out_features == 0) {
+    throw std::invalid_argument("DenseTile: feature counts must be positive");
+  }
+  if (binary_weights.size() != in_features * out_features) {
+    throw std::invalid_argument("DenseTile: weight count mismatch");
+  }
+  if (scales_.size() != out_features) {
+    throw std::invalid_argument("DenseTile: expected one scale per output column");
+  }
+
+  const device::MicroSiemens delta_g =
+      XnorBitcell::delta_conductance(config_.crossbar.mtj);
+  unit_current_ = config_.crossbar.read_voltage * delta_g;
+  // Full scale sized so a fully-correlated block cannot clip.
+  adc_ = Adc(config_.adc_bits,
+             unit_current_ * static_cast<double>(std::min(in_, config_.max_rows)));
+
+  const std::size_t blocks = (in_ + config_.max_rows - 1) / config_.max_rows;
+  plus_.reserve(blocks);
+  minus_.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t first = b * config_.max_rows;
+    const std::size_t rows = std::min(config_.max_rows, in_ - first);
+    CrossbarConfig cfg = config_.crossbar;
+    cfg.rows = rows;
+    cfg.cols = out_;
+    auto xb_plus = std::make_unique<Crossbar>(cfg, config_.variability, config_.defects,
+                                              seed + 2 * b);
+    auto xb_minus = std::make_unique<Crossbar>(cfg, config_.variability, config_.defects,
+                                               seed + 2 * b + 1);
+    // Differential programming: w=+1 -> (P, AP); w=-1 -> (AP, P).
+    std::vector<float> w_plus(rows * out_);
+    std::vector<float> w_minus(rows * out_);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < out_; ++c) {
+        const float w = binary_weights[(first + r) * out_ + c];
+        w_plus[r * out_ + c] = w;
+        w_minus[r * out_ + c] = -w;
+      }
+    }
+    xb_plus->program_binary(w_plus);
+    xb_minus->program_binary(w_minus);
+    plus_.push_back(std::move(xb_plus));
+    minus_.push_back(std::move(xb_minus));
+  }
+}
+
+std::size_t DenseTile::cell_count() const {
+  std::size_t n = 0;
+  for (const auto& xb : plus_) {
+    n += xb->rows() * xb->cols();
+  }
+  return n;
+}
+
+void DenseTile::inject_defects(const device::DefectRates& rates, std::uint64_t seed) {
+  for (std::size_t b = 0; b < plus_.size(); ++b) {
+    const device::DefectMap plus_map(plus_[b]->rows(), plus_[b]->cols(), rates,
+                                     seed + 101 * b);
+    const device::DefectMap minus_map(minus_[b]->rows(), minus_[b]->cols(), rates,
+                                      seed + 101 * b + 57);
+    for (std::size_t r = 0; r < plus_[b]->rows(); ++r) {
+      for (std::size_t c = 0; c < plus_[b]->cols(); ++c) {
+        if (plus_map.at(r, c) != device::DefectKind::kNone) {
+          plus_[b]->defects().set(r, c, plus_map.at(r, c));
+        }
+        if (minus_map.at(r, c) != device::DefectKind::kNone) {
+          minus_[b]->defects().set(r, c, minus_map.at(r, c));
+        }
+      }
+    }
+  }
+}
+
+std::vector<float> DenseTile::forward(std::span<const float> input,
+                                      energy::EnergyLedger* ledger,
+                                      std::mt19937_64& engine) const {
+  const std::vector<std::uint8_t> all_enabled(in_, 1);
+  return forward_gated(input, all_enabled, ledger, engine);
+}
+
+std::vector<float> DenseTile::forward_gated(std::span<const float> input,
+                                            std::span<const std::uint8_t> row_enabled,
+                                            energy::EnergyLedger* ledger,
+                                            std::mt19937_64& engine) const {
+  if (input.size() != in_ || row_enabled.size() != in_) {
+    throw std::invalid_argument("DenseTile::forward: expected " + std::to_string(in_) +
+                                " inputs, got " + std::to_string(input.size()));
+  }
+  std::vector<double> accumulated(out_, 0.0);
+  for (std::size_t b = 0; b < plus_.size(); ++b) {
+    const std::size_t first = b * config_.max_rows;
+    const std::size_t rows = plus_[b]->rows();
+    std::vector<Volt> voltages(rows, 0.0);
+    std::size_t active = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (row_enabled[first + r]) {
+        voltages[r] = config_.crossbar.read_voltage *
+                      static_cast<double>(input[first + r]);
+        if (voltages[r] != 0.0) {
+          ++active;
+        }
+      }
+    }
+    const auto i_plus = config_.read_noise_sigma > 0.0
+                            ? plus_[b]->mac_noisy(voltages, engine, config_.read_noise_sigma)
+                            : plus_[b]->mac(voltages);
+    const auto i_minus =
+        config_.read_noise_sigma > 0.0
+            ? minus_[b]->mac_noisy(voltages, engine, config_.read_noise_sigma)
+            : minus_[b]->mac(voltages);
+
+    if (ledger != nullptr) {
+      ledger->add(energy::Component::kWordlineActivation, active);
+      ledger->add(energy::Component::kInputDriver, active);
+      ledger->add(energy::Component::kXbarCellRead, 2 * active * out_);
+      if (config_.readout == Readout::kAdc) {
+        ledger->add(energy::Component::kAdcConversion, out_);
+        if (b > 0) {
+          ledger->add(energy::Component::kDigitalAdd, out_);
+        }
+      }
+    }
+    for (std::size_t c = 0; c < out_; ++c) {
+      const double diff = i_plus[c] - i_minus[c];
+      if (config_.readout == Readout::kAdc) {
+        accumulated[c] += adc_.quantize(diff) / unit_current_;
+      } else {
+        // Sense-amp path: analog partial sums share the accumulation line;
+        // digitization happens once per column after the last block.
+        accumulated[c] += diff;
+      }
+    }
+  }
+  std::vector<float> output(out_);
+  if (config_.readout == Readout::kSenseAmp) {
+    if (ledger != nullptr) {
+      ledger->add(energy::Component::kSenseAmp, out_);
+    }
+    for (std::size_t c = 0; c < out_; ++c) {
+      output[c] = sense_amp_.evaluate(accumulated[c]) * scales_[c];
+    }
+    return output;
+  }
+  if (ledger != nullptr) {
+    ledger->add(energy::Component::kDigitalMult, out_);  // per-column scale
+  }
+  for (std::size_t c = 0; c < out_; ++c) {
+    output[c] = static_cast<float>(accumulated[c]) * scales_[c];
+  }
+  return output;
+}
+
+}  // namespace neuspin::xbar

@@ -1,0 +1,101 @@
+// Layer tile: the hardware execution unit for one binary dense layer
+// (and, via im2col, for conv layers).
+//
+// A tile programs an (in x out) +-1 weight matrix into differential
+// crossbar pairs (XNOR bit-cells), splitting tall matrices into row blocks
+// of at most `max_rows`. A forward pass drives the input as analog row
+// voltages, reads differential column currents per block, digitizes them
+// (multi-bit ADC or 1-bit sense amp), accumulates blocks digitally, and
+// applies the per-column scale factors.
+//
+// All chargeable events are recorded into an optional EnergyLedger, so the
+// same forward path produces both the numerics and the energy census.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "device/defects.h"
+#include "device/variability.h"
+#include "energy/accountant.h"
+#include "xbar/adc.h"
+#include "xbar/crossbar.h"
+
+namespace neuspin::xbar {
+
+/// Column read-out style.
+enum class Readout : std::uint8_t {
+  kAdc,       ///< multi-bit conversion, output is a quantized weighted sum
+  kSenseAmp,  ///< 1-bit sign read-out (binary-activation architectures)
+};
+
+/// Tile construction parameters.
+struct TileConfig {
+  std::size_t max_rows = 128;     ///< physical crossbar height limit
+  std::size_t adc_bits = 8;
+  Readout readout = Readout::kAdc;
+  CrossbarConfig crossbar{};      ///< per-array electrical design point
+  /// Cycle-to-cycle multiplicative read-noise sigma (0 disables).
+  double read_noise_sigma = 0.0;
+  /// Device-to-device variability; ideal (all zero) by default so the
+  /// nominal tile is exact — non-ideality is opt-in per experiment.
+  device::VariabilityParams variability{0.0, 0.0, 0.0};
+  device::DefectRates defects{};
+
+  void validate() const;
+};
+
+/// One binary dense layer mapped onto crossbar hardware.
+class DenseTile {
+ public:
+  /// Program a tile from +-1 weights (row-major, in x out) and per-column
+  /// scales. `seed` drives variability/defect draws for all sub-arrays.
+  DenseTile(const TileConfig& config, std::size_t in_features, std::size_t out_features,
+            std::span<const float> binary_weights, std::span<const float> scales,
+            std::uint64_t seed);
+
+  /// Hardware forward pass for one input vector. Values are interpreted as
+  /// multiples of the read voltage (binary nets drive exactly +-1).
+  /// Events are recorded into `ledger` when non-null.
+  [[nodiscard]] std::vector<float> forward(std::span<const float> input,
+                                           energy::EnergyLedger* ledger,
+                                           std::mt19937_64& engine) const;
+
+  /// Forward pass with per-row gating: rows whose `row_enabled` flag is
+  /// false contribute nothing (SpinDrop / Spatial-SpinDrop dropout path).
+  [[nodiscard]] std::vector<float> forward_gated(std::span<const float> input,
+                                                 std::span<const std::uint8_t> row_enabled,
+                                                 energy::EnergyLedger* ledger,
+                                                 std::mt19937_64& engine) const;
+
+  [[nodiscard]] std::size_t in_features() const { return in_; }
+  [[nodiscard]] std::size_t out_features() const { return out_; }
+  [[nodiscard]] std::size_t block_count() const { return plus_.size(); }
+  [[nodiscard]] const TileConfig& config() const { return config_; }
+
+  /// Total differential cell pairs across all blocks.
+  [[nodiscard]] std::size_t cell_count() const;
+
+  /// Inject additional stuck-at defects into every block (fault-injection
+  /// experiments). `rate` is the per-cell probability for each plane.
+  void inject_defects(const device::DefectRates& rates, std::uint64_t seed);
+
+ private:
+  TileConfig config_;
+  std::size_t in_;
+  std::size_t out_;
+  std::vector<float> scales_;
+  /// Differential planes per row-block.
+  std::vector<std::unique_ptr<Crossbar>> plus_;
+  std::vector<std::unique_ptr<Crossbar>> minus_;
+  Adc adc_;
+  SenseAmp sense_amp_;
+  /// Current-to-weighted-sum conversion factor: V_read * dG (uA per unit).
+  double unit_current_;
+};
+
+}  // namespace neuspin::xbar

@@ -1,0 +1,163 @@
+// Unit tests for the architecture census: the counting rules behind
+// Table I and the paper's x-factor claims.
+#include <gtest/gtest.h>
+
+#include "core/census.h"
+
+namespace neuspin::core {
+namespace {
+
+TEST(LayerSpec, DenseGeometry) {
+  const LayerSpec l = LayerSpec::dense(256, 128, true);
+  EXPECT_EQ(l.mvm_rows(), 256u);
+  EXPECT_EQ(l.mvm_cols(), 128u);
+  EXPECT_EQ(l.mvm_count(), 1u);
+  EXPECT_EQ(l.neurons(), 128u);
+  EXPECT_EQ(l.weights(), 256u * 128u);
+  EXPECT_EQ(l.feature_maps(), 1u);
+}
+
+TEST(LayerSpec, ConvGeometry) {
+  const LayerSpec l = LayerSpec::conv(8, 16, 3, 8, 8);
+  EXPECT_EQ(l.mvm_rows(), 72u);
+  EXPECT_EQ(l.mvm_cols(), 16u);
+  EXPECT_EQ(l.mvm_count(), 64u);
+  EXPECT_EQ(l.neurons(), 1024u);
+  EXPECT_EQ(l.feature_maps(), 16u);
+  EXPECT_EQ(l.weights(), 72u * 16u);
+}
+
+TEST(ArchSpec, CnnTotals) {
+  const ArchSpec arch = small_cnn_arch();
+  EXPECT_EQ(arch.layers.size(), 4u);
+  EXPECT_EQ(arch.hidden_layer_count(), 3u);
+  // conv1: 8*16*16=2048; conv2: 16*8*8=1024; dense: 64 -> 3136 neurons.
+  EXPECT_EQ(arch.total_neurons(), 3136u);
+  EXPECT_EQ(arch.total_feature_maps(), 8u + 16u + 1u);
+}
+
+TEST(DropoutModules, SpinDropNeedsOrdersOfMagnitudeMore) {
+  const ArchSpec arch = small_cnn_arch();
+  const std::size_t spindrop = dropout_module_count(arch, Method::kSpinDrop);
+  const std::size_t spatial = dropout_module_count(arch, Method::kSpatialSpinDrop);
+  const std::size_t scale = dropout_module_count(arch, Method::kSpinScaleDrop);
+  EXPECT_GT(spindrop, 8 * spatial)
+      << "the paper's ~9x module-reduction claim (C2) must hold in shape";
+  EXPECT_EQ(scale, 3u) << "exactly one scale-dropout module per hidden layer";
+  EXPECT_EQ(dropout_module_count(arch, Method::kDeterministic), 0u);
+}
+
+TEST(RngBits, OrderingFollowsGranularity) {
+  const ArchSpec arch = small_cnn_arch();
+  const CensusConfig config;
+  const auto spindrop = rng_bits_per_pass(arch, Method::kSpinDrop, config);
+  const auto spatial = rng_bits_per_pass(arch, Method::kSpatialSpinDrop, config);
+  const auto scale = rng_bits_per_pass(arch, Method::kSpinScaleDrop, config);
+  const auto affine = rng_bits_per_pass(arch, Method::kAffineDropout, config);
+  const auto traditional = rng_bits_per_pass(arch, Method::kTraditionalVi, config);
+  EXPECT_EQ(spindrop, arch.total_neurons());
+  EXPECT_EQ(spatial, 8u + 16u + 1u);
+  EXPECT_EQ(scale, 3u);
+  EXPECT_EQ(affine, 6u);
+  EXPECT_GT(traditional, spindrop)
+      << "per-weight Gaussian sampling dwarfs even neuron-wise dropout";
+}
+
+TEST(InferenceCensus, SharedMacPathIdenticalAcrossMethods) {
+  const ArchSpec arch = mlp_arch();
+  const CensusConfig config;
+  const auto a = inference_census(arch, Method::kSpinDrop, config);
+  const auto b = inference_census(arch, Method::kSpatialSpinDrop, config);
+  EXPECT_EQ(a.count(energy::Component::kXbarCellRead),
+            b.count(energy::Component::kXbarCellRead))
+      << "the analog MAC work is method-independent";
+  EXPECT_EQ(a.count(energy::Component::kWordlineActivation),
+            b.count(energy::Component::kWordlineActivation));
+}
+
+TEST(InferenceCensus, SenseAmpArchitectureSkipsHiddenAdc) {
+  const ArchSpec arch = small_cnn_arch();
+  const CensusConfig config;
+  const auto adc_arch = inference_census(arch, Method::kSpinDrop, config);
+  const auto sa_arch = inference_census(arch, Method::kSpinScaleDrop, config);
+  EXPECT_GT(adc_arch.count(energy::Component::kAdcConversion),
+            10 * sa_arch.count(energy::Component::kAdcConversion))
+      << "binary-activation architectures only digitize the classifier layer";
+  EXPECT_GT(sa_arch.count(energy::Component::kSenseAmp), 0u);
+}
+
+TEST(InferenceCensus, Table1EnergyOrdering) {
+  const ArchSpec arch = small_cnn_arch();
+  const CensusConfig config;
+  const double spindrop =
+      inference_census(arch, Method::kSpinDrop, config).total_energy();
+  const double spatial =
+      inference_census(arch, Method::kSpatialSpinDrop, config).total_energy();
+  const double scale =
+      inference_census(arch, Method::kSpinScaleDrop, config).total_energy();
+  const double subset = inference_census(arch, Method::kSubsetVi, config).total_energy();
+  const double spinbayes =
+      inference_census(arch, Method::kSpinBayes, config).total_energy();
+  // Paper Table I shape: SpinDrop is by far the most expensive, Spatial
+  // second, and the scale-based methods form the cheap cluster with
+  // ScaleDrop cheapest. (The two adjacent middle rows, SubSet and
+  // SpinBayes, sit within ~1.5x of each other in the paper and swap under
+  // our unified backbone; see EXPERIMENTS.md.)
+  EXPECT_GT(spindrop, 2.0 * spatial);
+  EXPECT_GT(spatial, subset);
+  EXPECT_GT(spatial, spinbayes);
+  EXPECT_GT(subset, scale);
+  EXPECT_GT(spinbayes, scale);
+}
+
+TEST(InferenceCensus, DeterministicRunsOnePass) {
+  const ArchSpec arch = mlp_arch();
+  CensusConfig config;
+  config.mc_passes = 20;
+  const auto det = inference_census(arch, Method::kDeterministic, config);
+  const auto bayes = inference_census(arch, Method::kSpinDrop, config);
+  EXPECT_NEAR(static_cast<double>(bayes.count(energy::Component::kXbarCellRead)),
+              20.0 * static_cast<double>(det.count(energy::Component::kXbarCellRead)),
+              1.0);
+}
+
+TEST(InferenceCensus, TraditionalViIsByFarTheMostExpensive) {
+  const ArchSpec arch = small_cnn_arch();
+  const CensusConfig config;
+  const double traditional =
+      inference_census(arch, Method::kTraditionalVi, config).total_energy();
+  const double subset = inference_census(arch, Method::kSubsetVi, config).total_energy();
+  EXPECT_GT(traditional / subset, 20.0)
+      << "shape of the paper's 70x power claim (C5)";
+}
+
+TEST(StorageCensus, SubsetViMassivelySmallerThanTraditional) {
+  const ArchSpec arch = small_cnn_arch();
+  const CensusConfig config;
+  const auto subset = storage_census(arch, Method::kSubsetVi, config);
+  const auto traditional = storage_census(arch, Method::kTraditionalVi, config);
+  const double ratio = static_cast<double>(traditional.total_bits()) /
+                       static_cast<double>(subset.total_bits());
+  EXPECT_GT(ratio, 30.0) << "shape of the paper's 158.7x memory claim (C5)";
+}
+
+TEST(StorageCensus, SpinBayesStoresQuantizedInstances) {
+  const ArchSpec arch = mlp_arch();
+  CensusConfig config;
+  config.spinbayes_instances = 8;
+  const auto fp = storage_census(arch, Method::kSpinBayes, config);
+  EXPECT_EQ(fp.variational_bits, 0u);
+  EXPECT_GT(fp.other_bits, 0u);
+  // 8 instances x scale entries x 3 bits (8-level cells).
+  EXPECT_EQ(fp.other_bits, 8u * arch.total_scale_entries() * 3u);
+}
+
+TEST(InferenceCensus, RejectsBadConfig) {
+  CensusConfig config;
+  config.mc_passes = 0;
+  EXPECT_THROW((void)inference_census(mlp_arch(), Method::kSpinDrop, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace neuspin::core

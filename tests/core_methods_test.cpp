@@ -1,0 +1,451 @@
+// Unit tests for the NeuSpin Bayesian method layers.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/affinedrop.h"
+#include "core/scaledrop.h"
+#include "core/spinbayes.h"
+#include "core/spindrop.h"
+#include "core/subset_vi.h"
+#include "nn/loss.h"
+#include "test_util.h"
+
+namespace neuspin::core {
+namespace {
+
+// ------------------------------------------------------------- SpinDrop ----
+
+TEST(SpinDrop, InactiveWithoutTrainingOrMc) {
+  auto layer = make_pseudo_spindrop(DropGranularity::kNeuron, 8, 0.5, 1);
+  nn::Tensor x({2, 8}, 1.0f);
+  nn::Tensor y = layer->forward(x, false);
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y[i], 1.0f);
+  }
+}
+
+TEST(SpinDrop, TrainingDropsAtConfiguredRate) {
+  auto layer = make_pseudo_spindrop(DropGranularity::kNeuron, 64, 0.3, 2);
+  nn::Tensor x({50, 64}, 1.0f);
+  nn::Tensor y = layer->forward(x, true);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (y[i] == 0.0f) {
+      ++zeros;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(y.numel()), 0.3, 0.04);
+}
+
+TEST(SpinDrop, McModeSharesMaskAcrossBatch) {
+  auto layer = make_pseudo_spindrop(DropGranularity::kNeuron, 32, 0.5, 3);
+  layer->enable_mc(true);
+  nn::Tensor x({4, 32}, 1.0f);
+  nn::Tensor y = layer->forward(x, false);
+  // Hardware semantics: one module gates one neuron for the whole pass.
+  for (std::size_t u = 0; u < 32; ++u) {
+    for (std::size_t b = 1; b < 4; ++b) {
+      EXPECT_FLOAT_EQ(y.at(b, u), y.at(0, u));
+    }
+  }
+}
+
+TEST(SpinDrop, SpatialGranularityDropsWholeChannels) {
+  auto layer = make_pseudo_spindrop(DropGranularity::kFeatureMap, 8, 0.5, 4);
+  layer->enable_mc(true);
+  nn::Tensor x({2, 8, 4, 4}, 1.0f);
+  nn::Tensor y = layer->forward(x, false);
+  for (std::size_t c = 0; c < 8; ++c) {
+    const float first = y.at4(0, c, 0, 0);
+    for (std::size_t h = 0; h < 4; ++h) {
+      for (std::size_t w = 0; w < 4; ++w) {
+        EXPECT_FLOAT_EQ(y.at4(0, c, h, w), first)
+            << "spatial dropout must gate entire feature maps";
+        EXPECT_FLOAT_EQ(y.at4(1, c, h, w), first);
+      }
+    }
+  }
+}
+
+TEST(SpinDrop, BackwardUsesSameMask) {
+  auto layer = make_pseudo_spindrop(DropGranularity::kNeuron, 16, 0.5, 5);
+  nn::Tensor x({3, 16}, 2.0f);
+  nn::Tensor y = layer->forward(x, true);
+  nn::Tensor g({3, 16}, 1.0f);
+  nn::Tensor gx = layer->backward(g);
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    EXPECT_FLOAT_EQ(gx[i], y[i] == 0.0f ? 0.0f : 1.0f);
+  }
+}
+
+TEST(SpinDrop, SpintronicSourcesShowDeviceVariation) {
+  energy::EnergyLedger ledger;
+  auto layer =
+      make_spintronic_spindrop(DropGranularity::kNeuron, 64, 0.3, 6.0, 7, &ledger);
+  // Realized probabilities vary module-to-module; their mean stays near
+  // the target but individual modules deviate.
+  const double mean_p = layer->realized_probability();
+  EXPECT_NEAR(mean_p, 0.3, 0.15);
+  layer->enable_mc(true);
+  nn::Tensor x({1, 64}, 1.0f);
+  (void)layer->forward(x, false);
+  EXPECT_EQ(ledger.count(energy::Component::kRngDropoutCycle), 64u)
+      << "one stochastic cycle per neuron per pass";
+}
+
+TEST(SpinDrop, ModuleCountReflectsGranularity) {
+  auto neuron = make_pseudo_spindrop(DropGranularity::kNeuron, 128, 0.2, 8);
+  auto spatial = make_pseudo_spindrop(DropGranularity::kFeatureMap, 16, 0.2, 9);
+  EXPECT_EQ(neuron->module_count(), 128u);
+  EXPECT_EQ(spatial->module_count(), 16u);
+}
+
+// ------------------------------------------------------------ ScaleDrop ----
+
+TEST(ScaleDrop, AdaptiveProbabilityGrowsWithLayerSize) {
+  const double p_small = adaptive_scale_dropout_p(1000);
+  const double p_mid = adaptive_scale_dropout_p(30000);
+  const double p_large = adaptive_scale_dropout_p(1000000);
+  EXPECT_LT(p_small, p_mid);
+  EXPECT_LT(p_mid, p_large);
+  EXPECT_NEAR(p_small, 0.05, 1e-9);
+  EXPECT_NEAR(p_large, 0.25, 1e-9);
+}
+
+TEST(ScaleDrop, AppliesLearnableScale) {
+  ScaleDropConfig config;
+  config.channels = 4;
+  config.dropout_p = 0.0;
+  ScaleDropLayer layer(config);
+  layer.scale() = nn::Tensor({4}, std::vector<float>{0.5f, 1.0f, 2.0f, 3.0f});
+  nn::Tensor x({1, 4}, 1.0f);
+  nn::Tensor y = layer.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 3), 3.0f);
+}
+
+TEST(ScaleDrop, DropReplacesScaleWithNeutralOne) {
+  ScaleDropConfig config;
+  config.channels = 4;
+  config.dropout_p = 0.999;  // force dropping
+  config.seed = 3;
+  ScaleDropLayer layer(config);
+  layer.scale() = nn::Tensor({4}, 5.0f);
+  layer.enable_mc(true);
+  nn::Tensor x({1, 4}, 2.0f);
+  nn::Tensor y = layer.forward(x, false);
+  EXPECT_TRUE(layer.last_pass_dropped());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(y[i], 2.0f) << "dropped scale must act as multiplication by one";
+  }
+}
+
+TEST(ScaleDrop, HardwareProbabilityIsGaussianShifted) {
+  ScaleDropConfig config;
+  config.channels = 2;
+  config.dropout_p = 0.2;
+  config.hw_p_sigma = 0.05;
+  double min_p = 1.0;
+  double max_p = 0.0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    config.seed = seed;
+    ScaleDropLayer layer(config);
+    min_p = std::min(min_p, layer.realized_p());
+    max_p = std::max(max_p, layer.realized_p());
+  }
+  EXPECT_LT(min_p, 0.2);
+  EXPECT_GT(max_p, 0.2);
+  EXPECT_GT(min_p, 0.0);
+}
+
+TEST(ScaleDrop, GradientCheckWhenNotDropped) {
+  ScaleDropConfig config;
+  config.channels = 5;
+  config.dropout_p = 0.0;  // keep forward deterministic for the check
+  ScaleDropLayer layer(config);
+  std::mt19937_64 engine(11);
+  layer.scale() = nn::Tensor::uniform({5}, 0.5f, 1.5f, engine);
+  nn::Tensor x = nn::Tensor::randn({3, 5}, 1.0f, engine);
+  neuspin::testing::check_input_gradient(layer, x);
+  neuspin::testing::check_param_gradient(layer, x, 0);
+}
+
+TEST(ScaleDrop, RegularizerPullsScaleTowardOne) {
+  nn::Tensor scale({3}, std::vector<float>{0.5f, 1.0f, 2.0f});
+  nn::Tensor grad({3});
+  const float value = nn::scale_regularizer(scale, 1.0f, grad);
+  EXPECT_GT(value, 0.0f);
+  EXPECT_LT(grad[0], 0.0f) << "below-one scales are pushed up";
+  EXPECT_NEAR(grad[1], 0.0f, 1e-6f);
+  EXPECT_GT(grad[2], 0.0f) << "above-one scales are pushed down";
+}
+
+// ----------------------------------------------------------- AffineDrop ----
+
+TEST(InvertedNorm, NormalizesAfterAffine) {
+  AffineDropConfig config;
+  config.features = 3;
+  config.dropout_p = 0.0;
+  InvertedNormLayer layer(config);
+  std::mt19937_64 engine(12);
+  nn::Tensor x = nn::Tensor::randn({64, 3}, 2.0f, engine);
+  nn::Tensor y = layer.forward(x, true);
+  for (std::size_t f = 0; f < 3; ++f) {
+    float mean = 0.0f;
+    for (std::size_t i = 0; i < 64; ++i) {
+      mean += y.at(i, f);
+    }
+    EXPECT_NEAR(mean / 64.0f, 0.0f, 1e-4f);
+  }
+}
+
+TEST(InvertedNorm, ScalarMasksDropWholeVectors) {
+  AffineDropConfig config;
+  config.features = 4;
+  config.dropout_p = 0.999;
+  config.seed = 4;
+  InvertedNormLayer layer(config);
+  layer.weight() = nn::Tensor({4}, 3.0f);
+  layer.bias() = nn::Tensor({4}, 2.0f);
+  std::mt19937_64 engine(13);
+  nn::Tensor x = nn::Tensor::randn({32, 4}, 1.0f, engine);
+  (void)layer.forward(x, true);
+  EXPECT_TRUE(layer.last_weight_dropped());
+  EXPECT_TRUE(layer.last_bias_dropped());
+}
+
+TEST(InvertedNorm, GradientCheckWithoutDropout) {
+  AffineDropConfig config;
+  config.features = 4;
+  config.dropout_p = 0.0;
+  InvertedNormLayer layer(config);
+  std::mt19937_64 engine(14);
+  layer.weight() = nn::Tensor::uniform({4}, 0.5f, 1.5f, engine);
+  layer.bias() = nn::Tensor::uniform({4}, -0.5f, 0.5f, engine);
+  nn::Tensor x = nn::Tensor::randn({8, 4}, 1.0f, engine);
+  neuspin::testing::check_input_gradient(layer, x, 5e-2f);
+  neuspin::testing::check_param_gradient(layer, x, 0, 5e-2f);
+  neuspin::testing::check_param_gradient(layer, x, 1, 5e-2f);
+}
+
+TEST(InvertedNorm, McPassesAreStochastic) {
+  AffineDropConfig config;
+  config.features = 4;
+  config.dropout_p = 0.5;
+  config.seed = 5;
+  InvertedNormLayer layer(config);
+  layer.enable_mc(true);
+  layer.weight() = nn::Tensor({4}, 2.0f);
+  std::mt19937_64 engine(15);
+  // Push running stats through a few training passes first.
+  for (int i = 0; i < 20; ++i) {
+    nn::Tensor x = nn::Tensor::randn({32, 4}, 1.0f, engine);
+    (void)layer.forward(x, true);
+  }
+  nn::Tensor probe = nn::Tensor::randn({1, 4}, 1.0f, engine);
+  bool any_difference = false;
+  nn::Tensor first = layer.forward(probe, false);
+  for (int pass = 0; pass < 20 && !any_difference; ++pass) {
+    nn::Tensor y = layer.forward(probe, false);
+    for (std::size_t i = 0; i < y.numel(); ++i) {
+      if (std::abs(y[i] - first[i]) > 1e-6f) {
+        any_difference = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference) << "affine dropout must randomize MC passes";
+}
+
+// ------------------------------------------------------------ Subset VI ----
+
+TEST(BayesianScale, DeterministicEvalUsesMu) {
+  BayesScaleConfig config;
+  config.channels = 3;
+  BayesianScaleLayer layer(config);
+  layer.mu() = nn::Tensor({3}, std::vector<float>{0.5f, 1.0f, 1.5f});
+  nn::Tensor x({1, 3}, 2.0f);
+  nn::Tensor y = layer.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+  EXPECT_FLOAT_EQ(y[2], 3.0f);
+}
+
+TEST(BayesianScale, McSamplesVaryWithPosteriorWidth) {
+  BayesScaleConfig config;
+  config.channels = 1;
+  config.init_rho = 0.0f;  // softplus(0) ~ 0.69, wide posterior
+  BayesianScaleLayer layer(config);
+  layer.enable_mc(true);
+  nn::Tensor x({1, 1}, 1.0f);
+  float min_v = 1e9f;
+  float max_v = -1e9f;
+  for (int i = 0; i < 50; ++i) {
+    const nn::Tensor y = layer.forward(x, false);
+    min_v = std::min(min_v, y[0]);
+    max_v = std::max(max_v, y[0]);
+  }
+  EXPECT_GT(max_v - min_v, 0.5f) << "wide posterior must produce spread samples";
+}
+
+TEST(BayesianScale, QuantizationSnapsToGrid) {
+  BayesScaleConfig config;
+  config.channels = 1;
+  config.quant_levels = 5;  // grid 0.5, 0.75, 1.0, 1.25, 1.5
+  config.quant_lo = 0.5f;
+  config.quant_hi = 1.5f;
+  BayesianScaleLayer layer(config);
+  EXPECT_FLOAT_EQ(layer.quantize(0.8f), 0.75f);
+  EXPECT_FLOAT_EQ(layer.quantize(1.1f), 1.0f);
+  EXPECT_FLOAT_EQ(layer.quantize(99.0f), 1.5f) << "clipping to the cell range";
+}
+
+TEST(BayesianScale, KlRegularizerShrinksWithPriorMatch) {
+  // KL of the prior against itself must be ~0, and grows when mu drifts.
+  const float prior_sigma = 0.1f;
+  nn::Tensor mu({2}, 1.0f);
+  // softplus(rho) == prior_sigma  =>  rho = ln(e^sigma - 1)
+  const float rho_value = std::log(std::exp(prior_sigma) - 1.0f);
+  nn::Tensor rho({2}, rho_value);
+  nn::Tensor mu_grad({2});
+  nn::Tensor rho_grad({2});
+  const float kl_match =
+      nn::gaussian_scale_kl(mu, rho, prior_sigma, 1.0f, mu_grad, rho_grad);
+  EXPECT_NEAR(kl_match, 0.0f, 1e-4f);
+
+  mu = nn::Tensor({2}, 2.0f);  // drift from the prior mean
+  mu_grad.fill(0.0f);
+  rho_grad.fill(0.0f);
+  const float kl_drift =
+      nn::gaussian_scale_kl(mu, rho, prior_sigma, 1.0f, mu_grad, rho_grad);
+  EXPECT_GT(kl_drift, kl_match);
+  EXPECT_GT(mu_grad[0], 0.0f) << "gradient must pull mu back toward 1";
+}
+
+TEST(BayesianScale, GradientCheckDeterministicPath) {
+  BayesScaleConfig config;
+  config.channels = 4;
+  BayesianScaleLayer layer(config);
+  std::mt19937_64 engine(16);
+  layer.mu() = nn::Tensor::uniform({4}, 0.8f, 1.2f, engine);
+  nn::Tensor x = nn::Tensor::randn({3, 4}, 1.0f, engine);
+  // training=true samples eps per pass, which breaks finite differences;
+  // the deterministic eval path checks the mu-gradient chain instead.
+  nn::Tensor y = layer.forward(x, false);
+  neuspin::testing::ProbeLoss loss(y.shape());
+  layer.mu_grad().fill(0.0f);
+  (void)layer.backward(loss.grad());
+  // Analytic mu-grad vs finite differences.
+  for (std::size_t c = 0; c < 4; ++c) {
+    const float eps = 1e-3f;
+    layer.mu()[c] += eps;
+    const float up = loss.value(layer.forward(x, false));
+    layer.mu()[c] -= 2.0f * eps;
+    const float down = loss.value(layer.forward(x, false));
+    layer.mu()[c] += eps;
+    EXPECT_NEAR(layer.mu_grad()[c], (up - down) / (2.0f * eps), 2e-2f);
+  }
+}
+
+// ------------------------------------------------------------ SpinBayes ----
+
+TEST(SpinArbiter, UniformSelection) {
+  SpinArbiter arbiter(8, 17);
+  std::vector<std::size_t> counts(8, 0);
+  const int draws = 8000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[arbiter.select()];
+  }
+  for (std::size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), draws / 8.0, draws / 8.0 * 0.15);
+  }
+}
+
+TEST(SpinArbiter, OneHotMatchesSelection) {
+  SpinArbiter arbiter(4, 18);
+  const std::size_t sel = arbiter.select();
+  const auto one_hot = arbiter.one_hot();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(one_hot[i], i == sel ? 1 : 0);
+  }
+}
+
+TEST(SpinArbiter, BitsPerDrawIsCeilLog2) {
+  EXPECT_EQ(SpinArbiter(8, 1).bits_per_draw(), 3u);
+  EXPECT_EQ(SpinArbiter(5, 1).bits_per_draw(), 3u);
+  EXPECT_EQ(SpinArbiter(2, 1).bits_per_draw(), 1u);
+}
+
+TEST(SpinBayesLayer, InstancesComeFromPosterior) {
+  BayesScaleConfig config;
+  config.channels = 6;
+  config.init_rho = -4.0f;  // narrow posterior
+  BayesianScaleLayer posterior(config);
+  posterior.mu() = nn::Tensor({6}, 1.2f);
+
+  SpinBayesConfig sb;
+  sb.instances = 4;
+  sb.quant_levels = 16;
+  auto layer = SpinBayesScaleLayer::from_posterior(posterior, sb);
+  EXPECT_EQ(layer->instance_count(), 4u);
+  for (std::size_t n = 0; n < 4; ++n) {
+    for (std::size_t c = 0; c < 6; ++c) {
+      EXPECT_NEAR(layer->instance(n)[c], 1.2f, 0.15f)
+          << "narrow posterior samples must cluster around mu";
+    }
+  }
+}
+
+TEST(SpinBayesLayer, McPassesSelectDifferentInstances) {
+  std::vector<nn::Tensor> instances;
+  for (int n = 0; n < 4; ++n) {
+    instances.emplace_back(nn::Shape{2}, static_cast<float>(n + 1));
+  }
+  SpinBayesScaleLayer layer(std::move(instances), 19);
+  layer.enable_mc(true);
+  nn::Tensor x({1, 2}, 1.0f);
+  std::vector<bool> seen(4, false);
+  for (int pass = 0; pass < 100; ++pass) {
+    (void)layer.forward(x, false);
+    seen[layer.last_selection()] = true;
+  }
+  for (bool s : seen) {
+    EXPECT_TRUE(s) << "all crossbar instances must be reachable";
+  }
+}
+
+TEST(SpinBayesLayer, DeterministicEvalUsesFirstInstance) {
+  std::vector<nn::Tensor> instances;
+  instances.emplace_back(nn::Shape{2}, 2.0f);
+  instances.emplace_back(nn::Shape{2}, 9.0f);
+  SpinBayesScaleLayer layer(std::move(instances), 20);
+  nn::Tensor x({1, 2}, 1.0f);
+  const nn::Tensor y = layer.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+}
+
+TEST(SpinBayesLayer, QuantizedInstancesLieOnGrid) {
+  BayesScaleConfig config;
+  config.channels = 8;
+  config.init_rho = 0.0f;  // wide posterior to exercise the grid
+  BayesianScaleLayer posterior(config);
+
+  SpinBayesConfig sb;
+  sb.instances = 6;
+  sb.quant_levels = 8;
+  sb.quant_lo = 0.5f;
+  sb.quant_hi = 1.5f;
+  auto layer = SpinBayesScaleLayer::from_posterior(posterior, sb);
+  const float step = (1.5f - 0.5f) / 7.0f;
+  for (std::size_t n = 0; n < 6; ++n) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      const float v = layer->instance(n)[c];
+      const float level = (v - 0.5f) / step;
+      EXPECT_NEAR(level, std::round(level), 1e-4f)
+          << "every stored scale must sit on a multi-level cell level";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace neuspin::core

@@ -1,0 +1,263 @@
+// Unit tests for the procedural dataset generators.
+#include <gtest/gtest.h>
+
+#include "data/clusters.h"
+#include "data/corruption.h"
+#include "data/ood.h"
+#include "data/strokes.h"
+#include "data/timeseries.h"
+
+namespace neuspin::data {
+namespace {
+
+TEST(Strokes, ShapeAndBalance) {
+  StrokeConfig config;
+  config.samples_per_class = 10;
+  const nn::Dataset data = make_stroke_digits(config, 1);
+  EXPECT_EQ(data.size(), 100u);
+  EXPECT_EQ(data.inputs.shape(),
+            (nn::Shape{100, 1, kStrokeImageSize, kStrokeImageSize}));
+  std::vector<std::size_t> counts(10, 0);
+  for (std::size_t label : data.labels) {
+    ASSERT_LT(label, 10u);
+    ++counts[label];
+  }
+  for (std::size_t c : counts) {
+    EXPECT_EQ(c, 10u) << "class-interleaved generation must be balanced";
+  }
+}
+
+TEST(Strokes, PixelsInUnitRange) {
+  StrokeConfig config;
+  config.samples_per_class = 5;
+  const nn::Dataset data = make_stroke_digits(config, 2);
+  for (std::size_t i = 0; i < data.inputs.numel(); ++i) {
+    EXPECT_GE(data.inputs[i], 0.0f);
+    EXPECT_LE(data.inputs[i], 1.0f);
+  }
+}
+
+TEST(Strokes, DeterministicPerSeed) {
+  StrokeConfig config;
+  config.samples_per_class = 3;
+  const nn::Dataset a = make_stroke_digits(config, 7);
+  const nn::Dataset b = make_stroke_digits(config, 7);
+  for (std::size_t i = 0; i < a.inputs.numel(); ++i) {
+    ASSERT_FLOAT_EQ(a.inputs[i], b.inputs[i]);
+  }
+  const nn::Dataset c = make_stroke_digits(config, 8);
+  bool different = false;
+  for (std::size_t i = 0; i < a.inputs.numel() && !different; ++i) {
+    different = a.inputs[i] != c.inputs[i];
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(Strokes, ClassesAreVisuallyDistinct) {
+  // Mean images of different digits must differ substantially more than
+  // two renderings of the same digit.
+  StrokeConfig config;
+  config.samples_per_class = 20;
+  const nn::Dataset data = make_stroke_digits(config, 3);
+  const std::size_t pixels = kStrokeImageSize * kStrokeImageSize;
+  std::vector<std::vector<float>> means(10, std::vector<float>(pixels, 0.0f));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (std::size_t p = 0; p < pixels; ++p) {
+      means[data.labels[i]][p] += data.inputs[i * pixels + p] / 20.0f;
+    }
+  }
+  for (std::size_t a = 0; a < 10; ++a) {
+    for (std::size_t b = a + 1; b < 10; ++b) {
+      float dist = 0.0f;
+      for (std::size_t p = 0; p < pixels; ++p) {
+        const float d = means[a][p] - means[b][p];
+        dist += d * d;
+      }
+      EXPECT_GT(dist, 1.0f) << "digits " << a << " and " << b << " overlap too much";
+    }
+  }
+}
+
+TEST(Strokes, FlattenPreservesData) {
+  StrokeConfig config;
+  config.samples_per_class = 2;
+  const nn::Dataset images = make_stroke_digits(config, 4);
+  const nn::Dataset flat = flatten_dataset(images);
+  EXPECT_EQ(flat.inputs.shape(), (nn::Shape{20, 256}));
+  EXPECT_FLOAT_EQ(flat.inputs[300], images.inputs[300]);
+}
+
+TEST(Clusters, SeparableWhenSpreadLarge) {
+  ClusterConfig config;
+  config.classes = 3;
+  config.dimensions = 4;
+  config.samples_per_class = 50;
+  config.center_spread = 10.0f;
+  config.cluster_sigma = 0.5f;
+  const nn::Dataset data = make_gaussian_clusters(config, 5);
+  EXPECT_EQ(data.size(), 150u);
+  // Nearest-centroid classification should be nearly perfect.
+  std::vector<std::vector<float>> centroids(3, std::vector<float>(4, 0.0f));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (std::size_t d = 0; d < 4; ++d) {
+      centroids[data.labels[i]][d] += data.inputs.at(i, d) / 50.0f;
+    }
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::size_t best = 0;
+    float best_dist = 1e9f;
+    for (std::size_t c = 0; c < 3; ++c) {
+      float dist = 0.0f;
+      for (std::size_t d = 0; d < 4; ++d) {
+        const float delta = data.inputs.at(i, d) - centroids[c][d];
+        dist += delta * delta;
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    if (best == data.labels[i]) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(static_cast<float>(correct) / 150.0f, 0.98f);
+}
+
+TEST(Clusters, SupportsManyClasses) {
+  ClusterConfig config;
+  config.classes = 100;
+  config.dimensions = 16;
+  config.samples_per_class = 3;
+  const nn::Dataset data = make_gaussian_clusters(config, 6);
+  EXPECT_EQ(data.size(), 300u);
+  std::size_t max_label = 0;
+  for (std::size_t l : data.labels) {
+    max_label = std::max(max_label, l);
+  }
+  EXPECT_EQ(max_label, 99u);
+}
+
+TEST(TwoMoons, ShapeAndLabels) {
+  const nn::Dataset data = make_two_moons(100, 0.05f, 7);
+  EXPECT_EQ(data.size(), 200u);
+  EXPECT_EQ(data.inputs.dim(1), 2u);
+}
+
+TEST(Timeseries, WindowingIsConsistent) {
+  SeriesConfig config;
+  config.length = 100;
+  config.window = 10;
+  const SeriesDataset data = make_series(config, 8);
+  EXPECT_EQ(data.size(), 90u);
+  EXPECT_EQ(data.inputs.shape(), (nn::Shape{90, 10, 1}));
+  // The target of window i equals the first input of window i+1 shifted:
+  // inputs[i+1][9] is series[i+10] == targets[i].
+  EXPECT_FLOAT_EQ(data.targets[0], data.inputs[(1 * 10 + 9)]);
+}
+
+TEST(Timeseries, RmseOfIdenticalSeriesIsZero) {
+  nn::Tensor a({4, 1}, std::vector<float>{1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(rmse(a, a), 0.0f);
+  nn::Tensor b({4, 1}, std::vector<float>{2, 3, 4, 5});
+  EXPECT_FLOAT_EQ(rmse(a, b), 1.0f);
+}
+
+TEST(Corruption, SeverityZeroIsIdentity) {
+  StrokeConfig sc;
+  sc.samples_per_class = 2;
+  const nn::Dataset clean = make_stroke_digits(sc, 9);
+  for (CorruptionKind kind : all_corruptions()) {
+    const nn::Dataset out = corrupt(clean, kind, 0.0f, 1);
+    for (std::size_t i = 0; i < clean.inputs.numel(); ++i) {
+      ASSERT_FLOAT_EQ(out.inputs[i], clean.inputs[i])
+          << corruption_name(kind) << " at severity 0 must be the identity";
+    }
+  }
+}
+
+TEST(Corruption, DistortionGrowsWithSeverity) {
+  StrokeConfig sc;
+  sc.samples_per_class = 3;
+  const nn::Dataset clean = make_stroke_digits(sc, 10);
+  for (CorruptionKind kind : all_corruptions()) {
+    float prev = 0.0f;
+    for (float severity : {0.3f, 0.6f, 1.0f}) {
+      const nn::Dataset out = corrupt(clean, kind, severity, 2);
+      float dist = 0.0f;
+      for (std::size_t i = 0; i < clean.inputs.numel(); ++i) {
+        const float d = out.inputs[i] - clean.inputs[i];
+        dist += d * d;
+      }
+      EXPECT_GE(dist, prev * 0.9f)
+          << corruption_name(kind) << " distortion must not shrink with severity";
+      prev = dist;
+    }
+    EXPECT_GT(prev, 0.0f);
+  }
+}
+
+TEST(Corruption, PreservesLabelsAndRange) {
+  StrokeConfig sc;
+  sc.samples_per_class = 2;
+  const nn::Dataset clean = make_stroke_digits(sc, 11);
+  for (CorruptionKind kind : {CorruptionKind::kGaussianNoise, CorruptionKind::kSaltPepper}) {
+    const nn::Dataset out = corrupt(clean, kind, 0.8f, 3);
+    EXPECT_EQ(out.labels, clean.labels);
+    for (std::size_t i = 0; i < out.inputs.numel(); ++i) {
+      ASSERT_GE(out.inputs[i], 0.0f);
+      ASSERT_LE(out.inputs[i], 1.0f);
+    }
+  }
+}
+
+TEST(Corruption, RejectsInvalidSeverity) {
+  StrokeConfig sc;
+  sc.samples_per_class = 1;
+  const nn::Dataset clean = make_stroke_digits(sc, 12);
+  EXPECT_THROW((void)corrupt(clean, CorruptionKind::kBlur, 1.5f, 1),
+               std::invalid_argument);
+}
+
+TEST(Ood, SuitesProduceRequestedCounts) {
+  StrokeConfig sc;
+  sc.samples_per_class = 5;
+  const nn::Dataset ref = make_stroke_digits(sc, 13);
+  for (OodKind kind : all_ood_kinds()) {
+    const nn::Dataset ood = make_ood(ref, kind, 20, 14);
+    EXPECT_EQ(ood.size(), 20u) << ood_name(kind);
+    EXPECT_EQ(ood.inputs.dim(2), kStrokeImageSize);
+  }
+}
+
+TEST(Ood, UniformNoiseHasHighPixelEntropy) {
+  StrokeConfig sc;
+  sc.samples_per_class = 5;
+  const nn::Dataset ref = make_stroke_digits(sc, 15);
+  const nn::Dataset noise = make_ood(ref, OodKind::kUniformNoise, 30, 16);
+  EXPECT_NEAR(noise.inputs.mean(), 0.5f, 0.03f);
+  // Stroke digits are mostly dark: their mean is far from 0.5.
+  EXPECT_LT(ref.inputs.mean(), 0.35f);
+}
+
+TEST(Ood, PatternsDifferFromDigits) {
+  StrokeConfig sc;
+  sc.samples_per_class = 5;
+  const nn::Dataset ref = make_stroke_digits(sc, 17);
+  const nn::Dataset patterns = make_ood(ref, OodKind::kDisjointPatterns, 30, 18);
+  // Patterns fill much more of the canvas than sparse digit strokes.
+  EXPECT_GT(patterns.inputs.mean(), ref.inputs.mean() + 0.1f);
+}
+
+TEST(Ood, RejectsBadCount) {
+  StrokeConfig sc;
+  sc.samples_per_class = 1;
+  const nn::Dataset ref = make_stroke_digits(sc, 19);
+  EXPECT_THROW((void)make_ood(ref, OodKind::kUniformNoise, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_ood(ref, OodKind::kUniformNoise, 1000, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace neuspin::data

@@ -1,0 +1,373 @@
+// Unit tests for the spintronic device substrate.
+#include <gtest/gtest.h>
+
+#include "device/defects.h"
+#include "device/mtj.h"
+#include "device/multilevel.h"
+#include "device/rng.h"
+#include "device/sot_cell.h"
+#include "device/switching.h"
+#include "device/variability.h"
+
+namespace neuspin::device {
+namespace {
+
+// ------------------------------------------------------------------ MTJ ----
+
+TEST(Mtj, ResistanceFollowsState) {
+  Mtj mtj;
+  mtj.set_state(MtjState::kParallel);
+  const KiloOhm r_p = mtj.resistance();
+  mtj.set_state(MtjState::kAntiParallel);
+  const KiloOhm r_ap = mtj.resistance();
+  EXPECT_GT(r_ap, r_p) << "AP state must be the high-resistance state";
+  EXPECT_NEAR(r_ap / r_p, 1.0 + mtj.params().tmr, 1e-9);
+}
+
+TEST(Mtj, ConductanceIsInverseResistance) {
+  Mtj mtj;
+  EXPECT_NEAR(mtj.conductance(), 1000.0 / mtj.resistance(), 1e-9);
+}
+
+TEST(Mtj, ResistanceVariationPreservesTmr) {
+  Mtj mtj;
+  const double tmr_before = mtj.r_antiparallel() / mtj.r_parallel();
+  mtj.apply_resistance_variation(1.2);
+  EXPECT_NEAR(mtj.r_antiparallel() / mtj.r_parallel(), tmr_before, 1e-9);
+}
+
+TEST(Mtj, RejectsInvalidParams) {
+  MtjParams bad;
+  bad.r_parallel = -1.0;
+  EXPECT_THROW(Mtj{bad}, std::invalid_argument);
+  bad = MtjParams{};
+  bad.tmr = 0.0;
+  EXPECT_THROW(Mtj{bad}, std::invalid_argument);
+  bad = MtjParams{};
+  bad.delta = -5.0;
+  EXPECT_THROW(Mtj{bad}, std::invalid_argument);
+  bad = MtjParams{};
+  bad.i_c0 = 0.0;
+  EXPECT_THROW(Mtj{bad}, std::invalid_argument);
+}
+
+TEST(Mtj, RejectsNonPositiveVariationFactor) {
+  Mtj mtj;
+  EXPECT_THROW(mtj.apply_resistance_variation(0.0), std::invalid_argument);
+  EXPECT_THROW(mtj.set_delta(-1.0), std::invalid_argument);
+}
+
+TEST(Mtj, ReadEnergyScalesWithPulseWidth) {
+  Mtj mtj;
+  EXPECT_NEAR(mtj.read_energy(2.0), 2.0 * mtj.read_energy(1.0), 1e-12);
+  EXPECT_GT(mtj.read_energy(1.0), 0.0);
+}
+
+TEST(Mtj, WriteEnergyQuadraticInCurrent) {
+  Mtj mtj;
+  EXPECT_NEAR(mtj.write_energy(80.0, 1.0), 4.0 * mtj.write_energy(40.0, 1.0), 1e-12);
+}
+
+// ------------------------------------------------------------ Switching ----
+
+TEST(Switching, ProbabilityMonotoneInCurrent) {
+  SwitchingModel model{MtjParams{}};
+  double prev = 0.0;
+  for (MicroAmp i = 5.0; i <= 100.0; i += 5.0) {
+    const double p = model.switching_probability(i, 5.0);
+    EXPECT_GE(p, prev) << "switching probability must grow with current";
+    prev = p;
+  }
+}
+
+TEST(Switching, ProbabilityMonotoneInPulseWidth) {
+  SwitchingModel model{MtjParams{}};
+  double prev = 0.0;
+  for (Nanosecond t = 0.5; t <= 50.0; t *= 2.0) {
+    const double p = model.switching_probability(30.0, t);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Switching, ZeroCurrentNeverSwitches) {
+  SwitchingModel model{MtjParams{}};
+  EXPECT_DOUBLE_EQ(model.switching_probability(0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.switching_probability(-5.0, 100.0), 0.0);
+}
+
+TEST(Switching, LargeOverdriveSwitchesAlmostSurely) {
+  SwitchingModel model{MtjParams{}};
+  EXPECT_GT(model.switching_probability(400.0, 5.0), 0.999);
+}
+
+TEST(Switching, InverseRecoversProbability) {
+  SwitchingModel model{MtjParams{}};
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const MicroAmp i = model.current_for_probability(p, 2.0);
+    EXPECT_NEAR(model.switching_probability(i, 2.0), p, 1e-6)
+        << "current_for_probability must invert switching_probability at p=" << p;
+  }
+}
+
+TEST(Switching, InverseRejectsDegenerateProbabilities) {
+  SwitchingModel model{MtjParams{}};
+  EXPECT_THROW((void)model.current_for_probability(0.0, 1.0), std::domain_error);
+  EXPECT_THROW((void)model.current_for_probability(1.0, 1.0), std::domain_error);
+}
+
+TEST(Switching, LowerDeltaSwitchesMoreEasily) {
+  SwitchingModel model{MtjParams{}};
+  const double p_nominal = model.switching_probability(30.0, 2.0, 45.0);
+  const double p_weak = model.switching_probability(30.0, 2.0, 35.0);
+  EXPECT_GT(p_weak, p_nominal)
+      << "a thermally weaker device must switch with higher probability";
+}
+
+TEST(Switching, MeanSwitchingTimeDropsWithOverdrive) {
+  SwitchingModel model{MtjParams{}};
+  EXPECT_GT(model.mean_switching_time(20.0), model.mean_switching_time(39.0));
+  EXPECT_GT(model.mean_switching_time(45.0), model.mean_switching_time(80.0));
+}
+
+// ----------------------------------------------------------- Variability ----
+
+TEST(Variability, ZeroSigmaIsIdentity) {
+  VariabilityParams params;
+  params.resistance_sigma = 0.0;
+  params.read_noise_sigma = 0.0;
+  VariabilityModel model(params, 1);
+  EXPECT_DOUBLE_EQ(model.sample_resistance_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(model.sample_read_noise(), 1.0);
+}
+
+TEST(Variability, ResistanceFactorIsLogNormal) {
+  VariabilityParams params;
+  params.resistance_sigma = 0.1;
+  VariabilityModel model(params, 7);
+  double log_sum = 0.0;
+  double log_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double f = model.sample_resistance_factor();
+    ASSERT_GT(f, 0.0);
+    const double lf = std::log(f);
+    log_sum += lf;
+    log_sq += lf * lf;
+  }
+  const double mean = log_sum / n;
+  const double var = log_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(std::sqrt(var), 0.1, 0.01);
+}
+
+TEST(Variability, DeltaStaysPhysical) {
+  VariabilityParams params;
+  params.delta_sigma = 30.0;  // absurdly wide to force clamping
+  VariabilityModel model(params, 3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(model.sample_delta(45.0), 1.0);
+  }
+}
+
+TEST(Variability, SameSeedReproduces) {
+  VariabilityParams params;
+  VariabilityModel a(params, 42);
+  VariabilityModel b(params, 42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.sample_resistance_factor(), b.sample_resistance_factor());
+  }
+}
+
+TEST(Variability, RejectsNegativeSigma) {
+  VariabilityParams params;
+  params.resistance_sigma = -0.1;
+  EXPECT_THROW(VariabilityModel(params, 1), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Defects ----
+
+TEST(Defects, CleanMapHasNoDefects) {
+  DefectMap map(64, 64);
+  EXPECT_EQ(map.defect_count(), 0u);
+}
+
+TEST(Defects, RatesProduceExpectedCounts) {
+  DefectRates rates;
+  rates.stuck_at_p = 0.02;
+  rates.stuck_at_ap = 0.02;
+  rates.open = 0.01;
+  rates.short_circuit = 0.01;
+  DefectMap map(200, 200, rates, 11);
+  const double expected = 0.06 * 200 * 200;
+  EXPECT_NEAR(static_cast<double>(map.defect_count()), expected, expected * 0.2);
+}
+
+TEST(Defects, EffectiveConductanceRules) {
+  DefectMap map(2, 2);
+  map.set(0, 0, DefectKind::kStuckAtParallel);
+  map.set(0, 1, DefectKind::kStuckAtAntiParallel);
+  map.set(1, 0, DefectKind::kOpen);
+  map.set(1, 1, DefectKind::kShort);
+  const MicroSiemens healthy = 100.0;
+  const MicroSiemens g_p = 166.0;
+  const MicroSiemens g_ap = 66.0;
+  const MicroSiemens g_short = 2000.0;
+  EXPECT_DOUBLE_EQ(map.effective_conductance(0, 0, healthy, g_p, g_ap, g_short), g_p);
+  EXPECT_DOUBLE_EQ(map.effective_conductance(0, 1, healthy, g_p, g_ap, g_short), g_ap);
+  EXPECT_DOUBLE_EQ(map.effective_conductance(1, 0, healthy, g_p, g_ap, g_short), 0.0);
+  EXPECT_DOUBLE_EQ(map.effective_conductance(1, 1, healthy, g_p, g_ap, g_short), g_short);
+}
+
+TEST(Defects, RejectsOverUnityRates) {
+  DefectRates rates;
+  rates.stuck_at_p = 0.6;
+  rates.stuck_at_ap = 0.6;
+  EXPECT_THROW(rates.validate(), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ MultiLevel ----
+
+TEST(MultiLevel, UniformLevelCount) {
+  MultiLevelCell cell(MtjParams{}, 4, MultiLevelSizing::kUniform);
+  EXPECT_EQ(cell.level_count(), 5u);
+}
+
+TEST(MultiLevel, BinaryWeightedLevelCount) {
+  MultiLevelCell cell(MtjParams{}, 3, MultiLevelSizing::kBinaryWeighted);
+  EXPECT_EQ(cell.level_count(), 8u);
+}
+
+TEST(MultiLevel, ConductanceMonotoneInLevel) {
+  for (auto sizing : {MultiLevelSizing::kUniform, MultiLevelSizing::kBinaryWeighted}) {
+    MultiLevelCell cell(MtjParams{}, 3, sizing);
+    double prev = -1.0;
+    for (std::size_t level = 0; level < cell.level_count(); ++level) {
+      const double g = cell.conductance_at(level);
+      EXPECT_GT(g, prev) << "conductance must grow with level";
+      prev = g;
+    }
+  }
+}
+
+TEST(MultiLevel, ProgramSetsLevel) {
+  MultiLevelCell cell(MtjParams{}, 4, MultiLevelSizing::kUniform);
+  cell.program(3);
+  EXPECT_EQ(cell.level(), 3u);
+  EXPECT_DOUBLE_EQ(cell.conductance(), cell.conductance_at(3));
+}
+
+TEST(MultiLevel, ProgramOutOfRangeThrows) {
+  MultiLevelCell cell(MtjParams{}, 4, MultiLevelSizing::kUniform);
+  EXPECT_THROW(cell.program(5), std::out_of_range);
+}
+
+TEST(MultiLevel, PulseCountIsHammingDistance) {
+  MultiLevelCell cell(MtjParams{}, 3, MultiLevelSizing::kBinaryWeighted);
+  cell.program(0b000);
+  EXPECT_EQ(cell.pulses_to_program(0b111), 3u);
+  EXPECT_EQ(cell.pulses_to_program(0b101), 2u);
+  EXPECT_EQ(cell.pulses_to_program(0b000), 0u);
+}
+
+TEST(MultiLevel, LevelStepPositive) {
+  MultiLevelCell cell(MtjParams{}, 4, MultiLevelSizing::kUniform);
+  EXPECT_GT(cell.level_step(), 0.0);
+}
+
+// ------------------------------------------------------------------ RNG ----
+
+class SpinRngProbability : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpinRngProbability, RealizesTargetProbability) {
+  SpinRngConfig config;
+  config.target_probability = GetParam();
+  SpinRng rng(config, 123);
+  EXPECT_NEAR(rng.realized_probability(), GetParam(), 1e-6)
+      << "nominal device must realize the calibrated probability";
+  const auto bits = rng.bitstream(20000);
+  const auto stats = analyze_bitstream(bits);
+  EXPECT_NEAR(stats.mean, GetParam(), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(TargetSweep, SpinRngProbability,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5, 0.75, 0.9));
+
+TEST(SpinRng, VariationShiftsRealizedProbability) {
+  SpinRngConfig config;
+  config.target_probability = 0.5;
+  SpinRng nominal(config, 1);
+  config.delta_override = config.mtj.delta - 8.0;  // thermally weaker device
+  SpinRng weak(config, 1);
+  EXPECT_GT(weak.realized_probability(), nominal.realized_probability())
+      << "a weaker device switches more often at the same bias";
+}
+
+TEST(SpinRng, BitstreamUncorrelated) {
+  SpinRngConfig config;
+  SpinRng rng(config, 2024);
+  const auto stats = analyze_bitstream(rng.bitstream(20000));
+  EXPECT_LT(std::abs(stats.lag1_autocorr), 0.03)
+      << "SET/read/RESET cycles must be independent";
+}
+
+TEST(SpinRng, EnergyAndLatencyPositive) {
+  SpinRng rng(SpinRngConfig{}, 5);
+  EXPECT_GT(rng.energy_per_bit(), 0.0);
+  EXPECT_DOUBLE_EQ(rng.latency_per_bit(),
+                   SpinRngConfig{}.set_pulse + SpinRngConfig{}.read_pulse +
+                       SpinRngConfig{}.reset_pulse);
+}
+
+TEST(SpinRng, CountsGeneratedBits) {
+  SpinRng rng(SpinRngConfig{}, 5);
+  (void)rng.bitstream(100);
+  EXPECT_EQ(rng.bits_generated(), 100u);
+}
+
+TEST(SpinRng, RejectsInvalidConfig) {
+  SpinRngConfig config;
+  config.target_probability = 1.5;
+  EXPECT_THROW(SpinRng(config, 1), std::invalid_argument);
+  config = SpinRngConfig{};
+  config.reset_current = 10.0;  // below critical: reset not deterministic
+  EXPECT_THROW(SpinRng(config, 1), std::invalid_argument);
+}
+
+TEST(BitstreamStats, KnownSequence) {
+  const std::vector<bool> bits = {true, true, true, false, false, true, false, false};
+  const auto stats = analyze_bitstream(bits);
+  EXPECT_FLOAT_EQ(static_cast<float>(stats.mean), 0.5f);
+  EXPECT_EQ(stats.longest_run, 3u);
+}
+
+// -------------------------------------------------------------- SotCell ----
+
+TEST(SotCell, WriteSwitchesStateWithoutReadDisturb) {
+  SotCell cell{SotCellParams{}};
+  cell.write(MtjState::kAntiParallel);
+  EXPECT_EQ(cell.state(), MtjState::kAntiParallel);
+  const MicroSiemens g1 = cell.read_conductance();
+  const MicroSiemens g2 = cell.read_conductance();
+  EXPECT_DOUBLE_EQ(g1, g2) << "SOT reads must not disturb the state";
+}
+
+TEST(SotCell, WriteEnergyIndependentOfJunctionResistance) {
+  SotCellParams params;
+  SotCell cell_a(params);
+  params.mtj.r_parallel = 60.0;  // 10x junction resistance
+  SotCell cell_b(params);
+  EXPECT_DOUBLE_EQ(cell_a.write_energy(), cell_b.write_energy())
+      << "SOT write path goes through the heavy metal, not the junction";
+}
+
+TEST(SotCell, ReadEnergyDropsWithHigherJunctionResistance) {
+  SotCellParams params;
+  SotCell low_r(params);
+  params.mtj.r_parallel = 600.0;  // MOhm-class junction
+  SotCell high_r(params);
+  EXPECT_LT(high_r.read_energy(1.0), low_r.read_energy(1.0));
+}
+
+}  // namespace
+}  // namespace neuspin::device

@@ -1,0 +1,142 @@
+// Unit tests for the energy/memory accounting substrate.
+#include <gtest/gtest.h>
+
+#include "energy/accountant.h"
+#include "energy/memory.h"
+#include "energy/params.h"
+
+namespace neuspin::energy {
+namespace {
+
+TEST(EnergyParams, AdcEnergyDoublesPerBit) {
+  const EnergyParams params;
+  EXPECT_DOUBLE_EQ(params.adc_conversion(8), params.adc_8bit);
+  EXPECT_DOUBLE_EQ(params.adc_conversion(9), 2.0 * params.adc_8bit);
+  EXPECT_DOUBLE_EQ(params.adc_conversion(7), 0.5 * params.adc_8bit);
+  EXPECT_DOUBLE_EQ(params.adc_conversion(4), params.adc_8bit / 16.0);
+}
+
+TEST(EnergyParams, AdcRejectsBadResolution) {
+  const EnergyParams params;
+  EXPECT_THROW((void)params.adc_conversion(0), std::invalid_argument);
+  EXPECT_THROW((void)params.adc_conversion(17), std::invalid_argument);
+}
+
+TEST(EnergyLedger, CountsAndPrices) {
+  EnergyLedger ledger(8);
+  ledger.add(Component::kAdcConversion, 10);
+  ledger.add(Component::kRngDropoutCycle, 4);
+  const EnergyParams params;
+  EXPECT_DOUBLE_EQ(ledger.component_energy(Component::kAdcConversion, params),
+                   10.0 * params.adc_8bit);
+  EXPECT_DOUBLE_EQ(ledger.component_energy(Component::kRngDropoutCycle, params),
+                   4.0 * params.rng_dropout_cycle);
+  EXPECT_DOUBLE_EQ(ledger.total_energy(params),
+                   10.0 * params.adc_8bit + 4.0 * params.rng_dropout_cycle);
+}
+
+TEST(EnergyLedger, AdcResolutionAffectsPrice) {
+  EnergyLedger fine(10);
+  EnergyLedger coarse(4);
+  fine.add(Component::kAdcConversion, 1);
+  coarse.add(Component::kAdcConversion, 1);
+  EXPECT_GT(fine.total_energy(), coarse.total_energy());
+}
+
+TEST(EnergyLedger, MergeAndScale) {
+  EnergyLedger a;
+  a.add(Component::kSenseAmp, 5);
+  EnergyLedger b;
+  b.add(Component::kSenseAmp, 3);
+  b.add(Component::kDigitalAdd, 2);
+  a += b;
+  EXPECT_EQ(a.count(Component::kSenseAmp), 8u);
+  EXPECT_EQ(a.count(Component::kDigitalAdd), 2u);
+  a *= 10;
+  EXPECT_EQ(a.count(Component::kSenseAmp), 80u);
+}
+
+TEST(EnergyLedger, ResetClears) {
+  EnergyLedger ledger;
+  ledger.add(Component::kMtjWrite, 7);
+  ledger.reset();
+  EXPECT_EQ(ledger.count(Component::kMtjWrite), 0u);
+  EXPECT_DOUBLE_EQ(ledger.total_energy(), 0.0);
+}
+
+TEST(EnergyLedger, LatencyAccounting) {
+  EnergyLedger ledger;
+  ledger.add(Component::kWordlineActivation, 2);
+  ledger.add(Component::kAdcConversion, 3);
+  const EnergyParams params;
+  EXPECT_DOUBLE_EQ(ledger.total_latency(params),
+                   2.0 * params.t_xbar_read + 3.0 * params.t_adc);
+}
+
+TEST(EnergyLedger, ReportMentionsEveryActiveComponent) {
+  EnergyLedger ledger;
+  ledger.add(Component::kSramReadWord, 1);
+  ledger.add(Component::kRngDropoutCycle, 2);
+  const std::string report = ledger.report(default_energy_params());
+  EXPECT_NE(report.find("sram_read_word"), std::string::npos);
+  EXPECT_NE(report.find("rng_dropout_cycle"), std::string::npos);
+  EXPECT_NE(report.find("total"), std::string::npos);
+}
+
+TEST(EnergyLedger, RejectsBadAdcBits) {
+  EXPECT_THROW(EnergyLedger(0), std::invalid_argument);
+  EXPECT_THROW(EnergyLedger(20), std::invalid_argument);
+}
+
+TEST(Memory, BinaryIsOneBitPerWeight) {
+  ModelShape shape;
+  shape.weight_count = 1000;
+  const auto fp = footprint(shape, StorageScheme::kBinaryPoint);
+  EXPECT_EQ(fp.weight_bits, 1000u);
+}
+
+TEST(Memory, PerWeightViIs64xBinary) {
+  ModelShape shape;
+  shape.weight_count = 1000;
+  const auto binary = footprint(shape, StorageScheme::kBinaryPoint);
+  const auto vi = footprint(shape, StorageScheme::kPerWeightGaussianVi);
+  EXPECT_EQ(vi.total_bits(), 64u * binary.total_bits())
+      << "mu+sigma at fp32 costs 64 bits per weight vs 1 bit binary";
+}
+
+TEST(Memory, EnsembleScalesWithMembers) {
+  ModelShape shape;
+  shape.weight_count = 500;
+  shape.ensemble_members = 5;
+  const auto ens = footprint(shape, StorageScheme::kEnsemble);
+  EXPECT_EQ(ens.weight_bits, 500u * 32u * 5u);
+}
+
+TEST(Memory, SubsetViDominatedByBinaryWeights) {
+  ModelShape shape;
+  shape.weight_count = 100000;
+  shape.scale_entries = 100;  // scales are ~0.1% of weights
+  const auto subset = footprint(shape, StorageScheme::kSubsetVi);
+  const auto traditional = footprint(shape, StorageScheme::kPerWeightGaussianVi);
+  const double ratio = static_cast<double>(traditional.total_bits()) /
+                       static_cast<double>(subset.total_bits());
+  EXPECT_GT(ratio, 50.0) << "the paper's ~158.7x storage claim's shape: "
+                            "subset-VI storage is orders of magnitude smaller";
+}
+
+TEST(Memory, ReportIsHumanReadable) {
+  ModelShape shape;
+  shape.weight_count = 64;
+  const auto fp = footprint(shape, StorageScheme::kBinaryPoint);
+  EXPECT_NE(fp.report().find("KiB"), std::string::npos);
+}
+
+TEST(Memory, SchemeNamesAreUnique) {
+  EXPECT_NE(storage_scheme_name(StorageScheme::kBinaryPoint),
+            storage_scheme_name(StorageScheme::kSubsetVi));
+  EXPECT_NE(storage_scheme_name(StorageScheme::kEnsemble),
+            storage_scheme_name(StorageScheme::kPerWeightGaussianVi));
+}
+
+}  // namespace
+}  // namespace neuspin::energy

@@ -1,0 +1,224 @@
+// Tests for the extension modules: MC-DropConnect, the retention/drift
+// model, and model checkpointing.
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/dropconnect.h"
+#include "core/hw_model.h"
+#include "core/models.h"
+#include "device/retention.h"
+#include "nn/checkpoint.h"
+#include "test_util.h"
+
+namespace neuspin {
+namespace {
+
+// ---------------------------------------------------------- DropConnect ----
+
+TEST(DropConnect, DeterministicWithoutTrainingOrMc) {
+  std::mt19937_64 engine(1);
+  core::DropConnectDense layer(8, 4, 0.5, engine, 2);
+  nn::Tensor x = nn::Tensor::randn({3, 8}, 1.0f, engine);
+  const nn::Tensor a = layer.forward(x, false);
+  const nn::Tensor b = layer.forward(x, false);
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    ASSERT_FLOAT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(DropConnect, McPassesDropConnections) {
+  std::mt19937_64 engine(3);
+  core::DropConnectDense layer(32, 8, 0.4, engine, 4);
+  layer.enable_mc(true);
+  nn::Tensor x({1, 32}, 1.0f);
+  const nn::Tensor a = layer.forward(x, false);
+  bool any_diff = false;
+  for (int tries = 0; tries < 10 && !any_diff; ++tries) {
+    const nn::Tensor b = layer.forward(x, false);
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+      if (a[i] != b[i]) {
+        any_diff = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff) << "per-weight masks must randomize MC passes";
+}
+
+TEST(DropConnect, ConsumesOneDecisionPerWeight) {
+  std::mt19937_64 engine(5);
+  energy::EnergyLedger ledger;
+  core::DropConnectDense layer(16, 4, 0.3, engine, 6, &ledger);
+  layer.enable_mc(true);
+  nn::Tensor x({1, 16}, 1.0f);
+  (void)layer.forward(x, false);
+  EXPECT_EQ(ledger.count(energy::Component::kRngDropoutCycle), 64u)
+      << "the paper's scalability point: RNG cost equals the weight count";
+  EXPECT_EQ(layer.decisions_per_pass(), 64u);
+}
+
+TEST(DropConnect, TrainsOnToyProblem) {
+  std::mt19937_64 engine(7);
+  core::DropConnectDense layer(8, 2, 0.2, engine, 8);
+  nn::Tensor x = nn::Tensor::randn({16, 8}, 1.0f, engine);
+  neuspin::testing::ProbeLoss loss(nn::Shape{16, 2});
+  auto params = layer.parameters();
+  float first = 0.0f;
+  for (int step = 0; step < 60; ++step) {
+    const nn::Tensor y = layer.forward(x, true);
+    if (step == 0) {
+      first = loss.value(y);
+    }
+    (void)layer.backward(loss.grad());
+    for (auto& p : params) {
+      for (std::size_t i = 0; i < p.value->numel(); ++i) {
+        (*p.value)[i] -= 0.01f * (*p.grad)[i];
+      }
+      p.grad->fill(0.0f);
+    }
+  }
+  const nn::Tensor y = layer.forward(x, false);
+  EXPECT_LT(loss.value(y), first);
+}
+
+TEST(DropConnect, RejectsInvalidProbability) {
+  std::mt19937_64 engine(9);
+  EXPECT_THROW(core::DropConnectDense(4, 2, 1.0, engine, 1), std::invalid_argument);
+  EXPECT_THROW(core::DropConnectDense(4, 2, -0.1, engine, 1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Retention ----
+
+TEST(Retention, FlipProbabilityGrowsWithTime) {
+  device::RetentionModel model{device::MtjParams{}};
+  double prev = 0.0;
+  for (double t : {1.0, 1e3, 1e6, 1e9}) {
+    const double p = model.flip_probability(t);
+    EXPECT_GE(p, prev);
+    EXPECT_LE(p, 0.5);
+    prev = p;
+  }
+}
+
+TEST(Retention, HigherDeltaRetainsLonger) {
+  device::MtjParams weak;
+  weak.delta = 30.0;
+  device::MtjParams strong;
+  strong.delta = 60.0;
+  device::RetentionModel weak_model(weak);
+  device::RetentionModel strong_model(strong);
+  EXPECT_GT(strong_model.retention_seconds(0.01), weak_model.retention_seconds(0.01));
+  EXPECT_GT(weak_model.flip_probability(1e6), strong_model.flip_probability(1e6));
+}
+
+TEST(Retention, TenYearClassRetentionAtHighDelta) {
+  device::MtjParams params;
+  params.delta = 60.0;
+  device::RetentionModel model(params);
+  constexpr double kTenYears = 10.0 * 365.25 * 24 * 3600;
+  EXPECT_LT(model.flip_probability(kTenYears), 1e-3)
+      << "Delta ~ 60 is the canonical 10-year retention design point";
+}
+
+TEST(Retention, AsymptoteIsHalf) {
+  device::MtjParams params;
+  params.delta = 5.0;  // thermally weak: relaxes quickly
+  device::RetentionModel model(params);
+  EXPECT_NEAR(model.flip_probability(1e9), 0.5, 1e-6);
+}
+
+TEST(Retention, RejectsInvalidArguments) {
+  device::RetentionModel model{device::MtjParams{}};
+  EXPECT_THROW((void)model.flip_probability(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)model.retention_seconds(0.6), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ Checkpoint ----
+
+TEST(Checkpoint, RoundTripsTrainedModel) {
+  core::ModelConfig config;
+  config.method = core::Method::kSubsetVi;
+  core::BuiltModel model = core::make_binary_mlp(config, 8, {16}, 4);
+  std::mt19937_64 engine(11);
+  // Dirty the parameters and run a training-mode pass so batch-norm
+  // running stats are non-trivial.
+  for (auto& p : model.net.parameters()) {
+    *p.value = nn::Tensor::randn(p.value->shape(), 0.5f, engine);
+  }
+  nn::Tensor x = nn::Tensor::randn({32, 8}, 1.0f, engine);
+  (void)model.net.forward(x, true);
+  const nn::Tensor before = model.net.forward(x, false);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "neuspin_ckpt_test.bin").string();
+  nn::save_checkpoint(model.net, path);
+
+  // A fresh model with the same architecture but different weights.
+  core::BuiltModel restored = core::make_binary_mlp(config, 8, {16}, 4);
+  nn::load_checkpoint(restored.net, path);
+  const nn::Tensor after = restored.net.forward(x, false);
+  ASSERT_EQ(before.shape(), after.shape());
+  for (std::size_t i = 0; i < before.numel(); ++i) {
+    ASSERT_FLOAT_EQ(before[i], after[i]) << "checkpoint must round-trip exactly";
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, RejectsArchitectureMismatch) {
+  core::ModelConfig config;
+  config.method = core::Method::kDeterministic;
+  core::BuiltModel small = core::make_binary_mlp(config, 8, {16}, 4);
+  core::BuiltModel large = core::make_binary_mlp(config, 8, {32}, 4);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "neuspin_ckpt_mismatch.bin").string();
+  nn::save_checkpoint(small.net, path);
+  EXPECT_THROW(nn::load_checkpoint(large.net, path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, RejectsMissingAndCorruptFiles) {
+  core::ModelConfig config;
+  core::BuiltModel model = core::make_binary_mlp(config, 8, {16}, 4);
+  EXPECT_THROW(nn::load_checkpoint(model.net, "/nonexistent/ckpt.bin"),
+               std::runtime_error);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "neuspin_ckpt_bad.bin").string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a checkpoint", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(nn::load_checkpoint(model.net, path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+// --------------------------------------------------------- perturbation ----
+
+TEST(PerturbWeights, SkipsNormalizationRegistersByDefault) {
+  core::ModelConfig config;
+  config.method = core::Method::kDeterministic;
+  core::BuiltModel model = core::make_binary_mlp(config, 8, {16}, 4);
+  // Snapshot the batch-norm gamma (a normalization parameter).
+  nn::BatchNorm* bn = nullptr;
+  for (std::size_t i = 0; i < model.net.size(); ++i) {
+    if (auto* candidate = dynamic_cast<nn::BatchNorm*>(&model.net.layer(i))) {
+      bn = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(bn, nullptr);
+  const nn::Tensor gamma_before = bn->gamma();
+  const std::size_t touched = core::perturb_weights(model.net, 0.1f, 13);
+  EXPECT_GT(touched, 0u);
+  for (std::size_t i = 0; i < gamma_before.numel(); ++i) {
+    EXPECT_FLOAT_EQ(bn->gamma()[i], gamma_before[i])
+        << "digital norm registers must not see conductance variation";
+  }
+  const std::size_t with_norm = core::perturb_weights(model.net, 0.1f, 13, true);
+  EXPECT_GT(with_norm, touched);
+}
+
+}  // namespace
+}  // namespace neuspin

@@ -1,0 +1,317 @@
+// Integration tests: end-to-end training + Bayesian evaluation of every
+// method on small tasks, hardware-consistency of the tile path, and the
+// fault-injection / OOD protocols.
+#include <gtest/gtest.h>
+
+#include "core/hw_model.h"
+#include "core/models.h"
+#include "core/pipeline.h"
+#include "data/clusters.h"
+#include "data/ood.h"
+#include "data/strokes.h"
+
+namespace neuspin::core {
+namespace {
+
+/// Small, fast cluster task every method must learn.
+struct ClusterTask {
+  nn::Dataset train;
+  nn::Dataset test;
+};
+
+ClusterTask make_task(std::uint64_t seed) {
+  data::ClusterConfig cc;
+  cc.classes = 4;
+  cc.dimensions = 8;
+  cc.samples_per_class = 120;
+  cc.center_spread = 4.0f;
+  cc.cluster_sigma = 0.9f;
+  const nn::Dataset all = data::make_gaussian_clusters(cc, seed);
+  ClusterTask task;
+  auto [train_x, train_y] = all.batch(0, 400);
+  task.train = {std::move(train_x), std::move(train_y)};
+  auto [test_x, test_y] = all.batch(400, all.size());
+  task.test = {std::move(test_x), std::move(test_y)};
+  return task;
+}
+
+/// Every method trains to usable accuracy on the cluster task and emits
+/// probabilities that are calibrated enough to beat a coin flip by far.
+class MethodTraining : public ::testing::TestWithParam<Method> {};
+
+TEST_P(MethodTraining, LearnsClusterTask) {
+  const ClusterTask task = make_task(5);
+  ModelConfig config;
+  config.method = GetParam();
+  config.dropout_p = 0.1;
+  BuiltModel model = make_binary_mlp(config, 8, {32, 32}, 4);
+  FitConfig fit_config;
+  fit_config.epochs = 10;
+  fit_config.kl_weight = 1e-4f;
+  (void)fit(model, task.train, fit_config);
+  if (GetParam() == Method::kSpinBayes) {
+    SpinBayesConfig sb;
+    sb.instances = 8;
+    convert_to_spinbayes(model, sb);
+  }
+  const EvalResult ev = evaluate(model, task.test, 10);
+  EXPECT_GT(ev.accuracy, 0.85f) << method_name(GetParam())
+                                << " failed to learn the cluster task";
+  EXPECT_LT(ev.nll, 1.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, MethodTraining,
+    ::testing::Values(Method::kDeterministic, Method::kSpinDrop,
+                      Method::kSpatialSpinDrop, Method::kSpinScaleDrop,
+                      Method::kAffineDropout, Method::kSubsetVi, Method::kSpinBayes),
+    [](const ::testing::TestParamInfo<Method>& info) {
+      std::string name = method_name(info.param);
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(McBehaviour, BayesianMethodsAreStochasticAtInference) {
+  const ClusterTask task = make_task(6);
+  for (Method method : {Method::kSpinDrop, Method::kSpinScaleDrop, Method::kSubsetVi}) {
+    ModelConfig config;
+    config.method = method;
+    config.dropout_p = 0.3;
+    config.adaptive_p = false;  // keep the scale-dropout rate high & fixed
+    BuiltModel model = make_binary_mlp(config, 8, {32}, 4);
+    FitConfig fc;
+    fc.epochs = 4;
+    (void)fit(model, task.train, fc);
+    model.enable_mc(true);
+    auto [x, y] = task.test.batch(0, 16);
+    const nn::Tensor a = model.stochastic_logits(x);
+    bool any_diff = false;
+    for (int tries = 0; tries < 40 && !any_diff; ++tries) {
+      const nn::Tensor b = model.stochastic_logits(x);
+      for (std::size_t i = 0; i < a.numel(); ++i) {
+        if (a[i] != b[i]) {
+          any_diff = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(any_diff) << method_name(method) << " must be stochastic in MC mode";
+    model.enable_mc(false);
+    const nn::Tensor c = model.stochastic_logits(x);
+    const nn::Tensor d = model.stochastic_logits(x);
+    for (std::size_t i = 0; i < c.numel(); ++i) {
+      ASSERT_FLOAT_EQ(c[i], d[i])
+          << method_name(method) << " must be deterministic outside MC mode";
+    }
+  }
+}
+
+TEST(HwConsistency, TiledMlpMatchesSoftwareInference) {
+  // Train a small binary MLP in software, deploy on ideal tiles, and
+  // require argmax agreement on nearly all samples (quantization may flip
+  // borderline cases).
+  data::StrokeConfig sc;
+  sc.samples_per_class = 60;
+  const nn::Dataset train =
+      data::standardize_per_sample(data::make_stroke_digits_flat(sc, 7));
+  sc.samples_per_class = 20;
+  const nn::Dataset test =
+      data::standardize_per_sample(data::make_stroke_digits_flat(sc, 8));
+
+  ModelConfig config;
+  config.method = Method::kDeterministic;
+  BuiltModel model = make_binary_mlp(config, 256, {64}, 10);
+  FitConfig fc;
+  fc.epochs = 6;
+  (void)fit(model, train, fc);
+
+  xbar::TileConfig tile_config;  // ideal devices
+  tile_config.adc_bits = 10;
+  TiledMlp hardware(model.net, tile_config, 9);
+
+  const nn::Tensor sw_logits = model.net.forward(test.inputs, false);
+  const nn::Tensor hw_logits = hardware.forward(test.inputs);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    std::size_t sw_best = 0;
+    std::size_t hw_best = 0;
+    for (std::size_t j = 1; j < 10; ++j) {
+      if (sw_logits.at(i, j) > sw_logits.at(i, sw_best)) {
+        sw_best = j;
+      }
+      if (hw_logits.at(i, j) > hw_logits.at(i, hw_best)) {
+        hw_best = j;
+      }
+    }
+    if (sw_best == hw_best) {
+      ++agree;
+    }
+  }
+  EXPECT_GT(static_cast<float>(agree) / static_cast<float>(test.size()), 0.85f)
+      << "ideal-device tile inference must track software inference";
+}
+
+TEST(HwConsistency, DefectsDegradeTiledAccuracyMonotonically) {
+  data::StrokeConfig sc;
+  sc.samples_per_class = 60;
+  const nn::Dataset train =
+      data::standardize_per_sample(data::make_stroke_digits_flat(sc, 10));
+  sc.samples_per_class = 15;
+  const nn::Dataset test =
+      data::standardize_per_sample(data::make_stroke_digits_flat(sc, 11));
+
+  ModelConfig config;
+  config.method = Method::kDeterministic;
+  BuiltModel model = make_binary_mlp(config, 256, {64}, 10);
+  FitConfig fc;
+  fc.epochs = 6;
+  (void)fit(model, train, fc);
+
+  auto tiled_accuracy = [&](double stuck_rate) {
+    xbar::TileConfig tc;
+    TiledMlp hw(model.net, tc, 12);
+    if (stuck_rate > 0.0) {
+      device::DefectRates rates;
+      rates.stuck_at_p = stuck_rate / 2.0;
+      rates.stuck_at_ap = stuck_rate / 2.0;
+      hw.inject_defects(rates, 13);
+    }
+    const nn::Tensor logits = hw.forward(test.inputs);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      std::size_t best = 0;
+      for (std::size_t j = 1; j < 10; ++j) {
+        if (logits.at(i, j) > logits.at(i, best)) {
+          best = j;
+        }
+      }
+      if (best == test.labels[i]) {
+        ++correct;
+      }
+    }
+    return static_cast<float>(correct) / static_cast<float>(test.size());
+  };
+
+  const float clean = tiled_accuracy(0.0);
+  const float heavy = tiled_accuracy(0.4);
+  EXPECT_GT(clean, 0.75f);
+  EXPECT_LT(heavy, clean) << "40% stuck-at cells must cost accuracy";
+}
+
+TEST(FaultInjection, AffineDropoutHealsBetterThanPlain) {
+  const ClusterTask task = make_task(14);
+  auto train_and_break = [&](Method method) {
+    ModelConfig config;
+    config.method = method;
+    config.dropout_p = 0.15;
+    BuiltModel model = make_binary_mlp(config, 8, {32, 32}, 4);
+    FitConfig fc;
+    fc.epochs = 10;
+    (void)fit(model, task.train, fc);
+    for (auto* inv : model.inv_norm_layers) {
+      inv->enable_self_healing(true);
+    }
+    (void)inject_weight_defects(model.net, 0.15f, 15);
+    return evaluate(model, task.test, method == Method::kDeterministic ? 1 : 20)
+        .accuracy;
+  };
+  const float plain = train_and_break(Method::kDeterministic);
+  const float healing = train_and_break(Method::kAffineDropout);
+  EXPECT_GT(healing, plain - 0.05f)
+      << "self-healing model must not be materially worse under faults";
+}
+
+TEST(FaultInjection, SelfHealingModeRecentersFaultShiftedStatistics) {
+  // Shift the inputs of an InvertedNorm layer (as accumulated faults
+  // would); self-healing evaluation must normalize the shift away while
+  // running-stat evaluation must not.
+  AffineDropConfig config;
+  config.features = 4;
+  config.dropout_p = 0.0;
+  InvertedNormLayer layer(config);
+  std::mt19937_64 engine(21);
+  for (int i = 0; i < 50; ++i) {
+    nn::Tensor x = nn::Tensor::randn({32, 4}, 1.0f, engine);
+    (void)layer.forward(x, true);  // settle running stats at mean 0
+  }
+  nn::Tensor shifted = nn::Tensor::randn({64, 4}, 1.0f, engine);
+  for (std::size_t i = 0; i < shifted.numel(); ++i) {
+    shifted[i] += 3.0f;  // the fault-induced distribution shift
+  }
+  const nn::Tensor stale = layer.forward(shifted, false);
+  EXPECT_GT(stale.mean(), 1.0f) << "running stats cannot absorb the shift";
+  layer.enable_self_healing(true);
+  const nn::Tensor healed = layer.forward(shifted, false);
+  EXPECT_NEAR(healed.mean(), 0.0f, 1e-3f) << "batch statistics re-center the layer";
+}
+
+TEST(Ood, FarAnomaliesAreDetected) {
+  const ClusterTask task = make_task(16);
+  ModelConfig config;
+  config.method = Method::kSubsetVi;
+  BuiltModel model = make_binary_mlp(config, 8, {32, 32}, 4);
+  FitConfig fc;
+  fc.epochs = 10;
+  (void)fit(model, task.train, fc);
+
+  data::ClusterConfig far_cfg;
+  far_cfg.classes = 1;
+  far_cfg.dimensions = 8;
+  far_cfg.samples_per_class = 150;
+  far_cfg.center_spread = 10.0f;
+  const nn::Dataset anomalies = data::make_gaussian_clusters(far_cfg, 17);
+  const OodResult result = evaluate_ood(model, task.test, anomalies, 20);
+  EXPECT_GT(result.auroc, 0.9f) << "far-OOD must be nearly separable by entropy";
+  EXPECT_GT(result.detection_rate, 0.5f);
+}
+
+TEST(SpinBayesConversion, PreservesAccuracy) {
+  const ClusterTask task = make_task(18);
+  ModelConfig config;
+  config.method = Method::kSpinBayes;
+  BuiltModel model = make_binary_mlp(config, 8, {32, 32}, 4);
+  FitConfig fc;
+  fc.epochs = 10;
+  fc.kl_weight = 1e-4f;
+  (void)fit(model, task.train, fc);
+  const float before = evaluate(model, task.test, 20).accuracy;
+
+  SpinBayesConfig sb;
+  sb.instances = 8;
+  sb.quant_levels = 8;
+  convert_to_spinbayes(model, sb);
+  const float after = evaluate(model, task.test, 20).accuracy;
+  EXPECT_NEAR(after, before, 0.06f)
+      << "in-memory approximation must preserve predictive accuracy";
+  EXPECT_FALSE(model.spinbayes_layers.empty());
+  EXPECT_TRUE(model.bayes_layers.empty());
+}
+
+TEST(Regularizers, KlHookAffectsTraining) {
+  const ClusterTask task = make_task(19);
+  ModelConfig config;
+  config.method = Method::kSubsetVi;
+  BuiltModel model = make_binary_mlp(config, 8, {16}, 4);
+  auto reg = model.make_regularizer(1e-2f, 0.0f);
+  ASSERT_TRUE(static_cast<bool>(reg));
+  const float kl_before = reg();
+  EXPECT_GE(kl_before, 0.0f);
+  FitConfig fc;
+  fc.epochs = 6;
+  fc.kl_weight = 1e-2f;
+  (void)fit(model, task.train, fc);
+  // Posterior must stay close to the prior under a strong KL weight:
+  // mu near 1 for every channel.
+  for (auto* layer : model.bayes_layers) {
+    for (std::size_t c = 0; c < layer->mu().numel(); ++c) {
+      EXPECT_NEAR(layer->mu()[c], 1.0f, 0.5f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace neuspin::core

@@ -1,0 +1,341 @@
+// Gradient-checked unit tests for the layer zoo.
+#include <gtest/gtest.h>
+
+#include "nn/binarize.h"
+#include "nn/layers.h"
+#include "nn/lstm.h"
+#include "test_util.h"
+
+namespace neuspin::nn {
+namespace {
+
+using neuspin::testing::check_input_gradient;
+using neuspin::testing::check_param_gradient;
+
+std::mt19937_64 engine_for(std::uint64_t seed) { return std::mt19937_64(seed); }
+
+TEST(Dense, ForwardMatchesManualComputation) {
+  auto engine = engine_for(1);
+  Dense layer(2, 2, engine);
+  layer.weight() = Tensor({2, 2}, std::vector<float>{1, 2, 3, 4});
+  layer.bias() = Tensor({2}, std::vector<float>{0.5f, -0.5f});
+  Tensor x({1, 2}, std::vector<float>{1, 1});
+  Tensor y = layer.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 4.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 5.5f);
+}
+
+TEST(Dense, GradientCheck) {
+  auto engine = engine_for(2);
+  Dense layer(5, 4, engine);
+  Tensor x = Tensor::randn({3, 5}, 1.0f, engine);
+  check_input_gradient(layer, x);
+  check_param_gradient(layer, x, 0);
+  check_param_gradient(layer, x, 1);
+}
+
+TEST(Dense, RejectsWrongInputWidth) {
+  auto engine = engine_for(3);
+  Dense layer(5, 4, engine);
+  Tensor x({2, 6});
+  EXPECT_THROW(layer.forward(x, true), std::invalid_argument);
+}
+
+TEST(Conv2d, OutputShape) {
+  auto engine = engine_for(4);
+  Conv2d layer(3, 8, 3, 1, engine);
+  Tensor x = Tensor::randn({2, 3, 7, 7}, 1.0f, engine);
+  Tensor y = layer.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 8, 7, 7}));
+}
+
+TEST(Conv2d, IdentityKernelReproducesInput) {
+  auto engine = engine_for(5);
+  Conv2d layer(1, 1, 3, 1, engine);
+  layer.weight().fill(0.0f);
+  layer.weight().at4(0, 0, 1, 1) = 1.0f;  // delta kernel
+  auto params = layer.parameters();
+  params[1].value->fill(0.0f);  // zero bias
+  Tensor x = Tensor::randn({1, 1, 5, 5}, 1.0f, engine);
+  Tensor y = layer.forward(x, true);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(y[i], x[i], 1e-6f);
+  }
+}
+
+TEST(Conv2d, GradientCheck) {
+  auto engine = engine_for(6);
+  Conv2d layer(2, 3, 3, 1, engine);
+  Tensor x = Tensor::randn({2, 2, 5, 5}, 1.0f, engine);
+  check_input_gradient(layer, x);
+  check_param_gradient(layer, x, 0);
+  check_param_gradient(layer, x, 1);
+}
+
+TEST(MaxPool2d, SelectsMaximum) {
+  MaxPool2d pool;
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 5, 3, 2});
+  Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.numel(), 1u);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d pool;
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 5, 3, 2});
+  (void)pool.forward(x, true);
+  Tensor g({1, 1, 1, 1}, std::vector<float>{2.0f});
+  Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 2.0f);
+  EXPECT_FLOAT_EQ(gx[2], 0.0f);
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten flatten;
+  Tensor x = Tensor({2, 3, 4, 4}, 1.5f);
+  Tensor y = flatten.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 48}));
+  Tensor gx = flatten.backward(y);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(ReLU, ForwardAndGradient) {
+  auto engine = engine_for(7);
+  ReLU relu;
+  Tensor x({1, 4}, std::vector<float>{-1.0f, 2.0f, -0.5f, 3.0f});
+  Tensor y = relu.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+  // Keep probe inputs away from the kink at zero, where finite
+  // differences are invalid.
+  Tensor x2 = Tensor::randn({3, 6}, 1.0f, engine);
+  for (std::size_t i = 0; i < x2.numel(); ++i) {
+    if (std::abs(x2[i]) < 0.1f) {
+      x2[i] = x2[i] >= 0.0f ? 0.1f : -0.1f;
+    }
+  }
+  check_input_gradient(relu, x2);
+}
+
+TEST(HardTanh, ClampsAndGates) {
+  HardTanh ht;
+  Tensor x({1, 3}, std::vector<float>{-2.0f, 0.5f, 2.0f});
+  Tensor y = ht.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], -1.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.5f);
+  EXPECT_FLOAT_EQ(y[2], 1.0f);
+  Tensor g({1, 3}, std::vector<float>{1.0f, 1.0f, 1.0f});
+  Tensor gx = ht.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 1.0f);
+  EXPECT_FLOAT_EQ(gx[2], 0.0f);
+}
+
+TEST(SignActivation, BinarizesAndUsesSteWindow) {
+  SignActivation sign;
+  Tensor x({1, 4}, std::vector<float>{-0.5f, 0.5f, -2.0f, 0.0f});
+  Tensor y = sign.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], -1.0f);
+  EXPECT_FLOAT_EQ(y[1], 1.0f);
+  EXPECT_FLOAT_EQ(y[2], -1.0f);
+  EXPECT_FLOAT_EQ(y[3], 1.0f);
+  Tensor g({1, 4}, std::vector<float>{1, 1, 1, 1});
+  Tensor gx = sign.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 1.0f) << "inside STE window";
+  EXPECT_FLOAT_EQ(gx[2], 0.0f) << "outside STE window";
+}
+
+TEST(BatchNorm, NormalizesTrainingBatch) {
+  BatchNorm bn(3);
+  std::mt19937_64 engine(8);
+  Tensor x = Tensor::randn({64, 3}, 2.0f, engine);
+  Tensor y = bn.forward(x, true);
+  for (std::size_t f = 0; f < 3; ++f) {
+    float mean = 0.0f;
+    float var = 0.0f;
+    for (std::size_t i = 0; i < 64; ++i) {
+      mean += y.at(i, f);
+    }
+    mean /= 64.0f;
+    for (std::size_t i = 0; i < 64; ++i) {
+      const float d = y.at(i, f) - mean;
+      var += d * d;
+    }
+    var /= 64.0f;
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);
+    EXPECT_NEAR(var, 1.0f, 1e-2f);
+  }
+}
+
+TEST(BatchNorm, RunningStatsUsedAtEval) {
+  BatchNorm bn(2);
+  std::mt19937_64 engine(9);
+  for (int step = 0; step < 200; ++step) {
+    Tensor x = Tensor::randn({32, 2}, 1.0f, engine);
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+      x[i] += 5.0f;  // shifted distribution
+    }
+    (void)bn.forward(x, true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 5.0f, 0.3f);
+  Tensor probe({1, 2}, std::vector<float>{5.0f, 5.0f});
+  Tensor y = bn.forward(probe, false);
+  EXPECT_NEAR(y[0], 0.0f, 0.3f);
+}
+
+TEST(BatchNorm, GradientCheck) {
+  BatchNorm bn(4);
+  std::mt19937_64 engine(10);
+  Tensor x = Tensor::randn({8, 4}, 1.0f, engine);
+  check_input_gradient(bn, x, 5e-2f);
+  check_param_gradient(bn, x, 0, 5e-2f);
+  check_param_gradient(bn, x, 1, 5e-2f);
+}
+
+TEST(BatchNorm, SupportsNchw) {
+  BatchNorm bn(3);
+  std::mt19937_64 engine(11);
+  Tensor x = Tensor::randn({4, 3, 5, 5}, 1.0f, engine);
+  Tensor y = bn.forward(x, true);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(Dropout, InactiveAtEvalByDefault) {
+  Dropout drop(0.5f, 1);
+  Tensor x({1, 100}, 1.0f);
+  Tensor y = drop.forward(x, false);
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y[i], 1.0f);
+  }
+}
+
+TEST(Dropout, McModeSamplesAtEval) {
+  Dropout drop(0.5f, 2);
+  drop.enable_at_inference(true);
+  Tensor x({1, 1000}, 1.0f);
+  Tensor y = drop.forward(x, false);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (y[i] == 0.0f) {
+      ++zeros;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 1000.0, 0.5, 0.08);
+}
+
+TEST(Dropout, InvertedScalingKeepsExpectation) {
+  Dropout drop(0.25f, 3);
+  Tensor x({1, 20000}, 1.0f);
+  Tensor y = drop.forward(x, true);
+  EXPECT_NEAR(y.mean(), 1.0f, 0.05f);
+}
+
+// ------------------------------------------------------- Binary layers ----
+
+TEST(BinaryDense, OutputUsesBinarizedWeights) {
+  auto engine = engine_for(12);
+  BinaryDense layer(4, 2, engine);
+  layer.latent_weight() = Tensor({4, 2}, std::vector<float>{0.3f, -0.2f, 0.7f, 0.1f,
+                                                            -0.4f, 0.9f, 0.2f, -0.6f});
+  layer.bias().fill(0.0f);
+  Tensor x({1, 4}, std::vector<float>{1, 1, 1, 1});
+  Tensor y = layer.forward(x, true);
+  // Column 0: signs (+,+,-,+) -> sum 2; alpha0 = (0.3+0.7+0.4+0.2)/4 = 0.4
+  EXPECT_NEAR(y.at(0, 0), 2.0f * 0.4f, 1e-5f);
+  // Column 1: signs (-,+,+,-) -> sum 0; alpha irrelevant.
+  EXPECT_NEAR(y.at(0, 1), 0.0f, 1e-5f);
+}
+
+TEST(BinaryDense, ScalesArePerColumnAbsMean) {
+  auto engine = engine_for(13);
+  BinaryDense layer(3, 2, engine);
+  layer.latent_weight() = Tensor({3, 2}, std::vector<float>{1, -2, 3, 4, -5, 6});
+  Tensor alpha = layer.scales();
+  EXPECT_NEAR(alpha[0], 3.0f, 1e-6f);
+  EXPECT_NEAR(alpha[1], 4.0f, 1e-6f);
+}
+
+TEST(BinaryDense, TrainingReducesLossOnToyProblem) {
+  auto engine = engine_for(14);
+  BinaryDense layer(8, 2, engine);
+  Tensor x = Tensor::randn({16, 8}, 1.0f, engine);
+  // Supervise toward a fixed random target through MSE-style probe loss.
+  neuspin::testing::ProbeLoss loss(Shape{16, 2});
+  float first = 0.0f;
+  auto params = layer.parameters();
+  for (int step = 0; step < 50; ++step) {
+    Tensor y = layer.forward(x, true);
+    const float l = loss.value(y);
+    if (step == 0) {
+      first = l;
+    }
+    (void)layer.backward(loss.grad());
+    for (auto& p : params) {
+      for (std::size_t i = 0; i < p.value->numel(); ++i) {
+        (*p.value)[i] -= 0.01f * (*p.grad)[i];
+      }
+      p.grad->fill(0.0f);
+    }
+  }
+  Tensor y = layer.forward(x, true);
+  EXPECT_LT(loss.value(y), first) << "STE updates must reduce the probe loss";
+}
+
+TEST(BinaryConv2d, ChannelScalesMatchAbsMean) {
+  auto engine = engine_for(15);
+  BinaryConv2d layer(1, 2, 3, 1, engine);
+  layer.latent_weight().fill(0.5f);
+  Tensor alpha = layer.channel_scales();
+  EXPECT_NEAR(alpha[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(alpha[1], 0.5f, 1e-6f);
+}
+
+TEST(BinaryConv2d, OutputShape) {
+  auto engine = engine_for(16);
+  BinaryConv2d layer(2, 4, 3, 1, engine);
+  Tensor x = Tensor::randn({1, 2, 8, 8}, 1.0f, engine);
+  Tensor y = layer.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{1, 4, 8, 8}));
+}
+
+TEST(SignOf, Binarizes) {
+  Tensor t({3}, std::vector<float>{-0.1f, 0.0f, 5.0f});
+  Tensor s = sign_of(t);
+  EXPECT_FLOAT_EQ(s[0], -1.0f);
+  EXPECT_FLOAT_EQ(s[1], 1.0f);
+  EXPECT_FLOAT_EQ(s[2], 1.0f);
+}
+
+// ----------------------------------------------------------------- LSTM ----
+
+TEST(Lstm, OutputShape) {
+  auto engine = engine_for(17);
+  Lstm lstm(3, 5, engine);
+  Tensor x = Tensor::randn({2, 7, 3}, 1.0f, engine);
+  Tensor h = lstm.forward(x, true);
+  EXPECT_EQ(h.shape(), (Shape{2, 5}));
+}
+
+TEST(Lstm, GradientCheck) {
+  auto engine = engine_for(18);
+  Lstm lstm(2, 3, engine);
+  Tensor x = Tensor::randn({2, 4, 2}, 0.8f, engine);
+  check_input_gradient(lstm, x, 3e-2f);
+  check_param_gradient(lstm, x, 0, 3e-2f);
+  check_param_gradient(lstm, x, 1, 3e-2f);
+  check_param_gradient(lstm, x, 2, 3e-2f);
+}
+
+TEST(Lstm, HiddenStateBounded) {
+  auto engine = engine_for(19);
+  Lstm lstm(1, 4, engine);
+  Tensor x = Tensor::randn({1, 50, 1}, 5.0f, engine);
+  Tensor h = lstm.forward(x, true);
+  for (std::size_t i = 0; i < h.numel(); ++i) {
+    EXPECT_LE(std::abs(h[i]), 1.0f) << "LSTM hidden state is tanh-bounded";
+  }
+}
+
+}  // namespace
+}  // namespace neuspin::nn

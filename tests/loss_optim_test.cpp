@@ -1,0 +1,154 @@
+// Unit tests for losses, regularizers and optimizers.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "nn/optim.h"
+#include "nn/tensor.h"
+
+namespace neuspin::nn {
+namespace {
+
+TEST(CrossEntropy, PerfectPredictionHasLowLoss) {
+  Tensor logits({1, 3}, std::vector<float>{10.0f, -10.0f, -10.0f});
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_LT(r.value, 1e-3f);
+}
+
+TEST(CrossEntropy, GradientIsProbsMinusOneHot) {
+  Tensor logits({1, 2}, std::vector<float>{0.0f, 0.0f});
+  const LossResult r = softmax_cross_entropy(logits, {1});
+  EXPECT_NEAR(r.grad.at(0, 0), 0.5f, 1e-5f);
+  EXPECT_NEAR(r.grad.at(0, 1), -0.5f, 1e-5f);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  std::mt19937_64 engine(1);
+  Tensor logits = Tensor::randn({4, 5}, 1.0f, engine);
+  const std::vector<std::size_t> labels = {0, 2, 4, 1};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); i += 3) {
+    Tensor up = logits;
+    up[i] += eps;
+    Tensor down = logits;
+    down[i] -= eps;
+    const float numeric = (softmax_cross_entropy(up, labels).value -
+                           softmax_cross_entropy(down, labels).value) /
+                          (2.0f * eps);
+    EXPECT_NEAR(r.grad[i], numeric, 2e-3f);
+  }
+}
+
+TEST(CrossEntropy, LabelSmoothingKeepsLogitsInformative) {
+  // With smoothing, even a perfect prediction keeps a positive loss floor
+  // (cross-entropy against the smoothed target), discouraging logit
+  // explosions.
+  Tensor confident({1, 4}, std::vector<float>{50.0f, -50.0f, -50.0f, -50.0f});
+  const LossResult hard = softmax_cross_entropy(confident, {0}, 0.0f);
+  const LossResult smooth = softmax_cross_entropy(confident, {0}, 0.1f);
+  EXPECT_LT(hard.value, 1e-3f);
+  EXPECT_GT(smooth.value, 1.0f);
+  // And the gradient pushes the winning logit DOWN under smoothing.
+  EXPECT_GT(smooth.grad.at(0, 0), 0.0f);
+}
+
+TEST(CrossEntropy, RejectsBadInputs) {
+  Tensor logits({2, 3});
+  EXPECT_THROW((void)softmax_cross_entropy(logits, {0}), std::invalid_argument);
+  EXPECT_THROW((void)softmax_cross_entropy(logits, {0, 5}), std::out_of_range);
+  EXPECT_THROW((void)softmax_cross_entropy(logits, {0, 1}, 1.0f),
+               std::invalid_argument);
+}
+
+TEST(Mse, ValueAndGradient) {
+  Tensor pred({2, 1}, std::vector<float>{1.0f, 3.0f});
+  Tensor target({2, 1}, std::vector<float>{0.0f, 3.0f});
+  const LossResult r = mean_squared_error(pred, target);
+  EXPECT_NEAR(r.value, 0.5f, 1e-6f);
+  EXPECT_NEAR(r.grad[0], 1.0f, 1e-6f);
+  EXPECT_NEAR(r.grad[1], 0.0f, 1e-6f);
+}
+
+TEST(Softplus, MatchesReference) {
+  EXPECT_NEAR(softplus(0.0f), std::log(2.0f), 1e-6f);
+  EXPECT_NEAR(softplus(30.0f), 30.0f, 1e-4f);
+  EXPECT_NEAR(softplus_grad(0.0f), 0.5f, 1e-6f);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Tensor w({2}, std::vector<float>{5.0f, -3.0f});
+  Tensor g({2});
+  Sgd opt({{&w, &g}}, 0.1f, 0.0f);
+  for (int step = 0; step < 200; ++step) {
+    g[0] = 2.0f * w[0];
+    g[1] = 2.0f * w[1];
+    opt.step();
+  }
+  EXPECT_NEAR(w[0], 0.0f, 1e-3f);
+  EXPECT_NEAR(w[1], 0.0f, 1e-3f);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  auto run = [](float momentum) {
+    Tensor w({1}, std::vector<float>{10.0f});
+    Tensor g({1});
+    Sgd opt({{&w, &g}}, 0.01f, momentum);
+    for (int step = 0; step < 50; ++step) {
+      g[0] = 2.0f * w[0];
+      opt.step();
+    }
+    return std::abs(w[0]);
+  };
+  EXPECT_LT(run(0.9f), run(0.0f));
+}
+
+TEST(Adam, ConvergesOnIllConditionedQuadratic) {
+  Tensor w({2}, std::vector<float>{5.0f, 5.0f});
+  Tensor g({2});
+  Adam opt({{&w, &g}}, 0.1f);
+  for (int step = 0; step < 500; ++step) {
+    g[0] = 2.0f * 100.0f * w[0];  // stiff axis
+    g[1] = 2.0f * 0.01f * w[1];   // shallow axis
+    opt.step();
+  }
+  EXPECT_NEAR(w[0], 0.0f, 1e-2f);
+  EXPECT_LT(std::abs(w[1]), 5.0f) << "Adam must make progress on the shallow axis";
+}
+
+TEST(Optimizer, StepClearsGradients) {
+  Tensor w({2}, std::vector<float>{1.0f, 1.0f});
+  Tensor g({2}, std::vector<float>{1.0f, 1.0f});
+  Sgd opt({{&w, &g}}, 0.1f);
+  opt.step();
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+  EXPECT_FLOAT_EQ(g[1], 0.0f);
+}
+
+TEST(Optimizer, CountsParameters) {
+  Tensor a({3, 4});
+  Tensor ga({3, 4});
+  Tensor b({5});
+  Tensor gb({5});
+  Sgd opt({{&a, &ga}, {&b, &gb}}, 0.1f);
+  EXPECT_EQ(opt.parameter_count(), 17u);
+}
+
+TEST(Optimizer, RejectsMalformedRefs) {
+  Tensor w({2});
+  Tensor g({3});
+  EXPECT_THROW(Sgd({{&w, &g}}, 0.1f), std::invalid_argument);
+  EXPECT_THROW(Sgd({{nullptr, nullptr}}, 0.1f), std::invalid_argument);
+}
+
+TEST(StepDecay, HalvesOnSchedule) {
+  StepDecay schedule(1.0f, 0.5f, 10);
+  EXPECT_FLOAT_EQ(schedule.lr_for_epoch(0), 1.0f);
+  EXPECT_FLOAT_EQ(schedule.lr_for_epoch(9), 1.0f);
+  EXPECT_FLOAT_EQ(schedule.lr_for_epoch(10), 0.5f);
+  EXPECT_FLOAT_EQ(schedule.lr_for_epoch(25), 0.25f);
+}
+
+}  // namespace
+}  // namespace neuspin::nn

@@ -1,0 +1,263 @@
+// Property-based (parameterized) suites: invariants that must hold across
+// whole parameter ranges, not just at hand-picked points.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/census.h"
+#include "data/corruption.h"
+#include "data/strokes.h"
+#include "device/rng.h"
+#include "device/switching.h"
+#include "xbar/conv_tile.h"
+#include "xbar/tile.h"
+
+namespace neuspin {
+namespace {
+
+// ------------------------------------------------ switching invariants ----
+
+class SwitchingPulse : public ::testing::TestWithParam<double> {};
+
+TEST_P(SwitchingPulse, InverseIsConsistentAtEveryPulseWidth) {
+  const device::SwitchingModel model{device::MtjParams{}};
+  const double pulse = GetParam();
+  for (double p : {0.01, 0.2, 0.5, 0.8, 0.99}) {
+    const double i = model.current_for_probability(p, pulse);
+    EXPECT_GT(i, 0.0);
+    EXPECT_NEAR(model.switching_probability(i, pulse), p, 1e-6)
+        << "pulse=" << pulse << " p=" << p;
+  }
+}
+
+TEST_P(SwitchingPulse, ProbabilityIsAValidCdfInCurrent) {
+  const device::SwitchingModel model{device::MtjParams{}};
+  const double pulse = GetParam();
+  double prev = 0.0;
+  for (double i = 1.0; i <= 200.0; i += 1.0) {
+    const double p = model.switching_probability(i, pulse);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_GE(p, prev - 1e-12) << "must be monotone at pulse=" << pulse;
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PulseWidths, SwitchingPulse,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0, 20.0));
+
+// ------------------------------------------------------ RNG invariants ----
+
+class RngDeltaShift : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngDeltaShift, RealizedProbabilityMovesOppositeToDelta) {
+  // Calibration targets the nominal Delta; a shifted device realizes a
+  // different probability, monotonically decreasing in Delta.
+  device::SpinRngConfig config;
+  config.target_probability = 0.5;
+  config.delta_override = config.mtj.delta + GetParam();
+  device::SpinRng shifted(config, 3);
+  config.delta_override = 0.0;
+  device::SpinRng nominal(config, 3);
+  if (GetParam() > 0.0) {
+    EXPECT_LT(shifted.realized_probability(), nominal.realized_probability());
+  } else if (GetParam() < 0.0) {
+    EXPECT_GT(shifted.realized_probability(), nominal.realized_probability());
+  }
+  EXPECT_GT(shifted.realized_probability(), 0.0);
+  EXPECT_LT(shifted.realized_probability(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(DeltaShifts, RngDeltaShift,
+                         ::testing::Values(-8.0, -3.0, 0.0, 3.0, 8.0));
+
+// ----------------------------------------------------- tile invariants ----
+
+struct TileGeometry {
+  std::size_t in;
+  std::size_t out;
+};
+
+class TileShapes : public ::testing::TestWithParam<TileGeometry> {};
+
+TEST_P(TileShapes, MatchesSignedPopcountAcrossGeometries) {
+  const auto [in, out] = GetParam();
+  std::mt19937_64 engine(in * 131 + out);
+  std::vector<float> weights(in * out);
+  for (auto& w : weights) {
+    w = (engine() & 1) ? 1.0f : -1.0f;
+  }
+  std::vector<float> scales(out, 1.0f);
+  xbar::TileConfig config;
+  config.adc_bits = 12;
+  config.crossbar.wire_resistance = 0.0;
+  xbar::DenseTile tile(config, in, out, weights, scales, 17);
+
+  std::vector<float> input(in);
+  for (auto& x : input) {
+    x = (engine() & 1) ? 1.0f : -1.0f;
+  }
+  std::mt19937_64 fwd(1);
+  const auto hw = tile.forward(input, nullptr, fwd);
+  for (std::size_t c = 0; c < out; ++c) {
+    float expected = 0.0f;
+    for (std::size_t r = 0; r < in; ++r) {
+      expected += input[r] * weights[r * out + c];
+    }
+    // One ADC step of tolerance per row block.
+    const float tol =
+        2.0f * static_cast<float>(std::min<std::size_t>(in, config.max_rows)) /
+        4096.0f * static_cast<float>((in + config.max_rows - 1) / config.max_rows) +
+        0.2f;
+    EXPECT_NEAR(hw[c], expected, tol) << "geometry " << in << "x" << out;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, TileShapes,
+                         ::testing::Values(TileGeometry{8, 4}, TileGeometry{64, 16},
+                                           TileGeometry{128, 32}, TileGeometry{200, 8},
+                                           TileGeometry{300, 12}));
+
+TEST(ConvTileProperty, MatchesDirectConvolution) {
+  const std::size_t in_ch = 2;
+  const std::size_t out_ch = 3;
+  const std::size_t k = 3;
+  std::mt19937_64 engine(7);
+  std::vector<float> weights(out_ch * in_ch * k * k);
+  for (auto& w : weights) {
+    w = (engine() & 1) ? 1.0f : -1.0f;
+  }
+  std::vector<float> scales(out_ch, 1.0f);
+  xbar::TileConfig config;
+  config.adc_bits = 12;
+  config.crossbar.wire_resistance = 0.0;
+  xbar::ConvTile conv(config, in_ch, out_ch, k, 1, weights, scales, 23);
+
+  nn::Tensor input({1, in_ch, 6, 6});
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    input[i] = (engine() & 1) ? 1.0f : -1.0f;
+  }
+  const nn::Tensor hw = conv.forward(input);
+  ASSERT_EQ(hw.shape(), (nn::Shape{1, out_ch, 6, 6}));
+
+  // Direct reference convolution.
+  for (std::size_t oc = 0; oc < out_ch; ++oc) {
+    for (std::size_t y = 0; y < 6; ++y) {
+      for (std::size_t x = 0; x < 6; ++x) {
+        float expected = 0.0f;
+        for (std::size_t ic = 0; ic < in_ch; ++ic) {
+          for (std::size_t ky = 0; ky < k; ++ky) {
+            for (std::size_t kx = 0; kx < k; ++kx) {
+              const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(y + ky) - 1;
+              const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(x + kx) - 1;
+              if (iy < 0 || ix < 0 || iy >= 6 || ix >= 6) {
+                continue;
+              }
+              expected += input.at4(0, ic, static_cast<std::size_t>(iy),
+                                    static_cast<std::size_t>(ix)) *
+                          weights[((oc * in_ch + ic) * k + ky) * k + kx];
+            }
+          }
+        }
+        EXPECT_NEAR(hw.at4(0, oc, y, x), expected, 0.3f)
+            << "pixel (" << y << "," << x << ") channel " << oc;
+      }
+    }
+  }
+}
+
+TEST(ConvTileProperty, LedgerChargesPerPixel) {
+  xbar::TileConfig config;
+  std::vector<float> weights(4 * 1 * 9, 1.0f);
+  std::vector<float> scales(4, 1.0f);
+  xbar::ConvTile conv(config, 1, 4, 3, 1, weights, scales, 29);
+  nn::Tensor input({1, 1, 5, 5}, 1.0f);
+  energy::EnergyLedger ledger;
+  (void)conv.forward(input, &ledger);
+  // 25 output pixels, one ADC conversion per column per pixel.
+  EXPECT_EQ(ledger.count(energy::Component::kAdcConversion), 25u * 4u);
+}
+
+// --------------------------------------------------- census invariants ----
+
+class CensusPasses : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CensusPasses, EnergyScalesLinearlyInMcPasses) {
+  const core::ArchSpec arch = core::small_cnn_arch();
+  core::CensusConfig config;
+  config.mc_passes = GetParam();
+  const double e_t = core::inference_census(arch, core::Method::kSpinDrop, config)
+                         .total_energy();
+  config.mc_passes = 2 * GetParam();
+  const double e_2t = core::inference_census(arch, core::Method::kSpinDrop, config)
+                          .total_energy();
+  EXPECT_NEAR(e_2t / e_t, 2.0, 1e-6)
+      << "every counted event is per-pass, so energy must be linear in T";
+}
+
+INSTANTIATE_TEST_SUITE_P(McBudgets, CensusPasses, ::testing::Values(1u, 5u, 20u, 50u));
+
+TEST(CensusProperty, SenseAmpNeverBeatsDeterministicPerPass) {
+  // Per-pass energy of any Bayesian method is >= the deterministic pass:
+  // the Bayesian machinery only adds events.
+  const core::ArchSpec arch = core::mlp_arch();
+  core::CensusConfig config;
+  config.mc_passes = 1;
+  const double det = core::inference_census(arch, core::Method::kDeterministic, config)
+                         .total_energy();
+  for (auto method : {core::Method::kSpinDrop, core::Method::kSpatialSpinDrop,
+                      core::Method::kAffineDropout, core::Method::kTraditionalVi}) {
+    const double e = core::inference_census(arch, method, config).total_energy();
+    EXPECT_GE(e, det) << core::method_name(method);
+  }
+}
+
+// ----------------------------------------------- corruption invariants ----
+
+class CorruptionKinds : public ::testing::TestWithParam<data::CorruptionKind> {};
+
+TEST_P(CorruptionKinds, DeterministicPerSeedAndLabelPreserving) {
+  data::StrokeConfig sc;
+  sc.samples_per_class = 3;
+  const nn::Dataset clean = data::make_stroke_digits(sc, 31);
+  const nn::Dataset a = data::corrupt(clean, GetParam(), 0.7f, 5);
+  const nn::Dataset b = data::corrupt(clean, GetParam(), 0.7f, 5);
+  EXPECT_EQ(a.labels, clean.labels);
+  for (std::size_t i = 0; i < a.inputs.numel(); ++i) {
+    ASSERT_FLOAT_EQ(a.inputs[i], b.inputs[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, CorruptionKinds,
+                         ::testing::ValuesIn(data::all_corruptions()),
+                         [](const ::testing::TestParamInfo<data::CorruptionKind>& info) {
+                           return data::corruption_name(info.param);
+                         });
+
+// ------------------------------------------------- standardization ----
+
+TEST(Standardization, EverySampleHasZeroMeanUnitVariance) {
+  data::StrokeConfig sc;
+  sc.samples_per_class = 4;
+  const nn::Dataset std_data =
+      data::standardize_per_sample(data::make_stroke_digits(sc, 37));
+  const std::size_t per = std_data.inputs.numel() / std_data.size();
+  for (std::size_t i = 0; i < std_data.size(); ++i) {
+    float mean = 0.0f;
+    float var = 0.0f;
+    for (std::size_t p = 0; p < per; ++p) {
+      mean += std_data.inputs[i * per + p];
+    }
+    mean /= static_cast<float>(per);
+    for (std::size_t p = 0; p < per; ++p) {
+      const float d = std_data.inputs[i * per + p] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(per);
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);
+    EXPECT_NEAR(var, 1.0f, 1e-2f);
+  }
+}
+
+}  // namespace
+}  // namespace neuspin

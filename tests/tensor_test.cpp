@@ -1,0 +1,151 @@
+// Unit tests for the tensor substrate.
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+
+namespace neuspin::nn {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_FLOAT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t({4}, 2.5f);
+  EXPECT_FLOAT_EQ(t.sum(), 10.0f);
+}
+
+TEST(Tensor, DataConstructorValidatesSize) {
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.dim(0), 3u);
+  EXPECT_FLOAT_EQ(r.at(1, 1), 4.0f);
+  EXPECT_THROW(t.reshaped({5}), std::invalid_argument);
+}
+
+TEST(Tensor, At4Indexing) {
+  Tensor t({2, 2, 2, 2});
+  t.at4(1, 0, 1, 0) = 7.0f;
+  EXPECT_FLOAT_EQ(t[1 * 8 + 0 * 4 + 1 * 2 + 0], 7.0f);
+}
+
+TEST(Tensor, ArithmeticOps) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{4, 5, 6});
+  a += b;
+  EXPECT_FLOAT_EQ(a[2], 9.0f);
+  a -= b;
+  EXPECT_FLOAT_EQ(a[2], 3.0f);
+  a *= 2.0f;
+  EXPECT_FLOAT_EQ(a[0], 2.0f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a({3});
+  Tensor b({4});
+  EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, std::vector<float>{-1, 2, -3, 4});
+  EXPECT_FLOAT_EQ(t.sum(), 2.0f);
+  EXPECT_FLOAT_EQ(t.mean(), 0.5f);
+  EXPECT_FLOAT_EQ(t.abs_mean(), 2.5f);
+  EXPECT_FLOAT_EQ(t.max(), 4.0f);
+  EXPECT_EQ(t.argmax(), 3u);
+}
+
+TEST(Tensor, RandnStatistics) {
+  std::mt19937_64 engine(1);
+  Tensor t = Tensor::randn({10000}, 0.5f, engine);
+  EXPECT_NEAR(t.mean(), 0.0f, 0.02f);
+  float var = 0.0f;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    var += t[i] * t[i];
+  }
+  var /= static_cast<float>(t.numel());
+  EXPECT_NEAR(std::sqrt(var), 0.5f, 0.02f);
+}
+
+TEST(Matmul, MatchesHandComputed) {
+  Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Matmul, TransposedVariantsConsistent) {
+  std::mt19937_64 engine(3);
+  Tensor a = Tensor::randn({4, 5}, 1.0f, engine);
+  Tensor b = Tensor::randn({5, 3}, 1.0f, engine);
+  Tensor c = matmul(a, b);
+
+  // matmul_transposed(a, b^T stored as (3x5)) must equal c.
+  Tensor bt({3, 5});
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      bt.at(j, i) = b.at(i, j);
+    }
+  }
+  Tensor c2 = matmul_transposed(a, bt);
+  for (std::size_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c[i], c2[i], 1e-4f);
+  }
+
+  // matmul_a_transposed(a^T stored as (4x5) -> treats a as (k x m)).
+  Tensor at({5, 4});
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      at.at(j, i) = a.at(i, j);
+    }
+  }
+  Tensor c3 = matmul_a_transposed(at, b);
+  for (std::size_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c[i], c3[i], 1e-4f);
+  }
+}
+
+TEST(Matmul, IncompatibleShapesThrow) {
+  Tensor a({2, 3});
+  Tensor b({4, 2});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Tensor logits({2, 4}, std::vector<float>{1, 2, 3, 4, -1, 0, 1, 100});
+  Tensor p = softmax_rows(logits);
+  for (std::size_t i = 0; i < 2; ++i) {
+    float s = 0.0f;
+    for (std::size_t j = 0; j < 4; ++j) {
+      s += p.at(i, j);
+      EXPECT_GE(p.at(i, j), 0.0f);
+    }
+    EXPECT_NEAR(s, 1.0f, 1e-5f);
+  }
+  // Large logit dominates without overflow.
+  EXPECT_NEAR(p.at(1, 3), 1.0f, 1e-5f);
+}
+
+TEST(Softmax, InvariantToShift) {
+  Tensor a({1, 3}, std::vector<float>{1, 2, 3});
+  Tensor b({1, 3}, std::vector<float>{101, 102, 103});
+  Tensor pa = softmax_rows(a);
+  Tensor pb = softmax_rows(b);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(pa.at(0, j), pb.at(0, j), 1e-6f);
+  }
+}
+
+}  // namespace
+}  // namespace neuspin::nn

@@ -1,0 +1,93 @@
+// Shared test helpers: finite-difference gradient checking for layers.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/tensor.h"
+
+namespace neuspin::testing {
+
+/// Scalar loss used by gradient checks: L = sum(w_i * y_i) with fixed
+/// pseudo-random weights, so every output element influences the loss.
+class ProbeLoss {
+ public:
+  explicit ProbeLoss(const nn::Shape& output_shape, std::uint64_t seed = 1234) {
+    std::mt19937_64 engine(seed);
+    weights_ = nn::Tensor::uniform(output_shape, -1.0f, 1.0f, engine);
+  }
+
+  [[nodiscard]] float value(const nn::Tensor& y) const {
+    float v = 0.0f;
+    for (std::size_t i = 0; i < y.numel(); ++i) {
+      v += weights_[i] * y[i];
+    }
+    return v;
+  }
+
+  [[nodiscard]] nn::Tensor grad() const { return weights_; }
+
+ private:
+  nn::Tensor weights_;
+};
+
+/// Check the input gradient of `layer` against central finite differences.
+/// The layer must be deterministic across repeated forwards in the mode
+/// used (training == true here) — seed-dependent layers need their
+/// stochasticity disabled or made repeatable before calling this.
+inline void check_input_gradient(nn::Layer& layer, const nn::Tensor& input,
+                                 float tolerance = 2e-2f, float epsilon = 1e-3f) {
+  nn::Tensor y = layer.forward(input, true);
+  ProbeLoss loss(y.shape());
+  nn::Tensor analytic = layer.backward(loss.grad());
+
+  for (std::size_t i = 0; i < input.numel(); i += std::max<std::size_t>(1, input.numel() / 24)) {
+    nn::Tensor perturbed = input;
+    perturbed[i] += epsilon;
+    const float up = loss.value(layer.forward(perturbed, true));
+    perturbed[i] -= 2.0f * epsilon;
+    const float down = loss.value(layer.forward(perturbed, true));
+    const float numeric = (up - down) / (2.0f * epsilon);
+    EXPECT_NEAR(analytic[i], numeric, tolerance)
+        << "input gradient mismatch at flat index " << i;
+  }
+  // Restore the cache for any follow-up backward calls.
+  (void)layer.forward(input, true);
+}
+
+/// Check one parameter's gradient against central finite differences.
+/// `param_index` selects from layer.parameters().
+inline void check_param_gradient(nn::Layer& layer, const nn::Tensor& input,
+                                 std::size_t param_index, float tolerance = 2e-2f,
+                                 float epsilon = 1e-3f) {
+  auto params = layer.parameters();
+  ASSERT_LT(param_index, params.size());
+  nn::Tensor& value = *params[param_index].value;
+  nn::Tensor& grad = *params[param_index].grad;
+
+  nn::Tensor y = layer.forward(input, true);
+  ProbeLoss loss(y.shape());
+  grad.fill(0.0f);
+  (void)layer.backward(loss.grad());
+  const nn::Tensor analytic = grad;
+
+  for (std::size_t i = 0; i < value.numel();
+       i += std::max<std::size_t>(1, value.numel() / 24)) {
+    const float original = value[i];
+    value[i] = original + epsilon;
+    const float up = loss.value(layer.forward(input, true));
+    value[i] = original - epsilon;
+    const float down = loss.value(layer.forward(input, true));
+    value[i] = original;
+    const float numeric = (up - down) / (2.0f * epsilon);
+    EXPECT_NEAR(analytic[i], numeric, tolerance)
+        << "param " << param_index << " gradient mismatch at flat index " << i;
+  }
+  (void)layer.forward(input, true);
+}
+
+}  // namespace neuspin::testing

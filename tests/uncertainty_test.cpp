@@ -1,0 +1,155 @@
+// Unit tests for uncertainty metrics and the MC predictive loop.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/bayesian.h"
+#include "core/uncertainty.h"
+
+namespace neuspin::core {
+namespace {
+
+TEST(Entropy, UniformIsMaximal) {
+  nn::Tensor probs({2, 4}, std::vector<float>{0.25f, 0.25f, 0.25f, 0.25f,  //
+                                              1.0f, 0.0f, 0.0f, 0.0f});
+  const auto h = predictive_entropy(probs);
+  EXPECT_NEAR(h[0], std::log(4.0f), 1e-5f);
+  EXPECT_NEAR(h[1], 0.0f, 1e-5f);
+  EXPECT_GT(h[0], h[1]);
+}
+
+TEST(MutualInformation, ZeroWhenMembersAgree) {
+  nn::Tensor p({1, 2}, std::vector<float>{0.7f, 0.3f});
+  const auto mi = mutual_information({p, p, p});
+  EXPECT_NEAR(mi[0], 0.0f, 1e-5f);
+}
+
+TEST(MutualInformation, PositiveWhenMembersDisagree) {
+  nn::Tensor a({1, 2}, std::vector<float>{1.0f, 0.0f});
+  nn::Tensor b({1, 2}, std::vector<float>{0.0f, 1.0f});
+  const auto mi = mutual_information({a, b});
+  EXPECT_NEAR(mi[0], std::log(2.0f), 1e-4f)
+      << "total disagreement of confident members = ln(2) epistemic bits";
+}
+
+TEST(Nll, PerfectPredictionIsZero) {
+  nn::Tensor probs({1, 3}, std::vector<float>{0.0f, 1.0f, 0.0f});
+  EXPECT_NEAR(negative_log_likelihood(probs, {1}), 0.0f, 1e-5f);
+}
+
+TEST(Nll, WrongConfidentPredictionIsLarge) {
+  nn::Tensor probs({1, 3}, std::vector<float>{0.99f, 0.005f, 0.005f});
+  EXPECT_GT(negative_log_likelihood(probs, {1}), 5.0f);
+}
+
+TEST(Brier, KnownValues) {
+  nn::Tensor probs({1, 2}, std::vector<float>{1.0f, 0.0f});
+  EXPECT_NEAR(brier_score(probs, {0}), 0.0f, 1e-6f);
+  EXPECT_NEAR(brier_score(probs, {1}), 2.0f, 1e-6f);
+}
+
+TEST(Ece, PerfectlyCalibratedBinaryClassifier) {
+  // 10 samples at confidence 0.8, exactly 8 correct -> ECE ~ 0.
+  nn::Tensor probs({10, 2});
+  std::vector<std::size_t> labels(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    probs.at(i, 0) = 0.8f;
+    probs.at(i, 1) = 0.2f;
+    labels[i] = i < 8 ? 0 : 1;
+  }
+  EXPECT_NEAR(expected_calibration_error(probs, labels), 0.0f, 1e-5f);
+}
+
+TEST(Ece, OverconfidentClassifierPenalized) {
+  nn::Tensor probs({10, 2});
+  std::vector<std::size_t> labels(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    probs.at(i, 0) = 0.99f;
+    probs.at(i, 1) = 0.01f;
+    labels[i] = i < 5 ? 0 : 1;  // only 50% correct
+  }
+  EXPECT_NEAR(expected_calibration_error(probs, labels), 0.49f, 0.02f);
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  nn::Tensor probs({2, 2}, std::vector<float>{0.9f, 0.1f, 0.2f, 0.8f});
+  EXPECT_FLOAT_EQ(accuracy(probs, {0, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(accuracy(probs, {1, 0}), 0.0f);
+}
+
+TEST(Auroc, PerfectSeparation) {
+  const std::vector<float> scores = {0.1f, 0.2f, 0.3f, 0.8f, 0.9f};
+  const std::vector<bool> is_ood = {false, false, false, true, true};
+  EXPECT_NEAR(auroc(scores, is_ood), 1.0f, 1e-6f);
+}
+
+TEST(Auroc, RandomScoresGiveHalf) {
+  std::vector<float> scores;
+  std::vector<bool> is_ood;
+  std::mt19937_64 engine(1);
+  std::uniform_real_distribution<float> u01(0.0f, 1.0f);
+  for (int i = 0; i < 4000; ++i) {
+    scores.push_back(u01(engine));
+    is_ood.push_back(i % 2 == 0);
+  }
+  EXPECT_NEAR(auroc(scores, is_ood), 0.5f, 0.03f);
+}
+
+TEST(Auroc, HandlesTies) {
+  const std::vector<float> scores = {0.5f, 0.5f, 0.5f, 0.5f};
+  const std::vector<bool> is_ood = {false, true, false, true};
+  EXPECT_NEAR(auroc(scores, is_ood), 0.5f, 1e-6f);
+}
+
+TEST(DetectionRate, ThresholdAtQuantile) {
+  std::vector<float> id_scores;
+  for (int i = 0; i < 100; ++i) {
+    id_scores.push_back(static_cast<float>(i) / 100.0f);  // 0.00 .. 0.99
+  }
+  const std::vector<float> ood_scores = {0.5f, 0.97f, 0.99f, 1.5f};
+  // 95th percentile threshold ~ 0.95: detects the last three.
+  EXPECT_NEAR(detection_rate(id_scores, ood_scores, 0.95f), 0.75f, 1e-5f);
+}
+
+TEST(DetectionRate, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)detection_rate({}, {1.0f}), std::invalid_argument);
+  EXPECT_THROW((void)detection_rate({1.0f}, {1.0f}, 1.5f), std::invalid_argument);
+}
+
+TEST(McPredictor, AveragesMemberProbabilities) {
+  McPredictor predictor(64);
+  std::mt19937_64 engine(5);
+  // Stochastic "model": logits jitter around a fixed mean.
+  auto forward = [&engine](const nn::Tensor& x) {
+    std::normal_distribution<float> noise(0.0f, 0.5f);
+    nn::Tensor logits({x.dim(0), 3});
+    for (std::size_t i = 0; i < x.dim(0); ++i) {
+      logits.at(i, 0) = 2.0f + noise(engine);
+      logits.at(i, 1) = 0.0f + noise(engine);
+      logits.at(i, 2) = -2.0f + noise(engine);
+    }
+    return logits;
+  };
+  nn::Tensor input({4, 1});
+  const Prediction pred = predictor.predict(input, forward);
+  EXPECT_EQ(pred.member_probs.size(), 64u);
+  EXPECT_EQ(pred.mean_probs.shape(), (nn::Shape{4, 3}));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(pred.predicted_class()[i], 0u);
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < 3; ++j) {
+      sum += pred.mean_probs.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+    EXPECT_GT(pred.mutual_info[i], 0.0f) << "stochastic members carry epistemic spread";
+    EXPECT_GE(pred.entropy[i], pred.mutual_info[i])
+        << "total uncertainty bounds the epistemic part";
+  }
+}
+
+TEST(McPredictor, RejectsZeroSamples) {
+  EXPECT_THROW(McPredictor(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace neuspin::core

@@ -1,0 +1,448 @@
+// Unit tests for the crossbar CIM substrate.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "xbar/adc.h"
+#include "xbar/bitcell.h"
+#include "xbar/crossbar.h"
+#include "xbar/decoder.h"
+#include "xbar/mapping.h"
+#include "xbar/periphery.h"
+#include "xbar/tile.h"
+
+namespace neuspin::xbar {
+namespace {
+
+// ------------------------------------------------------------------ ADC ----
+
+class AdcBits : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AdcBits, QuantizationErrorBoundedByLsb) {
+  Adc adc(GetParam(), 100.0);
+  for (double i = -99.0; i < 99.0; i += 7.3) {
+    const double q = adc.quantize(i);
+    EXPECT_LE(std::abs(q - i), adc.lsb() * 0.5 + 1e-9)
+        << "in-range quantization error must stay within LSB/2";
+  }
+}
+
+TEST_P(AdcBits, MoreBitsSmallerLsb) {
+  if (GetParam() >= 16) {
+    GTEST_SKIP();
+  }
+  Adc coarse(GetParam(), 100.0);
+  Adc fine(GetParam() + 1, 100.0);
+  EXPECT_LT(fine.lsb(), coarse.lsb());
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, AdcBits, ::testing::Values(4u, 6u, 8u, 10u, 12u));
+
+TEST(Adc, ClipsOutOfRange) {
+  Adc adc(8, 10.0);
+  EXPECT_LE(adc.quantize(100.0), 10.0);
+  EXPECT_GE(adc.quantize(-100.0), -10.0);
+}
+
+TEST(Adc, CodeIsMonotone) {
+  Adc adc(6, 50.0);
+  std::int64_t prev = adc.code(-60.0);
+  for (double i = -55.0; i <= 55.0; i += 1.0) {
+    const std::int64_t c = adc.code(i);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(Adc, RejectsInvalidConfig) {
+  EXPECT_THROW(Adc(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Adc(8, -1.0), std::invalid_argument);
+}
+
+TEST(SenseAmp, SignDetection) {
+  SenseAmp sa(0.0);
+  EXPECT_FLOAT_EQ(sa.evaluate(0.5), 1.0f);
+  EXPECT_FLOAT_EQ(sa.evaluate(-0.5), -1.0f);
+  SenseAmp biased(1.0);
+  EXPECT_FLOAT_EQ(biased.evaluate(0.5), -1.0f);
+}
+
+// -------------------------------------------------------------- Bitcell ----
+
+TEST(XnorBitcell, ImplementsXnorTruthTable) {
+  const device::MtjParams params;
+  for (float weight : {1.0f, -1.0f}) {
+    XnorBitcell cell(params, weight);
+    for (float input : {1.0f, -1.0f}) {
+      const double i = cell.differential_current(input, 0.1);
+      const float expected_sign = weight * input;  // XNOR of +-1 encoding
+      EXPECT_GT(i * expected_sign, 0.0)
+          << "differential current sign must equal input XNOR weight";
+    }
+  }
+}
+
+TEST(XnorBitcell, MagnitudeIsDeltaConductanceTimesVoltage) {
+  const device::MtjParams params;
+  XnorBitcell cell(params, 1.0f);
+  const double i = cell.differential_current(1.0f, 0.1);
+  EXPECT_NEAR(i, 0.1 * XnorBitcell::delta_conductance(params), 1e-9);
+}
+
+TEST(XnorBitcell, RejectsNonBinaryInput) {
+  XnorBitcell cell(device::MtjParams{}, 1.0f);
+  EXPECT_THROW((void)cell.differential_current(0.5f, 0.1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Crossbar ----
+
+TEST(Crossbar, IdealMacMatchesLinearAlgebra) {
+  CrossbarConfig config;
+  config.rows = 8;
+  config.cols = 4;
+  config.wire_resistance = 0.0;  // disable IR drop for the exact check
+  Crossbar xb(config);
+  // Program a checkerboard of P/AP states.
+  std::vector<float> weights(config.rows * config.cols);
+  for (std::size_t r = 0; r < config.rows; ++r) {
+    for (std::size_t c = 0; c < config.cols; ++c) {
+      weights[r * config.cols + c] = ((r + c) % 2 == 0) ? 1.0f : -1.0f;
+    }
+  }
+  xb.program_binary(weights);
+
+  std::vector<device::Volt> v(config.rows, 0.1);
+  const auto currents = xb.mac(v);
+  for (std::size_t c = 0; c < config.cols; ++c) {
+    double expected = 0.0;
+    for (std::size_t r = 0; r < config.rows; ++r) {
+      expected += v[r] * xb.conductance(r, c);
+    }
+    EXPECT_NEAR(currents[c], expected, 1e-9);
+  }
+}
+
+TEST(Crossbar, IrDropAttenuatesLargeArrays) {
+  CrossbarConfig config;
+  config.rows = 128;
+  config.cols = 1;
+  Crossbar with_ir(config);
+  config.wire_resistance = 0.0;
+  Crossbar without_ir(config);
+  std::vector<float> weights(config.rows, 1.0f);
+  with_ir.program_binary(weights);
+  without_ir.program_binary(weights);
+  std::vector<device::Volt> v(config.rows, 0.1);
+  EXPECT_LT(with_ir.mac(v)[0], without_ir.mac(v)[0])
+      << "wire resistance must attenuate the column current";
+}
+
+TEST(Crossbar, VariabilityPerturbsConductances) {
+  CrossbarConfig config;
+  config.rows = 16;
+  config.cols = 16;
+  device::VariabilityParams var;
+  var.resistance_sigma = 0.1;
+  Crossbar xb(config, var, device::DefectRates{}, 7);
+  // Cells must differ from one another (variation) but stay positive.
+  const double g00 = xb.conductance(0, 0);
+  bool any_different = false;
+  for (std::size_t r = 0; r < config.rows; ++r) {
+    for (std::size_t c = 0; c < config.cols; ++c) {
+      EXPECT_GT(xb.conductance(r, c), 0.0);
+      if (std::abs(xb.conductance(r, c) - g00) > 1e-9) {
+        any_different = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Crossbar, OpenDefectRemovesContribution) {
+  CrossbarConfig config;
+  config.rows = 4;
+  config.cols = 2;
+  config.wire_resistance = 0.0;
+  Crossbar xb(config);
+  xb.program_binary(std::vector<float>(8, 1.0f));
+  std::vector<device::Volt> v(4, 0.1);
+  const double before = xb.mac(v)[0];
+  xb.defects().set(0, 0, device::DefectKind::kOpen);
+  const double after = xb.mac(v)[0];
+  EXPECT_LT(after, before);
+  EXPECT_NEAR(before - after, 0.1 * device::conductance_from_kohm(config.mtj.r_parallel),
+              1e-6);
+}
+
+TEST(Crossbar, ReadNoiseIsZeroMeanMultiplicative) {
+  CrossbarConfig config;
+  config.rows = 8;
+  config.cols = 1;
+  config.wire_resistance = 0.0;
+  Crossbar xb(config);
+  xb.program_binary(std::vector<float>(8, 1.0f));
+  std::vector<device::Volt> v(8, 0.1);
+  const double clean = xb.mac(v)[0];
+  std::mt19937_64 engine(3);
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    sum += xb.mac_noisy(v, engine, 0.05)[0];
+  }
+  EXPECT_NEAR(sum / n, clean, clean * 0.01);
+}
+
+TEST(Crossbar, RejectsWrongVectorLength) {
+  Crossbar xb(CrossbarConfig{});
+  std::vector<device::Volt> v(3, 0.1);
+  EXPECT_THROW((void)xb.mac(v), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Decoder ----
+
+TEST(Decoder, EnableDisableRanges) {
+  WordlineDecoder dec(16);
+  dec.enable_range(4, 8);
+  EXPECT_EQ(dec.enabled_count(), 8u);
+  EXPECT_TRUE(dec.is_enabled(4));
+  EXPECT_TRUE(dec.is_enabled(11));
+  EXPECT_FALSE(dec.is_enabled(3));
+  dec.disable_range(6, 2);
+  EXPECT_EQ(dec.enabled_count(), 6u);
+  dec.disable_all();
+  EXPECT_EQ(dec.enabled_count(), 0u);
+}
+
+TEST(Decoder, MultiRowEnableGatesVoltages) {
+  WordlineDecoder dec(4);
+  dec.enable_range(1, 2);
+  std::vector<double> v = {1.0, 1.0, 1.0, 1.0};
+  dec.apply(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 1.0);
+  EXPECT_DOUBLE_EQ(v[3], 0.0);
+}
+
+TEST(Decoder, AddressBits) {
+  EXPECT_EQ(WordlineDecoder(16).address_bits(), 4u);
+  EXPECT_EQ(WordlineDecoder(17).address_bits(), 5u);
+  EXPECT_EQ(WordlineDecoder(1).address_bits(), 0u);
+}
+
+TEST(Decoder, RangeOverflowThrows) {
+  WordlineDecoder dec(8);
+  EXPECT_THROW(dec.enable_range(6, 4), std::out_of_range);
+}
+
+// -------------------------------------------------------------- Mapping ----
+
+TEST(Mapping, Strategy1SingleTallCrossbar) {
+  ConvGeometry g;
+  g.in_channels = 16;
+  g.out_channels = 32;
+  g.kernel = 3;
+  const MappingCensus c = census(g, MappingStrategy::kUnfoldedColumns);
+  EXPECT_EQ(c.crossbar_count, 1u);
+  EXPECT_EQ(c.crossbar_rows, 9u * 16u);
+  EXPECT_EQ(c.crossbar_cols, 32u);
+  EXPECT_EQ(c.dropout_modules, 16u);
+  EXPECT_EQ(c.dropout_fanout, 9u);
+}
+
+TEST(Mapping, Strategy2KernelPositionGrid) {
+  ConvGeometry g;
+  g.in_channels = 16;
+  g.out_channels = 32;
+  g.kernel = 3;
+  const MappingCensus c = census(g, MappingStrategy::kKernelPosition);
+  EXPECT_EQ(c.crossbar_count, 9u);
+  EXPECT_EQ(c.crossbar_rows, 16u);
+  EXPECT_EQ(c.crossbar_cols, 32u);
+  EXPECT_EQ(c.dropout_modules, 16u);
+  EXPECT_EQ(c.dropout_fanout, 1u)
+      << "strategy 2 lets one broadcast line gate a whole input channel";
+}
+
+TEST(Mapping, BothStrategiesStoreSameCellCount) {
+  ConvGeometry g;
+  const auto c1 = census(g, MappingStrategy::kUnfoldedColumns);
+  const auto c2 = census(g, MappingStrategy::kKernelPosition);
+  EXPECT_EQ(c1.total_cells, c2.total_cells)
+      << "the mapping changes the layout, not the synapse count";
+}
+
+TEST(Mapping, DropoutModuleGeneralization) {
+  // The Fig. 1 point: the module count is mapping-independent but the
+  // fan-out differs by K*K between strategies.
+  for (std::size_t k : {3u, 5u, 7u}) {
+    ConvGeometry g;
+    g.kernel = k;
+    const auto c1 = census(g, MappingStrategy::kUnfoldedColumns);
+    const auto c2 = census(g, MappingStrategy::kKernelPosition);
+    EXPECT_EQ(c1.dropout_modules, c2.dropout_modules);
+    EXPECT_EQ(c1.dropout_fanout, k * k);
+    EXPECT_EQ(c2.dropout_fanout, 1u);
+  }
+}
+
+// ------------------------------------------------------------ Periphery ----
+
+TEST(Periphery, AccumulatorSumsPartials) {
+  energy::EnergyLedger ledger;
+  AccumulatorAdder acc(3, &ledger);
+  acc.accumulate({1.0, 2.0, 3.0});
+  acc.accumulate({0.5, 0.5, 0.5});
+  EXPECT_DOUBLE_EQ(acc.value()[0], 1.5);
+  EXPECT_DOUBLE_EQ(acc.value()[2], 3.5);
+  EXPECT_EQ(ledger.count(energy::Component::kDigitalAdd), 6u);
+}
+
+TEST(Periphery, AveragingBlockMeanAndVariance) {
+  AveragingBlock avg(2);
+  avg.add_sample({1.0, 10.0});
+  avg.add_sample({3.0, 10.0});
+  const auto mean = avg.mean();
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 10.0);
+  const auto var = avg.variance();
+  EXPECT_DOUBLE_EQ(var[0], 1.0);
+  EXPECT_DOUBLE_EQ(var[1], 0.0);
+}
+
+TEST(Periphery, AveragingBlockGuardsEmptyState) {
+  AveragingBlock avg(2);
+  EXPECT_THROW((void)avg.mean(), std::logic_error);
+  avg.add_sample({1.0, 1.0});
+  EXPECT_THROW((void)avg.variance(), std::logic_error);
+}
+
+// ----------------------------------------------------------------- Tile ----
+
+TileConfig ideal_tile_config() {
+  TileConfig config;
+  config.crossbar.wire_resistance = 0.0;
+  config.adc_bits = 12;  // fine quantization for exactness checks
+  return config;
+}
+
+TEST(DenseTile, MatchesSoftwareMatmulForBinaryInputs) {
+  const std::size_t in = 32;
+  const std::size_t out = 8;
+  std::mt19937_64 engine(5);
+  std::vector<float> weights(in * out);
+  for (auto& w : weights) {
+    w = (engine() & 1) ? 1.0f : -1.0f;
+  }
+  std::vector<float> scales(out, 1.0f);
+  DenseTile tile(ideal_tile_config(), in, out, weights, scales, 9);
+
+  std::vector<float> input(in);
+  for (auto& x : input) {
+    x = (engine() & 1) ? 1.0f : -1.0f;
+  }
+  std::mt19937_64 fwd_engine(1);
+  const auto hw = tile.forward(input, nullptr, fwd_engine);
+  for (std::size_t c = 0; c < out; ++c) {
+    float expected = 0.0f;
+    for (std::size_t r = 0; r < in; ++r) {
+      expected += input[r] * weights[r * out + c];
+    }
+    EXPECT_NEAR(hw[c], expected, 0.6f)
+        << "tile output must match the signed popcount within ADC error";
+  }
+}
+
+TEST(DenseTile, RowBlockingHandlesTallMatrices) {
+  const std::size_t in = 300;  // forces 3 blocks at max_rows=128
+  const std::size_t out = 4;
+  std::vector<float> weights(in * out, 1.0f);
+  std::vector<float> scales(out, 1.0f);
+  DenseTile tile(ideal_tile_config(), in, out, weights, scales, 2);
+  EXPECT_EQ(tile.block_count(), 3u);
+
+  std::vector<float> input(in, 1.0f);
+  std::mt19937_64 engine(1);
+  const auto y = tile.forward(input, nullptr, engine);
+  EXPECT_NEAR(y[0], static_cast<float>(in), static_cast<float>(in) * 0.02f);
+}
+
+TEST(DenseTile, GatedRowsContributeNothing) {
+  const std::size_t in = 16;
+  const std::size_t out = 2;
+  std::vector<float> weights(in * out, 1.0f);
+  std::vector<float> scales(out, 1.0f);
+  DenseTile tile(ideal_tile_config(), in, out, weights, scales, 3);
+  std::vector<float> input(in, 1.0f);
+  std::vector<std::uint8_t> enabled(in, 1);
+  for (std::size_t i = 0; i < in / 2; ++i) {
+    enabled[i] = 0;  // drop half the rows
+  }
+  std::mt19937_64 engine(1);
+  const auto y = tile.forward_gated(input, enabled, nullptr, engine);
+  EXPECT_NEAR(y[0], static_cast<float>(in) / 2.0f, 0.6f);
+}
+
+TEST(DenseTile, ScalesMultiplyColumns) {
+  const std::size_t in = 8;
+  const std::size_t out = 2;
+  std::vector<float> weights(in * out, 1.0f);
+  std::vector<float> scales = {0.5f, 2.0f};
+  DenseTile tile(ideal_tile_config(), in, out, weights, scales, 4);
+  std::vector<float> input(in, 1.0f);
+  std::mt19937_64 engine(1);
+  const auto y = tile.forward(input, nullptr, engine);
+  EXPECT_NEAR(y[1] / y[0], 4.0f, 0.1f);
+}
+
+TEST(DenseTile, LedgerRecordsExpectedEvents) {
+  const std::size_t in = 16;
+  const std::size_t out = 4;
+  std::vector<float> weights(in * out, 1.0f);
+  std::vector<float> scales(out, 1.0f);
+  DenseTile tile(ideal_tile_config(), in, out, weights, scales, 5);
+  std::vector<float> input(in, 1.0f);
+  energy::EnergyLedger ledger(12);
+  std::mt19937_64 engine(1);
+  (void)tile.forward(input, &ledger, engine);
+  EXPECT_EQ(ledger.count(energy::Component::kWordlineActivation), in);
+  EXPECT_EQ(ledger.count(energy::Component::kXbarCellRead), 2 * in * out);
+  EXPECT_EQ(ledger.count(energy::Component::kAdcConversion), out);
+  EXPECT_GT(ledger.total_energy(), 0.0);
+}
+
+TEST(DenseTile, DefectInjectionDegradesAccuracy) {
+  const std::size_t in = 64;
+  const std::size_t out = 4;
+  std::mt19937_64 engine(6);
+  std::vector<float> weights(in * out);
+  for (auto& w : weights) {
+    w = (engine() & 1) ? 1.0f : -1.0f;
+  }
+  std::vector<float> scales(out, 1.0f);
+  DenseTile tile(ideal_tile_config(), in, out, weights, scales, 7);
+  std::vector<float> input(in, 1.0f);
+  std::mt19937_64 fwd(1);
+  const auto clean = tile.forward(input, nullptr, fwd);
+
+  device::DefectRates rates;
+  rates.stuck_at_p = 0.15;
+  rates.stuck_at_ap = 0.15;
+  tile.inject_defects(rates, 99);
+  const auto faulty = tile.forward(input, nullptr, fwd);
+  double deviation = 0.0;
+  for (std::size_t c = 0; c < out; ++c) {
+    deviation += std::abs(faulty[c] - clean[c]);
+  }
+  EXPECT_GT(deviation, 0.5) << "30% stuck-at cells must visibly distort the MAC";
+}
+
+TEST(DenseTile, RejectsMismatchedSpans) {
+  std::vector<float> weights(4, 1.0f);
+  std::vector<float> scales(2, 1.0f);
+  EXPECT_THROW(DenseTile(ideal_tile_config(), 3, 2, weights, scales, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace neuspin::xbar

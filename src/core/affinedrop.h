@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <random>
 
 #include "nn/layers.h"
@@ -45,6 +46,10 @@ class InvertedNormLayer : public nn::Layer {
     return {&running_mean_, &running_var_};
   }
   [[nodiscard]] std::string name() const override { return "InvertedNorm"; }
+  [[nodiscard]] std::unique_ptr<nn::Layer> clone() const override {
+    return std::make_unique<InvertedNormLayer>(*this);
+  }
+  void reseed(std::uint64_t seed) override { engine_.seed(seed); }
 
   void enable_mc(bool on) { mc_mode_ = on; }
   /// Disable the stochastic masks entirely (ablation: inverted norm only).

@@ -1,8 +1,25 @@
 #include "core/bayesian.h"
 
 #include <stdexcept>
+#include <utility>
+
+#include "core/thread_pool.h"
+#include "nn/model.h"
 
 namespace neuspin::core {
+
+namespace {
+
+constexpr std::uint64_t kDefaultBaseSeed = 0x6d635f7061737365ull;  // "mc_passe"
+
+nn::Tensor checked_probs(nn::Tensor logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("McPredictor: forward must return (batch x classes)");
+  }
+  return nn::softmax_rows(logits);
+}
+
+}  // namespace
 
 std::vector<std::size_t> Prediction::predicted_class() const {
   std::vector<std::size_t> out(mean_probs.dim(0));
@@ -18,25 +35,22 @@ std::vector<std::size_t> Prediction::predicted_class() const {
   return out;
 }
 
-McPredictor::McPredictor(std::size_t samples) : samples_(samples) {
+McPredictor::McPredictor(std::size_t samples)
+    : McPredictor(samples, kDefaultBaseSeed) {}
+
+McPredictor::McPredictor(std::size_t samples, std::uint64_t base_seed)
+    : samples_(samples), base_seed_(base_seed) {
   if (samples == 0) {
     throw std::invalid_argument("McPredictor: need at least one MC sample");
   }
 }
 
-Prediction McPredictor::predict(
-    const nn::Tensor& input,
-    const std::function<nn::Tensor(const nn::Tensor&)>& stochastic_forward) const {
+Prediction McPredictor::reduce(std::vector<nn::Tensor> member_probs) const {
   Prediction pred;
-  pred.member_probs.reserve(samples_);
-  for (std::size_t t = 0; t < samples_; ++t) {
-    const nn::Tensor logits = stochastic_forward(input);
-    if (logits.rank() != 2) {
-      throw std::invalid_argument("McPredictor: forward must return (batch x classes)");
-    }
-    pred.member_probs.push_back(nn::softmax_rows(logits));
-  }
+  pred.member_probs = std::move(member_probs);
   pred.mean_probs = nn::Tensor(pred.member_probs.front().shape());
+  // Accumulate in pass order: float addition is not associative, and this
+  // fixed order is what keeps serial and threaded results bitwise equal.
   for (const auto& p : pred.member_probs) {
     pred.mean_probs += p;
   }
@@ -44,6 +58,61 @@ Prediction McPredictor::predict(
   pred.entropy = predictive_entropy(pred.mean_probs);
   pred.mutual_info = mutual_information(pred.member_probs);
   return pred;
+}
+
+Prediction McPredictor::predict(const nn::Tensor& input,
+                                const Forward& stochastic_forward) const {
+  std::vector<nn::Tensor> member_probs;
+  member_probs.reserve(samples_);
+  for (std::size_t t = 0; t < samples_; ++t) {
+    member_probs.push_back(checked_probs(stochastic_forward(input)));
+  }
+  return reduce(std::move(member_probs));
+}
+
+Prediction McPredictor::predict(const nn::Tensor& input,
+                                const SeededForward& stochastic_forward) const {
+  std::vector<nn::Tensor> member_probs;
+  member_probs.reserve(samples_);
+  for (std::size_t t = 0; t < samples_; ++t) {
+    member_probs.push_back(
+        checked_probs(stochastic_forward(input, nn::mix_seed(base_seed_, t))));
+  }
+  return reduce(std::move(member_probs));
+}
+
+Prediction McPredictor::predict(const nn::Tensor& input,
+                                const std::vector<SeededForward>& replicas,
+                                ThreadPool& pool) const {
+  if (replicas.empty()) {
+    throw std::invalid_argument("McPredictor: need at least one forward replica");
+  }
+  if (replicas.size() == 1) {
+    return predict(input, replicas.front());
+  }
+  std::vector<nn::Tensor> member_probs(samples_);
+  // Contiguous chunks, one task per replica: a replica is only ever inside
+  // one task, so its model clone needs no locking.
+  const std::size_t chunks = std::min(replicas.size(), samples_);
+  const std::size_t per_chunk = (samples_ + chunks - 1) / chunks;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * per_chunk;
+    const std::size_t end = std::min(begin + per_chunk, samples_);
+    if (begin >= end) {
+      break;
+    }
+    const SeededForward& forward = replicas[c];
+    tasks.push_back([this, &input, &member_probs, &forward, begin, end] {
+      for (std::size_t t = begin; t < end; ++t) {
+        member_probs[t] =
+            checked_probs(forward(input, nn::mix_seed(base_seed_, t)));
+      }
+    });
+  }
+  pool.run_all(std::move(tasks));
+  return reduce(std::move(member_probs));
 }
 
 }  // namespace neuspin::core

@@ -5,8 +5,16 @@
 // vectors, variational parameters or crossbar selections), average the
 // softmax outputs for the predictive mean, and derive uncertainty from the
 // spread. McPredictor implements that loop over any stochastic model.
+//
+// The T passes are independent by construction, so the predictor can fan
+// them across a thread pool. Reproducibility contract: the seeded entry
+// points derive one RNG seed per pass from the predictor's base seed, the
+// per-pass results are stored by pass index, and the reduction always runs
+// in pass order on the calling thread — so serial and threaded execution
+// produce bitwise-identical predictions for a fixed (seed, samples) pair.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -14,6 +22,8 @@
 #include "nn/tensor.h"
 
 namespace neuspin::core {
+
+class ThreadPool;
 
 /// Result of Bayesian inference over a batch.
 struct Prediction {
@@ -29,19 +39,47 @@ struct Prediction {
 /// Runs the Monte-Carlo predictive loop.
 class McPredictor {
  public:
+  /// Legacy stateful forward: draws randomness from the model's own
+  /// accumulated RNG state (not reproducible across thread counts).
+  using Forward = std::function<nn::Tensor(const nn::Tensor&)>;
+  /// Seeded forward: must produce logits that depend only on (weights,
+  /// input, pass_seed). Model replicas expose this by reseeding their
+  /// stochastic layers with `pass_seed` before the forward pass.
+  using SeededForward =
+      std::function<nn::Tensor(const nn::Tensor&, std::uint64_t pass_seed)>;
+
   /// `samples` is T, the number of stochastic forward passes.
   explicit McPredictor(std::size_t samples);
+  McPredictor(std::size_t samples, std::uint64_t base_seed);
 
   /// `stochastic_forward` must return LOGITS of shape (batch x classes) and
   /// be stochastic across invocations (that is the Bayesian approximation).
-  [[nodiscard]] Prediction predict(
-      const nn::Tensor& input,
-      const std::function<nn::Tensor(const nn::Tensor&)>& stochastic_forward) const;
+  [[nodiscard]] Prediction predict(const nn::Tensor& input,
+                                   const Forward& stochastic_forward) const;
+
+  /// Seeded serial loop: pass t runs with seed mix_seed(base_seed, t).
+  [[nodiscard]] Prediction predict(const nn::Tensor& input,
+                                   const SeededForward& stochastic_forward) const;
+
+  /// Seeded parallel loop: the T passes are split into contiguous chunks,
+  /// one per replica, and chunks run concurrently on `pool`. Each replica
+  /// must wrap an independent model clone (replicas never run two chunks at
+  /// once, but distinct replicas run simultaneously). Bitwise identical to
+  /// the seeded serial overload for any replica/thread count.
+  [[nodiscard]] Prediction predict(const nn::Tensor& input,
+                                   const std::vector<SeededForward>& replicas,
+                                   ThreadPool& pool) const;
 
   [[nodiscard]] std::size_t samples() const { return samples_; }
+  [[nodiscard]] std::uint64_t base_seed() const { return base_seed_; }
 
  private:
+  /// Shared tail of every predict flavour: validate member probs (already
+  /// ordered by pass index) and reduce them deterministically.
+  [[nodiscard]] Prediction reduce(std::vector<nn::Tensor> member_probs) const;
+
   std::size_t samples_;
+  std::uint64_t base_seed_;
 };
 
 }  // namespace neuspin::core

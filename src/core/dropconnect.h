@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <random>
 
 #include "energy/accountant.h"
@@ -33,6 +34,12 @@ class DropConnectDense : public nn::Layer {
   nn::Tensor backward(const nn::Tensor& grad_output) override;
   std::vector<nn::ParamRef> parameters() override;
   [[nodiscard]] std::string name() const override { return "DropConnectDense"; }
+  /// Clones share the (optional) energy ledger pointer; run concurrent
+  /// clones without a ledger or synchronize externally.
+  [[nodiscard]] std::unique_ptr<nn::Layer> clone() const override {
+    return std::make_unique<DropConnectDense>(*this);
+  }
+  void reseed(std::uint64_t seed) override { mask_engine_.seed(seed); }
 
   void enable_mc(bool on) { mc_mode_ = on; }
   [[nodiscard]] std::size_t in_features() const { return in_; }

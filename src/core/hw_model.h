@@ -51,6 +51,10 @@ class AnalogReadout : public nn::Layer {
   nn::Tensor forward(const nn::Tensor& input, bool training) override;
   nn::Tensor backward(const nn::Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "AnalogReadout"; }
+  [[nodiscard]] std::unique_ptr<nn::Layer> clone() const override {
+    return std::make_unique<AnalogReadout>(*this);
+  }
+  void reseed(std::uint64_t seed) override { engine_.seed(seed); }
 
  private:
   HwNoiseConfig config_;

@@ -154,6 +154,31 @@ nn::Tensor BuiltModel::stochastic_logits(const nn::Tensor& input) {
   return net.forward(input, /*training=*/false);
 }
 
+BuiltModel BuiltModel::clone() const {
+  BuiltModel copy;
+  copy.net = net.clone();
+  copy.method = method;
+  copy.arch = arch;
+  // Rebuild the typed views against the cloned layers. The builders append
+  // views in net order, so a single ordered scan reproduces them exactly.
+  for (std::size_t i = 0; i < copy.net.size(); ++i) {
+    nn::Layer* layer = &copy.net.layer(i);
+    if (auto* l = dynamic_cast<SpinDropLayer*>(layer)) {
+      copy.drop_layers.push_back(l);
+    } else if (auto* l = dynamic_cast<ScaleDropLayer*>(layer)) {
+      copy.scale_layers.push_back(l);
+    } else if (auto* l = dynamic_cast<InvertedNormLayer*>(layer)) {
+      copy.inv_norm_layers.push_back(l);
+    } else if (auto* l = dynamic_cast<BayesianScaleLayer*>(layer)) {
+      copy.bayes_layers.push_back(l);
+      copy.bayes_layer_indices.push_back(i);
+    } else if (auto* l = dynamic_cast<SpinBayesScaleLayer*>(layer)) {
+      copy.spinbayes_layers.push_back(l);
+    }
+  }
+  return copy;
+}
+
 BuiltModel make_binary_mlp(const ModelConfig& config, std::size_t inputs,
                            const std::vector<std::size_t>& hidden,
                            std::size_t classes) {

@@ -63,6 +63,18 @@ struct BuiltModel {
 
   /// One stochastic forward pass returning logits (for McPredictor).
   [[nodiscard]] nn::Tensor stochastic_logits(const nn::Tensor& input);
+
+  /// Reset every stochastic layer's RNG streams so the next forward pass
+  /// is a pure function of (weights, input, pass_seed). The Monte-Carlo
+  /// evaluator calls this once per stochastic pass, which is what makes
+  /// its results independent of the worker-thread count.
+  void reseed_stochastic(std::uint64_t pass_seed) { net.reseed(pass_seed); }
+
+  /// Deep copy of the model: weights, persistent state, RNG streams and
+  /// the typed layer views (rebuilt against the cloned net). Used to
+  /// replicate a trained model once per worker thread; clones share no
+  /// mutable state (energy ledgers excepted — see the layer headers).
+  [[nodiscard]] BuiltModel clone() const;
 };
 
 /// Binary MLP: in -> hidden... -> classes on flattened inputs.

@@ -1,6 +1,12 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/thread_pool.h"
+#include "data/strokes.h"
 
 namespace neuspin::core {
 
@@ -17,20 +23,77 @@ float fit(BuiltModel& model, const nn::Dataset& train, const FitConfig& config) 
   return history.empty() ? 0.0f : history.back().train_accuracy;
 }
 
-EvalResult evaluate(BuiltModel& model, const nn::Dataset& test, std::size_t mc_samples,
-                    std::size_t batch_size) {
-  model.enable_mc(true);
-  McPredictor predictor(mc_samples);
-  auto forward = [&model](const nn::Tensor& x) { return model.stochastic_logits(x); };
+namespace {
 
-  EvalResult result;
-  nn::Tensor all_probs({test.size(), 0});
+/// Worker count actually used: capped by the MC sample count (extra clones
+/// would sit idle) and resolved against the hardware when `requested` is 0.
+/// An explicit request above the hardware thread count is honored, not
+/// capped: results are thread-count invariant, and over-subscribed counts
+/// are how single-core hosts (and CI) exercise the multi-replica path.
+std::size_t resolve_workers(std::size_t requested, std::size_t mc_samples) {
+  const std::size_t n =
+      requested == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                     : requested;
+  return std::max<std::size_t>(1, std::min(n, mc_samples));
+}
+
+/// Owns the per-worker model clones of one evaluation run and serves
+/// batch predictions through the MC predictor. The caller's model is
+/// never mutated — MC mode and reseeding happen on the clones only, so
+/// the model's RNG state after evaluation is independent of the thread
+/// count, and an exception mid-construction leaves nothing toggled.
+class PooledEvaluator {
+ public:
+  PooledEvaluator(const BuiltModel& model, const EvalOptions& options)
+      : options_(options),
+        workers_(resolve_workers(options.threads, options.mc_samples)) {
+    replicas_.reserve(workers_);
+    forwards_.reserve(workers_);
+    for (std::size_t w = 0; w < workers_; ++w) {
+      replicas_.push_back(model.clone());
+      replicas_.back().enable_mc(true);
+    }
+    for (auto& replica : replicas_) {
+      forwards_.push_back([&replica](const nn::Tensor& x, std::uint64_t pass_seed) {
+        replica.reseed_stochastic(pass_seed);
+        return replica.stochastic_logits(x);
+      });
+    }
+  }
+
+  PooledEvaluator(const PooledEvaluator&) = delete;
+  PooledEvaluator& operator=(const PooledEvaluator&) = delete;
+
+  /// Predict one batch. `batch_seed` feeds the per-pass seed derivation,
+  /// so distinct batches draw distinct (but reproducible) mask sets.
+  [[nodiscard]] Prediction predict(const nn::Tensor& inputs, std::uint64_t batch_seed) {
+    const McPredictor predictor(options_.mc_samples, batch_seed);
+    if (workers_ <= 1) {
+      return predictor.predict(inputs, forwards_.front());
+    }
+    return predictor.predict(inputs, forwards_, ThreadPool::shared());
+  }
+
+ private:
+  EvalOptions options_;
+  std::size_t workers_;
+  std::vector<BuiltModel> replicas_;
+  std::vector<McPredictor::SeededForward> forwards_;
+};
+
+EvalResult evaluate_with(PooledEvaluator& evaluator, const nn::Dataset& test,
+                         const EvalOptions& options) {
+  if (test.size() == 0) {
+    throw std::invalid_argument("evaluate: empty dataset");
+  }
   std::vector<nn::Tensor> prob_batches;
   std::vector<float> entropies;
-  for (std::size_t begin = 0; begin < test.size(); begin += batch_size) {
-    const std::size_t end = std::min(begin + batch_size, test.size());
-    auto [inputs, labels] = test.batch(begin, end);
-    const Prediction pred = predictor.predict(inputs, forward);
+  std::size_t batch_index = 0;
+  for (std::size_t begin = 0; begin < test.size(); begin += options.batch_size) {
+    const std::size_t end = std::min(begin + options.batch_size, test.size());
+    const nn::Tensor inputs = test.batch(begin, end).first;
+    const Prediction pred =
+        evaluator.predict(inputs, nn::mix_seed(options.seed, batch_index++));
     prob_batches.push_back(pred.mean_probs);
     entropies.insert(entropies.end(), pred.entropy.begin(), pred.entropy.end());
   }
@@ -45,8 +108,8 @@ EvalResult evaluate(BuiltModel& model, const nn::Dataset& test, std::size_t mc_s
       }
     }
   }
-  model.enable_mc(false);
 
+  EvalResult result;
   result.accuracy = accuracy(probs, test.labels);
   result.nll = negative_log_likelihood(probs, test.labels);
   result.ece = expected_calibration_error(probs, test.labels);
@@ -60,29 +123,61 @@ EvalResult evaluate(BuiltModel& model, const nn::Dataset& test, std::size_t mc_s
   return result;
 }
 
-std::vector<float> entropy_scores(BuiltModel& model, const nn::Dataset& data,
-                                  std::size_t mc_samples, std::size_t batch_size) {
-  model.enable_mc(true);
-  McPredictor predictor(mc_samples);
-  auto forward = [&model](const nn::Tensor& x) { return model.stochastic_logits(x); };
+std::vector<float> entropy_scores_with(PooledEvaluator& evaluator,
+                                       const nn::Dataset& data,
+                                       const EvalOptions& options) {
   std::vector<float> scores;
   scores.reserve(data.size());
-  for (std::size_t begin = 0; begin < data.size(); begin += batch_size) {
-    const std::size_t end = std::min(begin + batch_size, data.size());
-    auto [inputs, labels] = data.batch(begin, end);
-    const Prediction pred = predictor.predict(inputs, forward);
+  std::size_t batch_index = 0;
+  for (std::size_t begin = 0; begin < data.size(); begin += options.batch_size) {
+    const std::size_t end = std::min(begin + options.batch_size, data.size());
+    const nn::Tensor inputs = data.batch(begin, end).first;
+    const Prediction pred =
+        evaluator.predict(inputs, nn::mix_seed(options.seed, batch_index++));
     scores.insert(scores.end(), pred.entropy.begin(), pred.entropy.end());
   }
-  model.enable_mc(false);
   return scores;
 }
 
-OodResult evaluate_ood(BuiltModel& model, const nn::Dataset& in_dist,
-                       const nn::Dataset& ood, std::size_t mc_samples,
-                       std::size_t batch_size) {
-  const std::vector<float> id_scores =
-      entropy_scores(model, in_dist, mc_samples, batch_size);
-  const std::vector<float> ood_scores = entropy_scores(model, ood, mc_samples, batch_size);
+}  // namespace
+
+EvalResult evaluate(const BuiltModel& model, const nn::Dataset& test,
+                    const EvalOptions& options) {
+  PooledEvaluator evaluator(model, options);
+  return evaluate_with(evaluator, test, options);
+}
+
+EvalResult evaluate(const BuiltModel& model, const nn::Dataset& test,
+                    std::size_t mc_samples, std::size_t batch_size) {
+  EvalOptions options;
+  options.mc_samples = mc_samples;
+  options.batch_size = batch_size;
+  return evaluate(model, test, options);
+}
+
+std::vector<float> entropy_scores(const BuiltModel& model, const nn::Dataset& data,
+                                  const EvalOptions& options) {
+  PooledEvaluator evaluator(model, options);
+  return entropy_scores_with(evaluator, data, options);
+}
+
+std::vector<float> entropy_scores(const BuiltModel& model, const nn::Dataset& data,
+                                  std::size_t mc_samples, std::size_t batch_size) {
+  EvalOptions options;
+  options.mc_samples = mc_samples;
+  options.batch_size = batch_size;
+  return entropy_scores(model, data, options);
+}
+
+OodResult evaluate_ood(const BuiltModel& model, const nn::Dataset& in_dist,
+                       const nn::Dataset& ood, const EvalOptions& options) {
+  // One clone set serves both score passes.
+  PooledEvaluator evaluator(model, options);
+  const std::vector<float> id_scores = entropy_scores_with(evaluator, in_dist, options);
+  // Salt the OOD batches so they do not reuse the in-distribution streams.
+  EvalOptions ood_options = options;
+  ood_options.seed = nn::mix_seed(options.seed, 0x00d);
+  const std::vector<float> ood_scores = entropy_scores_with(evaluator, ood, ood_options);
 
   std::vector<float> all = id_scores;
   all.insert(all.end(), ood_scores.begin(), ood_scores.end());
@@ -93,6 +188,37 @@ OodResult evaluate_ood(BuiltModel& model, const nn::Dataset& in_dist,
   result.auroc = auroc(all, is_ood);
   result.detection_rate = detection_rate(id_scores, ood_scores);
   return result;
+}
+
+OodResult evaluate_ood(const BuiltModel& model, const nn::Dataset& in_dist,
+                       const nn::Dataset& ood, std::size_t mc_samples,
+                       std::size_t batch_size) {
+  EvalOptions options;
+  options.mc_samples = mc_samples;
+  options.batch_size = batch_size;
+  return evaluate_ood(model, in_dist, ood, options);
+}
+
+std::vector<CorruptionEval> evaluate_corruption(
+    const BuiltModel& model, const nn::Dataset& images,
+    const std::vector<data::CorruptionKind>& kinds,
+    const std::vector<float>& severities, std::uint64_t corruption_seed,
+    const EvalOptions& options) {
+  PooledEvaluator evaluator(model, options);
+  std::vector<CorruptionEval> sweep;
+  sweep.reserve(kinds.size() * severities.size());
+  for (data::CorruptionKind kind : kinds) {
+    for (float severity : severities) {
+      const nn::Dataset corrupted = data::standardize_per_sample(
+          data::corrupt(images, kind, severity, corruption_seed));
+      CorruptionEval point;
+      point.kind = kind;
+      point.severity = severity;
+      point.result = evaluate_with(evaluator, corrupted, options);
+      sweep.push_back(std::move(point));
+    }
+  }
+  return sweep;
 }
 
 }  // namespace neuspin::core

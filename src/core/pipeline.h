@@ -2,13 +2,24 @@
 //
 // Bundles the recurring experiment steps so examples/benches stay short:
 // training with the method's regularizer, Monte-Carlo evaluation of
-// accuracy + calibration, and the OOD detection protocol.
+// accuracy + calibration, the corruption-robustness sweep and the OOD
+// detection protocol.
+//
+// Evaluation threading: the Monte-Carlo passes of every entry point fan
+// out over the shared worker pool (EvalOptions::threads). Each worker owns
+// a deep clone of the model (the serial path clones once too — the
+// caller's model, including its RNG streams, is never mutated), every
+// pass reseeds its clone's stochastic layers from a deterministic
+// per-pass seed, and the reduction runs in pass order — so results are a
+// pure function of (model, data, mc_samples, seed), identical for any
+// thread count including 1.
 #pragma once
 
 #include <cstdint>
 
 #include "core/bayesian.h"
 #include "core/models.h"
+#include "data/corruption.h"
 #include "nn/model.h"
 
 namespace neuspin::core {
@@ -31,6 +42,21 @@ struct FitConfig {
 /// the model in deterministic-eval state). Returns final train accuracy.
 float fit(BuiltModel& model, const nn::Dataset& train, const FitConfig& config);
 
+/// Knobs of the Monte-Carlo evaluation entry points.
+struct EvalOptions {
+  std::size_t mc_samples = 20;  ///< T stochastic passes per batch
+  std::size_t batch_size = 100;
+  /// Worker threads for the MC passes: 0 = one per hardware thread,
+  /// 1 = serial (a single clone runs every pass on the calling thread).
+  /// One model clone is made per worker — counts above the hardware
+  /// thread count are honored (useful for determinism testing) but only
+  /// cost memory. Results do not depend on this value.
+  std::size_t threads = 0;
+  /// Base seed of the per-pass RNG streams. Results are a deterministic
+  /// function of (seed, mc_samples), whatever the thread count.
+  std::uint64_t seed = 0x6e65757370696e00ull;
+};
+
 /// Monte-Carlo evaluation summary.
 struct EvalResult {
   float accuracy = 0.0f;
@@ -40,12 +66,20 @@ struct EvalResult {
   float mean_entropy = 0.0f;
 };
 
-/// Bayesian evaluation with `mc_samples` stochastic passes per batch.
-[[nodiscard]] EvalResult evaluate(BuiltModel& model, const nn::Dataset& test,
+/// Bayesian evaluation with EvalOptions::mc_samples stochastic passes per
+/// batch, fanned across the shared worker pool.
+[[nodiscard]] EvalResult evaluate(const BuiltModel& model, const nn::Dataset& test,
+                                  const EvalOptions& options);
+
+/// Convenience overload: default EvalOptions with the given sample count.
+[[nodiscard]] EvalResult evaluate(const BuiltModel& model, const nn::Dataset& test,
                                   std::size_t mc_samples, std::size_t batch_size = 100);
 
 /// Per-sample uncertainty scores (predictive entropy) over a dataset.
-[[nodiscard]] std::vector<float> entropy_scores(BuiltModel& model,
+[[nodiscard]] std::vector<float> entropy_scores(const BuiltModel& model,
+                                                const nn::Dataset& data,
+                                                const EvalOptions& options);
+[[nodiscard]] std::vector<float> entropy_scores(const BuiltModel& model,
                                                 const nn::Dataset& data,
                                                 std::size_t mc_samples,
                                                 std::size_t batch_size = 100);
@@ -56,8 +90,27 @@ struct OodResult {
   float detection_rate = 0.0f;  ///< at the 95th in-distribution percentile
 };
 
-[[nodiscard]] OodResult evaluate_ood(BuiltModel& model, const nn::Dataset& in_dist,
+[[nodiscard]] OodResult evaluate_ood(const BuiltModel& model, const nn::Dataset& in_dist,
+                                     const nn::Dataset& ood, const EvalOptions& options);
+[[nodiscard]] OodResult evaluate_ood(const BuiltModel& model, const nn::Dataset& in_dist,
                                      const nn::Dataset& ood, std::size_t mc_samples,
                                      std::size_t batch_size = 100);
+
+/// One point of the corruption-robustness sweep (paper §IV takeaway 2).
+struct CorruptionEval {
+  data::CorruptionKind kind{};
+  float severity = 0.0f;
+  EvalResult result;
+};
+
+/// Corruption sweep: corrupt `images` (NCHW, pre-standardization) at every
+/// (kind, severity) pair, per-sample standardize, and evaluate each with
+/// the pooled Monte-Carlo protocol. The model clones are built once and
+/// reused across the whole sweep.
+[[nodiscard]] std::vector<CorruptionEval> evaluate_corruption(
+    const BuiltModel& model, const nn::Dataset& images,
+    const std::vector<data::CorruptionKind>& kinds,
+    const std::vector<float>& severities, std::uint64_t corruption_seed,
+    const EvalOptions& options);
 
 }  // namespace neuspin::core

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <random>
 
 #include "energy/accountant.h"
@@ -56,6 +57,14 @@ class ScaleDropLayer : public nn::Layer {
   nn::Tensor backward(const nn::Tensor& grad_output) override;
   std::vector<nn::ParamRef> parameters() override;
   [[nodiscard]] std::string name() const override { return "ScaleDrop"; }
+  /// Clones share the (optional) energy ledger pointer; run concurrent
+  /// clones without a ledger or synchronize externally.
+  [[nodiscard]] std::unique_ptr<nn::Layer> clone() const override {
+    return std::make_unique<ScaleDropLayer>(*this);
+  }
+  /// Resets the dropout stream; the realized (variation-shifted)
+  /// probability was fixed at construction and is not redrawn.
+  void reseed(std::uint64_t seed) override { engine_.seed(seed); }
 
   void enable_mc(bool on) { mc_mode_ = on; }
   /// Probability the physical module realizes (Gaussian-shifted).

@@ -74,14 +74,8 @@ std::unique_ptr<SpinBayesScaleLayer> SpinBayesScaleLayer::from_posterior(
     const BayesianScaleLayer& posterior, const SpinBayesConfig& config,
     energy::EnergyLedger* ledger) {
   config.validate();
-  // Re-quantize the posterior samples on the SpinBayes grid.
-  BayesScaleConfig quantized_cfg = posterior.config();
-  quantized_cfg.quant_levels = config.quant_levels;
-  quantized_cfg.quant_lo = config.quant_lo;
-  quantized_cfg.quant_hi = config.quant_hi;
-  // A scratch layer shares mu/rho values through sample_scale()'s use of
-  // the posterior's own parameters; we simply call sample_scale with a
-  // dedicated engine and apply the SpinBayes grid ourselves.
+  // Sample the posterior with a dedicated engine and re-quantize each
+  // sample onto the SpinBayes multi-level grid below.
   std::mt19937_64 engine(config.seed);
   std::vector<nn::Tensor> instances;
   instances.reserve(config.instances);

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <random>
 #include <vector>
 
@@ -39,6 +40,9 @@ class SpinArbiter {
 
   [[nodiscard]] std::size_t fan_out() const { return fan_out_; }
   [[nodiscard]] std::size_t bits_per_draw() const { return bits_per_draw_; }
+
+  /// Reset the arbiter's entropy stream (per-pass reproducibility).
+  void reseed(std::uint64_t seed) { engine_.seed(seed); }
 
  private:
   std::size_t fan_out_;
@@ -78,6 +82,12 @@ class SpinBayesScaleLayer : public nn::Layer {
   nn::Tensor forward(const nn::Tensor& input, bool training) override;
   nn::Tensor backward(const nn::Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "SpinBayesScale"; }
+  /// Clones share the (optional) energy ledger pointer; run concurrent
+  /// clones without a ledger or synchronize externally.
+  [[nodiscard]] std::unique_ptr<nn::Layer> clone() const override {
+    return std::make_unique<SpinBayesScaleLayer>(*this);
+  }
+  void reseed(std::uint64_t seed) override { arbiter_.reseed(seed); }
 
   void enable_mc(bool on) { mc_mode_ = on; }
   [[nodiscard]] std::size_t instance_count() const { return instances_.size(); }

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "nn/model.h"
+
 namespace neuspin::core {
 
 PseudoDropoutSource::PseudoDropoutSource(double p, std::uint64_t seed)
@@ -52,6 +54,24 @@ SpinDropLayer::SpinDropLayer(DropGranularity granularity,
       throw std::invalid_argument("SpinDropLayer: null dropout source");
     }
   }
+}
+
+SpinDropLayer::SpinDropLayer(const SpinDropLayer& other)
+    : granularity_(other.granularity_),
+      train_engine_(other.train_engine_),
+      mc_mode_(other.mc_mode_),
+      mask_(other.mask_) {
+  sources_.reserve(other.sources_.size());
+  for (const auto& s : other.sources_) {
+    sources_.push_back(s->clone());
+  }
+}
+
+void SpinDropLayer::reseed(std::uint64_t seed) {
+  for (std::size_t u = 0; u < sources_.size(); ++u) {
+    sources_[u]->reseed(nn::mix_seed(seed, u));
+  }
+  train_engine_.seed(nn::mix_seed(seed, sources_.size()));
 }
 
 std::string SpinDropLayer::name() const {

@@ -32,6 +32,10 @@ class DropoutSource {
   [[nodiscard]] virtual bool sample() = 0;
   /// Probability the source actually realizes.
   [[nodiscard]] virtual double probability() const = 0;
+  /// Deep copy (model replication for threaded MC evaluation).
+  [[nodiscard]] virtual std::unique_ptr<DropoutSource> clone() const = 0;
+  /// Reset the source's entropy stream; realized probability is untouched.
+  virtual void reseed(std::uint64_t seed) = 0;
 };
 
 /// Ideal Bernoulli source (software training path).
@@ -40,6 +44,10 @@ class PseudoDropoutSource final : public DropoutSource {
   PseudoDropoutSource(double p, std::uint64_t seed);
   [[nodiscard]] bool sample() override;
   [[nodiscard]] double probability() const override { return p_; }
+  [[nodiscard]] std::unique_ptr<DropoutSource> clone() const override {
+    return std::make_unique<PseudoDropoutSource>(*this);
+  }
+  void reseed(std::uint64_t seed) override { engine_.seed(seed); }
 
  private:
   double p_;
@@ -61,6 +69,12 @@ class SpinDropoutSource final : public DropoutSource {
   [[nodiscard]] bool sample() override;
   [[nodiscard]] double probability() const override;
   [[nodiscard]] const device::SpinRng& rng() const { return rng_; }
+  /// Clones share the (optional) energy ledger pointer; concurrent clones
+  /// must therefore run without a ledger or with external synchronization.
+  [[nodiscard]] std::unique_ptr<DropoutSource> clone() const override {
+    return std::make_unique<SpinDropoutSource>(*this);
+  }
+  void reseed(std::uint64_t seed) override { rng_.reseed(seed); }
 
  private:
   device::SpinRng rng_;
@@ -91,10 +105,16 @@ class SpinDropLayer : public nn::Layer {
   SpinDropLayer(DropGranularity granularity,
                 std::vector<std::unique_ptr<DropoutSource>> sources,
                 std::uint64_t train_seed);
+  /// Deep copy: every dropout source is cloned (RNG state included).
+  SpinDropLayer(const SpinDropLayer& other);
 
   nn::Tensor forward(const nn::Tensor& input, bool training) override;
   nn::Tensor backward(const nn::Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<nn::Layer> clone() const override {
+    return std::make_unique<SpinDropLayer>(*this);
+  }
+  void reseed(std::uint64_t seed) override;
 
   void enable_mc(bool on) { mc_mode_ = on; }
   [[nodiscard]] bool mc_enabled() const { return mc_mode_; }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <random>
 
 #include "energy/accountant.h"
@@ -48,6 +49,12 @@ class BayesianScaleLayer : public nn::Layer {
   nn::Tensor backward(const nn::Tensor& grad_output) override;
   std::vector<nn::ParamRef> parameters() override;
   [[nodiscard]] std::string name() const override { return "BayesianScale"; }
+  /// Clones share the (optional) energy ledger pointer; run concurrent
+  /// clones without a ledger or synchronize externally.
+  [[nodiscard]] std::unique_ptr<nn::Layer> clone() const override {
+    return std::make_unique<BayesianScaleLayer>(*this);
+  }
+  void reseed(std::uint64_t seed) override { engine_.seed(seed); }
 
   void enable_mc(bool on) { mc_mode_ = on; }
 

@@ -1,0 +1,62 @@
+// Reusable worker-thread pool for the Monte-Carlo evaluation fan-out.
+//
+// The MC predictive loop runs T independent stochastic forward passes; the
+// pool lets those passes execute on however many hardware threads exist
+// while keeping the call-site synchronous: `run_all` submits a task batch
+// and blocks until every task finished, rethrowing the first exception.
+//
+// The pool is deliberately small: a mutex/condition-variable task queue,
+// no work stealing, no futures leaking into the public API beyond what
+// `submit` returns. Evaluation-scale batches (tens of tasks, each running
+// a full network forward pass) amortize the queue cost by orders of
+// magnitude.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace neuspin::core {
+
+/// Fixed-size pool of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// `thread_count` 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t thread_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue one task; the future resolves when it ran (or carries its
+  /// exception).
+  std::future<void> submit(std::function<void()> task);
+
+  /// Submit every task and wait for all of them. If any task threw, the
+  /// first exception (in submission order) is rethrown after all tasks
+  /// finished, so no task is left running against destroyed state.
+  void run_all(std::vector<std::function<void()>> tasks);
+
+  /// Process-wide pool sized to the hardware, created on first use.
+  /// Shared by the evaluation pipeline so repeated `evaluate` calls reuse
+  /// the same warm threads.
+  [[nodiscard]] static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace neuspin::core

@@ -68,6 +68,10 @@ class SpinRng {
   /// Total bits generated so far (for energy ledgers).
   [[nodiscard]] std::uint64_t bits_generated() const { return bits_generated_; }
 
+  /// Reset the module's entropy stream (per-pass reproducibility of the
+  /// Monte-Carlo evaluator). Calibration and bit counters are untouched.
+  void reseed(std::uint64_t seed) { engine_.seed(seed); }
+
   [[nodiscard]] const SpinRngConfig& config() const { return config_; }
 
  private:

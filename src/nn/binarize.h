@@ -9,6 +9,7 @@
 // faithful hardware realization of these layers.
 #pragma once
 
+#include <memory>
 #include <random>
 
 #include "nn/layers.h"
@@ -36,6 +37,9 @@ class BinaryDense : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<ParamRef> parameters() override;
   [[nodiscard]] std::string name() const override { return "BinaryDense"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<BinaryDense>(*this);
+  }
 
   [[nodiscard]] std::size_t in_features() const { return in_; }
   [[nodiscard]] std::size_t out_features() const { return out_; }
@@ -70,6 +74,9 @@ class BinaryConv2d : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<ParamRef> parameters() override;
   [[nodiscard]] std::string name() const override { return "BinaryConv2d"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<BinaryConv2d>(*this);
+  }
 
   [[nodiscard]] std::size_t in_channels() const { return in_ch_; }
   [[nodiscard]] std::size_t out_channels() const { return out_ch_; }

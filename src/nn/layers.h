@@ -41,6 +41,18 @@ class Layer {
   /// exposed so checkpoints can round-trip a trained model exactly.
   virtual std::vector<Tensor*> state_tensors() { return {}; }
 
+  /// Deep copy of the layer: parameters, persistent state and RNG streams.
+  /// Parallel Monte-Carlo evaluation replicates a model once per worker
+  /// thread through this hook. Layers that cannot be cloned return
+  /// nullptr; Sequential::clone reports which layer blocked the copy.
+  [[nodiscard]] virtual std::unique_ptr<Layer> clone() const { return nullptr; }
+
+  /// Reset the layer's stochastic streams. Deterministic layers ignore the
+  /// call; stochastic layers must reset every internal engine so that a
+  /// forward pass after reseed(s) depends only on (parameters, input, s) —
+  /// the property that makes threaded MC evaluation bitwise reproducible.
+  virtual void reseed(std::uint64_t seed) { (void)seed; }
+
   /// Human-readable identifier for diagnostics.
   [[nodiscard]] virtual std::string name() const = 0;
 };
@@ -54,6 +66,9 @@ class Dense : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<ParamRef> parameters() override;
   [[nodiscard]] std::string name() const override { return "Dense"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Dense>(*this);
+  }
 
   [[nodiscard]] std::size_t in_features() const { return in_; }
   [[nodiscard]] std::size_t out_features() const { return out_; }
@@ -80,6 +95,9 @@ class Conv2d : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<ParamRef> parameters() override;
   [[nodiscard]] std::string name() const override { return "Conv2d"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Conv2d>(*this);
+  }
 
   [[nodiscard]] std::size_t in_channels() const { return in_ch_; }
   [[nodiscard]] std::size_t out_channels() const { return out_ch_; }
@@ -106,6 +124,9 @@ class MaxPool2d : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "MaxPool2d"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<MaxPool2d>(*this);
+  }
 
  private:
   Shape input_shape_;
@@ -118,6 +139,9 @@ class Flatten : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "Flatten"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Flatten>(*this);
+  }
 
  private:
   Shape input_shape_;
@@ -129,6 +153,9 @@ class ReLU : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "ReLU"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ReLU>(*this);
+  }
 
  private:
   Tensor input_cache_;
@@ -140,6 +167,9 @@ class HardTanh : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "HardTanh"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<HardTanh>(*this);
+  }
 
  private:
   Tensor input_cache_;
@@ -153,6 +183,9 @@ class SignActivation : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "Sign"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<SignActivation>(*this);
+  }
 
  private:
   Tensor input_cache_;
@@ -169,6 +202,9 @@ class BatchNorm : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<ParamRef> parameters() override;
   [[nodiscard]] std::string name() const override { return "BatchNorm"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<BatchNorm>(*this);
+  }
 
   std::vector<Tensor*> state_tensors() override {
     return {&running_mean_, &running_var_};
@@ -211,6 +247,10 @@ class Dropout : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "Dropout"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Dropout>(*this);
+  }
+  void reseed(std::uint64_t seed) override { engine_.seed(seed); }
 
   [[nodiscard]] float probability() const { return p_; }
   /// MC-Dropout keeps sampling at inference; enable_at_inference(true)

@@ -7,6 +7,7 @@
 // a gradient on that final state.
 #pragma once
 
+#include <memory>
 #include <random>
 
 #include "nn/layers.h"
@@ -25,6 +26,9 @@ class Lstm : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<ParamRef> parameters() override;
   [[nodiscard]] std::string name() const override { return "Lstm"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Lstm>(*this);
+  }
 
   [[nodiscard]] std::size_t input_dim() const { return input_dim_; }
   [[nodiscard]] std::size_t hidden_dim() const { return hidden_dim_; }

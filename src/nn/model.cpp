@@ -7,6 +7,15 @@
 
 namespace neuspin::nn {
 
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t salt) {
+  // splitmix64 (Steele et al.) over base + salt * odd constant: full-period
+  // scrambling, so nearby (base, salt) pairs give unrelated streams.
+  std::uint64_t z = base + salt * 0x9e3779b97f4a7c15ull + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 std::pair<Tensor, std::vector<std::size_t>> Dataset::batch(std::size_t begin,
                                                            std::size_t end) const {
   if (begin >= end || end > size()) {
@@ -38,6 +47,25 @@ Tensor Sequential::backward(const Tensor& grad_output) {
     g = (*it)->backward(g);
   }
   return g;
+}
+
+Sequential Sequential::clone() const {
+  Sequential copy;
+  for (const auto& layer : layers_) {
+    auto cloned = layer->clone();
+    if (cloned == nullptr) {
+      throw std::logic_error("Sequential::clone: layer '" + layer->name() +
+                             "' does not implement clone()");
+    }
+    copy.add(std::move(cloned));
+  }
+  return copy;
+}
+
+void Sequential::reseed(std::uint64_t seed) {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->reseed(mix_seed(seed, i));
+  }
 }
 
 std::vector<ParamRef> Sequential::parameters() {

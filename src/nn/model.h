@@ -15,6 +15,12 @@
 
 namespace neuspin::nn {
 
+/// Derive an independent RNG stream seed from (base, salt): splitmix64 of
+/// base + salt * odd-constant. Per-pass and per-layer streams of the
+/// Monte-Carlo evaluator are all spawned through this mix so no two
+/// streams coincide and results stay reproducible across thread counts.
+[[nodiscard]] std::uint64_t mix_seed(std::uint64_t base, std::uint64_t salt);
+
 /// Supervised classification dataset: inputs (N x ...) with one label each.
 struct Dataset {
   Tensor inputs;
@@ -53,6 +59,15 @@ class Sequential {
   [[nodiscard]] Tensor forward(const Tensor& input, bool training);
   /// Back-propagate through the whole stack; returns dL/d(input).
   [[nodiscard]] Tensor backward(const Tensor& grad_output);
+
+  /// Deep copy of the whole stack (parameters, state and RNG streams).
+  /// Throws std::logic_error naming the first layer whose clone() is
+  /// unimplemented. Used to replicate a trained model per worker thread.
+  [[nodiscard]] Sequential clone() const;
+
+  /// Forward `seed` to every layer's reseed() hook, mixing in the layer
+  /// index so sibling layers never share a stream.
+  void reseed(std::uint64_t seed);
 
   [[nodiscard]] std::vector<ParamRef> parameters();
 

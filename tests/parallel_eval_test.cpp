@@ -1,0 +1,285 @@
+// Parallel Monte-Carlo evaluation: the threaded predictor must be bitwise
+// identical to the serial one for a fixed seed and sample count — that is
+// the contract that lets the pipeline scale across cores without changing
+// a single reproduced paper number.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/models.h"
+#include "core/pipeline.h"
+#include "core/thread_pool.h"
+#include "data/strokes.h"
+
+namespace {
+
+using namespace neuspin;
+
+nn::Dataset tiny_dataset(std::uint64_t seed) {
+  data::StrokeConfig sc;
+  sc.samples_per_class = 5;  // 50 samples of 256 features
+  return data::standardize_per_sample(data::make_stroke_digits_flat(sc, seed));
+}
+
+core::BuiltModel tiny_model(core::Method method, bool hw_noise = false,
+                            double hw_variation = 0.0) {
+  core::ModelConfig mc;
+  mc.method = method;
+  mc.seed = 7;
+  mc.dropout_p = 0.2;
+  mc.hw_variation = hw_variation;
+  if (hw_noise) {
+    mc.hw.enabled = true;
+    mc.hw.noise_fraction = 0.02f;
+  }
+  return core::make_binary_mlp(mc, 256, {32, 16}, 10);
+}
+
+core::EvalOptions options_with_threads(std::size_t threads) {
+  core::EvalOptions opts;
+  opts.mc_samples = 12;
+  opts.batch_size = 16;  // several batches, including a ragged tail
+  opts.threads = threads;
+  opts.seed = 1234;
+  return opts;
+}
+
+void expect_identical(const core::EvalResult& a, const core::EvalResult& b) {
+  EXPECT_EQ(a.accuracy, b.accuracy);
+  EXPECT_EQ(a.nll, b.nll);
+  EXPECT_EQ(a.ece, b.ece);
+  EXPECT_EQ(a.brier, b.brier);
+  EXPECT_EQ(a.mean_entropy, b.mean_entropy);
+}
+
+TEST(ThreadPool, RunsEveryTask) {
+  core::ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.run_all(std::move(tasks));
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  core::ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] {});
+  tasks.push_back([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.run_all(std::move(tasks)), std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  core::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 8; ++i) {
+      tasks.push_back([&counter] { counter.fetch_add(1); });
+    }
+    pool.run_all(std::move(tasks));
+  }
+  EXPECT_EQ(counter.load(), 24);
+}
+
+TEST(ModelClone, MatchesOriginalPassForPass) {
+  core::BuiltModel model = tiny_model(core::Method::kSpinDrop);
+  model.enable_mc(true);
+  core::BuiltModel copy = model.clone();
+  const nn::Dataset data = tiny_dataset(3);
+  const nn::Tensor x = data.batch(0, 8).first;
+
+  for (std::uint64_t pass_seed : {1ull, 42ull, 0xdeadbeefull}) {
+    model.reseed_stochastic(pass_seed);
+    copy.reseed_stochastic(pass_seed);
+    const nn::Tensor a = model.stochastic_logits(x);
+    const nn::Tensor b = copy.stochastic_logits(x);
+    ASSERT_EQ(a.numel(), b.numel());
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "pass_seed " << pass_seed << " element " << i;
+    }
+  }
+}
+
+TEST(ModelClone, IsIndependentOfTheOriginal) {
+  core::BuiltModel model = tiny_model(core::Method::kSpinDrop);
+  model.enable_mc(true);
+  const nn::Dataset data = tiny_dataset(4);
+  const nn::Tensor x = data.batch(0, 4).first;
+
+  model.reseed_stochastic(11);
+  const nn::Tensor before = model.stochastic_logits(x);
+
+  // Burn randomness on the clone; the original's stream must not move.
+  core::BuiltModel copy = model.clone();
+  copy.reseed_stochastic(999);
+  (void)copy.stochastic_logits(x);
+  (void)copy.stochastic_logits(x);
+
+  model.reseed_stochastic(11);
+  const nn::Tensor after = model.stochastic_logits(x);
+  for (std::size_t i = 0; i < before.numel(); ++i) {
+    ASSERT_EQ(before[i], after[i]);
+  }
+}
+
+TEST(McPredictor, ThreadedMatchesSerialBitwise) {
+  core::BuiltModel model = tiny_model(core::Method::kSpinDrop);
+  model.enable_mc(true);
+  const nn::Dataset data = tiny_dataset(5);
+  const nn::Tensor x = data.batch(0, 16).first;
+
+  const core::McPredictor predictor(9, /*base_seed=*/77);
+  const core::McPredictor::SeededForward serial_forward =
+      [&model](const nn::Tensor& in, std::uint64_t pass_seed) {
+        model.reseed_stochastic(pass_seed);
+        return model.stochastic_logits(in);
+      };
+  const core::Prediction serial = predictor.predict(x, serial_forward);
+
+  std::vector<core::BuiltModel> replicas;
+  for (int w = 0; w < 3; ++w) {
+    replicas.push_back(model.clone());
+  }
+  std::vector<core::McPredictor::SeededForward> forwards;
+  for (auto& replica : replicas) {
+    forwards.push_back([&replica](const nn::Tensor& in, std::uint64_t pass_seed) {
+      replica.reseed_stochastic(pass_seed);
+      return replica.stochastic_logits(in);
+    });
+  }
+  core::ThreadPool pool(3);
+  const core::Prediction threaded = predictor.predict(x, forwards, pool);
+
+  ASSERT_EQ(serial.mean_probs.numel(), threaded.mean_probs.numel());
+  for (std::size_t i = 0; i < serial.mean_probs.numel(); ++i) {
+    ASSERT_EQ(serial.mean_probs[i], threaded.mean_probs[i]);
+  }
+  ASSERT_EQ(serial.entropy.size(), threaded.entropy.size());
+  for (std::size_t i = 0; i < serial.entropy.size(); ++i) {
+    ASSERT_EQ(serial.entropy[i], threaded.entropy[i]);
+  }
+  for (std::size_t i = 0; i < serial.mutual_info.size(); ++i) {
+    ASSERT_EQ(serial.mutual_info[i], threaded.mutual_info[i]);
+  }
+}
+
+// Every stochastic method must survive the serial == threaded contract:
+// this is what proves each layer's reseed() covers all of its randomness.
+TEST(Evaluate, ThreadedMatchesSerialForEveryMethod) {
+  const nn::Dataset test = tiny_dataset(6);
+  const std::vector<core::Method> methods = {
+      core::Method::kSpinDrop,     core::Method::kSpatialSpinDrop,
+      core::Method::kSpinScaleDrop, core::Method::kAffineDropout,
+      core::Method::kSubsetVi,
+  };
+  for (core::Method method : methods) {
+    core::BuiltModel model = tiny_model(method);
+    const core::EvalResult serial =
+        core::evaluate(model, test, options_with_threads(1));
+    const core::EvalResult threaded =
+        core::evaluate(model, test, options_with_threads(4));
+    SCOPED_TRACE(core::method_name(method));
+    expect_identical(serial, threaded);
+  }
+}
+
+TEST(Evaluate, ThreadedMatchesSerialWithHardwareNoiseAndVariation) {
+  const nn::Dataset test = tiny_dataset(7);
+  core::BuiltModel model = tiny_model(core::Method::kSpinDrop, /*hw_noise=*/true,
+                                      /*hw_variation=*/0.3);
+  const core::EvalResult serial = core::evaluate(model, test, options_with_threads(1));
+  const core::EvalResult threaded = core::evaluate(model, test, options_with_threads(3));
+  expect_identical(serial, threaded);
+}
+
+TEST(Evaluate, ThreadedMatchesSerialForConvertedSpinBayes) {
+  const nn::Dataset test = tiny_dataset(8);
+  core::BuiltModel model = tiny_model(core::Method::kSpinBayes);
+  core::SpinBayesConfig sb;
+  sb.instances = 4;
+  core::convert_to_spinbayes(model, sb);
+  const core::EvalResult serial = core::evaluate(model, test, options_with_threads(1));
+  const core::EvalResult threaded = core::evaluate(model, test, options_with_threads(4));
+  expect_identical(serial, threaded);
+}
+
+// evaluate() must not touch the caller's model: its RNG streams (including
+// the training-path engines) would otherwise depend on the thread count,
+// making interleaved fit/evaluate programs machine-dependent.
+TEST(Evaluate, DoesNotPerturbTheCallersModel) {
+  const nn::Dataset test = tiny_dataset(13);
+  core::BuiltModel untouched = tiny_model(core::Method::kSpinDrop);
+  core::BuiltModel evaluated = tiny_model(core::Method::kSpinDrop);
+  (void)core::evaluate(evaluated, test, options_with_threads(1));
+  (void)core::evaluate(evaluated, test, options_with_threads(4));
+
+  // Both models must now emit the same *unreseeded* stochastic sequence,
+  // i.e. evaluation consumed none of the evaluated model's randomness.
+  untouched.enable_mc(true);
+  evaluated.enable_mc(true);
+  const nn::Tensor x = test.batch(0, 4).first;
+  for (int pass = 0; pass < 3; ++pass) {
+    const nn::Tensor a = untouched.stochastic_logits(x);
+    const nn::Tensor b = evaluated.stochastic_logits(x);
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "pass " << pass << " element " << i;
+    }
+  }
+}
+
+TEST(Evaluate, RepeatedRunsAreDeterministic) {
+  const nn::Dataset test = tiny_dataset(9);
+  core::BuiltModel model = tiny_model(core::Method::kSpinScaleDrop);
+  const core::EvalResult first = core::evaluate(model, test, options_with_threads(0));
+  const core::EvalResult second = core::evaluate(model, test, options_with_threads(0));
+  expect_identical(first, second);
+}
+
+TEST(Evaluate, OodPathIsThreadCountInvariant) {
+  const nn::Dataset in_dist = tiny_dataset(10);
+  const nn::Dataset ood = tiny_dataset(11);
+  core::BuiltModel model = tiny_model(core::Method::kSpinDrop);
+  const core::OodResult serial =
+      core::evaluate_ood(model, in_dist, ood, options_with_threads(1));
+  const core::OodResult threaded =
+      core::evaluate_ood(model, in_dist, ood, options_with_threads(4));
+  EXPECT_EQ(serial.auroc, threaded.auroc);
+  EXPECT_EQ(serial.detection_rate, threaded.detection_rate);
+}
+
+TEST(Evaluate, CorruptionSweepCoversEveryPoint) {
+  data::StrokeConfig sc;
+  sc.samples_per_class = 3;
+  const nn::Dataset images = data::make_stroke_digits(sc, 12);  // NCHW
+  core::ModelConfig mc;
+  mc.method = core::Method::kSpatialSpinDrop;
+  mc.seed = 7;
+  core::BuiltModel model = core::make_binary_cnn(mc);
+
+  const std::vector<data::CorruptionKind> kinds = {
+      data::CorruptionKind::kGaussianNoise, data::CorruptionKind::kBlur};
+  const std::vector<float> severities = {0.3f, 0.9f};
+  core::EvalOptions serial_opts = options_with_threads(1);
+  serial_opts.mc_samples = 6;
+  core::EvalOptions threaded_opts = options_with_threads(4);
+  threaded_opts.mc_samples = 6;
+  const auto serial =
+      core::evaluate_corruption(model, images, kinds, severities, 5, serial_opts);
+  const auto threaded =
+      core::evaluate_corruption(model, images, kinds, severities, 5, threaded_opts);
+  ASSERT_EQ(serial.size(), kinds.size() * severities.size());
+  ASSERT_EQ(threaded.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].kind, threaded[i].kind);
+    EXPECT_EQ(serial[i].severity, threaded[i].severity);
+    expect_identical(serial[i].result, threaded[i].result);
+  }
+}
+
+}  // namespace

@@ -5,6 +5,7 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
+#include <chrono>
 #include <cstdio>
 
 #include "core/hw_model.h"
@@ -47,38 +48,33 @@ int main() {
 
   // 5. Deploy onto crossbar tiles: exact electrical simulation with MTJ
   //    variability, per-neuron stochastic dropout modules and an energy
-  //    ledger recording every chargeable event.
+  //    ledger recording every chargeable event. The per-sample Monte-Carlo
+  //    loop fans out across one TiledMlp replica per hardware thread;
+  //    results are bitwise identical for any thread count.
   xbar::TileConfig tile_config;
   tile_config.variability.resistance_sigma = 0.05;  // 5% device variation
-  core::TiledMlp hardware(model.net, tile_config, 42);
+  core::TiledEvalOptions hw_opts;
+  hw_opts.mc_samples = 20;
+  hw_opts.dropout_p = 0.15;
+  core::TiledMcEvaluator hardware(model.net, tile_config, 42, hw_opts);
 
   energy::EnergyLedger ledger;
   auto [probe_inputs, probe_labels] = test.batch(0, 100);
+  const auto hw_begin = std::chrono::steady_clock::now();
+  const core::Prediction pred = hardware.predict(probe_inputs, &ledger);
+  const auto hw_end = std::chrono::steady_clock::now();
+  const std::vector<std::size_t> predicted = pred.predicted_class();
   std::size_t correct = 0;
-  const std::size_t mc_passes = 20;
-  for (std::size_t i = 0; i < 100; ++i) {
-    auto [x, y] = test.batch(i, i + 1);
-    // Monte-Carlo over hardware dropout decisions.
-    std::vector<double> mean_logits(10, 0.0);
-    for (std::size_t t = 0; t < mc_passes; ++t) {
-      const nn::Tensor logits = hardware.forward_spindrop(x, 0.15, &ledger);
-      for (std::size_t c = 0; c < 10; ++c) {
-        mean_logits[c] += logits.at(0, c) / static_cast<double>(mc_passes);
-      }
-    }
-    std::size_t best = 0;
-    for (std::size_t c = 1; c < 10; ++c) {
-      if (mean_logits[c] > mean_logits[best]) {
-        best = c;
-      }
-    }
-    if (best == y[0]) {
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == probe_labels[i]) {
       ++correct;
     }
   }
+  const double hw_seconds =
+      std::chrono::duration<double>(hw_end - hw_begin).count();
   std::printf("\ncrossbar-tile Bayesian eval (100 samples, 5%% device variation): "
-              "acc %.1f%%\n",
-              static_cast<double>(correct));
+              "acc %.1f%%  (%zu replicas, %.2f s)\n",
+              static_cast<double>(correct), hardware.replica_count(), hw_seconds);
   std::printf("hardware energy for those inferences:\n%s",
               ledger.report(energy::default_energy_params()).c_str());
   std::printf("\nper-image energy: %.3f uJ\n",

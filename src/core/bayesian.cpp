@@ -91,27 +91,18 @@ Prediction McPredictor::predict(const nn::Tensor& input,
     return predict(input, replicas.front());
   }
   std::vector<nn::Tensor> member_probs(samples_);
-  // Contiguous chunks, one task per replica: a replica is only ever inside
-  // one task, so its model clone needs no locking.
-  const std::size_t chunks = std::min(replicas.size(), samples_);
-  const std::size_t per_chunk = (samples_ + chunks - 1) / chunks;
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t begin = c * per_chunk;
-    const std::size_t end = std::min(begin + per_chunk, samples_);
-    if (begin >= end) {
-      break;
-    }
-    const SeededForward& forward = replicas[c];
-    tasks.push_back([this, &input, &member_probs, &forward, begin, end] {
-      for (std::size_t t = begin; t < end; ++t) {
-        member_probs[t] =
-            checked_probs(forward(input, nn::mix_seed(base_seed_, t)));
-      }
-    });
-  }
-  pool.run_all(std::move(tasks));
+  // Contiguous chunks, one per replica: a replica is only ever inside one
+  // chunk, so its model clone needs no locking.
+  pool.run_chunked(
+      samples_, replicas.size(),
+      [this, &input, &member_probs, &replicas](std::size_t chunk, std::size_t begin,
+                                               std::size_t end) {
+        const SeededForward& forward = replicas[chunk];
+        for (std::size_t t = begin; t < end; ++t) {
+          member_probs[t] =
+              checked_probs(forward(input, nn::mix_seed(base_seed_, t)));
+        }
+      });
   return reduce(std::move(member_probs));
 }
 

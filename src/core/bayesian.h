@@ -73,11 +73,15 @@ class McPredictor {
   [[nodiscard]] std::size_t samples() const { return samples_; }
   [[nodiscard]] std::uint64_t base_seed() const { return base_seed_; }
 
- private:
-  /// Shared tail of every predict flavour: validate member probs (already
-  /// ordered by pass index) and reduce them deterministically.
+  /// Shared tail of every predict flavour: reduce `samples()` per-pass
+  /// probability tensors (already ordered by pass index) into a
+  /// Prediction — pass-order mean, predictive entropy, mutual
+  /// information. Public so alternative forward paths (the tiled
+  /// electrical evaluator) reduce through the exact same code and stay
+  /// bitwise aligned with the behavioural path.
   [[nodiscard]] Prediction reduce(std::vector<nn::Tensor> member_probs) const;
 
+ private:
   std::size_t samples_;
   std::uint64_t base_seed_;
 };

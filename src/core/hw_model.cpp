@@ -1,9 +1,11 @@
 #include "core/hw_model.h"
 
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 
 #include "core/spindrop.h"
+#include "core/thread_pool.h"
 
 namespace neuspin::core {
 
@@ -166,6 +168,10 @@ TiledMlp::TiledMlp(nn::Sequential& net, const xbar::TileConfig& tile_config,
   }
 }
 
+std::size_t TiledMlp::out_features() const {
+  return tiles_.back().tile->out_features();
+}
+
 void TiledMlp::inject_defects(const device::DefectRates& rates, std::uint64_t seed) {
   for (std::size_t t = 0; t < tiles_.size(); ++t) {
     tiles_[t].tile->inject_defects(rates, seed + 977 * t);
@@ -227,6 +233,93 @@ nn::Tensor TiledMlp::forward_spindrop(const nn::Tensor& input, double p,
     }
   }
   return logits;
+}
+
+TiledMcEvaluator::TiledMcEvaluator(nn::Sequential& net,
+                                   const xbar::TileConfig& tile_config,
+                                   std::uint64_t tile_seed,
+                                   const TiledEvalOptions& options)
+    : options_(options),
+      proto_(net.clone()),
+      tile_config_(tile_config),
+      tile_seed_(tile_seed),
+      max_replicas_(resolve_worker_count(options.threads)) {
+  if (options.mc_samples == 0) {
+    throw std::invalid_argument("TiledMcEvaluator: need at least one MC sample");
+  }
+  replicas_.reserve(max_replicas_);
+  // The first replica is built eagerly so a non-canonical net layout fails
+  // here, not at the first predict; the rest are built on demand
+  // (rebuilding from the same (weights, config, seed) is the tile-level
+  // clone — every replica draws identical variability and defects).
+  replicas_.emplace_back(proto_, tile_config_, tile_seed_);
+}
+
+Prediction TiledMcEvaluator::predict(const nn::Tensor& inputs,
+                                     energy::EnergyLedger* ledger) {
+  if (inputs.rank() != 2) {
+    throw std::invalid_argument("TiledMcEvaluator: expected (batch x features) input");
+  }
+  const std::size_t batch = inputs.dim(0);
+  if (batch == 0) {
+    throw std::invalid_argument("TiledMcEvaluator: empty batch");
+  }
+  const std::size_t features = inputs.dim(1);
+  const std::size_t samples = options_.mc_samples;
+  const std::size_t classes = replicas_.front().out_features();
+
+  // Per-pass logits assembled across samples; distinct tasks write
+  // distinct rows, so no synchronization is needed on the tensors.
+  std::vector<nn::Tensor> member_logits(samples, nn::Tensor({batch, classes}));
+
+  const auto run_chunk = [&](TiledMlp& replica, std::size_t begin, std::size_t end,
+                             energy::EnergyLedger* chunk_ledger) {
+    nn::Tensor row({1, features});
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t f = 0; f < features; ++f) {
+        row.at(0, f) = inputs.at(i, f);
+      }
+      const std::uint64_t sample_seed = nn::mix_seed(options_.seed, i);
+      for (std::size_t t = 0; t < samples; ++t) {
+        replica.reseed(nn::mix_seed(sample_seed, t));
+        const nn::Tensor logits =
+            replica.forward_spindrop(row, options_.dropout_p, chunk_ledger);
+        for (std::size_t c = 0; c < classes; ++c) {
+          member_logits[t].at(i, c) = logits.at(0, c);
+        }
+      }
+    }
+  };
+
+  const std::size_t chunks = std::min(max_replicas_, batch);
+  while (replicas_.size() < chunks) {
+    replicas_.emplace_back(proto_, tile_config_, tile_seed_);
+  }
+  std::vector<energy::EnergyLedger> chunk_ledgers;
+  if (ledger != nullptr) {
+    chunk_ledgers.assign(chunks, energy::EnergyLedger(ledger->adc_bits()));
+  }
+  ThreadPool::shared().run_chunked(
+      batch, chunks,
+      [this, &run_chunk, &chunk_ledgers, ledger](std::size_t chunk,
+                                                 std::size_t begin, std::size_t end) {
+        run_chunk(replicas_[chunk], begin, end,
+                  ledger != nullptr ? &chunk_ledgers[chunk] : nullptr);
+      });
+  if (ledger != nullptr) {
+    for (const auto& chunk_ledger : chunk_ledgers) {
+      *ledger += chunk_ledger;
+    }
+  }
+
+  // Reduce through McPredictor::reduce so the tiled path shares the exact
+  // pass-order reduction (and uncertainty math) of the behavioural path.
+  std::vector<nn::Tensor> member_probs;
+  member_probs.reserve(samples);
+  for (auto& logits : member_logits) {
+    member_probs.push_back(nn::softmax_rows(logits));
+  }
+  return McPredictor(samples).reduce(std::move(member_probs));
 }
 
 }  // namespace neuspin::core

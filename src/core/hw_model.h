@@ -19,6 +19,7 @@
 #include <random>
 #include <vector>
 
+#include "core/bayesian.h"
 #include "energy/accountant.h"
 #include "nn/binarize.h"
 #include "nn/layers.h"
@@ -96,8 +97,17 @@ class TiledMlp {
                                             energy::EnergyLedger* ledger = nullptr);
 
   [[nodiscard]] std::size_t layer_count() const { return tiles_.size(); }
+  /// Output width of the classifier layer.
+  [[nodiscard]] std::size_t out_features() const;
   /// Inject extra stuck-at defects into every tile.
   void inject_defects(const device::DefectRates& rates, std::uint64_t seed);
+
+  /// Reset the electrical RNG stream (cycle-to-cycle read noise and MTJ
+  /// dropout draws) so the next forward pass is a pure function of
+  /// (programmed tiles, input, p, seed). The pooled Monte-Carlo evaluator
+  /// and the serving runtime reseed before every pass, which is what makes
+  /// tile-level inference reproducible across worker counts.
+  void reseed(std::uint64_t seed) { engine_.seed(seed); }
 
  private:
   struct FoldedLayer {
@@ -111,6 +121,63 @@ class TiledMlp {
   std::vector<FoldedLayer> tiles_;
   std::mt19937_64 engine_;
   std::uint64_t dropout_seed_;
+};
+
+/// Knobs of the pooled tile-level Monte-Carlo evaluator.
+struct TiledEvalOptions {
+  std::size_t mc_samples = 20;  ///< T electrical passes per sample
+  /// SpinDrop probability of each hidden neuron's MTJ dropout module
+  /// (0 = deterministic hardware forward, still subject to read noise).
+  double dropout_p = 0.0;
+  /// Replica count: 0 = one per hardware thread, 1 = serial. Results are
+  /// independent of this value.
+  std::size_t threads = 0;
+  /// Base seed of the per-(sample, pass) RNG streams.
+  std::uint64_t seed = 0x74696c65646d63ull;  // "tiledmc"
+};
+
+/// Parallel Monte-Carlo inference over a TiledMlp: the clone-per-worker
+/// pattern of core::evaluate applied to the electrical fidelity level.
+///
+/// "Cloning" a TiledMlp is rebuilding it: construction is a deterministic
+/// function of (net weights, tile config, tile seed), so every replica
+/// programs bit-identical hardware — including the variability and defect
+/// draws. Replicas are built lazily, up to min(threads, batch rows), so a
+/// small predict() on a many-core host does not program tiles that would
+/// sit idle. Samples are fanned across replicas in contiguous chunks;
+/// each sample's T passes run serially on one replica with the stream
+/// seed mix_seed(mix_seed(seed, row), pass), where `row` is the sample's
+/// row index within the predict() call. Predictions are therefore a pure
+/// function of (net, tile config, tile seed, options, inputs) — bitwise
+/// identical for any thread count. Note the streams are keyed by in-call
+/// row index: predicting the same rows split across several predict()
+/// calls draws different streams than one combined call (the serving
+/// runtime, which needs per-request invariance, derives its own
+/// per-request seeds instead).
+class TiledMcEvaluator {
+ public:
+  /// Snapshots the weights of `net` (one staging clone); later mutations
+  /// of the caller's net do not affect the evaluator.
+  TiledMcEvaluator(nn::Sequential& net, const xbar::TileConfig& tile_config,
+                   std::uint64_t tile_seed, const TiledEvalOptions& options);
+
+  /// Bayesian prediction of a (batch x features) tensor. When `ledger` is
+  /// non-null, every chargeable event of every pass is accumulated into it
+  /// (per-replica sub-ledgers are merged deterministically).
+  [[nodiscard]] Prediction predict(const nn::Tensor& inputs,
+                                   energy::EnergyLedger* ledger = nullptr);
+
+  /// Replicas constructed so far (grows on demand, never past `threads`).
+  [[nodiscard]] std::size_t replica_count() const { return replicas_.size(); }
+  [[nodiscard]] const TiledEvalOptions& options() const { return options_; }
+
+ private:
+  TiledEvalOptions options_;
+  nn::Sequential proto_;  ///< weight snapshot the replicas are built from
+  xbar::TileConfig tile_config_;
+  std::uint64_t tile_seed_;
+  std::size_t max_replicas_;
+  std::vector<TiledMlp> replicas_;
 };
 
 }  // namespace neuspin::core

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 #include "core/thread_pool.h"
@@ -25,16 +24,24 @@ float fit(BuiltModel& model, const nn::Dataset& train, const FitConfig& config) 
 
 namespace {
 
-/// Worker count actually used: capped by the MC sample count (extra clones
-/// would sit idle) and resolved against the hardware when `requested` is 0.
-/// An explicit request above the hardware thread count is honored, not
-/// capped: results are thread-count invariant, and over-subscribed counts
-/// are how single-core hosts (and CI) exercise the multi-replica path.
-std::size_t resolve_workers(std::size_t requested, std::size_t mc_samples) {
-  const std::size_t n =
-      requested == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
-                     : requested;
-  return std::max<std::size_t>(1, std::min(n, mc_samples));
+/// Number of batches a dataset splits into under `batch_size`.
+std::size_t batch_count(std::size_t dataset_size, std::size_t batch_size) {
+  if (batch_size == 0) {
+    throw std::invalid_argument("evaluate: batch_size must be at least 1");
+  }
+  return (dataset_size + batch_size - 1) / batch_size;
+}
+
+/// Worker count actually used: capped by the useful parallelism of the run
+/// (`parallel_cap` = max of MC sample count and batch count — beyond that,
+/// extra clones would sit idle) and resolved against the hardware when
+/// `requested` is 0. An explicit request above the hardware thread count is
+/// honored, not capped: results are thread-count invariant, and
+/// over-subscribed counts are how single-core hosts (and CI) exercise the
+/// multi-replica path.
+std::size_t resolve_workers(std::size_t requested, std::size_t parallel_cap) {
+  return std::max<std::size_t>(
+      1, std::min(resolve_worker_count(requested), parallel_cap));
 }
 
 /// Owns the per-worker model clones of one evaluation run and serves
@@ -44,9 +51,17 @@ std::size_t resolve_workers(std::size_t requested, std::size_t mc_samples) {
 /// count, and an exception mid-construction leaves nothing toggled.
 class PooledEvaluator {
  public:
-  PooledEvaluator(const BuiltModel& model, const EvalOptions& options)
+  /// `batches_hint` is the largest batch count this evaluator will be asked
+  /// to predict in one call; together with mc_samples it bounds the useful
+  /// replica count.
+  PooledEvaluator(const BuiltModel& model, const EvalOptions& options,
+                  std::size_t batches_hint)
       : options_(options),
-        workers_(resolve_workers(options.threads, options.mc_samples)) {
+        workers_(resolve_workers(options.threads,
+                                 std::max(options.mc_samples, batches_hint))) {
+    if (options.mc_samples == 0) {
+      throw std::invalid_argument("evaluate: need at least one MC sample");
+    }
     replicas_.reserve(workers_);
     forwards_.reserve(workers_);
     for (std::size_t w = 0; w < workers_; ++w) {
@@ -74,26 +89,96 @@ class PooledEvaluator {
     return predictor.predict(inputs, forwards_, ThreadPool::shared());
   }
 
+  /// Predict a whole run of batches; batch i uses the stream seed
+  /// mix_seed(base_seed, i) exactly like the serial loop always did.
+  ///
+  /// Two fan-out strategies cover the pool:
+  ///  * pass-parallel (few large batches, many MC passes): batches run in
+  ///    order, each one's T passes split across every replica;
+  ///  * batch-parallel (many batches, few MC passes — the ROADMAP case):
+  ///    contiguous batch chunks run concurrently, one replica per chunk,
+  ///    each batch's passes serial on its chunk's replica.
+  /// Either way a batch's prediction is the same pure function of
+  /// (weights, inputs, mc_samples, batch seed), and the reduction order is
+  /// fixed by batch index — so results are bitwise identical for any
+  /// thread count and strategy choice.
+  [[nodiscard]] std::vector<Prediction> predict_many(
+      const std::vector<nn::Tensor>& batches, std::uint64_t base_seed) {
+    std::vector<Prediction> out(batches.size());
+    if (batches.empty()) {
+      return out;  // entropy_scores on an empty dataset yields no scores
+    }
+    // Critical-path cost of each strategy, in serial pass-units: batch-
+    // parallel runs per_chunk batches of T serial passes on the busiest
+    // replica; pass-parallel runs every batch in order, each batch's T
+    // passes split across the replicas.
+    const std::size_t chunks = std::min(workers_, batches.size());
+    const std::size_t per_chunk = (batches.size() + chunks - 1) / chunks;
+    const std::size_t pass_workers = std::min(workers_, options_.mc_samples);
+    const std::size_t batch_parallel_cost = per_chunk * options_.mc_samples;
+    const std::size_t pass_parallel_cost =
+        batches.size() * ((options_.mc_samples + pass_workers - 1) / pass_workers);
+    const bool batch_parallel = workers_ > 1 && batches.size() > 1 &&
+                                batch_parallel_cost < pass_parallel_cost;
+    if (!batch_parallel) {
+      for (std::size_t i = 0; i < batches.size(); ++i) {
+        out[i] = predict(batches[i], nn::mix_seed(base_seed, i));
+        discard_member_probs(out[i]);
+      }
+      return out;
+    }
+    ThreadPool::shared().run_chunked(
+        batches.size(), workers_,
+        [this, &batches, &out, base_seed](std::size_t chunk, std::size_t begin,
+                                          std::size_t end) {
+          const McPredictor::SeededForward& forward = forwards_[chunk];
+          for (std::size_t i = begin; i < end; ++i) {
+            const McPredictor predictor(options_.mc_samples,
+                                        nn::mix_seed(base_seed, i));
+            out[i] = predictor.predict(batches[i], forward);
+            discard_member_probs(out[i]);
+          }
+        });
+    return out;
+  }
+
  private:
+  /// The evaluation entry points only consume mean_probs/entropy; dropping
+  /// the T per-pass tensors right after each batch's reduction keeps peak
+  /// memory at O(T x batch) instead of O(T x dataset).
+  static void discard_member_probs(Prediction& pred) {
+    pred.member_probs.clear();
+    pred.member_probs.shrink_to_fit();
+  }
+
   EvalOptions options_;
   std::size_t workers_;
   std::vector<BuiltModel> replicas_;
   std::vector<McPredictor::SeededForward> forwards_;
 };
 
+/// Split a dataset into its input batch tensors.
+std::vector<nn::Tensor> input_batches(const nn::Dataset& data,
+                                      std::size_t batch_size) {
+  std::vector<nn::Tensor> batches;
+  batches.reserve(batch_count(data.size(), batch_size));
+  for (std::size_t begin = 0; begin < data.size(); begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, data.size());
+    batches.push_back(data.batch(begin, end).first);
+  }
+  return batches;
+}
+
 EvalResult evaluate_with(PooledEvaluator& evaluator, const nn::Dataset& test,
                          const EvalOptions& options) {
   if (test.size() == 0) {
     throw std::invalid_argument("evaluate: empty dataset");
   }
+  const std::vector<Prediction> predictions =
+      evaluator.predict_many(input_batches(test, options.batch_size), options.seed);
   std::vector<nn::Tensor> prob_batches;
   std::vector<float> entropies;
-  std::size_t batch_index = 0;
-  for (std::size_t begin = 0; begin < test.size(); begin += options.batch_size) {
-    const std::size_t end = std::min(begin + options.batch_size, test.size());
-    const nn::Tensor inputs = test.batch(begin, end).first;
-    const Prediction pred =
-        evaluator.predict(inputs, nn::mix_seed(options.seed, batch_index++));
+  for (const Prediction& pred : predictions) {
     prob_batches.push_back(pred.mean_probs);
     entropies.insert(entropies.end(), pred.entropy.begin(), pred.entropy.end());
   }
@@ -128,12 +213,9 @@ std::vector<float> entropy_scores_with(PooledEvaluator& evaluator,
                                        const EvalOptions& options) {
   std::vector<float> scores;
   scores.reserve(data.size());
-  std::size_t batch_index = 0;
-  for (std::size_t begin = 0; begin < data.size(); begin += options.batch_size) {
-    const std::size_t end = std::min(begin + options.batch_size, data.size());
-    const nn::Tensor inputs = data.batch(begin, end).first;
-    const Prediction pred =
-        evaluator.predict(inputs, nn::mix_seed(options.seed, batch_index++));
+  const std::vector<Prediction> predictions =
+      evaluator.predict_many(input_batches(data, options.batch_size), options.seed);
+  for (const Prediction& pred : predictions) {
     scores.insert(scores.end(), pred.entropy.begin(), pred.entropy.end());
   }
   return scores;
@@ -143,7 +225,8 @@ std::vector<float> entropy_scores_with(PooledEvaluator& evaluator,
 
 EvalResult evaluate(const BuiltModel& model, const nn::Dataset& test,
                     const EvalOptions& options) {
-  PooledEvaluator evaluator(model, options);
+  PooledEvaluator evaluator(model, options,
+                            batch_count(test.size(), options.batch_size));
   return evaluate_with(evaluator, test, options);
 }
 
@@ -157,7 +240,8 @@ EvalResult evaluate(const BuiltModel& model, const nn::Dataset& test,
 
 std::vector<float> entropy_scores(const BuiltModel& model, const nn::Dataset& data,
                                   const EvalOptions& options) {
-  PooledEvaluator evaluator(model, options);
+  PooledEvaluator evaluator(model, options,
+                            batch_count(data.size(), options.batch_size));
   return entropy_scores_with(evaluator, data, options);
 }
 
@@ -172,7 +256,9 @@ std::vector<float> entropy_scores(const BuiltModel& model, const nn::Dataset& da
 OodResult evaluate_ood(const BuiltModel& model, const nn::Dataset& in_dist,
                        const nn::Dataset& ood, const EvalOptions& options) {
   // One clone set serves both score passes.
-  PooledEvaluator evaluator(model, options);
+  PooledEvaluator evaluator(model, options,
+                            std::max(batch_count(in_dist.size(), options.batch_size),
+                                     batch_count(ood.size(), options.batch_size)));
   const std::vector<float> id_scores = entropy_scores_with(evaluator, in_dist, options);
   // Salt the OOD batches so they do not reuse the in-distribution streams.
   EvalOptions ood_options = options;
@@ -204,7 +290,8 @@ std::vector<CorruptionEval> evaluate_corruption(
     const std::vector<data::CorruptionKind>& kinds,
     const std::vector<float>& severities, std::uint64_t corruption_seed,
     const EvalOptions& options) {
-  PooledEvaluator evaluator(model, options);
+  PooledEvaluator evaluator(model, options,
+                            batch_count(images.size(), options.batch_size));
   std::vector<CorruptionEval> sweep;
   sweep.reserve(kinds.size() * severities.size());
   for (data::CorruptionKind kind : kinds) {

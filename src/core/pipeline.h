@@ -5,14 +5,16 @@
 // accuracy + calibration, the corruption-robustness sweep and the OOD
 // detection protocol.
 //
-// Evaluation threading: the Monte-Carlo passes of every entry point fan
-// out over the shared worker pool (EvalOptions::threads). Each worker owns
-// a deep clone of the model (the serial path clones once too — the
+// Evaluation threading: every entry point fans out over the shared worker
+// pool (EvalOptions::threads) along whichever axis has the parallelism —
+// the T Monte-Carlo passes of a batch when T is large, or whole batches
+// when T is small and the dataset splits into many batches. Each worker
+// owns a deep clone of the model (the serial path clones once too — the
 // caller's model, including its RNG streams, is never mutated), every
 // pass reseeds its clone's stochastic layers from a deterministic
-// per-pass seed, and the reduction runs in pass order — so results are a
-// pure function of (model, data, mc_samples, seed), identical for any
-// thread count including 1.
+// per-pass seed, and the reduction runs in (batch, pass) order — so
+// results are a pure function of (model, data, mc_samples, seed),
+// identical for any thread count and fan-out strategy including serial.
 #pragma once
 
 #include <cstdint>
@@ -46,11 +48,12 @@ float fit(BuiltModel& model, const nn::Dataset& train, const FitConfig& config);
 struct EvalOptions {
   std::size_t mc_samples = 20;  ///< T stochastic passes per batch
   std::size_t batch_size = 100;
-  /// Worker threads for the MC passes: 0 = one per hardware thread,
-  /// 1 = serial (a single clone runs every pass on the calling thread).
-  /// One model clone is made per worker — counts above the hardware
-  /// thread count are honored (useful for determinism testing) but only
-  /// cost memory. Results do not depend on this value.
+  /// Worker threads for the fan-out (MC passes and/or batches): 0 = one
+  /// per hardware thread, 1 = serial (a single clone runs everything on
+  /// the calling thread). One model clone is made per worker, capped at
+  /// the useful parallelism max(mc_samples, batches) — counts above the
+  /// hardware thread count are honored (useful for determinism testing)
+  /// but only cost memory. Results do not depend on this value.
   std::size_t threads = 0;
   /// Base seed of the per-pass RNG streams. Results are a deterministic
   /// function of (seed, mc_samples), whatever the thread count.

@@ -5,10 +5,15 @@
 
 namespace neuspin::core {
 
-ThreadPool::ThreadPool(std::size_t thread_count) {
-  if (thread_count == 0) {
-    thread_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+std::size_t resolve_worker_count(std::size_t requested) {
+  if (requested != 0) {
+    return requested;
   }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  thread_count = resolve_worker_count(thread_count);
   workers_.reserve(thread_count);
   for (std::size_t i = 0; i < thread_count; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -56,6 +61,32 @@ void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
   if (first_error) {
     std::rethrow_exception(first_error);
   }
+}
+
+void ThreadPool::run_chunked(
+    std::size_t total, std::size_t max_chunks,
+    const std::function<void(std::size_t chunk, std::size_t begin, std::size_t end)>&
+        worker) {
+  if (total == 0) {
+    return;
+  }
+  const std::size_t chunks = std::min(std::max<std::size_t>(1, max_chunks), total);
+  if (chunks <= 1) {
+    worker(0, 0, total);
+    return;
+  }
+  const std::size_t per_chunk = (total + chunks - 1) / chunks;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * per_chunk;
+    const std::size_t end = std::min(begin + per_chunk, total);
+    if (begin >= end) {
+      break;  // ragged tail: the last chunks may be empty
+    }
+    tasks.push_back([&worker, c, begin, end] { worker(c, begin, end); });
+  }
+  run_all(std::move(tasks));
 }
 
 ThreadPool& ThreadPool::shared() {

@@ -23,6 +23,11 @@
 
 namespace neuspin::core {
 
+/// Resolve a requested worker/replica count: 0 means one per hardware
+/// thread (minimum 1), anything else is honored as-is — the shared rule of
+/// every clone-per-worker fan-out (evaluation, tiled inference, serving).
+[[nodiscard]] std::size_t resolve_worker_count(std::size_t requested);
+
 /// Fixed-size pool of worker threads consuming a FIFO task queue.
 class ThreadPool {
  public:
@@ -48,6 +53,17 @@ class ThreadPool {
   /// Shared by the evaluation pipeline so repeated `evaluate` calls reuse
   /// the same warm threads.
   [[nodiscard]] static ThreadPool& shared();
+
+  /// Split [0, total) into at most `max_chunks` contiguous ceil-sized
+  /// chunks and run `worker(chunk, begin, end)` for every non-empty chunk,
+  /// blocking until all finished (single-chunk work runs inline on the
+  /// calling thread). Chunk indices are dense from 0 so callers can map a
+  /// chunk to a dedicated replica/ledger — the shared partitioning of
+  /// every clone-per-worker fan-out; results must not depend on the
+  /// partition, only the work assignment does.
+  void run_chunked(std::size_t total, std::size_t max_chunks,
+                   const std::function<void(std::size_t chunk, std::size_t begin,
+                                            std::size_t end)>& worker);
 
  private:
   void worker_loop();

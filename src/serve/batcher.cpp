@@ -1,0 +1,117 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace neuspin::serve {
+
+Batcher::Batcher(const BatcherConfig& config) : config_(config) {
+  if (config.max_batch == 0) {
+    throw std::invalid_argument("Batcher: max_batch must be at least 1");
+  }
+  if (config.max_linger.count() < 0) {
+    throw std::invalid_argument("Batcher: max_linger must be non-negative");
+  }
+}
+
+void Batcher::push(Request request) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!closed_) {
+      queue_.push_back(std::move(request));
+      ready_.notify_one();
+      return;
+    }
+  }
+  // Rejected: fail the request's promise (outside the lock) so a future
+  // already taken from it resolves with the error, then tell the pusher.
+  const auto error =
+      std::make_exception_ptr(std::runtime_error("Batcher: push after close"));
+  request.promise.set_exception(error);
+  std::rethrow_exception(error);
+}
+
+void Batcher::release_pending_locked() {
+  releasable_ = queue_.size();
+  release_share_ = std::max<std::size_t>(
+      1, (releasable_ + config_.consumers - 1) /
+             std::max<std::size_t>(1, config_.consumers));
+}
+
+std::vector<Request> Batcher::take_locked() {
+  // Cap at this consumer's fair share of the released backlog so idle
+  // workers get their cut instead of the first pop swallowing max_batch.
+  const std::size_t n =
+      std::min({config_.max_batch, releasable_, release_share_});
+  std::vector<Request> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  releasable_ -= n;
+  return batch;
+}
+
+std::vector<Request> Batcher::pop_batch() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // A flush trigger (full batch, linger expiry, close) releases the
+    // whole pending backlog; it is then consumed in fair-share pops.
+    if (releasable_ == 0 &&
+        (queue_.size() >= config_.max_batch || closed_)) {
+      release_pending_locked();
+    }
+    if (releasable_ > 0) {
+      return take_and_signal(lock);
+    }
+    if (closed_) {
+      return {};  // closed and drained: the worker's signal to exit
+    }
+    if (!queue_.empty()) {
+      // Partial batch: flush once the oldest request has lingered long
+      // enough; a fill-up or close wakes us earlier through notify.
+      const auto deadline = queue_.front().enqueued + config_.max_linger;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        release_pending_locked();
+        return take_and_signal(lock);
+      }
+      ready_.wait_until(lock, deadline);
+    } else {
+      ready_.wait(lock);
+    }
+  }
+}
+
+std::vector<Request> Batcher::take_and_signal(std::unique_lock<std::mutex>& lock) {
+  std::vector<Request> batch = take_locked();
+  const bool leftovers = releasable_ > 0;
+  lock.unlock();
+  if (leftovers) {
+    // A fair-share pop leaves released requests behind; hand them to the
+    // next idle worker right away instead of waiting out a linger.
+    ready_.notify_one();
+  }
+  return batch;
+}
+
+void Batcher::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+bool Batcher::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t Batcher::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace neuspin::serve

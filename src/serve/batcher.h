@@ -1,0 +1,107 @@
+// Dynamic request batcher of the serving runtime.
+//
+// Single-sample requests arrive at arbitrary times; model workers want
+// batches. The batcher coalesces pending requests into batches under two
+// knobs: `max_batch` (never hand a worker more than this many requests)
+// and `max_linger` (never make the *oldest* pending request wait longer
+// than this for companions before a partial batch is flushed). Once a
+// flush triggers, the whole pending backlog is dispatchable and is dealt
+// out in fair shares across `consumers` workers, so a burst does not pile
+// onto the first worker while the rest idle.
+//
+// Batch composition is a pure scheduling concern: every request carries
+// its own RNG seed, so whichever batch a request lands in, its prediction
+// is bitwise identical (see serve/runtime.h). That is what lets the
+// linger/batch knobs be tuned freely for latency/throughput without
+// touching reproducibility.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "serve/policy.h"
+
+namespace neuspin::serve {
+
+struct BatcherConfig {
+  /// Largest batch handed to one worker in one pop.
+  std::size_t max_batch = 16;
+  /// Longest time the oldest pending request may wait for companions
+  /// before a partial batch is flushed. 0 flushes immediately (every pop
+  /// takes whatever is queued, degrading to per-request dispatch under
+  /// light load).
+  std::chrono::microseconds max_linger{200};
+  /// Consumer-count hint (the runtime sets it to its worker count): a
+  /// burst backlog is split into ceil(pending / consumers) pops instead of
+  /// handing max_batch to the first worker while the others idle —
+  /// requests compute one at a time per worker, so spreading them cuts
+  /// tail latency without changing any result.
+  std::size_t consumers = 1;
+};
+
+/// One in-flight inference request.
+struct Request {
+  std::uint64_t id = 0;
+  std::vector<float> features;  ///< one flattened input sample
+  std::uint64_t seed = 0;       ///< base of this request's RNG streams
+  std::chrono::steady_clock::time_point enqueued{};
+  std::promise<ServedPrediction> promise;
+};
+
+/// Thread-safe FIFO that groups requests into batches. Multiple producers
+/// (client threads calling push) and multiple consumers (model workers
+/// calling pop_batch) are supported.
+class Batcher {
+ public:
+  explicit Batcher(const BatcherConfig& config);
+
+  /// Enqueue one request. After close() the request is rejected: its
+  /// promise is failed with a std::runtime_error (so any future already
+  /// taken from it resolves with that error, not broken_promise) and the
+  /// same error is thrown to the pusher.
+  void push(Request request);
+
+  /// Block until a batch is ready and return it. A batch is ready when
+  /// `max_batch` requests are pending, or at least one request has been
+  /// pending for `max_linger`, or the batcher was closed (remaining
+  /// requests drain in FIFO order, still chunked by `max_batch`). Returns
+  /// an empty vector only when closed *and* fully drained — the consumer's
+  /// signal to exit.
+  [[nodiscard]] std::vector<Request> pop_batch();
+
+  /// Stop accepting pushes and wake every blocked consumer. Pending
+  /// requests remain poppable so workers can drain them.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  /// A flush trigger fired: mark every pending request dispatchable and
+  /// fix the per-consumer share. Caller holds the lock.
+  void release_pending_locked();
+  /// Take up to min(max_batch, fair share) released requests off the
+  /// front. Caller holds the lock.
+  [[nodiscard]] std::vector<Request> take_locked();
+  /// take_locked, then release the lock and wake another consumer if
+  /// released requests remain.
+  [[nodiscard]] std::vector<Request> take_and_signal(
+      std::unique_lock<std::mutex>& lock);
+
+  BatcherConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Request> queue_;
+  /// Requests already released for dispatch by a flush trigger (always
+  /// <= queue_.size()), and the per-pop share fixed at release time.
+  std::size_t releasable_ = 0;
+  std::size_t release_share_ = 1;
+  bool closed_ = false;
+};
+
+}  // namespace neuspin::serve

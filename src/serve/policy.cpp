@@ -1,0 +1,65 @@
+#include "serve/policy.h"
+
+#include <stdexcept>
+
+namespace neuspin::serve {
+
+std::string policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kAcceptAll:
+      return "accept-all";
+    case PolicyKind::kMaxEntropy:
+      return "max-entropy";
+    case PolicyKind::kMaxMutualInfo:
+      return "max-mutual-info";
+    case PolicyKind::kMinConfidence:
+      return "min-confidence";
+  }
+  return "unknown";
+}
+
+SelectivePolicy::SelectivePolicy(const PolicyConfig& config) : config_(config) {
+  switch (config.kind) {
+    case PolicyKind::kAcceptAll:
+      break;
+    case PolicyKind::kMaxEntropy:
+    case PolicyKind::kMaxMutualInfo:
+      if (config.threshold < 0.0f) {
+        throw std::invalid_argument(
+            "SelectivePolicy: uncertainty ceiling must be non-negative");
+      }
+      break;
+    case PolicyKind::kMinConfidence:
+      if (config.threshold < 0.0f || config.threshold > 1.0f) {
+        throw std::invalid_argument(
+            "SelectivePolicy: confidence floor must lie in [0, 1]");
+      }
+      break;
+  }
+}
+
+SelectivePolicy::Decision SelectivePolicy::decide(float confidence, float entropy,
+                                                  float mutual_info) const {
+  Decision d;
+  switch (config_.kind) {
+    case PolicyKind::kAcceptAll:
+      d.score = confidence;
+      d.accepted = true;
+      break;
+    case PolicyKind::kMaxEntropy:
+      d.score = entropy;
+      d.accepted = entropy <= config_.threshold;
+      break;
+    case PolicyKind::kMaxMutualInfo:
+      d.score = mutual_info;
+      d.accepted = mutual_info <= config_.threshold;
+      break;
+    case PolicyKind::kMinConfidence:
+      d.score = confidence;
+      d.accepted = confidence >= config_.threshold;
+      break;
+  }
+  return d;
+}
+
+}  // namespace neuspin::serve

@@ -1,0 +1,81 @@
+// Selective-prediction policy for the serving runtime.
+//
+// The paper's deployment story (§I, §IV) is that every hardware prediction
+// ships with an uncertainty estimate so downstream logic can *abstain* on
+// inputs the model does not understand — corrupted sensors, OOD scenes,
+// adversarial drift. The policy is the piece that turns the Monte-Carlo
+// uncertainty numbers into that accept/abstain decision, per request.
+//
+// Policies are pure functions of one request's prediction summary, so the
+// decision never depends on batching, worker count or arrival order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace neuspin::serve {
+
+/// Everything the runtime reports back for one request.
+struct ServedPrediction {
+  std::uint64_t request_id = 0;
+  std::vector<float> probs;          ///< predictive mean over classes
+  std::size_t predicted_class = 0;   ///< argmax of `probs`
+  float confidence = 0.0f;           ///< probs[predicted_class]
+  float entropy = 0.0f;              ///< total predictive uncertainty (nats)
+  float mutual_info = 0.0f;          ///< epistemic part (nats)
+  bool accepted = true;              ///< selective-prediction decision
+  float policy_score = 0.0f;         ///< the score the policy thresholded
+  std::size_t mc_samples = 0;        ///< T used for this prediction
+  /// Latency attribution (microseconds): time spent queued in the batcher
+  /// waiting for companions, time spent in the Monte-Carlo passes, and the
+  /// end-to-end submit->done figure clients actually observe.
+  double queue_latency_us = 0.0;
+  double compute_latency_us = 0.0;
+  double total_latency_us = 0.0;
+  /// Energy attributed to this request (picojoules): measured event-by-
+  /// event on the tiled backend, census-derived on the behavioural one.
+  double energy_pj = 0.0;
+  std::size_t batch_size = 0;        ///< companions in the request's batch
+  std::size_t worker = 0;            ///< replica that served it
+};
+
+/// How the policy scores a request before thresholding.
+enum class PolicyKind : std::uint8_t {
+  kAcceptAll,      ///< never abstain (threshold ignored)
+  kMaxEntropy,     ///< abstain when predictive entropy exceeds threshold
+  kMaxMutualInfo,  ///< abstain when epistemic uncertainty exceeds threshold
+  kMinConfidence,  ///< abstain when top-class probability falls below threshold
+};
+
+[[nodiscard]] std::string policy_name(PolicyKind kind);
+
+struct PolicyConfig {
+  PolicyKind kind = PolicyKind::kAcceptAll;
+  /// Meaning depends on `kind`: an entropy / mutual-information ceiling in
+  /// nats, or a confidence floor in [0, 1].
+  float threshold = 0.0f;
+};
+
+/// Thresholds one prediction summary into an accept/abstain decision.
+class SelectivePolicy {
+ public:
+  /// Validates the (kind, threshold) pair; throws std::invalid_argument on
+  /// a negative uncertainty ceiling or a confidence floor outside [0, 1].
+  explicit SelectivePolicy(const PolicyConfig& config);
+
+  struct Decision {
+    bool accepted = true;
+    float score = 0.0f;  ///< the value compared against the threshold
+  };
+
+  [[nodiscard]] Decision decide(float confidence, float entropy,
+                                float mutual_info) const;
+
+  [[nodiscard]] const PolicyConfig& config() const { return config_; }
+
+ private:
+  PolicyConfig config_;
+};
+
+}  // namespace neuspin::serve

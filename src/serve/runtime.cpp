@@ -1,0 +1,242 @@
+#include "serve/runtime.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "core/bayesian.h"
+#include "core/thread_pool.h"
+#include "nn/model.h"
+
+namespace neuspin::serve {
+
+namespace {
+
+double to_us(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+}  // namespace
+
+std::string backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kBehavioral:
+      return "behavioral";
+    case Backend::kTiled:
+      return "tiled";
+  }
+  return "unknown";
+}
+
+std::uint64_t Runtime::request_stream_seed(std::uint64_t base_seed,
+                                           std::uint64_t request_index) {
+  return nn::mix_seed(base_seed, request_index);
+}
+
+namespace {
+
+/// Resolve every derived knob once, before the member initializers run:
+/// the worker count (0 -> hardware) and the batcher's consumer count
+/// (always the worker count, whatever the caller set). config() then
+/// reports exactly what the runtime is doing.
+RuntimeConfig normalized(RuntimeConfig config) {
+  config.workers = core::resolve_worker_count(config.workers);
+  config.batcher.consumers = config.workers;
+  return config;
+}
+
+}  // namespace
+
+Runtime::Runtime(const core::BuiltModel& model, const RuntimeConfig& config)
+    : config_(normalized(config)),
+      policy_(config_.policy),
+      batcher_(config_.batcher) {
+  if (config_.mc_samples == 0) {
+    throw std::invalid_argument("Runtime: need at least one MC sample");
+  }
+  const std::size_t workers = config_.workers;
+  if (config.backend == Backend::kBehavioral) {
+    behavioral_replicas_.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      behavioral_replicas_.push_back(model.clone());
+      behavioral_replicas_.back().enable_mc(true);
+    }
+    if (config.account_energy && !model.arch.layers.empty()) {
+      core::CensusConfig census = config.census;
+      census.mc_passes = config.mc_samples;
+      const energy::EnergyLedger ledger =
+          core::inference_census(model.arch, model.method, census);
+      census_energy_pj_ = ledger.total_energy(energy::default_energy_params());
+    }
+  } else {
+    // One mutable staging clone feeds every replica build; the TiledMlp
+    // constructor only reads the weights and keeps no reference, and
+    // rebuilding from the same (weights, config, seed) programs
+    // bit-identical hardware on every replica.
+    core::BuiltModel staging = model.clone();
+    tiled_replicas_.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      tiled_replicas_.emplace_back(staging.net, config.tile, config.tile_seed);
+    }
+  }
+  threads_.reserve(workers);
+  try {
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w); });
+    }
+  } catch (...) {
+    // Thread spawn failed partway: release the already-started workers
+    // (they would otherwise block in pop_batch forever) and join them, so
+    // the exception propagates instead of ~thread calling std::terminate.
+    batcher_.close();
+    for (auto& thread : threads_) {
+      if (thread.joinable()) {
+        thread.join();
+      }
+    }
+    throw;
+  }
+}
+
+Runtime::~Runtime() { shutdown(); }
+
+void Runtime::shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  if (stopped_) {
+    return;
+  }
+  stopped_ = true;
+  batcher_.close();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+}
+
+std::future<ServedPrediction> Runtime::submit(std::vector<float> features) {
+  const std::uint64_t id = next_request_.fetch_add(1);
+  return submit_with_id(id, std::move(features),
+                        request_stream_seed(config_.seed, id));
+}
+
+std::future<ServedPrediction> Runtime::submit(std::vector<float> features,
+                                              std::uint64_t request_seed) {
+  return submit_with_id(next_request_.fetch_add(1), std::move(features),
+                        request_seed);
+}
+
+std::future<ServedPrediction> Runtime::submit_with_id(std::uint64_t id,
+                                                      std::vector<float> features,
+                                                      std::uint64_t request_seed) {
+  Request request;
+  request.id = id;
+  request.features = std::move(features);
+  request.seed = request_seed;
+  request.enqueued = std::chrono::steady_clock::now();
+  std::future<ServedPrediction> future = request.promise.get_future();
+  batcher_.push(std::move(request));  // throws after shutdown()
+  return future;
+}
+
+ServedPrediction Runtime::predict(const std::vector<float>& features) {
+  return submit(features).get();
+}
+
+RuntimeStats Runtime::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  RuntimeStats out = stats_;
+  out.mean_batch_size =
+      out.batches == 0 ? 0.0
+                       : static_cast<double>(out.requests) /
+                             static_cast<double>(out.batches);
+  return out;
+}
+
+void Runtime::worker_loop(std::size_t worker_index) {
+  for (;;) {
+    std::vector<Request> batch = batcher_.pop_batch();
+    if (batch.empty()) {
+      return;  // closed and drained
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.batches;
+    }
+    for (Request& request : batch) {
+      serve_one(worker_index, request, batch.size());
+    }
+  }
+}
+
+void Runtime::serve_one(std::size_t worker_index, Request& request,
+                        std::size_t batch_size) {
+  const auto popped = std::chrono::steady_clock::now();
+  try {
+    const nn::Tensor input(nn::Shape{1, request.features.size()}, request.features);
+    const core::McPredictor predictor(config_.mc_samples, request.seed);
+    energy::EnergyLedger ledger(config_.tile.adc_bits);
+    core::Prediction prediction;
+    const auto compute_begin = std::chrono::steady_clock::now();
+    if (config_.backend == Backend::kBehavioral) {
+      core::BuiltModel& replica = behavioral_replicas_[worker_index];
+      prediction = predictor.predict(
+          input, core::McPredictor::SeededForward(
+                     [&replica](const nn::Tensor& x, std::uint64_t pass_seed) {
+                       replica.reseed_stochastic(pass_seed);
+                       return replica.stochastic_logits(x);
+                     }));
+    } else {
+      core::TiledMlp& replica = tiled_replicas_[worker_index];
+      energy::EnergyLedger* lp = config_.account_energy ? &ledger : nullptr;
+      prediction = predictor.predict(
+          input, core::McPredictor::SeededForward(
+                     [this, &replica, lp](const nn::Tensor& x, std::uint64_t pass_seed) {
+                       replica.reseed(pass_seed);
+                       return replica.forward_spindrop(x, config_.spindrop_p, lp);
+                     }));
+    }
+    const auto compute_end = std::chrono::steady_clock::now();
+
+    ServedPrediction served;
+    served.request_id = request.id;
+    served.probs.assign(prediction.mean_probs.data().begin(),
+                        prediction.mean_probs.data().end());
+    served.predicted_class = prediction.predicted_class().front();
+    served.confidence = served.probs[served.predicted_class];
+    served.entropy = prediction.entropy.front();
+    served.mutual_info = prediction.mutual_info.front();
+    const SelectivePolicy::Decision decision =
+        policy_.decide(served.confidence, served.entropy, served.mutual_info);
+    served.accepted = decision.accepted;
+    served.policy_score = decision.score;
+    served.mc_samples = config_.mc_samples;
+    served.queue_latency_us = to_us(popped - request.enqueued);
+    served.compute_latency_us = to_us(compute_end - compute_begin);
+    served.total_latency_us = to_us(compute_end - request.enqueued);
+    if (config_.account_energy) {
+      served.energy_pj = config_.backend == Backend::kBehavioral
+                             ? census_energy_pj_
+                             : ledger.total_energy(energy::default_energy_params());
+    }
+    served.batch_size = batch_size;
+    served.worker = worker_index;
+
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.requests;
+      if (served.accepted) {
+        ++stats_.accepted;
+      } else {
+        ++stats_.abstained;
+      }
+      stats_.total_energy_pj += served.energy_pj;
+      stats_.total_compute_us += served.compute_latency_us;
+    }
+    request.promise.set_value(std::move(served));
+  } catch (...) {
+    request.promise.set_exception(std::current_exception());
+  }
+}
+
+}  // namespace neuspin::serve

@@ -1,0 +1,149 @@
+// Batched uncertainty-aware inference runtime.
+//
+// The request path the offline pipeline never had: clients submit single
+// samples, a dynamic batcher coalesces them (serve/batcher.h), and a pool
+// of replicated model workers runs the T-pass Monte-Carlo predictive loop
+// per request, returning class probabilities, predictive entropy / mutual
+// information, a selective-prediction decision (serve/policy.h) and
+// per-request latency + energy attribution.
+//
+//   client ──submit──▶ Batcher ──pop_batch──▶ worker[i] (replica clone)
+//                                                │  T seeded MC passes
+//   future ◀──ServedPrediction── policy+ledger ◀─┘
+//
+// Two fidelity backends serve behind the same interface:
+//  * kBehavioral — the fast tensor path (core::BuiltModel clones, with any
+//    behavioural HwNoiseConfig non-idealities the model was built with);
+//    energy is census-derived per request (core::inference_census).
+//  * kTiled — the full electrical path (TiledMlp replicas: crossbar
+//    currents, ADC quantization, defects); energy is measured event by
+//    event into a per-request EnergyLedger.
+//
+// Reproducibility contract: a request's prediction is a pure function of
+// (model, features, mc_samples, request seed) — the i-th auto-seeded
+// request computes EXACTLY what the offline core::evaluate path computes
+// for sample i at batch_size 1 (same per-batch seed derivation
+// mix_seed(seed, i), same McPredictor loop). Worker count, batch
+// composition and linger tuning never change a result, only when it
+// arrives.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/census.h"
+#include "core/hw_model.h"
+#include "core/models.h"
+#include "serve/batcher.h"
+#include "serve/policy.h"
+#include "xbar/tile.h"
+
+namespace neuspin::serve {
+
+/// Which fidelity level answers requests.
+enum class Backend : std::uint8_t {
+  kBehavioral,  ///< BuiltModel clones (fast tensor ops + behavioural noise)
+  kTiled,       ///< TiledMlp replicas (full electrical simulation)
+};
+
+[[nodiscard]] std::string backend_name(Backend backend);
+
+struct RuntimeConfig {
+  Backend backend = Backend::kBehavioral;
+  /// Model workers (one replica clone each): 0 = one per hardware thread.
+  std::size_t workers = 0;
+  std::size_t mc_samples = 20;  ///< T stochastic passes per request
+  /// Base seed: auto-seeded request i draws its RNG stream from
+  /// mix_seed(seed, i), mirroring core::evaluate's per-batch derivation.
+  std::uint64_t seed = 0x6e6575737276ull;  // "neusrv"
+  BatcherConfig batcher{};
+  PolicyConfig policy{};
+  /// Tiled backend: crossbar design point, tile construction seed (same
+  /// seed on every replica = identical programmed hardware) and the
+  /// SpinDrop probability of the hardware dropout modules.
+  xbar::TileConfig tile{};
+  std::uint64_t tile_seed = 42;
+  double spindrop_p = 0.0;
+  /// Per-request energy attribution. Tiled: measured event-by-event.
+  /// Behavioral: priced from the model's architecture census under
+  /// `census` (mc_passes is overridden with `mc_samples`).
+  bool account_energy = true;
+  core::CensusConfig census{};
+};
+
+/// Aggregate counters since construction.
+struct RuntimeStats {
+  std::uint64_t requests = 0;   ///< requests completed (including abstained)
+  std::uint64_t batches = 0;    ///< batches popped by workers
+  std::uint64_t accepted = 0;
+  std::uint64_t abstained = 0;
+  double mean_batch_size = 0.0;
+  double total_energy_pj = 0.0;
+  double total_compute_us = 0.0;  ///< summed per-request MC compute time
+};
+
+/// Replicated-worker serving runtime over one trained model.
+class Runtime {
+ public:
+  /// Clones `model` once per worker (behavioural) or programs one TiledMlp
+  /// replica per worker from it (tiled), then starts the worker threads.
+  /// The caller's model is never mutated and may be discarded afterwards.
+  Runtime(const core::BuiltModel& model, const RuntimeConfig& config);
+  ~Runtime();  ///< shutdown(): drains pending requests, joins workers
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Enqueue one sample; the future resolves once a worker served it (or
+  /// carries the exception that prevented that). Auto-seeded: submission
+  /// index i gets stream seed mix_seed(config.seed, i). Throws
+  /// std::runtime_error after shutdown().
+  [[nodiscard]] std::future<ServedPrediction> submit(std::vector<float> features);
+  /// Same, under a caller-chosen stream seed (replay / A-B testing).
+  [[nodiscard]] std::future<ServedPrediction> submit(std::vector<float> features,
+                                                     std::uint64_t request_seed);
+
+  /// Blocking convenience: submit + wait.
+  [[nodiscard]] ServedPrediction predict(const std::vector<float>& features);
+
+  /// Stop accepting requests, serve everything still queued (no request is
+  /// lost or answered twice), join the workers. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
+  [[nodiscard]] const RuntimeConfig& config() const { return config_; }
+  [[nodiscard]] RuntimeStats stats() const;
+
+  /// The stream seed the runtime assigns to the i-th auto-seeded request —
+  /// exposed so offline replays can reproduce served results bit for bit.
+  [[nodiscard]] static std::uint64_t request_stream_seed(std::uint64_t base_seed,
+                                                         std::uint64_t request_index);
+
+ private:
+  [[nodiscard]] std::future<ServedPrediction> submit_with_id(
+      std::uint64_t id, std::vector<float> features, std::uint64_t request_seed);
+  void worker_loop(std::size_t worker_index);
+  void serve_one(std::size_t worker_index, Request& request, std::size_t batch_size);
+
+  RuntimeConfig config_;
+  SelectivePolicy policy_;
+  Batcher batcher_;
+  /// One replica per worker; exactly one of these is populated.
+  std::vector<core::BuiltModel> behavioral_replicas_;
+  std::vector<core::TiledMlp> tiled_replicas_;
+  /// Census-priced energy of one behavioural request (constant per config).
+  double census_energy_pj_ = 0.0;
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> next_request_ = 0;
+  std::mutex shutdown_mutex_;
+  bool stopped_ = false;
+  mutable std::mutex stats_mutex_;
+  RuntimeStats stats_;
+};
+
+}  // namespace neuspin::serve

@@ -233,6 +233,44 @@ TEST(Evaluate, DoesNotPerturbTheCallersModel) {
   }
 }
 
+// Small T, many batches: the pool fans whole batches out (one replica per
+// batch chunk) instead of MC passes. Results must not move.
+TEST(Evaluate, BatchFanoutMatchesSerialWhenMcSamplesAreFew) {
+  const nn::Dataset test = tiny_dataset(14);  // 50 samples
+  core::BuiltModel model = tiny_model(core::Method::kSpinDrop);
+  core::EvalOptions serial_opts = options_with_threads(1);
+  serial_opts.mc_samples = 2;
+  serial_opts.batch_size = 8;  // 7 batches incl. ragged tail
+  core::EvalOptions pooled_opts = options_with_threads(6);
+  pooled_opts.mc_samples = 2;
+  pooled_opts.batch_size = 8;
+  const core::EvalResult serial = core::evaluate(model, test, serial_opts);
+  const core::EvalResult pooled = core::evaluate(model, test, pooled_opts);
+  expect_identical(serial, pooled);
+
+  // Per-sample scores take the same fan-out path.
+  const auto serial_scores = core::entropy_scores(model, test, serial_opts);
+  const auto pooled_scores = core::entropy_scores(model, test, pooled_opts);
+  ASSERT_EQ(serial_scores.size(), pooled_scores.size());
+  for (std::size_t i = 0; i < serial_scores.size(); ++i) {
+    ASSERT_EQ(serial_scores[i], pooled_scores[i]) << "sample " << i;
+  }
+}
+
+TEST(Evaluate, RejectsZeroMcSamples) {
+  core::BuiltModel model = tiny_model(core::Method::kSpinDrop);
+  const nn::Dataset test = tiny_dataset(15);
+  core::EvalOptions opts = options_with_threads(2);
+  opts.mc_samples = 0;
+  EXPECT_THROW((void)core::evaluate(model, test, opts), std::invalid_argument);
+}
+
+TEST(Evaluate, EntropyScoresOnEmptyDatasetYieldNoScores) {
+  core::BuiltModel model = tiny_model(core::Method::kSpinDrop);
+  const nn::Dataset empty;
+  EXPECT_TRUE(core::entropy_scores(model, empty, options_with_threads(2)).empty());
+}
+
 TEST(Evaluate, RepeatedRunsAreDeterministic) {
   const nn::Dataset test = tiny_dataset(9);
   core::BuiltModel model = tiny_model(core::Method::kSpinScaleDrop);

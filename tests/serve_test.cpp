@@ -1,0 +1,421 @@
+// Serving runtime: the request path must be a pure function of
+// (model, features, mc_samples, request seed) — worker count, batch
+// composition and linger tuning may change only *when* a prediction
+// arrives, never what it says. Plus: the i-th auto-seeded request must
+// reproduce the offline core::evaluate path at batch_size 1 bit for bit,
+// abstention policies must threshold correctly, and shutdown must drain
+// every request exactly once.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/bayesian.h"
+#include "core/hw_model.h"
+#include "core/models.h"
+#include "core/pipeline.h"
+#include "data/strokes.h"
+#include "serve/batcher.h"
+#include "serve/policy.h"
+#include "serve/runtime.h"
+
+namespace {
+
+using namespace neuspin;
+using namespace std::chrono_literals;
+
+nn::Dataset tiny_dataset(std::uint64_t seed, std::size_t per_class = 2) {
+  data::StrokeConfig sc;
+  sc.samples_per_class = per_class;
+  return data::standardize_per_sample(data::make_stroke_digits_flat(sc, seed));
+}
+
+core::BuiltModel tiny_model(core::Method method = core::Method::kSpinDrop) {
+  core::ModelConfig mc;
+  mc.method = method;
+  mc.seed = 7;
+  mc.dropout_p = 0.2;
+  return core::make_binary_mlp(mc, 256, {32, 16}, 10);
+}
+
+std::vector<float> sample_row(const nn::Dataset& data, std::size_t i) {
+  const nn::Tensor x = data.batch(i, i + 1).first;
+  return std::vector<float>(x.data().begin(), x.data().end());
+}
+
+// ---------------------------------------------------------------- policy
+
+TEST(SelectivePolicy, AcceptAllNeverAbstains) {
+  const serve::SelectivePolicy policy(serve::PolicyConfig{});
+  EXPECT_TRUE(policy.decide(0.05f, 5.0f, 3.0f).accepted);
+}
+
+TEST(SelectivePolicy, EntropyCeilingThresholds) {
+  serve::PolicyConfig config;
+  config.kind = serve::PolicyKind::kMaxEntropy;
+  config.threshold = 1.0f;
+  const serve::SelectivePolicy policy(config);
+  EXPECT_TRUE(policy.decide(0.9f, 0.99f, 0.1f).accepted);
+  EXPECT_FALSE(policy.decide(0.9f, 1.01f, 0.1f).accepted);
+  EXPECT_EQ(policy.decide(0.9f, 0.5f, 0.1f).score, 0.5f);
+}
+
+TEST(SelectivePolicy, MutualInfoCeilingThresholds) {
+  serve::PolicyConfig config;
+  config.kind = serve::PolicyKind::kMaxMutualInfo;
+  config.threshold = 0.2f;
+  const serve::SelectivePolicy policy(config);
+  EXPECT_TRUE(policy.decide(0.9f, 2.0f, 0.19f).accepted);
+  EXPECT_FALSE(policy.decide(0.9f, 0.1f, 0.21f).accepted);
+}
+
+TEST(SelectivePolicy, ConfidenceFloorThresholds) {
+  serve::PolicyConfig config;
+  config.kind = serve::PolicyKind::kMinConfidence;
+  config.threshold = 0.7f;
+  const serve::SelectivePolicy policy(config);
+  EXPECT_TRUE(policy.decide(0.71f, 0.0f, 0.0f).accepted);
+  EXPECT_FALSE(policy.decide(0.69f, 0.0f, 0.0f).accepted);
+}
+
+TEST(SelectivePolicy, RejectsInvalidThresholds) {
+  serve::PolicyConfig entropy;
+  entropy.kind = serve::PolicyKind::kMaxEntropy;
+  entropy.threshold = -0.1f;
+  EXPECT_THROW(serve::SelectivePolicy{entropy}, std::invalid_argument);
+  serve::PolicyConfig confidence;
+  confidence.kind = serve::PolicyKind::kMinConfidence;
+  confidence.threshold = 1.5f;
+  EXPECT_THROW(serve::SelectivePolicy{confidence}, std::invalid_argument);
+}
+
+// --------------------------------------------------------------- batcher
+
+serve::Request make_request(std::uint64_t id) {
+  serve::Request r;
+  r.id = id;
+  r.enqueued = std::chrono::steady_clock::now();
+  return r;
+}
+
+TEST(Batcher, FlushesFullBatchesInFifoOrder) {
+  serve::BatcherConfig config;
+  config.max_batch = 4;
+  config.max_linger = 1h;  // only full batches flush in this test
+  serve::Batcher batcher(config);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    batcher.push(make_request(i));
+  }
+  const auto first = batcher.pop_batch();
+  const auto second = batcher.pop_batch();
+  ASSERT_EQ(first.size(), 4u);
+  ASSERT_EQ(second.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(first[i].id, i);
+    EXPECT_EQ(second[i].id, i + 4);
+  }
+}
+
+TEST(Batcher, LingerFlushesPartialBatch) {
+  serve::BatcherConfig config;
+  config.max_batch = 64;
+  config.max_linger = 2ms;
+  serve::Batcher batcher(config);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    batcher.push(make_request(i));
+  }
+  const auto batch = batcher.pop_batch();  // blocks at most ~2ms
+  EXPECT_EQ(batch.size(), 3u);
+}
+
+TEST(Batcher, BacklogIsSplitAcrossConsumers) {
+  serve::BatcherConfig config;
+  config.max_batch = 8;
+  config.max_linger = 1h;
+  config.consumers = 4;
+  serve::Batcher batcher(config);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    batcher.push(make_request(i));
+  }
+  // Fair share is ceil(pending / consumers), not max_batch: 8 pending
+  // across 4 consumers pops 2 at a time so idle workers get their cut.
+  EXPECT_EQ(batcher.pop_batch().size(), 2u);
+  EXPECT_EQ(batcher.pop_batch().size(), 2u);
+  EXPECT_EQ(batcher.pop_batch().size(), 2u);
+  EXPECT_EQ(batcher.pop_batch().size(), 2u);
+  EXPECT_EQ(batcher.pending(), 0u);
+}
+
+TEST(Batcher, CloseDrainsRemainingThenSignalsExit) {
+  serve::BatcherConfig config;
+  config.max_batch = 2;
+  config.max_linger = 1h;
+  serve::Batcher batcher(config);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    batcher.push(make_request(i));
+  }
+  batcher.close();
+  EXPECT_EQ(batcher.pop_batch().size(), 2u);
+  EXPECT_EQ(batcher.pop_batch().size(), 2u);
+  EXPECT_EQ(batcher.pop_batch().size(), 1u);
+  EXPECT_TRUE(batcher.pop_batch().empty());
+  // A rejected push fails the request's promise too, so a future already
+  // handed to a client resolves with the error instead of broken_promise.
+  serve::Request rejected = make_request(9);
+  auto future = rejected.promise.get_future();
+  EXPECT_THROW(batcher.push(std::move(rejected)), std::runtime_error);
+  EXPECT_THROW((void)future.get(), std::runtime_error);
+}
+
+// --------------------------------------------------------------- runtime
+
+std::vector<serve::ServedPrediction> serve_all(serve::Runtime& runtime,
+                                               const nn::Dataset& data,
+                                               std::size_t count) {
+  std::vector<std::future<serve::ServedPrediction>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    futures.push_back(runtime.submit(sample_row(data, i)));
+  }
+  std::vector<serve::ServedPrediction> out;
+  out.reserve(count);
+  for (auto& f : futures) {
+    out.push_back(f.get());
+  }
+  return out;
+}
+
+// The acceptance contract: request i served online must equal sample i of
+// the offline core::evaluate path at batch_size 1, bit for bit.
+TEST(Runtime, MatchesOfflineEvaluatePathBitwise) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(21);
+  constexpr std::size_t kRequests = 12;
+  constexpr std::size_t kMcSamples = 6;
+  constexpr std::uint64_t kSeed = 555;
+
+  serve::RuntimeConfig config;
+  config.workers = 3;
+  config.mc_samples = kMcSamples;
+  config.seed = kSeed;
+  config.batcher.max_batch = 4;
+  config.batcher.max_linger = 200us;
+  serve::Runtime runtime(model, config);
+  const auto served = serve_all(runtime, data, kRequests);
+
+  // Offline reference 1: the real evaluate-path entry point.
+  core::EvalOptions offline;
+  offline.mc_samples = kMcSamples;
+  offline.batch_size = 1;
+  offline.threads = 1;
+  offline.seed = kSeed;
+  const std::vector<float> offline_entropy =
+      core::entropy_scores(model, data, offline);
+
+  // Offline reference 2: the raw Monte-Carlo loop, for the probabilities.
+  core::BuiltModel reference = model.clone();
+  reference.enable_mc(true);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const core::McPredictor predictor(
+        kMcSamples, serve::Runtime::request_stream_seed(kSeed, i));
+    const core::Prediction expected = predictor.predict(
+        data.batch(i, i + 1).first,
+        core::McPredictor::SeededForward(
+            [&reference](const nn::Tensor& x, std::uint64_t pass_seed) {
+              reference.reseed_stochastic(pass_seed);
+              return reference.stochastic_logits(x);
+            }));
+    ASSERT_EQ(served[i].request_id, i);
+    ASSERT_EQ(served[i].probs.size(), expected.mean_probs.numel());
+    for (std::size_t c = 0; c < served[i].probs.size(); ++c) {
+      ASSERT_EQ(served[i].probs[c], expected.mean_probs[c])
+          << "request " << i << " class " << c;
+    }
+    ASSERT_EQ(served[i].entropy, expected.entropy.front()) << "request " << i;
+    ASSERT_EQ(served[i].entropy, offline_entropy[i]) << "request " << i;
+    ASSERT_EQ(served[i].mutual_info, expected.mutual_info.front());
+    ASSERT_EQ(served[i].mc_samples, kMcSamples);
+  }
+}
+
+TEST(Runtime, InvariantToWorkerCountAndBatching) {
+  const core::BuiltModel model = tiny_model(core::Method::kSpinScaleDrop);
+  const nn::Dataset data = tiny_dataset(22);
+  constexpr std::size_t kRequests = 16;
+
+  serve::RuntimeConfig serial;
+  serial.workers = 1;
+  serial.mc_samples = 5;
+  serial.seed = 99;
+  serial.batcher.max_batch = 1;
+  serial.batcher.max_linger = 0us;
+
+  serve::RuntimeConfig pooled = serial;
+  pooled.workers = 4;
+  pooled.batcher.max_batch = 8;
+  pooled.batcher.max_linger = 2ms;
+
+  serve::Runtime a(model, serial);
+  serve::Runtime b(model, pooled);
+  const auto served_a = serve_all(a, data, kRequests);
+  const auto served_b = serve_all(b, data, kRequests);
+
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    ASSERT_EQ(served_a[i].probs, served_b[i].probs) << "request " << i;
+    EXPECT_EQ(served_a[i].entropy, served_b[i].entropy);
+    EXPECT_EQ(served_a[i].mutual_info, served_b[i].mutual_info);
+    EXPECT_EQ(served_a[i].predicted_class, served_b[i].predicted_class);
+    EXPECT_EQ(served_a[i].accepted, served_b[i].accepted);
+  }
+}
+
+TEST(Runtime, ShutdownDrainsEveryRequestExactlyOnce) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(23, 7);  // 70 samples
+  constexpr std::size_t kRequests = 64;
+
+  serve::RuntimeConfig config;
+  config.workers = 2;
+  config.mc_samples = 2;
+  config.batcher.max_batch = 8;
+  config.batcher.max_linger = 50us;
+  serve::Runtime runtime(model, config);
+
+  std::vector<std::future<serve::ServedPrediction>> futures;
+  futures.reserve(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    futures.push_back(runtime.submit(sample_row(data, i)));
+  }
+  runtime.shutdown();  // must serve everything queued before joining
+
+  std::set<std::uint64_t> ids;
+  for (auto& f : futures) {
+    const serve::ServedPrediction p = f.get();  // throws if any was dropped
+    ids.insert(p.request_id);
+  }
+  EXPECT_EQ(ids.size(), kRequests);
+  EXPECT_EQ(runtime.stats().requests, kRequests);
+  EXPECT_THROW((void)runtime.submit(sample_row(data, 0)), std::runtime_error);
+}
+
+TEST(Runtime, BehavioralEnergyIsCensusPricedAndConstantPerRequest) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(24);
+  serve::RuntimeConfig config;
+  config.workers = 2;
+  config.mc_samples = 3;
+  serve::Runtime runtime(model, config);
+  const auto served = serve_all(runtime, data, 4);
+  ASSERT_GT(served.front().energy_pj, 0.0);
+  for (const auto& p : served) {
+    EXPECT_EQ(p.energy_pj, served.front().energy_pj);
+  }
+  const serve::RuntimeStats stats = runtime.stats();
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_DOUBLE_EQ(stats.total_energy_pj, 4.0 * served.front().energy_pj);
+}
+
+TEST(Runtime, AbstentionPolicyMarksRequests) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(25);
+  // An impossible confidence floor of 1.0 forces abstention on every
+  // (untrained, near-uniform) prediction.
+  serve::RuntimeConfig config;
+  config.workers = 2;
+  config.mc_samples = 2;
+  config.policy.kind = serve::PolicyKind::kMinConfidence;
+  config.policy.threshold = 1.0f;
+  serve::Runtime runtime(model, config);
+  const auto served = serve_all(runtime, data, 6);
+  for (const auto& p : served) {
+    EXPECT_FALSE(p.accepted);
+    EXPECT_EQ(p.policy_score, p.confidence);
+  }
+  EXPECT_EQ(runtime.stats().abstained, 6u);
+}
+
+// ------------------------------------------------------ tiled fidelity
+
+TEST(Runtime, TiledBackendMatchesSerialTiledReference) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(26);
+  constexpr std::size_t kRequests = 4;
+  constexpr std::size_t kMcSamples = 3;
+  constexpr std::uint64_t kSeed = 777;
+  constexpr double kDropP = 0.15;
+
+  serve::RuntimeConfig config;
+  config.backend = serve::Backend::kTiled;
+  config.workers = 2;
+  config.mc_samples = kMcSamples;
+  config.seed = kSeed;
+  config.spindrop_p = kDropP;
+  config.tile_seed = 42;
+  serve::Runtime runtime(model, config);
+  const auto served = serve_all(runtime, data, kRequests);
+
+  core::BuiltModel staging = model.clone();
+  core::TiledMlp reference(staging.net, config.tile, config.tile_seed);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const core::McPredictor predictor(
+        kMcSamples, serve::Runtime::request_stream_seed(kSeed, i));
+    const core::Prediction expected = predictor.predict(
+        data.batch(i, i + 1).first,
+        core::McPredictor::SeededForward(
+            [&reference, kDropP](const nn::Tensor& x, std::uint64_t pass_seed) {
+              reference.reseed(pass_seed);
+              return reference.forward_spindrop(x, kDropP, nullptr);
+            }));
+    ASSERT_EQ(served[i].probs.size(), expected.mean_probs.numel());
+    for (std::size_t c = 0; c < served[i].probs.size(); ++c) {
+      ASSERT_EQ(served[i].probs[c], expected.mean_probs[c])
+          << "request " << i << " class " << c;
+    }
+    EXPECT_EQ(served[i].entropy, expected.entropy.front());
+    EXPECT_GT(served[i].energy_pj, 0.0);  // measured, not census-derived
+  }
+}
+
+TEST(TiledMcEvaluator, ThreadCountInvariantIncludingLedger) {
+  core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(27);
+  const nn::Tensor inputs = data.batch(0, 10).first;
+  xbar::TileConfig tile;
+
+  core::TiledEvalOptions serial;
+  serial.mc_samples = 4;
+  serial.dropout_p = 0.15;
+  serial.threads = 1;
+  serial.seed = 9;
+  core::TiledEvalOptions pooled = serial;
+  pooled.threads = 4;
+
+  core::BuiltModel a = model.clone();
+  core::BuiltModel b = model.clone();
+  core::TiledMcEvaluator eval_serial(a.net, tile, 42, serial);
+  core::TiledMcEvaluator eval_pooled(b.net, tile, 42, pooled);
+
+  energy::EnergyLedger ledger_serial;
+  energy::EnergyLedger ledger_pooled;
+  const core::Prediction ps = eval_serial.predict(inputs, &ledger_serial);
+  const core::Prediction pp = eval_pooled.predict(inputs, &ledger_pooled);
+
+  ASSERT_EQ(ps.mean_probs.numel(), pp.mean_probs.numel());
+  for (std::size_t i = 0; i < ps.mean_probs.numel(); ++i) {
+    ASSERT_EQ(ps.mean_probs[i], pp.mean_probs[i]);
+  }
+  for (std::size_t i = 0; i < ps.entropy.size(); ++i) {
+    ASSERT_EQ(ps.entropy[i], pp.entropy[i]);
+    ASSERT_EQ(ps.mutual_info[i], pp.mutual_info[i]);
+  }
+  for (std::size_t c = 0; c < static_cast<std::size_t>(energy::Component::kCount_);
+       ++c) {
+    EXPECT_EQ(ledger_serial.count(static_cast<energy::Component>(c)),
+              ledger_pooled.count(static_cast<energy::Component>(c)));
+  }
+}
+
+}  // namespace

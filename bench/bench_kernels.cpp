@@ -1,0 +1,199 @@
+// Kernel-layer bench: blocked GEMM GFLOP/s vs. the seed's naive triple
+// loop across the shapes the reproduction actually runs (single-request
+// passes, fused T x B stacks, backward products), plus end-to-end fused
+// vs. unfused Monte-Carlo throughput on the serving model.
+//
+// Plain main (like bench_table1): runnable without google-benchmark.
+//
+//   ./build/bench/bench_kernels
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/bayesian.h"
+#include "core/models.h"
+#include "data/strokes.h"
+#include "nn/model.h"
+#include "nn/tensor.h"
+
+namespace {
+
+using namespace neuspin;
+using Clock = std::chrono::steady_clock;
+
+/// The seed repository's matmul: i-p-j triple loop through bounds-checked
+/// at() accessors, no blocking. Kept verbatim as the bench baseline.
+nn::Tensor seed_matmul(const nn::Tensor& a, const nn::Tensor& b) {
+  const std::size_t m = a.dim(0);
+  const std::size_t k = a.dim(1);
+  const std::size_t n = b.dim(1);
+  nn::Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a.at(i, p);
+      if (av == 0.0f) {
+        continue;
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        c.at(i, j) += av * b.at(p, j);
+      }
+    }
+  }
+  return c;
+}
+
+/// Seed matmul_transposed: strict dot products through at().
+nn::Tensor seed_matmul_transposed(const nn::Tensor& a, const nn::Tensor& b) {
+  const std::size_t m = a.dim(0);
+  const std::size_t k = a.dim(1);
+  const std::size_t n = b.dim(0);
+  nn::Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += a.at(i, p) * b.at(j, p);
+      }
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+/// Best-of-N wall time (seconds) of `fn`, with enough inner repeats that a
+/// single timing spans at least ~2ms.
+template <typename Fn>
+double best_seconds(const Fn& fn, std::size_t repeats) {
+  // Warm-up + calibration.
+  const auto t0 = Clock::now();
+  fn();
+  const double once = std::chrono::duration<double>(Clock::now() - t0).count();
+  const std::size_t inner =
+      once > 0.0 ? static_cast<std::size_t>(2e-3 / once) + 1 : 1;
+  double best = 1e100;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const auto begin = Clock::now();
+    for (std::size_t i = 0; i < inner; ++i) {
+      fn();
+    }
+    const double s =
+        std::chrono::duration<double>(Clock::now() - begin).count() /
+        static_cast<double>(inner);
+    best = std::min(best, s);
+  }
+  return best;
+}
+
+struct GemmShape {
+  const char* label;
+  std::size_t m, k, n;
+};
+
+void bench_gemm() {
+  // Paper-relevant shapes: the serving MLP's hidden layers at request
+  // granularity (m=1), dynamic batches (m=16), fused T x B stacks
+  // (m=128), the CNN's folded dense layer, and the backward-sized
+  // products of training.
+  const std::vector<GemmShape> shapes = {
+      {"request  1x256x128", 1, 256, 128},
+      {"batch   16x256x128", 16, 256, 128},
+      {"fused  128x256x128", 128, 256, 128},
+      {"hidden 128x128x128", 128, 128, 128},
+      {"logits 128x128x10", 128, 128, 10},
+      {"cnn-fc 128x256x64", 128, 256, 64},
+      {"train  256x512x256", 256, 512, 256},
+  };
+  std::printf("\nGEMM (matmul): blocked kernel vs. seed triple loop\n");
+  std::printf("%-20s %12s %12s %9s\n", "shape", "seed GF/s", "blocked GF/s",
+              "speedup");
+  std::mt19937_64 engine(1);
+  for (const GemmShape& s : shapes) {
+    const nn::Tensor a = nn::Tensor::randn({s.m, s.k}, 1.0f, engine);
+    const nn::Tensor b = nn::Tensor::randn({s.k, s.n}, 1.0f, engine);
+    const double flops = 2.0 * static_cast<double>(s.m * s.k * s.n);
+    const double t_seed = best_seconds([&] { (void)seed_matmul(a, b); }, 5);
+    const double t_new = best_seconds([&] { (void)nn::matmul(a, b); }, 5);
+    std::printf("%-20s %12.2f %12.2f %8.2fx\n", s.label, flops / t_seed * 1e-9,
+                flops / t_new * 1e-9, t_seed / t_new);
+  }
+
+  std::printf("\nGEMM (matmul_transposed): 8-lane dot kernel vs. seed loop\n");
+  std::printf("%-20s %12s %12s %9s\n", "shape", "seed GF/s", "blocked GF/s",
+              "speedup");
+  for (const GemmShape& s : shapes) {
+    const nn::Tensor a = nn::Tensor::randn({s.m, s.k}, 1.0f, engine);
+    const nn::Tensor bt = nn::Tensor::randn({s.n, s.k}, 1.0f, engine);
+    const double flops = 2.0 * static_cast<double>(s.m * s.k * s.n);
+    const double t_seed =
+        best_seconds([&] { (void)seed_matmul_transposed(a, bt); }, 5);
+    const double t_new = best_seconds([&] { (void)nn::matmul_transposed(a, bt); }, 5);
+    std::printf("%-20s %12.2f %12.2f %8.2fx\n", s.label, flops / t_seed * 1e-9,
+                flops / t_new * 1e-9, t_seed / t_new);
+  }
+}
+
+void bench_fused_mc() {
+  data::StrokeConfig sc;
+  sc.samples_per_class = 4;
+  const nn::Dataset data =
+      data::standardize_per_sample(data::make_stroke_digits_flat(sc, 3));
+
+  core::ModelConfig mc;
+  mc.method = core::Method::kSpinDrop;
+  mc.seed = 7;
+  mc.dropout_p = 0.15;
+  const core::BuiltModel model = core::make_binary_mlp(mc, 256, {128, 128}, 10);
+
+  std::printf("\nFused vs. unfused Monte-Carlo forward (T passes x B requests,\n"
+              "predictions bitwise identical)\n");
+  std::printf("%4s %4s %14s %14s %9s\n", "B", "T", "unfused req/s",
+              "fused req/s", "speedup");
+  for (const auto& [batch, samples] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {1, 8}, {8, 8}, {16, 8}, {16, 20}, {32, 8}}) {
+    const nn::Tensor inputs = data.batch(0, batch).first;
+    std::vector<std::uint64_t> seeds(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      seeds[b] = nn::mix_seed(0xbe4c4, b);
+    }
+
+    core::BuiltModel unfused = model.clone();
+    unfused.enable_mc(true);
+    const core::McPredictor::SeededForward forward =
+        [&unfused](const nn::Tensor& x, std::uint64_t pass_seed) {
+          unfused.reseed_stochastic(pass_seed);
+          return unfused.stochastic_logits(x);
+        };
+    const double t_unfused = best_seconds(
+        [&] {
+          for (std::size_t b = 0; b < batch; ++b) {
+            nn::Tensor row({1, inputs.dim(1)});
+            for (std::size_t f = 0; f < inputs.dim(1); ++f) {
+              row.at(0, f) = inputs.at(b, f);
+            }
+            (void)core::McPredictor(samples, seeds[b]).predict(row, forward);
+          }
+        },
+        3);
+
+    core::BuiltModel fused = model.clone();
+    fused.enable_mc(true);
+    const double t_fused = best_seconds(
+        [&] { (void)core::predict_fused_batch(fused, inputs, seeds, samples); }, 3);
+
+    const double bd = static_cast<double>(batch);
+    std::printf("%4zu %4zu %14.0f %14.0f %8.2fx\n", batch, samples,
+                bd / t_unfused, bd / t_fused, t_unfused / t_fused);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("bench_kernels",
+                "blocked GEMM GFLOP/s and fused-vs-unfused MC throughput");
+  bench_gemm();
+  bench_fused_mc();
+  return 0;
+}

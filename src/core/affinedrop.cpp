@@ -54,6 +54,38 @@ nn::Tensor InvertedNormLayer::forward(const nn::Tensor& input, bool training) {
   input_shape_ = input.shape();
   input_cache_ = input;
 
+  if (!row_seeds_.empty() && !training) {
+    // Fused MC: each row draws its own two scalar masks and is normalized
+    // against the running statistics, replaying the batch-of-one pass.
+    if (outer != row_seeds_.size()) {
+      throw std::invalid_argument(
+          "InvertedNormLayer: row-seed count does not match batch");
+    }
+    const std::size_t features = config_.features;
+    nn::Tensor out(input.shape());
+    for (std::size_t o = 0; o < outer; ++o) {
+      engine_.seed(row_seeds_[o]);
+      bool wd = false;
+      bool bd = false;
+      if (dropout_enabled_ && mc_mode_) {
+        std::bernoulli_distribution drop(config_.dropout_p);
+        wd = drop(engine_);
+        bd = drop(engine_);
+      }
+      for (std::size_t f = 0; f < features; ++f) {
+        const float w = wd ? 1.0f : weight_[f];
+        const float b = bd ? 0.0f : bias_[f];
+        const float mean = running_mean_[f];
+        const float inv_std = 1.0f / std::sqrt(running_var_[f] + config_.eps);
+        for (std::size_t i = 0; i < inner; ++i) {
+          const std::size_t idx = (o * features + f) * inner + i;
+          out[idx] = (w * input[idx] + b - mean) * inv_std;
+        }
+      }
+    }
+    return out;
+  }
+
   // Sample the two scalar masks (vector-wise dropout, paper §III-A.4).
   weight_dropped_ = false;
   bias_dropped_ = false;

@@ -49,7 +49,18 @@ class InvertedNormLayer : public nn::Layer {
   [[nodiscard]] std::unique_ptr<nn::Layer> clone() const override {
     return std::make_unique<InvertedNormLayer>(*this);
   }
-  void reseed(std::uint64_t seed) override { engine_.seed(seed); }
+  void reseed(std::uint64_t seed) override {
+    engine_.seed(seed);
+    row_seeds_.clear();
+  }
+  /// Row mode (fused MC): row r draws its two scalar affine-dropout masks
+  /// from a stream seeded by row_seeds[r] and is normalized against the
+  /// running statistics — bit for bit the batch-of-one evaluation pass
+  /// (where self-healing is inactive, a single value carrying no usable
+  /// batch statistics).
+  void reseed_rows(std::span<const std::uint64_t> row_seeds) override {
+    row_seeds_.assign(row_seeds.begin(), row_seeds.end());
+  }
 
   void enable_mc(bool on) { mc_mode_ = on; }
   /// Disable the stochastic masks entirely (ablation: inverted norm only).
@@ -82,6 +93,7 @@ class InvertedNormLayer : public nn::Layer {
   bool mc_mode_ = false;
   bool dropout_enabled_ = true;
   bool self_healing_ = false;
+  std::vector<std::uint64_t> row_seeds_;  ///< non-empty = row mode
   bool weight_dropped_ = false;
   bool bias_dropped_ = false;
   // Caches for backward.

@@ -1,8 +1,10 @@
 #include "core/bayesian.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
+#include "core/models.h"
 #include "core/thread_pool.h"
 #include "nn/model.h"
 
@@ -104,6 +106,60 @@ Prediction McPredictor::predict(const nn::Tensor& input,
         }
       });
   return reduce(std::move(member_probs));
+}
+
+std::vector<Prediction> predict_fused_batch(BuiltModel& model,
+                                            const nn::Tensor& inputs,
+                                            std::span<const std::uint64_t> request_seeds,
+                                            std::size_t mc_samples) {
+  if (inputs.rank() != 2) {
+    throw std::invalid_argument("predict_fused_batch: expected (batch x features)");
+  }
+  const std::size_t batch = inputs.dim(0);
+  const std::size_t features = inputs.dim(1);
+  if (batch == 0 || batch != request_seeds.size()) {
+    throw std::invalid_argument(
+        "predict_fused_batch: expected one request seed per input row");
+  }
+  if (mc_samples == 0) {
+    throw std::invalid_argument("predict_fused_batch: need at least one MC sample");
+  }
+
+  // Stack request rows x passes: stacked row b*T + t is a copy of input
+  // row b running pass t's stream.
+  nn::Tensor stacked({batch * mc_samples, features});
+  std::vector<std::uint64_t> row_seeds(batch * mc_samples);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto src = inputs.data().subspan(b * features, features);
+    for (std::size_t t = 0; t < mc_samples; ++t) {
+      std::copy(src.begin(), src.end(),
+                stacked.data().begin() +
+                    static_cast<std::ptrdiff_t>((b * mc_samples + t) * features));
+      row_seeds[b * mc_samples + t] = nn::mix_seed(request_seeds[b], t);
+    }
+  }
+
+  const nn::Tensor logits = model.stochastic_logits_rows(stacked, row_seeds);
+  if (logits.rank() != 2 || logits.dim(0) != batch * mc_samples) {
+    throw std::invalid_argument("predict_fused_batch: model returned bad logits shape");
+  }
+  const nn::Tensor probs = nn::softmax_rows(logits);
+  const std::size_t classes = probs.dim(1);
+
+  std::vector<Prediction> out;
+  out.reserve(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::vector<nn::Tensor> member_probs;
+    member_probs.reserve(mc_samples);
+    for (std::size_t t = 0; t < mc_samples; ++t) {
+      const auto row = probs.data().subspan((b * mc_samples + t) * classes, classes);
+      member_probs.emplace_back(nn::Shape{1, classes},
+                                std::vector<float>(row.begin(), row.end()));
+    }
+    out.push_back(
+        McPredictor(mc_samples, request_seeds[b]).reduce(std::move(member_probs)));
+  }
+  return out;
 }
 
 }  // namespace neuspin::core

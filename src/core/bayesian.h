@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "core/uncertainty.h"
@@ -24,6 +25,7 @@
 namespace neuspin::core {
 
 class ThreadPool;
+struct BuiltModel;
 
 /// Result of Bayesian inference over a batch.
 struct Prediction {
@@ -85,5 +87,25 @@ class McPredictor {
   std::size_t samples_;
   std::uint64_t base_seed_;
 };
+
+/// Fused batched Monte-Carlo prediction: stacks the T stochastic passes of
+/// every request row into one (B*T x features) forward per layer — one
+/// large cache-blocked matmul instead of B*T vector-matrix products — and
+/// reduces each row's T passes through McPredictor::reduce. Row b of
+/// `inputs` occupies stacked rows [b*T, (b+1)*T), pass t running under the
+/// per-row stream seed mix_seed(request_seeds[b], t).
+///
+/// Contract: the returned Prediction for row b is bitwise identical to
+///   McPredictor(mc_samples, request_seeds[b]).predict(row_b, forward)
+/// where `forward` reseeds the model with the pass seed before each
+/// batch-of-one pass — the serving runtime's per-request reproducibility
+/// contract, now independent of how requests are batched together.
+///
+/// `model` must have MC mode enabled and support per-row streams on every
+/// stochastic layer (all built-in method layers do); its RNG state is
+/// consumed. Inference only: do not call backward() afterwards.
+[[nodiscard]] std::vector<Prediction> predict_fused_batch(
+    BuiltModel& model, const nn::Tensor& inputs,
+    std::span<const std::uint64_t> request_seeds, std::size_t mc_samples);
 
 }  // namespace neuspin::core

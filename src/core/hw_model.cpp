@@ -19,35 +19,61 @@ AnalogReadout::AnalogReadout(const HwNoiseConfig& config)
   }
 }
 
-nn::Tensor AnalogReadout::forward(const nn::Tensor& input, bool training) {
-  if (training || !config_.enabled) {
-    return input;
-  }
-  // Auto-ranged full scale: the largest magnitude in this batch, matching
-  // a SAR ADC whose reference tracks the layer's dynamic range.
+namespace {
+
+/// Quantize-and-perturb one contiguous value range [begin, end) of `out`
+/// against a full scale auto-ranged over that same range — the shared body
+/// of the batch-shared and per-row readout paths.
+void readout_range(nn::Tensor& out, std::size_t begin, std::size_t end,
+                   const HwNoiseConfig& config, std::mt19937_64& engine) {
   float full_scale = 0.0f;
-  for (std::size_t i = 0; i < input.numel(); ++i) {
-    full_scale = std::max(full_scale, std::abs(input[i]));
+  for (std::size_t i = begin; i < end; ++i) {
+    full_scale = std::max(full_scale, std::abs(out[i]));
   }
   if (full_scale == 0.0f) {
-    return input;
+    return;
   }
-  const float sigma = config_.noise_fraction * full_scale;
-  const float lsb = config_.quant_levels >= 2
-                        ? 2.0f * full_scale / static_cast<float>(config_.quant_levels)
+  const float sigma = config.noise_fraction * full_scale;
+  const float lsb = config.quant_levels >= 2
+                        ? 2.0f * full_scale / static_cast<float>(config.quant_levels)
                         : 0.0f;
-  nn::Tensor out = input;
   std::normal_distribution<float> noise(0.0f, sigma);
-  for (std::size_t i = 0; i < out.numel(); ++i) {
+  for (std::size_t i = begin; i < end; ++i) {
     float v = out[i];
     if (sigma > 0.0f) {
-      v += noise(engine_);
+      v += noise(engine);
     }
     if (lsb > 0.0f) {
       v = std::round(v / lsb) * lsb;
     }
     out[i] = v;
   }
+}
+
+}  // namespace
+
+nn::Tensor AnalogReadout::forward(const nn::Tensor& input, bool training) {
+  if (training || !config_.enabled) {
+    return input;
+  }
+  nn::Tensor out = input;
+  if (!row_seeds_.empty()) {
+    // Fused MC: every row is read out as if alone — per-row auto-ranged
+    // full scale, per-row noise stream.
+    const std::size_t batch = input.dim(0);
+    if (batch != row_seeds_.size()) {
+      throw std::invalid_argument("AnalogReadout: row-seed count does not match batch");
+    }
+    const std::size_t per_row = input.numel() / batch;
+    for (std::size_t r = 0; r < batch; ++r) {
+      engine_.seed(row_seeds_[r]);
+      readout_range(out, r * per_row, (r + 1) * per_row, config_, engine_);
+    }
+    return out;
+  }
+  // Auto-ranged full scale: the largest magnitude in this batch, matching
+  // a SAR ADC whose reference tracks the layer's dynamic range.
+  readout_range(out, 0, out.numel(), config_, engine_);
   return out;
 }
 
@@ -165,6 +191,20 @@ TiledMlp::TiledMlp(nn::Sequential& net, const xbar::TileConfig& tile_config,
   }
   if (tiles_.empty()) {
     throw std::invalid_argument("TiledMlp: network contains no BinaryDense layers");
+  }
+}
+
+TiledMlp::TiledMlp(const TiledMlp& other)
+    : engine_(other.engine_), dropout_seed_(other.dropout_seed_) {
+  tiles_.reserve(other.tiles_.size());
+  for (const FoldedLayer& layer : other.tiles_) {
+    FoldedLayer copy;
+    copy.tile = layer.tile->clone();
+    copy.bias = layer.bias;
+    copy.threshold = layer.threshold;
+    copy.bn_sign = layer.bn_sign;
+    copy.hidden = layer.hidden;
+    tiles_.push_back(std::move(copy));
   }
 }
 
@@ -293,7 +333,11 @@ Prediction TiledMcEvaluator::predict(const nn::Tensor& inputs,
 
   const std::size_t chunks = std::min(max_replicas_, batch);
   while (replicas_.size() < chunks) {
-    replicas_.emplace_back(proto_, tile_config_, tile_seed_);
+    // Grow by cloning the eagerly-built first replica: identical
+    // programmed state (reseed() runs before every pass, so the engine
+    // state at clone time is irrelevant) at a fraction of a rebuild's
+    // cost.
+    replicas_.push_back(replicas_.front().clone());
   }
   std::vector<energy::EnergyLedger> chunk_ledgers;
   if (ledger != nullptr) {

@@ -55,11 +55,22 @@ class AnalogReadout : public nn::Layer {
   [[nodiscard]] std::unique_ptr<nn::Layer> clone() const override {
     return std::make_unique<AnalogReadout>(*this);
   }
-  void reseed(std::uint64_t seed) override { engine_.seed(seed); }
+  void reseed(std::uint64_t seed) override {
+    engine_.seed(seed);
+    row_seeds_.clear();
+  }
+  /// Row mode (fused MC): row r auto-ranges its full scale over its own
+  /// values and draws read noise from a stream seeded by row_seeds[r] —
+  /// bit for bit the batch-of-one evaluation pass, whose SAR reference
+  /// tracked exactly that one row.
+  void reseed_rows(std::span<const std::uint64_t> row_seeds) override {
+    row_seeds_.assign(row_seeds.begin(), row_seeds.end());
+  }
 
  private:
   HwNoiseConfig config_;
   std::mt19937_64 engine_;
+  std::vector<std::uint64_t> row_seeds_;  ///< non-empty = row mode
 };
 
 /// Flip the sign of a fraction `flip_rate` of latent weights in every
@@ -86,6 +97,17 @@ class TiledMlp {
   /// Map `net` (which must follow the canonical layout) onto tiles.
   TiledMlp(nn::Sequential& net, const xbar::TileConfig& tile_config,
            std::uint64_t seed);
+
+  /// Deep copy via DenseTile::clone: every programmed cell, variability
+  /// draw, folded threshold and injected defect is preserved, so a clone
+  /// serves the same predictions as a rebuild from (net, config, seed)
+  /// without re-running the tile programming pass. The replica primitive
+  /// of TiledMcEvaluator and the tiled serving backend.
+  TiledMlp(const TiledMlp& other);
+  TiledMlp& operator=(const TiledMlp&) = delete;
+  TiledMlp(TiledMlp&&) = default;
+  TiledMlp& operator=(TiledMlp&&) = default;
+  [[nodiscard]] TiledMlp clone() const { return TiledMlp(*this); }
 
   /// Deterministic hardware forward pass of a (batch x features) tensor.
   [[nodiscard]] nn::Tensor forward(const nn::Tensor& input,
@@ -139,12 +161,13 @@ struct TiledEvalOptions {
 /// Parallel Monte-Carlo inference over a TiledMlp: the clone-per-worker
 /// pattern of core::evaluate applied to the electrical fidelity level.
 ///
-/// "Cloning" a TiledMlp is rebuilding it: construction is a deterministic
-/// function of (net weights, tile config, tile seed), so every replica
-/// programs bit-identical hardware — including the variability and defect
-/// draws. Replicas are built lazily, up to min(threads, batch rows), so a
-/// small predict() on a many-core host does not program tiles that would
-/// sit idle. Samples are fanned across replicas in contiguous chunks;
+/// The first replica is programmed from the weight snapshot (construction
+/// is a deterministic function of (net weights, tile config, tile seed));
+/// additional replicas are TiledMlp::clone() copies of its programmed
+/// state — bit-identical hardware, including the variability and defect
+/// draws, without re-running the programming pass per worker. Replicas
+/// are built lazily, up to min(threads, batch rows), so a small predict()
+/// on a many-core host does not clone tiles that would sit idle. Samples are fanned across replicas in contiguous chunks;
 /// each sample's T passes run serially on one replica with the stream
 /// seed mix_seed(mix_seed(seed, row), pass), where `row` is the sample's
 /// row index within the predict() call. Predictions are therefore a pure

@@ -154,6 +154,16 @@ nn::Tensor BuiltModel::stochastic_logits(const nn::Tensor& input) {
   return net.forward(input, /*training=*/false);
 }
 
+nn::Tensor BuiltModel::stochastic_logits_rows(
+    const nn::Tensor& stacked, std::span<const std::uint64_t> row_seeds) {
+  if (stacked.rank() != 2 || stacked.dim(0) != row_seeds.size()) {
+    throw std::invalid_argument(
+        "stochastic_logits_rows: expected one row seed per stacked row");
+  }
+  net.reseed_rows(row_seeds);
+  return net.forward(stacked, /*training=*/false);
+}
+
 BuiltModel BuiltModel::clone() const {
   BuiltModel copy;
   copy.net = net.clone();

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "core/affinedrop.h"
@@ -63,6 +64,16 @@ struct BuiltModel {
 
   /// One stochastic forward pass returning logits (for McPredictor).
   [[nodiscard]] nn::Tensor stochastic_logits(const nn::Tensor& input);
+
+  /// Fused stochastic forward: one pass over a stacked (rows x features)
+  /// batch where row r computes under per-row streams seeded by
+  /// row_seeds[r] — bit for bit what reseed_stochastic(row_seeds[r])
+  /// followed by stochastic_logits on that single row would return. The
+  /// fused Monte-Carlo path (core::predict_fused_batch) stacks T passes x
+  /// B requests through this to run one big matmul per layer instead of
+  /// T*B small ones.
+  [[nodiscard]] nn::Tensor stochastic_logits_rows(
+      const nn::Tensor& stacked, std::span<const std::uint64_t> row_seeds);
 
   /// Reset every stochastic layer's RNG streams so the next forward pass
   /// is a pure function of (weights, input, pass_seed). The Monte-Carlo

@@ -61,6 +61,38 @@ nn::Tensor ScaleDropLayer::forward(const nn::Tensor& input, bool training) {
   input_cache_ = input;
   const bool stochastic = training || mc_mode_;
   last_dropped_ = false;
+  if (stochastic && !row_seeds_.empty()) {
+    // Fused MC: each row replays the batch-of-one decision under its own
+    // stream — drop to the neutral scale, or apply the learned vector.
+    const std::size_t batch = input.dim(0);
+    if (batch != row_seeds_.size()) {
+      throw std::invalid_argument("ScaleDropLayer: row-seed count does not match batch");
+    }
+    const std::size_t channels = config_.channels;
+    const std::size_t inner = input.numel() / batch / channels;
+    nn::Tensor out = input;
+    for (std::size_t r = 0; r < batch; ++r) {
+      engine_.seed(row_seeds_[r]);
+      if (ledger_ != nullptr) {
+        ledger_->add(energy::Component::kRngDropoutCycle, 1);
+      }
+      std::bernoulli_distribution drop(realized_p_);
+      if (drop(engine_)) {
+        continue;  // scale modulated to the neutral vector for this row
+      }
+      if (ledger_ != nullptr) {
+        ledger_->add(energy::Component::kSramReadWord, channels);
+        ledger_->add(energy::Component::kDigitalMult, channels);
+      }
+      for (std::size_t c = 0; c < channels; ++c) {
+        const float s = scale_[c];
+        for (std::size_t i = 0; i < inner; ++i) {
+          out[(r * channels + c) * inner + i] *= s;
+        }
+      }
+    }
+    return out;
+  }
   if (stochastic) {
     if (ledger_ != nullptr) {
       ledger_->add(energy::Component::kRngDropoutCycle, 1);

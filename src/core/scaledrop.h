@@ -64,7 +64,15 @@ class ScaleDropLayer : public nn::Layer {
   }
   /// Resets the dropout stream; the realized (variation-shifted)
   /// probability was fixed at construction and is not redrawn.
-  void reseed(std::uint64_t seed) override { engine_.seed(seed); }
+  void reseed(std::uint64_t seed) override {
+    engine_.seed(seed);
+    row_seeds_.clear();
+  }
+  /// Row mode (fused MC): row r draws its own layer-drop decision from a
+  /// stream seeded by row_seeds[r], matching a batch-of-one pass.
+  void reseed_rows(std::span<const std::uint64_t> row_seeds) override {
+    row_seeds_.assign(row_seeds.begin(), row_seeds.end());
+  }
 
   void enable_mc(bool on) { mc_mode_ = on; }
   /// Probability the physical module realizes (Gaussian-shifted).
@@ -85,6 +93,7 @@ class ScaleDropLayer : public nn::Layer {
   std::mt19937_64 engine_;
   bool mc_mode_ = false;
   bool last_dropped_ = false;
+  std::vector<std::uint64_t> row_seeds_;  ///< non-empty = row mode
   nn::Tensor input_cache_;
   energy::EnergyLedger* ledger_;
 };

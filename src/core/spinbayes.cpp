@@ -101,6 +101,31 @@ nn::Tensor SpinBayesScaleLayer::forward(const nn::Tensor& input, bool training) 
                                 std::to_string(channels));
   }
   const bool stochastic = training || mc_mode_;
+  if (stochastic && !row_seeds_.empty()) {
+    // Fused MC: each row reseeds the Arbiter under its own stream and
+    // selects its own instance, replaying the batch-of-one pass.
+    const std::size_t batch = input.dim(0);
+    if (batch != row_seeds_.size()) {
+      throw std::invalid_argument(
+          "SpinBayesScaleLayer: row-seed count does not match batch");
+    }
+    const std::size_t inner = input.numel() / batch / channels;
+    nn::Tensor out = input;
+    for (std::size_t b = 0; b < batch; ++b) {
+      arbiter_.reseed(row_seeds_[b]);
+      last_selection_ = arbiter_.select();
+      const nn::Tensor& row_scale = instances_[last_selection_];
+      if (ledger_ != nullptr) {
+        ledger_->add(energy::Component::kXbarCellRead, channels);
+      }
+      for (std::size_t c = 0; c < channels; ++c) {
+        for (std::size_t i = 0; i < inner; ++i) {
+          out[(b * channels + c) * inner + i] *= row_scale[c];
+        }
+      }
+    }
+    return out;
+  }
   last_selection_ = stochastic ? arbiter_.select() : 0;
   const nn::Tensor& s = instances_[last_selection_];
   if (ledger_ != nullptr && stochastic) {

@@ -87,7 +87,15 @@ class SpinBayesScaleLayer : public nn::Layer {
   [[nodiscard]] std::unique_ptr<nn::Layer> clone() const override {
     return std::make_unique<SpinBayesScaleLayer>(*this);
   }
-  void reseed(std::uint64_t seed) override { arbiter_.reseed(seed); }
+  void reseed(std::uint64_t seed) override {
+    arbiter_.reseed(seed);
+    row_seeds_.clear();
+  }
+  /// Row mode (fused MC): row r reseeds the Arbiter from row_seeds[r] and
+  /// selects its own crossbar instance, matching a batch-of-one pass.
+  void reseed_rows(std::span<const std::uint64_t> row_seeds) override {
+    row_seeds_.assign(row_seeds.begin(), row_seeds.end());
+  }
 
   void enable_mc(bool on) { mc_mode_ = on; }
   [[nodiscard]] std::size_t instance_count() const { return instances_.size(); }
@@ -99,6 +107,7 @@ class SpinBayesScaleLayer : public nn::Layer {
   std::vector<nn::Tensor> instances_;
   SpinArbiter arbiter_;
   bool mc_mode_ = false;
+  std::vector<std::uint64_t> row_seeds_;  ///< non-empty = row mode
   std::size_t last_selection_ = 0;
   energy::EnergyLedger* ledger_;
 };

@@ -8,13 +8,23 @@
 namespace neuspin::core {
 
 PseudoDropoutSource::PseudoDropoutSource(double p, std::uint64_t seed)
-    : p_(p), engine_(seed) {
+    : p_(p), state_(seed) {
   if (p < 0.0 || p >= 1.0) {
     throw std::invalid_argument("PseudoDropoutSource: p must lie in [0,1)");
   }
 }
 
-bool PseudoDropoutSource::sample() { return uniform_(engine_) < p_; }
+bool PseudoDropoutSource::sample() {
+  // splitmix64 step (Steele et al.) -> uniform double in [0, 1) from the
+  // top 53 bits. Full-period, statistically solid for Bernoulli gating,
+  // and O(1) to reseed.
+  state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53 < p_;
+}
 
 namespace {
 
@@ -72,6 +82,11 @@ void SpinDropLayer::reseed(std::uint64_t seed) {
     sources_[u]->reseed(nn::mix_seed(seed, u));
   }
   train_engine_.seed(nn::mix_seed(seed, sources_.size()));
+  row_seeds_.clear();
+}
+
+void SpinDropLayer::reseed_rows(std::span<const std::uint64_t> row_seeds) {
+  row_seeds_.assign(row_seeds.begin(), row_seeds.end());
 }
 
 std::string SpinDropLayer::name() const {
@@ -114,14 +129,14 @@ std::size_t SpinDropLayer::unit_count(const nn::Shape& shape) const {
   return 1;
 }
 
-void SpinDropLayer::apply_unit_mask(nn::Tensor& x,
-                                    const std::vector<float>& unit_mask) const {
+void SpinDropLayer::apply_unit_mask(nn::Tensor& x, const std::vector<float>& unit_mask,
+                                    std::size_t b_begin, std::size_t b_end) const {
   const nn::Shape& shape = x.shape();
   const std::size_t batch = shape[0];
   const std::size_t per_sample = x.numel() / batch;
   switch (granularity_) {
     case DropGranularity::kNeuron:
-      for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t b = b_begin; b < b_end; ++b) {
         for (std::size_t u = 0; u < per_sample; ++u) {
           x[b * per_sample + u] *= unit_mask[u];
         }
@@ -130,7 +145,7 @@ void SpinDropLayer::apply_unit_mask(nn::Tensor& x,
     case DropGranularity::kFeatureMap: {
       const std::size_t channels = shape[1];
       const std::size_t inner = per_sample / channels;
-      for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t b = b_begin; b < b_end; ++b) {
         for (std::size_t c = 0; c < channels; ++c) {
           const float m = unit_mask[c];
           if (m == 1.0f) {
@@ -145,10 +160,31 @@ void SpinDropLayer::apply_unit_mask(nn::Tensor& x,
     }
     case DropGranularity::kLayer:
       if (unit_mask[0] != 1.0f) {
-        x.fill(0.0f);
+        for (std::size_t b = b_begin; b < b_end; ++b) {
+          for (std::size_t u = 0; u < per_sample; ++u) {
+            x[b * per_sample + u] = 0.0f;
+          }
+        }
       }
       break;
   }
+}
+
+std::vector<float> SpinDropLayer::draw_unit_mask(std::size_t units) {
+  if (units > sources_.size() && granularity_ != DropGranularity::kLayer) {
+    throw std::logic_error("SpinDropLayer: " + std::to_string(units) +
+                           " units but only " + std::to_string(sources_.size()) +
+                           " dropout modules");
+  }
+  std::vector<float> unit_mask(units, 1.0f);
+  for (std::size_t u = 0; u < units; ++u) {
+    // Modules are reusable across units when fewer exist (paper notes the
+    // module can be time-multiplexed); index modulo the pool size.
+    if (sources_[u % sources_.size()]->sample()) {
+      unit_mask[u] = 0.0f;
+    }
+  }
+  return unit_mask;
 }
 
 nn::Tensor SpinDropLayer::forward(const nn::Tensor& input, bool training) {
@@ -182,26 +218,31 @@ nn::Tensor SpinDropLayer::forward(const nn::Tensor& input, bool training) {
     }
     return out;
   }
+  const std::size_t units = unit_count(input.shape());
+  const std::size_t batch = input.dim(0);
+  mask_ = nn::Tensor(input.shape(), 1.0f);
+  if (!row_seeds_.empty()) {
+    // Fused MC: every row replays the batch-of-one procedure under its own
+    // seed — reseed all modules, then draw one decision per unit.
+    if (batch != row_seeds_.size()) {
+      throw std::invalid_argument("SpinDropLayer: row-seed count does not match batch");
+    }
+    for (std::size_t r = 0; r < batch; ++r) {
+      for (std::size_t u = 0; u < sources_.size(); ++u) {
+        sources_[u]->reseed(nn::mix_seed(row_seeds_[r], u));
+      }
+      const std::vector<float> unit_mask = draw_unit_mask(units);
+      apply_unit_mask(out, unit_mask, r, r + 1);
+      apply_unit_mask(mask_, unit_mask, r, r + 1);
+    }
+    return out;
+  }
   // Bayesian inference: one decision per unit per pass, drawn from the
   // physical (or pseudo) modules and shared across the batch.
-  const std::size_t units = unit_count(input.shape());
-  if (units > sources_.size() && granularity_ != DropGranularity::kLayer) {
-    throw std::logic_error("SpinDropLayer: " + std::to_string(units) +
-                           " units but only " + std::to_string(sources_.size()) +
-                           " dropout modules");
-  }
-  std::vector<float> unit_mask(units, 1.0f);
-  for (std::size_t u = 0; u < units; ++u) {
-    // Modules are reusable across units when fewer exist (paper notes the
-    // module can be time-multiplexed); index modulo the pool size.
-    if (sources_[u % sources_.size()]->sample()) {
-      unit_mask[u] = 0.0f;
-    }
-  }
-  apply_unit_mask(out, unit_mask);
+  const std::vector<float> unit_mask = draw_unit_mask(units);
+  apply_unit_mask(out, unit_mask, 0, batch);
   // Cache an element-wise mask so backward stays correct even in mc mode.
-  mask_ = nn::Tensor(input.shape(), 1.0f);
-  apply_unit_mask(mask_, unit_mask);
+  apply_unit_mask(mask_, unit_mask, 0, batch);
   return out;
 }
 

@@ -39,6 +39,13 @@ class DropoutSource {
 };
 
 /// Ideal Bernoulli source (software training path).
+///
+/// Backed by a splitmix64 counter stream rather than std::mt19937_64: the
+/// Monte-Carlo evaluator reseeds EVERY module before EVERY pass (and the
+/// fused path before every row), so reseed() sits on the hottest loop of
+/// the whole serving runtime. A splitmix64 reseed is a single store where
+/// an mt19937_64 reseed initializes 312 state words — per-module streams
+/// would otherwise dominate the fused forward's runtime.
 class PseudoDropoutSource final : public DropoutSource {
  public:
   PseudoDropoutSource(double p, std::uint64_t seed);
@@ -47,12 +54,11 @@ class PseudoDropoutSource final : public DropoutSource {
   [[nodiscard]] std::unique_ptr<DropoutSource> clone() const override {
     return std::make_unique<PseudoDropoutSource>(*this);
   }
-  void reseed(std::uint64_t seed) override { engine_.seed(seed); }
+  void reseed(std::uint64_t seed) override { state_ = seed; }
 
  private:
   double p_;
-  std::mt19937_64 engine_;
-  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+  std::uint64_t state_;
 };
 
 /// Hardware source backed by one stochastic MTJ module. The realized
@@ -115,6 +121,10 @@ class SpinDropLayer : public nn::Layer {
     return std::make_unique<SpinDropLayer>(*this);
   }
   void reseed(std::uint64_t seed) override;
+  /// Row mode (fused MC): row r of the next MC forward reseeds every
+  /// module from row_seeds[r] and draws its own unit mask — bit for bit
+  /// the mask a batch-of-one pass after reseed(row_seeds[r]) would draw.
+  void reseed_rows(std::span<const std::uint64_t> row_seeds) override;
 
   void enable_mc(bool on) { mc_mode_ = on; }
   [[nodiscard]] bool mc_enabled() const { return mc_mode_; }
@@ -126,13 +136,19 @@ class SpinDropLayer : public nn::Layer {
  private:
   /// Units gated for `shape` (elements, channels or 1).
   [[nodiscard]] std::size_t unit_count(const nn::Shape& shape) const;
-  /// Broadcast a per-unit mask over the tensor.
-  void apply_unit_mask(nn::Tensor& x, const std::vector<float>& unit_mask) const;
+  /// Broadcast a per-unit mask over batch rows [b_begin, b_end) of x.
+  void apply_unit_mask(nn::Tensor& x, const std::vector<float>& unit_mask,
+                       std::size_t b_begin, std::size_t b_end) const;
+
+  /// Draw one per-unit mask with the modules' current streams (the shared
+  /// body of the batch-shared and per-row MC paths).
+  [[nodiscard]] std::vector<float> draw_unit_mask(std::size_t units);
 
   DropGranularity granularity_;
   std::vector<std::unique_ptr<DropoutSource>> sources_;
   std::mt19937_64 train_engine_;
   bool mc_mode_ = false;
+  std::vector<std::uint64_t> row_seeds_;  ///< non-empty = row mode
   nn::Tensor mask_;  ///< element-wise mask cached for backward
 };
 

@@ -73,6 +73,38 @@ nn::Tensor BayesianScaleLayer::forward(const nn::Tensor& input, bool training) {
   const bool stochastic = training || mc_mode_;
   deterministic_pass_ = !stochastic;
 
+  if (stochastic && !training && !row_seeds_.empty()) {
+    // Fused MC: each row samples its own posterior scale vector under its
+    // own stream, replaying the batch-of-one pass (quantized deployment
+    // grid, ledger charges per row).
+    const std::size_t batch = input.dim(0);
+    if (batch != row_seeds_.size()) {
+      throw std::invalid_argument(
+          "BayesianScaleLayer: row-seed count does not match batch");
+    }
+    const std::size_t channels = config_.channels;
+    const std::size_t inner = input.numel() / batch / channels;
+    nn::Tensor out = input;
+    for (std::size_t b = 0; b < batch; ++b) {
+      engine_.seed(row_seeds_[b]);
+      std::normal_distribution<float> normal(0.0f, 1.0f);
+      for (std::size_t c = 0; c < channels; ++c) {
+        const float eps = normal(engine_);
+        float s = mu_[c] + nn::softplus(rho_[c]) * eps;
+        s = quantize(s);
+        for (std::size_t i = 0; i < inner; ++i) {
+          out[(b * channels + c) * inner + i] *= s;
+        }
+      }
+      if (ledger_ != nullptr) {
+        ledger_->add(energy::Component::kRngDropoutCycle, 8 * channels);
+        ledger_->add(energy::Component::kXbarCellRead, 2 * channels);
+        ledger_->add(energy::Component::kDigitalMult, channels);
+      }
+    }
+    return out;
+  }
+
   scale_cache_ = nn::Tensor({config_.channels});
   eps_cache_ = nn::Tensor({config_.channels});
   std::normal_distribution<float> normal(0.0f, 1.0f);

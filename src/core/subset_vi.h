@@ -54,7 +54,15 @@ class BayesianScaleLayer : public nn::Layer {
   [[nodiscard]] std::unique_ptr<nn::Layer> clone() const override {
     return std::make_unique<BayesianScaleLayer>(*this);
   }
-  void reseed(std::uint64_t seed) override { engine_.seed(seed); }
+  void reseed(std::uint64_t seed) override {
+    engine_.seed(seed);
+    row_seeds_.clear();
+  }
+  /// Row mode (fused MC): row r samples its own posterior scale vector
+  /// from a stream seeded by row_seeds[r], matching a batch-of-one pass.
+  void reseed_rows(std::span<const std::uint64_t> row_seeds) override {
+    row_seeds_.assign(row_seeds.begin(), row_seeds.end());
+  }
 
   void enable_mc(bool on) { mc_mode_ = on; }
 
@@ -83,6 +91,7 @@ class BayesianScaleLayer : public nn::Layer {
   nn::Tensor rho_grad_;
   std::mt19937_64 engine_;
   bool mc_mode_ = false;
+  std::vector<std::uint64_t> row_seeds_;  ///< non-empty = row mode
   // Caches for backward.
   nn::Tensor input_cache_;
   nn::Tensor eps_cache_;    ///< the reparameterization noise of this pass

@@ -420,10 +420,29 @@ Tensor Dropout::forward(const Tensor& input, bool training) {
     mask_ = Tensor(input.shape(), 1.0f);
     return input;
   }
-  std::bernoulli_distribution keep(1.0 - p_);
   const float scale = 1.0f / (1.0f - p_);
   mask_ = Tensor(input.shape());
   Tensor out = input;
+  if (!row_seeds_.empty()) {
+    // Row mode: each row draws from its own freshly seeded stream, exactly
+    // like a batch-of-one forward after reseed(row_seeds_[r]).
+    const std::size_t batch = input.dim(0);
+    if (batch != row_seeds_.size()) {
+      throw std::invalid_argument("Dropout: row-seed count does not match batch");
+    }
+    const std::size_t per_row = input.numel() / batch;
+    for (std::size_t r = 0; r < batch; ++r) {
+      engine_.seed(row_seeds_[r]);
+      std::bernoulli_distribution keep(1.0 - p_);
+      for (std::size_t i = r * per_row; i < (r + 1) * per_row; ++i) {
+        const float m = keep(engine_) ? scale : 0.0f;
+        mask_[i] = m;
+        out[i] *= m;
+      }
+    }
+    return out;
+  }
+  std::bernoulli_distribution keep(1.0 - p_);
   for (std::size_t i = 0; i < out.numel(); ++i) {
     const float m = keep(engine_) ? scale : 0.0f;
     mask_[i] = m;

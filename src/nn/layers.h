@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <memory>
 #include <random>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,29 @@ class Layer {
   /// forward pass after reseed(s) depends only on (parameters, input, s) —
   /// the property that makes threaded MC evaluation bitwise reproducible.
   virtual void reseed(std::uint64_t seed) { (void)seed; }
+
+  /// Per-row seeding contract of the fused Monte-Carlo path: switch the
+  /// layer's stochastic streams to row mode, where row r of the next
+  /// forward's batch draws its masks/noise/samples from a stream seeded by
+  /// row_seeds[r] — bit for bit what a batch-of-one forward after
+  /// reseed(row_seeds[r]) would compute for that row. Stacking T passes x
+  /// B requests into one (T*B x F) forward therefore reproduces the T*B
+  /// individual passes exactly. Deterministic layers ignore the call
+  /// (their forward is already row-independent); stochastic layers must
+  /// override it, and a later reseed() returns them to shared-stream
+  /// mode. Row mode is an inference-mode contract: backward after a
+  /// row-mode forward is unsupported.
+  ///
+  /// WARNING for custom layers: the default is a silent no-op, which is
+  /// only correct for layers whose forward is row-independent. A custom
+  /// STOCHASTIC layer that overrides reseed() but not reseed_rows() will
+  /// draw one shared stream across the whole stacked batch and silently
+  /// break the fused path's batch-invariance guarantee — override both,
+  /// or serve such models with serve::RuntimeConfig::fused_batching set
+  /// to false.
+  virtual void reseed_rows(std::span<const std::uint64_t> row_seeds) {
+    (void)row_seeds;
+  }
 
   /// Human-readable identifier for diagnostics.
   [[nodiscard]] virtual std::string name() const = 0;
@@ -250,7 +274,13 @@ class Dropout : public Layer {
   [[nodiscard]] std::unique_ptr<Layer> clone() const override {
     return std::make_unique<Dropout>(*this);
   }
-  void reseed(std::uint64_t seed) override { engine_.seed(seed); }
+  void reseed(std::uint64_t seed) override {
+    engine_.seed(seed);
+    row_seeds_.clear();
+  }
+  void reseed_rows(std::span<const std::uint64_t> row_seeds) override {
+    row_seeds_.assign(row_seeds.begin(), row_seeds.end());
+  }
 
   [[nodiscard]] float probability() const { return p_; }
   /// MC-Dropout keeps sampling at inference; enable_at_inference(true)
@@ -261,6 +291,7 @@ class Dropout : public Layer {
   float p_;
   bool mc_mode_ = false;
   std::mt19937_64 engine_;
+  std::vector<std::uint64_t> row_seeds_;  ///< non-empty = row mode
   Tensor mask_;
 };
 

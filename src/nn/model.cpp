@@ -68,6 +68,16 @@ void Sequential::reseed(std::uint64_t seed) {
   }
 }
 
+void Sequential::reseed_rows(std::span<const std::uint64_t> row_seeds) {
+  std::vector<std::uint64_t> mixed(row_seeds.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    for (std::size_t r = 0; r < row_seeds.size(); ++r) {
+      mixed[r] = mix_seed(row_seeds[r], i);
+    }
+    layers_[i]->reseed_rows(mixed);
+  }
+}
+
 std::vector<ParamRef> Sequential::parameters() {
   std::vector<ParamRef> all;
   for (auto& layer : layers_) {

@@ -69,6 +69,13 @@ class Sequential {
   /// index so sibling layers never share a stream.
   void reseed(std::uint64_t seed);
 
+  /// Per-row counterpart for the fused Monte-Carlo path: layer i receives
+  /// row seeds mix_seed(row_seeds[r], i), the exact per-layer derivation
+  /// reseed(row_seeds[r]) would perform — so row r of the next stacked
+  /// forward reproduces a batch-of-one forward under that seed bit for
+  /// bit (see Layer::reseed_rows).
+  void reseed_rows(std::span<const std::uint64_t> row_seeds);
+
   [[nodiscard]] std::vector<ParamRef> parameters();
 
   [[nodiscard]] std::size_t size() const { return layers_.size(); }

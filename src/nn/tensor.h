@@ -85,13 +85,24 @@ class Tensor {
   std::vector<float> data_;
 };
 
-/// C = A(mxk) * B(kxn), plain triple loop with the k-loop innermost hoisted.
+/// C = A(mxk) * B(kxn). Cache-blocked row-major kernel: k is strip-mined so
+/// the active rows of B stay L1-resident, the inner j-loop is contiguous
+/// over one row of B and one row of C (vectorizable, no index arithmetic),
+/// and every C element accumulates its k-terms in ascending-k order — so
+/// row i of the result depends only on row i of A and on B, never on the
+/// batch size. That row independence is what lets the fused Monte-Carlo
+/// path stack T passes x B requests into one call and still reproduce the
+/// batch-of-one results bit for bit.
 [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
 
 /// C = A(mxk) * B^T where B is (n x k). Used by dense backward passes.
+/// Dot-product kernel over contiguous rows with a fixed 8-lane partial-sum
+/// split (combined pairwise in a fixed order): vectorizable and
+/// deterministic for a given k, independent of m and n.
 [[nodiscard]] Tensor matmul_transposed(const Tensor& a, const Tensor& b);
 
-/// C = A^T(kxm) * B(kxn). Used for weight gradients.
+/// C = A^T(kxm) * B(kxn). Used for weight gradients. Same blocked
+/// ascending-k accumulation contract as matmul.
 [[nodiscard]] Tensor matmul_a_transposed(const Tensor& a, const Tensor& b);
 
 /// Row-wise softmax of a (batch x classes) tensor.

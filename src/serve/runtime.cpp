@@ -1,5 +1,6 @@
 #include "serve/runtime.h"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <utility>
@@ -14,6 +15,20 @@ namespace {
 
 double to_us(std::chrono::steady_clock::duration d) {
   return std::chrono::duration<double, std::micro>(d).count();
+}
+
+/// Linear-interpolated percentile of an unsorted sample (copied; the
+/// rolling window is small by construction).
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
 }  // namespace
@@ -54,6 +69,10 @@ Runtime::Runtime(const core::BuiltModel& model, const RuntimeConfig& config)
   if (config_.mc_samples == 0) {
     throw std::invalid_argument("Runtime: need at least one MC sample");
   }
+  if (config_.latency_window == 0) {
+    throw std::invalid_argument("Runtime: latency_window must be at least 1");
+  }
+  latency_ring_.resize(config_.latency_window, 0.0);
   const std::size_t workers = config_.workers;
   if (config.backend == Backend::kBehavioral) {
     behavioral_replicas_.reserve(workers);
@@ -69,14 +88,16 @@ Runtime::Runtime(const core::BuiltModel& model, const RuntimeConfig& config)
       census_energy_pj_ = ledger.total_energy(energy::default_energy_params());
     }
   } else {
-    // One mutable staging clone feeds every replica build; the TiledMlp
-    // constructor only reads the weights and keeps no reference, and
-    // rebuilding from the same (weights, config, seed) programs
-    // bit-identical hardware on every replica.
+    // One mutable staging clone feeds the first replica build (the TiledMlp
+    // constructor only reads the weights and keeps no reference); the rest
+    // are deep clones of its programmed state — same bits as a rebuild
+    // from (weights, config, seed), without re-running the programming
+    // pass per worker.
     core::BuiltModel staging = model.clone();
     tiled_replicas_.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      tiled_replicas_.emplace_back(staging.net, config.tile, config.tile_seed);
+    tiled_replicas_.emplace_back(staging.net, config.tile, config.tile_seed);
+    for (std::size_t w = 1; w < workers; ++w) {
+      tiled_replicas_.push_back(tiled_replicas_.front().clone());
     }
   }
   threads_.reserve(workers);
@@ -135,12 +156,31 @@ std::future<ServedPrediction> Runtime::submit_with_id(std::uint64_t id,
   request.seed = request_seed;
   request.enqueued = std::chrono::steady_clock::now();
   std::future<ServedPrediction> future = request.promise.get_future();
+  if (config_.max_queue_depth > 0 &&
+      batcher_.pending() >= config_.max_queue_depth) {
+    // Admission control: shed instead of queueing — the future resolves
+    // with the error immediately and the caller can retry/back off.
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.shed;
+    }
+    request.promise.set_exception(std::make_exception_ptr(std::runtime_error(
+        "Runtime: overloaded — queue depth at the admission-control bound of " +
+        std::to_string(config_.max_queue_depth))));
+    return future;
+  }
   batcher_.push(std::move(request));  // throws after shutdown()
   return future;
 }
 
 ServedPrediction Runtime::predict(const std::vector<float>& features) {
   return submit(features).get();
+}
+
+void Runtime::record_latency_locked(double total_us) {
+  latency_ring_[latency_next_] = total_us;
+  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+  latency_count_ = std::min(latency_count_ + 1, latency_ring_.size());
 }
 
 RuntimeStats Runtime::stats() const {
@@ -150,6 +190,14 @@ RuntimeStats Runtime::stats() const {
       out.batches == 0 ? 0.0
                        : static_cast<double>(out.requests) /
                              static_cast<double>(out.batches);
+  out.queue_depth = batcher_.pending();
+  if (latency_count_ > 0) {
+    std::vector<double> window(latency_ring_.begin(),
+                               latency_ring_.begin() +
+                                   static_cast<std::ptrdiff_t>(latency_count_));
+    out.window_p50_us = percentile(window, 0.50);
+    out.window_p99_us = percentile(std::move(window), 0.99);
+  }
   return out;
 }
 
@@ -163,8 +211,114 @@ void Runtime::worker_loop(std::size_t worker_index) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.batches;
     }
+    if (config_.backend == Backend::kBehavioral && config_.fused_batching) {
+      serve_batch_fused(worker_index, batch);
+      continue;
+    }
     for (Request& request : batch) {
       serve_one(worker_index, request, batch.size());
+    }
+  }
+}
+
+void Runtime::publish_prediction(Request& request,
+                                 const core::Prediction& prediction,
+                                 double queue_us, double compute_us,
+                                 double total_us, double energy_pj,
+                                 std::size_t batch_size,
+                                 std::size_t worker_index) {
+  ServedPrediction served;
+  served.request_id = request.id;
+  served.probs.assign(prediction.mean_probs.data().begin(),
+                      prediction.mean_probs.data().end());
+  served.predicted_class = prediction.predicted_class().front();
+  served.confidence = served.probs[served.predicted_class];
+  served.entropy = prediction.entropy.front();
+  served.mutual_info = prediction.mutual_info.front();
+  const SelectivePolicy::Decision decision =
+      policy_.decide(served.confidence, served.entropy, served.mutual_info);
+  served.accepted = decision.accepted;
+  served.policy_score = decision.score;
+  served.mc_samples = config_.mc_samples;
+  served.queue_latency_us = queue_us;
+  served.compute_latency_us = compute_us;
+  served.total_latency_us = total_us;
+  served.energy_pj = energy_pj;
+  served.batch_size = batch_size;
+  served.worker = worker_index;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+    if (served.accepted) {
+      ++stats_.accepted;
+    } else {
+      ++stats_.abstained;
+    }
+    stats_.total_energy_pj += served.energy_pj;
+    stats_.total_compute_us += served.compute_latency_us;
+    record_latency_locked(served.total_latency_us);
+  }
+  request.promise.set_value(std::move(served));
+}
+
+void Runtime::serve_batch_fused(std::size_t worker_index,
+                                std::vector<Request>& batch) {
+  const auto popped = std::chrono::steady_clock::now();
+  core::BuiltModel& replica = behavioral_replicas_[worker_index];
+  // Group by feature count, preserving arrival order inside each group: a
+  // wrong-sized submission then fails with its own shape error without
+  // poisoning well-formed companions in the same pop.
+  std::vector<std::pair<std::size_t, std::vector<std::size_t>>> groups;
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    const std::size_t f = batch[r].features.size();
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [f](const auto& g) { return g.first == f; });
+    if (it == groups.end()) {
+      groups.push_back({f, {r}});
+    } else {
+      it->second.push_back(r);
+    }
+  }
+
+  for (auto& [features, members] : groups) {
+    // Count of members whose promise is already satisfied: on an error we
+    // must fail only the remainder — set_exception on a fulfilled promise
+    // would itself throw and unwind the worker thread.
+    std::size_t fulfilled = 0;
+    try {
+      const std::size_t rows = members.size();
+      nn::Tensor inputs({rows, features});
+      std::vector<std::uint64_t> seeds(rows);
+      for (std::size_t b = 0; b < rows; ++b) {
+        const Request& request = batch[members[b]];
+        std::copy(request.features.begin(), request.features.end(),
+                  inputs.data().begin() +
+                      static_cast<std::ptrdiff_t>(b * features));
+        seeds[b] = request.seed;
+      }
+      const auto compute_begin = std::chrono::steady_clock::now();
+      const std::vector<core::Prediction> predictions =
+          core::predict_fused_batch(replica, inputs, seeds, config_.mc_samples);
+      const auto compute_end = std::chrono::steady_clock::now();
+      // The stacked forward computes all rows at once; each request is
+      // attributed its amortized share of the group's compute time.
+      const double compute_share =
+          to_us(compute_end - compute_begin) / static_cast<double>(rows);
+
+      for (std::size_t b = 0; b < rows; ++b) {
+        Request& request = batch[members[b]];
+        publish_prediction(request, predictions[b],
+                           to_us(popped - request.enqueued), compute_share,
+                           to_us(compute_end - request.enqueued),
+                           config_.account_energy ? census_energy_pj_ : 0.0,
+                           batch.size(), worker_index);
+        ++fulfilled;
+      }
+    } catch (...) {
+      const auto error = std::current_exception();
+      for (std::size_t b = fulfilled; b < members.size(); ++b) {
+        batch[members[b]].promise.set_exception(error);
+      }
     }
   }
 }
@@ -198,42 +352,16 @@ void Runtime::serve_one(std::size_t worker_index, Request& request,
     }
     const auto compute_end = std::chrono::steady_clock::now();
 
-    ServedPrediction served;
-    served.request_id = request.id;
-    served.probs.assign(prediction.mean_probs.data().begin(),
-                        prediction.mean_probs.data().end());
-    served.predicted_class = prediction.predicted_class().front();
-    served.confidence = served.probs[served.predicted_class];
-    served.entropy = prediction.entropy.front();
-    served.mutual_info = prediction.mutual_info.front();
-    const SelectivePolicy::Decision decision =
-        policy_.decide(served.confidence, served.entropy, served.mutual_info);
-    served.accepted = decision.accepted;
-    served.policy_score = decision.score;
-    served.mc_samples = config_.mc_samples;
-    served.queue_latency_us = to_us(popped - request.enqueued);
-    served.compute_latency_us = to_us(compute_end - compute_begin);
-    served.total_latency_us = to_us(compute_end - request.enqueued);
+    double energy_pj = 0.0;
     if (config_.account_energy) {
-      served.energy_pj = config_.backend == Backend::kBehavioral
-                             ? census_energy_pj_
-                             : ledger.total_energy(energy::default_energy_params());
+      energy_pj = config_.backend == Backend::kBehavioral
+                      ? census_energy_pj_
+                      : ledger.total_energy(energy::default_energy_params());
     }
-    served.batch_size = batch_size;
-    served.worker = worker_index;
-
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.requests;
-      if (served.accepted) {
-        ++stats_.accepted;
-      } else {
-        ++stats_.abstained;
-      }
-      stats_.total_energy_pj += served.energy_pj;
-      stats_.total_compute_us += served.compute_latency_us;
-    }
-    request.promise.set_value(std::move(served));
+    publish_prediction(request, prediction, to_us(popped - request.enqueued),
+                       to_us(compute_end - compute_begin),
+                       to_us(compute_end - request.enqueued), energy_pj,
+                       batch_size, worker_index);
   } catch (...) {
     request.promise.set_exception(std::current_exception());
   }

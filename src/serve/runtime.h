@@ -8,8 +8,14 @@
 // per-request latency + energy attribution.
 //
 //   client ──submit──▶ Batcher ──pop_batch──▶ worker[i] (replica clone)
-//                                                │  T seeded MC passes
+//                                                │  fused (batch x T)
+//                                                │  stacked MC forward
 //   future ◀──ServedPrediction── policy+ledger ◀─┘
+//
+// The behavioural backend serves each popped batch as ONE stacked
+// (requests x T passes) forward per layer (core::predict_fused_batch):
+// per-row stochastic streams keep every request's result the bit-exact
+// batch-of-one prediction while the matmuls run at full-batch efficiency.
 //
 // Two fidelity backends serve behind the same interface:
 //  * kBehavioral — the fast tensor path (core::BuiltModel clones, with any
@@ -74,17 +80,43 @@ struct RuntimeConfig {
   /// `census` (mc_passes is overridden with `mc_samples`).
   bool account_energy = true;
   core::CensusConfig census{};
+  /// Behavioural backend: serve each popped batch through the fused
+  /// (requests x T) stacked forward (core::predict_fused_batch) instead of
+  /// per-request Monte-Carlo loops. Per-row streams keep results bitwise
+  /// identical either way — provided every stochastic layer in the model
+  /// implements nn::Layer::reseed_rows (all built-in method layers do).
+  /// Set to false for A-B benchmarking or when serving a model containing
+  /// a custom stochastic layer that predates the per-row contract.
+  /// Ignored by the tiled backend.
+  bool fused_batching = true;
+  /// Admission control: when > 0 and the batcher already holds this many
+  /// pending requests, new submissions are shed — their future fails with
+  /// a std::runtime_error instead of joining the queue — so overload
+  /// degrades into fast rejections rather than unbounded tail latency.
+  /// 0 disables shedding. The depth check races benignly with the workers
+  /// (the bound is approximate by at most the in-flight pops).
+  std::size_t max_queue_depth = 0;
+  /// Completed requests covered by the rolling latency percentiles in
+  /// stats() (window_p50_us / window_p99_us).
+  std::size_t latency_window = 1024;
 };
 
-/// Aggregate counters since construction.
+/// Aggregate counters since construction, plus a rolling latency window.
 struct RuntimeStats {
   std::uint64_t requests = 0;   ///< requests completed (including abstained)
   std::uint64_t batches = 0;    ///< batches popped by workers
   std::uint64_t accepted = 0;
   std::uint64_t abstained = 0;
+  std::uint64_t shed = 0;       ///< submissions rejected by admission control
   double mean_batch_size = 0.0;
   double total_energy_pj = 0.0;
   double total_compute_us = 0.0;  ///< summed per-request MC compute time
+  std::size_t queue_depth = 0;    ///< pending requests at sampling time
+  /// Rolling end-to-end latency percentiles over the last
+  /// RuntimeConfig::latency_window completed requests (0 until the first
+  /// completion).
+  double window_p50_us = 0.0;
+  double window_p99_us = 0.0;
 };
 
 /// Replicated-worker serving runtime over one trained model.
@@ -129,6 +161,20 @@ class Runtime {
       std::uint64_t id, std::vector<float> features, std::uint64_t request_seed);
   void worker_loop(std::size_t worker_index);
   void serve_one(std::size_t worker_index, Request& request, std::size_t batch_size);
+  /// Behavioural fast path: serve a whole popped batch through one fused
+  /// (requests x T) stacked forward. Requests are grouped by feature count
+  /// so a malformed submission fails its own group, never its companions.
+  void serve_batch_fused(std::size_t worker_index, std::vector<Request>& batch);
+  /// Shared tail of both serving paths: assemble the ServedPrediction,
+  /// apply the policy, update stats + the latency window, and fulfill the
+  /// request's promise.
+  void publish_prediction(Request& request, const core::Prediction& prediction,
+                          double queue_us, double compute_us, double total_us,
+                          double energy_pj, std::size_t batch_size,
+                          std::size_t worker_index);
+  /// Record one completed request's end-to-end latency into the rolling
+  /// window (caller holds stats_mutex_).
+  void record_latency_locked(double total_us);
 
   RuntimeConfig config_;
   SelectivePolicy policy_;
@@ -144,6 +190,10 @@ class Runtime {
   bool stopped_ = false;
   mutable std::mutex stats_mutex_;
   RuntimeStats stats_;
+  /// Ring buffer of the last `latency_window` end-to-end latencies.
+  std::vector<double> latency_ring_;
+  std::size_t latency_next_ = 0;
+  std::size_t latency_count_ = 0;
 };
 
 }  // namespace neuspin::serve

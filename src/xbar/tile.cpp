@@ -77,6 +77,24 @@ DenseTile::DenseTile(const TileConfig& config, std::size_t in_features,
   }
 }
 
+DenseTile::DenseTile(const DenseTile& other)
+    : config_(other.config_),
+      in_(other.in_),
+      out_(other.out_),
+      scales_(other.scales_),
+      adc_(other.adc_),
+      sense_amp_(other.sense_amp_),
+      unit_current_(other.unit_current_) {
+  plus_.reserve(other.plus_.size());
+  minus_.reserve(other.minus_.size());
+  for (const auto& xb : other.plus_) {
+    plus_.push_back(std::make_unique<Crossbar>(*xb));
+  }
+  for (const auto& xb : other.minus_) {
+    minus_.push_back(std::make_unique<Crossbar>(*xb));
+  }
+}
+
 std::size_t DenseTile::cell_count() const {
   std::size_t n = 0;
   for (const auto& xb : plus_) {

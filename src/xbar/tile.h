@@ -58,6 +58,19 @@ class DenseTile {
             std::span<const float> binary_weights, std::span<const float> scales,
             std::uint64_t seed);
 
+  /// Deep copy preserving every programmed cell, variability draw and
+  /// defect — including defects injected after construction. Replicating
+  /// a tile for a worker thread through clone() gives the same bits as
+  /// rebuilding it from (weights, config, seed) without re-running the
+  /// whole programming pass.
+  DenseTile(const DenseTile& other);
+  DenseTile& operator=(const DenseTile&) = delete;
+  DenseTile(DenseTile&&) = default;
+  DenseTile& operator=(DenseTile&&) = default;
+  [[nodiscard]] std::unique_ptr<DenseTile> clone() const {
+    return std::make_unique<DenseTile>(*this);
+  }
+
   /// Hardware forward pass for one input vector. Values are interpreted as
   /// multiples of the read voltage (binary nets drive exactly +-1).
   /// Events are recorded into `ledger` when non-null.

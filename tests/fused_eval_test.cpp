@@ -1,0 +1,229 @@
+// Fused batched Monte-Carlo path: core::predict_fused_batch stacks the T
+// stochastic passes of B requests into one (B*T x F) forward per layer.
+// Its contract — pinned here as a property over arbitrary (method, B, T,
+// worker count) — is bitwise equality with the unfused per-request loop:
+// every row's Prediction must equal McPredictor(T, seed_b).predict(row_b)
+// on a reseeding replica, the serving runtime's batch-of-one reference.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "core/bayesian.h"
+#include "core/hw_model.h"
+#include "core/models.h"
+#include "core/thread_pool.h"
+#include "data/strokes.h"
+#include "nn/model.h"
+
+namespace {
+
+using namespace neuspin;
+
+nn::Dataset tiny_dataset(std::uint64_t seed, std::size_t per_class = 4) {
+  data::StrokeConfig sc;
+  sc.samples_per_class = per_class;
+  return data::standardize_per_sample(data::make_stroke_digits_flat(sc, seed));
+}
+
+core::BuiltModel build_model(core::Method method, bool hw_noise) {
+  core::ModelConfig mc;
+  mc.method = method;
+  mc.seed = 7;
+  mc.dropout_p = 0.2;
+  if (hw_noise) {
+    mc.hw.enabled = true;
+    mc.hw.quant_levels = 64;
+    mc.hw.noise_fraction = 0.02f;
+  }
+  core::BuiltModel model = core::make_binary_mlp(mc, 256, {32, 16}, 10);
+  if (method == core::Method::kSpinBayes) {
+    core::convert_to_spinbayes(model, mc.spinbayes);
+  }
+  return model;
+}
+
+/// Unfused reference: the per-request Monte-Carlo loop every request of
+/// the serving runtime used to run — optionally fanned over the pool with
+/// `workers` replicas to confirm thread count does not matter either.
+std::vector<core::Prediction> unfused_reference(const core::BuiltModel& model,
+                                                const nn::Tensor& inputs,
+                                                const std::vector<std::uint64_t>& seeds,
+                                                std::size_t mc_samples,
+                                                std::size_t workers) {
+  std::vector<core::BuiltModel> replicas;
+  std::vector<core::McPredictor::SeededForward> forwards;
+  replicas.reserve(workers);
+  forwards.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    replicas.push_back(model.clone());
+    replicas.back().enable_mc(true);
+  }
+  for (auto& replica : replicas) {
+    forwards.push_back([&replica](const nn::Tensor& x, std::uint64_t pass_seed) {
+      replica.reseed_stochastic(pass_seed);
+      return replica.stochastic_logits(x);
+    });
+  }
+  std::vector<core::Prediction> out;
+  out.reserve(inputs.dim(0));
+  for (std::size_t b = 0; b < inputs.dim(0); ++b) {
+    nn::Tensor row({1, inputs.dim(1)});
+    for (std::size_t f = 0; f < inputs.dim(1); ++f) {
+      row.at(0, f) = inputs.at(b, f);
+    }
+    const core::McPredictor predictor(mc_samples, seeds[b]);
+    out.push_back(workers <= 1
+                      ? predictor.predict(row, forwards.front())
+                      : predictor.predict(row, forwards, core::ThreadPool::shared()));
+  }
+  return out;
+}
+
+void expect_bitwise_equal(const core::Prediction& fused,
+                          const core::Prediction& reference, std::size_t row) {
+  ASSERT_EQ(fused.mean_probs.numel(), reference.mean_probs.numel());
+  for (std::size_t c = 0; c < fused.mean_probs.numel(); ++c) {
+    ASSERT_EQ(fused.mean_probs[c], reference.mean_probs[c])
+        << "row " << row << " class " << c;
+  }
+  ASSERT_EQ(fused.entropy.front(), reference.entropy.front()) << "row " << row;
+  ASSERT_EQ(fused.mutual_info.front(), reference.mutual_info.front()) << "row " << row;
+  ASSERT_EQ(fused.member_probs.size(), reference.member_probs.size());
+  for (std::size_t t = 0; t < fused.member_probs.size(); ++t) {
+    for (std::size_t c = 0; c < fused.member_probs[t].numel(); ++c) {
+      ASSERT_EQ(fused.member_probs[t][c], reference.member_probs[t][c])
+          << "row " << row << " pass " << t << " class " << c;
+    }
+  }
+}
+
+// ------------------------------------------------- the fused == unfused ----
+
+struct FusedCase {
+  core::Method method;
+  bool hw_noise;
+  std::size_t batch;
+  std::size_t mc_samples;
+  std::size_t workers;
+};
+
+class FusedMatchesUnfused : public ::testing::TestWithParam<FusedCase> {};
+
+TEST_P(FusedMatchesUnfused, BitwiseAcrossBatchSamplesAndWorkers) {
+  const FusedCase c = GetParam();
+  const core::BuiltModel model = build_model(c.method, c.hw_noise);
+  const nn::Dataset data = tiny_dataset(31);
+  ASSERT_GE(data.size(), c.batch);
+  const nn::Tensor inputs = data.batch(0, c.batch).first;
+
+  std::vector<std::uint64_t> seeds(c.batch);
+  for (std::size_t b = 0; b < c.batch; ++b) {
+    seeds[b] = nn::mix_seed(0xfeed, b);
+  }
+
+  core::BuiltModel fused_model = model.clone();
+  fused_model.enable_mc(true);
+  const std::vector<core::Prediction> fused =
+      core::predict_fused_batch(fused_model, inputs, seeds, c.mc_samples);
+  const std::vector<core::Prediction> reference =
+      unfused_reference(model, inputs, seeds, c.mc_samples, c.workers);
+
+  ASSERT_EQ(fused.size(), c.batch);
+  for (std::size_t b = 0; b < c.batch; ++b) {
+    expect_bitwise_equal(fused[b], reference[b], b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndShapes, FusedMatchesUnfused,
+    ::testing::Values(
+        FusedCase{core::Method::kSpinDrop, false, 1, 1, 1},
+        FusedCase{core::Method::kSpinDrop, false, 7, 5, 1},
+        FusedCase{core::Method::kSpinDrop, false, 16, 8, 4},
+        FusedCase{core::Method::kSpinDrop, true, 6, 4, 2},
+        FusedCase{core::Method::kSpatialSpinDrop, false, 5, 6, 3},
+        FusedCase{core::Method::kSpinScaleDrop, false, 9, 4, 2},
+        FusedCase{core::Method::kSpinScaleDrop, true, 4, 3, 1},
+        FusedCase{core::Method::kAffineDropout, false, 8, 5, 2},
+        FusedCase{core::Method::kSubsetVi, false, 6, 7, 3},
+        FusedCase{core::Method::kSpinBayes, false, 10, 4, 2}));
+
+// A fused batch must also be insensitive to its companions: serving the
+// same row inside different stacks may never change its prediction.
+TEST(FusedBatch, RowResultsAreCompositionInvariant) {
+  const core::BuiltModel model = build_model(core::Method::kSpinDrop, false);
+  const nn::Dataset data = tiny_dataset(33);
+  const nn::Tensor inputs = data.batch(0, 12).first;
+  std::vector<std::uint64_t> seeds(12);
+  for (std::size_t b = 0; b < 12; ++b) {
+    seeds[b] = nn::mix_seed(0xabc, b);
+  }
+
+  core::BuiltModel all_model = model.clone();
+  all_model.enable_mc(true);
+  const auto all = core::predict_fused_batch(all_model, inputs, seeds, 5);
+
+  // Same rows, sliced into two unequal stacks.
+  for (const auto& [begin, end] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {0, 5}, {5, 12}}) {
+    const nn::Tensor part = data.batch(begin, end).first;
+    std::vector<std::uint64_t> part_seeds(seeds.begin() + begin, seeds.begin() + end);
+    core::BuiltModel part_model = model.clone();
+    part_model.enable_mc(true);
+    const auto sliced =
+        core::predict_fused_batch(part_model, part, part_seeds, 5);
+    for (std::size_t b = begin; b < end; ++b) {
+      expect_bitwise_equal(sliced[b - begin], all[b], b);
+    }
+  }
+}
+
+TEST(FusedBatch, RejectsBadArguments) {
+  core::BuiltModel model = build_model(core::Method::kSpinDrop, false);
+  model.enable_mc(true);
+  const nn::Dataset data = tiny_dataset(34, 1);
+  const nn::Tensor inputs = data.batch(0, 2).first;
+  const std::vector<std::uint64_t> seeds{1, 2};
+  EXPECT_THROW((void)core::predict_fused_batch(model, inputs, seeds, 0),
+               std::invalid_argument);
+  const std::vector<std::uint64_t> short_seeds{1};
+  EXPECT_THROW((void)core::predict_fused_batch(model, inputs, short_seeds, 3),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------ tile cloning ----
+
+TEST(TiledClone, CloneServesIdenticalPredictions) {
+  core::ModelConfig mc;
+  mc.method = core::Method::kSpinDrop;
+  mc.seed = 7;
+  core::BuiltModel model = core::make_binary_mlp(mc, 256, {16}, 10);
+  const nn::Dataset data = tiny_dataset(35, 1);
+  const nn::Tensor inputs = data.batch(0, 3).first;
+
+  xbar::TileConfig tile;
+  tile.read_noise_sigma = 0.01;  // exercise the stochastic electrical path
+  core::BuiltModel staging = model.clone();
+  core::TiledMlp original(staging.net, tile, 42);
+  // Mutate post-construction state too: injected defects must survive the
+  // copy (a rebuild from the seed would lose them).
+  device::DefectRates rates;
+  rates.stuck_at_p = 0.01;
+  original.inject_defects(rates, 5);
+  core::TiledMlp copy = original.clone();
+
+  for (std::size_t pass = 0; pass < 3; ++pass) {
+    original.reseed(100 + pass);
+    copy.reseed(100 + pass);
+    const nn::Tensor a = original.forward_spindrop(inputs, 0.2, nullptr);
+    const nn::Tensor b = copy.forward_spindrop(inputs, 0.2, nullptr);
+    ASSERT_EQ(a.numel(), b.numel());
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "pass " << pass << " element " << i;
+    }
+  }
+}
+
+}  // namespace

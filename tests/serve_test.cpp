@@ -7,6 +7,7 @@
 // every request exactly once.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <future>
 #include <set>
@@ -270,6 +271,145 @@ TEST(Runtime, InvariantToWorkerCountAndBatching) {
     EXPECT_EQ(served_a[i].predicted_class, served_b[i].predicted_class);
     EXPECT_EQ(served_a[i].accepted, served_b[i].accepted);
   }
+}
+
+// The same requests through deliberately different batch compositions
+// (singletons, odd-sized partial batches, one big stack) and with the
+// fused path disabled: every configuration must serve bitwise identical
+// predictions.
+TEST(Runtime, InvariantToMixedBatchCompositionAndFusion) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(28);
+  constexpr std::size_t kRequests = 15;
+
+  serve::RuntimeConfig base;
+  base.workers = 1;
+  base.mc_samples = 4;
+  base.seed = 4242;
+
+  std::vector<serve::RuntimeConfig> configs;
+  {
+    serve::RuntimeConfig c = base;  // degenerate: one request per batch
+    c.batcher.max_batch = 1;
+    c.batcher.max_linger = 0us;
+    configs.push_back(c);
+  }
+  {
+    serve::RuntimeConfig c = base;  // odd partial batches: 15 = 4x3 + 3
+    c.batcher.max_batch = 4;
+    c.batcher.max_linger = 1ms;
+    c.workers = 2;
+    configs.push_back(c);
+  }
+  {
+    serve::RuntimeConfig c = base;  // one big stack
+    c.batcher.max_batch = 32;
+    c.batcher.max_linger = 5ms;
+    configs.push_back(c);
+  }
+  {
+    serve::RuntimeConfig c = base;  // per-request loop (fusion off)
+    c.fused_batching = false;
+    c.batcher.max_batch = 8;
+    c.batcher.max_linger = 1ms;
+    configs.push_back(c);
+  }
+
+  std::vector<std::vector<serve::ServedPrediction>> runs;
+  for (const auto& config : configs) {
+    serve::Runtime runtime(model, config);
+    runs.push_back(serve_all(runtime, data, kRequests));
+  }
+  for (std::size_t v = 1; v < runs.size(); ++v) {
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      ASSERT_EQ(runs[v][i].probs, runs[0][i].probs)
+          << "variant " << v << " request " << i;
+      ASSERT_EQ(runs[v][i].entropy, runs[0][i].entropy);
+      ASSERT_EQ(runs[v][i].mutual_info, runs[0][i].mutual_info);
+    }
+  }
+}
+
+// A malformed submission sharing a fused batch with well-formed requests
+// must fail alone: its group throws, the companions' group computes.
+TEST(Runtime, MalformedRequestFailsWithoutPoisoningItsBatch) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(29);
+  serve::RuntimeConfig config;
+  config.workers = 1;
+  config.mc_samples = 2;
+  config.batcher.max_batch = 4;
+  config.batcher.max_linger = 50ms;  // hold the batch open until all arrive
+
+  serve::Runtime runtime(model, config);
+  auto good0 = runtime.submit(sample_row(data, 0));
+  auto bad = runtime.submit(std::vector<float>(7, 0.5f));  // wrong width
+  auto good1 = runtime.submit(sample_row(data, 1));
+  auto good2 = runtime.submit(sample_row(data, 2));
+
+  EXPECT_THROW((void)bad.get(), std::invalid_argument);
+  EXPECT_EQ(good0.get().probs.size(), 10u);
+  EXPECT_EQ(good1.get().probs.size(), 10u);
+  EXPECT_EQ(good2.get().probs.size(), 10u);
+}
+
+// ------------------------------------------------------- observability
+
+TEST(Runtime, AdmissionControlShedsAboveQueueBound) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(30);
+  serve::RuntimeConfig config;
+  config.workers = 1;
+  config.mc_samples = 2;
+  config.max_queue_depth = 2;
+  // A huge linger keeps queued requests pending so submissions pile up
+  // behind the bound deterministically.
+  config.batcher.max_batch = 64;
+  config.batcher.max_linger = 10s;
+
+  serve::Runtime runtime(model, config);
+  std::vector<std::future<serve::ServedPrediction>> futures;
+  for (std::size_t i = 0; i < 6; ++i) {
+    futures.push_back(runtime.submit(sample_row(data, i)));
+  }
+  // The first max_queue_depth submissions queue; everything beyond them is
+  // shed with an immediate error (workers are parked on the linger).
+  // Shutdown drains the queued ones so the harvest below cannot block on
+  // the 10s linger.
+  runtime.shutdown();
+  std::size_t shed = 0;
+  for (auto& f : futures) {
+    try {
+      (void)f.get();
+    } catch (const std::runtime_error&) {
+      ++shed;
+    }
+  }
+  EXPECT_GE(shed, 4u);
+  EXPECT_EQ(runtime.stats().shed, shed);
+}
+
+TEST(Runtime, RollingLatencyWindowReportsPercentiles) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(31);
+  serve::RuntimeConfig config;
+  config.workers = 2;
+  config.mc_samples = 2;
+  config.latency_window = 8;  // smaller than the request count: must roll
+  serve::Runtime runtime(model, config);
+  const auto served = serve_all(runtime, data, 12);
+
+  const serve::RuntimeStats stats = runtime.stats();
+  EXPECT_GT(stats.window_p50_us, 0.0);
+  EXPECT_GE(stats.window_p99_us, stats.window_p50_us);
+  // The window only ever holds latencies that were actually observed.
+  double max_seen = 0.0;
+  for (const auto& p : served) {
+    max_seen = std::max(max_seen, p.total_latency_us);
+  }
+  EXPECT_LE(stats.window_p99_us, max_seen);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.shed, 0u);
 }
 
 TEST(Runtime, ShutdownDrainsEveryRequestExactlyOnce) {

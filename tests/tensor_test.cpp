@@ -1,6 +1,8 @@
 // Unit tests for the tensor substrate.
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "nn/tensor.h"
 
 namespace neuspin::nn {
@@ -121,6 +123,101 @@ TEST(Matmul, IncompatibleShapesThrow) {
   Tensor b({4, 2});
   EXPECT_THROW(matmul(a, b), std::invalid_argument);
 }
+
+// ------------------------------------------- blocked-kernel equivalence ----
+
+/// Reference kernel: the plain ascending-k triple loop the blocked kernels
+/// must reproduce (ascending-k accumulation is the determinism contract).
+Tensor reference_matmul(const Tensor& a, const Tensor& b) {
+  Tensor c({a.dim(0), b.dim(1)});
+  for (std::size_t i = 0; i < a.dim(0); ++i) {
+    for (std::size_t p = 0; p < a.dim(1); ++p) {
+      for (std::size_t j = 0; j < b.dim(1); ++j) {
+        c.at(i, j) += a.at(i, p) * b.at(p, j);
+      }
+    }
+  }
+  return c;
+}
+
+// Shapes chosen to land inside, exactly on, and across the kernels' k- and
+// j-block boundaries (32 and 256).
+class BlockedKernels
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {
+};
+
+TEST_P(BlockedKernels, MatmulMatchesReferenceBitwise) {
+  const auto [m, k, n] = GetParam();
+  std::mt19937_64 engine(11);
+  const Tensor a = Tensor::randn({m, k}, 1.0f, engine);
+  const Tensor b = Tensor::randn({k, n}, 1.0f, engine);
+  const Tensor c = matmul(a, b);
+  const Tensor ref = reference_matmul(a, b);
+  for (std::size_t i = 0; i < c.numel(); ++i) {
+    ASSERT_EQ(c[i], ref[i]) << "element " << i;
+  }
+}
+
+TEST_P(BlockedKernels, TransposedVariantsMatchReference) {
+  const auto [m, k, n] = GetParam();
+  std::mt19937_64 engine(13);
+  const Tensor a = Tensor::randn({m, k}, 1.0f, engine);
+  const Tensor b = Tensor::randn({k, n}, 1.0f, engine);
+  const Tensor ref = reference_matmul(a, b);
+
+  Tensor bt({n, k});
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t j = 0; j < n; ++j) {
+      bt.at(j, p) = b.at(p, j);
+    }
+  }
+  const Tensor c1 = matmul_transposed(a, bt);
+  // The 8-lane dot kernel reassociates deterministically; compare with a
+  // tolerance scaled to the reduction length.
+  const float tol = 1e-5f * static_cast<float>(k);
+  for (std::size_t i = 0; i < ref.numel(); ++i) {
+    ASSERT_NEAR(c1[i], ref[i], tol) << "element " << i;
+  }
+
+  Tensor at({k, m});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      at.at(p, i) = a.at(i, p);
+    }
+  }
+  const Tensor c2 = matmul_a_transposed(at, b);
+  for (std::size_t i = 0; i < ref.numel(); ++i) {
+    ASSERT_EQ(c2[i], ref[i]) << "element " << i;
+  }
+}
+
+// Row independence: row i of a batched product must equal the product of
+// row i alone, bit for bit, whatever the batch size. This is the property
+// the fused Monte-Carlo path (T passes x B requests stacked into one
+// forward) is built on.
+TEST_P(BlockedKernels, MatmulRowsAreBatchSizeInvariant) {
+  const auto [m, k, n] = GetParam();
+  std::mt19937_64 engine(17);
+  const Tensor a = Tensor::randn({m, k}, 1.0f, engine);
+  const Tensor b = Tensor::randn({k, n}, 1.0f, engine);
+  const Tensor full = matmul(a, b);
+  for (std::size_t i = 0; i < m; ++i) {
+    Tensor row({1, k});
+    for (std::size_t p = 0; p < k; ++p) {
+      row.at(0, p) = a.at(i, p);
+    }
+    const Tensor alone = matmul(row, b);
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(full.at(i, j), alone.at(0, j)) << "row " << i << " col " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BlockBoundaryShapes, BlockedKernels,
+    ::testing::Values(std::make_tuple(1, 7, 5), std::make_tuple(3, 32, 16),
+                      std::make_tuple(8, 33, 64), std::make_tuple(17, 100, 10),
+                      std::make_tuple(5, 256, 300), std::make_tuple(64, 96, 257)));
 
 TEST(Softmax, RowsSumToOne) {
   Tensor logits({2, 4}, std::vector<float>{1, 2, 3, 4, -1, 0, 1, 100});

@@ -1,19 +1,27 @@
 // Kernel-layer bench: blocked GEMM GFLOP/s vs. the seed's naive triple
 // loop across the shapes the reproduction actually runs (single-request
-// passes, fused T x B stacks, backward products), plus end-to-end fused
-// vs. unfused Monte-Carlo throughput on the serving model.
+// passes, fused T x B stacks, backward products), direct vs. im2col
+// convolution on the small-CNN layer shapes, plus end-to-end fused vs.
+// unfused Monte-Carlo throughput on the serving model.
 //
 // Plain main (like bench_table1): runnable without google-benchmark.
 //
-//   ./build/bench/bench_kernels
+//   ./build/bench/bench_kernels [--smoke]
+//
+// --smoke runs one iteration per shape — a fast CI leg that catches
+// kernel-path build/runtime regressions without timing anything useful.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <span>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/bayesian.h"
 #include "core/models.h"
 #include "data/strokes.h"
+#include "nn/binarize.h"
+#include "nn/layers.h"
 #include "nn/model.h"
 #include "nn/tensor.h"
 
@@ -21,6 +29,9 @@ namespace {
 
 using namespace neuspin;
 using Clock = std::chrono::steady_clock;
+
+/// --smoke: single iteration per shape, no repeat calibration.
+bool g_smoke = false;
 
 /// The seed repository's matmul: i-p-j triple loop through bounds-checked
 /// at() accessors, no blocking. Kept verbatim as the bench baseline.
@@ -69,6 +80,9 @@ double best_seconds(const Fn& fn, std::size_t repeats) {
   const auto t0 = Clock::now();
   fn();
   const double once = std::chrono::duration<double>(Clock::now() - t0).count();
+  if (g_smoke) {
+    return once > 0.0 ? once : 1e-9;
+  }
   const std::size_t inner =
       once > 0.0 ? static_cast<std::size_t>(2e-3 / once) + 1 : 1;
   double best = 1e100;
@@ -133,6 +147,70 @@ void bench_gemm() {
   }
 }
 
+struct ConvShape {
+  const char* label;
+  std::size_t batch, in_ch, out_ch, kernel, padding, h, w;
+};
+
+/// Direct per-element loop vs. im2col + blocked GEMM on the paper's
+/// small-CNN layer geometries (core::make_binary_cnn), for both the
+/// full-precision and the binary convolution. Outputs are bitwise
+/// identical between the two algorithms (pinned by layers_test); only the
+/// throughput differs.
+void bench_conv() {
+  const std::vector<ConvShape> shapes = {
+      {"conv1  16x1x16x16->8", 16, 1, 8, 3, 1, 16, 16},
+      {"conv2  16x8x8x8->16", 16, 8, 16, 3, 1, 8, 8},
+      {"conv1 128x1x16x16->8", 128, 1, 8, 3, 1, 16, 16},
+      {"conv2 128x8x8x8->16", 128, 8, 16, 3, 1, 8, 8},
+  };
+  std::mt19937_64 engine(2);
+
+  std::printf("\nConv2d forward: direct loop vs. im2col + blocked GEMM\n");
+  std::printf("%-22s %12s %12s %9s\n", "shape", "direct GF/s", "im2col GF/s",
+              "speedup");
+  for (const ConvShape& s : shapes) {
+    nn::Conv2d direct(s.in_ch, s.out_ch, s.kernel, s.padding, engine);
+    direct.set_algo(nn::Conv2d::Algo::kDirect);
+    std::mt19937_64 engine2(7);
+    nn::Conv2d lowered(s.in_ch, s.out_ch, s.kernel, s.padding, engine2);
+    const nn::Tensor x =
+        nn::Tensor::randn({s.batch, s.in_ch, s.h, s.w}, 1.0f, engine);
+    const std::size_t oh = s.h + 2 * s.padding - s.kernel + 1;
+    const std::size_t ow = s.w + 2 * s.padding - s.kernel + 1;
+    const double flops = 2.0 * static_cast<double>(s.batch * s.out_ch * oh * ow *
+                                                   s.in_ch * s.kernel * s.kernel);
+    const double t_direct =
+        best_seconds([&] { (void)direct.forward(x, false); }, 5);
+    const double t_lowered =
+        best_seconds([&] { (void)lowered.forward(x, false); }, 5);
+    std::printf("%-22s %12.2f %12.2f %8.2fx\n", s.label, flops / t_direct * 1e-9,
+                flops / t_lowered * 1e-9, t_direct / t_lowered);
+  }
+
+  std::printf("\nBinaryConv2d forward: direct loop vs. im2col + blocked GEMM\n");
+  std::printf("%-22s %12s %12s %9s\n", "shape", "direct GF/s", "im2col GF/s",
+              "speedup");
+  for (const ConvShape& s : shapes) {
+    nn::BinaryConv2d direct(s.in_ch, s.out_ch, s.kernel, s.padding, engine);
+    direct.set_algo(nn::Conv2d::Algo::kDirect);
+    std::mt19937_64 engine2(7);
+    nn::BinaryConv2d lowered(s.in_ch, s.out_ch, s.kernel, s.padding, engine2);
+    nn::Tensor x = nn::Tensor::randn({s.batch, s.in_ch, s.h, s.w}, 1.0f, engine);
+    x = nn::sign_of(x);  // the binary layers see sign activations
+    const std::size_t oh = s.h + 2 * s.padding - s.kernel + 1;
+    const std::size_t ow = s.w + 2 * s.padding - s.kernel + 1;
+    const double flops = 2.0 * static_cast<double>(s.batch * s.out_ch * oh * ow *
+                                                   s.in_ch * s.kernel * s.kernel);
+    const double t_direct =
+        best_seconds([&] { (void)direct.forward(x, false); }, 5);
+    const double t_lowered =
+        best_seconds([&] { (void)lowered.forward(x, false); }, 5);
+    std::printf("%-22s %12.2f %12.2f %8.2fx\n", s.label, flops / t_direct * 1e-9,
+                flops / t_lowered * 1e-9, t_direct / t_lowered);
+  }
+}
+
 void bench_fused_mc() {
   data::StrokeConfig sc;
   sc.samples_per_class = 4;
@@ -186,14 +264,51 @@ void bench_fused_mc() {
     std::printf("%4zu %4zu %14.0f %14.0f %8.2fx\n", batch, samples,
                 bd / t_unfused, bd / t_fused, t_unfused / t_fused);
   }
+
+  // Pool-partitioned fused stacks: team of N clones splitting one large
+  // (B*T x F) stacked forward over the shared pool. On a single-core host
+  // this measures the partition overhead (results stay bitwise equal); on
+  // multi-core hosts throughput scales with the team.
+  std::printf("\nPool-partitioned fused forward (B=32, T=20, team splits the\n"
+              "640-row stack; bitwise identical for any team size)\n");
+  std::printf("%6s %14s\n", "team", "req/s");
+  const std::size_t batch = 32;
+  const std::size_t samples = 20;
+  const nn::Tensor inputs = data.batch(0, batch).first;
+  std::vector<std::uint64_t> seeds(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    seeds[b] = nn::mix_seed(0xbe4c5, b);
+  }
+  for (const std::size_t team_size : {1, 2, 4}) {
+    std::vector<core::BuiltModel> team;
+    for (std::size_t w = 0; w < team_size; ++w) {
+      team.push_back(model.clone());
+      team.back().enable_mc(true);
+    }
+    const double t = best_seconds(
+        [&] {
+          (void)core::predict_fused_batch(std::span<core::BuiltModel>(team),
+                                          inputs, seeds, samples);
+        },
+        3);
+    std::printf("%6zu %14.0f\n", team_size, static_cast<double>(batch) / t);
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+    }
+  }
   bench::banner("bench_kernels",
-                "blocked GEMM GFLOP/s and fused-vs-unfused MC throughput");
+                g_smoke ? "smoke mode: one iteration per shape"
+                        : "blocked GEMM GFLOP/s, conv direct-vs-im2col and "
+                          "fused MC throughput");
   bench_gemm();
+  bench_conv();
   bench_fused_mc();
   return 0;
 }

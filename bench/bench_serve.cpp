@@ -1,19 +1,33 @@
 // Serving-runtime throughput/latency bench: sustained requests/sec and
-// p50/p99 end-to-end latency vs. worker count, for both fidelity backends.
+// p50/p99 end-to-end latency vs. worker count, for both fidelity backends,
+// plus an open-loop Poisson arrival sweep that exposes the latency knee.
 //
 // Plain main (like bench_table1): runnable without google-benchmark.
 //
-//   ./build/bench/bench_serve
+//   ./build/bench/bench_serve [--smoke]
 //
 // The behavioural backend is the production path and must show throughput
 // scaling with workers (the ISSUE-2 acceptance criterion); the tiled
 // electrical backend is ~3 orders of magnitude slower per pass and is
 // measured at a smaller request count.
+//
+// Closed loop vs. open loop: the closed loop keeps a fixed in-flight
+// window, so offered load self-throttles to capacity and latencies stay
+// flat — it measures throughput. The open loop submits on a seeded
+// Poisson schedule regardless of completions, the way independent clients
+// actually arrive; as the offered rate approaches capacity the queue (and
+// p99) grows without bound — the knee the rolling latency windows and
+// admission control exist for.
+//
+// --smoke shrinks every sweep to a few requests: a CI-speed run that only
+// checks the bench still drives the runtime end to end.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <deque>
 #include <future>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -25,6 +39,8 @@
 namespace {
 
 using namespace neuspin;
+
+bool g_smoke = false;
 
 double percentile(std::vector<double> sorted_values, double q) {
   if (sorted_values.empty()) {
@@ -94,14 +110,101 @@ RunResult run_load(const core::BuiltModel& model, serve::RuntimeConfig config,
   return result;
 }
 
-void sweep_backend(const core::BuiltModel& model, const nn::Dataset& data,
-                   serve::Backend backend, std::size_t mc_samples,
-                   std::size_t requests,
-                   const std::vector<std::size_t>& worker_counts) {
-  std::printf("\n%s backend: T=%zu MC passes, %zu requests\n",
+struct OpenLoopResult {
+  double offered_per_sec = 0.0;
+  double achieved_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t shed = 0;
+};
+
+/// Open-loop run: submissions follow a seeded Poisson process of rate
+/// `rate_per_sec` — exponential inter-arrival gaps, submitted on schedule
+/// whether or not earlier requests completed. Shed submissions (admission
+/// control) count separately; latencies cover served requests only.
+OpenLoopResult run_open_loop(const core::BuiltModel& model,
+                             serve::RuntimeConfig config, const nn::Dataset& data,
+                             std::size_t requests, double rate_per_sec,
+                             std::uint64_t seed) {
+  serve::Runtime runtime(model, config);
+  std::vector<std::vector<float>> rows;
+  rows.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const nn::Tensor x = data.batch(i, i + 1).first;
+    rows.emplace_back(x.data().begin(), x.data().end());
+  }
+
+  std::mt19937_64 engine(seed);
+  std::exponential_distribution<double> gap(rate_per_sec);
+  std::vector<std::future<serve::ServedPrediction>> futures;
+  futures.reserve(requests);
+  const auto begin = std::chrono::steady_clock::now();
+  auto next_arrival = begin;
+  for (std::size_t i = 0; i < requests; ++i) {
+    std::this_thread::sleep_until(next_arrival);
+    futures.push_back(runtime.submit(rows[i % rows.size()]));
+    next_arrival += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(gap(engine)));
+  }
+
+  OpenLoopResult result;
+  std::vector<double> latencies;
+  latencies.reserve(requests);
+  for (auto& f : futures) {
+    try {
+      latencies.push_back(f.get().total_latency_us);
+    } catch (const serve::OverloadError&) {
+      ++result.shed;
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(end - begin).count();
+  result.offered_per_sec = rate_per_sec;
+  result.achieved_per_sec = static_cast<double>(latencies.size()) / seconds;
+  result.p50_us = percentile(latencies, 0.50);
+  result.p99_us = percentile(std::move(latencies), 0.99);
+  return result;
+}
+
+/// Sweep offered Poisson rates around the measured closed-loop capacity:
+/// below the knee latency sits at the batching linger; past it the queue
+/// (open loop: no back-pressure) grows for the whole run and p99 explodes
+/// — with admission control shedding instead once the bound is hit.
+void sweep_open_loop(const core::BuiltModel& model, const nn::Dataset& data,
+                     double capacity_per_sec, std::size_t requests) {
+  std::printf(
+      "\nopen loop (Poisson arrivals, seeded): offered rate vs. latency knee\n"
+      "(closed-loop capacity ~%.0f req/s; max_queue_depth=256)\n",
+      capacity_per_sec);
+  std::printf("%10s %12s %12s %12s %12s %8s\n", "load", "offered/s", "served/s",
+              "p50 (us)", "p99 (us)", "shed");
+  for (const double fraction : {0.3, 0.6, 0.8, 0.95, 1.2}) {
+    serve::RuntimeConfig config;
+    config.workers = 1;
+    config.mc_samples = 8;
+    config.batcher.max_batch = 16;
+    config.batcher.max_linger = std::chrono::microseconds(100);
+    config.max_queue_depth = 256;  // shed instead of queueing unboundedly
+    const OpenLoopResult r =
+        run_open_loop(model, config, data, requests,
+                      std::max(1.0, fraction * capacity_per_sec), /*seed=*/17);
+    std::printf("%9.0f%% %12.0f %12.0f %12.0f %12.0f %8llu\n", fraction * 100.0,
+                r.offered_per_sec, r.achieved_per_sec, r.p50_us, r.p99_us,
+                static_cast<unsigned long long>(r.shed));
+  }
+}
+
+/// Returns the measured req/s at the first worker count (the open-loop
+/// sweep's capacity anchor).
+double sweep_backend(const core::BuiltModel& model, const nn::Dataset& data,
+                     serve::Backend backend, std::size_t mc_samples,
+                     std::size_t requests,
+                     const std::vector<std::size_t>& worker_counts) {
+  std::printf("\n%s backend (closed loop): T=%zu MC passes, %zu requests\n",
               serve::backend_name(backend).c_str(), mc_samples, requests);
   std::printf("%8s %12s %12s %12s %11s %14s\n", "workers", "req/s", "p50 (us)",
               "p99 (us)", "avg batch", "energy/req uJ");
+  double first_rate = 0.0;
   for (std::size_t workers : worker_counts) {
     serve::RuntimeConfig config;
     config.backend = backend;
@@ -111,17 +214,28 @@ void sweep_backend(const core::BuiltModel& model, const nn::Dataset& data,
     config.batcher.max_batch = 16;
     config.batcher.max_linger = std::chrono::microseconds(100);
     const RunResult r = run_load(model, config, data, requests);
+    if (first_rate == 0.0) {
+      first_rate = r.requests_per_sec;
+    }
     std::printf("%8zu %12.0f %12.0f %12.0f %11.1f %14.3f\n", workers,
                 r.requests_per_sec, r.p50_us, r.p99_us, r.mean_batch,
                 r.energy_uj_per_req);
   }
+  return first_rate;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+    }
+  }
   bench::banner("bench_serve",
-                "serving runtime: sustained req/s and tail latency vs. workers");
+                g_smoke ? "smoke mode: minimal request counts"
+                        : "serving runtime: closed-loop req/s vs. workers and "
+                          "open-loop Poisson latency knee");
 
   data::StrokeConfig sc;
   sc.samples_per_class = 10;  // 100 distinct request payloads
@@ -143,9 +257,16 @@ int main() {
   for (std::size_t w = 2; w <= hw; w *= 2) {
     worker_counts.push_back(w);
   }
+  if (g_smoke) {
+    worker_counts = {1};
+  }
+  const std::size_t behavioral_requests = g_smoke ? 32 : 1024;
 
-  sweep_backend(model, data, serve::Backend::kBehavioral, /*mc_samples=*/8,
-                /*requests=*/1024, worker_counts);
+  const double capacity = sweep_backend(model, data, serve::Backend::kBehavioral,
+                                        /*mc_samples=*/8, behavioral_requests,
+                                        worker_counts);
+
+  sweep_open_loop(model, data, capacity, g_smoke ? 32 : 2048);
 
   std::vector<std::size_t> tiled_counts;
   for (std::size_t w : worker_counts) {
@@ -154,9 +275,10 @@ int main() {
     }
   }
   sweep_backend(model, data, serve::Backend::kTiled, /*mc_samples=*/4,
-                /*requests=*/48, tiled_counts);
+                g_smoke ? 8 : 48, tiled_counts);
 
   std::printf("\nNote: predictions are bitwise identical across every row of\n"
-              "these sweeps — worker count and batching change only latency.\n");
+              "these sweeps — worker count, batching and arrival process\n"
+              "change only latency.\n");
   return 0;
 }

@@ -112,6 +112,17 @@ std::vector<Prediction> predict_fused_batch(BuiltModel& model,
                                             const nn::Tensor& inputs,
                                             std::span<const std::uint64_t> request_seeds,
                                             std::size_t mc_samples) {
+  return predict_fused_batch(std::span<BuiltModel>(&model, 1), inputs,
+                             request_seeds, mc_samples);
+}
+
+std::vector<Prediction> predict_fused_batch(std::span<BuiltModel> team,
+                                            const nn::Tensor& inputs,
+                                            std::span<const std::uint64_t> request_seeds,
+                                            std::size_t mc_samples, ThreadPool* pool) {
+  if (team.empty()) {
+    throw std::invalid_argument("predict_fused_batch: need at least one model");
+  }
   if (inputs.rank() != 2) {
     throw std::invalid_argument("predict_fused_batch: expected (batch x features)");
   }
@@ -127,8 +138,9 @@ std::vector<Prediction> predict_fused_batch(BuiltModel& model,
 
   // Stack request rows x passes: stacked row b*T + t is a copy of input
   // row b running pass t's stream.
-  nn::Tensor stacked({batch * mc_samples, features});
-  std::vector<std::uint64_t> row_seeds(batch * mc_samples);
+  const std::size_t rows = batch * mc_samples;
+  nn::Tensor stacked({rows, features});
+  std::vector<std::uint64_t> row_seeds(rows);
   for (std::size_t b = 0; b < batch; ++b) {
     const auto src = inputs.data().subspan(b * features, features);
     for (std::size_t t = 0; t < mc_samples; ++t) {
@@ -139,9 +151,61 @@ std::vector<Prediction> predict_fused_batch(BuiltModel& model,
     }
   }
 
-  const nn::Tensor logits = model.stochastic_logits_rows(stacked, row_seeds);
-  if (logits.rank() != 2 || logits.dim(0) != batch * mc_samples) {
-    throw std::invalid_argument("predict_fused_batch: model returned bad logits shape");
+  const std::size_t chunks = std::min(team.size(), rows);
+  nn::Tensor logits;
+  if (chunks <= 1) {
+    logits = team[0].stochastic_logits_rows(stacked, row_seeds);
+    if (logits.rank() != 2 || logits.dim(0) != rows) {
+      throw std::invalid_argument(
+          "predict_fused_batch: model returned bad logits shape");
+    }
+  } else {
+    // Contiguous row partitions, one per team member. Each chunk's rows
+    // carry the same per-row stream seeds they had in the full stack, and
+    // the forward is row-independent, so the chunked logits are bit for
+    // bit the single-model stacked forward's — the partition only decides
+    // which clone computes which rows.
+    std::vector<nn::Tensor> chunk_logits(chunks);
+    (pool != nullptr ? *pool : ThreadPool::shared())
+        .run_chunked(rows, chunks,
+                     [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                       const std::size_t span = end - begin;
+                       nn::Tensor part({span, features});
+                       std::copy(
+                           stacked.data().begin() +
+                               static_cast<std::ptrdiff_t>(begin * features),
+                           stacked.data().begin() +
+                               static_cast<std::ptrdiff_t>(end * features),
+                           part.data().begin());
+                       chunk_logits[chunk] = team[chunk].stochastic_logits_rows(
+                           part, std::span<const std::uint64_t>(row_seeds)
+                                     .subspan(begin, span));
+                     });
+    std::size_t classes = 0;
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const nn::Tensor& part = chunk_logits[c];
+      if (part.empty() && part.rank() == 0) {
+        continue;  // ragged ceil partition: trailing chunks may be empty
+      }
+      if (part.rank() != 2 || (classes != 0 && part.dim(1) != classes) ||
+          row + part.dim(0) > rows) {
+        throw std::invalid_argument(
+            "predict_fused_batch: model returned bad logits shape");
+      }
+      if (classes == 0) {
+        classes = part.dim(1);
+        logits = nn::Tensor({rows, classes});
+      }
+      std::copy(part.data().begin(), part.data().end(),
+                logits.data().begin() +
+                    static_cast<std::ptrdiff_t>(row * classes));
+      row += part.dim(0);
+    }
+    if (row != rows) {
+      throw std::invalid_argument(
+          "predict_fused_batch: model returned bad logits shape");
+    }
   }
   const nn::Tensor probs = nn::softmax_rows(logits);
   const std::size_t classes = probs.dim(1);

@@ -108,4 +108,24 @@ class McPredictor {
     BuiltModel& model, const nn::Tensor& inputs,
     std::span<const std::uint64_t> request_seeds, std::size_t mc_samples);
 
+/// Pool-parallel fused prediction: the stacked (B*T) rows are split into
+/// one deterministic contiguous chunk per team member and chunk c runs its
+/// share of the stacked forward on team[c] concurrently over `pool`
+/// (ThreadPool::shared() when null). Because every stacked row computes
+/// under its own splitmix64 stream (Layer::reseed_rows) and the blocked
+/// kernels make each output row a function of its input row alone, the
+/// partition is invisible in the results: any team size — including a team
+/// of one, which runs inline without touching the pool — produces the
+/// single-thread bits. This is how very large T*B stacks scale *within*
+/// one serving worker instead of grinding a whole (B*T x F) forward on a
+/// single core.
+///
+/// Team members must be clones of one model (same weights and state) with
+/// MC mode enabled; each member's RNG state is consumed independently.
+/// The team must not be shared with another concurrent call.
+[[nodiscard]] std::vector<Prediction> predict_fused_batch(
+    std::span<BuiltModel> team, const nn::Tensor& inputs,
+    std::span<const std::uint64_t> request_seeds, std::size_t mc_samples,
+    ThreadPool* pool = nullptr);
+
 }  // namespace neuspin::core

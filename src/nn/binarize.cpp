@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/conv_lowering.h"
+
 namespace neuspin::nn {
 
 Tensor sign_of(const Tensor& t) {
@@ -120,19 +122,50 @@ Tensor BinaryConv2d::channel_scales() const {
   return alpha;
 }
 
-Tensor BinaryConv2d::forward(const Tensor& input, bool /*training*/) {
+Tensor BinaryConv2d::forward(const Tensor& input, bool training) {
   if (input.rank() != 4 || input.dim(1) != in_ch_) {
     throw std::invalid_argument("BinaryConv2d: expected NCHW with C=" +
                                 std::to_string(in_ch_) + ", got " +
                                 shape_to_string(input.shape()));
   }
-  input_cache_ = input;
+  // Backward state only for training-mode forwards (see Conv2d::forward).
+  input_shape_ = training ? input.shape() : Shape{};
+  input_cache_ = Tensor();
+  cols_cache_ = Tensor();
   binary_cache_ = sign_of(latent_weight_);
   alpha_cache_ = channel_scales();
 
   const std::size_t n = input.dim(0);
   const std::size_t h = input.dim(2);
   const std::size_t w = input.dim(3);
+
+  if (algo_ == Conv2d::Algo::kIm2col) {
+    // Lowered path (see Conv2d): im2col + blocked GEMM, then the XNOR-Net
+    // epilogue out = acc * alpha + bias applied per output channel —
+    // the direct loop's exact expression and term order.
+    Tensor cols = im2col(input, kernel_, padding_);
+    const std::size_t oh = h + 2 * padding_ - kernel_ + 1;
+    const std::size_t ow = w + 2 * padding_ - kernel_ + 1;
+    const Tensor wmat = detail::kernel_as_gemm_operand(binary_cache_);
+    Tensor out_rows = matmul(cols, wmat);
+    const std::size_t rows = out_rows.dim(0);
+    const float* alpha = alpha_cache_.data().data();
+    const float* bias = bias_.data().data();
+    float* row = out_rows.data().data();
+    for (std::size_t p = 0; p < rows; ++p, row += out_ch_) {
+      for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+        row[oc] = row[oc] * alpha[oc] + bias[oc];
+      }
+    }
+    if (training) {
+      cols_cache_ = std::move(cols);
+    }
+    return detail::rows_to_nchw(out_rows, n, out_ch_, oh, ow);
+  }
+
+  if (training) {
+    input_cache_ = input;
+  }
   const std::size_t oh = h + 2 * padding_ - kernel_ + 1;
   const std::size_t ow = w + 2 * padding_ - kernel_ + 1;
   Tensor out({n, out_ch_, oh, ow});
@@ -170,13 +203,51 @@ Tensor BinaryConv2d::forward(const Tensor& input, bool /*training*/) {
 }
 
 Tensor BinaryConv2d::backward(const Tensor& grad_output) {
-  const Tensor& input = input_cache_;
-  const std::size_t n = input.dim(0);
-  const std::size_t h = input.dim(2);
-  const std::size_t w = input.dim(3);
+  if (input_shape_.size() != 4) {
+    throw std::logic_error(
+        "BinaryConv2d: backward before a training-mode forward");
+  }
+  const std::size_t n = input_shape_[0];
+  const std::size_t h = input_shape_[2];
+  const std::size_t w = input_shape_[3];
   const std::size_t oh = grad_output.dim(2);
   const std::size_t ow = grad_output.dim(3);
-  Tensor grad_input(input.shape());
+  const std::size_t taps = in_ch_ * kernel_ * kernel_;
+
+  if (algo_ == Conv2d::Algo::kIm2col) {
+    // Alpha folds into the gradient rows once (the standard XNOR-Net
+    // constant-alpha simplification); the rest is the Conv2d lowered
+    // backward against the binarized kernels, with the STE window applied
+    // when folding the weight gradient back into the latent layout.
+    const Tensor g_rows = detail::nchw_to_rows(grad_output);
+    const std::size_t rows = g_rows.dim(0);
+    Tensor g_scaled = g_rows;
+    for (std::size_t p = 0; p < rows; ++p) {
+      for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+        const float g = g_rows.at(p, oc);
+        if (g != 0.0f) {  // mirror the direct loop's zero-gradient skip
+          bias_grad_[oc] += g;
+        }
+        g_scaled.at(p, oc) = g * alpha_cache_[oc];
+      }
+    }
+    const Tensor wg = matmul_a_transposed(cols_cache_, g_scaled);  // (taps x oc)
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      for (std::size_t r = 0; r < taps; ++r) {
+        if (std::abs(latent_weight_[oc * taps + r]) <= 1.0f) {
+          weight_grad_[oc * taps + r] += wg.at(r, oc);
+        }
+      }
+    }
+    const Tensor dcols = matmul(g_scaled, binary_cache_.reshaped({out_ch_, taps}));
+    return col2im(dcols, input_shape_, kernel_, padding_);
+  }
+
+  const Tensor& input = input_cache_;
+  Tensor grad_input(input_shape_);
+  // Pass 1: bias and (STE-windowed) weight gradients; per (oc, tap) the
+  // terms arrive in ascending (b, y, x) order, matching the lowered
+  // matmul_a_transposed row order.
   for (std::size_t b = 0; b < n; ++b) {
     for (std::size_t oc = 0; oc < out_ch_; ++oc) {
       const float alpha = alpha_cache_[oc];
@@ -201,13 +272,46 @@ Tensor BinaryConv2d::backward(const Tensor& grad_output) {
                 if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) {
                   continue;
                 }
-                const auto uy = static_cast<std::size_t>(iy);
-                const auto ux = static_cast<std::size_t>(ix);
                 if (std::abs(latent_weight_.at4(oc, ic, ky, kx)) <= 1.0f) {
-                  weight_grad_.at4(oc, ic, ky, kx) += g * input.at4(b, ic, uy, ux);
+                  weight_grad_.at4(oc, ic, ky, kx) +=
+                      g * input.at4(b, ic, static_cast<std::size_t>(iy),
+                                    static_cast<std::size_t>(ix));
                 }
-                grad_input.at4(b, ic, uy, ux) += g * binary_cache_.at4(oc, ic, ky, kx);
               }
+            }
+          }
+        }
+      }
+    }
+  }
+  // Pass 2: input gradient gathered with output channels innermost —
+  // term for term the lowered matmul(g*alpha, sign(W)) + col2im.
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t x = 0; x < ow; ++x) {
+        for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(y + ky) - static_cast<std::ptrdiff_t>(padding_);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+              continue;
+            }
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(x + kx) - static_cast<std::ptrdiff_t>(padding_);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) {
+                continue;
+              }
+              float acc = 0.0f;
+              for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+                const float g = grad_output.at4(b, oc, y, x) * alpha_cache_[oc];
+                if (g == 0.0f) {
+                  continue;
+                }
+                acc += g * binary_cache_.at4(oc, ic, ky, kx);
+              }
+              grad_input.at4(b, ic, static_cast<std::size_t>(iy),
+                             static_cast<std::size_t>(ix)) += acc;
             }
           }
         }

@@ -65,6 +65,10 @@ class BinaryDense : public Layer {
 
 /// Binary convolution: kernels binarized to sign(W) with one alpha per
 /// output channel. NCHW, stride 1, symmetric zero padding.
+///
+/// Like Conv2d it computes through either the direct per-element loop or
+/// the im2col lowering onto the blocked GEMM kernels (the default); the
+/// two algorithms are bitwise equal — see the Conv2d class comment.
 class BinaryConv2d : public Layer {
  public:
   BinaryConv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
@@ -87,19 +91,24 @@ class BinaryConv2d : public Layer {
   /// One alpha per output channel: mean |W| over (in_ch x k x k).
   [[nodiscard]] Tensor channel_scales() const;
   [[nodiscard]] Tensor& latent_weight() { return latent_weight_; }
+  void set_algo(Conv2d::Algo algo) { algo_ = algo; }
+  [[nodiscard]] Conv2d::Algo algo() const { return algo_; }
 
  private:
   std::size_t in_ch_;
   std::size_t out_ch_;
   std::size_t kernel_;
   std::size_t padding_;
+  Conv2d::Algo algo_ = Conv2d::Algo::kIm2col;
   Tensor latent_weight_;  ///< (out_ch, in_ch, k, k)
   Tensor bias_;
   Tensor weight_grad_;
   Tensor bias_grad_;
-  Tensor input_cache_;
+  Tensor input_cache_;  ///< NCHW input (direct backward)
+  Tensor cols_cache_;   ///< im2col patch matrix (im2col backward)
   Tensor binary_cache_;
   Tensor alpha_cache_;
+  Shape input_shape_;
 };
 
 }  // namespace neuspin::nn

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/conv_lowering.h"
+
 namespace neuspin::nn {
 
 // ---------------------------------------------------------------- Dense ----
@@ -72,15 +74,47 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t ke
   }
 }
 
-Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+Tensor Conv2d::forward(const Tensor& input, bool training) {
   if (input.rank() != 4 || input.dim(1) != in_ch_) {
     throw std::invalid_argument("Conv2d: expected NCHW with C=" + std::to_string(in_ch_) +
                                 ", got " + shape_to_string(input.shape()));
   }
-  input_cache_ = input;
+  // Backward state is kept for training-mode forwards only: inference
+  // (the serving hot path) would otherwise keep an O(N*OH*OW x C*k*k)
+  // patch matrix resident per model clone between requests.
+  input_shape_ = training ? input.shape() : Shape{};
+  input_cache_ = Tensor();
+  cols_cache_ = Tensor();
   const std::size_t n = input.dim(0);
   const std::size_t h = input.dim(2);
   const std::size_t w = input.dim(3);
+
+  if (algo_ == Algo::kIm2col) {
+    // Lowered path: one patch-matrix build, then the cache-blocked GEMM.
+    // C is seeded with the bias so every output element accumulates
+    // (bias, then ascending (ic, ky, kx) taps) — the direct loop's exact
+    // term order; the kernel's zero-skip drops only the padding taps the
+    // direct loop's bounds checks never visited.
+    Tensor cols = im2col(input, kernel_, padding_);
+    const std::size_t oh = h + 2 * padding_ - kernel_ + 1;
+    const std::size_t ow = w + 2 * padding_ - kernel_ + 1;
+    const Tensor wmat = detail::kernel_as_gemm_operand(weight_);
+    Tensor out_rows({n * oh * ow, out_ch_});
+    const auto bias = bias_.data();
+    for (std::size_t p = 0; p < n * oh * ow; ++p) {
+      std::copy(bias.begin(), bias.end(),
+                out_rows.data().begin() + static_cast<std::ptrdiff_t>(p * out_ch_));
+    }
+    matmul_accumulate(cols, wmat, out_rows);
+    if (training) {
+      cols_cache_ = std::move(cols);  // the patch matrix replaces the input cache
+    }
+    return detail::rows_to_nchw(out_rows, n, out_ch_, oh, ow);
+  }
+
+  if (training) {
+    input_cache_ = input;
+  }
   const std::size_t oh = h + 2 * padding_ - kernel_ + 1;
   const std::size_t ow = w + 2 * padding_ - kernel_ + 1;
   Tensor out({n, out_ch_, oh, ow});
@@ -117,13 +151,43 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
-  const Tensor& input = input_cache_;
-  const std::size_t n = input.dim(0);
-  const std::size_t h = input.dim(2);
-  const std::size_t w = input.dim(3);
+  if (input_shape_.size() != 4) {
+    throw std::logic_error("Conv2d: backward before a training-mode forward");
+  }
+  const std::size_t n = input_shape_[0];
+  const std::size_t h = input_shape_[2];
+  const std::size_t w = input_shape_[3];
   const std::size_t oh = grad_output.dim(2);
   const std::size_t ow = grad_output.dim(3);
-  Tensor grad_input(input.shape());
+  const std::size_t taps = in_ch_ * kernel_ * kernel_;
+
+  if (algo_ == Algo::kIm2col) {
+    // dW = cols^T g ; db = column sums of g ; dx = col2im(g W).
+    const Tensor g_rows = detail::nchw_to_rows(grad_output);
+    const std::size_t rows = g_rows.dim(0);
+    for (std::size_t p = 0; p < rows; ++p) {
+      for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+        const float g = g_rows.at(p, oc);
+        if (g != 0.0f) {  // mirror the direct loop's zero-gradient skip
+          bias_grad_[oc] += g;
+        }
+      }
+    }
+    const Tensor wg = matmul_a_transposed(cols_cache_, g_rows);  // (taps x oc)
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      for (std::size_t r = 0; r < taps; ++r) {
+        weight_grad_[oc * taps + r] += wg.at(r, oc);
+      }
+    }
+    const Tensor dcols = matmul(g_rows, weight_.reshaped({out_ch_, taps}));
+    return col2im(dcols, input_shape_, kernel_, padding_);
+  }
+
+  const Tensor& input = input_cache_;
+  Tensor grad_input(input_shape_);
+  // Pass 1: bias and weight gradients. Per (oc, tap) the terms arrive in
+  // ascending (b, y, x) order — the row order of the lowered
+  // matmul_a_transposed, so both algorithms accumulate identically.
   for (std::size_t b = 0; b < n; ++b) {
     for (std::size_t oc = 0; oc < out_ch_; ++oc) {
       for (std::size_t y = 0; y < oh; ++y) {
@@ -146,11 +210,45 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
                 if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) {
                   continue;
                 }
-                const auto uy = static_cast<std::size_t>(iy);
-                const auto ux = static_cast<std::size_t>(ix);
-                weight_grad_.at4(oc, ic, ky, kx) += g * input.at4(b, ic, uy, ux);
-                grad_input.at4(b, ic, uy, ux) += g * weight_.at4(oc, ic, ky, kx);
+                weight_grad_.at4(oc, ic, ky, kx) +=
+                    g * input.at4(b, ic, static_cast<std::size_t>(iy),
+                                  static_cast<std::size_t>(ix));
               }
+            }
+          }
+        }
+      }
+    }
+  }
+  // Pass 2: input gradient, gathered per patch tap with the output
+  // channels reduced innermost — term for term the lowered matmul(g, W)
+  // followed by col2im, so the two algorithms stay bitwise equal.
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t x = 0; x < ow; ++x) {
+        for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(y + ky) - static_cast<std::ptrdiff_t>(padding_);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+              continue;
+            }
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(x + kx) - static_cast<std::ptrdiff_t>(padding_);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) {
+                continue;
+              }
+              float acc = 0.0f;
+              for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+                const float g = grad_output.at4(b, oc, y, x);
+                if (g == 0.0f) {
+                  continue;
+                }
+                acc += g * weight_.at4(oc, ic, ky, kx);
+              }
+              grad_input.at4(b, ic, static_cast<std::size_t>(iy),
+                             static_cast<std::size_t>(ix)) += acc;
             }
           }
         }

@@ -110,8 +110,28 @@ class Dense : public Layer {
 };
 
 /// 2D convolution over NCHW tensors, stride 1, symmetric zero padding.
+///
+/// Two algorithms compute the same convolution, selected by set_algo():
+///
+///  * kIm2col (default): lower the input into its patch matrix (im2col)
+///    and run forward, weight-grad and input-grad as calls into the
+///    cache-blocked GEMM kernels (matmul_accumulate / matmul_a_transposed
+///    / matmul + col2im). This inherits the kernels' throughput and their
+///    fixed ascending-k accumulation order, so results stay row-
+///    independent and batch-invariant like the dense layers.
+///  * kDirect: the original per-element loop nest, kept as the bitwise
+///    reference — both paths accumulate every output/gradient element's
+///    terms in the same ascending (c, ky, kx) / ascending output-channel
+///    order, so they agree bit for bit (pinned by layers_test).
+///
+/// Backward state (the input / patch-matrix cache) is kept only for
+/// training-mode forwards; backward() after an inference-mode forward —
+/// or before any forward — throws instead of computing from stale state.
 class Conv2d : public Layer {
  public:
+  /// Convolution algorithm; see the class comment.
+  enum class Algo : std::uint8_t { kDirect, kIm2col };
+
   Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
          std::size_t padding, std::mt19937_64& engine);
 
@@ -127,17 +147,22 @@ class Conv2d : public Layer {
   [[nodiscard]] std::size_t out_channels() const { return out_ch_; }
   [[nodiscard]] std::size_t kernel() const { return kernel_; }
   [[nodiscard]] Tensor& weight() { return weight_; }
+  void set_algo(Algo algo) { algo_ = algo; }
+  [[nodiscard]] Algo algo() const { return algo_; }
 
  private:
   std::size_t in_ch_;
   std::size_t out_ch_;
   std::size_t kernel_;
   std::size_t padding_;
+  Algo algo_ = Algo::kIm2col;
   Tensor weight_;  ///< (out_ch, in_ch, k, k)
   Tensor bias_;    ///< (out_ch)
   Tensor weight_grad_;
   Tensor bias_grad_;
-  Tensor input_cache_;
+  Tensor input_cache_;  ///< NCHW input (direct backward; training only)
+  Tensor cols_cache_;   ///< im2col patch matrix (im2col backward; training only)
+  Shape input_shape_;   ///< empty unless the last forward was training-mode
 };
 
 /// 2x2 max pooling with stride 2 over NCHW tensors.

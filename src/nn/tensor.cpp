@@ -263,6 +263,145 @@ Tensor matmul_transposed(const Tensor& a, const Tensor& b) {
   return c;
 }
 
+void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& c) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
+    throw std::invalid_argument("matmul_accumulate: incompatible shapes " +
+                                shape_to_string(a.shape()) + " x " +
+                                shape_to_string(b.shape()));
+  }
+  if (c.rank() != 2 || c.dim(0) != a.dim(0) || c.dim(1) != b.dim(1)) {
+    throw std::invalid_argument("matmul_accumulate: accumulator shape " +
+                                shape_to_string(c.shape()) + " does not match " +
+                                shape_to_string(a.shape()) + " x " +
+                                shape_to_string(b.shape()));
+  }
+  blocked_gemm_accumulate<false>(a.data().data(), b.data().data(), c.data().data(),
+                                 a.dim(0), a.dim(1), b.dim(1));
+}
+
+namespace {
+
+/// Shared geometry of the im2col pair: output spatial extent of a square
+/// stride-1 kernel with symmetric zero padding.
+std::size_t conv_output_extent(std::size_t in, std::size_t kernel,
+                               std::size_t padding, const char* who) {
+  if (in + 2 * padding < kernel) {
+    throw std::invalid_argument(std::string(who) + ": kernel " +
+                                std::to_string(kernel) + " exceeds padded extent " +
+                                std::to_string(in + 2 * padding));
+  }
+  return in + 2 * padding - kernel + 1;
+}
+
+}  // namespace
+
+Tensor im2col(const Tensor& input, std::size_t kernel, std::size_t padding) {
+  if (input.rank() != 4 || kernel == 0) {
+    throw std::invalid_argument("im2col: expected NCHW input and kernel >= 1, got " +
+                                shape_to_string(input.shape()) + " kernel " +
+                                std::to_string(kernel));
+  }
+  const std::size_t n = input.dim(0);
+  const std::size_t c = input.dim(1);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  const std::size_t oh = conv_output_extent(h, kernel, padding, "im2col");
+  const std::size_t ow = conv_output_extent(w, kernel, padding, "im2col");
+  const std::size_t taps = c * kernel * kernel;
+  Tensor cols({n * oh * ow, taps});
+  const float* src = input.data().data();
+  float* dst = cols.data().data();
+  // Per (channel, ky, kx) tap: the output columns whose input pixel is in
+  // bounds form one contiguous ox range reading one contiguous source
+  // line, so the hot loop is branch-free — a contiguous read scattered at
+  // stride `taps`. Padding taps are never written (cols zero-initializes),
+  // which is the packing cost that makes the lowered GEMM pay off even on
+  // the CNN's tiny 9-tap first layer.
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ic = 0; ic < c; ++ic) {
+      const float* plane = src + (b * c + ic) * h * w;
+      for (std::size_t ky = 0; ky < kernel; ++ky) {
+        for (std::size_t kx = 0; kx < kernel; ++kx) {
+          const std::size_t tap = (ic * kernel + ky) * kernel + kx;
+          // Valid ox: 0 <= ox + kx - padding < w.
+          const std::size_t ox_lo = padding > kx ? padding - kx : 0;
+          const std::size_t ox_hi =
+              std::min(ow, w + padding > kx ? w + padding - kx : 0);
+          if (ox_lo >= ox_hi) {
+            continue;
+          }
+          for (std::size_t oy = 0; oy < oh; ++oy) {
+            const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy + ky) -
+                                      static_cast<std::ptrdiff_t>(padding);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+              continue;
+            }
+            const float* line = plane + static_cast<std::size_t>(iy) * w +
+                                (ox_lo + kx - padding);
+            float* out = dst + ((b * oh + oy) * ow + ox_lo) * taps + tap;
+            for (std::size_t i = 0; i < ox_hi - ox_lo; ++i) {
+              out[i * taps] = line[i];
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const Shape& input_shape, std::size_t kernel,
+              std::size_t padding) {
+  if (input_shape.size() != 4 || kernel == 0) {
+    throw std::invalid_argument("col2im: expected an NCHW target shape, got " +
+                                shape_to_string(input_shape));
+  }
+  const std::size_t n = input_shape[0];
+  const std::size_t c = input_shape[1];
+  const std::size_t h = input_shape[2];
+  const std::size_t w = input_shape[3];
+  const std::size_t oh = conv_output_extent(h, kernel, padding, "col2im");
+  const std::size_t ow = conv_output_extent(w, kernel, padding, "col2im");
+  const std::size_t taps = c * kernel * kernel;
+  if (cols.rank() != 2 || cols.dim(0) != n * oh * ow || cols.dim(1) != taps) {
+    throw std::invalid_argument("col2im: patch matrix " +
+                                shape_to_string(cols.shape()) +
+                                " does not match target " +
+                                shape_to_string(input_shape));
+  }
+  Tensor grad(input_shape);
+  const float* src = cols.data().data();
+  float* dst = grad.data().data();
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const float* row = src + ((b * oh + oy) * ow + ox) * taps;
+        for (std::size_t ic = 0; ic < c; ++ic) {
+          float* plane = dst + (b * c + ic) * h * w;
+          for (std::size_t ky = 0; ky < kernel; ++ky) {
+            const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy + ky) -
+                                      static_cast<std::ptrdiff_t>(padding);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+              continue;
+            }
+            const float* tap = row + (ic * kernel + ky) * kernel;
+            float* line = plane + static_cast<std::size_t>(iy) * w;
+            for (std::size_t kx = 0; kx < kernel; ++kx) {
+              const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox + kx) -
+                                        static_cast<std::ptrdiff_t>(padding);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) {
+                continue;
+              }
+              line[static_cast<std::size_t>(ix)] += tap[kx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad;
+}
+
 Tensor matmul_a_transposed(const Tensor& a, const Tensor& b) {
   if (a.rank() != 2 || b.rank() != 2 || a.dim(0) != b.dim(0)) {
     throw std::invalid_argument("matmul_a_transposed: incompatible shapes " +

@@ -105,6 +105,34 @@ class Tensor {
 /// ascending-k accumulation contract as matmul.
 [[nodiscard]] Tensor matmul_a_transposed(const Tensor& a, const Tensor& b);
 
+/// C += A(mxk) * B(kxn): the blocked matmul kernel accumulating into an
+/// existing C instead of a fresh zero tensor. Every C element still
+/// receives its k-terms in ascending-k order on top of whatever C held, so
+/// a caller that pre-fills C with a bias gets bias-first accumulation —
+/// exactly the term order of a scalar loop that starts from the bias. The
+/// im2col convolution path seeds C with the per-channel bias this way.
+void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Lower an NCHW tensor into its im2col patch matrix for a square
+/// stride-1 convolution with symmetric zero padding: output row
+/// p = (n * OH + oy) * OW + ox holds the receptive field of output pixel
+/// (oy, ox) of sample n, flattened in (c, ky, kx) order — the same
+/// ascending order the direct convolution loop accumulates in, which is
+/// what keeps the lowered GEMM bitwise equal to the per-element loop.
+/// Out-of-bounds (padding) taps are exact zeros; the blocked kernels skip
+/// them, mirroring the direct loop's bounds checks. OH = H + 2*padding -
+/// kernel + 1 (and likewise OW) must be positive.
+[[nodiscard]] Tensor im2col(const Tensor& input, std::size_t kernel,
+                            std::size_t padding);
+
+/// Adjoint of im2col: scatter-add a patch-matrix gradient (shaped like the
+/// im2col output for `input_shape`) back onto the NCHW input gradient.
+/// Rows are consumed in ascending order and each row's taps in ascending
+/// (c, ky, kx) order — the fixed accumulation order that makes the im2col
+/// backward pass bitwise reproducible. Padding taps are discarded.
+[[nodiscard]] Tensor col2im(const Tensor& cols, const Shape& input_shape,
+                            std::size_t kernel, std::size_t padding);
+
 /// Row-wise softmax of a (batch x classes) tensor.
 [[nodiscard]] Tensor softmax_rows(const Tensor& logits);
 

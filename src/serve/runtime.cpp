@@ -43,6 +43,27 @@ std::string backend_name(Backend backend) {
   return "unknown";
 }
 
+std::string shed_reason_name(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kQueueFull:
+      return "queue_full";
+    case ShedReason::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+OverloadError::OverloadError(ShedReason reason, double retry_after_us,
+                             std::size_t queue_depth)
+    : std::runtime_error("Runtime: request shed (" + shed_reason_name(reason) +
+                         "), queue depth " + std::to_string(queue_depth) +
+                         ", retry after ~" +
+                         std::to_string(static_cast<long long>(retry_after_us)) +
+                         "us"),
+      reason_(reason),
+      retry_after_us_(retry_after_us),
+      queue_depth_(queue_depth) {}
+
 std::uint64_t Runtime::request_stream_seed(std::uint64_t base_seed,
                                            std::uint64_t request_index) {
   return nn::mix_seed(base_seed, request_index);
@@ -57,6 +78,7 @@ namespace {
 RuntimeConfig normalized(RuntimeConfig config) {
   config.workers = core::resolve_worker_count(config.workers);
   config.batcher.consumers = config.workers;
+  config.fused_workers = core::resolve_worker_count(config.fused_workers);
   return config;
 }
 
@@ -75,10 +97,20 @@ Runtime::Runtime(const core::BuiltModel& model, const RuntimeConfig& config)
   latency_ring_.resize(config_.latency_window, 0.0);
   const std::size_t workers = config_.workers;
   if (config.backend == Backend::kBehavioral) {
-    behavioral_replicas_.reserve(workers);
+    // One team per worker: member 0 serves unfused requests; the fused
+    // path splits its stacked forward across the whole team. Extra team
+    // members are only cloned when the fused path can use them.
+    const std::size_t team_size =
+        config_.fused_batching ? config_.fused_workers : 1;
+    behavioral_teams_.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
-      behavioral_replicas_.push_back(model.clone());
-      behavioral_replicas_.back().enable_mc(true);
+      std::vector<core::BuiltModel> team;
+      team.reserve(team_size);
+      for (std::size_t f = 0; f < team_size; ++f) {
+        team.push_back(model.clone());
+        team.back().enable_mc(true);
+      }
+      behavioral_teams_.push_back(std::move(team));
     }
     if (config.account_energy && !model.arch.layers.empty()) {
       core::CensusConfig census = config.census;
@@ -156,20 +188,36 @@ std::future<ServedPrediction> Runtime::submit_with_id(std::uint64_t id,
   request.seed = request_seed;
   request.enqueued = std::chrono::steady_clock::now();
   std::future<ServedPrediction> future = request.promise.get_future();
-  if (config_.max_queue_depth > 0 &&
-      batcher_.pending() >= config_.max_queue_depth) {
+  const std::size_t depth = batcher_.pending();
+  if (config_.max_queue_depth > 0 && depth >= config_.max_queue_depth) {
     // Admission control: shed instead of queueing — the future resolves
-    // with the error immediately and the caller can retry/back off.
+    // immediately with a machine-readable OverloadError (reason + a
+    // retry-after hint from the rolling latency window) and the caller
+    // can back off programmatically.
+    double retry_after_us = 0.0;
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.shed;
+      ++stats_.shed_queue_full;
+      retry_after_us = window_p50_locked();
     }
-    request.promise.set_exception(std::make_exception_ptr(std::runtime_error(
-        "Runtime: overloaded — queue depth at the admission-control bound of " +
-        std::to_string(config_.max_queue_depth))));
+    request.promise.set_exception(std::make_exception_ptr(
+        OverloadError(ShedReason::kQueueFull, retry_after_us, depth)));
     return future;
   }
-  batcher_.push(std::move(request));  // throws after shutdown()
+  try {
+    batcher_.push(std::move(request));  // rejects after shutdown()
+  } catch (const std::runtime_error&) {
+    // Post-shutdown submission: classify as a shed (reason kShutdown, no
+    // point retrying) and rethrow the typed error to the submitter. The
+    // batcher already failed the request's promise.
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.shed;
+      ++stats_.shed_shutdown;
+    }
+    throw OverloadError(ShedReason::kShutdown, 0.0, depth);
+  }
   return future;
 }
 
@@ -181,6 +229,16 @@ void Runtime::record_latency_locked(double total_us) {
   latency_ring_[latency_next_] = total_us;
   latency_next_ = (latency_next_ + 1) % latency_ring_.size();
   latency_count_ = std::min(latency_count_ + 1, latency_ring_.size());
+}
+
+double Runtime::window_p50_locked() const {
+  if (latency_count_ == 0) {
+    return 0.0;
+  }
+  std::vector<double> window(latency_ring_.begin(),
+                             latency_ring_.begin() +
+                                 static_cast<std::ptrdiff_t>(latency_count_));
+  return percentile(std::move(window), 0.50);
 }
 
 RuntimeStats Runtime::stats() const {
@@ -264,7 +322,7 @@ void Runtime::publish_prediction(Request& request,
 void Runtime::serve_batch_fused(std::size_t worker_index,
                                 std::vector<Request>& batch) {
   const auto popped = std::chrono::steady_clock::now();
-  core::BuiltModel& replica = behavioral_replicas_[worker_index];
+  std::vector<core::BuiltModel>& team = behavioral_teams_[worker_index];
   // Group by feature count, preserving arrival order inside each group: a
   // wrong-sized submission then fails with its own shape error without
   // poisoning well-formed companions in the same pop.
@@ -297,8 +355,10 @@ void Runtime::serve_batch_fused(std::size_t worker_index,
         seeds[b] = request.seed;
       }
       const auto compute_begin = std::chrono::steady_clock::now();
-      const std::vector<core::Prediction> predictions =
-          core::predict_fused_batch(replica, inputs, seeds, config_.mc_samples);
+      // The whole team splits the stacked (requests x T) forward over the
+      // shared pool; a team of one runs inline on this worker thread.
+      const std::vector<core::Prediction> predictions = core::predict_fused_batch(
+          std::span<core::BuiltModel>(team), inputs, seeds, config_.mc_samples);
       const auto compute_end = std::chrono::steady_clock::now();
       // The stacked forward computes all rows at once; each request is
       // attributed its amortized share of the group's compute time.
@@ -333,7 +393,7 @@ void Runtime::serve_one(std::size_t worker_index, Request& request,
     core::Prediction prediction;
     const auto compute_begin = std::chrono::steady_clock::now();
     if (config_.backend == Backend::kBehavioral) {
-      core::BuiltModel& replica = behavioral_replicas_[worker_index];
+      core::BuiltModel& replica = behavioral_teams_[worker_index].front();
       prediction = predictor.predict(
           input, core::McPredictor::SeededForward(
                      [&replica](const nn::Tensor& x, std::uint64_t pass_seed) {

@@ -59,6 +59,38 @@ enum class Backend : std::uint8_t {
 
 [[nodiscard]] std::string backend_name(Backend backend);
 
+/// Why a submission was rejected instead of queued.
+enum class ShedReason : std::uint8_t {
+  kQueueFull,  ///< admission control: queue depth at max_queue_depth
+  kShutdown,   ///< submitted after shutdown() — never retry
+};
+
+[[nodiscard]] std::string shed_reason_name(ShedReason reason);
+
+/// Machine-readable overload rejection: carried by the shed future (and
+/// thrown to post-shutdown submitters) so clients can back off
+/// programmatically instead of parsing an error string. Derives from
+/// std::runtime_error, so callers that only catch the old bare error keep
+/// working.
+class OverloadError : public std::runtime_error {
+ public:
+  OverloadError(ShedReason reason, double retry_after_us, std::size_t queue_depth);
+
+  [[nodiscard]] ShedReason reason() const { return reason_; }
+  /// Suggested back-off before retrying, microseconds: the rolling
+  /// window's p50 end-to-end latency at shed time — the runtime's best
+  /// estimate of when a queue slot frees (0 when no request has completed
+  /// yet, or when the reason is kShutdown and retrying is pointless).
+  [[nodiscard]] double retry_after_us() const { return retry_after_us_; }
+  /// Pending requests observed when the submission was shed.
+  [[nodiscard]] std::size_t queue_depth() const { return queue_depth_; }
+
+ private:
+  ShedReason reason_;
+  double retry_after_us_;
+  std::size_t queue_depth_;
+};
+
 struct RuntimeConfig {
   Backend backend = Backend::kBehavioral;
   /// Model workers (one replica clone each): 0 = one per hardware thread.
@@ -89,10 +121,21 @@ struct RuntimeConfig {
   /// a custom stochastic layer that predates the per-row contract.
   /// Ignored by the tiled backend.
   bool fused_batching = true;
+  /// Fused-path intra-batch parallelism: each popped batch's stacked
+  /// (requests x T) forward is split into this many deterministic
+  /// contiguous row partitions served concurrently on the shared
+  /// core::ThreadPool, each partition on its own replica clone (so a
+  /// single large request batch scales past one core even at workers=1).
+  /// 1 (the default) runs the stack inline on the worker; 0 means one
+  /// partition per hardware thread. Results are bitwise identical for any
+  /// value — the per-row streams make the partition invisible. Memory
+  /// cost: (fused_workers - 1) extra model clones per worker.
+  std::size_t fused_workers = 1;
   /// Admission control: when > 0 and the batcher already holds this many
   /// pending requests, new submissions are shed — their future fails with
-  /// a std::runtime_error instead of joining the queue — so overload
-  /// degrades into fast rejections rather than unbounded tail latency.
+  /// an OverloadError (machine-readable reason + retry-after hint)
+  /// instead of joining the queue — so overload degrades into fast,
+  /// actionable rejections rather than unbounded tail latency.
   /// 0 disables shedding. The depth check races benignly with the workers
   /// (the bound is approximate by at most the in-flight pops).
   std::size_t max_queue_depth = 0;
@@ -107,7 +150,9 @@ struct RuntimeStats {
   std::uint64_t batches = 0;    ///< batches popped by workers
   std::uint64_t accepted = 0;
   std::uint64_t abstained = 0;
-  std::uint64_t shed = 0;       ///< submissions rejected by admission control
+  std::uint64_t shed = 0;       ///< submissions rejected, any reason
+  std::uint64_t shed_queue_full = 0;  ///< rejected by admission control
+  std::uint64_t shed_shutdown = 0;    ///< rejected after shutdown()
   double mean_batch_size = 0.0;
   double total_energy_pj = 0.0;
   double total_compute_us = 0.0;  ///< summed per-request MC compute time
@@ -134,7 +179,7 @@ class Runtime {
   /// Enqueue one sample; the future resolves once a worker served it (or
   /// carries the exception that prevented that). Auto-seeded: submission
   /// index i gets stream seed mix_seed(config.seed, i). Throws
-  /// std::runtime_error after shutdown().
+  /// OverloadError (reason kShutdown) after shutdown().
   [[nodiscard]] std::future<ServedPrediction> submit(std::vector<float> features);
   /// Same, under a caller-chosen stream seed (replay / A-B testing).
   [[nodiscard]] std::future<ServedPrediction> submit(std::vector<float> features,
@@ -176,11 +221,16 @@ class Runtime {
   /// window (caller holds stats_mutex_).
   void record_latency_locked(double total_us);
 
+  /// Rolling-window p50 under stats_mutex_ (the shed retry-after hint).
+  [[nodiscard]] double window_p50_locked() const;
+
   RuntimeConfig config_;
   SelectivePolicy policy_;
   Batcher batcher_;
-  /// One replica per worker; exactly one of these is populated.
-  std::vector<core::BuiltModel> behavioral_replicas_;
+  /// One replica team per worker; exactly one of these is populated.
+  /// behavioral_teams_[w][0] serves worker w's unfused requests; the whole
+  /// team (config.fused_workers clones) splits the fused stacked forward.
+  std::vector<std::vector<core::BuiltModel>> behavioral_teams_;
   std::vector<core::TiledMlp> tiled_replicas_;
   /// Census-priced energy of one behavioural request (constant per config).
   double census_energy_pj_ = 0.0;

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <span>
 #include <tuple>
 #include <vector>
 
@@ -134,6 +135,22 @@ TEST_P(FusedMatchesUnfused, BitwiseAcrossBatchSamplesAndWorkers) {
   for (std::size_t b = 0; b < c.batch; ++b) {
     expect_bitwise_equal(fused[b], reference[b], b);
   }
+
+  // Pool-partitioned fused path: a team of c.workers clones splitting the
+  // stacked rows into contiguous partitions over the shared pool must
+  // reproduce the same bits — the partition is invisible in the results.
+  std::vector<core::BuiltModel> team;
+  team.reserve(c.workers);
+  for (std::size_t w = 0; w < c.workers; ++w) {
+    team.push_back(model.clone());
+    team.back().enable_mc(true);
+  }
+  const std::vector<core::Prediction> pooled = core::predict_fused_batch(
+      std::span<core::BuiltModel>(team), inputs, seeds, c.mc_samples);
+  ASSERT_EQ(pooled.size(), c.batch);
+  for (std::size_t b = 0; b < c.batch; ++b) {
+    expect_bitwise_equal(pooled[b], reference[b], b);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -180,7 +197,45 @@ TEST(FusedBatch, RowResultsAreCompositionInvariant) {
   }
 }
 
+// Oversized teams (more members than stacked rows) must cap their chunk
+// count instead of handing empty partitions to clones, and still match.
+TEST(FusedBatch, TeamLargerThanStackStillMatches) {
+  const core::BuiltModel model = build_model(core::Method::kSpinDrop, false);
+  const nn::Dataset data = tiny_dataset(36);
+  const std::size_t batch = 3;
+  const std::size_t mc_samples = 2;
+  const nn::Tensor inputs = data.batch(0, batch).first;
+  std::vector<std::uint64_t> seeds(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    seeds[b] = nn::mix_seed(0xbee, b);
+  }
+  const std::vector<core::Prediction> reference =
+      unfused_reference(model, inputs, seeds, mc_samples, 1);
+
+  // 16 members (more than the 6 stacked rows) and 4 members (a ragged
+  // ceil partition of 6: chunk sizes 2,2,2 and an empty tail chunk) both
+  // exercise the partition edge cases.
+  for (const std::size_t team_size : {16, 4}) {
+    std::vector<core::BuiltModel> team;
+    for (std::size_t w = 0; w < team_size; ++w) {
+      team.push_back(model.clone());
+      team.back().enable_mc(true);
+    }
+    const auto pooled = core::predict_fused_batch(std::span<core::BuiltModel>(team),
+                                                  inputs, seeds, mc_samples);
+    ASSERT_EQ(pooled.size(), batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      expect_bitwise_equal(pooled[b], reference[b], b);
+    }
+  }
+}
+
 TEST(FusedBatch, RejectsBadArguments) {
+  const std::vector<std::uint64_t> team_seeds{1, 2};
+  const nn::Tensor team_inputs({2, 4}, 1.0f);
+  EXPECT_THROW((void)core::predict_fused_batch(std::span<core::BuiltModel>{},
+                                               team_inputs, team_seeds, 3),
+               std::invalid_argument);
   core::BuiltModel model = build_model(core::Method::kSpinDrop, false);
   model.enable_mc(true);
   const nn::Dataset data = tiny_dataset(34, 1);

@@ -389,6 +389,92 @@ TEST(Runtime, AdmissionControlShedsAboveQueueBound) {
   EXPECT_EQ(runtime.stats().shed, shed);
 }
 
+TEST(Runtime, ShedResponsesCarryReasonAndRetryHint) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(36);
+  serve::RuntimeConfig config;
+  config.workers = 1;
+  config.mc_samples = 2;
+  config.max_queue_depth = 1;
+  config.batcher.max_batch = 64;
+  config.batcher.max_linger = 10s;  // park the worker so the queue fills
+
+  serve::Runtime runtime(model, config);
+  std::vector<std::future<serve::ServedPrediction>> futures;
+  for (std::size_t i = 0; i < 4; ++i) {
+    futures.push_back(runtime.submit(sample_row(data, i)));
+  }
+  runtime.shutdown();
+
+  std::size_t queue_full = 0;
+  for (auto& f : futures) {
+    try {
+      (void)f.get();
+    } catch (const serve::OverloadError& e) {
+      EXPECT_EQ(e.reason(), serve::ShedReason::kQueueFull);
+      EXPECT_GE(e.retry_after_us(), 0.0);  // no completions yet: hint is 0
+      EXPECT_GE(e.queue_depth(), config.max_queue_depth);
+      ++queue_full;
+    }
+  }
+  EXPECT_GE(queue_full, 2u);
+
+  const serve::RuntimeStats stats = runtime.stats();
+  EXPECT_EQ(stats.shed_queue_full, queue_full);
+  EXPECT_EQ(stats.shed, stats.shed_queue_full + stats.shed_shutdown);
+
+  // Post-shutdown submissions are typed sheds too (reason: shutdown, no
+  // retry hint — retrying is pointless) and are counted separately.
+  try {
+    (void)runtime.submit(sample_row(data, 0));
+    FAIL() << "submit after shutdown must throw";
+  } catch (const serve::OverloadError& e) {
+    EXPECT_EQ(e.reason(), serve::ShedReason::kShutdown);
+    EXPECT_EQ(e.retry_after_us(), 0.0);
+  }
+  EXPECT_EQ(runtime.stats().shed_shutdown, 1u);
+  EXPECT_EQ(runtime.stats().shed, queue_full + 1);
+}
+
+TEST(Runtime, FusedWorkerCountNeverChangesPredictions) {
+  // The pool-parallel fused path must be invisible: any fused_workers
+  // value serves bitwise-identical predictions for the same request seed.
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(37);
+  std::vector<std::vector<float>> baseline;
+  for (const std::size_t fused_workers : {1, 3}) {
+    serve::RuntimeConfig config;
+    config.workers = 1;
+    config.mc_samples = 4;
+    config.fused_workers = fused_workers;
+    config.batcher.max_batch = 8;
+    config.batcher.max_linger = 20ms;  // coalesce into real batches
+    serve::Runtime runtime(model, config);
+    std::vector<std::future<serve::ServedPrediction>> futures;
+    for (std::size_t i = 0; i < 12; ++i) {
+      futures.push_back(
+          runtime.submit(sample_row(data, i), nn::mix_seed(0xf00d, i)));
+    }
+    std::vector<std::vector<float>> probs;
+    for (auto& f : futures) {
+      probs.push_back(f.get().probs);
+    }
+    if (baseline.empty()) {
+      baseline = std::move(probs);
+      continue;
+    }
+    ASSERT_EQ(baseline.size(), probs.size());
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      ASSERT_EQ(baseline[i].size(), probs[i].size());
+      for (std::size_t j = 0; j < probs[i].size(); ++j) {
+        ASSERT_EQ(baseline[i][j], probs[i][j])
+            << "request " << i << " class " << j << " fused_workers "
+            << fused_workers;
+      }
+    }
+  }
+}
+
 TEST(Runtime, RollingLatencyWindowReportsPercentiles) {
   const core::BuiltModel model = tiny_model();
   const nn::Dataset data = tiny_dataset(31);

@@ -1,6 +1,7 @@
 // Unit tests for the tensor substrate.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <tuple>
 
 #include "nn/tensor.h"
@@ -218,6 +219,141 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_tuple(1, 7, 5), std::make_tuple(3, 32, 16),
                       std::make_tuple(8, 33, 64), std::make_tuple(17, 100, 10),
                       std::make_tuple(5, 256, 300), std::make_tuple(64, 96, 257)));
+
+// ----------------------------------------------------- im2col / col2im ----
+
+/// Reference patch extraction straight from the definition: one nested
+/// loop per output pixel, explicit bounds checks, zero for padding taps.
+Tensor reference_im2col(const Tensor& input, std::size_t kernel, std::size_t padding) {
+  const std::size_t n = input.dim(0);
+  const std::size_t c = input.dim(1);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  const std::size_t oh = h + 2 * padding - kernel + 1;
+  const std::size_t ow = w + 2 * padding - kernel + 1;
+  Tensor cols({n * oh * ow, c * kernel * kernel});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const std::size_t p = (b * oh + oy) * ow + ox;
+        for (std::size_t ic = 0; ic < c; ++ic) {
+          for (std::size_t ky = 0; ky < kernel; ++ky) {
+            for (std::size_t kx = 0; kx < kernel; ++kx) {
+              const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy + ky) -
+                                        static_cast<std::ptrdiff_t>(padding);
+              const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox + kx) -
+                                        static_cast<std::ptrdiff_t>(padding);
+              const bool inside = iy >= 0 && iy < static_cast<std::ptrdiff_t>(h) &&
+                                  ix >= 0 && ix < static_cast<std::ptrdiff_t>(w);
+              cols.at(p, (ic * kernel + ky) * kernel + kx) =
+                  inside ? input.at4(b, ic, static_cast<std::size_t>(iy),
+                                     static_cast<std::size_t>(ix))
+                         : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+class Im2colShapes
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t, std::size_t,
+                     std::size_t, std::size_t>> {};
+
+TEST_P(Im2colShapes, MatchesReferenceExtraction) {
+  const auto [n, c, h, w, kernel, padding] = GetParam();
+  std::mt19937_64 engine(23);
+  const Tensor input = Tensor::randn({n, c, h, w}, 1.0f, engine);
+  const Tensor cols = im2col(input, kernel, padding);
+  const Tensor ref = reference_im2col(input, kernel, padding);
+  ASSERT_EQ(cols.shape(), ref.shape());
+  for (std::size_t i = 0; i < cols.numel(); ++i) {
+    ASSERT_EQ(cols[i], ref[i]) << "element " << i;
+  }
+}
+
+// col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)> for
+// every pair, which pins the scatter indices against the gather indices.
+TEST_P(Im2colShapes, Col2imIsAdjointOfIm2col) {
+  const auto [n, c, h, w, kernel, padding] = GetParam();
+  std::mt19937_64 engine(29);
+  const Tensor x = Tensor::randn({n, c, h, w}, 1.0f, engine);
+  const Tensor cols = im2col(x, kernel, padding);
+  const Tensor y = Tensor::randn(cols.shape(), 1.0f, engine);
+  const Tensor back = col2im(y, x.shape(), kernel, padding);
+
+  double forward_ip = 0.0;
+  for (std::size_t i = 0; i < cols.numel(); ++i) {
+    forward_ip += static_cast<double>(cols[i]) * static_cast<double>(y[i]);
+  }
+  double adjoint_ip = 0.0;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    adjoint_ip += static_cast<double>(x[i]) * static_cast<double>(back[i]);
+  }
+  EXPECT_NEAR(forward_ip, adjoint_ip, 1e-3 * std::abs(forward_ip) + 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatchGeometries, Im2colShapes,
+    ::testing::Values(
+        std::make_tuple(1, 1, 3, 3, 3, 0),   // kernel == image, no padding
+        std::make_tuple(1, 1, 3, 3, 3, 1),   // kernel == image, padded
+        std::make_tuple(2, 3, 5, 5, 3, 1),   // the conv-layer default
+        std::make_tuple(1, 2, 4, 6, 3, 2),   // padding > 1, non-square
+        std::make_tuple(3, 1, 16, 16, 3, 1), // the small-CNN conv1 geometry
+        std::make_tuple(1, 4, 1, 1, 1, 0),   // 1x1 image, 1x1 kernel
+        std::make_tuple(2, 2, 2, 2, 2, 1))); // even kernel, padded
+
+TEST(Im2col, PaddingTapsAreExactZeros) {
+  // An all-ones image: every zero in the patch matrix must be a padding
+  // tap, and the zero count must match the geometry exactly.
+  const Tensor input({1, 1, 2, 2}, 1.0f);
+  const Tensor cols = im2col(input, 3, 1);
+  ASSERT_EQ(cols.dim(0), 4u);  // 2x2 output pixels
+  ASSERT_EQ(cols.dim(1), 9u);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < cols.numel(); ++i) {
+    zeros += cols[i] == 0.0f ? 1 : 0;
+  }
+  EXPECT_EQ(zeros, 4u * 9u - 4u * 4u);  // each patch sees all 4 real pixels
+}
+
+TEST(Im2col, RejectsBadGeometry) {
+  const Tensor input({1, 1, 2, 2}, 1.0f);
+  EXPECT_THROW((void)im2col(input, 5, 1), std::invalid_argument);   // kernel too big
+  EXPECT_THROW((void)im2col(input, 0, 0), std::invalid_argument);   // zero kernel
+  const Tensor flat({2, 4}, 1.0f);
+  EXPECT_THROW((void)im2col(flat, 3, 1), std::invalid_argument);    // not NCHW
+  const Tensor cols({4, 9}, 1.0f);
+  EXPECT_THROW((void)col2im(cols, {1, 1, 9, 9}, 3, 1), std::invalid_argument);
+  EXPECT_THROW((void)col2im(cols, {1, 2}, 3, 1), std::invalid_argument);
+}
+
+TEST(MatmulAccumulate, AccumulatesAscendingKOnTopOfSeed) {
+  std::mt19937_64 engine(31);
+  const Tensor a = Tensor::randn({4, 40}, 1.0f, engine);
+  const Tensor b = Tensor::randn({40, 5}, 1.0f, engine);
+  Tensor c({4, 5}, 2.0f);
+  matmul_accumulate(a, b, c);
+  // Bitwise reference: scalar loop accumulating ascending-k on top of the
+  // same seed value — the term order the im2col bias epilogue relies on.
+  Tensor ref({4, 5}, 2.0f);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t p = 0; p < 40; ++p) {
+      for (std::size_t j = 0; j < 5; ++j) {
+        ref.at(i, j) += a.at(i, p) * b.at(p, j);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < c.numel(); ++i) {
+    ASSERT_EQ(c[i], ref[i]) << "element " << i;
+  }
+  Tensor wrong({3, 5});
+  EXPECT_THROW(matmul_accumulate(a, b, wrong), std::invalid_argument);
+}
 
 TEST(Softmax, RowsSumToOne) {
   Tensor logits({2, 4}, std::vector<float>{1, 2, 3, 4, -1, 0, 1, 100});

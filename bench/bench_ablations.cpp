@@ -74,13 +74,7 @@ int main() {
     auto [inputs, labels] = test.batch(0, probe);
     const nn::Tensor logits = hw.forward(inputs);
     for (std::size_t i = 0; i < probe; ++i) {
-      std::size_t best = 0;
-      for (std::size_t j = 1; j < 10; ++j) {
-        if (logits.at(i, j) > logits.at(i, best)) {
-          best = j;
-        }
-      }
-      if (best == labels[i]) {
+      if (nn::argmax_row(logits, i) == labels[i]) {
         ++correct;
       }
     }

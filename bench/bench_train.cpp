@@ -1,0 +1,136 @@
+// Training-engine bench: serial vs. pooled data-parallel epochs.
+//
+// Sweeps worker counts and batch sizes over the two trained backbones of
+// the Table-I benches (the binary MLP and the small binary CNN), timing
+// whole epochs through train::Trainer. "serial" is the shards=1 legacy
+// path (bitwise the historical nn::train_classifier loop); each pooled row
+// sets shards = workers so the minibatch fans out one shard per worker.
+// Shard results are reduced in fixed ascending-shard order, so every
+// pooled row's numbers are bitwise invariant to the worker count — the
+// speedup is free of result drift (tests/train_test.cpp pins it).
+//
+//   ./build/bench/bench_train [--smoke]
+//
+// --smoke runs one tiny epoch per configuration — the CI leg that catches
+// trainer-path build/runtime regressions without timing anything useful.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/models.h"
+#include "data/strokes.h"
+#include "nn/model.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace neuspin;
+
+bool g_smoke = false;
+
+struct Workload {
+  const char* label;
+  core::BuiltModel model;
+  nn::Dataset data;
+};
+
+/// Best examples/sec over `epochs` measured epochs (first epoch dropped as
+/// warm-up when more than one is run).
+double epochs_per_config(core::BuiltModel& model, const nn::Dataset& data,
+                         std::size_t batch, std::size_t shards, std::size_t workers,
+                         double* best_seconds) {
+  model.enable_mc(false);
+  train::TrainerConfig config;
+  config.epochs = g_smoke ? 1 : 3;
+  config.batch_size = batch;
+  config.lr = 0.01f;
+  config.shards = shards;
+  config.workers = workers;
+  train::Trainer trainer(model.net, config);
+  const auto history = trainer.fit(data);
+  double best = 0.0;
+  double secs = 0.0;
+  const std::size_t first = history.size() > 1 ? 1 : 0;
+  for (std::size_t e = first; e < history.size(); ++e) {
+    if (history[e].examples_per_sec > best) {
+      best = history[e].examples_per_sec;
+      secs = history[e].seconds;
+    }
+  }
+  if (best_seconds != nullptr) {
+    *best_seconds = secs;
+  }
+  return best;
+}
+
+void bench_workload(Workload& workload, const std::vector<std::size_t>& worker_counts,
+                    const std::vector<std::size_t>& batches) {
+  std::printf("\n%s  (%zu samples, %zu parameters)\n", workload.label,
+              workload.data.size(), workload.model.net.parameter_count());
+  std::printf("  %-8s %-16s %12s %12s %9s\n", "batch", "config", "epoch secs",
+              "examples/s", "speedup");
+  for (std::size_t batch : batches) {
+    double serial_secs = 0.0;
+    core::BuiltModel serial_model = workload.model.clone();
+    const double serial_rate = epochs_per_config(serial_model, workload.data, batch,
+                                                 /*shards=*/1, /*workers=*/1,
+                                                 &serial_secs);
+    std::printf("  %-8zu %-16s %12.3f %12.0f %8.2fx\n", batch, "serial", serial_secs,
+                serial_rate, 1.0);
+    for (std::size_t workers : worker_counts) {
+      double secs = 0.0;
+      core::BuiltModel pooled = workload.model.clone();
+      const double rate = epochs_per_config(pooled, workload.data, batch,
+                                            /*shards=*/workers, workers, &secs);
+      std::printf("  %-8zu shards=workers=%-2zu %10.3f %12.0f %8.2fx\n", batch,
+                  workers, secs, rate, serial_rate > 0.0 ? rate / serial_rate : 0.0);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+    }
+  }
+  bench::banner("bench_train: serial vs. data-parallel training epochs",
+                "training engine (src/train/) — ROADMAP 'serial minibatches' item");
+  std::printf("hardware threads: %u\n",
+              std::max(1u, std::thread::hardware_concurrency()));
+
+  const std::vector<std::size_t> worker_counts =
+      g_smoke ? std::vector<std::size_t>{2} : std::vector<std::size_t>{2, 4, 8};
+  const std::vector<std::size_t> batches =
+      g_smoke ? std::vector<std::size_t>{32} : std::vector<std::size_t>{32, 128};
+
+  data::StrokeConfig mlp_strokes;
+  mlp_strokes.samples_per_class = g_smoke ? 25 : 200;  // 10 digit classes
+  data::StrokeConfig cnn_strokes;
+  cnn_strokes.samples_per_class = g_smoke ? 6 : 50;
+
+  core::ModelConfig mlp_config;
+  mlp_config.method = core::Method::kSpinDrop;
+  mlp_config.seed = 42;
+  Workload mlp{"MLP 256-128-128-10 (SpinDrop)",
+               core::make_binary_mlp(mlp_config, 256, {128, 128}, 10),
+               data::make_stroke_digits_flat(mlp_strokes, /*seed=*/7)};
+  bench_workload(mlp, worker_counts, batches);
+
+  core::ModelConfig cnn_config;
+  cnn_config.method = core::Method::kSpinDrop;
+  cnn_config.seed = 43;
+  Workload cnn{"small CNN 1x16x16 conv8-conv16-fc64-10 (SpinDrop)",
+               core::make_binary_cnn(cnn_config),
+               data::make_stroke_digits(cnn_strokes, /*seed=*/11)};
+  bench_workload(cnn, worker_counts, batches);
+
+  std::printf("\ndone\n");
+  return 0;
+}

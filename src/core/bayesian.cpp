@@ -26,13 +26,7 @@ nn::Tensor checked_probs(nn::Tensor logits) {
 std::vector<std::size_t> Prediction::predicted_class() const {
   std::vector<std::size_t> out(mean_probs.dim(0));
   for (std::size_t i = 0; i < out.size(); ++i) {
-    std::size_t best = 0;
-    for (std::size_t j = 1; j < mean_probs.dim(1); ++j) {
-      if (mean_probs.at(i, j) > mean_probs.at(i, best)) {
-        best = j;
-      }
-    }
-    out[i] = best;
+    out[i] = nn::argmax_row(mean_probs, i);
   }
   return out;
 }

@@ -6,19 +6,24 @@
 
 #include "core/thread_pool.h"
 #include "data/strokes.h"
+#include "train/trainer.h"
 
 namespace neuspin::core {
 
 float fit(BuiltModel& model, const nn::Dataset& train, const FitConfig& config) {
   model.enable_mc(false);
-  nn::TrainConfig tc;
+  train::TrainerConfig tc;
   tc.epochs = config.epochs;
   tc.batch_size = config.batch_size;
   tc.lr = config.lr;
   tc.verbose = config.verbose;
   tc.label_smoothing = config.label_smoothing;
+  tc.shards = config.shards;
+  tc.workers = config.workers;
+  tc.grad_clip = config.grad_clip;
   tc.regularizer = model.make_regularizer(config.kl_weight, config.scale_lambda);
-  const auto history = nn::train_classifier(model.net, train, tc);
+  train::Trainer trainer(model.net, std::move(tc));
+  const auto history = trainer.fit(train);
   return history.empty() ? 0.0f : history.back().train_accuracy;
 }
 

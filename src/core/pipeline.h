@@ -38,10 +38,19 @@ struct FitConfig {
   /// so predictive entropy stays informative on OOD inputs.
   float label_smoothing = 0.05f;
   bool verbose = false;
+  /// Data-parallel training (train::Trainer pass-through). `shards` is the
+  /// gradient decomposition of each minibatch and defines the numerics
+  /// (1 = the exact historical serial loop); `workers` only schedules the
+  /// shard tasks and never changes a bit of the result (0 = pool size).
+  std::size_t shards = 1;
+  std::size_t workers = 0;
+  /// Global-norm gradient clipping (0 disables).
+  float grad_clip = 0.0f;
 };
 
-/// Train `model` on `train` (handles the method's regularizer and leaves
-/// the model in deterministic-eval state). Returns final train accuracy.
+/// Train `model` on `train` through train::Trainer (handles the method's
+/// regularizer and leaves the model in deterministic-eval state). Returns
+/// final train accuracy.
 float fit(BuiltModel& model, const nn::Dataset& train, const FitConfig& config);
 
 /// Knobs of the Monte-Carlo evaluation entry points.

@@ -61,7 +61,10 @@ nn::Tensor ScaleDropLayer::forward(const nn::Tensor& input, bool training) {
   input_cache_ = input;
   const bool stochastic = training || mc_mode_;
   last_dropped_ = false;
-  if (stochastic && !row_seeds_.empty()) {
+  // Row mode is the fused-MC inference replay; training keeps the paper's
+  // one-decision-per-pass procedure (per (step, shard) under the sharded
+  // trainer) so backward sees the layer-wide decision it caches.
+  if (stochastic && !training && !row_seeds_.empty()) {
     // Fused MC: each row replays the batch-of-one decision under its own
     // stream — drop to the neutral scale, or apply the learned vector.
     const std::size_t batch = input.dim(0);

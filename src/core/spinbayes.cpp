@@ -101,7 +101,9 @@ nn::Tensor SpinBayesScaleLayer::forward(const nn::Tensor& input, bool training) 
                                 std::to_string(channels));
   }
   const bool stochastic = training || mc_mode_;
-  if (stochastic && !row_seeds_.empty()) {
+  // Row mode is the fused-MC inference replay (quantized samples, arbiter
+  // per row); training-mode forwards keep the shared-stream procedure.
+  if (stochastic && !training && !row_seeds_.empty()) {
     // Fused MC: each row reseeds the Arbiter under its own stream and
     // selects its own instance, replaying the batch-of-one pass.
     const std::size_t batch = input.dim(0);

@@ -204,7 +204,18 @@ nn::Tensor SpinDropLayer::forward(const nn::Tensor& input, bool training) {
     const std::size_t per_sample = input.numel() / batch;
     const std::size_t units = unit_count(input.shape());
     const std::size_t inner = per_sample / units;
+    const bool row_mode = !row_seeds_.empty();
+    if (row_mode && batch != row_seeds_.size()) {
+      throw std::invalid_argument("SpinDropLayer: row-seed count does not match batch");
+    }
     for (std::size_t b = 0; b < batch; ++b) {
+      if (row_mode) {
+        // Sharded-trainer contract: sample b's mask comes from a stream
+        // keyed to its global row seed — bit for bit the mask a
+        // batch-of-one training forward after reseed(row_seeds_[b]) would
+        // draw (reseed() seeds the train engine with salt source count).
+        train_engine_.seed(nn::mix_seed(row_seeds_[b], sources_.size()));
+      }
       for (std::size_t u = 0; u < units; ++u) {
         if (drop(train_engine_)) {
           for (std::size_t i = 0; i < inner; ++i) {

@@ -121,9 +121,12 @@ class SpinDropLayer : public nn::Layer {
     return std::make_unique<SpinDropLayer>(*this);
   }
   void reseed(std::uint64_t seed) override;
-  /// Row mode (fused MC): row r of the next MC forward reseeds every
-  /// module from row_seeds[r] and draws its own unit mask — bit for bit
-  /// the mask a batch-of-one pass after reseed(row_seeds[r]) would draw.
+  /// Row mode: row r of the next MC forward reseeds every module from
+  /// row_seeds[r] and draws its own unit mask — bit for bit the mask a
+  /// batch-of-one pass after reseed(row_seeds[r]) would draw. Training
+  /// forwards honor row mode too (the data-parallel trainer's contract):
+  /// sample r's pseudo mask comes from the train stream reseeded by
+  /// row_seeds[r], exactly the batch-of-one training draw.
   void reseed_rows(std::span<const std::uint64_t> row_seeds) override;
 
   void enable_mc(bool on) { mc_mode_ = on; }

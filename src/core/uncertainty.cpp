@@ -100,12 +100,7 @@ float expected_calibration_error(const nn::Tensor& probs,
   std::vector<float> bin_acc(bins, 0.0f);
   std::vector<std::size_t> bin_count(bins, 0);
   for (std::size_t i = 0; i < labels.size(); ++i) {
-    std::size_t best = 0;
-    for (std::size_t j = 1; j < probs.dim(1); ++j) {
-      if (probs.at(i, j) > probs.at(i, best)) {
-        best = j;
-      }
-    }
+    const std::size_t best = nn::argmax_row(probs, i);
     const float conf = probs.at(i, best);
     auto bin = static_cast<std::size_t>(conf * static_cast<float>(bins));
     bin = std::min(bin, bins - 1);
@@ -131,13 +126,7 @@ float accuracy(const nn::Tensor& probs, const std::vector<std::size_t>& labels) 
   }
   std::size_t correct = 0;
   for (std::size_t i = 0; i < labels.size(); ++i) {
-    std::size_t best = 0;
-    for (std::size_t j = 1; j < probs.dim(1); ++j) {
-      if (probs.at(i, j) > probs.at(i, best)) {
-        best = j;
-      }
-    }
-    if (best == labels[i]) {
+    if (nn::argmax_row(probs, i) == labels[i]) {
       ++correct;
     }
   }

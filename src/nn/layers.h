@@ -54,17 +54,28 @@ class Layer {
   /// the property that makes threaded MC evaluation bitwise reproducible.
   virtual void reseed(std::uint64_t seed) { (void)seed; }
 
-  /// Per-row seeding contract of the fused Monte-Carlo path: switch the
-  /// layer's stochastic streams to row mode, where row r of the next
-  /// forward's batch draws its masks/noise/samples from a stream seeded by
-  /// row_seeds[r] — bit for bit what a batch-of-one forward after
-  /// reseed(row_seeds[r]) would compute for that row. Stacking T passes x
-  /// B requests into one (T*B x F) forward therefore reproduces the T*B
-  /// individual passes exactly. Deterministic layers ignore the call
-  /// (their forward is already row-independent); stochastic layers must
-  /// override it, and a later reseed() returns them to shared-stream
-  /// mode. Row mode is an inference-mode contract: backward after a
-  /// row-mode forward is unsupported.
+  /// Per-row seeding contract: switch the layer's stochastic streams to
+  /// row mode, where row r of the next forward's batch draws its
+  /// masks/noise/samples from a stream seeded by row_seeds[r] — bit for
+  /// bit what a batch-of-one forward after reseed(row_seeds[r]) would
+  /// compute for that row. Two callers rely on it:
+  ///
+  ///  * the fused Monte-Carlo path (inference): stacking T passes x B
+  ///    requests into one (T*B x F) forward reproduces the T*B individual
+  ///    passes exactly;
+  ///  * the data-parallel trainer (training): layers with per-SAMPLE
+  ///    training masks (nn::Dropout, core::SpinDropLayer) key each
+  ///    sample's mask to its row seed, making the masks independent of
+  ///    how a minibatch is sharded, and their backward consumes the
+  ///    cached masks as usual. Layers whose row mode replays the
+  ///    batch-of-one EVAL pass (running-stat normalization, quantized
+  ///    posterior samples) ignore row seeds while `training` is true and
+  ///    keep their per-pass draws — backward after an eval-replay
+  ///    row-mode forward remains unsupported.
+  ///
+  /// Deterministic layers ignore the call (their forward is already
+  /// row-independent); stochastic layers must override it, and a later
+  /// reseed() returns them to shared-stream mode.
   ///
   /// WARNING for custom layers: the default is a silent no-op, which is
   /// only correct for layers whose forward is row-independent. A custom

@@ -8,7 +8,7 @@ namespace neuspin::nn {
 
 LossResult softmax_cross_entropy(const Tensor& logits,
                                  const std::vector<std::size_t>& labels,
-                                 float label_smoothing) {
+                                 float label_smoothing, std::size_t normalizer) {
   if (logits.rank() != 2) {
     throw std::invalid_argument("softmax_cross_entropy: expected rank-2 logits");
   }
@@ -26,7 +26,8 @@ LossResult softmax_cross_entropy(const Tensor& logits,
   LossResult result;
   result.grad = probs;
   float loss = 0.0f;
-  const float inv_batch = 1.0f / static_cast<float>(batch);
+  const float inv_batch =
+      1.0f / static_cast<float>(normalizer == 0 ? batch : normalizer);
   const float off_target = label_smoothing / static_cast<float>(classes);
   const float on_target = 1.0f - label_smoothing + off_target;
   for (std::size_t i = 0; i < batch; ++i) {

@@ -24,9 +24,14 @@ struct LossResult {
 /// distribution — the calibration-friendly objective the SpinDrop paper's
 /// "specifically designed learning objective" calls for (it keeps logits
 /// small so predictive entropy remains informative on unfamiliar inputs).
+/// `normalizer` divides both value and gradient; 0 (the default) means the
+/// batch row count. The data-parallel trainer passes the full minibatch
+/// size here when evaluating one shard, so the shard losses/gradients are
+/// partial terms of the whole minibatch mean.
 [[nodiscard]] LossResult softmax_cross_entropy(const Tensor& logits,
                                                const std::vector<std::size_t>& labels,
-                                               float label_smoothing = 0.0f);
+                                               float label_smoothing = 0.0f,
+                                               std::size_t normalizer = 0);
 
 /// Mean squared error for (batch x dims) predictions.
 [[nodiscard]] LossResult mean_squared_error(const Tensor& prediction,

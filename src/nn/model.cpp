@@ -1,9 +1,9 @@
 #include "nn/model.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <numeric>
 #include <stdexcept>
+
+#include "train/trainer.h"
 
 namespace neuspin::nn {
 
@@ -30,6 +30,30 @@ std::pair<Tensor, std::vector<std::size_t>> Dataset::batch(std::size_t begin,
             out.data().begin());
   std::vector<std::size_t> batch_labels(labels.begin() + static_cast<std::ptrdiff_t>(begin),
                                         labels.begin() + static_cast<std::ptrdiff_t>(end));
+  return {std::move(out), std::move(batch_labels)};
+}
+
+std::pair<Tensor, std::vector<std::size_t>> Dataset::batch(
+    std::span<const std::size_t> order, std::size_t begin, std::size_t end) const {
+  if (begin >= end || end > order.size()) {
+    throw std::out_of_range("Dataset::batch: invalid order range");
+  }
+  const std::size_t per_sample = inputs.numel() / size();
+  Shape batch_shape = inputs.shape();
+  batch_shape[0] = end - begin;
+  Tensor out(batch_shape);
+  std::vector<std::size_t> batch_labels(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::size_t src = order[i];
+    if (src >= size()) {
+      throw std::out_of_range("Dataset::batch: order index out of range");
+    }
+    std::copy(
+        inputs.data().begin() + static_cast<std::ptrdiff_t>(src * per_sample),
+        inputs.data().begin() + static_cast<std::ptrdiff_t>((src + 1) * per_sample),
+        out.data().begin() + static_cast<std::ptrdiff_t>((i - begin) * per_sample));
+    batch_labels[i - begin] = labels[src];
+  }
   return {std::move(out), std::move(batch_labels)};
 }
 
@@ -87,6 +111,21 @@ std::vector<ParamRef> Sequential::parameters() {
   return all;
 }
 
+std::vector<Tensor*> Sequential::state_tensors() {
+  std::vector<Tensor*> all;
+  for (auto& layer : layers_) {
+    auto s = layer->state_tensors();
+    all.insert(all.end(), s.begin(), s.end());
+  }
+  return all;
+}
+
+void Sequential::zero_grad() {
+  for (auto& p : parameters()) {
+    p.grad->fill(0.0f);
+  }
+}
+
 std::size_t Sequential::parameter_count() {
   std::size_t n = 0;
   for (const auto& p : parameters()) {
@@ -95,84 +134,25 @@ std::size_t Sequential::parameter_count() {
   return n;
 }
 
-namespace {
-
-/// Reorder a dataset along the batch axis by `order`.
-Dataset shuffled(const Dataset& data, const std::vector<std::size_t>& order) {
-  const std::size_t per_sample = data.inputs.numel() / data.size();
-  Dataset out;
-  out.inputs = Tensor(data.inputs.shape());
-  out.labels.resize(data.size());
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    const std::size_t src = order[i];
-    std::copy(
-        data.inputs.data().begin() + static_cast<std::ptrdiff_t>(src * per_sample),
-        data.inputs.data().begin() + static_cast<std::ptrdiff_t>((src + 1) * per_sample),
-        out.inputs.data().begin() + static_cast<std::ptrdiff_t>(i * per_sample));
-    out.labels[i] = data.labels[src];
-  }
-  return out;
-}
-
-}  // namespace
-
 std::vector<EpochStats> train_classifier(Sequential& model, const Dataset& train,
                                          const TrainConfig& config) {
-  if (train.size() == 0) {
-    throw std::invalid_argument("train_classifier: empty dataset");
-  }
-  Adam optimizer(model.parameters(), config.lr);
-  std::mt19937_64 shuffle_engine(config.shuffle_seed);
-  std::vector<std::size_t> order(train.size());
-  std::iota(order.begin(), order.end(), 0);
-
-  std::vector<EpochStats> history;
-  history.reserve(config.epochs);
-  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
-    optimizer.set_lr(config.lr *
-                     std::pow(config.lr_decay,
-                              static_cast<float>(epoch / std::max<std::size_t>(
-                                                             config.lr_decay_period, 1))));
-    std::shuffle(order.begin(), order.end(), shuffle_engine);
-    const Dataset data = shuffled(train, order);
-
-    EpochStats stats;
-    std::size_t correct = 0;
-    std::size_t steps = 0;
-    for (std::size_t begin = 0; begin < data.size(); begin += config.batch_size) {
-      const std::size_t end = std::min(begin + config.batch_size, data.size());
-      auto [inputs, labels] = data.batch(begin, end);
-      Tensor logits = model.forward(inputs, /*training=*/true);
-      LossResult loss = softmax_cross_entropy(logits, labels, config.label_smoothing);
-      if (config.regularizer) {
-        loss.value += config.regularizer();
-      }
-      (void)model.backward(loss.grad);
-      optimizer.step();
-
-      stats.train_loss += loss.value;
-      ++steps;
-      for (std::size_t i = 0; i < labels.size(); ++i) {
-        std::size_t best = 0;
-        for (std::size_t j = 1; j < logits.dim(1); ++j) {
-          if (logits.at(i, j) > logits.at(i, best)) {
-            best = j;
-          }
-        }
-        if (best == labels[i]) {
-          ++correct;
-        }
-      }
-    }
-    stats.train_loss /= static_cast<float>(std::max<std::size_t>(steps, 1));
-    stats.train_accuracy = static_cast<float>(correct) / static_cast<float>(data.size());
-    history.push_back(stats);
-    if (config.verbose) {
-      std::printf("epoch %zu: loss=%.4f acc=%.4f\n", epoch, stats.train_loss,
-                  static_cast<double>(stats.train_accuracy));
-    }
-  }
-  return history;
+  // Thin compatibility shim: the loop that used to live here moved to
+  // train::Trainer. One shard + one worker selects the trainer's serial
+  // path, which replays the historical loop bit for bit.
+  neuspin::train::TrainerConfig tc;
+  tc.epochs = config.epochs;
+  tc.batch_size = config.batch_size;
+  tc.lr = config.lr;
+  tc.lr_decay = config.lr_decay;
+  tc.lr_decay_period = config.lr_decay_period;
+  tc.shuffle_seed = config.shuffle_seed;
+  tc.verbose = config.verbose;
+  tc.label_smoothing = config.label_smoothing;
+  tc.regularizer = config.regularizer;
+  tc.shards = 1;
+  tc.workers = 1;
+  neuspin::train::Trainer trainer(model, std::move(tc));
+  return trainer.fit(train);
 }
 
 float evaluate_accuracy(Sequential& model, const Dataset& test) {
@@ -186,13 +166,7 @@ float evaluate_accuracy(Sequential& model, const Dataset& test) {
     auto [inputs, labels] = test.batch(begin, end);
     const Tensor logits = model.forward(inputs, /*training=*/false);
     for (std::size_t i = 0; i < labels.size(); ++i) {
-      std::size_t best = 0;
-      for (std::size_t j = 1; j < logits.dim(1); ++j) {
-        if (logits.at(i, j) > logits.at(i, best)) {
-          best = j;
-        }
-      }
-      if (best == labels[i]) {
+      if (argmax_row(logits, i) == labels[i]) {
         ++correct;
       }
     }

@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <random>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -30,6 +31,12 @@ struct Dataset {
   /// Extract rows [begin, end) as a batch (copies).
   [[nodiscard]] std::pair<Tensor, std::vector<std::size_t>> batch(std::size_t begin,
                                                                   std::size_t end) const;
+  /// Gather rows order[begin..end) as a batch — the shuffled-epoch batching
+  /// of the training loop. Bitwise identical to materializing the whole
+  /// dataset in `order` and slicing [begin, end), but O(batch) instead of
+  /// the former per-epoch O(dataset) copy.
+  [[nodiscard]] std::pair<Tensor, std::vector<std::size_t>> batch(
+      std::span<const std::size_t> order, std::size_t begin, std::size_t end) const;
 };
 
 /// Linear stack of layers; owns them.
@@ -78,6 +85,17 @@ class Sequential {
 
   [[nodiscard]] std::vector<ParamRef> parameters();
 
+  /// Non-learnable persistent state of every layer (batch-norm running
+  /// statistics and the like), in layer order. The data-parallel trainer
+  /// uses this to sync shard clones and to fold their state updates back.
+  [[nodiscard]] std::vector<Tensor*> state_tensors();
+
+  /// Zero every parameter's gradient accumulator. backward() accumulates
+  /// (`+=`) into the grads exposed on ParamRef, so multi-pass gradient
+  /// accumulation works out of the box; call this to start a fresh
+  /// accumulation window when no Optimizer::step() (which also clears) ran.
+  void zero_grad();
+
   [[nodiscard]] std::size_t size() const { return layers_.size(); }
   [[nodiscard]] Layer& layer(std::size_t i) { return *layers_[i]; }
   [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_[i]; }
@@ -110,10 +128,15 @@ struct TrainConfig {
 struct EpochStats {
   float train_loss = 0.0f;
   float train_accuracy = 0.0f;
+  double seconds = 0.0;           ///< wall-clock time of the epoch
+  double examples_per_sec = 0.0;  ///< training throughput of the epoch
 };
 
 /// Train `model` on `train` with softmax cross-entropy and Adam.
-/// Returns per-epoch statistics.
+/// Compatibility wrapper over train::Trainer (serial semantics: one
+/// gradient shard, results bitwise identical to the historical in-place
+/// loop). New call sites that want the data-parallel path should use
+/// train::Trainer directly. Returns per-epoch statistics.
 std::vector<EpochStats> train_classifier(Sequential& model, const Dataset& train,
                                          const TrainConfig& config);
 

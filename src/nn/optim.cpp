@@ -55,8 +55,14 @@ void Sgd::step() {
   }
 }
 
-Adam::Adam(std::vector<ParamRef> params, float lr, float beta1, float beta2, float eps)
-    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+Adam::Adam(std::vector<ParamRef> params, float lr, float beta1, float beta2, float eps,
+           float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
   m_.reserve(params_.size());
   v_.reserve(params_.size());
   for (const auto& p : params_) {
@@ -78,10 +84,39 @@ void Adam::step() {
       v_[k][i] = beta2_ * v_[k][i] + (1.0f - beta2_) * g * g;
       const float mhat = m_[k][i] / bc1;
       const float vhat = v_[k][i] / bc2;
+      // Decoupled decay (AdamW) pulls on the PRE-update parameter, per
+      // Loshchilov & Hutter: theta -= lr * (adam_update + wd * theta).
+      const float decay = weight_decay_ != 0.0f ? lr_ * weight_decay_ * value[i] : 0.0f;
       value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      if (weight_decay_ != 0.0f) {
+        value[i] -= decay;
+      }
     }
     grad.fill(0.0f);
   }
+}
+
+float global_grad_norm(const std::vector<ParamRef>& params) {
+  double sum = 0.0;
+  for (const auto& p : params) {
+    const Tensor& grad = *p.grad;
+    for (std::size_t i = 0; i < grad.numel(); ++i) {
+      sum += static_cast<double>(grad[i]) * static_cast<double>(grad[i]);
+    }
+  }
+  return static_cast<float>(std::sqrt(sum));
+}
+
+float clip_grad_norm(const std::vector<ParamRef>& params, float max_norm) {
+  const float norm = global_grad_norm(params);
+  if (max_norm <= 0.0f || norm <= max_norm || norm == 0.0f) {
+    return norm;
+  }
+  const float scale = max_norm / norm;
+  for (const auto& p : params) {
+    *p.grad *= scale;
+  }
+  return norm;
 }
 
 StepDecay::StepDecay(float initial_lr, float factor, std::size_t period)

@@ -1,4 +1,10 @@
 // Optimizers operating on ParamRef views exposed by layers.
+//
+// Gradient production and the update step are decoupled: layers accumulate
+// (`+=`) into the grad tensors behind ParamRef — over multiple backward
+// passes or over the data-parallel trainer's shard reduction — and step()
+// consumes whatever accumulated, then clears it. zero_grad() starts a
+// fresh accumulation window without stepping.
 #pragma once
 
 #include <cstddef>
@@ -44,26 +50,40 @@ class Sgd : public Optimizer {
   std::vector<Tensor> velocity_;
 };
 
-/// Adam (Kingma & Ba) with bias correction.
+/// Adam (Kingma & Ba) with bias correction. `weight_decay` is DECOUPLED
+/// (AdamW, Loshchilov & Hutter): applied directly to the parameter as
+/// value -= lr * weight_decay * value, never entering the moment
+/// estimates; 0 reproduces classic Adam bit for bit.
 class Adam : public Optimizer {
  public:
   Adam(std::vector<ParamRef> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
-       float eps = 1e-8f);
+       float eps = 1e-8f, float weight_decay = 0.0f);
 
   void step() override;
 
   void set_lr(float lr) { lr_ = lr; }
   [[nodiscard]] float lr() const { return lr_; }
+  [[nodiscard]] float weight_decay() const { return weight_decay_; }
 
  private:
   float lr_;
   float beta1_;
   float beta2_;
   float eps_;
+  float weight_decay_;
   std::size_t t_ = 0;
   std::vector<Tensor> m_;
   std::vector<Tensor> v_;
 };
+
+/// L2 norm of all accumulated gradients, in fixed (param, element) order
+/// (double accumulator — deterministic for a given param list).
+[[nodiscard]] float global_grad_norm(const std::vector<ParamRef>& params);
+
+/// Global-norm gradient clipping: if the gradient norm exceeds `max_norm`,
+/// every gradient is scaled by max_norm / norm. Returns the pre-clip norm.
+/// `max_norm` <= 0 is a no-op (clipping disabled).
+float clip_grad_norm(const std::vector<ParamRef>& params, float max_norm);
 
 /// Step-decay learning-rate schedule: lr *= factor every `period` epochs.
 class StepDecay {

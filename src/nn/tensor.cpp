@@ -443,4 +443,17 @@ Tensor softmax_rows(const Tensor& logits) {
   return out;
 }
 
+std::size_t argmax_row(const Tensor& t, std::size_t row) {
+  if (t.rank() != 2 || row >= t.dim(0)) {
+    throw std::invalid_argument("argmax_row: need a rank-2 tensor and a valid row");
+  }
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < t.dim(1); ++j) {
+    if (t.at(row, j) > t.at(row, best)) {
+      best = j;
+    }
+  }
+  return best;
+}
+
 }  // namespace neuspin::nn

@@ -136,4 +136,9 @@ void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& c);
 /// Row-wise softmax of a (batch x classes) tensor.
 [[nodiscard]] Tensor softmax_rows(const Tensor& logits);
 
+/// Column index of the largest entry in row `row` of a rank-2 tensor; ties
+/// break toward the lower index (strict `>` scan). The one argmax every
+/// classification accuracy loop in the repo shares.
+[[nodiscard]] std::size_t argmax_row(const Tensor& t, std::size_t row);
+
 }  // namespace neuspin::nn

@@ -1,0 +1,255 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/thread_pool.h"
+#include "nn/loss.h"
+
+namespace neuspin::train {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Salt that keeps per-shard module streams disjoint from the per-row mask
+/// streams (rows are salted with their index, which is always < 2^63).
+constexpr std::uint64_t kShardSalt = 0x8000000000000000ull;
+
+}  // namespace
+
+Trainer::Trainer(nn::Sequential& model, TrainerConfig config)
+    : model_(model),
+      config_(std::move(config)),
+      optimizer_(model.parameters(), config_.lr, 0.9f, 0.999f, 1e-8f,
+                 config_.weight_decay),
+      params_(model.parameters()),
+      state_(model.state_tensors()) {
+  if (config_.batch_size == 0) {
+    throw std::invalid_argument("train::Trainer: batch_size must be at least 1");
+  }
+}
+
+std::size_t Trainer::shard_count(std::size_t rows) const {
+  return std::min(std::max<std::size_t>(config_.shards, 1), rows);
+}
+
+void Trainer::ensure_clones(std::size_t count) {
+  while (clones_.size() < count) {
+    // Sequential moves on vector growth keep the heap-allocated layers (and
+    // therefore the cached ParamRef / state pointers) stable.
+    clones_.push_back(model_.clone());
+    clone_params_.push_back(clones_.back().parameters());
+    clone_state_.push_back(clones_.back().state_tensors());
+  }
+}
+
+Trainer::StepStats Trainer::step_serial(const nn::Dataset& train,
+                                        std::span<const std::size_t> order,
+                                        std::size_t begin, std::size_t end) {
+  // The historical nn::train_classifier step, statement for statement: the
+  // serial contract is bitwise equality with the pre-Trainer loop.
+  auto [inputs, labels] = train.batch(order, begin, end);
+  nn::Tensor logits = model_.forward(inputs, /*training=*/true);
+  nn::LossResult loss =
+      nn::softmax_cross_entropy(logits, labels, config_.label_smoothing);
+  if (config_.regularizer) {
+    loss.value += config_.regularizer();
+  }
+  (void)model_.backward(loss.grad);
+  if (config_.grad_clip > 0.0f) {
+    (void)nn::clip_grad_norm(params_, config_.grad_clip);
+  }
+  optimizer_.step();
+
+  StepStats stats;
+  stats.loss = loss.value;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (nn::argmax_row(logits, i) == labels[i]) {
+      ++stats.correct;
+    }
+  }
+  return stats;
+}
+
+Trainer::StepStats Trainer::step_sharded(const nn::Dataset& train,
+                                         std::span<const std::size_t> order,
+                                         std::size_t begin, std::size_t end,
+                                         std::uint64_t step_seed) {
+  const std::size_t rows = end - begin;
+  const std::size_t shards = shard_count(rows);
+  ensure_clones(shards);
+
+  // Snapshot the primary's persistent state (batch-norm running stats) so
+  // every shard starts from it and the fold-back below can apply each
+  // shard's movement exactly once.
+  prior_state_.resize(state_.size());
+  for (std::size_t t = 0; t < state_.size(); ++t) {
+    prior_state_[t] = *state_[t];
+  }
+
+  // Per-sample mask streams keyed to the row's index within the minibatch
+  // — a global coordinate shared by every shard grid, so per-sample masks
+  // never depend on how the batch was split.
+  std::vector<std::uint64_t> row_seeds(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    row_seeds[r] = nn::mix_seed(step_seed, r);
+  }
+
+  // Contiguous ceil-balanced shard boundaries: a pure function of
+  // (rows, shards).
+  std::vector<std::size_t> bounds(shards + 1, 0);
+  const std::size_t q = rows / shards;
+  const std::size_t rem = rows % shards;
+  for (std::size_t s = 0; s < shards; ++s) {
+    bounds[s + 1] = bounds[s] + q + (s < rem ? 1 : 0);
+  }
+
+  std::vector<StepStats> partial(shards);
+  auto run_shard = [&](std::size_t s) {
+    nn::Sequential& clone = clones_[s];
+    std::vector<nn::ParamRef>& cp = clone_params_[s];
+    std::vector<nn::Tensor*>& cs = clone_state_[s];
+    for (std::size_t k = 0; k < cp.size(); ++k) {
+      *cp[k].value = *params_[k].value;
+      cp[k].grad->fill(0.0f);
+    }
+    for (std::size_t t = 0; t < cs.size(); ++t) {
+      *cs[t] = prior_state_[t];
+    }
+    // Per-pass module streams keyed to (step, shard); then row mode keys
+    // the per-sample streams to the global row indices of this shard.
+    clone.reseed(nn::mix_seed(step_seed, kShardSalt + s));
+    clone.reseed_rows(
+        std::span<const std::uint64_t>(row_seeds).subspan(bounds[s],
+                                                          bounds[s + 1] - bounds[s]));
+
+    auto [inputs, labels] =
+        train.batch(order, begin + bounds[s], begin + bounds[s + 1]);
+    nn::Tensor logits = clone.forward(inputs, /*training=*/true);
+    // Normalize by the FULL minibatch row count: shard losses/gradients are
+    // partial terms of the whole-minibatch mean.
+    nn::LossResult loss =
+        nn::softmax_cross_entropy(logits, labels, config_.label_smoothing, rows);
+    (void)clone.backward(loss.grad);
+
+    partial[s].loss = loss.value;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (nn::argmax_row(logits, i) == labels[i]) {
+        ++partial[s].correct;
+      }
+    }
+  };
+
+  // `workers` picks how many pool threads the shard tasks spread over; the
+  // shard -> clone binding and the reduction below are shard-indexed, so
+  // the schedule cannot influence the numbers.
+  core::ThreadPool::shared().run_chunked(
+      shards, core::resolve_worker_count(config_.workers),
+      [&run_shard](std::size_t /*chunk*/, std::size_t s_begin, std::size_t s_end) {
+        for (std::size_t s = s_begin; s < s_end; ++s) {
+          run_shard(s);
+        }
+      });
+
+  // Fixed ascending-shard reduction into the primary ParamRefs.
+  StepStats stats;
+  const float inv_shards = 1.0f / static_cast<float>(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t k = 0; k < params_.size(); ++k) {
+      *params_[k].grad += *clone_params_[s][k].grad;
+    }
+    for (std::size_t t = 0; t < state_.size(); ++t) {
+      nn::Tensor& primary = *state_[t];
+      const nn::Tensor& updated = *clone_state_[s][t];
+      const nn::Tensor& prior = prior_state_[t];
+      // Shard-AVERAGED EMA movement: summing raw deltas would scale the
+      // prior's coefficient to (1 - shards * momentum), negative (and a
+      // negative running variance -> NaN eval) once shards * momentum
+      // exceeds 1. Averaging applies exactly one EMA step built from the
+      // mean of the shard statistics, matching the serial update rate and
+      // staying in the shard statistics' convex hull for any shard count.
+      for (std::size_t i = 0; i < primary.numel(); ++i) {
+        primary[i] += (updated[i] - prior[i]) * inv_shards;
+      }
+    }
+    stats.loss += partial[s].loss;
+    stats.correct += partial[s].correct;
+  }
+
+  if (config_.regularizer) {
+    stats.loss += config_.regularizer();
+  }
+  if (config_.grad_clip > 0.0f) {
+    (void)nn::clip_grad_norm(params_, config_.grad_clip);
+  }
+  optimizer_.step();
+  return stats;
+}
+
+std::vector<nn::EpochStats> Trainer::fit(const nn::Dataset& train) {
+  if (train.size() == 0) {
+    throw std::invalid_argument("train::Trainer: empty dataset");
+  }
+  // Establish the loop's preconditions without touching any RNG engine:
+  // an empty row-seed set returns every stochastic layer to shared-stream
+  // mode (a prior fused-MC eval leaves row mode sticky, which a training
+  // forward would otherwise reject or silently replay), and stale
+  // gradients a caller accumulated outside the loop are dropped. Both are
+  // no-ops on a fresh model, so the serial path stays bitwise-legacy.
+  model_.reseed_rows(std::span<const std::uint64_t>());
+  model_.zero_grad();
+  std::mt19937_64 shuffle_engine(config_.shuffle_seed);
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<nn::EpochStats> history;
+  history.reserve(config_.epochs);
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    optimizer_.set_lr(config_.lr *
+                      std::pow(config_.lr_decay,
+                               static_cast<float>(epoch / std::max<std::size_t>(
+                                                              config_.lr_decay_period, 1))));
+    std::shuffle(order.begin(), order.end(), shuffle_engine);
+    const std::uint64_t epoch_seed = nn::mix_seed(config_.stream_seed, epoch);
+
+    const auto t0 = Clock::now();
+    nn::EpochStats stats;
+    std::size_t correct = 0;
+    std::size_t steps = 0;
+    for (std::size_t begin = 0; begin < train.size(); begin += config_.batch_size) {
+      const std::size_t end = std::min(begin + config_.batch_size, train.size());
+      StepStats step;
+      if (shard_count(end - begin) <= 1) {
+        step = step_serial(train, order, begin, end);
+      } else {
+        step = step_sharded(train, order, begin, end, nn::mix_seed(epoch_seed, steps));
+      }
+      stats.train_loss += step.loss;
+      correct += step.correct;
+      ++steps;
+    }
+    stats.train_loss /= static_cast<float>(std::max<std::size_t>(steps, 1));
+    stats.train_accuracy =
+        static_cast<float>(correct) / static_cast<float>(train.size());
+    stats.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    stats.examples_per_sec =
+        stats.seconds > 0.0 ? static_cast<double>(train.size()) / stats.seconds : 0.0;
+    history.push_back(stats);
+    if (config_.verbose) {
+      std::printf("epoch %zu: loss=%.4f acc=%.4f (%.2fs, %.0f ex/s)\n", epoch,
+                  stats.train_loss, static_cast<double>(stats.train_accuracy),
+                  stats.seconds, stats.examples_per_sec);
+    }
+    if (callback_) {
+      callback_(epoch, stats);
+    }
+  }
+  return history;
+}
+
+}  // namespace neuspin::train

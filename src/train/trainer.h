@@ -1,0 +1,160 @@
+// Data-parallel training engine.
+//
+// train::Trainer owns the supervised classification loop that historically
+// lived in nn::train_classifier, and adds a data-parallel path: every
+// minibatch is split into `TrainerConfig::shards` deterministic contiguous
+// shards, one deep model clone per shard runs forward+backward on its rows
+// through the blocked GEMM kernels, and the shard gradients are reduced
+// into the primary model's ParamRefs in fixed ascending-shard order before
+// a single Adam step.
+//
+// Determinism contract (mirrors core::predict_fused_batch): trained
+// parameters are a pure function of (model, data, TrainerConfig numeric
+// fields) — `workers` only schedules shard tasks onto the shared
+// core::ThreadPool and NEVER changes a single bit of the result, for any
+// worker count including 1 and counts beyond the hardware. The knobs that
+// DO define the numerics are, exactly:
+//
+//  * shards — the gradient decomposition of each minibatch. shards == 1 is
+//    the serial contract: the step runs in-place on the primary model and
+//    replays the historical nn::train_classifier loop bit for bit (same
+//    engine advancement, same accumulation order). shards == S > 1 splits
+//    each minibatch into S contiguous shards; per-sample stochastic masks
+//    (nn::Dropout, core::SpinDropLayer) are keyed to the sample's global
+//    row index via Layer::reseed_rows, so they do not depend on the shard
+//    grid, while per-pass draws (scale dropout, variational samples, the
+//    two affine-dropout masks) and batch-normalization statistics are
+//    keyed to (step, shard) — ghost-batch semantics, like shrinking the
+//    statistics batch. Changing S changes the result the same way changing
+//    batch_size does; changing `workers` changes nothing.
+//  * batch_size, seeds, lr schedule, label smoothing, grad_clip,
+//    weight_decay, regularizer — shared by both paths.
+//
+// Why the reduction is a sum of shard partials: the blocked GEMM kernels
+// accumulate each gradient element's k-terms in ascending-k order, so a
+// shard's weight gradient is the ascending-row chain over its own rows
+// computed from zero. Folding those partials primary += shard_s in
+// ascending s is a fixed association for a fixed shard grid — which is why
+// the grid may depend only on (rows, shards), never on worker scheduling.
+//
+// Non-learnable state (batch-norm running statistics) is folded back as a
+// shard-AVERAGED movement in the same ascending order: primary_state +=
+// (clone_state - state_at_step_start) / shards — exactly one EMA update
+// per minibatch built from the mean of the shard statistics, so the
+// running stats move at the serial loop's rate and stay in the shard
+// statistics' convex hull for any shard count (a raw delta sum would turn
+// the prior's coefficient negative once shards * momentum > 1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nn/model.h"
+#include "nn/optim.h"
+
+namespace neuspin::train {
+
+/// Knobs of the data-parallel training loop. The subset that exists on
+/// nn::TrainConfig keeps its defaults so the compatibility wrapper is a
+/// field-for-field copy.
+struct TrainerConfig {
+  std::size_t epochs = 10;
+  std::size_t batch_size = 32;
+  float lr = 0.01f;
+  float lr_decay = 0.5f;  ///< multiplied in every `lr_decay_period`
+  std::size_t lr_decay_period = 5;
+  std::uint64_t shuffle_seed = 7;
+  /// Base seed of the sharded path's per-row mask streams and per-shard
+  /// module streams (unused by the serial path, which advances the layers'
+  /// own engines exactly like the historical loop did).
+  std::uint64_t stream_seed = 0x6e757370'74726eull;
+  bool verbose = false;
+  /// Label smoothing of the cross-entropy target (0 disables).
+  float label_smoothing = 0.0f;
+  /// Global-norm gradient clipping applied after the shard reduction and
+  /// the regularizer, before the optimizer step (0 disables).
+  float grad_clip = 0.0f;
+  /// Decoupled (AdamW-style) weight decay applied by the optimizer step,
+  /// not through the gradients (0 disables).
+  float weight_decay = 0.0f;
+  /// Gradient shards per minibatch — the numeric-semantics knob (see file
+  /// comment). 1 = exact serial loop. Capped per minibatch at its row
+  /// count (a ragged tail batch with fewer rows than shards splits into
+  /// fewer shards — still a pure function of the data and config).
+  std::size_t shards = 1;
+  /// Worker threads the shard tasks are scheduled on (0 = one per hardware
+  /// thread). Execution only: results are bitwise identical for ANY value.
+  std::size_t workers = 0;
+  /// Extra loss hook evaluated once per step on the PRIMARY model
+  /// (regularizers: KL, scale reg). Returns the additional loss value;
+  /// gradients must be accumulated into the primary parameters' own grad
+  /// tensors by the hook. Serial path: invoked between loss and backward
+  /// (the historical order). Sharded path: invoked after the shard
+  /// reduction, so it sees the complete data gradient.
+  std::function<float()> regularizer;
+};
+
+/// Per-epoch observer: (epoch index, stats of that epoch).
+using EpochCallback = std::function<void(std::size_t, const nn::EpochStats&)>;
+
+/// Data-parallel classification trainer (softmax cross-entropy + Adam).
+///
+/// The trainer trains the caller's model in place. Shard clones (sharded
+/// path only) are created lazily on the first sharded step — every layer
+/// must implement Layer::clone() for shards > 1, the same requirement the
+/// parallel evaluators impose. Optimizer state (Adam moments) lives for
+/// the Trainer's lifetime, so consecutive fit() calls continue training.
+class Trainer {
+ public:
+  Trainer(nn::Sequential& model, TrainerConfig config);
+
+  Trainer(const Trainer&) = delete;
+  Trainer& operator=(const Trainer&) = delete;
+
+  /// Run the configured number of epochs over `train`; returns per-epoch
+  /// statistics (loss/accuracy plus wall-clock seconds and examples/sec).
+  std::vector<nn::EpochStats> fit(const nn::Dataset& train);
+
+  /// Observer invoked after every epoch (after the stats are final).
+  void set_epoch_callback(EpochCallback callback) { callback_ = std::move(callback); }
+
+  [[nodiscard]] const TrainerConfig& config() const { return config_; }
+
+ private:
+  /// Outcome of one minibatch step, before averaging over the epoch.
+  struct StepStats {
+    float loss = 0.0f;
+    std::size_t correct = 0;
+  };
+
+  /// Shard count of a minibatch with `rows` rows.
+  [[nodiscard]] std::size_t shard_count(std::size_t rows) const;
+  /// Lazily create the shard clones and their cached param/state views.
+  void ensure_clones(std::size_t count);
+
+  /// The historical serial step, in place on the primary model.
+  StepStats step_serial(const nn::Dataset& train, std::span<const std::size_t> order,
+                        std::size_t begin, std::size_t end);
+  /// The data-parallel step: shard fan-out, ascending-shard reduction,
+  /// regularizer, clip, optimizer step.
+  StepStats step_sharded(const nn::Dataset& train, std::span<const std::size_t> order,
+                         std::size_t begin, std::size_t end, std::uint64_t step_seed);
+
+  nn::Sequential& model_;
+  TrainerConfig config_;
+  nn::Adam optimizer_;
+  EpochCallback callback_;
+
+  // Primary views (cached once; layer storage is heap-stable).
+  std::vector<nn::ParamRef> params_;
+  std::vector<nn::Tensor*> state_;
+
+  // Sharded-path replicas and their cached views, index == shard slot.
+  std::vector<nn::Sequential> clones_;
+  std::vector<std::vector<nn::ParamRef>> clone_params_;
+  std::vector<std::vector<nn::Tensor*>> clone_state_;
+  std::vector<nn::Tensor> prior_state_;  ///< primary state at step start
+};
+
+}  // namespace neuspin::train

@@ -1,0 +1,557 @@
+// Contracts of the data-parallel training engine (src/train/):
+//
+//  * Dataset::batch(order, ...) gather == materialized-shuffle slicing.
+//  * Gradient accumulation across backward passes + Sequential::zero_grad.
+//  * train::Trainer at shards == 1 replays the historical serial loop bit
+//    for bit (pinned against an inline copy of the pre-Trainer loop), and
+//    the nn::train_classifier wrapper routes through it unchanged.
+//  * The worker-invariance contract: for a fixed shard grid, trained
+//    parameters are bitwise identical for ANY worker count — including
+//    counts above the hardware and the shared pool size — across batch
+//    sizes that do not divide evenly, on an MLP and a CNN, and through
+//    core::fit with a method regularizer attached.
+//  * clip_grad_norm / decoupled weight decay units; EpochStats throughput.
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/models.h"
+#include "core/pipeline.h"
+#include "core/spindrop.h"
+#include "data/clusters.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "nn/optim.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace neuspin;
+
+/// Snapshot every learnable scalar (bit pattern) of a model.
+std::vector<std::uint32_t> param_bits(nn::Sequential& model) {
+  std::vector<std::uint32_t> bits;
+  for (const auto& p : model.parameters()) {
+    for (std::size_t i = 0; i < p.value->numel(); ++i) {
+      bits.push_back(std::bit_cast<std::uint32_t>((*p.value)[i]));
+    }
+  }
+  for (nn::Tensor* t : model.state_tensors()) {
+    for (std::size_t i = 0; i < t->numel(); ++i) {
+      bits.push_back(std::bit_cast<std::uint32_t>((*t)[i]));
+    }
+  }
+  return bits;
+}
+
+/// Small classification dataset (deterministic).
+nn::Dataset make_dataset(std::size_t samples, std::size_t features,
+                         std::size_t classes, std::uint64_t seed) {
+  std::mt19937_64 engine(seed);
+  nn::Dataset data;
+  data.inputs = nn::Tensor::randn({samples, features}, 1.0f, engine);
+  data.labels.resize(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    data.labels[i] = i % classes;
+    // Nudge the labelled class's first feature so the problem is learnable.
+    data.inputs.at(i, data.labels[i] % features) += 2.0f;
+  }
+  return data;
+}
+
+/// MLP with every stochastic-training flavour that must honour the
+/// invariance contract: per-sample masks (Dropout, SpinDrop) and
+/// batch-coupled normalization state (BatchNorm).
+nn::Sequential make_stochastic_mlp(std::size_t features, std::size_t classes,
+                                   std::uint64_t seed) {
+  std::mt19937_64 engine(seed);
+  nn::Sequential model;
+  model.emplace<nn::Dense>(features, 16, engine);
+  model.emplace<nn::BatchNorm>(16);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::Dropout>(0.25f, seed + 1);
+  model.add(core::make_pseudo_spindrop(core::DropGranularity::kNeuron, 16, 0.2,
+                                       seed + 2));
+  model.emplace<nn::Dense>(16, classes, engine);
+  return model;
+}
+
+nn::Sequential make_tiny_cnn(std::size_t classes, std::uint64_t seed) {
+  std::mt19937_64 engine(seed);
+  nn::Sequential model;
+  model.emplace<nn::Conv2d>(1, 4, 3, 1, engine);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::MaxPool2d>();
+  model.emplace<nn::Flatten>();
+  model.emplace<nn::Dropout>(0.2f, seed + 1);
+  model.emplace<nn::Dense>(4 * 4 * 4, classes, engine);
+  return model;
+}
+
+nn::Dataset make_image_dataset(std::size_t samples, std::size_t classes,
+                               std::uint64_t seed) {
+  std::mt19937_64 engine(seed);
+  nn::Dataset data;
+  data.inputs = nn::Tensor::randn({samples, 1, 8, 8}, 1.0f, engine);
+  data.labels.resize(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    data.labels[i] = i % classes;
+  }
+  return data;
+}
+
+// ------------------------------------------------------------ batching ----
+
+TEST(GatherBatch, MatchesMaterializedShuffle) {
+  const nn::Dataset data = make_dataset(23, 5, 3, 99);
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::mt19937_64 engine(7);
+  std::shuffle(order.begin(), order.end(), engine);
+
+  // Materialize the reordered dataset the way the old loop did.
+  nn::Dataset shuffled;
+  shuffled.inputs = nn::Tensor(data.inputs.shape());
+  shuffled.labels.resize(data.size());
+  const std::size_t per_sample = data.inputs.numel() / data.size();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (std::size_t j = 0; j < per_sample; ++j) {
+      shuffled.inputs[i * per_sample + j] = data.inputs[order[i] * per_sample + j];
+    }
+    shuffled.labels[i] = data.labels[order[i]];
+  }
+
+  for (std::size_t begin = 0; begin < data.size(); begin += 7) {
+    const std::size_t end = std::min<std::size_t>(begin + 7, data.size());
+    auto [ref_inputs, ref_labels] = shuffled.batch(begin, end);
+    auto [got_inputs, got_labels] = data.batch(order, begin, end);
+    ASSERT_EQ(ref_labels, got_labels);
+    ASSERT_EQ(ref_inputs.shape(), got_inputs.shape());
+    for (std::size_t i = 0; i < ref_inputs.numel(); ++i) {
+      ASSERT_EQ(ref_inputs[i], got_inputs[i]);
+    }
+  }
+}
+
+TEST(GatherBatch, RejectsBadRanges) {
+  const nn::Dataset data = make_dataset(8, 3, 2, 1);
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  EXPECT_THROW((void)data.batch(order, 4, 4), std::out_of_range);
+  EXPECT_THROW((void)data.batch(order, 0, data.size() + 1), std::out_of_range);
+  order[0] = 99;
+  EXPECT_THROW((void)data.batch(order, 0, 2), std::out_of_range);
+}
+
+// ------------------------------------------- gradient accumulation API ----
+
+TEST(GradAccumulation, BackwardAccumulatesAndZeroGradClears) {
+  std::mt19937_64 engine(3);
+  nn::Sequential model;
+  model.emplace<nn::Dense>(4, 3, engine);
+  nn::Tensor x = nn::Tensor::randn({5, 4}, 1.0f, engine);
+  nn::Tensor g = nn::Tensor::randn({5, 3}, 1.0f, engine);
+
+  (void)model.forward(x, true);
+  (void)model.backward(g);
+  std::vector<float> once;
+  for (const auto& p : model.parameters()) {
+    for (std::size_t i = 0; i < p.grad->numel(); ++i) {
+      once.push_back((*p.grad)[i]);
+    }
+  }
+  (void)model.forward(x, true);
+  (void)model.backward(g);
+  std::size_t k = 0;
+  for (const auto& p : model.parameters()) {
+    for (std::size_t i = 0; i < p.grad->numel(); ++i, ++k) {
+      EXPECT_FLOAT_EQ((*p.grad)[i], 2.0f * once[k]);
+    }
+  }
+  model.zero_grad();
+  for (const auto& p : model.parameters()) {
+    for (std::size_t i = 0; i < p.grad->numel(); ++i) {
+      EXPECT_EQ((*p.grad)[i], 0.0f);
+    }
+  }
+}
+
+TEST(GradAccumulation, SpinDropTrainingRowModeMatchesBatchOfOne) {
+  // The sharded trainer's mask contract: a training forward in row mode
+  // draws sample r's mask from row_seeds[r], bit for bit the batch-of-one
+  // training forward after reseed(row_seeds[r]).
+  const std::vector<std::uint64_t> row_seeds = {0xabcdull, 0x1234ull, 0x77ull};
+  std::mt19937_64 engine(5);
+  const nn::Tensor batch = nn::Tensor::uniform({3, 6}, 0.5f, 2.0f, engine);
+
+  auto rows_layer = core::make_pseudo_spindrop(core::DropGranularity::kNeuron, 6,
+                                               0.45, 1);
+  rows_layer->reseed_rows(row_seeds);
+  const nn::Tensor fused = rows_layer->forward(batch, /*training=*/true);
+
+  for (std::size_t r = 0; r < row_seeds.size(); ++r) {
+    auto one = core::make_pseudo_spindrop(core::DropGranularity::kNeuron, 6, 0.45, 1);
+    one->reseed(row_seeds[r]);
+    nn::Tensor row({1, 6});
+    for (std::size_t j = 0; j < 6; ++j) {
+      row.at(0, j) = batch.at(r, j);
+    }
+    const nn::Tensor expect = one->forward(row, /*training=*/true);
+    for (std::size_t j = 0; j < 6; ++j) {
+      ASSERT_EQ(expect.at(0, j), fused.at(r, j)) << "row " << r << " col " << j;
+    }
+  }
+}
+
+// --------------------------------------------------- serial exactness ----
+
+/// Inline copy of the pre-Trainer nn::train_classifier loop (per-epoch
+/// dataset materialization included) — the bitwise reference the serial
+/// path must keep matching.
+std::vector<float> legacy_loop(nn::Sequential& model, const nn::Dataset& train,
+                               const nn::TrainConfig& config) {
+  nn::Adam optimizer(model.parameters(), config.lr);
+  std::mt19937_64 shuffle_engine(config.shuffle_seed);
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<float> losses;
+  const std::size_t per_sample = train.inputs.numel() / train.size();
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    optimizer.set_lr(config.lr *
+                     std::pow(config.lr_decay,
+                              static_cast<float>(epoch / std::max<std::size_t>(
+                                                             config.lr_decay_period, 1))));
+    std::shuffle(order.begin(), order.end(), shuffle_engine);
+    nn::Dataset data;
+    data.inputs = nn::Tensor(train.inputs.shape());
+    data.labels.resize(train.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      for (std::size_t j = 0; j < per_sample; ++j) {
+        data.inputs[i * per_sample + j] = train.inputs[order[i] * per_sample + j];
+      }
+      data.labels[i] = train.labels[order[i]];
+    }
+    for (std::size_t begin = 0; begin < data.size(); begin += config.batch_size) {
+      const std::size_t end = std::min(begin + config.batch_size, data.size());
+      auto [inputs, labels] = data.batch(begin, end);
+      nn::Tensor logits = model.forward(inputs, true);
+      nn::LossResult loss =
+          nn::softmax_cross_entropy(logits, labels, config.label_smoothing);
+      if (config.regularizer) {
+        loss.value += config.regularizer();
+      }
+      (void)model.backward(loss.grad);
+      optimizer.step();
+      losses.push_back(loss.value);
+    }
+  }
+  return losses;
+}
+
+TEST(TrainerSerial, BitwiseEqualToLegacyLoop) {
+  const nn::Dataset data = make_dataset(50, 8, 3, 11);
+  nn::TrainConfig config;
+  config.epochs = 3;
+  config.batch_size = 16;  // ragged tail: 50 % 16 != 0
+  config.label_smoothing = 0.1f;
+
+  nn::Sequential reference = make_stochastic_mlp(8, 3, 42);
+  nn::Sequential subject = reference.clone();
+  (void)legacy_loop(reference, data, config);
+  (void)nn::train_classifier(subject, data, config);
+  EXPECT_EQ(param_bits(reference), param_bits(subject));
+}
+
+TEST(TrainerSerial, WorkersIgnoredAtOneShard) {
+  const nn::Dataset data = make_dataset(40, 6, 2, 5);
+  nn::Sequential a = make_stochastic_mlp(6, 2, 17);
+  nn::Sequential b = a.clone();
+
+  train::TrainerConfig config;
+  config.epochs = 2;
+  config.batch_size = 8;
+  config.shards = 1;
+  config.workers = 1;
+  train::Trainer ta(a, config);
+  (void)ta.fit(data);
+  config.workers = 16;  // way past the hardware: still the serial path
+  train::Trainer tb(b, config);
+  (void)tb.fit(data);
+  EXPECT_EQ(param_bits(a), param_bits(b));
+}
+
+TEST(TrainerSerial, ClearsStaleRowModeAndGradients) {
+  const nn::Dataset data = make_dataset(20, 6, 2, 13);
+  nn::Sequential clean = make_stochastic_mlp(6, 2, 29);
+  nn::Sequential dirty = clean.clone();
+
+  // Contaminate without touching any RNG engine: sticky row mode from a
+  // fused-MC eval pass (size != any training batch) and externally
+  // accumulated gradients.
+  const std::vector<std::uint64_t> stale_seeds(9, 0xdeadull);
+  dirty.reseed_rows(stale_seeds);
+  for (auto& p : dirty.parameters()) {
+    p.grad->fill(1.0f);
+  }
+
+  nn::TrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 5;
+  (void)nn::train_classifier(clean, data, config);
+  (void)nn::train_classifier(dirty, data, config);  // pre-fix: SpinDrop threw
+  EXPECT_EQ(param_bits(clean), param_bits(dirty));
+}
+
+TEST(TrainerInvariance, ManyShardsKeepRunningStatisticsFinite) {
+  // shards * BatchNorm momentum > 1 (16 * 0.1): the state fold must stay a
+  // convex combination — a raw delta sum would scale the prior's
+  // coefficient to 1 - 1.6 and, with low-variance activations (inputs
+  // scaled well below the running_var init of 1), drive running_var
+  // negative and every later eval forward to NaN.
+  // A single 64-row step: the raw-sum recurrence oscillates (ratio
+  // |1 - shards*momentum| < 1 here), so the sign flip is visible after an
+  // odd number of steps.
+  nn::Dataset data = make_dataset(64, 6, 2, 41);
+  data.inputs *= 0.05f;
+  const nn::Sequential init = make_stochastic_mlp(6, 2, 37);
+  std::vector<std::uint32_t> reference;
+  for (std::size_t workers : {1, 16}) {
+    nn::Sequential model = init.clone();
+    train::TrainerConfig config;
+    config.epochs = 1;
+    config.batch_size = 64;
+    config.shards = 16;
+    config.workers = workers;
+    train::Trainer trainer(model, config);
+    (void)trainer.fit(data);
+    for (nn::Tensor* state : model.state_tensors()) {
+      for (std::size_t i = 0; i < state->numel(); ++i) {
+        ASSERT_TRUE(std::isfinite((*state)[i]));
+      }
+    }
+    auto& bn = dynamic_cast<nn::BatchNorm&>(model.layer(1));
+    for (std::size_t f = 0; f < bn.features(); ++f) {
+      ASSERT_GT(bn.running_var()[f], 0.0f) << "feature " << f;
+    }
+    const float acc = nn::evaluate_accuracy(model, data);
+    ASSERT_TRUE(std::isfinite(acc));
+    const auto bits = param_bits(model);
+    if (reference.empty()) {
+      reference = bits;
+    } else {
+      EXPECT_EQ(reference, bits);
+    }
+  }
+}
+
+// ------------------------------------------------- worker invariance ----
+
+TEST(TrainerInvariance, AnyWorkerCountMlp) {
+  const std::size_t features = 8;
+  const std::size_t classes = 3;
+  const nn::Dataset data = make_dataset(53, features, classes, 23);
+  const nn::Sequential init = make_stochastic_mlp(features, classes, 7);
+
+  for (std::size_t shards : {2, 5}) {
+    for (std::size_t batch : {7, 32}) {  // neither divides 53
+      std::vector<std::uint32_t> reference;
+      for (std::size_t workers : {1, 2, 5, 13}) {
+        nn::Sequential model = init.clone();
+        train::TrainerConfig config;
+        config.epochs = 2;
+        config.batch_size = batch;
+        config.shards = shards;
+        config.workers = workers;
+        config.label_smoothing = 0.05f;
+        train::Trainer trainer(model, config);
+        (void)trainer.fit(data);
+        const auto bits = param_bits(model);
+        if (reference.empty()) {
+          reference = bits;
+        } else {
+          EXPECT_EQ(reference, bits)
+              << "shards=" << shards << " batch=" << batch << " workers=" << workers;
+        }
+      }
+    }
+  }
+}
+
+TEST(TrainerInvariance, AnyWorkerCountCnn) {
+  const nn::Dataset data = make_image_dataset(30, 4, 31);
+  const nn::Sequential init = make_tiny_cnn(4, 3);
+
+  std::vector<std::uint32_t> reference;
+  for (std::size_t workers : {1, 4}) {
+    nn::Sequential model = init.clone();
+    train::TrainerConfig config;
+    config.epochs = 2;
+    config.batch_size = 8;
+    config.shards = 3;
+    config.workers = workers;
+    train::Trainer trainer(model, config);
+    (void)trainer.fit(data);
+    const auto bits = param_bits(model);
+    if (reference.empty()) {
+      reference = bits;
+    } else {
+      EXPECT_EQ(reference, bits) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(TrainerInvariance, GradClipAndWeightDecayPreserveInvariance) {
+  const nn::Dataset data = make_dataset(24, 6, 3, 77);
+  const nn::Sequential init = make_stochastic_mlp(6, 3, 19);
+  std::vector<std::uint32_t> reference;
+  for (std::size_t workers : {1, 6}) {
+    nn::Sequential model = init.clone();
+    train::TrainerConfig config;
+    config.epochs = 2;
+    config.batch_size = 10;
+    config.shards = 4;
+    config.workers = workers;
+    config.grad_clip = 0.5f;
+    config.weight_decay = 1e-2f;
+    train::Trainer trainer(model, config);
+    (void)trainer.fit(data);
+    const auto bits = param_bits(model);
+    if (reference.empty()) {
+      reference = bits;
+    } else {
+      EXPECT_EQ(reference, bits);
+    }
+  }
+}
+
+TEST(TrainerInvariance, FitThroughTrainerWithMethodRegularizer) {
+  data::ClusterConfig clusters;
+  clusters.classes = 3;
+  clusters.dimensions = 8;
+  clusters.samples_per_class = 12;
+  const nn::Dataset data = data::make_gaussian_clusters(clusters, 3);
+
+  core::ModelConfig mc;
+  mc.method = core::Method::kSubsetVi;  // KL regularizer on the primary
+  mc.seed = 9;
+  std::vector<std::uint32_t> reference;
+  for (std::size_t workers : {1, 4}) {
+    core::BuiltModel model = core::make_binary_mlp(mc, 8, {12}, 3);
+    core::FitConfig fc;
+    fc.epochs = 2;
+    fc.batch_size = 9;
+    fc.shards = 3;
+    fc.workers = workers;
+    (void)core::fit(model, data, fc);
+    const auto bits = param_bits(model.net);
+    if (reference.empty()) {
+      reference = bits;
+    } else {
+      EXPECT_EQ(reference, bits);
+    }
+  }
+}
+
+// ------------------------------------------------------ optim units ----
+
+TEST(Optim, ClipGradNormScalesToMaxNorm) {
+  nn::Tensor value({4}, 1.0f);
+  nn::Tensor grad({4}, 3.0f);  // norm = sqrt(4 * 9) = 6
+  std::vector<nn::ParamRef> params = {{&value, &grad}};
+  EXPECT_FLOAT_EQ(nn::global_grad_norm(params), 6.0f);
+
+  const float pre = nn::clip_grad_norm(params, 1.5f);
+  EXPECT_FLOAT_EQ(pre, 6.0f);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(grad[i], 3.0f * (1.5f / 6.0f));
+  }
+  EXPECT_FLOAT_EQ(nn::global_grad_norm(params), 1.5f);
+
+  // Below the threshold (and <= 0): untouched.
+  const float kept = nn::clip_grad_norm(params, 10.0f);
+  EXPECT_FLOAT_EQ(kept, 1.5f);
+  EXPECT_FLOAT_EQ(grad[0], 0.75f);
+  (void)nn::clip_grad_norm(params, 0.0f);
+  EXPECT_FLOAT_EQ(grad[0], 0.75f);
+}
+
+TEST(Optim, DecoupledWeightDecayShrinksParameters) {
+  nn::Tensor value({1}, 2.0f);
+  nn::Tensor grad({1}, 0.0f);  // zero gradient isolates the decay term
+  nn::Adam adam({{&value, &grad}}, /*lr=*/0.1f, 0.9f, 0.999f, 1e-8f,
+                /*weight_decay=*/0.1f);
+  adam.step();
+  // mhat = 0 -> update is pure decay: v -= lr * wd * v.
+  EXPECT_FLOAT_EQ(value[0], 2.0f - 0.1f * 0.1f * 2.0f);
+
+  // weight_decay = 0 stays classic Adam (no drift on zero gradients).
+  nn::Tensor value2({1}, 2.0f);
+  nn::Tensor grad2({1}, 0.0f);
+  nn::Adam plain({{&value2, &grad2}}, 0.1f);
+  plain.step();
+  EXPECT_FLOAT_EQ(value2[0], 2.0f);
+}
+
+// -------------------------------------------------- stats & plumbing ----
+
+TEST(TrainerStats, ThroughputAndCallback) {
+  const nn::Dataset data = make_dataset(32, 5, 2, 3);
+  nn::Sequential model = make_stochastic_mlp(5, 2, 21);
+  train::TrainerConfig config;
+  config.epochs = 2;
+  config.batch_size = 8;
+  config.shards = 2;
+  train::Trainer trainer(model, config);
+  std::size_t callbacks = 0;
+  trainer.set_epoch_callback([&callbacks](std::size_t epoch, const nn::EpochStats& s) {
+    EXPECT_EQ(epoch, callbacks);
+    EXPECT_GE(s.seconds, 0.0);
+    EXPECT_GT(s.examples_per_sec, 0.0);
+    ++callbacks;
+  });
+  const auto history = trainer.fit(data);
+  EXPECT_EQ(callbacks, 2u);
+  ASSERT_EQ(history.size(), 2u);
+  for (const auto& epoch : history) {
+    EXPECT_GT(epoch.examples_per_sec, 0.0);
+    EXPECT_GE(epoch.train_accuracy, 0.0f);
+    EXPECT_LE(epoch.train_accuracy, 1.0f);
+  }
+}
+
+TEST(TrainerStats, TrainingLearnsTheClusters) {
+  data::ClusterConfig clusters;
+  clusters.classes = 3;
+  clusters.dimensions = 6;
+  clusters.samples_per_class = 40;
+  const nn::Dataset data = data::make_gaussian_clusters(clusters, 4);
+  nn::Sequential model = make_stochastic_mlp(6, 3, 2);
+  train::TrainerConfig config;
+  config.epochs = 8;
+  config.batch_size = 16;
+  config.shards = 3;
+  train::Trainer trainer(model, config);
+  const auto history = trainer.fit(data);
+  EXPECT_GT(history.back().train_accuracy, 0.8f);
+  EXPECT_GT(nn::evaluate_accuracy(model, data), 0.8f);
+}
+
+TEST(TrainerErrors, EmptyDatasetAndZeroBatch) {
+  nn::Sequential model = make_stochastic_mlp(4, 2, 1);
+  train::TrainerConfig config;
+  config.batch_size = 0;
+  EXPECT_THROW(train::Trainer(model, config), std::invalid_argument);
+
+  train::TrainerConfig ok;
+  train::Trainer trainer(model, ok);
+  EXPECT_THROW((void)trainer.fit(nn::Dataset{}), std::invalid_argument);
+}
+
+}  // namespace

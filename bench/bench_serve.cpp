@@ -33,6 +33,7 @@
 
 #include "bench_util.h"
 #include "core/models.h"
+#include "data/ood.h"
 #include "data/strokes.h"
 #include "serve/runtime.h"
 
@@ -60,17 +61,24 @@ struct RunResult {
   double p99_us = 0.0;
   double mean_batch = 0.0;
   double energy_uj_per_req = 0.0;
+  double escalation_rate = 0.0;  ///< cascade backend only
+  double skip_ratio = 0.0;       ///< event-engine rows skipped (tiled rungs)
 };
 
-RunResult run_load(const core::BuiltModel& model, serve::RuntimeConfig config,
-                   const nn::Dataset& data, std::size_t requests) {
-  serve::Runtime runtime(model, config);
+std::vector<std::vector<float>> dataset_rows(const nn::Dataset& data) {
   std::vector<std::vector<float>> rows;
   rows.reserve(data.size());
   for (std::size_t i = 0; i < data.size(); ++i) {
     const nn::Tensor x = data.batch(i, i + 1).first;
     rows.emplace_back(x.data().begin(), x.data().end());
   }
+  return rows;
+}
+
+RunResult run_load(const core::BuiltModel& model, serve::RuntimeConfig config,
+                   const std::vector<std::vector<float>>& rows,
+                   std::size_t requests) {
+  serve::Runtime runtime(model, config);
 
   // Closed loop with a bounded in-flight window: latencies then measure
   // steady-state queue + compute time, not the depth of a pre-submitted
@@ -107,6 +115,9 @@ RunResult run_load(const core::BuiltModel& model, serve::RuntimeConfig config,
   result.mean_batch = runtime.stats().mean_batch_size;
   result.energy_uj_per_req =
       energy_pj * 1e-6 / static_cast<double>(requests);
+  result.escalation_rate = static_cast<double>(runtime.stats().escalated) /
+                           static_cast<double>(requests);
+  result.skip_ratio = runtime.delta_stats().skip_ratio();
   return result;
 }
 
@@ -213,7 +224,7 @@ double sweep_backend(const core::BuiltModel& model, const nn::Dataset& data,
     config.spindrop_p = backend == serve::Backend::kTiled ? 0.15 : 0.0;
     config.batcher.max_batch = 16;
     config.batcher.max_linger = std::chrono::microseconds(100);
-    const RunResult r = run_load(model, config, data, requests);
+    const RunResult r = run_load(model, config, dataset_rows(data), requests);
     if (first_rate == 0.0) {
       first_rate = r.requests_per_sec;
     }
@@ -222,6 +233,113 @@ double sweep_backend(const core::BuiltModel& model, const nn::Dataset& data,
                 r.energy_uj_per_req);
   }
   return first_rate;
+}
+
+/// Cascade sweep (ROADMAP item 2 / ISSUE-6 acceptance): an OOD-mixed
+/// workload — in-distribution stroke digits with a slice of uniform-noise
+/// requests shuffled in — served three ways:
+///   * tiled/full        pure electrical, event engine off (the baseline
+///                       every pass re-simulates from scratch)
+///   * tiled/event       pure electrical, delta evaluation on — the
+///                       tile-eval speedup on sparse-delta MC inputs
+///   * cascade           behavioural rung answers everything, escalates to
+///                       the tiled rung past the calibrated entropy gate
+/// The entropy threshold is calibrated on in-distribution validation
+/// entropies (90th percentile via serve::should_escalate), so ~10% of ID
+/// traffic escalates; OOD requests carry high predictive entropy and
+/// escalate at a much higher rate — uncertain inputs get electrical-
+/// fidelity answers while the bulk of the stream stays on the cheap rung.
+void sweep_cascade(const core::BuiltModel& model, const nn::Dataset& data) {
+  const std::size_t requests = g_smoke ? 12 : 192;
+  const std::size_t tiled_requests = g_smoke ? 6 : 48;
+  constexpr std::size_t kMc = 4;
+  constexpr double kDropP = 0.15;
+
+  // OOD-mixed request stream: every 8th payload is uniform noise,
+  // standardized exactly like the in-distribution digits.
+  const std::size_t ood_count = data.size() / 8 + 1;
+  data::StrokeConfig sc;
+  sc.samples_per_class = ood_count / 10 + 1;  // reference must cover `count`
+  const nn::Dataset ood_images = data::make_ood(
+      data::make_stroke_digits(sc, 3), data::OodKind::kUniformNoise, ood_count, 99);
+  const nn::Dataset ood = data::standardize_per_sample(nn::Dataset{
+      ood_images.inputs.reshaped({ood_images.size(), 256}), ood_images.labels});
+  std::vector<std::vector<float>> rows = dataset_rows(data);
+  const std::vector<std::vector<float>> noise = dataset_rows(ood);
+  for (std::size_t i = 0; i < noise.size(); ++i) {
+    rows[(i * 8 + 3) % rows.size()] = noise[i];
+  }
+
+  // Calibrate the escalation gate on clean validation entropies: the
+  // 90th percentile, checked against the gate the backend actually uses.
+  std::vector<double> entropies;
+  {
+    serve::RuntimeConfig config;
+    config.workers = 1;
+    config.mc_samples = kMc;
+    serve::Runtime runtime(model, config);
+    std::vector<std::future<serve::ServedPrediction>> futures;
+    const std::size_t calib = std::min<std::size_t>(data.size(), g_smoke ? 16 : 64);
+    for (std::size_t i = 0; i < calib; ++i) {
+      const nn::Tensor x = data.batch(i, i + 1).first;
+      futures.push_back(
+          runtime.submit(std::vector<float>(x.data().begin(), x.data().end())));
+    }
+    for (auto& f : futures) {
+      entropies.push_back(f.get().entropy);
+    }
+  }
+  std::sort(entropies.begin(), entropies.end());
+  serve::CascadeConfig cascade;
+  cascade.entropy_threshold = percentile(entropies, 0.90);
+  std::size_t calib_escalated = 0;
+  for (const double e : entropies) {
+    calib_escalated += serve::should_escalate(cascade, e, 1.0) ? 1 : 0;
+  }
+  std::printf(
+      "\ncascade backend (OOD-mixed workload, 1 in 8 requests uniform noise)\n"
+      "entropy gate calibrated at %.3f nats (90th pct of %zu ID entropies; "
+      "%.0f%% of ID calibration traffic escalates)\n",
+      cascade.entropy_threshold, entropies.size(),
+      100.0 * static_cast<double>(calib_escalated) /
+          static_cast<double>(entropies.size()));
+
+  const auto tiled_config = [&](xbar::EvalMode mode) {
+    serve::RuntimeConfig config;
+    config.backend = serve::Backend::kTiled;
+    config.workers = 1;
+    config.mc_samples = kMc;
+    config.spindrop_p = kDropP;
+    config.tile.eval_mode = mode;
+    config.batcher.max_batch = 16;
+    config.batcher.max_linger = std::chrono::microseconds(100);
+    return config;
+  };
+  const RunResult full =
+      run_load(model, tiled_config(xbar::EvalMode::kFull), rows, tiled_requests);
+  const RunResult event =
+      run_load(model, tiled_config(xbar::EvalMode::kEventDriven), rows, tiled_requests);
+
+  serve::RuntimeConfig config = tiled_config(xbar::EvalMode::kEventDriven);
+  config.backend = serve::Backend::kCascade;
+  config.cascade = cascade;
+  const RunResult casc = run_load(model, config, rows, requests);
+
+  std::printf("%14s %12s %12s %12s %12s %10s\n", "config", "req/s", "p50 (us)",
+              "p99 (us)", "escalated", "skipped");
+  const auto print_row = [](const char* name, const RunResult& r) {
+    std::printf("%14s %12.0f %12.0f %12.0f %11.1f%% %9.1f%%\n", name,
+                r.requests_per_sec, r.p50_us, r.p99_us, 100.0 * r.escalation_rate,
+                100.0 * r.skip_ratio);
+  };
+  print_row("tiled/full", full);
+  print_row("tiled/event", event);
+  print_row("cascade", casc);
+  std::printf("tile-eval speedup (event vs full): %.2fx; cascade vs tiled/event: "
+              "%.1fx req/s at %.1f%% escalation\n",
+              event.requests_per_sec / full.requests_per_sec,
+              casc.requests_per_sec / event.requests_per_sec,
+              100.0 * casc.escalation_rate);
 }
 
 }  // namespace
@@ -276,6 +394,8 @@ int main(int argc, char** argv) {
   }
   sweep_backend(model, data, serve::Backend::kTiled, /*mc_samples=*/4,
                 g_smoke ? 8 : 48, tiled_counts);
+
+  sweep_cascade(model, data);
 
   std::printf("\nNote: predictions are bitwise identical across every row of\n"
               "these sweeps — worker count, batching and arrival process\n"

@@ -4,6 +4,7 @@
 #include <functional>
 #include <stdexcept>
 
+#include "core/fidelity.h"
 #include "core/spindrop.h"
 #include "core/thread_pool.h"
 
@@ -134,28 +135,93 @@ std::size_t perturb_weights(nn::Sequential& net, float rel_sigma, std::uint64_t 
   return perturbed;
 }
 
+namespace {
+
+/// Fold sign(gamma * (a - mean)/std + beta) into a threshold on the
+/// pre-normalization activation a: theta = mean - beta * std / gamma. The
+/// shared fold of dense (per neuron) and conv (per channel) stages.
+void fold_batch_norm(nn::BatchNorm& bn, std::size_t n, std::vector<float>& threshold,
+                     std::vector<float>& bn_sign) {
+  threshold.resize(n);
+  bn_sign.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    const float gamma = bn.gamma()[c];
+    const float beta = bn.beta()[c];
+    const float mean = bn.running_mean()[c];
+    const float std_dev = std::sqrt(bn.running_var()[c] + 1e-5f);
+    const float safe_gamma = std::abs(gamma) < 1e-6f
+                                 ? (gamma < 0.0f ? -1e-6f : 1e-6f)
+                                 : gamma;
+    threshold[c] = mean - beta * std_dev / safe_gamma;
+    bn_sign[c] = safe_gamma >= 0.0f ? 1.0f : -1.0f;
+  }
+}
+
+[[nodiscard]] bool is_binary_layer(nn::Layer& layer) {
+  return dynamic_cast<nn::BinaryDense*>(&layer) != nullptr ||
+         dynamic_cast<nn::BinaryConv2d*>(&layer) != nullptr;
+}
+
+}  // namespace
+
 TiledMlp::TiledMlp(nn::Sequential& net, const xbar::TileConfig& tile_config,
                    std::uint64_t seed)
     : engine_(seed ^ 0x7117), dropout_seed_(seed ^ 0xd407) {
-  // Walk the canonical [BinaryDense -> BatchNorm -> Sign]* -> BinaryDense
-  // layout, skipping dropout/readout decorations.
+  // Walk the canonical
+  //   [BinaryConv2d -> BN -> Sign -> (MaxPool2d)]*
+  //   [BinaryDense -> BN -> Sign]* -> BinaryDense
+  // layout, skipping dropout/readout/flatten decorations. Each binary
+  // layer claims the decorations up to the next binary layer.
   std::size_t i = 0;
+  std::size_t tile_index = 0;  // conv + dense, drives the per-tile seed
+  const auto next_binary = [&net](std::size_t from) {
+    while (from < net.size() && !is_binary_layer(net.layer(from))) {
+      ++from;
+    }
+    return from;
+  };
   while (i < net.size()) {
+    if (auto* conv = dynamic_cast<nn::BinaryConv2d*>(&net.layer(i))) {
+      const std::size_t stop = next_binary(i + 1);
+      nn::BatchNorm* bn = nullptr;
+      bool pool = false;
+      for (std::size_t j = i + 1; j < stop; ++j) {
+        if (bn == nullptr) {
+          bn = dynamic_cast<nn::BatchNorm*>(&net.layer(j));
+        }
+        if (dynamic_cast<nn::MaxPool2d*>(&net.layer(j)) != nullptr) {
+          pool = true;
+        }
+      }
+      if (bn == nullptr) {
+        throw std::invalid_argument(
+            "TiledMlp: conv stage without a BatchNorm to fold is not supported");
+      }
+      ConvStage stage;
+      const nn::Tensor weights = conv->binary_weight();
+      const nn::Tensor scales = conv->channel_scales();
+      std::vector<float> w(weights.data().begin(), weights.data().end());
+      std::vector<float> s(scales.data().begin(), scales.data().end());
+      stage.tile = std::make_unique<xbar::ConvTile>(
+          tile_config, conv->in_channels(), conv->out_channels(), conv->kernel(),
+          conv->padding(), w, s, seed + 131 * tile_index);
+      stage.bias.assign(conv->bias().data().begin(), conv->bias().data().end());
+      fold_batch_norm(*bn, conv->out_channels(), stage.threshold, stage.bn_sign);
+      stage.pool = pool;
+      conv_stages_.push_back(std::move(stage));
+      ++tile_index;
+      i = stop;
+      continue;
+    }
     auto* dense = dynamic_cast<nn::BinaryDense*>(&net.layer(i));
     if (dense == nullptr) {
       ++i;
       continue;
     }
-    // Find the matching BatchNorm (if any) before the next BinaryDense.
+    const std::size_t stop = next_binary(i + 1);
     nn::BatchNorm* bn = nullptr;
-    for (std::size_t j = i + 1; j < net.size(); ++j) {
-      if (dynamic_cast<nn::BinaryDense*>(&net.layer(j)) != nullptr) {
-        break;
-      }
-      if (auto* candidate = dynamic_cast<nn::BatchNorm*>(&net.layer(j))) {
-        bn = candidate;
-        break;
-      }
+    for (std::size_t j = i + 1; j < stop && bn == nullptr; ++j) {
+      bn = dynamic_cast<nn::BatchNorm*>(&net.layer(j));
     }
 
     FoldedLayer folded;
@@ -165,29 +231,15 @@ TiledMlp::TiledMlp(nn::Sequential& net, const xbar::TileConfig& tile_config,
     std::vector<float> s(scales.data().begin(), scales.data().end());
     folded.tile = std::make_unique<xbar::DenseTile>(
         tile_config, dense->in_features(), dense->out_features(), w, s,
-        seed + 131 * tiles_.size());
+        seed + 131 * tile_index);
     folded.bias.assign(dense->bias().data().begin(), dense->bias().data().end());
     folded.hidden = bn != nullptr;
     if (bn != nullptr) {
-      // Fold sign(gamma * (a - mean)/std + beta) into a threshold on the
-      // pre-normalization activation a: theta = mean - beta * std / gamma.
-      const std::size_t n = dense->out_features();
-      folded.threshold.resize(n);
-      folded.bn_sign.resize(n);
-      for (std::size_t c = 0; c < n; ++c) {
-        const float gamma = bn->gamma()[c];
-        const float beta = bn->beta()[c];
-        const float mean = bn->running_mean()[c];
-        const float std_dev = std::sqrt(bn->running_var()[c] + 1e-5f);
-        const float safe_gamma = std::abs(gamma) < 1e-6f
-                                     ? (gamma < 0.0f ? -1e-6f : 1e-6f)
-                                     : gamma;
-        folded.threshold[c] = mean - beta * std_dev / safe_gamma;
-        folded.bn_sign[c] = safe_gamma >= 0.0f ? 1.0f : -1.0f;
-      }
+      fold_batch_norm(*bn, dense->out_features(), folded.threshold, folded.bn_sign);
     }
     tiles_.push_back(std::move(folded));
-    ++i;
+    ++tile_index;
+    i = stop;
   }
   if (tiles_.empty()) {
     throw std::invalid_argument("TiledMlp: network contains no BinaryDense layers");
@@ -196,6 +248,16 @@ TiledMlp::TiledMlp(nn::Sequential& net, const xbar::TileConfig& tile_config,
 
 TiledMlp::TiledMlp(const TiledMlp& other)
     : engine_(other.engine_), dropout_seed_(other.dropout_seed_) {
+  conv_stages_.reserve(other.conv_stages_.size());
+  for (const ConvStage& stage : other.conv_stages_) {
+    ConvStage copy;
+    copy.tile = stage.tile->clone();
+    copy.bias = stage.bias;
+    copy.threshold = stage.threshold;
+    copy.bn_sign = stage.bn_sign;
+    copy.pool = stage.pool;
+    conv_stages_.push_back(std::move(copy));
+  }
   tiles_.reserve(other.tiles_.size());
   for (const FoldedLayer& layer : other.tiles_) {
     FoldedLayer copy;
@@ -208,13 +270,111 @@ TiledMlp::TiledMlp(const TiledMlp& other)
   }
 }
 
+xbar::DeltaStats TiledMlp::delta_stats() const {
+  xbar::DeltaStats stats;
+  for (const ConvStage& stage : conv_stages_) {
+    stats += stage.tile->delta_stats();
+  }
+  for (const FoldedLayer& layer : tiles_) {
+    stats += layer.tile->delta_stats();
+  }
+  return stats;
+}
+
 std::size_t TiledMlp::out_features() const {
   return tiles_.back().tile->out_features();
 }
 
 void TiledMlp::inject_defects(const device::DefectRates& rates, std::uint64_t seed) {
+  for (std::size_t s = 0; s < conv_stages_.size(); ++s) {
+    conv_stages_[s].tile->inject_defects(rates, seed + 977 * (tiles_.size() + s));
+  }
   for (std::size_t t = 0; t < tiles_.size(); ++t) {
     tiles_[t].tile->inject_defects(rates, seed + 977 * t);
+  }
+}
+
+void TiledMlp::run_conv_stages(std::vector<float>& x,
+                               std::vector<std::uint8_t>& enabled, double p,
+                               energy::EnergyLedger* ledger) {
+  const std::size_t channels = conv_stages_.front().tile->in_channels();
+  if (channels == 0 || x.size() % channels != 0) {
+    throw std::invalid_argument("TiledMlp: input features do not match conv channels");
+  }
+  const std::size_t pixels = x.size() / channels;
+  const auto side =
+      static_cast<std::size_t>(std::lround(std::sqrt(static_cast<double>(pixels))));
+  if (side * side != pixels) {
+    throw std::invalid_argument(
+        "TiledMlp: flat conv input must reshape to square feature maps, got " +
+        std::to_string(x.size()) + " features over " + std::to_string(channels) +
+        " channels");
+  }
+  nn::Tensor fm(nn::Shape{1, channels, side, side}, x);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::vector<std::uint8_t> ch_enabled(channels, 1);
+  for (ConvStage& stage : conv_stages_) {
+    nn::Tensor a = stage.tile->forward_gated(fm, ch_enabled, ledger, engine_);
+    const std::size_t oc = a.dim(1);
+    const std::size_t oh = a.dim(2);
+    const std::size_t ow = a.dim(3);
+    // Bias, folded batch-norm threshold and sign activation, per channel.
+    for (std::size_t c = 0; c < oc; ++c) {
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t xx = 0; xx < ow; ++xx) {
+          const float v = a.at4(0, c, y, xx) + stage.bias[c];
+          a.at4(0, c, y, xx) = (v - stage.threshold[c]) >= 0.0f ? stage.bn_sign[c]
+                                                                : -stage.bn_sign[c];
+        }
+      }
+    }
+    if (stage.pool) {
+      // Digital 2x2 max pooling of the ±1 activations at the periphery.
+      const std::size_t ph = oh / 2;
+      const std::size_t pw = ow / 2;
+      nn::Tensor pooled({1, oc, ph, pw});
+      for (std::size_t c = 0; c < oc; ++c) {
+        for (std::size_t y = 0; y < ph; ++y) {
+          for (std::size_t xx = 0; xx < pw; ++xx) {
+            float best = a.at4(0, c, 2 * y, 2 * xx);
+            for (std::size_t dy = 0; dy < 2; ++dy) {
+              for (std::size_t dx = 0; dx < 2; ++dx) {
+                best = std::max(best, a.at4(0, c, 2 * y + dy, 2 * xx + dx));
+              }
+            }
+            pooled.at4(0, c, y, xx) = best;
+          }
+        }
+      }
+      a = std::move(pooled);
+    }
+    // Spatial-SpinDrop: one stochastic MTJ module per feature map; a
+    // dropped map gates its whole row group in the next tile.
+    ch_enabled.assign(oc, 1);
+    if (p > 0.0) {
+      for (std::size_t c = 0; c < oc; ++c) {
+        if (ledger != nullptr) {
+          ledger->add(energy::Component::kRngDropoutCycle, 1);
+        }
+        if (u01(engine_) < p) {
+          ch_enabled[c] = 0;
+        }
+      }
+    }
+    fm = std::move(a);
+  }
+  // Flatten NCHW row-major (the Flatten layer's order); dropped feature
+  // maps gate their flattened rows into the first dense tile.
+  const std::size_t oc = fm.dim(1);
+  const std::size_t per_channel = fm.dim(2) * fm.dim(3);
+  x.assign(fm.data().begin(), fm.data().end());
+  enabled.assign(x.size(), 1);
+  for (std::size_t c = 0; c < oc; ++c) {
+    if (!ch_enabled[c]) {
+      std::fill(enabled.begin() + static_cast<std::ptrdiff_t>(c * per_channel),
+                enabled.begin() + static_cast<std::ptrdiff_t>((c + 1) * per_channel),
+                static_cast<std::uint8_t>(0));
+    }
   }
 }
 
@@ -238,6 +398,9 @@ nn::Tensor TiledMlp::forward_spindrop(const nn::Tensor& input, double p,
       x[f] = input.at(b, f);
     }
     std::vector<std::uint8_t> enabled(x.size(), 1);
+    if (!conv_stages_.empty()) {
+      run_conv_stages(x, enabled, p, ledger);
+    }
     for (std::size_t t = 0; t < tiles_.size(); ++t) {
       FoldedLayer& layer = tiles_[t];
       const std::vector<float> sums =
@@ -279,20 +442,37 @@ TiledMcEvaluator::TiledMcEvaluator(nn::Sequential& net,
                                    const xbar::TileConfig& tile_config,
                                    std::uint64_t tile_seed,
                                    const TiledEvalOptions& options)
-    : options_(options),
-      proto_(net.clone()),
-      tile_config_(tile_config),
-      tile_seed_(tile_seed),
-      max_replicas_(resolve_worker_count(options.threads)) {
+    : options_(options), max_replicas_(resolve_worker_count(options.threads)) {
   if (options.mc_samples == 0) {
     throw std::invalid_argument("TiledMcEvaluator: need at least one MC sample");
   }
+  TiledBackendConfig backend;
+  backend.tile = tile_config;
+  backend.tile_seed = tile_seed;
+  backend.mc_samples = options.mc_samples;
+  backend.spindrop_p = options.dropout_p;
+  // Chunk-level ledgers, no per-row attribution: forward() then threads a
+  // caller ledger straight through every pass, which keeps the event
+  // accumulation order of the pre-backend implementation.
+  backend.measure_energy = false;
   replicas_.reserve(max_replicas_);
   // The first replica is built eagerly so a non-canonical net layout fails
   // here, not at the first predict; the rest are built on demand
-  // (rebuilding from the same (weights, config, seed) is the tile-level
-  // clone — every replica draws identical variability and defects).
-  replicas_.emplace_back(proto_, tile_config_, tile_seed_);
+  // (FidelityBackend::clone() preserves the programmed state — every
+  // replica carries identical variability and defect draws).
+  replicas_.push_back(std::make_unique<TiledBackend>(net, backend));
+}
+
+TiledMcEvaluator::~TiledMcEvaluator() = default;
+TiledMcEvaluator::TiledMcEvaluator(TiledMcEvaluator&&) noexcept = default;
+TiledMcEvaluator& TiledMcEvaluator::operator=(TiledMcEvaluator&&) noexcept = default;
+
+xbar::DeltaStats TiledMcEvaluator::delta_stats() const {
+  xbar::DeltaStats stats;
+  for (const auto& replica : replicas_) {
+    stats += replica->delta_stats();
+  }
+  return stats;
 }
 
 Prediction TiledMcEvaluator::predict(const nn::Tensor& inputs,
@@ -306,49 +486,43 @@ Prediction TiledMcEvaluator::predict(const nn::Tensor& inputs,
   }
   const std::size_t features = inputs.dim(1);
   const std::size_t samples = options_.mc_samples;
-  const std::size_t classes = replicas_.front().out_features();
-
-  // Per-pass logits assembled across samples; distinct tasks write
-  // distinct rows, so no synchronization is needed on the tensors.
-  std::vector<nn::Tensor> member_logits(samples, nn::Tensor({batch, classes}));
-
-  const auto run_chunk = [&](TiledMlp& replica, std::size_t begin, std::size_t end,
-                             energy::EnergyLedger* chunk_ledger) {
-    nn::Tensor row({1, features});
-    for (std::size_t i = begin; i < end; ++i) {
-      for (std::size_t f = 0; f < features; ++f) {
-        row.at(0, f) = inputs.at(i, f);
-      }
-      const std::uint64_t sample_seed = nn::mix_seed(options_.seed, i);
-      for (std::size_t t = 0; t < samples; ++t) {
-        replica.reseed(nn::mix_seed(sample_seed, t));
-        const nn::Tensor logits =
-            replica.forward_spindrop(row, options_.dropout_p, chunk_ledger);
-        for (std::size_t c = 0; c < classes; ++c) {
-          member_logits[t].at(i, c) = logits.at(0, c);
-        }
-      }
-    }
-  };
 
   const std::size_t chunks = std::min(max_replicas_, batch);
   while (replicas_.size() < chunks) {
     // Grow by cloning the eagerly-built first replica: identical
-    // programmed state (reseed() runs before every pass, so the engine
-    // state at clone time is irrelevant) at a fraction of a rebuild's
-    // cost.
-    replicas_.push_back(replicas_.front().clone());
+    // programmed state (the backend reseeds before every pass, so the
+    // engine state at clone time is irrelevant) at a fraction of a
+    // rebuild's cost.
+    replicas_.push_back(replicas_.front()->clone());
   }
   std::vector<energy::EnergyLedger> chunk_ledgers;
   if (ledger != nullptr) {
     chunk_ledgers.assign(chunks, energy::EnergyLedger(ledger->adc_bits()));
   }
+  // Contiguous sample chunks, one backend replica each; chunk c answers
+  // rows [begin, end) under their in-call request seeds.
+  std::vector<std::vector<Prediction>> chunk_predictions(chunks);
+  std::vector<std::size_t> chunk_begin(chunks, 0);
   ThreadPool::shared().run_chunked(
       batch, chunks,
-      [this, &run_chunk, &chunk_ledgers, ledger](std::size_t chunk,
-                                                 std::size_t begin, std::size_t end) {
-        run_chunk(replicas_[chunk], begin, end,
-                  ledger != nullptr ? &chunk_ledgers[chunk] : nullptr);
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        if (begin == end) {
+          return;
+        }
+        const std::size_t span_rows = end - begin;
+        nn::Tensor sub({span_rows, features});
+        std::copy(inputs.data().begin() +
+                      static_cast<std::ptrdiff_t>(begin * features),
+                  inputs.data().begin() + static_cast<std::ptrdiff_t>(end * features),
+                  sub.data().begin());
+        std::vector<std::uint64_t> seeds(span_rows);
+        for (std::size_t i = 0; i < span_rows; ++i) {
+          seeds[i] = nn::mix_seed(options_.seed, begin + i);
+        }
+        BackendBatch answered = replicas_[chunk]->forward(
+            sub, seeds, ledger != nullptr ? &chunk_ledgers[chunk] : nullptr);
+        chunk_begin[chunk] = begin;
+        chunk_predictions[chunk] = std::move(answered.predictions);
       });
   if (ledger != nullptr) {
     for (const auto& chunk_ledger : chunk_ledgers) {
@@ -356,12 +530,26 @@ Prediction TiledMcEvaluator::predict(const nn::Tensor& inputs,
     }
   }
 
-  // Reduce through McPredictor::reduce so the tiled path shares the exact
-  // pass-order reduction (and uncertainty math) of the behavioural path.
-  std::vector<nn::Tensor> member_probs;
-  member_probs.reserve(samples);
-  for (auto& logits : member_logits) {
-    member_probs.push_back(nn::softmax_rows(logits));
+  // Reassemble the per-row member probabilities into batch tensors and
+  // reduce once through McPredictor::reduce: every reduction op (pass-order
+  // mean, entropy, mutual information) is row-local and element-wise, so
+  // this produces bit for bit both the per-row reductions the backend
+  // already computed and the whole-batch reduction of the pre-backend
+  // implementation.
+  const std::size_t classes =
+      chunk_predictions.front().front().member_probs.front().dim(1);
+  std::vector<nn::Tensor> member_probs(samples, nn::Tensor({batch, classes}));
+  for (std::size_t c = 0; c < chunks; ++c) {
+    for (std::size_t r = 0; r < chunk_predictions[c].size(); ++r) {
+      const Prediction& row = chunk_predictions[c][r];
+      const std::size_t i = chunk_begin[c] + r;
+      for (std::size_t t = 0; t < samples; ++t) {
+        std::copy(row.member_probs[t].data().begin(),
+                  row.member_probs[t].data().end(),
+                  member_probs[t].data().begin() +
+                      static_cast<std::ptrdiff_t>(i * classes));
+      }
+    }
   }
   return McPredictor(samples).reduce(std::move(member_probs));
 }

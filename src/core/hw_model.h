@@ -24,9 +24,12 @@
 #include "nn/binarize.h"
 #include "nn/layers.h"
 #include "nn/model.h"
+#include "xbar/conv_tile.h"
 #include "xbar/tile.h"
 
 namespace neuspin::core {
+
+class FidelityBackend;  // core/fidelity.h
 
 /// Behavioural non-ideality knobs for fast hardware-aware evaluation.
 struct HwNoiseConfig {
@@ -88,10 +91,17 @@ std::size_t inject_weight_defects(nn::Sequential& net, float flip_rate,
 std::size_t perturb_weights(nn::Sequential& net, float rel_sigma, std::uint64_t seed,
                             bool include_norm_params = false);
 
-/// Tile-backed inference for a trained binary MLP of the canonical layout
+/// Tile-backed inference for a trained binary network of the canonical
+/// layout
+///   [BinaryConv2d -> BatchNorm -> Sign -> (MaxPool2d)]*
 ///   [BinaryDense -> BatchNorm -> Sign]* -> BinaryDense.
-/// Batch-norm is folded into per-neuron thresholds; hidden activations are
-/// computed with sign read-out, the final layer with the configured ADC.
+/// Batch-norm is folded into per-neuron (dense) or per-channel (conv)
+/// thresholds; hidden activations are computed with sign read-out, the
+/// final layer with the configured ADC. Conv stages run on ConvTile
+/// (mapping strategy 1: one MVM per output pixel), pooling and flattening
+/// are digital periphery on the ±1 activations, so the Table-I CNN has a
+/// fully electrical path. Flat (batch x features) inputs to a CNN-shaped
+/// net are reshaped to NCHW assuming square feature maps.
 class TiledMlp {
  public:
   /// Map `net` (which must follow the canonical layout) onto tiles.
@@ -113,12 +123,18 @@ class TiledMlp {
   [[nodiscard]] nn::Tensor forward(const nn::Tensor& input,
                                    energy::EnergyLedger* ledger = nullptr);
 
-  /// SpinDrop hardware pass: hidden activations are gated by per-neuron
-  /// stochastic MTJ modules with dropout probability `p`.
+  /// SpinDrop hardware pass: hidden dense activations are gated by
+  /// per-neuron stochastic MTJ modules with dropout probability `p`; conv
+  /// stages use one Spatial-SpinDrop module per feature map (a dropped
+  /// channel disables its whole K*K row group in the next conv tile —
+  /// strategy 1's grouped multi-row enable).
   [[nodiscard]] nn::Tensor forward_spindrop(const nn::Tensor& input, double p,
                                             energy::EnergyLedger* ledger = nullptr);
 
-  [[nodiscard]] std::size_t layer_count() const { return tiles_.size(); }
+  [[nodiscard]] std::size_t layer_count() const {
+    return conv_stages_.size() + tiles_.size();
+  }
+  [[nodiscard]] std::size_t conv_stage_count() const { return conv_stages_.size(); }
   /// Output width of the classifier layer.
   [[nodiscard]] std::size_t out_features() const;
   /// Inject extra stuck-at defects into every tile.
@@ -131,6 +147,10 @@ class TiledMlp {
   /// tile-level inference reproducible across worker counts.
   void reseed(std::uint64_t seed) { engine_.seed(seed); }
 
+  /// Aggregate event-engine work census over every tile (conv and dense):
+  /// how much row propagation the delta caches skipped since construction.
+  [[nodiscard]] xbar::DeltaStats delta_stats() const;
+
  private:
   struct FoldedLayer {
     std::unique_ptr<xbar::DenseTile> tile;
@@ -139,7 +159,22 @@ class TiledMlp {
     std::vector<float> bn_sign;    ///< sign of gamma (threshold comparison flips)
     bool hidden = false;
   };
+  /// One electrical conv block: ConvTile + bias + folded BN threshold,
+  /// followed by optional 2x2 digital max pooling of the ±1 activations.
+  struct ConvStage {
+    std::unique_ptr<xbar::ConvTile> tile;
+    std::vector<float> bias;       ///< conv bias per output channel
+    std::vector<float> threshold;  ///< folded BN threshold per channel
+    std::vector<float> bn_sign;    ///< sign of gamma per channel
+    bool pool = false;             ///< MaxPool2d follows the activation
+  };
 
+  /// Run the conv stages on one flat sample, replacing `x`/`enabled` with
+  /// the flattened ±1 feature maps and their Spatial-SpinDrop gating.
+  void run_conv_stages(std::vector<float>& x, std::vector<std::uint8_t>& enabled,
+                       double p, energy::EnergyLedger* ledger);
+
+  std::vector<ConvStage> conv_stages_;
   std::vector<FoldedLayer> tiles_;
   std::mt19937_64 engine_;
   std::uint64_t dropout_seed_;
@@ -158,31 +193,38 @@ struct TiledEvalOptions {
   std::uint64_t seed = 0x74696c65646d63ull;  // "tiledmc"
 };
 
-/// Parallel Monte-Carlo inference over a TiledMlp: the clone-per-worker
-/// pattern of core::evaluate applied to the electrical fidelity level.
+/// Parallel Monte-Carlo inference over the electrical fidelity level: the
+/// clone-per-worker pattern of core::evaluate driven through replicated
+/// core::TiledBackend instances (core/fidelity.h).
 ///
-/// The first replica is programmed from the weight snapshot (construction
-/// is a deterministic function of (net weights, tile config, tile seed));
-/// additional replicas are TiledMlp::clone() copies of its programmed
-/// state — bit-identical hardware, including the variability and defect
-/// draws, without re-running the programming pass per worker. Replicas
-/// are built lazily, up to min(threads, batch rows), so a small predict()
-/// on a many-core host does not clone tiles that would sit idle. Samples are fanned across replicas in contiguous chunks;
-/// each sample's T passes run serially on one replica with the stream
-/// seed mix_seed(mix_seed(seed, row), pass), where `row` is the sample's
-/// row index within the predict() call. Predictions are therefore a pure
-/// function of (net, tile config, tile seed, options, inputs) — bitwise
-/// identical for any thread count. Note the streams are keyed by in-call
-/// row index: predicting the same rows split across several predict()
-/// calls draws different streams than one combined call (the serving
-/// runtime, which needs per-request invariance, derives its own
-/// per-request seeds instead).
+/// The first replica is programmed eagerly (construction is a
+/// deterministic function of (net weights, tile config, tile seed), and a
+/// non-canonical net layout fails here, not at the first predict);
+/// additional replicas are FidelityBackend::clone() copies of its
+/// programmed state — bit-identical hardware, including the variability
+/// and defect draws, without re-running the programming pass per worker.
+/// Replicas are built lazily, up to min(threads, batch rows), so a small
+/// predict() on a many-core host does not clone tiles that would sit
+/// idle. Samples are fanned across replicas in contiguous chunks; sample
+/// `row` runs its T passes under the backend request seed
+/// mix_seed(seed, row) (so pass t draws mix_seed(mix_seed(seed, row), t)).
+/// Predictions are therefore a pure function of (net, tile config, tile
+/// seed, options, inputs) — bitwise identical for any thread count. Note
+/// the streams are keyed by in-call row index: predicting the same rows
+/// split across several predict() calls draws different streams than one
+/// combined call (the serving runtime, which needs per-request
+/// invariance, derives its own per-request seeds instead).
 class TiledMcEvaluator {
  public:
-  /// Snapshots the weights of `net` (one staging clone); later mutations
-  /// of the caller's net do not affect the evaluator.
+  /// Programs the first replica from `net` (read-only; the caller's net is
+  /// never referenced after construction).
   TiledMcEvaluator(nn::Sequential& net, const xbar::TileConfig& tile_config,
                    std::uint64_t tile_seed, const TiledEvalOptions& options);
+  ~TiledMcEvaluator();
+  TiledMcEvaluator(TiledMcEvaluator&&) noexcept;
+  TiledMcEvaluator& operator=(TiledMcEvaluator&&) noexcept;
+  TiledMcEvaluator(const TiledMcEvaluator&) = delete;
+  TiledMcEvaluator& operator=(const TiledMcEvaluator&) = delete;
 
   /// Bayesian prediction of a (batch x features) tensor. When `ledger` is
   /// non-null, every chargeable event of every pass is accumulated into it
@@ -193,14 +235,13 @@ class TiledMcEvaluator {
   /// Replicas constructed so far (grows on demand, never past `threads`).
   [[nodiscard]] std::size_t replica_count() const { return replicas_.size(); }
   [[nodiscard]] const TiledEvalOptions& options() const { return options_; }
+  /// Event-engine work census summed over every replica's tiles.
+  [[nodiscard]] xbar::DeltaStats delta_stats() const;
 
  private:
   TiledEvalOptions options_;
-  nn::Sequential proto_;  ///< weight snapshot the replicas are built from
-  xbar::TileConfig tile_config_;
-  std::uint64_t tile_seed_;
   std::size_t max_replicas_;
-  std::vector<TiledMlp> replicas_;
+  std::vector<std::unique_ptr<FidelityBackend>> replicas_;
 };
 
 }  // namespace neuspin::core

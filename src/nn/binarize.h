@@ -91,6 +91,7 @@ class BinaryConv2d : public Layer {
   /// One alpha per output channel: mean |W| over (in_ch x k x k).
   [[nodiscard]] Tensor channel_scales() const;
   [[nodiscard]] Tensor& latent_weight() { return latent_weight_; }
+  [[nodiscard]] Tensor& bias() { return bias_; }
   void set_algo(Conv2d::Algo algo) { algo_ = algo; }
   [[nodiscard]] Conv2d::Algo algo() const { return algo_; }
 

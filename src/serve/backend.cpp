@@ -1,0 +1,121 @@
+#include "serve/backend.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace neuspin::serve {
+
+namespace {
+
+/// Top-1/top-2 probability margin of row b of a (batch x classes) tensor.
+double top2_margin(const nn::Tensor& probs, std::size_t b) {
+  const std::size_t classes = probs.dim(1);
+  double top1 = -1.0;
+  double top2 = -1.0;
+  for (std::size_t c = 0; c < classes; ++c) {
+    const double p = probs.at(b, c);
+    if (p > top1) {
+      top2 = top1;
+      top1 = p;
+    } else if (p > top2) {
+      top2 = p;
+    }
+  }
+  return classes < 2 ? top1 : top1 - top2;
+}
+
+}  // namespace
+
+bool should_escalate(const CascadeConfig& config, double entropy, double margin) {
+  if (entropy >= config.entropy_threshold) {
+    return true;
+  }
+  return config.margin_threshold > 0.0 && margin <= config.margin_threshold;
+}
+
+CascadeBackend::CascadeBackend(std::unique_ptr<core::FidelityBackend> cheap,
+                               std::unique_ptr<core::FidelityBackend> expensive,
+                               const CascadeConfig& config)
+    : config_(config), cheap_(std::move(cheap)), expensive_(std::move(expensive)) {
+  if (cheap_ == nullptr || expensive_ == nullptr) {
+    throw std::invalid_argument("CascadeBackend: need two rungs");
+  }
+  if (config.entropy_threshold < 0.0 || config.margin_threshold < 0.0) {
+    throw std::invalid_argument("CascadeBackend: thresholds must be non-negative");
+  }
+  if (cheap_->cost_hint() > expensive_->cost_hint()) {
+    throw std::invalid_argument(
+        "CascadeBackend: cheap rung costs more than the expensive one");
+  }
+}
+
+CascadeBackend::CascadeBackend(const CascadeBackend& other)
+    : config_(other.config_),
+      cheap_(other.cheap_->clone()),
+      expensive_(other.expensive_->clone()) {}
+
+void CascadeBackend::reseed(std::uint64_t seed) {
+  cheap_->reseed(seed);
+  expensive_->reseed(seed);
+}
+
+std::string CascadeBackend::name() const {
+  return "cascade(" + cheap_->name() + "->" + expensive_->name() + ")";
+}
+
+xbar::DeltaStats CascadeBackend::delta_stats() const {
+  xbar::DeltaStats stats = cheap_->delta_stats();
+  stats += expensive_->delta_stats();
+  return stats;
+}
+
+core::BackendBatch CascadeBackend::forward(
+    const nn::Tensor& inputs, std::span<const std::uint64_t> request_seeds,
+    energy::EnergyLedger* ledger) {
+  // Rung 1: every request answers on the cheap backend.
+  core::BackendBatch out = cheap_->forward(inputs, request_seeds, ledger);
+  const std::size_t batch = out.predictions.size();
+
+  // Gate: escalate the rows whose cheap answer is uncertain. The decision
+  // reads only row-local values of the cheap prediction, so it is fixed by
+  // (model, features, request seed) — batch companions cannot change it.
+  std::vector<std::size_t> escalate;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const core::Prediction& p = out.predictions[b];
+    if (should_escalate(config_, p.entropy.front(), top2_margin(p.mean_probs, 0))) {
+      escalate.push_back(b);
+    }
+  }
+  counters_.requests += batch;
+  counters_.escalated += escalate.size();
+  if (escalate.empty()) {
+    return out;
+  }
+
+  // Rung 2: the escalated subset re-answers on the expensive backend under
+  // the SAME request seeds — exactly the bits a pure-expensive runtime
+  // would have served. The cheap pass's energy stays attributed (it was
+  // spent), with the expensive pass's added on top.
+  const std::size_t features = inputs.dim(1);
+  nn::Tensor sub({escalate.size(), features});
+  std::vector<std::uint64_t> sub_seeds(escalate.size());
+  for (std::size_t j = 0; j < escalate.size(); ++j) {
+    const std::size_t b = escalate[j];
+    std::copy(inputs.data().begin() + static_cast<std::ptrdiff_t>(b * features),
+              inputs.data().begin() + static_cast<std::ptrdiff_t>((b + 1) * features),
+              sub.data().begin() + static_cast<std::ptrdiff_t>(j * features));
+    sub_seeds[j] = request_seeds[b];
+  }
+  core::BackendBatch upper = expensive_->forward(sub, sub_seeds, ledger);
+  for (std::size_t j = 0; j < escalate.size(); ++j) {
+    const std::size_t b = escalate[j];
+    out.predictions[b] = std::move(upper.predictions[j]);
+    out.energy_pj[b] += upper.energy_pj[j];
+    out.escalated[b] = 1;
+  }
+  return out;
+}
+
+}  // namespace neuspin::serve

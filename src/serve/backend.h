@@ -1,0 +1,97 @@
+// Serving-side fidelity backends: the cascade.
+//
+// The electrical path (core::TiledBackend) answers a request with the full
+// crossbar/ADC/defect simulation — three orders of magnitude more work
+// than the behavioural tensor path, for a prediction that differs only on
+// inputs where the hardware non-idealities actually matter. The paper's
+// selective-prediction story (§IV) already computes the signal that tells
+// the two cases apart: predictive uncertainty.
+//
+// CascadeBackend exploits that. Every request is first answered on a
+// cheap backend; when the cheap answer is *uncertain* — predictive
+// entropy above a ceiling, or top-1/top-2 probability margin below a
+// floor — the request escalates to the expensive backend and that answer
+// wins. Confident requests (the bulk of an in-distribution workload)
+// never touch the electrical simulation, so cascade throughput approaches
+// the cheap backend's while uncertain/OOD requests still get the
+// high-fidelity treatment the selective policy will scrutinize.
+//
+// Determinism contract: the escalation decision is a pure function of the
+// cheap prediction, which is itself a pure function of (model, features,
+// request seed) — so whether a request escalates, and the bits of its
+// final answer, are fixed by its seed alone. Escalated requests return
+// exactly the expensive backend's bits, non-escalated requests exactly
+// the cheap backend's, for any batch composition and worker count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/fidelity.h"
+
+namespace neuspin::serve {
+
+/// Escalation gate: when does a cheap answer not suffice?
+struct CascadeConfig {
+  /// Escalate when the cheap rung's predictive entropy (nats) reaches
+  /// this ceiling. ln(classes) is the maximum; 0.5 nats is a practical
+  /// "no longer confident" default for 10-class heads.
+  double entropy_threshold = 0.5;
+  /// Escalate when the cheap rung's top-1/top-2 probability margin falls
+  /// to or below this floor (a near-tie means the argmax is fragile even
+  /// at low entropy). 0 disables the margin gate.
+  double margin_threshold = 0.0;
+};
+
+/// Two-rung escalation chain over any pair of fidelity backends.
+class CascadeBackend : public core::FidelityBackend {
+ public:
+  /// Takes ownership of both rungs. `cheap` answers every request;
+  /// `expensive` answers the escalated subset under the same request
+  /// seeds. Throws if either rung is null or the hint ordering is
+  /// inverted (the cascade would then escalate downward).
+  CascadeBackend(std::unique_ptr<core::FidelityBackend> cheap,
+                 std::unique_ptr<core::FidelityBackend> expensive,
+                 const CascadeConfig& config);
+  /// Clones both rungs; the escalation counters start at zero (they count
+  /// per-instance traffic, not shared history).
+  CascadeBackend(const CascadeBackend& other);
+
+  [[nodiscard]] core::BackendBatch forward(
+      const nn::Tensor& inputs, std::span<const std::uint64_t> request_seeds,
+      energy::EnergyLedger* ledger) override;
+  [[nodiscard]] std::unique_ptr<core::FidelityBackend> clone() const override {
+    return std::make_unique<CascadeBackend>(*this);
+  }
+  void reseed(std::uint64_t seed) override;
+  [[nodiscard]] std::string name() const override;
+  /// The cheap rung's hint: a floor, exact when nothing escalates. The
+  /// true per-request cost depends on the workload's escalation rate.
+  [[nodiscard]] double cost_hint() const override { return cheap_->cost_hint(); }
+  [[nodiscard]] xbar::DeltaStats delta_stats() const override;
+
+  /// Escalation traffic answered by this instance since construction.
+  struct Counters {
+    std::uint64_t requests = 0;   ///< rows answered
+    std::uint64_t escalated = 0;  ///< rows the expensive rung answered
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  [[nodiscard]] const CascadeConfig& config() const { return config_; }
+
+ private:
+  CascadeConfig config_;
+  std::unique_ptr<core::FidelityBackend> cheap_;
+  std::unique_ptr<core::FidelityBackend> expensive_;
+  Counters counters_;
+};
+
+/// Should a cheap answer with this (entropy, top-1/top-2 margin) escalate
+/// under `config`? Exposed for threshold calibration: sweep a validation
+/// set's cheap-rung uncertainties through this to pick thresholds hitting
+/// a target escalation rate.
+[[nodiscard]] bool should_escalate(const CascadeConfig& config, double entropy,
+                                   double margin);
+
+}  // namespace neuspin::serve

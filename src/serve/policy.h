@@ -34,10 +34,15 @@ struct ServedPrediction {
   double compute_latency_us = 0.0;
   double total_latency_us = 0.0;
   /// Energy attributed to this request (picojoules): measured event-by-
-  /// event on the tiled backend, census-derived on the behavioural one.
+  /// event on the tiled backend, census-derived on the behavioural one,
+  /// both summed on an escalated cascade request.
   double energy_pj = 0.0;
   std::size_t batch_size = 0;        ///< companions in the request's batch
   std::size_t worker = 0;            ///< replica that served it
+  /// Cascade serving: the request escalated to the expensive rung (its
+  /// answer carries the expensive backend's bits). Always false on the
+  /// single-fidelity backends.
+  bool escalated = false;
 };
 
 /// How the policy scores a request before thresholding.

@@ -39,6 +39,8 @@ std::string backend_name(Backend backend) {
       return "behavioral";
     case Backend::kTiled:
       return "tiled";
+    case Backend::kCascade:
+      return "cascade";
   }
   return "unknown";
 }
@@ -84,6 +86,40 @@ RuntimeConfig normalized(RuntimeConfig config) {
 
 }  // namespace
 
+std::unique_ptr<core::FidelityBackend> Runtime::make_backend(
+    const core::BuiltModel& model) const {
+  const auto behavioral = [&] {
+    core::BehavioralBackendConfig backend;
+    backend.mc_samples = config_.mc_samples;
+    backend.fused = config_.fused_batching;
+    backend.team_size = config_.fused_workers;
+    backend.energy_pj_per_request = census_energy_pj_;
+    return std::make_unique<core::BehavioralBackend>(model, backend);
+  };
+  const auto tiled = [&] {
+    core::TiledBackendConfig backend;
+    backend.tile = config_.tile;
+    backend.tile_seed = config_.tile_seed;
+    backend.mc_samples = config_.mc_samples;
+    backend.spindrop_p = config_.spindrop_p;
+    backend.measure_energy = config_.account_energy;
+    // One mutable staging clone feeds the replica build (the TiledMlp
+    // constructor only reads the weights and keeps no reference).
+    core::BuiltModel staging = model.clone();
+    return std::make_unique<core::TiledBackend>(staging.net, backend);
+  };
+  switch (config_.backend) {
+    case Backend::kBehavioral:
+      return behavioral();
+    case Backend::kTiled:
+      return tiled();
+    case Backend::kCascade:
+      return std::make_unique<CascadeBackend>(behavioral(), tiled(),
+                                              config_.cascade);
+  }
+  throw std::invalid_argument("Runtime: unknown backend");
+}
+
 Runtime::Runtime(const core::BuiltModel& model, const RuntimeConfig& config)
     : config_(normalized(config)),
       policy_(config_.policy),
@@ -96,41 +132,22 @@ Runtime::Runtime(const core::BuiltModel& model, const RuntimeConfig& config)
   }
   latency_ring_.resize(config_.latency_window, 0.0);
   const std::size_t workers = config_.workers;
-  if (config.backend == Backend::kBehavioral) {
-    // One team per worker: member 0 serves unfused requests; the fused
-    // path splits its stacked forward across the whole team. Extra team
-    // members are only cloned when the fused path can use them.
-    const std::size_t team_size =
-        config_.fused_batching ? config_.fused_workers : 1;
-    behavioral_teams_.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      std::vector<core::BuiltModel> team;
-      team.reserve(team_size);
-      for (std::size_t f = 0; f < team_size; ++f) {
-        team.push_back(model.clone());
-        team.back().enable_mc(true);
-      }
-      behavioral_teams_.push_back(std::move(team));
-    }
-    if (config.account_energy && !model.arch.layers.empty()) {
-      core::CensusConfig census = config.census;
-      census.mc_passes = config.mc_samples;
-      const energy::EnergyLedger ledger =
-          core::inference_census(model.arch, model.method, census);
-      census_energy_pj_ = ledger.total_energy(energy::default_energy_params());
-    }
-  } else {
-    // One mutable staging clone feeds the first replica build (the TiledMlp
-    // constructor only reads the weights and keeps no reference); the rest
-    // are deep clones of its programmed state — same bits as a rebuild
-    // from (weights, config, seed), without re-running the programming
-    // pass per worker.
-    core::BuiltModel staging = model.clone();
-    tiled_replicas_.reserve(workers);
-    tiled_replicas_.emplace_back(staging.net, config.tile, config.tile_seed);
-    for (std::size_t w = 1; w < workers; ++w) {
-      tiled_replicas_.push_back(tiled_replicas_.front().clone());
-    }
+  // Census-price one behavioural request (the behavioural path has no
+  // electrical events to measure; the tiled rungs measure instead).
+  if (config_.backend != Backend::kTiled && config_.account_energy &&
+      !model.arch.layers.empty()) {
+    core::CensusConfig census = config_.census;
+    census.mc_passes = config_.mc_samples;
+    const energy::EnergyLedger ledger =
+        core::inference_census(model.arch, model.method, census);
+    census_energy_pj_ = ledger.total_energy(energy::default_energy_params());
+  }
+  // Worker 0's backend is built from the model; the rest are clone()s of
+  // its programmed state — identical bits without re-running programming.
+  backends_.reserve(workers);
+  backends_.push_back(make_backend(model));
+  for (std::size_t w = 1; w < workers; ++w) {
+    backends_.push_back(backends_.front()->clone());
   }
   threads_.reserve(workers);
   try {
@@ -259,6 +276,14 @@ RuntimeStats Runtime::stats() const {
   return out;
 }
 
+xbar::DeltaStats Runtime::delta_stats() const {
+  xbar::DeltaStats stats;
+  for (const auto& backend : backends_) {
+    stats += backend->delta_stats();
+  }
+  return stats;
+}
+
 void Runtime::worker_loop(std::size_t worker_index) {
   for (;;) {
     std::vector<Request> batch = batcher_.pop_batch();
@@ -269,13 +294,7 @@ void Runtime::worker_loop(std::size_t worker_index) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.batches;
     }
-    if (config_.backend == Backend::kBehavioral && config_.fused_batching) {
-      serve_batch_fused(worker_index, batch);
-      continue;
-    }
-    for (Request& request : batch) {
-      serve_one(worker_index, request, batch.size());
-    }
+    serve_batch(worker_index, batch);
   }
 }
 
@@ -283,10 +302,11 @@ void Runtime::publish_prediction(Request& request,
                                  const core::Prediction& prediction,
                                  double queue_us, double compute_us,
                                  double total_us, double energy_pj,
-                                 std::size_t batch_size,
+                                 bool escalated, std::size_t batch_size,
                                  std::size_t worker_index) {
   ServedPrediction served;
   served.request_id = request.id;
+  served.escalated = escalated;
   served.probs.assign(prediction.mean_probs.data().begin(),
                       prediction.mean_probs.data().end());
   served.predicted_class = prediction.predicted_class().front();
@@ -312,6 +332,9 @@ void Runtime::publish_prediction(Request& request,
     } else {
       ++stats_.abstained;
     }
+    if (escalated) {
+      ++stats_.escalated;
+    }
     stats_.total_energy_pj += served.energy_pj;
     stats_.total_compute_us += served.compute_latency_us;
     record_latency_locked(served.total_latency_us);
@@ -319,10 +342,9 @@ void Runtime::publish_prediction(Request& request,
   request.promise.set_value(std::move(served));
 }
 
-void Runtime::serve_batch_fused(std::size_t worker_index,
-                                std::vector<Request>& batch) {
+void Runtime::serve_batch(std::size_t worker_index, std::vector<Request>& batch) {
   const auto popped = std::chrono::steady_clock::now();
-  std::vector<core::BuiltModel>& team = behavioral_teams_[worker_index];
+  core::FidelityBackend& backend = *backends_[worker_index];
   // Group by feature count, preserving arrival order inside each group: a
   // wrong-sized submission then fails with its own shape error without
   // poisoning well-formed companions in the same pop.
@@ -355,22 +377,23 @@ void Runtime::serve_batch_fused(std::size_t worker_index,
         seeds[b] = request.seed;
       }
       const auto compute_begin = std::chrono::steady_clock::now();
-      // The whole team splits the stacked (requests x T) forward over the
-      // shared pool; a team of one runs inline on this worker thread.
-      const std::vector<core::Prediction> predictions = core::predict_fused_batch(
-          std::span<core::BuiltModel>(team), inputs, seeds, config_.mc_samples);
+      // One batched forward answers the whole group; per-request streams
+      // derive from the request seeds, so the grouping is invisible in
+      // the results. Energy comes back per request (census-priced,
+      // measured, or cascade-summed, by backend).
+      const core::BackendBatch answered = backend.forward(inputs, seeds, nullptr);
       const auto compute_end = std::chrono::steady_clock::now();
-      // The stacked forward computes all rows at once; each request is
+      // The batched forward computes all rows at once; each request is
       // attributed its amortized share of the group's compute time.
       const double compute_share =
           to_us(compute_end - compute_begin) / static_cast<double>(rows);
 
       for (std::size_t b = 0; b < rows; ++b) {
         Request& request = batch[members[b]];
-        publish_prediction(request, predictions[b],
+        publish_prediction(request, answered.predictions[b],
                            to_us(popped - request.enqueued), compute_share,
                            to_us(compute_end - request.enqueued),
-                           config_.account_energy ? census_energy_pj_ : 0.0,
+                           answered.energy_pj[b], answered.escalated[b] != 0,
                            batch.size(), worker_index);
         ++fulfilled;
       }
@@ -380,50 +403,6 @@ void Runtime::serve_batch_fused(std::size_t worker_index,
         batch[members[b]].promise.set_exception(error);
       }
     }
-  }
-}
-
-void Runtime::serve_one(std::size_t worker_index, Request& request,
-                        std::size_t batch_size) {
-  const auto popped = std::chrono::steady_clock::now();
-  try {
-    const nn::Tensor input(nn::Shape{1, request.features.size()}, request.features);
-    const core::McPredictor predictor(config_.mc_samples, request.seed);
-    energy::EnergyLedger ledger(config_.tile.adc_bits);
-    core::Prediction prediction;
-    const auto compute_begin = std::chrono::steady_clock::now();
-    if (config_.backend == Backend::kBehavioral) {
-      core::BuiltModel& replica = behavioral_teams_[worker_index].front();
-      prediction = predictor.predict(
-          input, core::McPredictor::SeededForward(
-                     [&replica](const nn::Tensor& x, std::uint64_t pass_seed) {
-                       replica.reseed_stochastic(pass_seed);
-                       return replica.stochastic_logits(x);
-                     }));
-    } else {
-      core::TiledMlp& replica = tiled_replicas_[worker_index];
-      energy::EnergyLedger* lp = config_.account_energy ? &ledger : nullptr;
-      prediction = predictor.predict(
-          input, core::McPredictor::SeededForward(
-                     [this, &replica, lp](const nn::Tensor& x, std::uint64_t pass_seed) {
-                       replica.reseed(pass_seed);
-                       return replica.forward_spindrop(x, config_.spindrop_p, lp);
-                     }));
-    }
-    const auto compute_end = std::chrono::steady_clock::now();
-
-    double energy_pj = 0.0;
-    if (config_.account_energy) {
-      energy_pj = config_.backend == Backend::kBehavioral
-                      ? census_energy_pj_
-                      : ledger.total_energy(energy::default_energy_params());
-    }
-    publish_prediction(request, prediction, to_us(popped - request.enqueued),
-                       to_us(compute_end - compute_begin),
-                       to_us(compute_end - request.enqueued), energy_pj,
-                       batch_size, worker_index);
-  } catch (...) {
-    request.promise.set_exception(std::current_exception());
   }
 }
 

@@ -12,18 +12,20 @@
 //                                                │  stacked MC forward
 //   future ◀──ServedPrediction── policy+ledger ◀─┘
 //
-// The behavioural backend serves each popped batch as ONE stacked
-// (requests x T passes) forward per layer (core::predict_fused_batch):
-// per-row stochastic streams keep every request's result the bit-exact
-// batch-of-one prediction while the matmuls run at full-batch efficiency.
-//
-// Two fidelity backends serve behind the same interface:
-//  * kBehavioral — the fast tensor path (core::BuiltModel clones, with any
-//    behavioural HwNoiseConfig non-idealities the model was built with);
-//    energy is census-derived per request (core::inference_census).
-//  * kTiled — the full electrical path (TiledMlp replicas: crossbar
-//    currents, ADC quantization, defects); energy is measured event by
-//    event into a per-request EnergyLedger.
+// Workers answer through the core::FidelityBackend seam (core/fidelity.h):
+// each worker owns one backend clone and serves every popped batch with
+// one batched forward(inputs, request_seeds) call. Three backends plug in:
+//  * kBehavioral — core::BehavioralBackend (BuiltModel clones on the fast
+//    tensor path, fused (requests x T) stacked forwards by default, with
+//    any behavioural HwNoiseConfig non-idealities the model was built
+//    with); energy is census-derived per request (core::inference_census).
+//  * kTiled — core::TiledBackend (a TiledMlp replica: crossbar currents,
+//    ADC quantization, defects, event-driven delta evaluation); energy is
+//    measured event by event into a per-request EnergyLedger.
+//  * kCascade — serve::CascadeBackend (serve/backend.h): every request
+//    answers on the behavioural rung, and escalates to the tiled rung
+//    when the cheap answer is uncertain (entropy/margin gate). Escalated
+//    requests carry the tiled bits, the rest the behavioural bits.
 //
 // Reproducibility contract: a request's prediction is a pure function of
 // (model, features, mc_samples, request seed) — the i-th auto-seeded
@@ -43,8 +45,9 @@
 #include <vector>
 
 #include "core/census.h"
-#include "core/hw_model.h"
+#include "core/fidelity.h"
 #include "core/models.h"
+#include "serve/backend.h"
 #include "serve/batcher.h"
 #include "serve/policy.h"
 #include "xbar/tile.h"
@@ -55,6 +58,7 @@ namespace neuspin::serve {
 enum class Backend : std::uint8_t {
   kBehavioral,  ///< BuiltModel clones (fast tensor ops + behavioural noise)
   kTiled,       ///< TiledMlp replicas (full electrical simulation)
+  kCascade,     ///< behavioural rung + uncertainty-gated tiled escalation
 };
 
 [[nodiscard]] std::string backend_name(Backend backend);
@@ -107,6 +111,9 @@ struct RuntimeConfig {
   xbar::TileConfig tile{};
   std::uint64_t tile_seed = 42;
   double spindrop_p = 0.0;
+  /// Cascade backend: when does a behavioural answer escalate to the
+  /// tiled rung (ignored by the single-fidelity backends).
+  CascadeConfig cascade{};
   /// Per-request energy attribution. Tiled: measured event-by-event.
   /// Behavioral: priced from the model's architecture census under
   /// `census` (mc_passes is overridden with `mc_samples`).
@@ -153,6 +160,9 @@ struct RuntimeStats {
   std::uint64_t shed = 0;       ///< submissions rejected, any reason
   std::uint64_t shed_queue_full = 0;  ///< rejected by admission control
   std::uint64_t shed_shutdown = 0;    ///< rejected after shutdown()
+  /// Requests the cascade escalated to its expensive rung (0 on the
+  /// single-fidelity backends).
+  std::uint64_t escalated = 0;
   double mean_batch_size = 0.0;
   double total_energy_pj = 0.0;
   double total_compute_us = 0.0;  ///< summed per-request MC compute time
@@ -201,21 +211,29 @@ class Runtime {
   [[nodiscard]] static std::uint64_t request_stream_seed(std::uint64_t base_seed,
                                                          std::uint64_t request_index);
 
+  /// Event-engine work census summed over every worker backend's tiles
+  /// (empty on the behavioural backend). For bench reporting; do not call
+  /// while requests are in flight.
+  [[nodiscard]] xbar::DeltaStats delta_stats() const;
+
  private:
   [[nodiscard]] std::future<ServedPrediction> submit_with_id(
       std::uint64_t id, std::vector<float> features, std::uint64_t request_seed);
+  /// Build the configured fidelity backend for worker 0 (the others are
+  /// clone()s of it).
+  [[nodiscard]] std::unique_ptr<core::FidelityBackend> make_backend(
+      const core::BuiltModel& model) const;
   void worker_loop(std::size_t worker_index);
-  void serve_one(std::size_t worker_index, Request& request, std::size_t batch_size);
-  /// Behavioural fast path: serve a whole popped batch through one fused
-  /// (requests x T) stacked forward. Requests are grouped by feature count
-  /// so a malformed submission fails its own group, never its companions.
-  void serve_batch_fused(std::size_t worker_index, std::vector<Request>& batch);
-  /// Shared tail of both serving paths: assemble the ServedPrediction,
+  /// Serve one popped batch through the worker's backend: one batched
+  /// forward per feature-count group (so a malformed submission fails its
+  /// own group, never its companions), in arrival order within the group.
+  void serve_batch(std::size_t worker_index, std::vector<Request>& batch);
+  /// Shared tail of the serving path: assemble the ServedPrediction,
   /// apply the policy, update stats + the latency window, and fulfill the
   /// request's promise.
   void publish_prediction(Request& request, const core::Prediction& prediction,
                           double queue_us, double compute_us, double total_us,
-                          double energy_pj, std::size_t batch_size,
+                          double energy_pj, bool escalated, std::size_t batch_size,
                           std::size_t worker_index);
   /// Record one completed request's end-to-end latency into the rolling
   /// window (caller holds stats_mutex_).
@@ -227,11 +245,10 @@ class Runtime {
   RuntimeConfig config_;
   SelectivePolicy policy_;
   Batcher batcher_;
-  /// One replica team per worker; exactly one of these is populated.
-  /// behavioral_teams_[w][0] serves worker w's unfused requests; the whole
-  /// team (config.fused_workers clones) splits the fused stacked forward.
-  std::vector<std::vector<core::BuiltModel>> behavioral_teams_;
-  std::vector<core::TiledMlp> tiled_replicas_;
+  /// One fidelity backend per worker: backends_[w] answers everything
+  /// worker w pops. All are clone()s of one programmed instance, so every
+  /// worker serves identical bits.
+  std::vector<std::unique_ptr<core::FidelityBackend>> backends_;
   /// Census-priced energy of one behavioural request (constant per config).
   double census_energy_pj_ = 0.0;
   std::vector<std::thread> threads_;

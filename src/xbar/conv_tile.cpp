@@ -1,5 +1,6 @@
 #include "xbar/conv_tile.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
@@ -36,10 +37,28 @@ ConvTile::ConvTile(const TileConfig& config, std::size_t in_channels,
                                       seed);
 }
 
+ConvTile::ConvTile(const ConvTile& other)
+    : in_ch_(other.in_ch_),
+      out_ch_(other.out_ch_),
+      kernel_(other.kernel_),
+      padding_(other.padding_),
+      tile_(other.tile_->clone()),
+      engine_(other.engine_) {}
+
 nn::Tensor ConvTile::forward(const nn::Tensor& input, energy::EnergyLedger* ledger) {
+  return forward_gated(input, {}, ledger, engine_);
+}
+
+nn::Tensor ConvTile::forward_gated(const nn::Tensor& input,
+                                   std::span<const std::uint8_t> channel_enabled,
+                                   energy::EnergyLedger* ledger,
+                                   std::mt19937_64& engine) {
   if (input.rank() != 4 || input.dim(1) != in_ch_) {
     throw std::invalid_argument("ConvTile: expected NCHW input with C=" +
                                 std::to_string(in_ch_));
+  }
+  if (!channel_enabled.empty() && channel_enabled.size() != in_ch_) {
+    throw std::invalid_argument("ConvTile: expected one enable flag per input channel");
   }
   const std::size_t n = input.dim(0);
   const std::size_t h = input.dim(2);
@@ -47,6 +66,21 @@ nn::Tensor ConvTile::forward(const nn::Tensor& input, energy::EnergyLedger* ledg
   const std::size_t oh = h + 2 * padding_ - kernel_ + 1;
   const std::size_t ow = w + 2 * padding_ - kernel_ + 1;
   const std::size_t rows = kernel_ * kernel_ * in_ch_;
+
+  // Expand the per-channel mask onto crossbar rows: channel ic owns the
+  // contiguous K*K row group [ic*k*k, (ic+1)*k*k) in (ic, ky, kx) order.
+  std::vector<std::uint8_t> row_enabled(rows, 1);
+  if (!channel_enabled.empty()) {
+    for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+      if (!channel_enabled[ic]) {
+        std::fill(row_enabled.begin() +
+                      static_cast<std::ptrdiff_t>(ic * kernel_ * kernel_),
+                  row_enabled.begin() +
+                      static_cast<std::ptrdiff_t>((ic + 1) * kernel_ * kernel_),
+                  static_cast<std::uint8_t>(0));
+      }
+    }
+  }
 
   nn::Tensor out({n, out_ch_, oh, ow});
   std::vector<float> patch(rows);
@@ -73,7 +107,8 @@ nn::Tensor ConvTile::forward(const nn::Tensor& input, energy::EnergyLedger* ledg
             }
           }
         }
-        const std::vector<float> sums = tile_->forward(patch, ledger, engine_);
+        const std::vector<float> sums =
+            tile_->forward_gated(patch, row_enabled, ledger, engine);
         for (std::size_t oc = 0; oc < out_ch_; ++oc) {
           out.at4(b, oc, y, x) = sums[oc];
         }

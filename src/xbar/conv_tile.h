@@ -8,6 +8,9 @@
 // pixel, with every event charged to the ledger. It is exact but pays one
 // crossbar read phase per pixel, so accuracy sweeps use the behavioural
 // path (core::AnalogReadout) and this tile anchors its validation.
+// core::TiledMlp chains ConvTiles (plus folded batch-norm thresholds and
+// digital pooling) in front of its DenseTiles to run the Table-I CNN
+// end to end on the electrical substrate.
 #pragma once
 
 #include <cstdint>
@@ -31,16 +34,42 @@ class ConvTile {
            std::span<const float> binary_weights, std::span<const float> scales,
            std::uint64_t seed);
 
+  /// Deep copy preserving the programmed tile (cells, variability draws,
+  /// injected defects) and the internal RNG state — the replica primitive
+  /// for CNN-shaped TiledMlp clones.
+  ConvTile(const ConvTile& other);
+  ConvTile& operator=(const ConvTile&) = delete;
+  ConvTile(ConvTile&&) = default;
+  ConvTile& operator=(ConvTile&&) = default;
+  [[nodiscard]] std::unique_ptr<ConvTile> clone() const {
+    return std::make_unique<ConvTile>(*this);
+  }
+
   /// Hardware forward pass of one NCHW input tensor. Every output pixel
-  /// drives one MVM on the underlying crossbar pair.
+  /// drives one MVM on the underlying crossbar pair. Read noise draws from
+  /// the tile's own engine.
   [[nodiscard]] nn::Tensor forward(const nn::Tensor& input,
                                    energy::EnergyLedger* ledger = nullptr);
+
+  /// Forward pass with per-input-channel gating under a caller-owned
+  /// engine: a disabled channel's K*K crossbar rows (one contiguous group
+  /// under strategy 1 — the grouped multi-row enable of xbar/mapping.h)
+  /// drive no word line, realizing Spatial-SpinDrop on the electrical
+  /// path. An empty `channel_enabled` span means all channels enabled.
+  [[nodiscard]] nn::Tensor forward_gated(const nn::Tensor& input,
+                                         std::span<const std::uint8_t> channel_enabled,
+                                         energy::EnergyLedger* ledger,
+                                         std::mt19937_64& engine);
 
   [[nodiscard]] std::size_t in_channels() const { return in_ch_; }
   [[nodiscard]] std::size_t out_channels() const { return out_ch_; }
   [[nodiscard]] std::size_t kernel() const { return kernel_; }
+  [[nodiscard]] std::size_t padding() const { return padding_; }
   /// The underlying unfolded-column tile (strategy 1 geometry).
   [[nodiscard]] const DenseTile& tile() const { return *tile_; }
+
+  /// Event-engine work census of the underlying tile.
+  [[nodiscard]] const DeltaStats& delta_stats() const { return tile_->delta_stats(); }
 
   /// Inject stuck-at defects into the underlying crossbars.
   void inject_defects(const device::DefectRates& rates, std::uint64_t seed) {

@@ -89,9 +89,12 @@ class Crossbar {
   [[nodiscard]] MicroSiemens mean_on_conductance() const;
   [[nodiscard]] MicroSiemens mean_off_conductance() const;
 
- private:
+  /// First-order column IR-drop attenuation for `active_rows`
+  /// simultaneously driven rows. Public so the event-driven evaluation
+  /// (xbar::EventMac) applies exactly the factor mac() would.
   [[nodiscard]] double ir_drop_factor(std::size_t active_rows) const;
 
+ private:
   CrossbarConfig config_;
   std::vector<MicroSiemens> g_parallel_;      ///< per-cell P-state conductance
   std::vector<MicroSiemens> g_antiparallel_;  ///< per-cell AP-state conductance

@@ -1,0 +1,134 @@
+#include "xbar/event_engine.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace neuspin::xbar {
+
+std::string eval_mode_name(EvalMode mode) {
+  switch (mode) {
+    case EvalMode::kFull:
+      return "full";
+    case EvalMode::kEventDriven:
+      return "event_driven";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Leaf product of one (row, col) cell. A zero drive voltage (gated or ±0)
+/// contributes an exact +0.0 without touching the conductance — the same
+/// rule in both modes, so the shortcut cannot break bitwise equality.
+inline double leaf_product(const Crossbar& xb, std::span<const Volt> v,
+                           std::size_t r, std::size_t c) {
+  return v[r] == 0.0 ? 0.0 : v[r] * xb.conductance(r, c);
+}
+
+/// Bitwise voltage comparison: ±0.0 count as different so a sign flip of
+/// zero re-propagates instead of silently reusing a leaf computed under
+/// the other zero.
+inline bool same_bits(Volt a, Volt b) {
+  return std::memcmp(&a, &b, sizeof(Volt)) == 0;
+}
+
+}  // namespace
+
+void EventMac::rebuild(const Crossbar& xb, std::span<const Volt> v) {
+  const std::size_t rows = xb.rows();
+  const std::size_t cols = xb.cols();
+  levels_.clear();
+  levels_.emplace_back(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      levels_[0][r * cols + c] = leaf_product(xb, v, r, c);
+    }
+  }
+  std::size_t n = rows;
+  while (n > 1) {
+    const std::vector<double>& prev = levels_.back();
+    const std::size_t next_n = (n + 1) / 2;
+    std::vector<double> next(next_n * cols);
+    for (std::size_t i = 0; i < next_n; ++i) {
+      const std::size_t lo = 2 * i;
+      const std::size_t hi = lo + 1;
+      for (std::size_t c = 0; c < cols; ++c) {
+        // Odd tail passes through unchanged (no +0.0: that could flip the
+        // sign of a -0.0 partial and break bitwise equality).
+        next[i * cols + c] = hi < n ? prev[lo * cols + c] + prev[hi * cols + c]
+                                    : prev[lo * cols + c];
+      }
+    }
+    levels_.push_back(std::move(next));
+    n = next_n;
+  }
+  last_v_.assign(v.begin(), v.end());
+  valid_ = true;
+}
+
+void EventMac::propagate_row(const Crossbar& xb, std::span<const Volt> v,
+                             std::size_t row) {
+  const std::size_t cols = xb.cols();
+  for (std::size_t c = 0; c < cols; ++c) {
+    levels_[0][row * cols + c] = leaf_product(xb, v, row, c);
+  }
+  // Recompute the ancestors bottom-up. When several rows are dirty a shared
+  // ancestor is recomputed once per dirty descendant; the last walk sees
+  // every updated child, so the final tree equals a full rebuild.
+  std::size_t n = xb.rows();
+  std::size_t idx = row;
+  for (std::size_t level = 1; level < levels_.size(); ++level) {
+    idx /= 2;
+    const std::size_t lo = 2 * idx;
+    const std::size_t hi = lo + 1;
+    const std::vector<double>& prev = levels_[level - 1];
+    std::vector<double>& cur = levels_[level];
+    for (std::size_t c = 0; c < cols; ++c) {
+      cur[idx * cols + c] = hi < n ? prev[lo * cols + c] + prev[hi * cols + c]
+                                   : prev[lo * cols + c];
+    }
+    n = (n + 1) / 2;
+  }
+}
+
+std::vector<MicroAmp> EventMac::mac(const Crossbar& xb,
+                                    std::span<const Volt> row_voltages,
+                                    EvalMode mode, DeltaStats& stats) {
+  const std::size_t rows = xb.rows();
+  const std::size_t cols = xb.cols();
+  if (row_voltages.size() != rows) {
+    throw std::invalid_argument("EventMac::mac: expected " + std::to_string(rows) +
+                                " row voltages, got " +
+                                std::to_string(row_voltages.size()));
+  }
+  ++stats.evaluations;
+  stats.rows_total += rows;
+  if (mode == EvalMode::kFull || !valid_ || last_v_.size() != rows) {
+    rebuild(xb, row_voltages);
+    stats.rows_dirty += rows;
+  } else {
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (!same_bits(row_voltages[r], last_v_[r])) {
+        propagate_row(xb, row_voltages, r);
+        last_v_[r] = row_voltages[r];
+        ++stats.rows_dirty;
+      }
+    }
+  }
+
+  std::size_t active = 0;
+  for (Volt v : row_voltages) {
+    if (v != 0.0) {
+      ++active;
+    }
+  }
+  const double attenuation = xb.ir_drop_factor(active);
+  const std::vector<double>& root = levels_.back();
+  std::vector<MicroAmp> currents(cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    currents[c] = root[c] * attenuation;
+  }
+  return currents;
+}
+
+}  // namespace neuspin::xbar

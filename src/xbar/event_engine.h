@@ -1,0 +1,99 @@
+// Event-driven crossbar evaluation (ROADMAP item 2).
+//
+// A Monte-Carlo pass over a tiled network re-drives every tile with an
+// input vector that is usually ALMOST the input of the previous pass: the
+// first layer sees the identical request row T times, hidden layers change
+// only where a sign activation or a dropout draw flipped. Re-simulating
+// every bit-line from scratch wastes the work that did not change, so this
+// engine re-propagates only the rows whose drive voltage differs from the
+// cached previous pass — the EventSim idea applied to analog MVMs.
+//
+// Bitwise contract. Floating-point addition is not associative, so an
+// incremental "subtract the old contribution, add the new one" update
+// would drift from a from-scratch evaluation by ULPs. Instead each column
+// keeps its row products in a fixed pairwise-sum tree: level 0 holds the
+// per-row products v_r * G_rc, every higher level pairwise-sums the level
+// below (an odd tail element passes through unchanged), and the root is
+// the column current before IR attenuation. Re-evaluating a dirty row
+// recomputes its leaf and the O(log rows) ancestors above it — through the
+// SAME additions, in the SAME order, as rebuilding the whole tree. Full
+// and event-driven evaluation are therefore bitwise-equal by construction,
+// and tests pin it the way Conv2d::Algo pins direct-vs-im2col.
+//
+// Energy accounting is NOT affected: the hardware still drives every
+// active word line each pass, so tiles charge the ledger as if fully
+// evaluated. The skipped work is simulator time only, reported separately
+// through DeltaStats.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "xbar/crossbar.h"
+
+namespace neuspin::xbar {
+
+/// How a tile evaluates its crossbar MVMs.
+enum class EvalMode : std::uint8_t {
+  kFull,         ///< rebuild every leaf each pass (the reference)
+  kEventDriven,  ///< re-propagate only rows whose voltage changed
+};
+
+[[nodiscard]] std::string eval_mode_name(EvalMode mode);
+
+/// Simulator-side work census of the event engine. `rows_total` counts the
+/// rows a full evaluation would have propagated; `rows_dirty` the rows the
+/// engine actually propagated. Their gap is the saved simulation work.
+struct DeltaStats {
+  std::uint64_t evaluations = 0;  ///< plane MVMs evaluated
+  std::uint64_t rows_total = 0;   ///< rows a full evaluation would touch
+  std::uint64_t rows_dirty = 0;   ///< rows actually re-propagated
+
+  /// Fraction of row propagations skipped (0 when nothing ran yet).
+  [[nodiscard]] double skip_ratio() const {
+    return rows_total == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(rows_dirty) /
+                           static_cast<double>(rows_total);
+  }
+
+  DeltaStats& operator+=(const DeltaStats& other) {
+    evaluations += other.evaluations;
+    rows_total += other.rows_total;
+    rows_dirty += other.rows_dirty;
+    return *this;
+  }
+};
+
+/// Delta-evaluation state for ONE conductance plane: the cached drive
+/// voltages plus the pairwise-sum tree of every column. Owned by the tile
+/// alongside the Crossbar it shadows; reads conductances through the
+/// crossbar's public defect-aware accessor, so it must be invalidated
+/// whenever the programmed state or the defect map changes.
+class EventMac {
+ public:
+  /// Column currents (uA, IR drop applied) of `xb` under `row_voltages`.
+  /// kFull discards the cache and rebuilds every leaf; kEventDriven
+  /// re-propagates only rows whose voltage changed bitwise since the last
+  /// call. Both modes reduce through the identical tree.
+  [[nodiscard]] std::vector<MicroAmp> mac(const Crossbar& xb,
+                                          std::span<const Volt> row_voltages,
+                                          EvalMode mode, DeltaStats& stats);
+
+  /// Drop the cached state (programmed cells or defects changed).
+  void invalidate() { valid_ = false; }
+
+ private:
+  void rebuild(const Crossbar& xb, std::span<const Volt> v);
+  void propagate_row(const Crossbar& xb, std::span<const Volt> v, std::size_t row);
+
+  bool valid_ = false;
+  std::vector<Volt> last_v_;
+  /// levels_[0]: rows x cols leaf products; levels_[k]: ceil(prev/2) x cols
+  /// pairwise sums; levels_.back(): 1 x cols raw column currents.
+  std::vector<std::vector<double>> levels_;
+};
+
+}  // namespace neuspin::xbar

@@ -6,6 +6,8 @@
 #include <string>
 
 #include "xbar/bitcell.h"
+#include "xbar/decoder.h"
+#include "xbar/periphery.h"
 
 namespace neuspin::xbar {
 
@@ -75,6 +77,8 @@ DenseTile::DenseTile(const TileConfig& config, std::size_t in_features,
     plus_.push_back(std::move(xb_plus));
     minus_.push_back(std::move(xb_minus));
   }
+  plus_state_.resize(plus_.size());
+  minus_state_.resize(minus_.size());
 }
 
 DenseTile::DenseTile(const DenseTile& other)
@@ -93,6 +97,10 @@ DenseTile::DenseTile(const DenseTile& other)
   for (const auto& xb : other.minus_) {
     minus_.push_back(std::make_unique<Crossbar>(*xb));
   }
+  // Delta state is not copied: it only caches the previous pass, and the
+  // clone has not run one yet.
+  plus_state_.resize(plus_.size());
+  minus_state_.resize(minus_.size());
 }
 
 std::size_t DenseTile::cell_count() const {
@@ -119,12 +127,31 @@ void DenseTile::inject_defects(const device::DefectRates& rates, std::uint64_t s
         }
       }
     }
+    // The cached trees were built against the old defect map.
+    plus_state_[b].invalidate();
+    minus_state_[b].invalidate();
   }
 }
 
+namespace {
+
+/// Cycle-to-cycle multiplicative read noise, applied after summation — the
+/// same per-column draw order (and a fresh distribution per plane, like
+/// Crossbar::mac_noisy) whichever evaluation mode computed the currents,
+/// so the engine stream is identical across modes.
+void apply_read_noise(std::vector<device::MicroAmp>& currents,
+                      std::mt19937_64& engine, double sigma) {
+  std::normal_distribution<double> noise(1.0, sigma);
+  for (auto& i : currents) {
+    i *= noise(engine);
+  }
+}
+
+}  // namespace
+
 std::vector<float> DenseTile::forward(std::span<const float> input,
                                       energy::EnergyLedger* ledger,
-                                      std::mt19937_64& engine) const {
+                                      std::mt19937_64& engine) {
   const std::vector<std::uint8_t> all_enabled(in_, 1);
   return forward_gated(input, all_enabled, ledger, engine);
 }
@@ -132,33 +159,59 @@ std::vector<float> DenseTile::forward(std::span<const float> input,
 std::vector<float> DenseTile::forward_gated(std::span<const float> input,
                                             std::span<const std::uint8_t> row_enabled,
                                             energy::EnergyLedger* ledger,
-                                            std::mt19937_64& engine) const {
+                                            std::mt19937_64& engine) {
   if (input.size() != in_ || row_enabled.size() != in_) {
     throw std::invalid_argument("DenseTile::forward: expected " + std::to_string(in_) +
                                 " inputs, got " + std::to_string(input.size()));
   }
-  std::vector<double> accumulated(out_, 0.0);
+  // Cross-block partial-sum accumulation runs through the Fig. 2
+  // accumulator-adder. Its ledger hook stays disconnected: the digital
+  // adds are charged explicitly below (ADC path, blocks after the first
+  // only — the first block's write is a register load), and in sense-amp
+  // mode the adder stands in value-for-value for the shared analog
+  // accumulation line, which costs nothing per block.
+  AccumulatorAdder accumulator(out_);
+  std::vector<double> partial(out_, 0.0);
   for (std::size_t b = 0; b < plus_.size(); ++b) {
     const std::size_t first = b * config_.max_rows;
     const std::size_t rows = plus_[b]->rows();
-    std::vector<Volt> voltages(rows, 0.0);
+    // Word-line decode (§III-A.1): gating arrives as enabled address
+    // ranges — SpinDrop neuron pairs and Spatial-SpinDrop K*K channel
+    // groups are contiguous by construction — and the decoder masks the
+    // drive voltages of everything else to exact zero.
+    WordlineDecoder decoder(rows);
+    for (std::size_t r = 0; r < rows;) {
+      if (!row_enabled[first + r]) {
+        ++r;
+        continue;
+      }
+      std::size_t run = r;
+      while (run < rows && row_enabled[first + run]) {
+        ++run;
+      }
+      decoder.enable_range(r, run - r);
+      r = run;
+    }
+    std::vector<Volt> voltages(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      voltages[r] =
+          config_.crossbar.read_voltage * static_cast<double>(input[first + r]);
+    }
+    decoder.apply(voltages);
     std::size_t active = 0;
     for (std::size_t r = 0; r < rows; ++r) {
-      if (row_enabled[first + r]) {
-        voltages[r] = config_.crossbar.read_voltage *
-                      static_cast<double>(input[first + r]);
-        if (voltages[r] != 0.0) {
-          ++active;
-        }
+      if (voltages[r] != 0.0) {
+        ++active;
       }
     }
-    const auto i_plus = config_.read_noise_sigma > 0.0
-                            ? plus_[b]->mac_noisy(voltages, engine, config_.read_noise_sigma)
-                            : plus_[b]->mac(voltages);
-    const auto i_minus =
-        config_.read_noise_sigma > 0.0
-            ? minus_[b]->mac_noisy(voltages, engine, config_.read_noise_sigma)
-            : minus_[b]->mac(voltages);
+    auto i_plus = plus_state_[b].mac(*plus_[b], voltages, config_.eval_mode,
+                                     delta_stats_);
+    auto i_minus = minus_state_[b].mac(*minus_[b], voltages, config_.eval_mode,
+                                       delta_stats_);
+    if (config_.read_noise_sigma > 0.0) {
+      apply_read_noise(i_plus, engine, config_.read_noise_sigma);
+      apply_read_noise(i_minus, engine, config_.read_noise_sigma);
+    }
 
     if (ledger != nullptr) {
       ledger->add(energy::Component::kWordlineActivation, active);
@@ -174,14 +227,16 @@ std::vector<float> DenseTile::forward_gated(std::span<const float> input,
     for (std::size_t c = 0; c < out_; ++c) {
       const double diff = i_plus[c] - i_minus[c];
       if (config_.readout == Readout::kAdc) {
-        accumulated[c] += adc_.quantize(diff) / unit_current_;
+        partial[c] = adc_.quantize(diff) / unit_current_;
       } else {
         // Sense-amp path: analog partial sums share the accumulation line;
         // digitization happens once per column after the last block.
-        accumulated[c] += diff;
+        partial[c] = diff;
       }
     }
+    accumulator.accumulate(partial);
   }
+  const std::vector<double>& accumulated = accumulator.value();
   std::vector<float> output(out_);
   if (config_.readout == Readout::kSenseAmp) {
     if (ledger != nullptr) {

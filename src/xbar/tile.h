@@ -24,6 +24,7 @@
 #include "energy/accountant.h"
 #include "xbar/adc.h"
 #include "xbar/crossbar.h"
+#include "xbar/event_engine.h"
 
 namespace neuspin::xbar {
 
@@ -41,6 +42,13 @@ struct TileConfig {
   CrossbarConfig crossbar{};      ///< per-array electrical design point
   /// Cycle-to-cycle multiplicative read-noise sigma (0 disables).
   double read_noise_sigma = 0.0;
+  /// How MVMs are evaluated. kEventDriven (the default) re-propagates only
+  /// rows whose drive voltage changed since the tile's previous pass;
+  /// kFull rebuilds every column from scratch. Bitwise-equal by
+  /// construction (see xbar/event_engine.h); energy accounting charges the
+  /// full pass either way — the hardware does not skip word lines, only
+  /// the simulator skips arithmetic.
+  EvalMode eval_mode = EvalMode::kEventDriven;
   /// Device-to-device variability; ideal (all zero) by default so the
   /// nominal tile is exact — non-ideality is opt-in per experiment.
   device::VariabilityParams variability{0.0, 0.0, 0.0};
@@ -73,17 +81,18 @@ class DenseTile {
 
   /// Hardware forward pass for one input vector. Values are interpreted as
   /// multiples of the read voltage (binary nets drive exactly +-1).
-  /// Events are recorded into `ledger` when non-null.
+  /// Events are recorded into `ledger` when non-null. Non-const: the tile
+  /// keeps per-block delta state between passes (config().eval_mode).
   [[nodiscard]] std::vector<float> forward(std::span<const float> input,
                                            energy::EnergyLedger* ledger,
-                                           std::mt19937_64& engine) const;
+                                           std::mt19937_64& engine);
 
   /// Forward pass with per-row gating: rows whose `row_enabled` flag is
   /// false contribute nothing (SpinDrop / Spatial-SpinDrop dropout path).
   [[nodiscard]] std::vector<float> forward_gated(std::span<const float> input,
                                                  std::span<const std::uint8_t> row_enabled,
                                                  energy::EnergyLedger* ledger,
-                                                 std::mt19937_64& engine) const;
+                                                 std::mt19937_64& engine);
 
   [[nodiscard]] std::size_t in_features() const { return in_; }
   [[nodiscard]] std::size_t out_features() const { return out_; }
@@ -95,7 +104,14 @@ class DenseTile {
 
   /// Inject additional stuck-at defects into every block (fault-injection
   /// experiments). `rate` is the per-cell probability for each plane.
+  /// Invalidates the cached delta state — the next pass re-propagates
+  /// every row against the new defect map.
   void inject_defects(const device::DefectRates& rates, std::uint64_t seed);
+
+  /// Accumulated event-engine work census since construction (or the last
+  /// reset): how much row propagation the delta cache skipped.
+  [[nodiscard]] const DeltaStats& delta_stats() const { return delta_stats_; }
+  void reset_delta_stats() { delta_stats_ = DeltaStats{}; }
 
  private:
   TileConfig config_;
@@ -105,6 +121,11 @@ class DenseTile {
   /// Differential planes per row-block.
   std::vector<std::unique_ptr<Crossbar>> plus_;
   std::vector<std::unique_ptr<Crossbar>> minus_;
+  /// Delta-evaluation state shadowing each plane (never cloned: a fresh
+  /// replica re-propagates everything on its first pass).
+  std::vector<EventMac> plus_state_;
+  std::vector<EventMac> minus_state_;
+  DeltaStats delta_stats_;
   Adc adc_;
   SenseAmp sense_amp_;
   /// Current-to-weighted-sum conversion factor: V_read * dG (uA per unit).

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <future>
 #include <set>
 #include <stdexcept>
@@ -642,6 +643,205 @@ TEST(TiledMcEvaluator, ThreadCountInvariantIncludingLedger) {
     EXPECT_EQ(ledger_serial.count(static_cast<energy::Component>(c)),
               ledger_pooled.count(static_cast<energy::Component>(c)));
   }
+}
+
+// ----------------------------------------------------- cascade fidelity
+
+struct CascadeRun {
+  std::vector<serve::ServedPrediction> served;
+  serve::RuntimeStats stats;
+};
+
+CascadeRun run_backend(const core::BuiltModel& model, const nn::Dataset& data,
+                       std::size_t requests, serve::Backend backend,
+                       double entropy_threshold, std::size_t workers) {
+  serve::RuntimeConfig config;
+  config.backend = backend;
+  config.workers = workers;
+  config.mc_samples = 3;
+  config.seed = 777;
+  config.spindrop_p = 0.15;
+  config.tile_seed = 42;
+  config.cascade.entropy_threshold = entropy_threshold;
+  serve::Runtime runtime(model, config);
+  CascadeRun run;
+  run.served = serve_all(runtime, data, requests);
+  run.stats = runtime.stats();
+  return run;
+}
+
+// The cascade determinism contract: the request seed fixes the answer — the
+// escalation threshold and the worker count only pick WHICH rung's bits a
+// request carries, and those bits are exactly the bits the pure
+// single-fidelity runtime would have served.
+TEST(Runtime, CascadeDeterministicAcrossWorkersAndMatchesRungs) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(26);
+  constexpr std::size_t kRequests = 6;
+
+  const CascadeRun cheap =
+      run_backend(model, data, kRequests, serve::Backend::kBehavioral, 0.0, 1);
+  const CascadeRun expensive =
+      run_backend(model, data, kRequests, serve::Backend::kTiled, 0.0, 1);
+
+  // A mid threshold that provably splits the workload: the median cheap
+  // entropy escalates itself and everything above it.
+  std::vector<float> entropies;
+  for (const auto& p : cheap.served) {
+    entropies.push_back(p.entropy);
+  }
+  std::sort(entropies.begin(), entropies.end());
+  const double mid = entropies[kRequests / 2];
+
+  for (const double threshold : {0.0, mid, 1e9}) {
+    const CascadeRun one =
+        run_backend(model, data, kRequests, serve::Backend::kCascade, threshold, 1);
+    const CascadeRun three =
+        run_backend(model, data, kRequests, serve::Backend::kCascade, threshold, 3);
+    std::uint64_t escalated = 0;
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      // Worker-count invariance, including the escalation decision.
+      ASSERT_EQ(one.served[i].escalated, three.served[i].escalated) << i;
+      ASSERT_EQ(one.served[i].probs, three.served[i].probs) << i;
+      ASSERT_EQ(one.served[i].entropy, three.served[i].entropy) << i;
+      // Rung fidelity: an escalated answer is the tiled runtime's answer,
+      // bit for bit; a non-escalated one is the behavioural runtime's.
+      const auto& rung = one.served[i].escalated ? expensive : cheap;
+      ASSERT_EQ(one.served[i].probs, rung.served[i].probs) << i;
+      ASSERT_EQ(one.served[i].entropy, rung.served[i].entropy) << i;
+      ASSERT_EQ(one.served[i].mutual_info, rung.served[i].mutual_info) << i;
+      escalated += one.served[i].escalated ? 1 : 0;
+    }
+    EXPECT_EQ(one.stats.escalated, escalated);
+    EXPECT_EQ(three.stats.escalated, escalated);
+    if (threshold == 0.0) {
+      // Entropy is non-negative, so threshold 0 escalates every request...
+      EXPECT_EQ(escalated, kRequests);
+    } else if (threshold >= 1e9) {
+      // ...and an unreachable threshold escalates none.
+      EXPECT_EQ(escalated, 0u);
+    } else {
+      EXPECT_GT(escalated, 0u);
+      EXPECT_LT(escalated, kRequests);
+    }
+  }
+}
+
+// An escalated request pays both rungs: census-priced behavioural pass plus
+// the measured electrical pass. A never-escalating cascade is priced (and
+// answers) exactly like the behavioural backend.
+TEST(Runtime, CascadeEnergyCombinesRungs) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(26);
+  constexpr std::size_t kRequests = 3;
+
+  const CascadeRun cheap =
+      run_backend(model, data, kRequests, serve::Backend::kBehavioral, 0.0, 1);
+  const CascadeRun expensive =
+      run_backend(model, data, kRequests, serve::Backend::kTiled, 0.0, 1);
+  const CascadeRun all =
+      run_backend(model, data, kRequests, serve::Backend::kCascade, 0.0, 1);
+  const CascadeRun none =
+      run_backend(model, data, kRequests, serve::Backend::kCascade, 1e9, 1);
+
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    EXPECT_GT(cheap.served[i].energy_pj, 0.0);  // census-priced
+    EXPECT_DOUBLE_EQ(all.served[i].energy_pj,
+                     cheap.served[i].energy_pj + expensive.served[i].energy_pj);
+    EXPECT_DOUBLE_EQ(none.served[i].energy_pj, cheap.served[i].energy_pj);
+    EXPECT_FALSE(none.served[i].escalated);
+  }
+}
+
+TEST(CascadeBackend, ShouldEscalateGatesOnEntropyAndMargin) {
+  serve::CascadeConfig config;
+  config.entropy_threshold = 0.5;
+  EXPECT_TRUE(serve::should_escalate(config, 0.5, 1.0));
+  EXPECT_TRUE(serve::should_escalate(config, 0.9, 1.0));
+  EXPECT_FALSE(serve::should_escalate(config, 0.49, 1.0));
+  config.margin_threshold = 0.1;  // close top-2 race also escalates
+  EXPECT_TRUE(serve::should_escalate(config, 0.1, 0.05));
+  EXPECT_FALSE(serve::should_escalate(config, 0.1, 0.2));
+}
+
+// ------------------------------------------------- CNN electrical path
+
+// The Table-I CNN runs end to end on the electrical substrate: conv stages
+// through ConvTile (one MVM per output pixel), pooling/flattening as
+// digital periphery, dense tail on DenseTiles.
+TEST(TiledMlp, TableOneCnnRunsElectrically) {
+  core::ModelConfig mc;
+  mc.method = core::Method::kSpinDrop;
+  mc.seed = 7;
+  mc.dropout_p = 0.2;
+  core::BuiltModel cnn = core::make_binary_cnn(mc);
+  xbar::TileConfig tile;
+  core::TiledMlp hw(cnn.net, tile, 42);
+  EXPECT_EQ(hw.conv_stage_count(), 2u);
+  EXPECT_EQ(hw.layer_count(), 4u);
+  EXPECT_EQ(hw.out_features(), 10u);
+
+  // Stroke digits are 16x16 flat — exactly the CNN's input plane.
+  const nn::Dataset data = tiny_dataset(31, 1);
+  const nn::Tensor x = data.batch(0, 1).first;
+  energy::EnergyLedger ledger;
+  const nn::Tensor logits = hw.forward(x, &ledger);
+  ASSERT_EQ(logits.dim(0), 1u);
+  ASSERT_EQ(logits.dim(1), 10u);
+  for (std::size_t c = 0; c < 10; ++c) {
+    EXPECT_TRUE(std::isfinite(logits[c]));
+  }
+  // Conv stages charge the ledger like real crossbar reads.
+  EXPECT_GT(ledger.count(energy::Component::kXbarCellRead), 0u);
+  EXPECT_GT(ledger.count(energy::Component::kAdcConversion), 0u);
+
+  // A reseeded SpinDrop pass is a pure function of (tiles, input, p, seed),
+  // and a clone carries the programmed conv stages bit for bit.
+  hw.reseed(5);
+  const nn::Tensor a = hw.forward_spindrop(x, 0.2, nullptr);
+  core::TiledMlp copy = hw.clone();
+  copy.reseed(5);
+  const nn::Tensor b = copy.forward_spindrop(x, 0.2, nullptr);
+  hw.reseed(5);
+  const nn::Tensor c = hw.forward_spindrop(x, 0.2, nullptr);
+  ASSERT_EQ(a.numel(), b.numel());
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a[i], b[i]);
+    ASSERT_EQ(a[i], c[i]);
+  }
+
+  // The repeated passes re-drove the tiles with mostly-identical inputs;
+  // the event engine must have skipped rows.
+  EXPECT_GT(hw.delta_stats().skip_ratio(), 0.0);
+}
+
+TEST(TiledMcEvaluator, CnnPredictsThroughConvTiles) {
+  core::ModelConfig mc;
+  mc.method = core::Method::kSpinDrop;
+  mc.seed = 7;
+  mc.dropout_p = 0.2;
+  core::BuiltModel cnn = core::make_binary_cnn(mc);
+
+  const nn::Dataset data = tiny_dataset(33, 1);
+  const nn::Tensor inputs = data.batch(0, 2).first;
+  core::TiledEvalOptions options;
+  options.mc_samples = 2;
+  options.dropout_p = 0.15;
+  options.threads = 1;
+  xbar::TileConfig tile;
+  core::TiledMcEvaluator evaluator(cnn.net, tile, 42, options);
+  const core::Prediction p = evaluator.predict(inputs);
+  ASSERT_EQ(p.mean_probs.dim(0), 2u);
+  ASSERT_EQ(p.mean_probs.dim(1), 10u);
+  for (std::size_t row = 0; row < 2; ++row) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < 10; ++c) {
+      sum += p.mean_probs.at(row, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+    EXPECT_GE(p.entropy[row], 0.0);
+  }
+  EXPECT_GT(evaluator.delta_stats().rows_total, 0u);
 }
 
 }  // namespace

@@ -307,6 +307,38 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_tuple(1, 4, 1, 1, 1, 0),   // 1x1 image, 1x1 kernel
         std::make_tuple(2, 2, 2, 2, 2, 1))); // even kernel, padded
 
+// The consecutive-duplicate cache (the T stacked copies of one request in
+// the fused Monte-Carlo path) must be invisible: a batch with repeated
+// images lowers to exactly the per-image lowering, bit for bit, including
+// when the repeat is broken and resumed.
+TEST(Im2col, ConsecutiveDuplicateImagesLowerIdentically) {
+  std::mt19937_64 engine(41);
+  const Tensor a = Tensor::randn({1, 2, 5, 5}, 1.0f, engine);
+  const Tensor b = Tensor::randn({1, 2, 5, 5}, 1.0f, engine);
+
+  // Stack [A, A, B, A]: a duplicate run, a break, and a non-consecutive
+  // repeat (which must NOT be cached — only neighbor equality is checked).
+  Tensor stacked({4, 2, 5, 5});
+  const std::size_t image = a.numel();
+  for (std::size_t n = 0; n < 4; ++n) {
+    const Tensor& src = (n == 2) ? b : a;
+    std::copy(src.data().begin(), src.data().end(),
+              stacked.data().begin() + static_cast<std::ptrdiff_t>(n * image));
+  }
+
+  const Tensor cols = im2col(stacked, 3, 1);
+  const Tensor cols_a = im2col(a, 3, 1);
+  const Tensor cols_b = im2col(b, 3, 1);
+  const std::size_t block = cols_a.numel();
+  ASSERT_EQ(cols.numel(), 4 * block);
+  for (std::size_t n = 0; n < 4; ++n) {
+    const Tensor& expected = (n == 2) ? cols_b : cols_a;
+    for (std::size_t i = 0; i < block; ++i) {
+      ASSERT_EQ(cols[n * block + i], expected[i]) << "image " << n << " tap " << i;
+    }
+  }
+}
+
 TEST(Im2col, PaddingTapsAreExactZeros) {
   // An all-ones image: every zero in the patch matrix must be a padding
   // tap, and the zero count must match the geometry exactly.

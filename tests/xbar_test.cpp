@@ -444,5 +444,158 @@ TEST(DenseTile, RejectsMismatchedSpans) {
                std::invalid_argument);
 }
 
+// --------------------------------------------------------- event engine ----
+
+/// A deliberately hostile design point for the bitwise contract: IR drop,
+/// read noise, fine quantization and multi-block row folding all on.
+TileConfig nonideal_tile_config(EvalMode mode) {
+  TileConfig config;
+  config.max_rows = 16;  // forces several blocks even on small tiles
+  config.adc_bits = 10;
+  config.read_noise_sigma = 0.05;
+  config.eval_mode = mode;
+  return config;
+}
+
+/// Two tiles that must stay bitwise-locked: same weights, scales, seed and
+/// electrical design point, differing only in evaluation mode.
+struct TilePair {
+  DenseTile full;
+  DenseTile event;
+};
+
+TilePair make_tile_pair(std::size_t in, std::size_t out, std::uint64_t seed) {
+  std::mt19937_64 engine(seed);
+  std::vector<float> weights(in * out);
+  for (auto& w : weights) {
+    w = (engine() & 1) ? 1.0f : -1.0f;
+  }
+  std::vector<float> scales(out);
+  for (std::size_t c = 0; c < out; ++c) {
+    scales[c] = 0.25f + 0.125f * static_cast<float>(c);
+  }
+  return TilePair{
+      DenseTile(nonideal_tile_config(EvalMode::kFull), in, out, weights, scales, seed),
+      DenseTile(nonideal_tile_config(EvalMode::kEventDriven), in, out, weights, scales,
+                seed)};
+}
+
+TEST(EventEngine, BitwiseEqualToFullEvaluationUnderNonidealities) {
+  const std::size_t in = 40;
+  const std::size_t out = 6;
+  TilePair pair = make_tile_pair(in, out, 11);
+
+  device::DefectRates rates;
+  rates.stuck_at_p = 0.02;
+  rates.stuck_at_ap = 0.02;
+  rates.open = 0.01;
+  rates.short_circuit = 0.005;
+  pair.full.inject_defects(rates, 77);
+  pair.event.inject_defects(rates, 77);
+
+  // Same seed per tile: read noise draws the identical stream whichever
+  // mode computed the currents (the engine advance count is mode-free).
+  std::mt19937_64 full_engine(3);
+  std::mt19937_64 event_engine(3);
+  std::mt19937_64 mutate(19);
+  std::vector<float> input(in);
+  for (auto& x : input) {
+    x = (mutate() & 1) ? 1.0f : -1.0f;
+  }
+  std::vector<std::uint8_t> enabled(in, 1);
+
+  for (int pass = 0; pass < 16; ++pass) {
+    switch (pass % 4) {
+      case 1:  // flip a handful of rows — the delta-friendly case
+        for (int k = 0; k < 3; ++k) {
+          input[mutate() % in] *= -1.0f;
+        }
+        break;
+      case 2:  // bitwise repeat of the previous input — everything clean
+        break;
+      case 3:  // change the gating mask instead of the input
+        enabled[mutate() % in] ^= 1;
+        break;
+      default:  // fresh input — everything dirty
+        for (auto& x : input) {
+          x = (mutate() & 1) ? 1.0f : -1.0f;
+        }
+        break;
+    }
+    energy::EnergyLedger full_ledger;
+    energy::EnergyLedger event_ledger;
+    const auto a = pair.full.forward_gated(input, enabled, &full_ledger, full_engine);
+    const auto b = pair.event.forward_gated(input, enabled, &event_ledger, event_engine);
+    for (std::size_t c = 0; c < out; ++c) {
+      ASSERT_EQ(a[c], b[c]) << "pass " << pass << " column " << c
+                            << ": event-driven output must be bitwise equal";
+    }
+    // The hardware drives every pass in full; energy must not notice the
+    // simulator shortcut.
+    EXPECT_EQ(full_ledger.count(energy::Component::kXbarCellRead),
+              event_ledger.count(energy::Component::kXbarCellRead));
+    EXPECT_EQ(full_ledger.count(energy::Component::kAdcConversion),
+              event_ledger.count(energy::Component::kAdcConversion));
+  }
+
+  // The sequence contained repeats and small deltas, so the event tile
+  // must have skipped real work while the full tile skipped none.
+  EXPECT_GT(pair.event.delta_stats().skip_ratio(), 0.0);
+  EXPECT_EQ(pair.full.delta_stats().rows_dirty, pair.full.delta_stats().rows_total);
+}
+
+TEST(EventEngine, DeltaStatsCountSkippedRows) {
+  const std::size_t in = 24;
+  const std::size_t out = 3;
+  std::vector<float> weights(in * out, 1.0f);
+  std::vector<float> scales(out, 1.0f);
+  TileConfig config = ideal_tile_config();
+  config.eval_mode = EvalMode::kEventDriven;
+  DenseTile tile(config, in, out, weights, scales, 5);
+
+  std::vector<float> input(in, 1.0f);
+  std::mt19937_64 engine(1);
+  (void)tile.forward(input, nullptr, engine);
+  const DeltaStats cold = tile.delta_stats();
+  EXPECT_EQ(cold.rows_dirty, cold.rows_total) << "first pass must rebuild everything";
+
+  (void)tile.forward(input, nullptr, engine);
+  const DeltaStats warm = tile.delta_stats();
+  EXPECT_EQ(warm.rows_dirty, cold.rows_dirty)
+      << "an identical input must re-propagate zero rows";
+  EXPECT_EQ(warm.rows_total, 2 * cold.rows_total);
+  EXPECT_DOUBLE_EQ(warm.skip_ratio(), 0.5);
+
+  tile.reset_delta_stats();
+  EXPECT_EQ(tile.delta_stats().rows_total, 0u);
+  EXPECT_DOUBLE_EQ(tile.delta_stats().skip_ratio(), 0.0);
+}
+
+TEST(EventEngine, DefectInjectionInvalidatesDeltaCache) {
+  const std::size_t in = 12;
+  const std::size_t out = 4;
+  TilePair pair = make_tile_pair(in, out, 23);
+
+  std::mt19937_64 full_engine(2);
+  std::mt19937_64 event_engine(2);
+  std::vector<float> input(in, 1.0f);
+  (void)pair.full.forward(input, nullptr, full_engine);
+  (void)pair.event.forward(input, nullptr, event_engine);
+
+  // Defects change conductances under unchanged voltages: a stale tree
+  // would keep returning pre-defect currents for the "clean" rows.
+  device::DefectRates rates;
+  rates.stuck_at_p = 0.2;
+  rates.stuck_at_ap = 0.2;
+  pair.full.inject_defects(rates, 99);
+  pair.event.inject_defects(rates, 99);
+
+  const auto a = pair.full.forward(input, nullptr, full_engine);
+  const auto b = pair.event.forward(input, nullptr, event_engine);
+  for (std::size_t c = 0; c < out; ++c) {
+    ASSERT_EQ(a[c], b[c]) << "post-defect pass must re-read every conductance";
+  }
+}
+
 }  // namespace
 }  // namespace neuspin::xbar

@@ -4,7 +4,7 @@
 //
 // Plain main (like bench_table1): runnable without google-benchmark.
 //
-//   ./build/bench/bench_serve [--smoke]
+//   ./build/bench/bench_serve [--smoke] [--trace FILE]
 //
 // The behavioural backend is the production path and must show throughput
 // scaling with workers (the ISSUE-2 acceptance criterion); the tiled
@@ -21,12 +21,17 @@
 //
 // --smoke shrinks every sweep to a few requests: a CI-speed run that only
 // checks the bench still drives the runtime end to end.
+//
+// --trace FILE additionally runs the tracing-overhead leg's traced pass
+// with sample_every=1 and writes its Chrome trace-event JSON to FILE
+// (load at https://ui.perfetto.dev; validate with tools/check_trace.py).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <deque>
 #include <future>
+#include <mutex>
 #include <random>
 #include <thread>
 #include <vector>
@@ -35,6 +40,7 @@
 #include "core/models.h"
 #include "data/ood.h"
 #include "data/strokes.h"
+#include "obs/metrics.h"
 #include "serve/runtime.h"
 
 namespace {
@@ -77,7 +83,7 @@ std::vector<std::vector<float>> dataset_rows(const nn::Dataset& data) {
 
 RunResult run_load(const core::BuiltModel& model, serve::RuntimeConfig config,
                    const std::vector<std::vector<float>>& rows,
-                   std::size_t requests) {
+                   std::size_t requests, const char* trace_path = nullptr) {
   serve::Runtime runtime(model, config);
 
   // Closed loop with a bounded in-flight window: latencies then measure
@@ -118,6 +124,13 @@ RunResult run_load(const core::BuiltModel& model, serve::RuntimeConfig config,
   result.escalation_rate = static_cast<double>(runtime.stats().escalated) /
                            static_cast<double>(requests);
   result.skip_ratio = runtime.delta_stats().skip_ratio();
+  if (trace_path != nullptr) {
+    runtime.tracer().write_chrome_trace(trace_path);
+    std::printf("trace: %llu spans (%llu dropped) -> %s\n",
+                static_cast<unsigned long long>(runtime.tracer().span_count()),
+                static_cast<unsigned long long>(runtime.tracer().dropped()),
+                trace_path);
+  }
   return result;
 }
 
@@ -342,12 +355,144 @@ void sweep_cascade(const core::BuiltModel& model, const nn::Dataset& data) {
               100.0 * casc.escalation_rate);
 }
 
+/// Observability-overhead leg (ISSUE-7 acceptance: <3% regression with
+/// tracing + metrics on): the behavioural closed loop run twice — tracing
+/// off (metrics alone, always on) vs. tracing on at sample_every=1, the
+/// most expensive setting (every request records 4 spans + the per-batch /
+/// per-rung spans). Best-of-3 each side to keep scheduler noise out of a
+/// percent-level comparison. When `trace_path` is set the traced pass
+/// also exports its Chrome trace-event JSON.
+void sweep_tracing_overhead(const core::BuiltModel& model,
+                            const nn::Dataset& data, const char* trace_path) {
+  const std::size_t requests = g_smoke ? 32 : 1024;
+  const std::size_t reps = g_smoke ? 1 : 3;
+  const auto make_config = [](bool traced) {
+    serve::RuntimeConfig config;
+    config.workers = 1;
+    config.mc_samples = 8;
+    config.batcher.max_batch = 16;
+    config.batcher.max_linger = std::chrono::microseconds(100);
+    config.trace.enabled = traced;
+    config.trace.sample_every = 1;
+    return config;
+  };
+  const std::vector<std::vector<float>> rows = dataset_rows(data);
+  const auto best_rate = [&](bool traced, const char* path) {
+    double best = 0.0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      // Export only from the last traced rep so FILE holds a full run.
+      const char* p = (traced && rep + 1 == reps) ? path : nullptr;
+      best = std::max(best,
+                      run_load(model, make_config(traced), rows, requests, p)
+                          .requests_per_sec);
+    }
+    return best;
+  };
+  const double off = best_rate(false, nullptr);
+  const double on = best_rate(true, trace_path);
+  std::printf(
+      "\ntracing overhead (behavioural, 1 worker, %zu requests, best of %zu):\n"
+      "  tracing off: %8.0f req/s   (metrics registry always on)\n"
+      "  tracing on:  %8.0f req/s   (sample_every=1, 4 spans/request)\n"
+      "  overhead: %.2f%% (acceptance: < 3%%)\n",
+      requests, reps, off, on, 100.0 * (1.0 - on / off));
+}
+
+/// Stats-primitive micro-bench: the pre-PR-7 latency-window implementation
+/// (a mutex-guarded 512-entry ring whose every percentile read sorts a
+/// copy) vs. the obs::Histogram that replaced it (lock-free relaxed
+/// fetch_add record; reads snapshot 1282 buckets). Reported per-op so the
+/// BENCH_pr7.json histogram-vs-ring numbers come straight off this table.
+void bench_stats_primitives() {
+  const std::size_t records = g_smoke ? 20'000 : 2'000'000;
+  const std::size_t reads = g_smoke ? 200 : 20'000;
+  std::mt19937_64 engine(42);
+  std::lognormal_distribution<double> latency(6.0, 1.0);
+  std::vector<double> samples(records);
+  for (double& s : samples) {
+    s = latency(engine);
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto ns_per = [](Clock::time_point t0, Clock::time_point t1,
+                         std::size_t ops) {
+    return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+           static_cast<double>(ops);
+  };
+
+  // The removed implementation, statement for statement: bounded ring under
+  // the stats mutex, percentile = lock + copy + sort of the window.
+  double ring_record_ns = 0.0;
+  double ring_read_ns = 0.0;
+  double ring_p50 = 0.0;
+  {
+    constexpr std::size_t kWindow = 512;
+    std::mutex mutex;
+    std::vector<double> ring;
+    ring.reserve(kWindow);
+    std::size_t next = 0;
+    const auto r0 = Clock::now();
+    for (const double s : samples) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (ring.size() < kWindow) {
+        ring.push_back(s);
+      } else {
+        ring[next] = s;
+        next = (next + 1) % kWindow;
+      }
+    }
+    const auto r1 = Clock::now();
+    for (std::size_t i = 0; i < reads; ++i) {
+      std::lock_guard<std::mutex> lock(mutex);
+      std::vector<double> sorted(ring);
+      std::sort(sorted.begin(), sorted.end());
+      ring_p50 += sorted[sorted.size() / 2];
+    }
+    const auto r2 = Clock::now();
+    ring_record_ns = ns_per(r0, r1, records);
+    ring_read_ns = ns_per(r1, r2, reads);
+  }
+
+  double hist_record_ns = 0.0;
+  double hist_read_ns = 0.0;
+  double hist_p50 = 0.0;
+  {
+    obs::Histogram hist;
+    const auto h0 = Clock::now();
+    for (const double s : samples) {
+      hist.record(s);
+    }
+    const auto h1 = Clock::now();
+    for (std::size_t i = 0; i < reads; ++i) {
+      hist_p50 += hist.quantile(0.50);
+    }
+    const auto h2 = Clock::now();
+    hist_record_ns = ns_per(h0, h1, records);
+    hist_read_ns = ns_per(h1, h2, reads);
+  }
+
+  std::printf(
+      "\nstats primitives: mutex ring (512, sorted-copy read) vs. obs::Histogram\n"
+      "(%zu records, %zu p50 reads; ring p50 %.0f us ~ histogram p50 %.0f us)\n",
+      records, reads, ring_p50 / static_cast<double>(reads),
+      hist_p50 / static_cast<double>(reads));
+  std::printf("%12s %14s %14s\n", "", "record (ns)", "p50 read (ns)");
+  std::printf("%12s %14.1f %14.1f\n", "ring", ring_record_ns, ring_read_ns);
+  std::printf("%12s %14.1f %14.1f\n", "histogram", hist_record_ns, hist_read_ns);
+  std::printf("record speedup: %.1fx, read speedup: %.1fx (histogram also "
+              "covers the full history, not a 512-sample window)\n",
+              ring_record_ns / hist_record_ns, ring_read_ns / hist_read_ns);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       g_smoke = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     }
   }
   bench::banner("bench_serve",
@@ -397,8 +542,12 @@ int main(int argc, char** argv) {
 
   sweep_cascade(model, data);
 
+  sweep_tracing_overhead(model, data, trace_path);
+
+  bench_stats_primitives();
+
   std::printf("\nNote: predictions are bitwise identical across every row of\n"
-              "these sweeps — worker count, batching and arrival process\n"
-              "change only latency.\n");
+              "these sweeps — worker count, batching, arrival process and\n"
+              "tracing change only latency.\n");
   return 0;
 }

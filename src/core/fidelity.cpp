@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "nn/model.h"
+#include "obs/trace.h"
 
 namespace neuspin::core {
 
@@ -69,6 +70,10 @@ BackendBatch BehavioralBackend::forward(const nn::Tensor& inputs,
                                         energy::EnergyLedger* /*ledger*/) {
   check_inputs(inputs, request_seeds);
   const std::size_t batch = inputs.dim(0);
+  obs::ScopedSpan span(tracer_, "rung:behavioral", "backend");
+  span.arg("rows", static_cast<double>(batch));
+  span.arg("mc_samples", static_cast<double>(config_.mc_samples));
+  span.arg("fused", config_.fused ? 1.0 : 0.0);
   BackendBatch out;
   if (config_.fused) {
     // One stacked (requests x T) forward per layer; per-row streams keep
@@ -106,11 +111,21 @@ TiledBackend::TiledBackend(nn::Sequential& net, const TiledBackendConfig& config
 TiledBackend::TiledBackend(const TiledBackend& other)
     : config_(other.config_), replica_(other.replica_) {}
 
+void TiledBackend::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  replica_.set_tracer(tracer);
+}
+
 BackendBatch TiledBackend::forward(const nn::Tensor& inputs,
                                    std::span<const std::uint64_t> request_seeds,
                                    energy::EnergyLedger* ledger) {
   check_inputs(inputs, request_seeds);
   const std::size_t batch = inputs.dim(0);
+  obs::ScopedSpan span(tracer_, "rung:tiled", "backend");
+  span.arg("rows", static_cast<double>(batch));
+  span.arg("mc_samples", static_cast<double>(config_.mc_samples));
+  const xbar::DeltaStats before = span.active() ? replica_.delta_stats()
+                                                : xbar::DeltaStats{};
   BackendBatch out;
   out.predictions.reserve(batch);
   out.energy_pj.assign(batch, 0.0);
@@ -142,6 +157,16 @@ BackendBatch TiledBackend::forward(const nn::Tensor& inputs,
                      return replica_.forward_spindrop(x, config_.spindrop_p, ledger);
                    })));
     }
+  }
+  if (span.active()) {
+    xbar::DeltaStats delta = replica_.delta_stats();
+    delta.evaluations -= before.evaluations;
+    delta.rows_total -= before.rows_total;
+    delta.rows_dirty -= before.rows_dirty;
+    span.arg("rows_total", static_cast<double>(delta.rows_total));
+    span.arg("rows_dirty", static_cast<double>(delta.rows_dirty));
+    span.arg("rows_skipped",
+             static_cast<double>(delta.rows_total - delta.rows_dirty));
   }
   return out;
 }

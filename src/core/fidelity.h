@@ -42,6 +42,10 @@
 #include "nn/tensor.h"
 #include "xbar/tile.h"
 
+namespace neuspin::obs {
+class Tracer;  // obs/trace.h
+}
+
 namespace neuspin::core {
 
 /// One batch of answered requests: parallel arrays, one entry per input
@@ -94,6 +98,17 @@ class FidelityBackend {
   /// over the backend's tiles. Backends without an electrical substrate
   /// report an empty census.
   [[nodiscard]] virtual xbar::DeltaStats delta_stats() const { return {}; }
+
+  /// Attach a span tracer (nullptr detaches): forward() then emits one
+  /// rung-level span per call (and the tiled backend per-tile evaluation
+  /// spans). Observability only — spans read clocks, never RNG streams,
+  /// so attaching a tracer cannot change a single result bit. Not
+  /// propagated by clone(); the owner re-attaches per replica.
+  virtual void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
+ protected:
+  obs::Tracer* tracer_ = nullptr;
 };
 
 /// Knobs of the behavioural (fast tensor path) backend.
@@ -176,6 +191,9 @@ class TiledBackend : public FidelityBackend {
   [[nodiscard]] xbar::DeltaStats delta_stats() const override {
     return replica_.delta_stats();
   }
+  /// Propagates to the replica so per-tile evaluation spans (with the
+  /// event engine's rows-skipped census) land on the same tracer.
+  void set_tracer(obs::Tracer* tracer) override;
 
   /// Extra stuck-at defects on every tile of the replica.
   void inject_defects(const device::DefectRates& rates, std::uint64_t seed) {

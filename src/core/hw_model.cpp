@@ -7,6 +7,7 @@
 #include "core/fidelity.h"
 #include "core/spindrop.h"
 #include "core/thread_pool.h"
+#include "obs/trace.h"
 
 namespace neuspin::core {
 
@@ -313,8 +314,27 @@ void TiledMlp::run_conv_stages(std::vector<float>& x,
   nn::Tensor fm(nn::Shape{1, channels, side, side}, x);
   std::uniform_real_distribution<double> u01(0.0, 1.0);
   std::vector<std::uint8_t> ch_enabled(channels, 1);
+  std::size_t stage_idx = 0;
   for (ConvStage& stage : conv_stages_) {
+    // Per-tile evaluation span with the event engine's rows-skipped census
+    // for this one call (delta of the tile's cumulative DeltaStats).
+    obs::ScopedSpan tile_span(tracer_, "tile:conv" + std::to_string(stage_idx),
+                              "xbar");
+    const xbar::DeltaStats tile_before =
+        tile_span.active() ? stage.tile->delta_stats() : xbar::DeltaStats{};
     nn::Tensor a = stage.tile->forward_gated(fm, ch_enabled, ledger, engine_);
+    if (tile_span.active()) {
+      const xbar::DeltaStats after = stage.tile->delta_stats();
+      tile_span.arg("rows_total",
+                    static_cast<double>(after.rows_total - tile_before.rows_total));
+      tile_span.arg("rows_dirty",
+                    static_cast<double>(after.rows_dirty - tile_before.rows_dirty));
+      tile_span.arg("rows_skipped",
+                    static_cast<double>((after.rows_total - tile_before.rows_total) -
+                                        (after.rows_dirty - tile_before.rows_dirty)));
+      tile_span.end();
+    }
+    ++stage_idx;
     const std::size_t oc = a.dim(1);
     const std::size_t oh = a.dim(2);
     const std::size_t ow = a.dim(3);
@@ -403,8 +423,23 @@ nn::Tensor TiledMlp::forward_spindrop(const nn::Tensor& input, double p,
     }
     for (std::size_t t = 0; t < tiles_.size(); ++t) {
       FoldedLayer& layer = tiles_[t];
+      obs::ScopedSpan tile_span(tracer_, "tile:dense" + std::to_string(t), "xbar");
+      const xbar::DeltaStats tile_before =
+          tile_span.active() ? layer.tile->delta_stats() : xbar::DeltaStats{};
       const std::vector<float> sums =
           layer.tile->forward_gated(x, enabled, ledger, engine_);
+      if (tile_span.active()) {
+        const xbar::DeltaStats after = layer.tile->delta_stats();
+        tile_span.arg("rows_total",
+                      static_cast<double>(after.rows_total - tile_before.rows_total));
+        tile_span.arg("rows_dirty",
+                      static_cast<double>(after.rows_dirty - tile_before.rows_dirty));
+        tile_span.arg(
+            "rows_skipped",
+            static_cast<double>((after.rows_total - tile_before.rows_total) -
+                                (after.rows_dirty - tile_before.rows_dirty)));
+        tile_span.end();
+      }
       const std::size_t n = layer.tile->out_features();
       std::vector<float> a(n);
       for (std::size_t c = 0; c < n; ++c) {

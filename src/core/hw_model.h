@@ -27,6 +27,10 @@
 #include "xbar/conv_tile.h"
 #include "xbar/tile.h"
 
+namespace neuspin::obs {
+class Tracer;  // obs/trace.h
+}
+
 namespace neuspin::core {
 
 class FidelityBackend;  // core/fidelity.h
@@ -151,6 +155,12 @@ class TiledMlp {
   /// how much row propagation the delta caches skipped since construction.
   [[nodiscard]] xbar::DeltaStats delta_stats() const;
 
+  /// Attach a span tracer (nullptr detaches): every subsequent tile
+  /// evaluation emits a span carrying the event engine's rows-skipped
+  /// census for that call. Observability only — never touches the
+  /// electrical RNG stream or a result bit. Not copied by clone().
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct FoldedLayer {
     std::unique_ptr<xbar::DenseTile> tile;
@@ -178,6 +188,9 @@ class TiledMlp {
   std::vector<FoldedLayer> tiles_;
   std::mt19937_64 engine_;
   std::uint64_t dropout_seed_;
+  /// Span sink for per-tile evaluation spans (null = no tracing). Not
+  /// copied: a clone's owner re-attaches its own tracer.
+  obs::Tracer* tracer_ = nullptr;
 };
 
 /// Knobs of the pooled tile-level Monte-Carlo evaluator.

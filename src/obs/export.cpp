@@ -1,0 +1,142 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace neuspin::obs {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' && c != ':') {
+      c = '_';
+    }
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out.front())) != 0) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string fmt(double v) {
+  if (!std::isfinite(v)) {
+    return "0";
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+const std::pair<const char*, double> kQuantiles[] = {
+    {"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"p999", 0.999}};
+
+}  // namespace
+
+std::string render_prometheus(const Registry& registry) {
+  const Registry::Snapshot snap = registry.snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = sanitize(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string n = sanitize(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + fmt(value) + "\n";
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    const std::string n = sanitize(name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+      if (hist.buckets[i] == 0) {
+        continue;  // the fixed layout has ~1.3k buckets; emit occupied ones
+      }
+      cumulative += hist.buckets[i];
+      out += n + "_bucket{le=\"" + fmt(Histogram::bucket_upper(i)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(hist.count) + "\n";
+    out += n + "_sum " + fmt(hist.sum) + "\n";
+    out += n + "_count " + std::to_string(hist.count) + "\n";
+  }
+  return out;
+}
+
+std::string render_json(const Registry& registry) {
+  const Registry::Snapshot snap = registry.snapshot();
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + name + "\":" + fmt(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snap.histograms) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + name + "\":{";
+    out += "\"count\":" + std::to_string(hist.count);
+    out += ",\"sum\":" + fmt(hist.sum);
+    out += ",\"mean\":" + fmt(hist.mean());
+    out += ",\"min\":" + fmt(hist.min);
+    out += ",\"max\":" + fmt(hist.max);
+    for (const auto& [label, q] : kQuantiles) {
+      out += ",\"" + std::string(label) + "\":" + fmt(hist.quantile(q));
+    }
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+PeriodicReporter::PeriodicReporter(const Registry& registry,
+                                   std::chrono::milliseconds interval, Sink sink)
+    : registry_(registry), interval_(interval), sink_(std::move(sink)) {
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (wake_.wait_for(lock, interval_, [this] { return stopped_; })) {
+        return;
+      }
+      lock.unlock();
+      sink_(registry_);
+      lock.lock();
+    }
+  });
+}
+
+PeriodicReporter::~PeriodicReporter() { stop(); }
+
+void PeriodicReporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+}  // namespace neuspin::obs

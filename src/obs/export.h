@@ -1,0 +1,58 @@
+// Metric exposition: Prometheus text format, JSON snapshots, and a
+// periodic reporter hook.
+//
+// Both renderers work off Registry::snapshot(), so they can run on any
+// thread while recording continues. Histograms render their quantiles
+// (p50/p90/p99/p999) plus count/sum/mean; the Prometheus form also emits
+// the cumulative non-empty buckets so server-side quantile math works.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace neuspin::obs {
+
+/// Prometheus text exposition format (# TYPE lines, `_bucket{le=...}`
+/// cumulative histogram series). Metric names are sanitized to
+/// [a-zA-Z0-9_:] (dots become underscores).
+[[nodiscard]] std::string render_prometheus(const Registry& registry);
+
+/// One JSON object: {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {count, sum, mean, min, max, p50, p90, p99,
+/// p999}}}.
+[[nodiscard]] std::string render_json(const Registry& registry);
+
+/// Background thread invoking `sink(registry)` every `interval` until
+/// stopped (or destroyed). The hook a server loop hangs its periodic
+/// stats log / push-gateway export on.
+class PeriodicReporter {
+ public:
+  using Sink = std::function<void(const Registry&)>;
+
+  PeriodicReporter(const Registry& registry, std::chrono::milliseconds interval,
+                   Sink sink);
+  ~PeriodicReporter();
+
+  PeriodicReporter(const PeriodicReporter&) = delete;
+  PeriodicReporter& operator=(const PeriodicReporter&) = delete;
+
+  /// Stop the reporting thread (idempotent; joins).
+  void stop();
+
+ private:
+  const Registry& registry_;
+  std::chrono::milliseconds interval_;
+  Sink sink_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace neuspin::obs

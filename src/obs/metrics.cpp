@@ -1,0 +1,257 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace neuspin::obs {
+
+namespace {
+
+/// Relaxed CAS fold; used for the extrema (atomic<double> has no
+/// fetch_min/fetch_max).
+void atomic_min(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Gauge::add(double delta) { atomic_add(value_, delta); }
+
+Histogram::Histogram()
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+std::size_t Histogram::bucket_index(double value) {
+  if (!(value >= 1.0)) {  // negatives, NaN and [0, 1) share bucket 0
+    return 0;
+  }
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+  const std::size_t octave = static_cast<std::size_t>(exp - 1);
+  if (octave >= kOctaves) {
+    return kBuckets - 1;  // overflow
+  }
+  // mantissa * 2 is value / 2^octave in [1, 2): linear sub-bucket inside
+  // the octave.
+  auto sub = static_cast<std::size_t>((mantissa * 2.0 - 1.0) *
+                                      static_cast<double>(kSubBuckets));
+  sub = std::min(sub, kSubBuckets - 1);
+  return 1 + octave * kSubBuckets + sub;
+}
+
+double Histogram::bucket_lower(std::size_t index) {
+  if (index == 0) {
+    return 0.0;
+  }
+  if (index >= kBuckets - 1) {
+    return std::ldexp(1.0, static_cast<int>(kOctaves));
+  }
+  const std::size_t octave = (index - 1) / kSubBuckets;
+  const std::size_t sub = (index - 1) % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / static_cast<double>(kSubBuckets),
+                    static_cast<int>(octave));
+}
+
+double Histogram::bucket_upper(std::size_t index) {
+  if (index == 0) {
+    return 1.0;
+  }
+  if (index >= kBuckets - 1) {
+    return bucket_lower(index);  // unbounded above; degenerate for interpolation
+  }
+  const std::size_t octave = (index - 1) / kSubBuckets;
+  const std::size_t sub = (index - 1) % kSubBuckets;
+  return sub + 1 == kSubBuckets
+             ? std::ldexp(1.0, static_cast<int>(octave) + 1)
+             : std::ldexp(1.0 + static_cast<double>(sub + 1) /
+                                    static_cast<double>(kSubBuckets),
+                          static_cast<int>(octave));
+}
+
+void Histogram::record_n(double value, std::uint64_t n) {
+  if (n == 0) {
+    return;
+  }
+  if (!(value >= 0.0)) {
+    value = 0.0;
+  }
+  buckets_[bucket_index(value)].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  atomic_add(sum_, value * static_cast<double>(n));
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) {
+      buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  const std::uint64_t n = other.count_.load(std::memory_order_relaxed);
+  if (n != 0) {
+    count_.fetch_add(n, std::memory_order_relaxed);
+    atomic_add(sum_, other.sum_.load(std::memory_order_relaxed));
+    atomic_min(min_, other.min_.load(std::memory_order_relaxed));
+    atomic_max(max_, other.max_.load(std::memory_order_relaxed));
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kBuckets);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap.buckets[i];
+  }
+  // Derive the count from the bucket copy itself so quantiles are always
+  // self-consistent, even mid-recording.
+  snap.count = total;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (total > 0) {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0 || buckets.empty()) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count - 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (static_cast<double>(cumulative + in_bucket) > rank) {
+      const double position = rank - static_cast<double>(cumulative);
+      const double fraction = (position + 0.5) / static_cast<double>(in_bucket);
+      const double lower = Histogram::bucket_lower(i);
+      const double upper = Histogram::bucket_upper(i);
+      const double value = lower + (upper - lower) * fraction;
+      return std::clamp(value, min, max);
+    }
+    cumulative += in_bucket;
+  }
+  return max;  // numeric slack: the rank fell off the cumulative end
+}
+
+HistogramSnapshot& HistogramSnapshot::operator-=(const HistogramSnapshot& earlier) {
+  for (std::size_t i = 0; i < buckets.size() && i < earlier.buckets.size(); ++i) {
+    buckets[i] -= std::min(buckets[i], earlier.buckets[i]);
+  }
+  sum = std::max(0.0, sum - earlier.sum);
+  min = 0.0;  // true window extrema are not recoverable from counts
+  // Recompute the window count from the subtracted buckets so quantiles
+  // stay self-consistent.
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : buckets) {
+    total += n;
+  }
+  count = total;
+  return *this;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace_back(name, histogram->snapshot());
+  }
+  return snap;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace neuspin::obs

@@ -1,0 +1,190 @@
+// Process-wide metrics: counters, gauges and log-bucketed HDR-style
+// latency histograms behind one thread-safe registry.
+//
+// Every performance-bearing subsystem used to report through its own
+// ad-hoc struct (serve::RuntimeStats' 1024-entry latency ring,
+// train's EpochStats, xbar::DeltaStats, energy::EnergyLedger); nothing
+// could be merged across threads or queried from one place. This layer
+// gives them a common substrate:
+//
+//  * Counter — monotonically increasing uint64, lock-free inc().
+//  * Gauge   — last-written double (queue depths, occupancy), lock-free.
+//  * Histogram — a FIXED log-bucketed layout (linear sub-buckets inside
+//    each power of two, the HdrHistogram idea): recording is one relaxed
+//    fetch_add on the owning bucket, so the hot path never takes a lock
+//    and never sorts; merging two histograms is an exact element-wise
+//    add (concurrent recorders and per-worker histograms fold together
+//    without approximation error); any quantile (p50/p90/p99/p999) reads
+//    off the cumulative bucket counts with relative error bounded by the
+//    sub-bucket width (1/kSubBuckets ~ 3.1%). Windowed quantiles come
+//    from snapshot deltas: snapshot now, snapshot later, subtract.
+//  * Registry — names -> metrics, created on first use. Lookup takes a
+//    mutex; callers cache the returned reference (addresses are stable
+//    for the registry's lifetime), so steady-state recording is lock-free.
+//
+// Determinism contract: metrics observe, never influence. Nothing in
+// this header touches an RNG stream or a model result.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace neuspin::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (queue depth, occupancy, totals that
+/// accumulate fractional quantities like picojoules).
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta);
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A consistent point-in-time copy of one histogram (or the difference of
+/// two copies — a window). Quantiles and means are computed here, off the
+/// hot path.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< smallest recorded value (0 when empty)
+  double max = 0.0;  ///< largest recorded value (0 when empty)
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+
+  /// Value at quantile q in [0, 1]: linear interpolation inside the
+  /// bucket holding the rank, clamped to [min, max] so an estimate never
+  /// leaves the observed range. 0 when the snapshot is empty. Relative
+  /// error vs. the exact order statistic is bounded by the sub-bucket
+  /// width (1/32) for values >= 1.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Turn this snapshot into the WINDOW between `earlier` and itself:
+  /// bucket counts, count and sum subtract exactly (merges are exact, so
+  /// so are their inverses); min stays 0 and max keeps the later
+  /// snapshot's value (a conservative clamp — the true window extrema are
+  /// not recoverable from bucket counts).
+  HistogramSnapshot& operator-=(const HistogramSnapshot& earlier);
+};
+
+/// Log-bucketed HDR-style histogram with a fixed bucket layout.
+///
+/// Layout: bucket 0 holds values in [0, 1); each power-of-two octave
+/// [2^e, 2^(e+1)) for e in [0, kOctaves) is split into kSubBuckets linear
+/// sub-buckets; one overflow bucket catches everything >= 2^kOctaves.
+/// With the default unit (microseconds) the layout spans sub-microsecond
+/// to ~12.7 days at <= 3.125% relative error — no configuration, so any
+/// two Histograms merge exactly.
+class Histogram {
+ public:
+  static constexpr std::size_t kSubBuckets = 32;  ///< rel. error <= 1/32
+  static constexpr std::size_t kOctaves = 40;     ///< covers [1, 2^40)
+  static constexpr std::size_t kBuckets = 1 + kOctaves * kSubBuckets + 1;
+
+  /// Record one value. Lock-free: one relaxed fetch_add on the owning
+  /// bucket (plus count/sum/extrema updates). Negative and NaN values
+  /// clamp to 0.
+  void record(double value) { record_n(value, 1); }
+  /// Record `n` occurrences of `value` in one update.
+  void record_n(double value, std::uint64_t n);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Convenience: all-time quantile (see HistogramSnapshot::quantile).
+  [[nodiscard]] double quantile(double q) const { return snapshot().quantile(q); }
+
+  /// Fold `other`'s counts into this histogram — an EXACT element-wise
+  /// add, the merge primitive for per-worker histograms.
+  void merge(const Histogram& other);
+
+  /// Point-in-time copy (buckets loaded relaxed; concurrent recording
+  /// makes the copy approximate by the in-flight updates only).
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  void reset();
+
+  /// Index of the bucket owning `value` (exposed for tests/exposition).
+  [[nodiscard]] static std::size_t bucket_index(double value);
+  /// Inclusive lower bound of bucket `index`.
+  [[nodiscard]] static double bucket_lower(std::size_t index);
+  /// Exclusive upper bound of bucket `index` (== lower for the overflow
+  /// bucket, which is unbounded above).
+  [[nodiscard]] static double bucket_upper(std::size_t index);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+
+ public:
+  Histogram();
+};
+
+/// Thread-safe name -> metric registry. Metrics are created on first use
+/// and live for the registry's lifetime at a stable address, so callers
+/// look a metric up once, cache the reference, and record lock-free.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  /// Read-only lookups for exposition/tests: nullptr when the name was
+  /// never registered (they never create).
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// Point-in-time copy of every metric, sorted by name.
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Process-wide default registry (subsystems without a natural owner).
+  [[nodiscard]] static Registry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace neuspin::obs

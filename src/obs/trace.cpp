@@ -1,0 +1,214 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+
+namespace neuspin::obs {
+
+namespace {
+
+/// Minimal JSON string escaping: quotes, backslashes and control bytes.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest-ish double formatting that stays valid JSON (no inf/nan).
+std::string json_number(double v) {
+  if (!std::isfinite(v)) {
+    return "0";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+Tracer::Tracer(const TraceConfig& config)
+    : config_(config), epoch_(std::chrono::steady_clock::now()) {
+  if (config_.sample_every == 0) {
+    config_.sample_every = 1;
+  }
+}
+
+double Tracer::now_us() const { return to_us(std::chrono::steady_clock::now()); }
+
+double Tracer::to_us(std::chrono::steady_clock::time_point tp) const {
+  return std::chrono::duration<double, std::micro>(tp - epoch_).count();
+}
+
+std::uint64_t Tracer::thread_track() {
+  // Stable per-thread hash, folded into a small-ish number for readable
+  // Perfetto track names (collisions merely share a track).
+  const std::uint64_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return h % Tracer::kRequestTrackBase;
+}
+
+void Tracer::record(SpanRecord span) {
+  if (!config_.enabled) {
+    return;
+  }
+  if (span.track == 0) {
+    span.track = thread_track();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= config_.max_spans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<SpanRecord> spans = this->spans();
+  std::string out = "{\"traceEvents\":[";
+  // Process-name metadata event so Perfetto labels the track group.
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"neuspin\"}}";
+  for (const SpanRecord& span : spans) {
+    out += ",{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(span.track);
+    out += ",\"name\":\"" + json_escape(span.name) + "\"";
+    out += ",\"cat\":\"" + json_escape(span.category) + "\"";
+    out += ",\"ts\":" + json_number(span.begin_us);
+    out += ",\"dur\":" + json_number(std::max(0.0, span.end_us - span.begin_us));
+    if (!span.args.empty() || !span.string_args.empty()) {
+      out += ",\"args\":{";
+      bool first = true;
+      for (const auto& [key, value] : span.args) {
+        if (!first) {
+          out += ",";
+        }
+        first = false;
+        out += "\"";
+        out += json_escape(key);
+        out += "\":";
+        out += json_number(value);
+      }
+      for (const auto& [key, value] : span.string_args) {
+        if (!first) {
+          out += ",";
+        }
+        first = false;
+        out += "\"";
+        out += json_escape(key);
+        out += "\":\"";
+        out += json_escape(value);
+        out += "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    throw std::runtime_error("Tracer: cannot open trace file " + path);
+  }
+  file << chrome_trace_json();
+  if (!file) {
+    throw std::runtime_error("Tracer: failed writing trace file " + path);
+  }
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string name, std::string category,
+                       std::uint64_t track)
+    : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr) {
+  if (tracer_ != nullptr) {
+    span_.name = std::move(name);
+    span_.category = std::move(category);
+    span_.track = track;
+    span_.begin_us = tracer_->now_us();
+  }
+}
+
+ScopedSpan::ScopedSpan(ScopedSpan&& other) noexcept
+    : tracer_(other.tracer_), span_(std::move(other.span_)) {
+  other.tracer_ = nullptr;
+}
+
+ScopedSpan& ScopedSpan::operator=(ScopedSpan&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    span_ = std::move(other.span_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void ScopedSpan::arg(std::string key, double value) {
+  if (tracer_ != nullptr) {
+    span_.args.emplace_back(std::move(key), value);
+  }
+}
+
+void ScopedSpan::arg(std::string key, std::string value) {
+  if (tracer_ != nullptr) {
+    span_.string_args.emplace_back(std::move(key), std::move(value));
+  }
+}
+
+void ScopedSpan::end() {
+  if (tracer_ != nullptr) {
+    span_.end_us = tracer_->now_us();
+    tracer_->record(std::move(span_));
+    tracer_ = nullptr;
+  }
+}
+
+}  // namespace neuspin::obs

@@ -1,0 +1,137 @@
+// Per-request span tracing with Chrome trace-event export.
+//
+// A span is one named interval on one track: [begin_us, end_us] plus
+// numeric/string attributes. The serving runtime emits spans covering a
+// request's life (enqueue -> batch-form -> backend forward per fidelity
+// rung -> policy -> reply), the trainer emits per-shard fwd/bwd/reduce
+// spans, and the tiled hardware path emits per-tile evaluation spans
+// carrying the event engine's rows-skipped census — so "where did this
+// slow request spend its time?" is finally answerable.
+//
+// Tracks: worker-thread spans record under the calling thread's id;
+// per-request spans record under a synthetic per-request track
+// (kRequestTrackBase + request id), so the spans of one request nest
+// cleanly even when its batch companions interleave on the worker.
+//
+// Export is Chrome trace-event JSON ("X" complete events) — load the
+// file at ui.perfetto.dev or chrome://tracing.
+//
+// Overhead is opt-in twice over: a disabled tracer (the default) reduces
+// every instrumentation site to one pointer/bool check, and an enabled
+// one samples per-request spans 1-in-N (TraceConfig::sample_every).
+// Determinism contract: tracing reads clocks, never RNG streams — the
+// serving tests pin that predictions are bitwise identical with tracing
+// on and off.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace neuspin::obs {
+
+struct TraceConfig {
+  bool enabled = false;
+  /// Per-request spans are recorded for request ids divisible by this
+  /// (1 = every request). Batch-, rung- and tile-level spans are recorded
+  /// whenever the tracer is enabled — they amortize over the batch.
+  std::uint64_t sample_every = 1;
+  /// Hard cap on retained spans; beyond it spans are dropped (counted,
+  /// never blocking). ~160 bytes/span -> the default caps at ~80 MB.
+  std::size_t max_spans = 1u << 19;
+};
+
+/// One completed span.
+struct SpanRecord {
+  std::string name;
+  std::string category;
+  double begin_us = 0.0;
+  double end_us = 0.0;
+  std::uint64_t track = 0;  ///< thread hash or synthetic request track
+  std::vector<std::pair<std::string, double>> args;
+  std::vector<std::pair<std::string, std::string>> string_args;
+};
+
+/// Thread-safe span collector. Timestamps are microseconds on the
+/// steady clock, relative to the tracer's construction.
+class Tracer {
+ public:
+  /// Per-request spans land on track kRequestTrackBase + request_id,
+  /// far above any thread-hash track.
+  static constexpr std::uint64_t kRequestTrackBase = 1u << 20;
+
+  explicit Tracer(const TraceConfig& config = {});
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+  /// Should this request's per-request spans be recorded?
+  [[nodiscard]] bool sampled(std::uint64_t request_id) const {
+    return config_.enabled && request_id % config_.sample_every == 0;
+  }
+  [[nodiscard]] const TraceConfig& config() const { return config_; }
+
+  /// Microseconds since tracer construction.
+  [[nodiscard]] double now_us() const;
+  /// Convert an externally captured steady-clock time point into this
+  /// tracer's microsecond domain (e.g. a request's enqueue stamp).
+  [[nodiscard]] double to_us(std::chrono::steady_clock::time_point tp) const;
+
+  /// Record one completed span. `track` 0 means "the calling thread".
+  /// No-op when disabled or past max_spans (drops are counted).
+  void record(SpanRecord span);
+
+  /// Track id of the calling thread (stable per thread).
+  [[nodiscard]] static std::uint64_t thread_track();
+
+  [[nodiscard]] std::size_t span_count() const;
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Copy of every retained span (tests/analysis).
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+  void clear();
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}, "X" complete
+  /// events; ts/dur in microseconds). Loadable in Perfetto.
+  [[nodiscard]] std::string chrome_trace_json() const;
+  /// Write chrome_trace_json() to `path`; throws std::runtime_error when
+  /// the file cannot be written.
+  void write_chrome_trace(const std::string& path) const;
+
+ private:
+  TraceConfig config_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// RAII span: captures begin at construction, records at destruction (or
+/// an explicit end()). Inactive when constructed with a null/disabled
+/// tracer — every method is then a no-op, so call sites need no guards.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Tracer* tracer, std::string name, std::string category,
+             std::uint64_t track = 0);
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan(ScopedSpan&& other) noexcept;
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept;
+  ~ScopedSpan() { end(); }
+
+  [[nodiscard]] bool active() const { return tracer_ != nullptr; }
+  void arg(std::string key, double value);
+  void arg(std::string key, std::string value);
+  /// Complete the span now (idempotent).
+  void end();
+
+ private:
+  Tracer* tracer_ = nullptr;
+  SpanRecord span_;
+};
+
+}  // namespace neuspin::obs

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace neuspin::serve {
 
 namespace {
@@ -65,6 +67,12 @@ std::string CascadeBackend::name() const {
   return "cascade(" + cheap_->name() + "->" + expensive_->name() + ")";
 }
 
+void CascadeBackend::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  cheap_->set_tracer(tracer);
+  expensive_->set_tracer(tracer);
+}
+
 xbar::DeltaStats CascadeBackend::delta_stats() const {
   xbar::DeltaStats stats = cheap_->delta_stats();
   stats += expensive_->delta_stats();
@@ -74,6 +82,7 @@ xbar::DeltaStats CascadeBackend::delta_stats() const {
 core::BackendBatch CascadeBackend::forward(
     const nn::Tensor& inputs, std::span<const std::uint64_t> request_seeds,
     energy::EnergyLedger* ledger) {
+  obs::ScopedSpan span(tracer_, "cascade", "backend");
   // Rung 1: every request answers on the cheap backend.
   core::BackendBatch out = cheap_->forward(inputs, request_seeds, ledger);
   const std::size_t batch = out.predictions.size();
@@ -90,6 +99,8 @@ core::BackendBatch CascadeBackend::forward(
   }
   counters_.requests += batch;
   counters_.escalated += escalate.size();
+  span.arg("rows", static_cast<double>(batch));
+  span.arg("escalated", static_cast<double>(escalate.size()));
   if (escalate.empty()) {
     return out;
   }

@@ -70,6 +70,9 @@ class CascadeBackend : public core::FidelityBackend {
   /// true per-request cost depends on the workload's escalation rate.
   [[nodiscard]] double cost_hint() const override { return cheap_->cost_hint(); }
   [[nodiscard]] xbar::DeltaStats delta_stats() const override;
+  /// Propagates to both rungs, so rung-level spans carry the cascade's
+  /// escalation decisions alongside the rungs' own timing.
+  void set_tracer(obs::Tracer* tracer) override;
 
   /// Escalation traffic answered by this instance since construction.
   struct Counters {

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace neuspin::serve {
 
 Batcher::Batcher(const BatcherConfig& config) : config_(config) {
@@ -20,6 +22,9 @@ void Batcher::push(Request request) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!closed_) {
       queue_.push_back(std::move(request));
+      if (queue_depth_gauge_ != nullptr) {
+        queue_depth_gauge_->set(static_cast<double>(queue_.size()));
+      }
       ready_.notify_one();
       return;
     }
@@ -51,6 +56,12 @@ std::vector<Request> Batcher::take_locked() {
     queue_.pop_front();
   }
   releasable_ -= n;
+  if (n > 0 && batch_size_hist_ != nullptr) {
+    batch_size_hist_->record(static_cast<double>(n));
+  }
+  if (queue_depth_gauge_ != nullptr) {
+    queue_depth_gauge_->set(static_cast<double>(queue_.size()));
+  }
   return batch;
 }
 
@@ -112,6 +123,12 @@ bool Batcher::closed() const {
 std::size_t Batcher::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+void Batcher::bind_metrics(obs::Histogram* batch_size, obs::Gauge* queue_depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  batch_size_hist_ = batch_size;
+  queue_depth_gauge_ = queue_depth;
 }
 
 }  // namespace neuspin::serve

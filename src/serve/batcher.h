@@ -26,6 +26,11 @@
 
 #include "serve/policy.h"
 
+namespace neuspin::obs {
+class Gauge;      // obs/metrics.h
+class Histogram;  // obs/metrics.h
+}  // namespace neuspin::obs
+
 namespace neuspin::serve {
 
 struct BatcherConfig {
@@ -81,6 +86,12 @@ class Batcher {
   [[nodiscard]] bool closed() const;
   [[nodiscard]] std::size_t pending() const;
 
+  /// Attach observability instruments (either may be null): every
+  /// non-empty pop records its size into `batch_size`, and `queue_depth`
+  /// tracks the pending count after each push/pop. Recording is lock-free
+  /// on the instruments; the queue lock is already held at both sites.
+  void bind_metrics(obs::Histogram* batch_size, obs::Gauge* queue_depth);
+
  private:
   /// A flush trigger fired: mark every pending request dispatchable and
   /// fix the per-consumer share. Caller holds the lock.
@@ -102,6 +113,8 @@ class Batcher {
   std::size_t releasable_ = 0;
   std::size_t release_share_ = 1;
   bool closed_ = false;
+  obs::Histogram* batch_size_hist_ = nullptr;  ///< optional, not owned
+  obs::Gauge* queue_depth_gauge_ = nullptr;    ///< optional, not owned
 };
 
 }  // namespace neuspin::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -17,19 +18,9 @@ double to_us(std::chrono::steady_clock::duration d) {
   return std::chrono::duration<double, std::micro>(d).count();
 }
 
-/// Linear-interpolated percentile of an unsorted sample (copied; the
-/// rolling window is small by construction).
-double percentile(std::vector<double> values, double q) {
-  if (values.empty()) {
-    return 0.0;
-  }
-  std::sort(values.begin(), values.end());
-  const double rank = q * static_cast<double>(values.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, values.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
-}
+/// Floor of the shed retry-after hint: never advise a client to retry
+/// faster than this, even off a cold latency histogram.
+constexpr double kRetryAfterFloorUs = 100.0;
 
 }  // namespace
 
@@ -123,6 +114,7 @@ std::unique_ptr<core::FidelityBackend> Runtime::make_backend(
 Runtime::Runtime(const core::BuiltModel& model, const RuntimeConfig& config)
     : config_(normalized(config)),
       policy_(config_.policy),
+      tracer_(config_.trace),
       batcher_(config_.batcher) {
   if (config_.mc_samples == 0) {
     throw std::invalid_argument("Runtime: need at least one MC sample");
@@ -130,7 +122,22 @@ Runtime::Runtime(const core::BuiltModel& model, const RuntimeConfig& config)
   if (config_.latency_window == 0) {
     throw std::invalid_argument("Runtime: latency_window must be at least 1");
   }
-  latency_ring_.resize(config_.latency_window, 0.0);
+  // Hot-path instruments, resolved once: recording is then a relaxed
+  // atomic op per event, no registry lock and no stats mutex.
+  ctr_requests_ = &metrics_.counter("serve.requests");
+  ctr_batches_ = &metrics_.counter("serve.batches");
+  ctr_accepted_ = &metrics_.counter("serve.accepted");
+  ctr_abstained_ = &metrics_.counter("serve.abstained");
+  ctr_shed_ = &metrics_.counter("serve.shed");
+  ctr_shed_queue_full_ = &metrics_.counter("serve.shed.queue_full");
+  ctr_shed_shutdown_ = &metrics_.counter("serve.shed.shutdown");
+  ctr_escalated_ = &metrics_.counter("serve.escalated");
+  gauge_energy_total_ = &metrics_.gauge("serve.energy_pj.total");
+  hist_latency_total_ = &metrics_.histogram("serve.latency.total_us");
+  hist_latency_queue_ = &metrics_.histogram("serve.latency.queue_us");
+  hist_latency_compute_ = &metrics_.histogram("serve.latency.compute_us");
+  batcher_.bind_metrics(&metrics_.histogram("serve.batch_size"),
+                        &metrics_.gauge("serve.queue_depth"));
   const std::size_t workers = config_.workers;
   // Census-price one behavioural request (the behavioural path has no
   // electrical events to measure; the tiled rungs measure instead).
@@ -148,6 +155,13 @@ Runtime::Runtime(const core::BuiltModel& model, const RuntimeConfig& config)
   backends_.push_back(make_backend(model));
   for (std::size_t w = 1; w < workers; ++w) {
     backends_.push_back(backends_.front()->clone());
+  }
+  if (tracer_.enabled()) {
+    // clone() does not propagate the tracer; attach it per replica so
+    // every worker's rung/tile spans land in one trace.
+    for (auto& backend : backends_) {
+      backend->set_tracer(&tracer_);
+    }
   }
   threads_.reserve(workers);
   try {
@@ -209,17 +223,12 @@ std::future<ServedPrediction> Runtime::submit_with_id(std::uint64_t id,
   if (config_.max_queue_depth > 0 && depth >= config_.max_queue_depth) {
     // Admission control: shed instead of queueing — the future resolves
     // immediately with a machine-readable OverloadError (reason + a
-    // retry-after hint from the rolling latency window) and the caller
-    // can back off programmatically.
-    double retry_after_us = 0.0;
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.shed;
-      ++stats_.shed_queue_full;
-      retry_after_us = window_p50_locked();
-    }
+    // retry-after hint from the latency histogram) and the caller can
+    // back off programmatically.
+    ctr_shed_->inc();
+    ctr_shed_queue_full_->inc();
     request.promise.set_exception(std::make_exception_ptr(
-        OverloadError(ShedReason::kQueueFull, retry_after_us, depth)));
+        OverloadError(ShedReason::kQueueFull, retry_after_hint(), depth)));
     return future;
   }
   try {
@@ -228,11 +237,8 @@ std::future<ServedPrediction> Runtime::submit_with_id(std::uint64_t id,
     // Post-shutdown submission: classify as a shed (reason kShutdown, no
     // point retrying) and rethrow the typed error to the submitter. The
     // batcher already failed the request's promise.
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.shed;
-      ++stats_.shed_shutdown;
-    }
+    ctr_shed_->inc();
+    ctr_shed_shutdown_->inc();
     throw OverloadError(ShedReason::kShutdown, 0.0, depth);
   }
   return future;
@@ -242,37 +248,38 @@ ServedPrediction Runtime::predict(const std::vector<float>& features) {
   return submit(features).get();
 }
 
-void Runtime::record_latency_locked(double total_us) {
-  latency_ring_[latency_next_] = total_us;
-  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
-  latency_count_ = std::min(latency_count_ + 1, latency_ring_.size());
-}
-
-double Runtime::window_p50_locked() const {
-  if (latency_count_ == 0) {
-    return 0.0;
-  }
-  std::vector<double> window(latency_ring_.begin(),
-                             latency_ring_.begin() +
-                                 static_cast<std::ptrdiff_t>(latency_count_));
-  return percentile(std::move(window), 0.50);
+double Runtime::retry_after_hint() const {
+  // A client retrying before the oldest queued request could possibly
+  // complete is wasted work: floor the hint at the linger budget (and an
+  // absolute 100us) so a cold histogram (or one that has only seen
+  // sub-floor latencies) still yields a sane back-off.
+  const double floor_us = std::max(
+      kRetryAfterFloorUs,
+      std::chrono::duration<double, std::micro>(config_.batcher.max_linger).count());
+  return std::max(floor_us, hist_latency_total_->quantile(0.50));
 }
 
 RuntimeStats Runtime::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  RuntimeStats out = stats_;
+  RuntimeStats out;
+  out.requests = ctr_requests_->value();
+  out.batches = ctr_batches_->value();
+  out.accepted = ctr_accepted_->value();
+  out.abstained = ctr_abstained_->value();
+  out.shed = ctr_shed_->value();
+  out.shed_queue_full = ctr_shed_queue_full_->value();
+  out.shed_shutdown = ctr_shed_shutdown_->value();
+  out.escalated = ctr_escalated_->value();
   out.mean_batch_size =
       out.batches == 0 ? 0.0
                        : static_cast<double>(out.requests) /
                              static_cast<double>(out.batches);
+  out.total_energy_pj = gauge_energy_total_->value();
+  const obs::HistogramSnapshot compute = hist_latency_compute_->snapshot();
+  out.total_compute_us = compute.sum;
   out.queue_depth = batcher_.pending();
-  if (latency_count_ > 0) {
-    std::vector<double> window(latency_ring_.begin(),
-                               latency_ring_.begin() +
-                                   static_cast<std::ptrdiff_t>(latency_count_));
-    out.window_p50_us = percentile(window, 0.50);
-    out.window_p99_us = percentile(std::move(window), 0.99);
-  }
+  const obs::HistogramSnapshot latency = hist_latency_total_->snapshot();
+  out.window_p50_us = latency.quantile(0.50);
+  out.window_p99_us = latency.quantile(0.99);
   return out;
 }
 
@@ -290,20 +297,21 @@ void Runtime::worker_loop(std::size_t worker_index) {
     if (batch.empty()) {
       return;  // closed and drained
     }
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.batches;
-    }
+    ctr_batches_->inc();
     serve_batch(worker_index, batch);
   }
 }
 
 void Runtime::publish_prediction(Request& request,
                                  const core::Prediction& prediction,
-                                 double queue_us, double compute_us,
-                                 double total_us, double energy_pj,
+                                 std::chrono::steady_clock::time_point popped,
+                                 std::chrono::steady_clock::time_point compute_begin,
+                                 std::chrono::steady_clock::time_point compute_end,
+                                 double compute_share_us, double energy_pj,
                                  bool escalated, std::size_t batch_size,
                                  std::size_t worker_index) {
+  const double queue_us = to_us(popped - request.enqueued);
+  const double total_us = to_us(compute_end - request.enqueued);
   ServedPrediction served;
   served.request_id = request.id;
   served.escalated = escalated;
@@ -313,38 +321,81 @@ void Runtime::publish_prediction(Request& request,
   served.confidence = served.probs[served.predicted_class];
   served.entropy = prediction.entropy.front();
   served.mutual_info = prediction.mutual_info.front();
+  // Per-request spans land on a synthetic per-request track so one
+  // request's queue/forward/policy intervals nest cleanly even when its
+  // batch companions interleave on the worker thread.
+  const bool sampled = tracer_.sampled(request.id);
+  const std::uint64_t track = obs::Tracer::kRequestTrackBase + request.id;
+  const double policy_begin_us = sampled ? tracer_.now_us() : 0.0;
   const SelectivePolicy::Decision decision =
       policy_.decide(served.confidence, served.entropy, served.mutual_info);
+  if (sampled) {
+    tracer_.record({"policy", "serve", policy_begin_us, tracer_.now_us(), track,
+                    {{"accepted", decision.accepted ? 1.0 : 0.0},
+                     {"score", decision.score}},
+                    {}});
+  }
   served.accepted = decision.accepted;
   served.policy_score = decision.score;
   served.mc_samples = config_.mc_samples;
   served.queue_latency_us = queue_us;
-  served.compute_latency_us = compute_us;
+  served.compute_latency_us = compute_share_us;
   served.total_latency_us = total_us;
   served.energy_pj = energy_pj;
   served.batch_size = batch_size;
   served.worker = worker_index;
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.requests;
-    if (served.accepted) {
-      ++stats_.accepted;
-    } else {
-      ++stats_.abstained;
-    }
-    if (escalated) {
-      ++stats_.escalated;
-    }
-    stats_.total_energy_pj += served.energy_pj;
-    stats_.total_compute_us += served.compute_latency_us;
-    record_latency_locked(served.total_latency_us);
+  ctr_requests_->inc();
+  (served.accepted ? ctr_accepted_ : ctr_abstained_)->inc();
+  if (escalated) {
+    ctr_escalated_->inc();
+  }
+  gauge_energy_total_->add(served.energy_pj);
+  hist_latency_total_->record(total_us);
+  hist_latency_queue_->record(queue_us);
+  hist_latency_compute_->record(compute_share_us);
+  if (sampled) {
+    tracer_.record({"queue", "serve", tracer_.to_us(request.enqueued),
+                    tracer_.to_us(popped), track, {}, {}});
+    tracer_.record({"forward", "serve", tracer_.to_us(compute_begin),
+                    tracer_.to_us(compute_end), track,
+                    {{"escalated", escalated ? 1.0 : 0.0},
+                     {"batch_size", static_cast<double>(batch_size)},
+                     {"worker", static_cast<double>(worker_index)}},
+                    {}});
+    // The request span closes at fulfillment time (just below), covering
+    // enqueue -> reply end to end.
+    tracer_.record({"request", "serve", tracer_.to_us(request.enqueued),
+                    tracer_.now_us(), track,
+                    {{"id", static_cast<double>(request.id)}},
+                    {{"backend", backends_[worker_index]->name()}}});
   }
   request.promise.set_value(std::move(served));
+}
+
+void Runtime::fold_energy(const energy::EnergyLedger& ledger) {
+  const energy::EnergyParams& params = energy::default_energy_params();
+  for (std::size_t c = 0; c < static_cast<std::size_t>(energy::Component::kCount_);
+       ++c) {
+    const auto component = static_cast<energy::Component>(c);
+    const std::uint64_t events = ledger.count(component);
+    if (events == 0) {
+      continue;
+    }
+    const std::string name = energy::component_name(component);
+    metrics_.counter("energy.events." + name).inc(events);
+    metrics_.gauge("energy.pj." + name)
+        .add(ledger.component_energy(component, params));
+  }
 }
 
 void Runtime::serve_batch(std::size_t worker_index, std::vector<Request>& batch) {
   const auto popped = std::chrono::steady_clock::now();
   core::FidelityBackend& backend = *backends_[worker_index];
+  // Worker-track span covering the whole pop (rung spans from the backend
+  // nest inside it on the same thread track).
+  obs::ScopedSpan batch_span(&tracer_, "batch", "serve");
+  batch_span.arg("rows", static_cast<double>(batch.size()));
+  batch_span.arg("worker", static_cast<double>(worker_index));
   // Group by feature count, preserving arrival order inside each group: a
   // wrong-sized submission then fails with its own shape error without
   // poisoning well-formed companions in the same pop.
@@ -376,13 +427,24 @@ void Runtime::serve_batch(std::size_t worker_index, std::vector<Request>& batch)
                       static_cast<std::ptrdiff_t>(b * features));
         seeds[b] = request.seed;
       }
+      // Per-component energy fold: hand the backend a batch ledger when it
+      // has electrical events to merge (the behavioural path has none —
+      // its energy is the census constant already in energy_pj).
+      std::optional<energy::EnergyLedger> batch_ledger;
+      if (config_.account_energy && config_.backend != Backend::kBehavioral) {
+        batch_ledger.emplace(config_.tile.adc_bits);
+      }
       const auto compute_begin = std::chrono::steady_clock::now();
       // One batched forward answers the whole group; per-request streams
       // derive from the request seeds, so the grouping is invisible in
       // the results. Energy comes back per request (census-priced,
       // measured, or cascade-summed, by backend).
-      const core::BackendBatch answered = backend.forward(inputs, seeds, nullptr);
+      const core::BackendBatch answered = backend.forward(
+          inputs, seeds, batch_ledger ? &*batch_ledger : nullptr);
       const auto compute_end = std::chrono::steady_clock::now();
+      if (batch_ledger) {
+        fold_energy(*batch_ledger);
+      }
       // The batched forward computes all rows at once; each request is
       // attributed its amortized share of the group's compute time.
       const double compute_share =
@@ -390,9 +452,8 @@ void Runtime::serve_batch(std::size_t worker_index, std::vector<Request>& batch)
 
       for (std::size_t b = 0; b < rows; ++b) {
         Request& request = batch[members[b]];
-        publish_prediction(request, answered.predictions[b],
-                           to_us(popped - request.enqueued), compute_share,
-                           to_us(compute_end - request.enqueued),
+        publish_prediction(request, answered.predictions[b], popped,
+                           compute_begin, compute_end, compute_share,
                            answered.energy_pj[b], answered.escalated[b] != 0,
                            batch.size(), worker_index);
         ++fulfilled;

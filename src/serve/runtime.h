@@ -37,6 +37,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <mutex>
@@ -47,6 +48,8 @@
 #include "core/census.h"
 #include "core/fidelity.h"
 #include "core/models.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/backend.h"
 #include "serve/batcher.h"
 #include "serve/policy.h"
@@ -81,10 +84,12 @@ class OverloadError : public std::runtime_error {
   OverloadError(ShedReason reason, double retry_after_us, std::size_t queue_depth);
 
   [[nodiscard]] ShedReason reason() const { return reason_; }
-  /// Suggested back-off before retrying, microseconds: the rolling
-  /// window's p50 end-to-end latency at shed time — the runtime's best
-  /// estimate of when a queue slot frees (0 when no request has completed
-  /// yet, or when the reason is kShutdown and retrying is pointless).
+  /// Suggested back-off before retrying, microseconds: the p50 end-to-end
+  /// latency read off the runtime's latency histogram at shed time — the
+  /// best estimate of when a queue slot frees — floored at
+  /// max(max_linger, 100us) so a client never busy-retries off a cold or
+  /// unrealistically fast window. 0 when the reason is kShutdown and
+  /// retrying is pointless.
   [[nodiscard]] double retry_after_us() const { return retry_after_us_; }
   /// Pending requests observed when the submission was shed.
   [[nodiscard]] std::size_t queue_depth() const { return queue_depth_; }
@@ -146,9 +151,18 @@ struct RuntimeConfig {
   /// 0 disables shedding. The depth check races benignly with the workers
   /// (the bound is approximate by at most the in-flight pops).
   std::size_t max_queue_depth = 0;
-  /// Completed requests covered by the rolling latency percentiles in
-  /// stats() (window_p50_us / window_p99_us).
+  /// Retained for API compatibility (must stay >= 1). Latency percentiles
+  /// now come from a log-bucketed histogram (obs/metrics.h) instead of a
+  /// sorted ring-buffer copy, so they no longer truncate to a window; use
+  /// Registry snapshots and HistogramSnapshot::operator-= for windowed
+  /// quantiles.
   std::size_t latency_window = 1024;
+  /// Per-request span tracing (off by default). When enabled the runtime
+  /// records queue/forward/policy/request spans per sampled request, batch
+  /// spans per pop, rung spans per backend forward and per-tile spans on
+  /// the electrical path; export with tracer().write_chrome_trace().
+  /// Observability only: results are bitwise identical on/off.
+  obs::TraceConfig trace{};
 };
 
 /// Aggregate counters since construction, plus a rolling latency window.
@@ -167,9 +181,9 @@ struct RuntimeStats {
   double total_energy_pj = 0.0;
   double total_compute_us = 0.0;  ///< summed per-request MC compute time
   std::size_t queue_depth = 0;    ///< pending requests at sampling time
-  /// Rolling end-to-end latency percentiles over the last
-  /// RuntimeConfig::latency_window completed requests (0 until the first
-  /// completion).
+  /// End-to-end latency percentiles read off the "serve.latency.total_us"
+  /// histogram (0 until the first completion). Estimates carry <= 3.125%
+  /// relative error and are clamped to the observed [min, max].
   double window_p50_us = 0.0;
   double window_p99_us = 0.0;
 };
@@ -204,7 +218,22 @@ class Runtime {
 
   [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
   [[nodiscard]] const RuntimeConfig& config() const { return config_; }
+  /// Aggregate counters assembled from the metrics registry (API-stable
+  /// view; the registry itself is the richer source).
   [[nodiscard]] RuntimeStats stats() const;
+
+  /// The runtime's metrics registry: serve.* counters/gauges/histograms,
+  /// the batcher's batch-size histogram and queue-depth gauge, and (when
+  /// energy accounting is on and the backend has electrical events) the
+  /// per-component energy.* series. Render with obs::render_prometheus /
+  /// obs::render_json, or watch with obs::PeriodicReporter.
+  [[nodiscard]] obs::Registry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
+
+  /// The runtime's span tracer (enabled via RuntimeConfig::trace). Export
+  /// a Perfetto-loadable file with tracer().write_chrome_trace(path).
+  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const obs::Tracer& tracer() const { return tracer_; }
 
   /// The stream seed the runtime assigns to the i-th auto-seeded request —
   /// exposed so offline replays can reproduce served results bit for bit.
@@ -229,21 +258,29 @@ class Runtime {
   /// own group, never its companions), in arrival order within the group.
   void serve_batch(std::size_t worker_index, std::vector<Request>& batch);
   /// Shared tail of the serving path: assemble the ServedPrediction,
-  /// apply the policy, update stats + the latency window, and fulfill the
-  /// request's promise.
+  /// apply the policy, record metrics + per-request spans, and fulfill
+  /// the request's promise.
   void publish_prediction(Request& request, const core::Prediction& prediction,
-                          double queue_us, double compute_us, double total_us,
-                          double energy_pj, bool escalated, std::size_t batch_size,
+                          std::chrono::steady_clock::time_point popped,
+                          std::chrono::steady_clock::time_point compute_begin,
+                          std::chrono::steady_clock::time_point compute_end,
+                          double compute_share_us, double energy_pj,
+                          bool escalated, std::size_t batch_size,
                           std::size_t worker_index);
-  /// Record one completed request's end-to-end latency into the rolling
-  /// window (caller holds stats_mutex_).
-  void record_latency_locked(double total_us);
+  /// Fold one batch ledger's per-component event counts and priced energy
+  /// into the registry's energy.* series.
+  void fold_energy(const energy::EnergyLedger& ledger);
 
-  /// Rolling-window p50 under stats_mutex_ (the shed retry-after hint).
-  [[nodiscard]] double window_p50_locked() const;
+  /// Shed retry-after hint: latency-histogram p50 floored at
+  /// max(max_linger, 100us).
+  [[nodiscard]] double retry_after_hint() const;
 
   RuntimeConfig config_;
   SelectivePolicy policy_;
+  /// Metrics + tracer are declared before the batcher/workers so every
+  /// instrument outlives everything that records into it.
+  obs::Registry metrics_;
+  obs::Tracer tracer_;
   Batcher batcher_;
   /// One fidelity backend per worker: backends_[w] answers everything
   /// worker w pops. All are clone()s of one programmed instance, so every
@@ -255,12 +292,21 @@ class Runtime {
   std::atomic<std::uint64_t> next_request_ = 0;
   std::mutex shutdown_mutex_;
   bool stopped_ = false;
-  mutable std::mutex stats_mutex_;
-  RuntimeStats stats_;
-  /// Ring buffer of the last `latency_window` end-to-end latencies.
-  std::vector<double> latency_ring_;
-  std::size_t latency_next_ = 0;
-  std::size_t latency_count_ = 0;
+
+  /// Hot-path instruments, looked up once (stable addresses for the
+  /// registry's lifetime) so steady-state recording is lock-free.
+  obs::Counter* ctr_requests_ = nullptr;
+  obs::Counter* ctr_batches_ = nullptr;
+  obs::Counter* ctr_accepted_ = nullptr;
+  obs::Counter* ctr_abstained_ = nullptr;
+  obs::Counter* ctr_shed_ = nullptr;
+  obs::Counter* ctr_shed_queue_full_ = nullptr;
+  obs::Counter* ctr_shed_shutdown_ = nullptr;
+  obs::Counter* ctr_escalated_ = nullptr;
+  obs::Gauge* gauge_energy_total_ = nullptr;
+  obs::Histogram* hist_latency_total_ = nullptr;
+  obs::Histogram* hist_latency_queue_ = nullptr;
+  obs::Histogram* hist_latency_compute_ = nullptr;
 };
 
 }  // namespace neuspin::serve

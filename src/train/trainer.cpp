@@ -9,6 +9,8 @@
 
 #include "core/thread_pool.h"
 #include "nn/loss.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace neuspin::train {
 
@@ -54,6 +56,8 @@ Trainer::StepStats Trainer::step_serial(const nn::Dataset& train,
   // The historical nn::train_classifier step, statement for statement: the
   // serial contract is bitwise equality with the pre-Trainer loop.
   auto [inputs, labels] = train.batch(order, begin, end);
+  obs::ScopedSpan span(config_.tracer, "train:step", "train");
+  span.arg("rows", static_cast<double>(end - begin));
   nn::Tensor logits = model_.forward(inputs, /*training=*/true);
   nn::LossResult loss =
       nn::softmax_cross_entropy(logits, labels, config_.label_smoothing);
@@ -130,12 +134,20 @@ Trainer::StepStats Trainer::step_sharded(const nn::Dataset& train,
 
     auto [inputs, labels] =
         train.batch(order, begin + bounds[s], begin + bounds[s + 1]);
+    // Per-shard fwd/bwd spans land on the pool thread's track.
+    obs::ScopedSpan fwd_span(config_.tracer, "shard:fwd", "train");
+    fwd_span.arg("shard", static_cast<double>(s));
+    fwd_span.arg("rows", static_cast<double>(bounds[s + 1] - bounds[s]));
     nn::Tensor logits = clone.forward(inputs, /*training=*/true);
+    fwd_span.end();
     // Normalize by the FULL minibatch row count: shard losses/gradients are
     // partial terms of the whole-minibatch mean.
     nn::LossResult loss =
         nn::softmax_cross_entropy(logits, labels, config_.label_smoothing, rows);
+    obs::ScopedSpan bwd_span(config_.tracer, "shard:bwd", "train");
+    bwd_span.arg("shard", static_cast<double>(s));
     (void)clone.backward(loss.grad);
+    bwd_span.end();
 
     partial[s].loss = loss.value;
     for (std::size_t i = 0; i < labels.size(); ++i) {
@@ -157,6 +169,8 @@ Trainer::StepStats Trainer::step_sharded(const nn::Dataset& train,
       });
 
   // Fixed ascending-shard reduction into the primary ParamRefs.
+  obs::ScopedSpan reduce_span(config_.tracer, "shard:reduce", "train");
+  reduce_span.arg("shards", static_cast<double>(shards));
   StepStats stats;
   const float inv_shards = 1.0f / static_cast<float>(shards);
   for (std::size_t s = 0; s < shards; ++s) {
@@ -180,6 +194,7 @@ Trainer::StepStats Trainer::step_sharded(const nn::Dataset& train,
     stats.loss += partial[s].loss;
     stats.correct += partial[s].correct;
   }
+  reduce_span.end();
 
   if (config_.regularizer) {
     stats.loss += config_.regularizer();
@@ -207,6 +222,18 @@ std::vector<nn::EpochStats> Trainer::fit(const nn::Dataset& train) {
   std::vector<std::size_t> order(train.size());
   std::iota(order.begin(), order.end(), 0);
 
+  // Optional observability: instruments resolved once so the per-step
+  // recording is one relaxed atomic op (a null registry costs a pointer
+  // check per step).
+  obs::Counter* ctr_steps = nullptr;
+  obs::Counter* ctr_examples = nullptr;
+  obs::Histogram* hist_step_us = nullptr;
+  if (config_.metrics != nullptr) {
+    ctr_steps = &config_.metrics->counter("train.steps");
+    ctr_examples = &config_.metrics->counter("train.examples");
+    hist_step_us = &config_.metrics->histogram("train.step_us");
+  }
+
   std::vector<nn::EpochStats> history;
   history.reserve(config_.epochs);
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
@@ -223,11 +250,19 @@ std::vector<nn::EpochStats> Trainer::fit(const nn::Dataset& train) {
     std::size_t steps = 0;
     for (std::size_t begin = 0; begin < train.size(); begin += config_.batch_size) {
       const std::size_t end = std::min(begin + config_.batch_size, train.size());
+      const auto step_t0 = Clock::now();
       StepStats step;
       if (shard_count(end - begin) <= 1) {
         step = step_serial(train, order, begin, end);
       } else {
         step = step_sharded(train, order, begin, end, nn::mix_seed(epoch_seed, steps));
+      }
+      if (ctr_steps != nullptr) {
+        ctr_steps->inc();
+        ctr_examples->inc(end - begin);
+        hist_step_us->record(
+            std::chrono::duration<double, std::micro>(Clock::now() - step_t0)
+                .count());
       }
       stats.train_loss += step.loss;
       correct += step.correct;
@@ -240,6 +275,10 @@ std::vector<nn::EpochStats> Trainer::fit(const nn::Dataset& train) {
     stats.examples_per_sec =
         stats.seconds > 0.0 ? static_cast<double>(train.size()) / stats.seconds : 0.0;
     history.push_back(stats);
+    if (config_.metrics != nullptr) {
+      config_.metrics->gauge("train.epoch.loss").set(stats.train_loss);
+      config_.metrics->gauge("train.epoch.accuracy").set(stats.train_accuracy);
+    }
     if (config_.verbose) {
       std::printf("epoch %zu: loss=%.4f acc=%.4f (%.2fs, %.0f ex/s)\n", epoch,
                   stats.train_loss, static_cast<double>(stats.train_accuracy),

@@ -53,6 +53,11 @@
 #include "nn/model.h"
 #include "nn/optim.h"
 
+namespace neuspin::obs {
+class Registry;  // obs/metrics.h
+class Tracer;    // obs/trace.h
+}  // namespace neuspin::obs
+
 namespace neuspin::train {
 
 /// Knobs of the data-parallel training loop. The subset that exists on
@@ -93,6 +98,15 @@ struct TrainerConfig {
   /// (the historical order). Sharded path: invoked after the shard
   /// reduction, so it sees the complete data gradient.
   std::function<float()> regularizer;
+  /// Optional span tracer (not owned; may be null): the sharded path then
+  /// emits per-shard fwd/bwd spans and a per-step reduce span, the serial
+  /// path a per-step span. Observability only — spans read clocks, never
+  /// RNG streams, so attaching a tracer cannot change a trained bit.
+  obs::Tracer* tracer = nullptr;
+  /// Optional metrics registry (not owned; may be null): records the
+  /// train.steps / train.examples counters, the train.step_us histogram
+  /// and per-epoch train.epoch.loss / train.epoch.accuracy gauges.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Per-epoch observer: (epoch index, stats of that epoch).

@@ -1,0 +1,376 @@
+// Observability: the metrics registry and the span tracer must observe
+// without distorting — histogram quantiles stay within the log-bucket
+// error bound of the exact order statistics on adversarial distributions,
+// concurrent recording merges exactly, spans nest and export well-formed
+// Chrome trace JSON, and none of it may ever touch an RNG stream (the
+// serving tests pin the bitwise on/off contract; here we pin the
+// instruments themselves).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace neuspin;
+
+// ------------------------------------------------------------- histogram
+
+/// Exact linear-interpolated quantile of a sorted sample (the reference
+/// the histogram estimate is judged against).
+double exact_quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+TEST(Histogram, BucketBoundsContainTheirValues) {
+  std::mt19937_64 engine(11);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int i = 0; i < 2000; ++i) {
+    const double value = std::ldexp(1.0 + u(engine), engine() % 38);
+    const std::size_t index = obs::Histogram::bucket_index(value);
+    EXPECT_LE(obs::Histogram::bucket_lower(index), value);
+    EXPECT_LT(value, obs::Histogram::bucket_upper(index));
+  }
+  // Sub-unit, negative and NaN values share bucket 0.
+  EXPECT_EQ(obs::Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(0.999), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(-3.0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(std::nan("")), 0u);
+  // The overflow bucket catches everything at or past 2^40.
+  EXPECT_EQ(obs::Histogram::bucket_index(std::ldexp(1.0, 40)),
+            obs::Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, QuantilesTrackExactReferenceOnAdversarialDistributions) {
+  std::mt19937_64 engine(42);
+  const auto uniform = [&] {
+    std::uniform_real_distribution<double> d(1.0, 1e6);
+    return d(engine);
+  };
+  const auto heavy_tail = [&] {
+    // Pareto-ish: most mass near 1, a tail spanning 6 decades.
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    return std::pow(10.0, 6.0 * std::pow(d(engine), 4.0));
+  };
+  const auto bimodal = [&] {
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    return d(engine) < 0.5 ? 10.0 + d(engine) : 1e5 + 1e4 * d(engine);
+  };
+  const auto near_constant = [&] {
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    return 1000.0 + (d(engine) < 0.01 ? 5e5 : 0.0);  // 1% outliers
+  };
+  const std::vector<std::function<double()>> generators = {uniform, heavy_tail,
+                                                           bimodal, near_constant};
+  for (const auto& gen : generators) {
+    obs::Histogram hist;
+    std::vector<double> values(20000);
+    for (double& v : values) {
+      v = gen();
+      hist.record(v);
+    }
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+      const double exact = exact_quantile(values, q);
+      const double estimate = hist.quantile(q);
+      // One sub-bucket of relative error (1/32), plus slack for rank
+      // interpolation differing between the two estimators.
+      EXPECT_NEAR(estimate, exact, exact * 0.05)
+          << "q=" << q << " exact=" << exact << " estimate=" << estimate;
+    }
+    // Estimates never leave the observed range.
+    const obs::HistogramSnapshot snap = hist.snapshot();
+    EXPECT_GE(hist.quantile(0.0), snap.min);
+    EXPECT_LE(hist.quantile(1.0), snap.max);
+  }
+}
+
+TEST(Histogram, QuantileOfSingleValueIsThatValue) {
+  obs::Histogram hist;
+  hist.record(1234.5);
+  // The clamp to [min, max] makes point distributions exact.
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 1234.5);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.99), 1234.5);
+}
+
+TEST(Histogram, MergeIsExactElementwiseAdd) {
+  std::mt19937_64 engine(7);
+  std::uniform_real_distribution<double> d(1.0, 1e5);
+  obs::Histogram a;
+  obs::Histogram b;
+  obs::Histogram combined;
+  for (int i = 0; i < 5000; ++i) {
+    const double va = d(engine);
+    const double vb = d(engine);
+    a.record(va);
+    b.record(vb);
+    combined.record(va);
+    combined.record(vb);
+  }
+  a.merge(b);
+  const obs::HistogramSnapshot merged = a.snapshot();
+  const obs::HistogramSnapshot direct = combined.snapshot();
+  EXPECT_EQ(merged.buckets, direct.buckets);
+  EXPECT_EQ(merged.count, direct.count);
+  EXPECT_DOUBLE_EQ(merged.min, direct.min);
+  EXPECT_DOUBLE_EQ(merged.max, direct.max);
+  EXPECT_NEAR(merged.sum, direct.sum, std::abs(direct.sum) * 1e-12);
+}
+
+TEST(Histogram, ConcurrentRecordingEqualsSerialRecording) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 20000;
+  obs::Histogram concurrent;
+  obs::Histogram serial;
+  // Deterministic per-thread sequences; the serial reference records the
+  // same multiset of values single-threaded.
+  std::vector<std::vector<double>> sequences(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    std::mt19937_64 engine(100 + t);
+    std::uniform_real_distribution<double> d(1.0, 1e6);
+    sequences[t].resize(kPerThread);
+    for (double& v : sequences[t]) {
+      v = d(engine);
+      serial.record(v);
+    }
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&concurrent, &sequences, t] {
+      for (const double v : sequences[t]) {
+        concurrent.record(v);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const obs::HistogramSnapshot got = concurrent.snapshot();
+  const obs::HistogramSnapshot want = serial.snapshot();
+  // Bucket counts and extrema are integer/CAS-exact under concurrency;
+  // the sum is a float accumulation whose order varies, so compare it
+  // with relative tolerance.
+  EXPECT_EQ(got.buckets, want.buckets);
+  EXPECT_EQ(got.count, want.count);
+  EXPECT_DOUBLE_EQ(got.min, want.min);
+  EXPECT_DOUBLE_EQ(got.max, want.max);
+  EXPECT_NEAR(got.sum, want.sum, std::abs(want.sum) * 1e-9);
+}
+
+TEST(Histogram, SnapshotSubtractionYieldsTheWindow) {
+  obs::Histogram hist;
+  for (int i = 0; i < 100; ++i) {
+    hist.record(10.0);
+  }
+  const obs::HistogramSnapshot before = hist.snapshot();
+  for (int i = 0; i < 50; ++i) {
+    hist.record(5000.0);
+  }
+  obs::HistogramSnapshot window = hist.snapshot();
+  window -= before;
+  EXPECT_EQ(window.count, 50u);
+  EXPECT_NEAR(window.sum, 50 * 5000.0, 1e-6);
+  // Every windowed value is 5000: the quantile lands in its bucket.
+  const double p50 = window.quantile(0.5);
+  EXPECT_GE(p50, 5000.0 * (1.0 - 1.0 / 32.0));
+  EXPECT_LE(p50, 5000.0 * (1.0 + 1.0 / 16.0));
+}
+
+TEST(Histogram, NegativeAndNanClampToZero) {
+  obs::Histogram hist;
+  hist.record(-42.0);
+  hist.record(std::nan(""));
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(Registry, CreatesOnFirstUseWithStableAddresses) {
+  obs::Registry registry;
+  obs::Counter& c1 = registry.counter("requests");
+  c1.inc(3);
+  EXPECT_EQ(&registry.counter("requests"), &c1);
+  EXPECT_EQ(registry.counter("requests").value(), 3u);
+  EXPECT_EQ(registry.find_counter("missing"), nullptr);
+  ASSERT_NE(registry.find_counter("requests"), nullptr);
+  EXPECT_EQ(registry.find_counter("requests")->value(), 3u);
+
+  registry.gauge("depth").set(4.5);
+  EXPECT_DOUBLE_EQ(registry.find_gauge("depth")->value(), 4.5);
+  registry.gauge("depth").add(0.5);
+  EXPECT_DOUBLE_EQ(registry.find_gauge("depth")->value(), 5.0);
+
+  registry.histogram("latency").record(12.0);
+  const obs::Registry::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms.front().first, "latency");
+  EXPECT_EQ(snap.histograms.front().second.count, 1u);
+}
+
+TEST(Registry, RenderPrometheusShape) {
+  obs::Registry registry;
+  registry.counter("serve.requests").inc(5);
+  registry.gauge("serve.queue_depth").set(2.0);
+  registry.histogram("serve.latency.total_us").record(150.0);
+  const std::string text = obs::render_prometheus(registry);
+  EXPECT_NE(text.find("# TYPE serve_requests counter"), std::string::npos);
+  EXPECT_NE(text.find("serve_requests 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_latency_total_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_total_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_total_us_count 1"), std::string::npos);
+}
+
+TEST(Registry, RenderJsonShape) {
+  obs::Registry registry;
+  registry.counter("requests").inc(2);
+  registry.histogram("latency").record(100.0);
+  const std::string json = obs::render_json(registry);
+  EXPECT_NE(json.find("\"counters\":{\"requests\":2}"), std::string::npos);
+  EXPECT_NE(json.find("\"latency\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+TEST(Registry, PeriodicReporterInvokesSinkAndStops) {
+  obs::Registry registry;
+  registry.counter("ticks").inc();
+  std::atomic<int> invocations{0};
+  {
+    obs::PeriodicReporter reporter(
+        registry, std::chrono::milliseconds(5),
+        [&invocations](const obs::Registry&) { invocations.fetch_add(1); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }  // ~PeriodicReporter stops and joins
+  EXPECT_GE(invocations.load(), 1);
+  const int after_stop = invocations.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(invocations.load(), after_stop);
+}
+
+// ---------------------------------------------------------------- tracer
+
+TEST(Tracer, DisabledRecordsNothing) {
+  obs::Tracer tracer;  // default config: disabled
+  {
+    obs::ScopedSpan span(&tracer, "work", "test");
+    EXPECT_FALSE(span.active());
+    span.arg("ignored", 1.0);
+  }
+  EXPECT_EQ(tracer.span_count(), 0u);
+  // A null tracer is equally inert.
+  obs::ScopedSpan null_span(nullptr, "work", "test");
+  EXPECT_FALSE(null_span.active());
+}
+
+TEST(Tracer, SamplingGatesPerRequestSpans) {
+  obs::TraceConfig config;
+  config.enabled = true;
+  config.sample_every = 3;
+  const obs::Tracer tracer(config);
+  EXPECT_TRUE(tracer.sampled(0));
+  EXPECT_FALSE(tracer.sampled(1));
+  EXPECT_FALSE(tracer.sampled(2));
+  EXPECT_TRUE(tracer.sampled(3));
+}
+
+TEST(Tracer, NestedSpansNestInTime) {
+  obs::TraceConfig config;
+  config.enabled = true;
+  obs::Tracer tracer(config);
+  {
+    obs::ScopedSpan outer(&tracer, "outer", "test");
+    {
+      obs::ScopedSpan inner(&tracer, "inner", "test");
+      inner.arg("depth", 1.0);
+    }
+  }
+  const std::vector<obs::SpanRecord> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // The inner span completes first (RAII order), so it records first.
+  const obs::SpanRecord& inner = spans[0];
+  const obs::SpanRecord& outer = spans[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(inner.track, outer.track);  // same thread
+  EXPECT_LE(outer.begin_us, inner.begin_us);
+  EXPECT_LE(inner.begin_us, inner.end_us);
+  EXPECT_LE(inner.end_us, outer.end_us);
+  ASSERT_EQ(inner.args.size(), 1u);
+  EXPECT_EQ(inner.args.front().first, "depth");
+}
+
+TEST(Tracer, ExplicitTracksAndTimestampConversion) {
+  obs::TraceConfig config;
+  config.enabled = true;
+  obs::Tracer tracer(config);
+  const auto t0 = std::chrono::steady_clock::now();
+  tracer.record({"request", "serve", tracer.to_us(t0), tracer.now_us(),
+                 obs::Tracer::kRequestTrackBase + 7, {}, {}});
+  const std::vector<obs::SpanRecord> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans.front().track, obs::Tracer::kRequestTrackBase + 7);
+  EXPECT_LE(spans.front().begin_us, spans.front().end_us);
+}
+
+TEST(Tracer, MaxSpansDropsInsteadOfGrowing) {
+  obs::TraceConfig config;
+  config.enabled = true;
+  config.max_spans = 4;
+  obs::Tracer tracer(config);
+  for (int i = 0; i < 10; ++i) {
+    obs::ScopedSpan span(&tracer, "s" + std::to_string(i), "test");
+  }
+  EXPECT_EQ(tracer.span_count(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  tracer.clear();
+  EXPECT_EQ(tracer.span_count(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, ChromeTraceJsonShape) {
+  obs::TraceConfig config;
+  config.enabled = true;
+  obs::Tracer tracer(config);
+  {
+    obs::ScopedSpan span(&tracer, "forward \"quoted\"", "serve");
+    span.arg("rows", 3.0);
+    span.arg("backend", std::string("behavioral"));
+  }
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // process metadata
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("forward \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":3.000000"), std::string::npos);
+  EXPECT_NE(json.find("\"backend\":\"behavioral\""), std::string::npos);
+  // dur is non-negative for every X event.
+  EXPECT_EQ(json.find("\"dur\":-"), std::string::npos);
+}
+
+}  // namespace

@@ -13,6 +13,7 @@
 #include <future>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/bayesian.h"
@@ -20,6 +21,7 @@
 #include "core/models.h"
 #include "core/pipeline.h"
 #include "data/strokes.h"
+#include "obs/export.h"
 #include "serve/batcher.h"
 #include "serve/policy.h"
 #include "serve/runtime.h"
@@ -413,7 +415,9 @@ TEST(Runtime, ShedResponsesCarryReasonAndRetryHint) {
       (void)f.get();
     } catch (const serve::OverloadError& e) {
       EXPECT_EQ(e.reason(), serve::ShedReason::kQueueFull);
-      EXPECT_GE(e.retry_after_us(), 0.0);  // no completions yet: hint is 0
+      // Even before any completion the hint is floored at
+      // max(max_linger, 100us) — a client must never busy-retry.
+      EXPECT_GE(e.retry_after_us(), 100.0);
       EXPECT_GE(e.queue_depth(), config.max_queue_depth);
       ++queue_full;
     }
@@ -813,6 +817,256 @@ TEST(TiledMlp, TableOneCnnRunsElectrically) {
   // The repeated passes re-drove the tiles with mostly-identical inputs;
   // the event engine must have skipped rows.
   EXPECT_GT(hw.delta_stats().skip_ratio(), 0.0);
+}
+
+// --------------------------------------------------------- observability
+
+// The observability determinism contract: tracing and metrics read clocks,
+// never RNG streams — enabling them must not change a single result bit.
+TEST(Runtime, TracingOnOffPredictionsBitwiseIdentical) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(38);
+  constexpr std::size_t kRequests = 10;
+  std::vector<serve::ServedPrediction> baseline;
+  for (const bool tracing : {false, true}) {
+    serve::RuntimeConfig config;
+    config.workers = 2;
+    config.mc_samples = 4;
+    config.batcher.max_batch = 4;
+    config.batcher.max_linger = 1ms;  // coalesce into real batches
+    config.trace.enabled = tracing;
+    config.trace.sample_every = 1;
+    serve::Runtime runtime(model, config);
+    std::vector<std::future<serve::ServedPrediction>> futures;
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      futures.push_back(
+          runtime.submit(sample_row(data, i), nn::mix_seed(0xace, i)));
+    }
+    std::vector<serve::ServedPrediction> served;
+    for (auto& f : futures) {
+      served.push_back(f.get());
+    }
+    if (!tracing) {
+      baseline = std::move(served);
+      continue;
+    }
+    ASSERT_EQ(baseline.size(), served.size());
+    for (std::size_t i = 0; i < served.size(); ++i) {
+      ASSERT_EQ(baseline[i].probs.size(), served[i].probs.size());
+      for (std::size_t c = 0; c < served[i].probs.size(); ++c) {
+        ASSERT_EQ(baseline[i].probs[c], served[i].probs[c])
+            << "request " << i << " class " << c;
+      }
+      ASSERT_EQ(baseline[i].predicted_class, served[i].predicted_class);
+      ASSERT_EQ(baseline[i].entropy, served[i].entropy);
+      ASSERT_EQ(baseline[i].mutual_info, served[i].mutual_info);
+      ASSERT_EQ(baseline[i].accepted, served[i].accepted);
+    }
+  }
+}
+
+// The same contract through the cascade (and its tiled escalation rung,
+// whose per-tile spans ride the same tracer).
+TEST(Runtime, CascadeTracingOnOffBitwiseIdenticalAndSpansCarryDeltaStats) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(39);
+  constexpr std::size_t kRequests = 3;
+  std::vector<serve::ServedPrediction> baseline;
+  for (const bool tracing : {false, true}) {
+    serve::RuntimeConfig config;
+    config.backend = serve::Backend::kCascade;
+    config.workers = 1;
+    config.mc_samples = 2;
+    config.spindrop_p = 0.15;
+    config.cascade.entropy_threshold = 0.0;  // escalate everything
+    config.trace.enabled = tracing;
+    serve::Runtime runtime(model, config);
+    std::vector<std::future<serve::ServedPrediction>> futures;
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      futures.push_back(
+          runtime.submit(sample_row(data, i), nn::mix_seed(0xbee, i)));
+    }
+    std::vector<serve::ServedPrediction> served;
+    for (auto& f : futures) {
+      served.push_back(f.get());
+    }
+    if (!tracing) {
+      baseline = std::move(served);
+      continue;
+    }
+    for (std::size_t i = 0; i < served.size(); ++i) {
+      ASSERT_EQ(baseline[i].probs.size(), served[i].probs.size());
+      for (std::size_t c = 0; c < served[i].probs.size(); ++c) {
+        ASSERT_EQ(baseline[i].probs[c], served[i].probs[c]);
+      }
+      EXPECT_TRUE(served[i].escalated);
+    }
+    // The trace covers the whole escalation chain: cascade wrapper, both
+    // rungs, and the electrical path's per-tile spans with the event
+    // engine's rows-skipped census attached.
+    std::set<std::string> names;
+    bool tile_span_has_census = false;
+    for (const auto& span : runtime.tracer().spans()) {
+      names.insert(span.name);
+      if (span.name.rfind("tile:", 0) == 0) {
+        for (const auto& [key, value] : span.args) {
+          if (key == "rows_skipped" && value >= 0.0) {
+            tile_span_has_census = true;
+          }
+        }
+      }
+    }
+    EXPECT_TRUE(names.count("cascade"));
+    EXPECT_TRUE(names.count("rung:behavioral"));
+    EXPECT_TRUE(names.count("rung:tiled"));
+    EXPECT_TRUE(names.count("tile:dense0"));
+    EXPECT_TRUE(tile_span_has_census);
+  }
+}
+
+TEST(Runtime, TraceSpansCoverRequestLifecycle) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(40);
+  constexpr std::size_t kRequests = 6;
+  serve::RuntimeConfig config;
+  config.workers = 2;
+  config.mc_samples = 2;
+  config.trace.enabled = true;
+  config.trace.sample_every = 1;
+  serve::Runtime runtime(model, config);
+  (void)serve_all(runtime, data, kRequests);
+  runtime.shutdown();
+
+  // Every request's track carries the full lifecycle: a request span
+  // enclosing queue, forward and policy.
+  const std::vector<obs::SpanRecord> spans = runtime.tracer().spans();
+  for (std::uint64_t id = 0; id < kRequests; ++id) {
+    const std::uint64_t track = obs::Tracer::kRequestTrackBase + id;
+    const obs::SpanRecord* request = nullptr;
+    const obs::SpanRecord* queue = nullptr;
+    const obs::SpanRecord* forward = nullptr;
+    const obs::SpanRecord* policy = nullptr;
+    for (const auto& span : spans) {
+      if (span.track != track) {
+        continue;
+      }
+      if (span.name == "request") request = &span;
+      if (span.name == "queue") queue = &span;
+      if (span.name == "forward") forward = &span;
+      if (span.name == "policy") policy = &span;
+    }
+    ASSERT_NE(request, nullptr) << "request " << id;
+    ASSERT_NE(queue, nullptr) << "request " << id;
+    ASSERT_NE(forward, nullptr) << "request " << id;
+    ASSERT_NE(policy, nullptr) << "request " << id;
+    // Nesting: the request span contains its children; the queue interval
+    // precedes the forward interval.
+    EXPECT_LE(request->begin_us, queue->begin_us);
+    EXPECT_LE(queue->end_us, forward->begin_us);
+    EXPECT_LE(forward->end_us, request->end_us);
+    EXPECT_LE(policy->begin_us, policy->end_us);
+    EXPECT_LE(request->begin_us, policy->begin_us);
+    EXPECT_LE(policy->end_us, request->end_us);
+  }
+  // Worker-track spans: every pop got a batch span, every forward a rung
+  // span, and they share the worker's thread track.
+  std::size_t batch_spans = 0;
+  std::size_t rung_spans = 0;
+  for (const auto& span : spans) {
+    batch_spans += span.name == "batch" ? 1 : 0;
+    rung_spans += span.name == "rung:behavioral" ? 1 : 0;
+  }
+  EXPECT_GE(batch_spans, 1u);
+  EXPECT_GE(rung_spans, 1u);
+  EXPECT_EQ(runtime.tracer().dropped(), 0u);
+
+  // And the export is a loadable Chrome trace.
+  const std::string json = runtime.tracer().chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"request\""), std::string::npos);
+}
+
+TEST(Runtime, TraceSamplingGatesRequestSpans) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(41);
+  serve::RuntimeConfig config;
+  config.workers = 1;
+  config.mc_samples = 2;
+  config.trace.enabled = true;
+  config.trace.sample_every = 2;  // even request ids only
+  serve::Runtime runtime(model, config);
+  (void)serve_all(runtime, data, 6);
+  runtime.shutdown();
+  std::size_t request_spans = 0;
+  for (const auto& span : runtime.tracer().spans()) {
+    if (span.name == "request") {
+      ++request_spans;
+      EXPECT_EQ((span.track - obs::Tracer::kRequestTrackBase) % 2, 0u);
+    }
+  }
+  EXPECT_EQ(request_spans, 3u);  // ids 0, 2, 4
+}
+
+TEST(Runtime, MetricsRegistryExposesServeSeries) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(42);
+  constexpr std::size_t kRequests = 8;
+  serve::RuntimeConfig config;
+  config.workers = 2;
+  config.mc_samples = 2;
+  serve::Runtime runtime(model, config);
+  (void)serve_all(runtime, data, kRequests);
+
+  const serve::RuntimeStats stats = runtime.stats();
+  const obs::Registry& metrics = runtime.metrics();
+  ASSERT_NE(metrics.find_counter("serve.requests"), nullptr);
+  EXPECT_EQ(metrics.find_counter("serve.requests")->value(), kRequests);
+  EXPECT_EQ(metrics.find_counter("serve.requests")->value(), stats.requests);
+  EXPECT_EQ(metrics.find_counter("serve.batches")->value(), stats.batches);
+  EXPECT_EQ(metrics.find_counter("serve.accepted")->value() +
+                metrics.find_counter("serve.abstained")->value(),
+            kRequests);
+  // The batcher's instruments: one batch-size sample per non-empty pop,
+  // and the queue-depth gauge drained back to zero.
+  const obs::Histogram* batch_size = metrics.find_histogram("serve.batch_size");
+  ASSERT_NE(batch_size, nullptr);
+  EXPECT_EQ(batch_size->count(), stats.batches);
+  EXPECT_DOUBLE_EQ(metrics.find_gauge("serve.queue_depth")->value(), 0.0);
+  // Latency histograms: one sample per completed request, and the stats()
+  // percentiles are exactly histogram reads.
+  const obs::Histogram* latency =
+      metrics.find_histogram("serve.latency.total_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), kRequests);
+  EXPECT_DOUBLE_EQ(stats.window_p50_us, latency->quantile(0.50));
+  EXPECT_DOUBLE_EQ(stats.window_p99_us, latency->quantile(0.99));
+  EXPECT_GT(stats.window_p50_us, 0.0);
+  // Energy: census-priced behavioural total folds into the gauge.
+  EXPECT_DOUBLE_EQ(metrics.find_gauge("serve.energy_pj.total")->value(),
+                   stats.total_energy_pj);
+  // Exposition renders the serve series.
+  const std::string prom = obs::render_prometheus(metrics);
+  EXPECT_NE(prom.find("serve_requests " + std::to_string(kRequests)),
+            std::string::npos);
+  EXPECT_NE(prom.find("serve_latency_total_us_count"), std::string::npos);
+}
+
+TEST(Runtime, TiledBackendFoldsPerComponentEnergyIntoRegistry) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(43);
+  serve::RuntimeConfig config;
+  config.backend = serve::Backend::kTiled;
+  config.workers = 1;
+  config.mc_samples = 2;
+  serve::Runtime runtime(model, config);
+  (void)serve_all(runtime, data, 2);
+  const obs::Registry& metrics = runtime.metrics();
+  const obs::Counter* reads = metrics.find_counter("energy.events.xbar_cell_read");
+  ASSERT_NE(reads, nullptr);
+  EXPECT_GT(reads->value(), 0u);
+  const obs::Gauge* read_pj = metrics.find_gauge("energy.pj.xbar_cell_read");
+  ASSERT_NE(read_pj, nullptr);
+  EXPECT_GT(read_pj->value(), 0.0);
 }
 
 TEST(TiledMcEvaluator, CnnPredictsThroughConvTiles) {

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file exported by obs::Tracer.
+
+Checks, in order:
+  1. the file is well-formed JSON with a top-level "traceEvents" list;
+  2. every event is a complete ("X") or metadata ("M") event carrying the
+     fields Perfetto needs (name/ts/dur/pid/tid for X, name args for M);
+  3. spans on each track (tid) are properly nested: sorted by begin time,
+     every span either follows the previous one or sits fully inside an
+     enclosing span -- partial overlap means begin/end pairs got crossed;
+  4. optional --require NAME...: each name must appear as at least one span
+     (exact match, or prefix match when NAME ends with '*').
+
+Exit status 0 on success, 1 on any violation. Stdlib only.
+
+Usage:
+  python3 tools/check_trace.py trace.json --require request queue forward
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_event(index: int, event) -> None:
+    if not isinstance(event, dict):
+        fail(f"event {index} is not an object: {event!r}")
+    ph = event.get("ph")
+    if ph not in ("X", "M"):
+        fail(f"event {index} has unsupported phase {ph!r} (want X or M)")
+    if not isinstance(event.get("name"), str) or not event["name"]:
+        fail(f"event {index} has no name")
+    if ph == "X":
+        for field in ("ts", "dur", "pid", "tid"):
+            if not isinstance(event.get(field), (int, float)):
+                fail(f"X event {index} ({event['name']!r}) missing numeric {field!r}")
+        if event["dur"] < 0:
+            fail(f"X event {index} ({event['name']!r}) has negative dur {event['dur']}")
+        if event["ts"] < 0:
+            fail(f"X event {index} ({event['name']!r}) has negative ts {event['ts']}")
+
+
+def check_nesting(events) -> int:
+    """Spans per track must nest (contain or not overlap), never cross."""
+    tracks = {}
+    for event in events:
+        if event["ph"] == "X":
+            tracks.setdefault(event["tid"], []).append(event)
+    for tid, spans in tracks.items():
+        # Begin ascending; at equal begins the longer span is the parent.
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []  # enclosing spans' end times
+        for span in spans:
+            begin = span["ts"]
+            end = begin + span["dur"]
+            while stack and stack[-1] <= begin:
+                stack.pop()
+            if stack and end > stack[-1]:
+                fail(
+                    f"track {tid}: span {span['name']!r} [{begin}, {end}] "
+                    f"crosses its enclosing span's end {stack[-1]}"
+                )
+            stack.append(end)
+    return len(tracks)
+
+
+def check_required(events, required) -> None:
+    names = {event["name"] for event in events if event["ph"] == "X"}
+    for want in required:
+        if want.endswith("*"):
+            if not any(name.startswith(want[:-1]) for name in names):
+                fail(f"no span name matches required prefix {want!r}")
+        elif want not in names:
+            fail(f"required span {want!r} not found (have: {sorted(names)[:20]})")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--require",
+        nargs="*",
+        default=[],
+        help="span names that must be present (trailing * = prefix match)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.trace}: {e}")
+
+    if not isinstance(trace, dict) or not isinstance(trace.get("traceEvents"), list):
+        fail('top level must be an object with a "traceEvents" list')
+    events = trace["traceEvents"]
+
+    for index, event in enumerate(events):
+        validate_event(index, event)
+
+    spans = sum(1 for e in events if e["ph"] == "X")
+    if spans == 0:
+        fail("trace contains no X (complete) events")
+    tracks = check_nesting(events)
+    check_required(events, args.require)
+
+    print(
+        f"check_trace: OK: {spans} spans on {tracks} tracks, "
+        f"{len(events) - spans} metadata events"
+    )
+
+
+if __name__ == "__main__":
+    main()

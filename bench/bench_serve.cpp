@@ -4,7 +4,7 @@
 //
 // Plain main (like bench_table1): runnable without google-benchmark.
 //
-//   ./build/bench/bench_serve [--smoke] [--trace FILE]
+//   ./build/bench/bench_serve [--smoke] [--trace FILE] [--chaos SEED]
 //
 // The behavioural backend is the production path and must show throughput
 // scaling with workers (the ISSUE-2 acceptance criterion); the tiled
@@ -22,12 +22,21 @@
 // --smoke shrinks every sweep to a few requests: a CI-speed run that only
 // checks the bench still drives the runtime end to end.
 //
+// --chaos SEED runs the fault-tolerance leg INSTEAD of the default sweeps:
+// a closed loop under the seeded crash/stall plan (serve/fault.h) with
+// supervision on, reporting throughput-under-faults vs. the fault-free
+// anchor, the zero-requests-lost account, and the crash-recovery latency
+// (crash -> re-queue -> backend re-clone -> retried answer, end to end).
+// The schedule is a pure function of (SEED, forward ticket): same seed,
+// same crashes — a failing chaos run replays exactly.
+//
 // --trace FILE additionally runs the tracing-overhead leg's traced pass
 // with sample_every=1 and writes its Chrome trace-event JSON to FILE
 // (load at https://ui.perfetto.dev; validate with tools/check_trace.py).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <future>
@@ -484,15 +493,159 @@ void bench_stats_primitives() {
               ring_record_ns / hist_record_ns, ring_read_ns / hist_read_ns);
 }
 
+/// Fault-tolerance leg (--chaos SEED): the behavioural closed loop run
+/// fault-free and again under a seeded crash/stall plan with supervision
+/// on. Reports throughput under faults, the zero-requests-lost account
+/// (completed + typed failures == submitted, completed bits are the
+/// fault-free bits by the request-seed contract pinned in
+/// tests/robustness_test.cpp), and recovery latency measured on the
+/// deterministic crash-retry path.
+void sweep_chaos(const core::BuiltModel& model, const nn::Dataset& data,
+                 std::uint64_t seed) {
+  const std::size_t requests = g_smoke ? 48 : 512;
+  const std::vector<std::vector<float>> rows = dataset_rows(data);
+  const auto base_config = [] {
+    serve::RuntimeConfig config;
+    config.workers = 2;
+    config.mc_samples = 4;
+    config.batcher.max_batch = 8;
+    config.batcher.max_linger = std::chrono::microseconds(100);
+    return config;
+  };
+
+  // Fault-free anchor on the identical workload.
+  const RunResult clean = run_load(model, base_config(), rows, requests);
+
+  serve::RuntimeConfig chaos = base_config();
+  chaos.fault.enabled = true;
+  chaos.fault.seed = seed;
+  // Smoke runs draw an order of magnitude fewer forward tickets; scale the
+  // per-ticket rates up so the CI leg still exercises the recovery paths.
+  chaos.fault.crash_p = g_smoke ? 0.25 : 0.05;
+  chaos.fault.stall_p = g_smoke ? 0.15 : 0.05;
+  chaos.fault.stall = std::chrono::microseconds(2000);
+  chaos.supervision.enabled = true;
+  chaos.supervision.heartbeat = std::chrono::microseconds(1000);
+  chaos.supervision.stall_timeout = std::chrono::microseconds(100000);
+
+  std::uint64_t completed = 0;
+  std::uint64_t failed_typed = 0;
+  std::vector<double> latencies;
+  latencies.reserve(requests);
+  double chaos_rps = 0.0;
+  serve::RuntimeStats stats;
+  std::uint64_t crashes = 0;
+  std::uint64_t stall_faults = 0;
+  {
+    serve::Runtime runtime(model, chaos);
+    constexpr std::size_t kWindow = 64;
+    std::deque<std::future<serve::ServedPrediction>> in_flight;
+    const auto harvest = [&](std::future<serve::ServedPrediction> f) {
+      // A request whose first attempt AND its one retry both drew crash
+      // tickets fails typed — counted, never lost, never silent.
+      try {
+        latencies.push_back(f.get().total_latency_us);
+        ++completed;
+      } catch (const std::exception&) {
+        ++failed_typed;
+      }
+    };
+    const auto begin = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < requests; ++i) {
+      in_flight.push_back(runtime.submit(rows[i % rows.size()]));
+      if (in_flight.size() >= kWindow) {
+        harvest(std::move(in_flight.front()));
+        in_flight.pop_front();
+      }
+    }
+    while (!in_flight.empty()) {
+      harvest(std::move(in_flight.front()));
+      in_flight.pop_front();
+    }
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - begin)
+                               .count();
+    chaos_rps = static_cast<double>(requests) / seconds;
+    stats = runtime.stats();
+    crashes = runtime.metrics().counter("serve.fault.crashes").value();
+    stall_faults = runtime.metrics().counter("serve.fault.stalls").value();
+  }
+
+  // Recovery latency: the deterministic crash-retry path end to end —
+  // forward ticket 0 crashes, the batch re-queues, the worker re-clones
+  // its backend, the retry answers. Anchor: the same single request on a
+  // fault-free runtime.
+  const auto single_request_us = [&](bool crash_first) {
+    serve::RuntimeConfig config = base_config();
+    config.workers = 1;
+    if (crash_first) {
+      config.fault.enabled = true;
+      config.fault.seed = seed;
+      config.fault.crash_p = 1.0;
+      config.fault.stop_after = 1;  // only ticket 0 crashes
+    }
+    serve::Runtime runtime(model, config);
+    const auto begin = std::chrono::steady_clock::now();
+    (void)runtime.predict(rows.front());
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - begin)
+        .count();
+  };
+  const double clean_one_us = single_request_us(false);
+  const double recovery_us = single_request_us(true);
+
+  std::printf(
+      "\nchaos leg (seed %llu): crash_p=%.2f stall_p=%.2f (stall %.1fms), "
+      "supervision on, %zu requests\n",
+      static_cast<unsigned long long>(seed), chaos.fault.crash_p,
+      chaos.fault.stall_p,
+      std::chrono::duration<double, std::milli>(chaos.fault.stall).count(),
+      requests);
+  std::printf("%14s %12s %12s %12s\n", "config", "req/s", "p50 (us)",
+              "p99 (us)");
+  std::printf("%14s %12.0f %12.0f %12.0f\n", "fault-free",
+              clean.requests_per_sec, clean.p50_us, clean.p99_us);
+  std::printf("%14s %12.0f %12.0f %12.0f\n", "under faults", chaos_rps,
+              percentile(latencies, 0.50), percentile(latencies, 0.99));
+  std::printf(
+      "faults: %llu crashes, %llu stalls; %llu requests re-queued, %llu "
+      "worker restarts, %llu stall rescues\n",
+      static_cast<unsigned long long>(crashes),
+      static_cast<unsigned long long>(stall_faults),
+      static_cast<unsigned long long>(stats.requeued),
+      static_cast<unsigned long long>(stats.worker_restarts),
+      static_cast<unsigned long long>(stats.worker_stalls));
+  std::printf(
+      "account: %zu submitted = %llu completed + %llu failed typed "
+      "(zero lost%s)\n",
+      requests, static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(failed_typed),
+      completed + failed_typed == requests ? "" : " — ACCOUNT MISMATCH");
+  std::printf(
+      "recovery latency (crash -> re-queue -> re-clone -> retried answer): "
+      "%.0f us (fault-free single request: %.0f us)\n",
+      recovery_us, clean_one_us);
+  std::printf("throughput under faults: %.1f%% of fault-free\n",
+              100.0 * chaos_rps / clean.requests_per_sec);
+  if (completed + failed_typed != requests) {
+    std::exit(1);  // the CI leg must fail loudly on a lost request
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* trace_path = nullptr;
+  bool chaos = false;
+  std::uint64_t chaos_seed = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       g_smoke = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
+      chaos = true;
+      chaos_seed = std::strtoull(argv[++i], nullptr, 10);
     }
   }
   bench::banner("bench_serve",
@@ -510,6 +663,11 @@ int main(int argc, char** argv) {
   mc.seed = 7;
   mc.dropout_p = 0.15;
   const core::BuiltModel model = core::make_binary_mlp(mc, 256, {128, 128}, 10);
+
+  if (chaos) {
+    sweep_chaos(model, data, chaos_seed);
+    return 0;
+  }
 
   // Sweep 1..max(4, hardware) workers in powers of two. On machines with
   // fewer cores the larger counts run oversubscribed — throughput then

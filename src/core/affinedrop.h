@@ -16,7 +16,9 @@
 #pragma once
 
 #include <cstdint>
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <random>
 
 #include "nn/layers.h"
@@ -61,6 +63,8 @@ class InvertedNormLayer : public nn::Layer {
   void reseed_rows(std::span<const std::uint64_t> row_seeds) override {
     row_seeds_.assign(row_seeds.begin(), row_seeds.end());
   }
+  void save_rng_state(std::ostream& out) const override { out << engine_ << '\n'; }
+  void load_rng_state(std::istream& in) override { in >> engine_; }
 
   void enable_mc(bool on) { mc_mode_ = on; }
   /// Disable the stochastic masks entirely (ablation: inverted norm only).

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <random>
 
 #include "energy/accountant.h"
@@ -40,6 +42,8 @@ class DropConnectDense : public nn::Layer {
     return std::make_unique<DropConnectDense>(*this);
   }
   void reseed(std::uint64_t seed) override { mask_engine_.seed(seed); }
+  void save_rng_state(std::ostream& out) const override { out << mask_engine_ << '\n'; }
+  void load_rng_state(std::istream& in) override { in >> mask_engine_; }
 
   void enable_mc(bool on) { mc_mode_ = on; }
   [[nodiscard]] std::size_t in_features() const { return in_; }

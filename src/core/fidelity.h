@@ -43,8 +43,9 @@
 #include "xbar/tile.h"
 
 namespace neuspin::obs {
-class Tracer;  // obs/trace.h
-}
+class Registry;  // obs/metrics.h
+class Tracer;    // obs/trace.h
+}  // namespace neuspin::obs
 
 namespace neuspin::core {
 
@@ -58,6 +59,12 @@ struct BackendBatch {
   /// Per-request cascade flag: 1 when an escalation rung answered the
   /// request. Leaf backends always report 0.
   std::vector<std::uint8_t> escalated;
+  /// Per-request degraded flag: 1 when the answer SHOULD have escalated
+  /// but a circuit-broken (or failing) expensive rung forced the cheap
+  /// bits instead (serve::CascadeBackend). EMPTY means "no row degraded"
+  /// — leaf backends never fill it, so the common path stays two
+  /// allocations, not three.
+  std::vector<std::uint8_t> degraded;
 };
 
 /// A replicable engine that answers batches of seeded prediction requests
@@ -106,6 +113,24 @@ class FidelityBackend {
   /// propagated by clone(); the owner re-attaches per replica.
   virtual void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
   [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
+  /// Inject extra stuck-at defects into the backend's substrate mid-run.
+  /// No-op for backends without an electrical substrate (behavioural);
+  /// composite backends (cascade, fault decorator) propagate to their
+  /// children. Affects only THIS instance — sibling clones keep serving
+  /// the pristine bits until the caller injects into them too.
+  virtual void inject_defects(const device::DefectRates& rates, std::uint64_t seed) {
+    (void)rates;
+    (void)seed;
+  }
+
+  /// Attach a metrics registry (nullptr detaches): backends with internal
+  /// health state (the cascade's circuit breaker, the fault injector) then
+  /// record their counters/gauges into it. Observability only — like
+  /// set_tracer, binding cannot change a result bit. Not propagated by
+  /// clone(); the owner re-binds per replica (shared state like a breaker
+  /// core binds idempotently).
+  virtual void bind_metrics(obs::Registry* registry) { (void)registry; }
 
  protected:
   obs::Tracer* tracer_ = nullptr;
@@ -196,7 +221,7 @@ class TiledBackend : public FidelityBackend {
   void set_tracer(obs::Tracer* tracer) override;
 
   /// Extra stuck-at defects on every tile of the replica.
-  void inject_defects(const device::DefectRates& rates, std::uint64_t seed) {
+  void inject_defects(const device::DefectRates& rates, std::uint64_t seed) override {
     replica_.inject_defects(rates, seed);
   }
 

@@ -18,7 +18,9 @@
 #pragma once
 
 #include <cstdint>
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <random>
 
 #include "energy/accountant.h"
@@ -73,6 +75,8 @@ class ScaleDropLayer : public nn::Layer {
   void reseed_rows(std::span<const std::uint64_t> row_seeds) override {
     row_seeds_.assign(row_seeds.begin(), row_seeds.end());
   }
+  void save_rng_state(std::ostream& out) const override { out << engine_ << '\n'; }
+  void load_rng_state(std::istream& in) override { in >> engine_; }
 
   void enable_mc(bool on) { mc_mode_ = on; }
   /// Probability the physical module realizes (Gaussian-shifted).

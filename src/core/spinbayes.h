@@ -12,7 +12,9 @@
 #pragma once
 
 #include <cstdint>
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <random>
 #include <vector>
 
@@ -43,6 +45,13 @@ class SpinArbiter {
 
   /// Reset the arbiter's entropy stream (per-pass reproducibility).
   void reseed(std::uint64_t seed) { engine_.seed(seed); }
+
+  /// Serialize / restore the entropy stream mid-run (text), so a
+  /// checkpointed training run resumes the arbiter bitwise.
+  void save_stream(std::ostream& out) const {
+    out << engine_ << '\n' << last_selection_ << '\n';
+  }
+  void load_stream(std::istream& in) { in >> engine_ >> last_selection_; }
 
  private:
   std::size_t fan_out_;
@@ -95,6 +104,14 @@ class SpinBayesScaleLayer : public nn::Layer {
   /// selects its own crossbar instance, matching a batch-of-one pass.
   void reseed_rows(std::span<const std::uint64_t> row_seeds) override {
     row_seeds_.assign(row_seeds.begin(), row_seeds.end());
+  }
+  void save_rng_state(std::ostream& out) const override {
+    arbiter_.save_stream(out);
+    out << last_selection_ << '\n';
+  }
+  void load_rng_state(std::istream& in) override {
+    arbiter_.load_stream(in);
+    in >> last_selection_;
   }
 
   void enable_mc(bool on) { mc_mode_ = on; }

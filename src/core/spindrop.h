@@ -14,7 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <random>
 #include <vector>
 
@@ -36,6 +38,11 @@ class DropoutSource {
   [[nodiscard]] virtual std::unique_ptr<DropoutSource> clone() const = 0;
   /// Reset the source's entropy stream; realized probability is untouched.
   virtual void reseed(std::uint64_t seed) = 0;
+  /// Serialize / restore the stream mid-run (text), so a checkpointed
+  /// training run resumes this source bitwise. Sources that skip these
+  /// hooks still work — they just aren't bitwise across kill-and-resume.
+  virtual void save_state(std::ostream& out) const { (void)out; }
+  virtual void load_state(std::istream& in) { (void)in; }
 };
 
 /// Ideal Bernoulli source (software training path).
@@ -55,6 +62,8 @@ class PseudoDropoutSource final : public DropoutSource {
     return std::make_unique<PseudoDropoutSource>(*this);
   }
   void reseed(std::uint64_t seed) override { state_ = seed; }
+  void save_state(std::ostream& out) const override { out << state_ << '\n'; }
+  void load_state(std::istream& in) override { in >> state_; }
 
  private:
   double p_;
@@ -81,6 +90,8 @@ class SpinDropoutSource final : public DropoutSource {
     return std::make_unique<SpinDropoutSource>(*this);
   }
   void reseed(std::uint64_t seed) override { rng_.reseed(seed); }
+  void save_state(std::ostream& out) const override { rng_.save_stream(out); }
+  void load_state(std::istream& in) override { rng_.load_stream(in); }
 
  private:
   device::SpinRng rng_;
@@ -128,6 +139,18 @@ class SpinDropLayer : public nn::Layer {
   /// sample r's pseudo mask comes from the train stream reseeded by
   /// row_seeds[r], exactly the batch-of-one training draw.
   void reseed_rows(std::span<const std::uint64_t> row_seeds) override;
+  void save_rng_state(std::ostream& out) const override {
+    out << train_engine_ << '\n';
+    for (const auto& source : sources_) {
+      source->save_state(out);
+    }
+  }
+  void load_rng_state(std::istream& in) override {
+    in >> train_engine_;
+    for (auto& source : sources_) {
+      source->load_state(in);
+    }
+  }
 
   void enable_mc(bool on) { mc_mode_ = on; }
   [[nodiscard]] bool mc_enabled() const { return mc_mode_; }

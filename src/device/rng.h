@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <random>
 #include <vector>
 
@@ -71,6 +73,17 @@ class SpinRng {
   /// Reset the module's entropy stream (per-pass reproducibility of the
   /// Monte-Carlo evaluator). Calibration and bit counters are untouched.
   void reseed(std::uint64_t seed) { engine_.seed(seed); }
+
+  /// Serialize / restore the module's entropy stream mid-run (engine,
+  /// distribution carry state, bit counter) as text, so a checkpointed
+  /// training run resumes the stream bitwise. Calibration (realized
+  /// probability, bias current) is derived from config and not stored.
+  void save_stream(std::ostream& out) const {
+    out << engine_ << '\n' << uniform_ << '\n' << bits_generated_ << '\n';
+  }
+  void load_stream(std::istream& in) {
+    in >> engine_ >> uniform_ >> bits_generated_;
+  }
 
   [[nodiscard]] const SpinRngConfig& config() const { return config_; }
 

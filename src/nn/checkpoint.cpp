@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <fstream>
-#include <stdexcept>
+#include <istream>
+#include <limits>
+#include <ostream>
 #include <vector>
 
 namespace neuspin::nn {
@@ -25,73 +27,138 @@ std::vector<Tensor*> persisted_tensors(Sequential& model) {
   return tensors;
 }
 
-void write_u64(std::ofstream& out, std::uint64_t v) {
+}  // namespace
+
+std::string checkpoint_fault_name(CheckpointFault fault) {
+  switch (fault) {
+    case CheckpointFault::kIo: return "io";
+    case CheckpointFault::kBadMagic: return "bad-magic";
+    case CheckpointFault::kTruncated: return "truncated";
+    case CheckpointFault::kCountMismatch: return "count-mismatch";
+    case CheckpointFault::kShapeMismatch: return "shape-mismatch";
+    case CheckpointFault::kBadHeader: return "bad-header";
+  }
+  return "unknown";
+}
+
+CheckpointError::CheckpointError(CheckpointFault fault, const std::string& detail)
+    : std::runtime_error("checkpoint [" + checkpoint_fault_name(fault) + "]: " + detail),
+      fault_(fault) {}
+
+void write_u64(std::ostream& out, std::uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-std::uint64_t read_u64(std::ifstream& in) {
+std::uint64_t read_u64(std::istream& in, const std::string& what) {
   std::uint64_t v = 0;
   in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) {
+    throw CheckpointError(CheckpointFault::kTruncated, "stream ended reading " + what);
+  }
   return v;
 }
 
-}  // namespace
+void write_tensor(std::ostream& out, const Tensor& tensor) {
+  write_u64(out, tensor.rank());
+  for (std::size_t a = 0; a < tensor.rank(); ++a) {
+    write_u64(out, tensor.dim(a));
+  }
+  out.write(reinterpret_cast<const char*>(tensor.data().data()),
+            static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+}
+
+void read_tensor(std::istream& in, Tensor& into, const std::string& what) {
+  const std::uint64_t rank = read_u64(in, what + " rank");
+  if (rank != into.rank()) {
+    throw CheckpointError(CheckpointFault::kShapeMismatch,
+                          what + ": rank " + std::to_string(rank) + " in file, " +
+                              std::to_string(into.rank()) + " expected");
+  }
+  for (std::size_t a = 0; a < rank; ++a) {
+    const std::uint64_t dim = read_u64(in, what + " dims");
+    if (dim != into.dim(a)) {
+      throw CheckpointError(CheckpointFault::kShapeMismatch,
+                            what + ": axis " + std::to_string(a) + " is " +
+                                std::to_string(dim) + " in file, " +
+                                std::to_string(into.dim(a)) + " expected");
+    }
+  }
+  // Stage the payload so a short read never leaves `into` half-written.
+  std::vector<float> staged(into.numel());
+  in.read(reinterpret_cast<char*>(staged.data()),
+          static_cast<std::streamsize>(staged.size() * sizeof(float)));
+  if (!in) {
+    throw CheckpointError(CheckpointFault::kTruncated, "stream ended reading " + what);
+  }
+  std::copy(staged.begin(), staged.end(), into.data().begin());
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in, std::uint64_t max_bytes, const std::string& what) {
+  const std::uint64_t len = read_u64(in, what + " length");
+  if (len > max_bytes) {
+    throw CheckpointError(CheckpointFault::kBadHeader,
+                          what + ": declared length " + std::to_string(len) +
+                              " exceeds limit " + std::to_string(max_bytes));
+  }
+  std::string s(static_cast<std::size_t>(len), '\0');
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  if (!in) {
+    throw CheckpointError(CheckpointFault::kTruncated, "stream ended reading " + what);
+  }
+  return s;
+}
 
 void save_checkpoint(Sequential& model, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
-    throw std::runtime_error("save_checkpoint: cannot open " + path);
+    throw CheckpointError(CheckpointFault::kIo, "cannot open " + path + " for writing");
   }
   const auto tensors = persisted_tensors(model);
   out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
   write_u64(out, tensors.size());
   for (const Tensor* t : tensors) {
-    write_u64(out, t->rank());
-    for (std::size_t a = 0; a < t->rank(); ++a) {
-      write_u64(out, t->dim(a));
-    }
-    out.write(reinterpret_cast<const char*>(t->data().data()),
-              static_cast<std::streamsize>(t->numel() * sizeof(float)));
+    write_tensor(out, *t);
   }
   if (!out) {
-    throw std::runtime_error("save_checkpoint: write failed for " + path);
+    throw CheckpointError(CheckpointFault::kIo, "write failed for " + path);
   }
 }
 
 void load_checkpoint(Sequential& model, const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    throw std::runtime_error("load_checkpoint: cannot open " + path);
+    throw CheckpointError(CheckpointFault::kIo, "cannot open " + path);
   }
   std::uint32_t magic = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (magic != kMagic) {
-    throw std::runtime_error("load_checkpoint: " + path + " is not a NeuSpin checkpoint");
+  if (!in || magic != kMagic) {
+    throw CheckpointError(CheckpointFault::kBadMagic,
+                          path + " is not a NeuSpin checkpoint");
   }
   const auto tensors = persisted_tensors(model);
-  const std::uint64_t count = read_u64(in);
+  const std::uint64_t count = read_u64(in, "tensor count");
   if (count != tensors.size()) {
-    throw std::runtime_error("load_checkpoint: checkpoint holds " +
-                             std::to_string(count) + " tensors, model expects " +
-                             std::to_string(tensors.size()));
+    throw CheckpointError(CheckpointFault::kCountMismatch,
+                          path + " holds " + std::to_string(count) +
+                              " tensors, model expects " + std::to_string(tensors.size()));
   }
-  for (Tensor* t : tensors) {
-    const std::uint64_t rank = read_u64(in);
-    if (rank != t->rank()) {
-      throw std::runtime_error("load_checkpoint: tensor rank mismatch");
-    }
-    for (std::size_t a = 0; a < rank; ++a) {
-      const std::uint64_t dim = read_u64(in);
-      if (dim != t->dim(a)) {
-        throw std::runtime_error("load_checkpoint: tensor shape mismatch at axis " +
-                                 std::to_string(a));
-      }
-    }
-    in.read(reinterpret_cast<char*>(t->data().data()),
-            static_cast<std::streamsize>(t->numel() * sizeof(float)));
-    if (!in) {
-      throw std::runtime_error("load_checkpoint: truncated checkpoint " + path);
-    }
+  // Stage the whole file before committing anything: a fault on tensor k
+  // must not leave tensors 0..k-1 already overwritten.
+  std::vector<Tensor> staged;
+  staged.reserve(tensors.size());
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    Tensor scratch(tensors[i]->shape());
+    read_tensor(in, scratch, path + " tensor " + std::to_string(i));
+    staged.push_back(std::move(scratch));
+  }
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    std::copy(staged[i].data().begin(), staged[i].data().end(),
+              tensors[i]->data().begin());
   }
 }
 

@@ -1,22 +1,84 @@
 // Model checkpointing: save/load all learnable parameters and persistent
 // state (batch-norm running statistics) of a Sequential to a simple
-// versioned binary format. Loading validates every tensor's shape against
-// the receiving model, so architecture mismatches fail loudly instead of
-// silently corrupting weights.
+// versioned binary format ("NSP1", unchanged since it was introduced).
+//
+// Loading is hardened against hostile or damaged files: every header
+// field, shape and payload is validated BEFORE the model is touched, and
+// the whole file is staged into scratch tensors first — a truncated,
+// corrupt or wrong-architecture checkpoint throws a typed CheckpointError
+// and leaves the model exactly as it was (no silent partial load).
+//
+// The stream-level primitives (write_u64/read_u64, write_tensor/
+// read_tensor, write_string/read_string) are exposed so other subsystems
+// can embed tensors in their own checkpoint formats with the same
+// validation — train::Trainer's full-training-state checkpoints are built
+// on them.
 #pragma once
 
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "nn/model.h"
 
 namespace neuspin::nn {
 
+/// What went wrong with a checkpoint file.
+enum class CheckpointFault : std::uint8_t {
+  kIo,             ///< cannot open / OS write failure
+  kBadMagic,       ///< not a checkpoint of the expected kind
+  kTruncated,      ///< file ends before the format says it should
+  kCountMismatch,  ///< tensor count differs from the receiving model
+  kShapeMismatch,  ///< a tensor's rank/dims differ from the receiving model
+  kBadHeader,      ///< header field out of range / config fingerprint mismatch
+};
+
+[[nodiscard]] std::string checkpoint_fault_name(CheckpointFault fault);
+
+/// Typed checkpoint error. Derives from std::runtime_error so callers that
+/// only catch the old bare error keep working; new callers branch on
+/// fault() instead of parsing the message.
+class CheckpointError : public std::runtime_error {
+ public:
+  CheckpointError(CheckpointFault fault, const std::string& detail);
+
+  [[nodiscard]] CheckpointFault fault() const { return fault_; }
+
+ private:
+  CheckpointFault fault_;
+};
+
 /// Serialize parameters + state of `model` to `path`.
-/// Throws std::runtime_error on I/O failure.
+/// Throws CheckpointError (kIo) on I/O failure.
 void save_checkpoint(Sequential& model, const std::string& path);
 
-/// Restore parameters + state from `path` into `model`.
-/// Throws std::runtime_error on I/O failure or shape/count mismatch.
+/// Restore parameters + state from `path` into `model`. All-or-nothing:
+/// throws CheckpointError on any fault (I/O, bad magic, truncation,
+/// count/shape mismatch) with the model left untouched.
 void load_checkpoint(Sequential& model, const std::string& path);
+
+// ---- stream primitives (shared by the trainer's checkpoint format) ----
+
+void write_u64(std::ostream& out, std::uint64_t v);
+/// Read one u64; throws CheckpointError(kTruncated) naming `what` when the
+/// stream ends first.
+[[nodiscard]] std::uint64_t read_u64(std::istream& in, const std::string& what);
+
+/// Tensor blob: u64 rank, u64 dims, raw float payload (the NSP1 per-tensor
+/// layout).
+void write_tensor(std::ostream& out, const Tensor& tensor);
+/// Read one tensor blob into `into`: rank/dims are validated against the
+/// receiving tensor BEFORE any payload is read, and the payload is staged
+/// so a truncated file never leaves `into` half-written. `what` names the
+/// tensor in error messages.
+void read_tensor(std::istream& in, Tensor& into, const std::string& what);
+
+/// Length-prefixed byte string (u64 length + raw bytes).
+void write_string(std::ostream& out, const std::string& s);
+/// Read one length-prefixed string; `max_bytes` bounds the declared length
+/// so a corrupt header cannot demand an absurd allocation.
+[[nodiscard]] std::string read_string(std::istream& in, std::uint64_t max_bytes,
+                                      const std::string& what);
 
 }  // namespace neuspin::nn

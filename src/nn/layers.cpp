@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 #include "nn/conv_lowering.h"
 
@@ -556,5 +558,9 @@ Tensor Dropout::backward(const Tensor& grad_output) {
   }
   return grad;
 }
+
+void Dropout::save_rng_state(std::ostream& out) const { out << engine_ << '\n'; }
+
+void Dropout::load_rng_state(std::istream& in) { in >> engine_; }
 
 }  // namespace neuspin::nn

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <random>
 #include <span>
@@ -87,6 +88,18 @@ class Layer {
   virtual void reseed_rows(std::span<const std::uint64_t> row_seeds) {
     (void)row_seeds;
   }
+
+  /// Serialize the layer's persistent RNG stream state (engines, counter
+  /// streams) as text, so a checkpointed training run can resume bitwise
+  /// (train::Trainer::save/restore). Parameters and state_tensors are NOT
+  /// included — only entropy state. Deterministic layers write nothing.
+  /// A custom stochastic layer that skips these hooks still trains and
+  /// serves correctly, but a kill-and-resume of a SERIAL (shards == 1)
+  /// training run is no longer bitwise identical through it — the sharded
+  /// path reseeds every stream per step and does not depend on them.
+  virtual void save_rng_state(std::ostream& out) const { (void)out; }
+  /// Restore exactly what save_rng_state wrote (same layer type/geometry).
+  virtual void load_rng_state(std::istream& in) { (void)in; }
 
   /// Human-readable identifier for diagnostics.
   [[nodiscard]] virtual std::string name() const = 0;
@@ -317,6 +330,8 @@ class Dropout : public Layer {
   void reseed_rows(std::span<const std::uint64_t> row_seeds) override {
     row_seeds_.assign(row_seeds.begin(), row_seeds.end());
   }
+  void save_rng_state(std::ostream& out) const override;
+  void load_rng_state(std::istream& in) override;
 
   [[nodiscard]] float probability() const { return p_; }
   /// MC-Dropout keeps sampling at inference; enable_at_inference(true)

@@ -1,6 +1,8 @@
 #include "nn/model.h"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 
 #include "train/trainer.h"
@@ -99,6 +101,18 @@ void Sequential::reseed_rows(std::span<const std::uint64_t> row_seeds) {
       mixed[r] = mix_seed(row_seeds[r], i);
     }
     layers_[i]->reseed_rows(mixed);
+  }
+}
+
+void Sequential::save_rng_state(std::ostream& out) const {
+  for (const auto& layer : layers_) {
+    layer->save_rng_state(out);
+  }
+}
+
+void Sequential::load_rng_state(std::istream& in) {
+  for (auto& layer : layers_) {
+    layer->load_rng_state(in);
   }
 }
 

@@ -83,6 +83,12 @@ class Sequential {
   /// bit (see Layer::reseed_rows).
   void reseed_rows(std::span<const std::uint64_t> row_seeds);
 
+  /// Serialize / restore every layer's persistent RNG stream state (see
+  /// Layer::save_rng_state). Text format; concatenated in layer order, so
+  /// load must run on a Sequential of the same architecture.
+  void save_rng_state(std::ostream& out) const;
+  void load_rng_state(std::istream& in);
+
   [[nodiscard]] std::vector<ParamRef> parameters();
 
   /// Non-learnable persistent state of every layer (batch-norm running

@@ -65,6 +65,18 @@ class Adam : public Optimizer {
   [[nodiscard]] float lr() const { return lr_; }
   [[nodiscard]] float weight_decay() const { return weight_decay_; }
 
+  /// Optimizer-state access for training checkpoint/restore
+  /// (train::Trainer::save/restore): the bias-correction step count and
+  /// the first/second moment accumulators, one tensor per parameter in
+  /// parameter order. Restoring mismatched shapes is the caller's bug —
+  /// shapes are fixed at construction from the parameter list.
+  [[nodiscard]] std::size_t step_count() const { return t_; }
+  void set_step_count(std::size_t t) { t_ = t; }
+  [[nodiscard]] std::vector<Tensor>& first_moments() { return m_; }
+  [[nodiscard]] std::vector<Tensor>& second_moments() { return v_; }
+  [[nodiscard]] const std::vector<Tensor>& first_moments() const { return m_; }
+  [[nodiscard]] const std::vector<Tensor>& second_moments() const { return v_; }
+
  private:
   float lr_;
   float beta1_;

@@ -1,10 +1,12 @@
 #include "serve/backend.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace neuspin::serve {
@@ -30,6 +32,121 @@ double top2_margin(const nn::Tensor& probs, std::size_t b) {
 
 }  // namespace
 
+BreakerCore::BreakerCore(const BreakerConfig& config) : config_(config) {
+  if (config.failure_threshold == 0) {
+    throw std::invalid_argument("BreakerCore: failure_threshold must be >= 1");
+  }
+  if (config.half_open_probes == 0) {
+    throw std::invalid_argument("BreakerCore: half_open_probes must be >= 1");
+  }
+  if (config.latency_ceiling_us < 0.0) {
+    throw std::invalid_argument("BreakerCore: latency ceiling must be >= 0");
+  }
+}
+
+void BreakerCore::open_locked() {
+  state_ = State::kOpen;
+  cooldown_remaining_ = config_.open_cooldown;
+  probe_successes_ = 0;
+  ++times_opened_;
+  if (ctr_opened_ != nullptr) {
+    ctr_opened_->inc();
+  }
+  publish_state_locked();
+}
+
+void BreakerCore::publish_state_locked() {
+  if (gauge_state_ != nullptr) {
+    gauge_state_->set(static_cast<double>(static_cast<std::uint8_t>(state_)));
+  }
+}
+
+bool BreakerCore::allow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (cooldown_remaining_ > 0) {
+        --cooldown_remaining_;
+      }
+      if (cooldown_remaining_ > 0) {
+        return false;
+      }
+      // Cooldown elapsed: THIS forward is the half-open probe.
+      state_ = State::kHalfOpen;
+      probe_successes_ = 0;
+      publish_state_locked();
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (ctr_probes_ != nullptr) {
+        ctr_probes_->inc();
+      }
+      return true;
+  }
+  return true;
+}
+
+void BreakerCore::record_success() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kHalfOpen:
+      if (++probe_successes_ >= config_.half_open_probes) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+        publish_state_locked();
+      }
+      break;
+    case State::kOpen:
+      // A straggler that was allowed before the trip: its success says
+      // nothing about current health — the cooldown stands.
+      break;
+  }
+}
+
+void BreakerCore::record_failure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        open_locked();
+      }
+      break;
+    case State::kHalfOpen:
+      open_locked();  // the probe failed: back to a full cooldown
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+BreakerCore::State BreakerCore::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+std::uint64_t BreakerCore::times_opened() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return times_opened_;
+}
+
+void BreakerCore::bind_metrics(obs::Registry* registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (registry == nullptr) {
+    gauge_state_ = nullptr;
+    ctr_opened_ = nullptr;
+    ctr_probes_ = nullptr;
+    return;
+  }
+  gauge_state_ = &registry->gauge("serve.breaker.state");
+  ctr_opened_ = &registry->counter("serve.breaker.opened");
+  ctr_probes_ = &registry->counter("serve.breaker.probes");
+  publish_state_locked();
+}
+
 bool should_escalate(const CascadeConfig& config, double entropy, double margin) {
   if (entropy >= config.entropy_threshold) {
     return true;
@@ -51,12 +168,16 @@ CascadeBackend::CascadeBackend(std::unique_ptr<core::FidelityBackend> cheap,
     throw std::invalid_argument(
         "CascadeBackend: cheap rung costs more than the expensive one");
   }
+  if (config.breaker.enabled) {
+    breaker_ = std::make_shared<BreakerCore>(config.breaker);
+  }
 }
 
 CascadeBackend::CascadeBackend(const CascadeBackend& other)
     : config_(other.config_),
       cheap_(other.cheap_->clone()),
-      expensive_(other.expensive_->clone()) {}
+      expensive_(other.expensive_->clone()),
+      breaker_(other.breaker_) {}  // SHARED: one rung outage trips all clones
 
 void CascadeBackend::reseed(std::uint64_t seed) {
   cheap_->reseed(seed);
@@ -73,10 +194,34 @@ void CascadeBackend::set_tracer(obs::Tracer* tracer) {
   expensive_->set_tracer(tracer);
 }
 
+void CascadeBackend::inject_defects(const device::DefectRates& rates,
+                                    std::uint64_t seed) {
+  cheap_->inject_defects(rates, seed);
+  expensive_->inject_defects(rates, seed);
+}
+
+void CascadeBackend::bind_metrics(obs::Registry* registry) {
+  if (breaker_ != nullptr) {
+    breaker_->bind_metrics(registry);
+  }
+  cheap_->bind_metrics(registry);
+  expensive_->bind_metrics(registry);
+}
+
 xbar::DeltaStats CascadeBackend::delta_stats() const {
   xbar::DeltaStats stats = cheap_->delta_stats();
   stats += expensive_->delta_stats();
   return stats;
+}
+
+void CascadeBackend::degrade_rows(core::BackendBatch& out,
+                                  const std::vector<std::size_t>& rows) {
+  if (out.degraded.empty()) {
+    out.degraded.assign(out.predictions.size(), 0);
+  }
+  for (const std::size_t b : rows) {
+    out.degraded[b] = 1;
+  }
 }
 
 core::BackendBatch CascadeBackend::forward(
@@ -98,10 +243,20 @@ core::BackendBatch CascadeBackend::forward(
     }
   }
   counters_.requests += batch;
-  counters_.escalated += escalate.size();
   span.arg("rows", static_cast<double>(batch));
   span.arg("escalated", static_cast<double>(escalate.size()));
   if (escalate.empty()) {
+    return out;
+  }
+
+  // Breaker open: the expensive rung is presumed down — serve the rows
+  // that wanted it with the cheap bits, flagged degraded, and spend
+  // nothing on a rung we expect to fail. allow() also meters the
+  // half-open probes through.
+  if (breaker_ != nullptr && !breaker_->allow()) {
+    degrade_rows(out, escalate);
+    counters_.degraded += escalate.size();
+    span.arg("degraded", static_cast<double>(escalate.size()));
     return out;
   }
 
@@ -119,7 +274,36 @@ core::BackendBatch CascadeBackend::forward(
               sub.data().begin() + static_cast<std::ptrdiff_t>(j * features));
     sub_seeds[j] = request_seeds[b];
   }
-  core::BackendBatch upper = expensive_->forward(sub, sub_seeds, ledger);
+  core::BackendBatch upper;
+  const auto rung_begin = std::chrono::steady_clock::now();
+  try {
+    upper = expensive_->forward(sub, sub_seeds, ledger);
+  } catch (...) {
+    if (breaker_ == nullptr) {
+      throw;  // no breaker: a rung failure propagates exactly as before
+    }
+    // Rung failure with a breaker mounted NEVER fails the request: feed
+    // the breaker and fall back to the cheap bits, degraded.
+    breaker_->record_failure();
+    degrade_rows(out, escalate);
+    counters_.degraded += escalate.size();
+    span.arg("degraded", static_cast<double>(escalate.size()));
+    return out;
+  }
+  if (breaker_ != nullptr) {
+    // A successful-but-slow rung counts as a failure signal (brown-out);
+    // its bits are still the better answer and are served below.
+    const double rung_us = std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - rung_begin)
+                               .count();
+    if (config_.breaker.latency_ceiling_us > 0.0 &&
+        rung_us > config_.breaker.latency_ceiling_us) {
+      breaker_->record_failure();
+    } else {
+      breaker_->record_success();
+    }
+  }
+  counters_.escalated += escalate.size();
   for (std::size_t j = 0; j < escalate.size(); ++j) {
     const std::size_t b = escalate[j];
     out.predictions[b] = std::move(upper.predictions[j]);

@@ -22,15 +22,49 @@
 // final answer, are fixed by its seed alone. Escalated requests return
 // exactly the expensive backend's bits, non-escalated requests exactly
 // the cheap backend's, for any batch composition and worker count.
+// Failure handling (ROADMAP: robustness): the expensive rung is also the
+// fragile one — it is the full electrical simulation, the piece a fault
+// plan crashes and a defect burst corrupts. A circuit breaker turns rung
+// failure from "escalated requests error out" into graceful degradation:
+// while the breaker is open, would-escalate requests are answered with the
+// cheap rung's bits and flagged `degraded`, and the breaker periodically
+// lets a probe through (half-open) to detect recovery. Breaker state is
+// SHARED across clones — one rung meltdown trips every worker at once,
+// like a real dependency outage.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/fidelity.h"
 
+namespace neuspin::obs {
+class Counter;  // obs/metrics.h
+class Gauge;    // obs/metrics.h
+}  // namespace neuspin::obs
+
 namespace neuspin::serve {
+
+/// Circuit breaker over the cascade's expensive rung.
+struct BreakerConfig {
+  bool enabled = false;
+  /// Consecutive expensive-rung failures that trip the breaker open.
+  std::uint64_t failure_threshold = 5;
+  /// Treat a SUCCESSFUL expensive forward slower than this (microseconds)
+  /// as a failure signal (brown-out detection). The slow answer's bits are
+  /// still served. 0 disables the latency signal, keeping the breaker's
+  /// decisions a pure function of the failure sequence (deterministic).
+  double latency_ceiling_us = 0.0;
+  /// Denied escalations the open breaker sits out before letting a probe
+  /// through (half-open). Counted in forwards, not wall time, so an open
+  /// window is reproducible under a seeded workload.
+  std::uint64_t open_cooldown = 32;
+  /// Successful probes required to close again; one probe failure reopens.
+  std::uint64_t half_open_probes = 1;
+};
 
 /// Escalation gate: when does a cheap answer not suffice?
 struct CascadeConfig {
@@ -42,6 +76,53 @@ struct CascadeConfig {
   /// to or below this floor (a near-tie means the argmax is fragile even
   /// at low entropy). 0 disables the margin gate.
   double margin_threshold = 0.0;
+  /// Expensive-rung circuit breaker (disabled by default: a rung failure
+  /// then propagates to the caller exactly as before).
+  BreakerConfig breaker{};
+};
+
+/// The breaker's thread-safe state machine, shared (shared_ptr) by a
+/// cascade and all its clones so every worker sees one rung health.
+/// Closed -> (failure_threshold consecutive failures) -> Open ->
+/// (open_cooldown denied escalations) -> HalfOpen -> probes succeed ->
+/// Closed, or a probe fails -> Open again.
+class BreakerCore {
+ public:
+  explicit BreakerCore(const BreakerConfig& config);
+
+  enum class State : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  /// May this forward try the expensive rung? Open: counts down the
+  /// cooldown and answers no — except the transition call itself, which
+  /// becomes the half-open probe and answers yes.
+  [[nodiscard]] bool allow();
+  /// Expensive forward completed healthily.
+  void record_success();
+  /// Expensive forward threw, or completed over the latency ceiling.
+  void record_failure();
+
+  [[nodiscard]] State state() const;
+  [[nodiscard]] std::uint64_t times_opened() const;
+
+  /// Record instruments (idempotent; nullptr detaches): the
+  /// serve.breaker.state gauge (0 closed / 1 open / 2 half-open) and the
+  /// serve.breaker.opened / serve.breaker.probes counters.
+  void bind_metrics(obs::Registry* registry);
+
+ private:
+  void open_locked();
+  void publish_state_locked();
+
+  BreakerConfig config_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  std::uint64_t consecutive_failures_ = 0;
+  std::uint64_t cooldown_remaining_ = 0;
+  std::uint64_t probe_successes_ = 0;
+  std::uint64_t times_opened_ = 0;
+  obs::Gauge* gauge_state_ = nullptr;     ///< optional, not owned
+  obs::Counter* ctr_opened_ = nullptr;    ///< optional, not owned
+  obs::Counter* ctr_probes_ = nullptr;    ///< optional, not owned
 };
 
 /// Two-rung escalation chain over any pair of fidelity backends.
@@ -73,20 +154,38 @@ class CascadeBackend : public core::FidelityBackend {
   /// Propagates to both rungs, so rung-level spans carry the cascade's
   /// escalation decisions alongside the rungs' own timing.
   void set_tracer(obs::Tracer* tracer) override;
+  /// Propagates to both rungs (the cheap rung ignores it unless it has a
+  /// substrate of its own).
+  void inject_defects(const device::DefectRates& rates,
+                      std::uint64_t seed) override;
+  /// Binds the (shared) breaker core's instruments and propagates to both
+  /// rungs. Safe to call once per clone — binding is idempotent.
+  void bind_metrics(obs::Registry* registry) override;
 
   /// Escalation traffic answered by this instance since construction.
   struct Counters {
     std::uint64_t requests = 0;   ///< rows answered
     std::uint64_t escalated = 0;  ///< rows the expensive rung answered
+    /// Rows that should have escalated but got the cheap bits because the
+    /// breaker was open or the expensive rung failed.
+    std::uint64_t degraded = 0;
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
   [[nodiscard]] const CascadeConfig& config() const { return config_; }
+  /// The shared breaker core (null when the breaker is disabled).
+  [[nodiscard]] const BreakerCore* breaker() const { return breaker_.get(); }
 
  private:
+  /// Flag `rows` of `out` degraded (cheap bits, should-have-escalated).
+  static void degrade_rows(core::BackendBatch& out,
+                           const std::vector<std::size_t>& rows);
+
   CascadeConfig config_;
   std::unique_ptr<core::FidelityBackend> cheap_;
   std::unique_ptr<core::FidelityBackend> expensive_;
+  /// Shared across clones: one rung outage trips every worker.
+  std::shared_ptr<BreakerCore> breaker_;
   Counters counters_;
 };
 

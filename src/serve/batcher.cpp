@@ -82,8 +82,14 @@ std::vector<Request> Batcher::pop_batch() {
     }
     if (!queue_.empty()) {
       // Partial batch: flush once the oldest request has lingered long
-      // enough; a fill-up or close wakes us earlier through notify.
-      const auto deadline = queue_.front().enqueued + config_.max_linger;
+      // enough; a fill-up or close wakes us earlier through notify. A
+      // request deadline tighter than the linger caps the wait, so an
+      // expiring request is flushed (and failed typed) promptly instead
+      // of rotting out its linger first.
+      auto deadline = queue_.front().enqueued + config_.max_linger;
+      if (queue_.front().deadline != std::chrono::steady_clock::time_point{}) {
+        deadline = std::min(deadline, queue_.front().deadline);
+      }
       if (std::chrono::steady_clock::now() >= deadline) {
         release_pending_locked();
         return take_and_signal(lock);
@@ -105,6 +111,46 @@ std::vector<Request> Batcher::take_and_signal(std::unique_lock<std::mutex>& lock
     ready_.notify_one();
   }
   return batch;
+}
+
+void Batcher::requeue(std::vector<Request> requests) {
+  if (requests.empty()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // push_front in reverse keeps the batch's original order at the head
+    // of the queue, ahead of everything enqueued since. Deliberately no
+    // closed_ check: these requests were admitted before any shutdown and
+    // keep their right to drain.
+    for (auto it = requests.rbegin(); it != requests.rend(); ++it) {
+      queue_.push_front(std::move(*it));
+    }
+    // Immediately dispatchable — they already served their linger wait.
+    release_pending_locked();
+    if (queue_depth_gauge_ != nullptr) {
+      queue_depth_gauge_->set(static_cast<double>(queue_.size()));
+    }
+  }
+  ready_.notify_all();
+}
+
+std::vector<Request> Batcher::shed_pending() {
+  std::vector<Request> shed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shed.reserve(queue_.size());
+    while (!queue_.empty()) {
+      shed.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    releasable_ = 0;
+    if (queue_depth_gauge_ != nullptr) {
+      queue_depth_gauge_->set(0.0);
+    }
+  }
+  ready_.notify_all();
+  return shed;
 }
 
 void Batcher::close() {

@@ -55,6 +55,13 @@ struct Request {
   std::vector<float> features;  ///< one flattened input sample
   std::uint64_t seed = 0;       ///< base of this request's RNG streams
   std::chrono::steady_clock::time_point enqueued{};
+  /// Absolute completion deadline; the default-constructed time_point
+  /// means "none". Expired requests are failed with DeadlineExceeded by
+  /// the worker BEFORE any forward work is spent on them.
+  std::chrono::steady_clock::time_point deadline{};
+  /// Times this request has been re-queued after a worker fault (at most
+  /// one retry — a request that faults twice is failed to the client).
+  std::uint8_t retries = 0;
   std::promise<ServedPrediction> promise;
 };
 
@@ -78,6 +85,19 @@ class Batcher {
   /// an empty vector only when closed *and* fully drained — the consumer's
   /// signal to exit.
   [[nodiscard]] std::vector<Request> pop_batch();
+
+  /// Put already-admitted requests back at the FRONT of the queue in their
+  /// original order (worker-fault recovery: the supervisor or a crashed
+  /// worker returns its in-flight batch so another worker retries it).
+  /// Unlike push, this works after close() — the requests were admitted
+  /// before the shutdown and still drain. Requeued requests are
+  /// immediately dispatchable (no second linger wait).
+  void requeue(std::vector<Request> requests);
+
+  /// Remove and return every pending request (fast-shutdown path: the
+  /// caller fails them typed instead of serving them). Queue is empty on
+  /// return; blocked consumers are woken.
+  [[nodiscard]] std::vector<Request> shed_pending();
 
   /// Stop accepting pushes and wake every blocked consumer. Pending
   /// requests remain poppable so workers can drain them.

@@ -1,0 +1,174 @@
+#include "serve/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "nn/model.h"
+#include "obs/metrics.h"
+#include "serve/runtime.h"
+
+namespace neuspin::serve {
+
+namespace {
+
+/// Uniform in [0, 1) from one mixed 64-bit draw (53 mantissa bits).
+double to_unit(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+InjectedFault::InjectedFault(std::uint64_t ticket)
+    : std::runtime_error("InjectedFault: seeded crash at forward ticket " +
+                         std::to_string(ticket)),
+      ticket_(ticket) {}
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan) {
+  if (plan.crash_p < 0.0 || plan.stall_p < 0.0 || plan.defect_p < 0.0 ||
+      plan.crash_p + plan.stall_p + plan.defect_p > 1.0) {
+    throw std::invalid_argument(
+        "FaultInjector: fault probabilities must be non-negative and sum to "
+        "at most 1");
+  }
+  if (plan.stall.count() < 0) {
+    throw std::invalid_argument("FaultInjector: stall must be non-negative");
+  }
+  plan.defect_rates.validate();
+}
+
+FaultInjector::Decision FaultInjector::next() {
+  Decision decision;
+  decision.ticket = next_ticket_.fetch_add(1);
+  if (!plan_.enabled || decision.ticket < plan_.warmup ||
+      decision.ticket >= plan_.stop_after) {
+    return decision;
+  }
+  const std::uint64_t mixed = nn::mix_seed(plan_.seed, decision.ticket);
+  const double u = to_unit(mixed);
+  if (u < plan_.crash_p) {
+    decision.action = Action::kCrash;
+    crashes_.fetch_add(1);
+    if (auto* c = ctr_crashes_.load()) {
+      c->inc();
+    }
+  } else if (u < plan_.crash_p + plan_.stall_p) {
+    decision.action = Action::kStall;
+    stalls_.fetch_add(1);
+    if (auto* c = ctr_stalls_.load()) {
+      c->inc();
+    }
+  } else if (u < plan_.crash_p + plan_.stall_p + plan_.defect_p) {
+    decision.action = Action::kDefectBurst;
+    // An independent derivation (not the band draw itself) so the burst's
+    // defect placement does not correlate with the fault selection.
+    decision.burst_seed = nn::mix_seed(mixed, 0x6275727374ull);  // "burst"
+    bursts_.fetch_add(1);
+    if (auto* c = ctr_bursts_.load()) {
+      c->inc();
+    }
+  }
+  return decision;
+}
+
+void FaultInjector::bind_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    ctr_crashes_.store(nullptr);
+    ctr_stalls_.store(nullptr);
+    ctr_bursts_.store(nullptr);
+    return;
+  }
+  ctr_crashes_.store(&registry->counter("serve.fault.crashes"));
+  ctr_stalls_.store(&registry->counter("serve.fault.stalls"));
+  ctr_bursts_.store(&registry->counter("serve.fault.defect_bursts"));
+}
+
+FaultyBackend::FaultyBackend(std::unique_ptr<core::FidelityBackend> inner,
+                             std::shared_ptr<FaultInjector> injector)
+    : inner_(std::move(inner)), injector_(std::move(injector)) {
+  if (inner_ == nullptr || injector_ == nullptr) {
+    throw std::invalid_argument(
+        "FaultyBackend: inner backend and injector are required");
+  }
+}
+
+core::BackendBatch FaultyBackend::forward(
+    const nn::Tensor& inputs, std::span<const std::uint64_t> request_seeds,
+    energy::EnergyLedger* ledger) {
+  const FaultInjector::Decision decision = injector_->next();
+  switch (decision.action) {
+    case FaultInjector::Action::kCrash:
+      throw InjectedFault(decision.ticket);
+    case FaultInjector::Action::kStall:
+      std::this_thread::sleep_for(injector_->plan().stall);
+      break;
+    case FaultInjector::Action::kDefectBurst:
+      inner_->inject_defects(injector_->plan().defect_rates,
+                             decision.burst_seed);
+      break;
+    case FaultInjector::Action::kNone:
+      break;
+  }
+  return inner_->forward(inputs, request_seeds, ledger);
+}
+
+std::unique_ptr<core::FidelityBackend> FaultyBackend::clone() const {
+  // Clone the substrate, SHARE the injector: the fault schedule is one
+  // global ticket stream across every worker replica.
+  return std::make_unique<FaultyBackend>(inner_->clone(), injector_);
+}
+
+std::string FaultyBackend::name() const {
+  return "faulty(" + inner_->name() + ")";
+}
+
+void FaultyBackend::set_tracer(obs::Tracer* tracer) {
+  core::FidelityBackend::set_tracer(tracer);
+  inner_->set_tracer(tracer);
+}
+
+void FaultyBackend::bind_metrics(obs::Registry* registry) {
+  injector_->bind_metrics(registry);
+  inner_->bind_metrics(registry);
+}
+
+ServedPrediction predict_with_retry(Runtime& runtime,
+                                    const std::vector<float>& features,
+                                    std::uint64_t request_seed,
+                                    const RetryPolicy& policy) {
+  if (policy.max_attempts == 0) {
+    throw std::invalid_argument("predict_with_retry: need at least one attempt");
+  }
+  obs::Counter& attempts_ctr = runtime.metrics().counter("serve.retry.attempts");
+  double backoff_us =
+      std::chrono::duration<double, std::micro>(policy.base_backoff).count();
+  const double ceiling_us =
+      std::chrono::duration<double, std::micro>(policy.max_backoff).count();
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      // Same request seed on every attempt: the eventual answer carries
+      // the exact bits the un-shed submission would have.
+      return runtime.submit(features, request_seed).get();
+    } catch (const OverloadError& error) {
+      if (error.reason() != ShedReason::kQueueFull ||
+          attempt + 1 >= policy.max_attempts) {
+        throw;  // kShutdown never retries; attempts exhausted rethrows
+      }
+      attempts_ctr.inc();
+      // Honor the server's hint when it asks for more than our schedule,
+      // then jitter deterministically so a retry storm from many clients
+      // with distinct seeds decorrelates yet each client replays exactly.
+      double wait_us = std::min(ceiling_us, std::max(backoff_us, error.retry_after_us()));
+      const double u =
+          to_unit(nn::mix_seed(policy.seed, attempt)) * 2.0 - 1.0;  // [-1, 1)
+      wait_us = std::max(0.0, wait_us * (1.0 + policy.jitter * u));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::micro>(wait_us));
+      backoff_us = std::min(ceiling_us, backoff_us * policy.multiplier);
+    }
+  }
+}
+
+}  // namespace neuspin::serve

@@ -1,0 +1,195 @@
+// Deterministic fault injection and client-side retry for the serving
+// runtime (ROADMAP: robustness).
+//
+// Chaos testing a nondeterministic server proves nothing: a failure seen
+// once under random faults cannot be replayed, so it cannot be debugged or
+// pinned in a test. This module makes the fault schedule itself part of
+// the determinism contract. Every fault decision is a pure function of
+// (FaultPlan::seed, global forward ticket): forward call n across ALL
+// worker replicas draws mix_seed(seed, n) and compares the resulting
+// uniform against the plan's probabilities. Same plan, same workload →
+// same crashes, same stalls, same defect bursts, regardless of which
+// worker happens to draw ticket n. Combined with the per-request seed
+// contract (a request's bits do not depend on batch or worker), a chaos
+// run is exactly replayable AND every completed answer is bitwise equal
+// to the fault-free run's.
+//
+// The pieces:
+//  * FaultPlan / FaultInjector — the seeded schedule and its shared,
+//    thread-safe ticket counter (shared across backend clones so the
+//    schedule is global, not per-worker).
+//  * FaultyBackend — a FidelityBackend decorator that consults the
+//    injector before delegating: it may throw InjectedFault (simulated
+//    worker crash), sleep (stall, for supervision testing), or inject a
+//    defect burst into the wrapped substrate.
+//  * RetryPolicy / predict_with_retry — the client half: exponential
+//    backoff with deterministic jitter honoring the runtime's
+//    retry_after_us hint, retrying ONLY load shedding (kQueueFull).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/fidelity.h"
+#include "device/defects.h"
+#include "serve/policy.h"
+
+namespace neuspin::obs {
+class Counter;   // obs/metrics.h
+class Registry;  // obs/metrics.h
+}  // namespace neuspin::obs
+
+namespace neuspin::serve {
+
+class Runtime;  // serve/runtime.h
+
+/// A fault injected into a forward call by FaultyBackend (the simulated
+/// worker crash). Retryable: the runtime re-queues the victim batch once.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(std::uint64_t ticket);
+  [[nodiscard]] std::uint64_t ticket() const { return ticket_; }
+
+ private:
+  std::uint64_t ticket_;
+};
+
+/// The seeded fault schedule. Each forward call takes one global ticket n
+/// and draws u = uniform(mix_seed(seed, n)); the bands [0, crash_p),
+/// [crash_p, crash_p + stall_p), [crash_p + stall_p, + defect_p) select
+/// the fault. Probabilities must sum to at most 1.
+struct FaultPlan {
+  bool enabled = false;
+  std::uint64_t seed = 1;  ///< schedule seed — same seed, same schedule
+  double crash_p = 0.0;    ///< throw InjectedFault before forwarding
+  double stall_p = 0.0;    ///< sleep `stall` before forwarding
+  std::chrono::microseconds stall{2000};
+  double defect_p = 0.0;   ///< inject `defect_rates` into the substrate
+  device::DefectRates defect_rates{};
+  /// Tickets below this never fault (let the system warm up).
+  std::uint64_t warmup = 0;
+  /// Tickets at or above this never fault (gives benches a clean recovery
+  /// window at the end of a chaos run).
+  std::uint64_t stop_after = ~0ull;
+};
+
+/// Thread-safe realization of a FaultPlan: the shared ticket counter plus
+/// fault tallies. One injector is shared (shared_ptr) by a FaultyBackend
+/// and all its clones, so the schedule is global per plan — which worker
+/// draws ticket n is a scheduling accident, but whether ticket n faults
+/// is not.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  /// What one forward call should suffer.
+  enum class Action : std::uint8_t { kNone, kCrash, kStall, kDefectBurst };
+
+  struct Decision {
+    Action action = Action::kNone;
+    std::uint64_t ticket = 0;
+    /// Seed of a defect burst (derived from the schedule stream).
+    std::uint64_t burst_seed = 0;
+  };
+
+  /// Take the next ticket and decide its fate. Pure function of
+  /// (plan.seed, ticket) apart from the counter increment itself.
+  [[nodiscard]] Decision next();
+
+  /// Record instruments (idempotent; nullptr detaches). Counters:
+  /// serve.fault.crashes / serve.fault.stalls / serve.fault.defect_bursts.
+  void bind_metrics(obs::Registry* registry);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] std::uint64_t tickets() const { return next_ticket_.load(); }
+  [[nodiscard]] std::uint64_t crashes() const { return crashes_.load(); }
+  [[nodiscard]] std::uint64_t stalls() const { return stalls_.load(); }
+  [[nodiscard]] std::uint64_t bursts() const { return bursts_.load(); }
+
+ private:
+  FaultPlan plan_;
+  std::atomic<std::uint64_t> next_ticket_{0};
+  std::atomic<std::uint64_t> crashes_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<std::uint64_t> bursts_{0};
+  std::atomic<obs::Counter*> ctr_crashes_{nullptr};
+  std::atomic<obs::Counter*> ctr_stalls_{nullptr};
+  std::atomic<obs::Counter*> ctr_bursts_{nullptr};
+};
+
+/// FidelityBackend decorator that consults a shared FaultInjector before
+/// every forward. Clones clone the inner backend but SHARE the injector,
+/// so the fault schedule spans all worker replicas. Stalls sleep on the
+/// calling (worker) thread; crashes throw InjectedFault; defect bursts
+/// call inject_defects on the wrapped instance only (clones keep their
+/// own substrate, like real per-chip damage).
+class FaultyBackend : public core::FidelityBackend {
+ public:
+  FaultyBackend(std::unique_ptr<core::FidelityBackend> inner,
+                std::shared_ptr<FaultInjector> injector);
+
+  [[nodiscard]] core::BackendBatch forward(
+      const nn::Tensor& inputs, std::span<const std::uint64_t> request_seeds,
+      energy::EnergyLedger* ledger) override;
+  [[nodiscard]] std::unique_ptr<core::FidelityBackend> clone() const override;
+  void reseed(std::uint64_t seed) override { inner_->reseed(seed); }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double cost_hint() const override { return inner_->cost_hint(); }
+  [[nodiscard]] xbar::DeltaStats delta_stats() const override {
+    return inner_->delta_stats();
+  }
+  void set_tracer(obs::Tracer* tracer) override;
+  void inject_defects(const device::DefectRates& rates,
+                      std::uint64_t seed) override {
+    inner_->inject_defects(rates, seed);
+  }
+  void bind_metrics(obs::Registry* registry) override;
+
+  [[nodiscard]] const FaultInjector& injector() const { return *injector_; }
+
+ private:
+  std::unique_ptr<core::FidelityBackend> inner_;
+  std::shared_ptr<FaultInjector> injector_;
+};
+
+/// Where the runtime mounts the fault decorator.
+enum class FaultSite : std::uint8_t {
+  /// Wrap the whole worker backend — forwards crash/stall at the worker
+  /// seam, exercising re-queue and supervision.
+  kWorker,
+  /// Wrap only the cascade's expensive rung — exercises the circuit
+  /// breaker's degrade/half-open path. Requires BackendKind::kCascade.
+  kExpensiveRung,
+};
+
+/// Client retry schedule for load-shed (OverloadError kQueueFull)
+/// rejections: exponential backoff with deterministic jitter, floored by
+/// the server's retry_after_us hint.
+struct RetryPolicy {
+  std::size_t max_attempts = 3;  ///< total tries, including the first
+  std::chrono::microseconds base_backoff{200};
+  std::chrono::microseconds max_backoff{50000};
+  double multiplier = 2.0;
+  /// Backoff is scaled by 1 + jitter * u, u deterministic in [-1, 1] from
+  /// mix_seed(seed, attempt).
+  double jitter = 0.1;
+  std::uint64_t seed = 0x72657472ull;
+};
+
+/// Submit through `runtime` with retries: kQueueFull rejections back off
+/// and retry (same request seed, so the eventual answer is bitwise the
+/// no-shed answer); every other failure — kShutdown, DeadlineExceeded,
+/// invalid input — propagates immediately. Throws the last OverloadError
+/// when the attempts are exhausted. Returns the settled prediction.
+[[nodiscard]] ServedPrediction predict_with_retry(
+    Runtime& runtime, const std::vector<float>& features,
+    std::uint64_t request_seed, const RetryPolicy& policy = {});
+
+}  // namespace neuspin::serve

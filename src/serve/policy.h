@@ -43,6 +43,11 @@ struct ServedPrediction {
   /// answer carries the expensive backend's bits). Always false on the
   /// single-fidelity backends.
   bool escalated = false;
+  /// Cascade serving under failure: the request SHOULD have escalated but
+  /// the expensive rung was circuit-broken (or threw), so the answer
+  /// carries the cheap rung's bits. Clients treating escalated answers as
+  /// higher-fidelity must check this flag. Always false outside a cascade.
+  bool degraded = false;
 };
 
 /// How the policy scores a request before thresholding.

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "core/bayesian.h"
@@ -57,6 +58,14 @@ OverloadError::OverloadError(ShedReason reason, double retry_after_us,
       retry_after_us_(retry_after_us),
       queue_depth_(queue_depth) {}
 
+DeadlineExceeded::DeadlineExceeded(std::uint64_t request_id, double overrun_us)
+    : std::runtime_error("Runtime: request " + std::to_string(request_id) +
+                         " missed its deadline by ~" +
+                         std::to_string(static_cast<long long>(overrun_us)) +
+                         "us"),
+      request_id_(request_id),
+      overrun_us_(overrun_us) {}
+
 std::uint64_t Runtime::request_stream_seed(std::uint64_t base_seed,
                                            std::uint64_t request_index) {
   return nn::mix_seed(base_seed, request_index);
@@ -99,16 +108,36 @@ std::unique_ptr<core::FidelityBackend> Runtime::make_backend(
     core::BuiltModel staging = model.clone();
     return std::make_unique<core::TiledBackend>(staging.net, backend);
   };
+  std::unique_ptr<core::FidelityBackend> base;
   switch (config_.backend) {
     case Backend::kBehavioral:
-      return behavioral();
+      base = behavioral();
+      break;
     case Backend::kTiled:
-      return tiled();
-    case Backend::kCascade:
-      return std::make_unique<CascadeBackend>(behavioral(), tiled(),
+      base = tiled();
+      break;
+    case Backend::kCascade: {
+      std::unique_ptr<core::FidelityBackend> expensive = tiled();
+      if (injector_ != nullptr &&
+          config_.fault_site == FaultSite::kExpensiveRung) {
+        // Faults land only on the expensive rung — the breaker's chaos
+        // diet: the cheap rung stays healthy to degrade onto.
+        expensive = std::make_unique<FaultyBackend>(std::move(expensive),
+                                                    injector_);
+      }
+      base = std::make_unique<CascadeBackend>(behavioral(),
+                                              std::move(expensive),
                                               config_.cascade);
+      break;
+    }
   }
-  throw std::invalid_argument("Runtime: unknown backend");
+  if (base == nullptr) {
+    throw std::invalid_argument("Runtime: unknown backend");
+  }
+  if (injector_ != nullptr && config_.fault_site == FaultSite::kWorker) {
+    base = std::make_unique<FaultyBackend>(std::move(base), injector_);
+  }
+  return base;
 }
 
 Runtime::Runtime(const core::BuiltModel& model, const RuntimeConfig& config)
@@ -122,6 +151,17 @@ Runtime::Runtime(const core::BuiltModel& model, const RuntimeConfig& config)
   if (config_.latency_window == 0) {
     throw std::invalid_argument("Runtime: latency_window must be at least 1");
   }
+  if (config_.fault.enabled && config_.fault_site == FaultSite::kExpensiveRung &&
+      config_.backend != Backend::kCascade) {
+    throw std::invalid_argument(
+        "Runtime: FaultSite::kExpensiveRung requires the cascade backend");
+  }
+  if (config_.supervision.enabled &&
+      (config_.supervision.heartbeat.count() <= 0 ||
+       config_.supervision.stall_timeout.count() <= 0)) {
+    throw std::invalid_argument(
+        "Runtime: supervision heartbeat and stall_timeout must be positive");
+  }
   // Hot-path instruments, resolved once: recording is then a relaxed
   // atomic op per event, no registry lock and no stats mutex.
   ctr_requests_ = &metrics_.counter("serve.requests");
@@ -132,6 +172,12 @@ Runtime::Runtime(const core::BuiltModel& model, const RuntimeConfig& config)
   ctr_shed_queue_full_ = &metrics_.counter("serve.shed.queue_full");
   ctr_shed_shutdown_ = &metrics_.counter("serve.shed.shutdown");
   ctr_escalated_ = &metrics_.counter("serve.escalated");
+  ctr_degraded_ = &metrics_.counter("serve.degraded");
+  ctr_deadline_ = &metrics_.counter("serve.deadline_expired");
+  ctr_requeued_ = &metrics_.counter("serve.requeued");
+  ctr_restarts_ = &metrics_.counter("serve.worker.restarts");
+  ctr_worker_stalls_ = &metrics_.counter("serve.worker.stalls");
+  ctr_drain_shed_ = &metrics_.counter("serve.drain.shed");
   gauge_energy_total_ = &metrics_.gauge("serve.energy_pj.total");
   hist_latency_total_ = &metrics_.histogram("serve.latency.total_us");
   hist_latency_queue_ = &metrics_.histogram("serve.latency.queue_us");
@@ -149,12 +195,22 @@ Runtime::Runtime(const core::BuiltModel& model, const RuntimeConfig& config)
         core::inference_census(model.arch, model.method, census);
     census_energy_pj_ = ledger.total_energy(energy::default_energy_params());
   }
+  if (config_.fault.enabled) {
+    injector_ = std::make_shared<FaultInjector>(config_.fault);
+  }
   // Worker 0's backend is built from the model; the rest are clone()s of
   // its programmed state — identical bits without re-running programming.
   backends_.reserve(workers);
   backends_.push_back(make_backend(model));
   for (std::size_t w = 1; w < workers; ++w) {
     backends_.push_back(backends_.front()->clone());
+  }
+  if (config_.fault.enabled || config_.supervision.enabled) {
+    // Crash/stall recovery re-clones a faulted worker's backend from this
+    // pristine replica (a FaultyBackend clone shares the global injector,
+    // so a restarted worker stays on the fault schedule). Only kept when
+    // restarts can happen — it costs a replica of memory.
+    prototype_ = backends_.front()->clone();
   }
   if (tracer_.enabled()) {
     // clone() does not propagate the tracer; attach it per replica so
@@ -163,10 +219,22 @@ Runtime::Runtime(const core::BuiltModel& model, const RuntimeConfig& config)
       backend->set_tracer(&tracer_);
     }
   }
+  // clone() does not propagate metrics either; bind per replica (shared
+  // cores — the breaker, the injector — bind idempotently).
+  for (auto& backend : backends_) {
+    backend->bind_metrics(&metrics_);
+  }
+  inflight_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    inflight_.push_back(std::make_unique<InFlight>());
+  }
   threads_.reserve(workers);
   try {
     for (std::size_t w = 0; w < workers; ++w) {
       threads_.emplace_back([this, w] { worker_loop(w); });
+    }
+    if (config_.supervision.enabled) {
+      supervisor_ = std::thread([this] { supervisor_loop(); });
     }
   } catch (...) {
     // Thread spawn failed partway: release the already-started workers
@@ -184,40 +252,100 @@ Runtime::Runtime(const core::BuiltModel& model, const RuntimeConfig& config)
 
 Runtime::~Runtime() { shutdown(); }
 
-void Runtime::shutdown() {
+void Runtime::shed_queue() {
+  std::vector<Request> shed = batcher_.shed_pending();
+  if (shed.empty()) {
+    return;
+  }
+  const std::size_t depth = shed.size();
+  for (auto& request : shed) {
+    ctr_shed_->inc();
+    ctr_shed_shutdown_->inc();
+    ctr_drain_shed_->inc();
+    request.promise.set_exception(std::make_exception_ptr(
+        OverloadError(ShedReason::kShutdown, 0.0, depth)));
+  }
+}
+
+void Runtime::shutdown() { shutdown(ShutdownOptions{}); }
+
+void Runtime::shutdown(const ShutdownOptions& options) {
   std::lock_guard<std::mutex> lock(shutdown_mutex_);
   if (stopped_) {
     return;
   }
   stopped_ = true;
-  batcher_.close();
+  if (!options.drain) {
+    // Fast shutdown: the backlog fails typed instead of being served.
+    // Batches already on workers still finish (a promise, once popped,
+    // is the worker's to settle). Shed BEFORE close — close() releases
+    // every pending request to the blocked workers, so shedding first
+    // keeps "queued at shutdown" deterministic — then sweep once more
+    // for any submission that raced between the two.
+    shed_queue();
+    batcher_.close();
+    shed_queue();
+  } else if (options.drain_timeout.count() > 0) {
+    batcher_.close();
+    // Bounded drain: give the workers the budget, then shed the rest.
+    const auto give_up =
+        std::chrono::steady_clock::now() + options.drain_timeout;
+    while (batcher_.pending() > 0 &&
+           std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    shed_queue();
+  } else {
+    batcher_.close();  // full drain: workers serve everything admitted
+  }
   for (auto& thread : threads_) {
     if (thread.joinable()) {
       thread.join();
     }
+  }
+  // Supervisor stops last: a stall during the drain still gets rescued.
+  {
+    std::lock_guard<std::mutex> stop(supervisor_mutex_);
+    supervisor_stop_ = true;
+  }
+  supervisor_cv_.notify_all();
+  if (supervisor_.joinable()) {
+    supervisor_.join();
   }
 }
 
 std::future<ServedPrediction> Runtime::submit(std::vector<float> features) {
   const std::uint64_t id = next_request_.fetch_add(1);
   return submit_with_id(id, std::move(features),
-                        request_stream_seed(config_.seed, id));
+                        request_stream_seed(config_.seed, id),
+                        config_.default_deadline);
 }
 
 std::future<ServedPrediction> Runtime::submit(std::vector<float> features,
                                               std::uint64_t request_seed) {
   return submit_with_id(next_request_.fetch_add(1), std::move(features),
-                        request_seed);
+                        request_seed, config_.default_deadline);
+}
+
+std::future<ServedPrediction> Runtime::submit(std::vector<float> features,
+                                              std::uint64_t request_seed,
+                                              std::chrono::microseconds deadline) {
+  return submit_with_id(next_request_.fetch_add(1), std::move(features),
+                        request_seed, deadline);
 }
 
 std::future<ServedPrediction> Runtime::submit_with_id(std::uint64_t id,
                                                       std::vector<float> features,
-                                                      std::uint64_t request_seed) {
+                                                      std::uint64_t request_seed,
+                                                      std::chrono::microseconds deadline) {
   Request request;
   request.id = id;
   request.features = std::move(features);
   request.seed = request_seed;
   request.enqueued = std::chrono::steady_clock::now();
+  if (deadline.count() > 0) {
+    request.deadline = request.enqueued + deadline;
+  }
   std::future<ServedPrediction> future = request.promise.get_future();
   const std::size_t depth = batcher_.pending();
   if (config_.max_queue_depth > 0 && depth >= config_.max_queue_depth) {
@@ -269,6 +397,11 @@ RuntimeStats Runtime::stats() const {
   out.shed_queue_full = ctr_shed_queue_full_->value();
   out.shed_shutdown = ctr_shed_shutdown_->value();
   out.escalated = ctr_escalated_->value();
+  out.degraded = ctr_degraded_->value();
+  out.deadline_expired = ctr_deadline_->value();
+  out.requeued = ctr_requeued_->value();
+  out.worker_restarts = ctr_restarts_->value();
+  out.worker_stalls = ctr_worker_stalls_->value();
   out.mean_batch_size =
       out.batches == 0 ? 0.0
                        : static_cast<double>(out.requests) /
@@ -298,7 +431,72 @@ void Runtime::worker_loop(std::size_t worker_index) {
       return;  // closed and drained
     }
     ctr_batches_->inc();
-    serve_batch(worker_index, batch);
+    if (!serve_batch(worker_index, std::move(batch))) {
+      // The backend faulted (crash) or was deposed mid-stall: replace it
+      // before touching another batch. Any requests it stranded were
+      // already re-queued, so recovery costs a clone, never a request.
+      restart_backend(worker_index);
+    }
+  }
+}
+
+void Runtime::restart_backend(std::size_t worker_index) {
+  if (prototype_ == nullptr) {
+    return;  // no restart capability configured; keep the old instance
+  }
+  backends_[worker_index] = prototype_->clone();
+  if (tracer_.enabled()) {
+    backends_[worker_index]->set_tracer(&tracer_);
+  }
+  backends_[worker_index]->bind_metrics(&metrics_);
+  ctr_restarts_->inc();
+}
+
+void Runtime::supervisor_loop() {
+  std::unique_lock<std::mutex> lock(supervisor_mutex_);
+  for (;;) {
+    supervisor_cv_.wait_for(lock, config_.supervision.heartbeat);
+    if (supervisor_stop_) {
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& slot_ptr : inflight_) {
+      InFlight& slot = *slot_ptr;
+      std::vector<Request> rescue;
+      {
+        std::lock_guard<std::mutex> slot_lock(slot.mutex);
+        if (!slot.busy || slot.deposed ||
+            now - slot.started < config_.supervision.stall_timeout) {
+          continue;
+        }
+        // Stalled: depose the worker and steal its unanswered requests.
+        // done[i] = 1 transfers promise ownership to us, so the worker —
+        // if it ever wakes inside the forward — publishes nothing.
+        for (std::size_t i = 0; i < slot.requests.size(); ++i) {
+          if (slot.done[i] != 0) {
+            continue;
+          }
+          slot.done[i] = 1;
+          Request& request = slot.requests[i];
+          if (request.retries == 0) {
+            request.retries = 1;
+            rescue.push_back(std::move(request));
+          } else {
+            // Stranded twice: stop gambling worker time on it.
+            request.promise.set_exception(
+                std::make_exception_ptr(std::runtime_error(
+                    "Runtime: request abandoned after repeated worker "
+                    "stalls")));
+          }
+        }
+        slot.deposed = true;
+        ctr_worker_stalls_->inc();
+      }
+      if (!rescue.empty()) {
+        ctr_requeued_->inc(rescue.size());
+        batcher_.requeue(std::move(rescue));
+      }
+    }
   }
 }
 
@@ -308,13 +506,15 @@ void Runtime::publish_prediction(Request& request,
                                  std::chrono::steady_clock::time_point compute_begin,
                                  std::chrono::steady_clock::time_point compute_end,
                                  double compute_share_us, double energy_pj,
-                                 bool escalated, std::size_t batch_size,
+                                 bool escalated, bool degraded,
+                                 std::size_t batch_size,
                                  std::size_t worker_index) {
   const double queue_us = to_us(popped - request.enqueued);
   const double total_us = to_us(compute_end - request.enqueued);
   ServedPrediction served;
   served.request_id = request.id;
   served.escalated = escalated;
+  served.degraded = degraded;
   served.probs.assign(prediction.mean_probs.data().begin(),
                       prediction.mean_probs.data().end());
   served.predicted_class = prediction.predicted_class().front();
@@ -348,6 +548,9 @@ void Runtime::publish_prediction(Request& request,
   (served.accepted ? ctr_accepted_ : ctr_abstained_)->inc();
   if (escalated) {
     ctr_escalated_->inc();
+  }
+  if (degraded) {
+    ctr_degraded_->inc();
   }
   gauge_energy_total_->add(served.energy_pj);
   hist_latency_total_->record(total_us);
@@ -388,44 +591,103 @@ void Runtime::fold_energy(const energy::EnergyLedger& ledger) {
   }
 }
 
-void Runtime::serve_batch(std::size_t worker_index, std::vector<Request>& batch) {
+namespace {
+
+/// Is a group failure worth a (single) retry on a fresh backend? Shape
+/// and argument errors are deterministic — retrying replays them — so
+/// they fail fast; everything else (InjectedFault, backend exceptions)
+/// is treated as a worker fault.
+bool retryable_failure(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::invalid_argument&) {
+    return false;
+  } catch (...) {
+    return true;
+  }
+}
+
+}  // namespace
+
+bool Runtime::serve_batch(std::size_t worker_index, std::vector<Request> batch) {
   const auto popped = std::chrono::steady_clock::now();
+  const std::size_t batch_rows = batch.size();
   core::FidelityBackend& backend = *backends_[worker_index];
+  InFlight& slot = *inflight_[worker_index];
   // Worker-track span covering the whole pop (rung spans from the backend
   // nest inside it on the same thread track).
   obs::ScopedSpan batch_span(&tracer_, "batch", "serve");
-  batch_span.arg("rows", static_cast<double>(batch.size()));
+  batch_span.arg("rows", static_cast<double>(batch_rows));
   batch_span.arg("worker", static_cast<double>(worker_index));
   // Group by feature count, preserving arrival order inside each group: a
   // wrong-sized submission then fails with its own shape error without
   // poisoning well-formed companions in the same pop.
   std::vector<std::pair<std::size_t, std::vector<std::size_t>>> groups;
-  for (std::size_t r = 0; r < batch.size(); ++r) {
-    const std::size_t f = batch[r].features.size();
-    auto it = std::find_if(groups.begin(), groups.end(),
-                           [f](const auto& g) { return g.first == f; });
-    if (it == groups.end()) {
-      groups.push_back({f, {r}});
-    } else {
-      it->second.push_back(r);
+  {
+    // Park the batch in the worker's in-flight slot so the supervisor can
+    // see (and rescue) it, and fail already-expired deadlines before any
+    // forward work. done[i] is the promise-ownership bit from here on.
+    std::lock_guard<std::mutex> slot_lock(slot.mutex);
+    slot.requests = std::move(batch);
+    slot.done.assign(slot.requests.size(), 0);
+    slot.started = popped;
+    slot.busy = true;
+    slot.deposed = false;
+    for (std::size_t r = 0; r < slot.requests.size(); ++r) {
+      Request& request = slot.requests[r];
+      if (request.deadline != std::chrono::steady_clock::time_point{} &&
+          popped >= request.deadline) {
+        slot.done[r] = 1;
+        ctr_deadline_->inc();
+        request.promise.set_exception(std::make_exception_ptr(
+            DeadlineExceeded(request.id, to_us(popped - request.deadline))));
+        continue;
+      }
+      const std::size_t f = request.features.size();
+      auto it = std::find_if(groups.begin(), groups.end(),
+                             [f](const auto& g) { return g.first == f; });
+      if (it == groups.end()) {
+        groups.push_back({f, {r}});
+      } else {
+        it->second.push_back(r);
+      }
     }
   }
 
+  bool healthy = true;
   for (auto& [features, members] : groups) {
-    // Count of members whose promise is already satisfied: on an error we
-    // must fail only the remainder — set_exception on a fulfilled promise
-    // would itself throw and unwind the worker thread.
-    std::size_t fulfilled = 0;
+    std::vector<std::size_t> live;  ///< members still unsettled at build time
+    std::exception_ptr error;
+    std::optional<core::BackendBatch> answered;
+    std::chrono::steady_clock::time_point compute_begin;
+    std::chrono::steady_clock::time_point compute_end;
     try {
       const std::size_t rows = members.size();
       nn::Tensor inputs({rows, features});
       std::vector<std::uint64_t> seeds(rows);
-      for (std::size_t b = 0; b < rows; ++b) {
-        const Request& request = batch[members[b]];
-        std::copy(request.features.begin(), request.features.end(),
-                  inputs.data().begin() +
-                      static_cast<std::ptrdiff_t>(b * features));
-        seeds[b] = request.seed;
+      {
+        // Snapshot features/seeds under the lock, skipping members the
+        // supervisor already rescued (their Request slots are moved-from).
+        std::lock_guard<std::mutex> slot_lock(slot.mutex);
+        for (const std::size_t r : members) {
+          if (slot.done[r] == 0) {
+            live.push_back(r);
+          }
+        }
+        if (live.size() != rows) {
+          inputs = nn::Tensor({live.size(), features});
+          seeds.resize(live.size());
+        }
+        for (std::size_t b = 0; b < live.size(); ++b) {
+          const Request& request = slot.requests[live[b]];
+          std::copy(request.features.begin(), request.features.end(),
+                    inputs.data().begin() +
+                        static_cast<std::ptrdiff_t>(b * features));
+          seeds[b] = request.seed;
+        }
+      }
+      if (live.empty()) {
+        continue;
       }
       // Per-component energy fold: hand the backend a batch ledger when it
       // has electrical events to merge (the behavioural path has none —
@@ -434,37 +696,92 @@ void Runtime::serve_batch(std::size_t worker_index, std::vector<Request>& batch)
       if (config_.account_energy && config_.backend != Backend::kBehavioral) {
         batch_ledger.emplace(config_.tile.adc_bits);
       }
-      const auto compute_begin = std::chrono::steady_clock::now();
-      // One batched forward answers the whole group; per-request streams
+      compute_begin = std::chrono::steady_clock::now();
+      // One batched forward answers the whole group (UNLOCKED — this is
+      // where a fault plan stalls or crashes us); per-request streams
       // derive from the request seeds, so the grouping is invisible in
       // the results. Energy comes back per request (census-priced,
       // measured, or cascade-summed, by backend).
-      const core::BackendBatch answered = backend.forward(
-          inputs, seeds, batch_ledger ? &*batch_ledger : nullptr);
-      const auto compute_end = std::chrono::steady_clock::now();
+      answered.emplace(backend.forward(
+          inputs, seeds, batch_ledger ? &*batch_ledger : nullptr));
+      compute_end = std::chrono::steady_clock::now();
       if (batch_ledger) {
         fold_energy(*batch_ledger);
+      }
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    if (!error) {
+      if (live.empty()) {
+        continue;
       }
       // The batched forward computes all rows at once; each request is
       // attributed its amortized share of the group's compute time.
       const double compute_share =
-          to_us(compute_end - compute_begin) / static_cast<double>(rows);
-
-      for (std::size_t b = 0; b < rows; ++b) {
-        Request& request = batch[members[b]];
-        publish_prediction(request, answered.predictions[b], popped,
+          to_us(compute_end - compute_begin) / static_cast<double>(live.size());
+      std::lock_guard<std::mutex> slot_lock(slot.mutex);
+      for (std::size_t b = 0; b < live.size(); ++b) {
+        const std::size_t r = live[b];
+        if (slot.done[r] != 0) {
+          continue;  // rescued mid-forward: the answer is theirs now
+        }
+        slot.done[r] = 1;
+        const bool degraded =
+            b < answered->degraded.size() && answered->degraded[b] != 0;
+        publish_prediction(slot.requests[r], answered->predictions[b], popped,
                            compute_begin, compute_end, compute_share,
-                           answered.energy_pj[b], answered.escalated[b] != 0,
-                           batch.size(), worker_index);
-        ++fulfilled;
+                           answered->energy_pj[b],
+                           answered->escalated[b] != 0, degraded, batch_rows,
+                           worker_index);
       }
-    } catch (...) {
-      const auto error = std::current_exception();
-      for (std::size_t b = fulfilled; b < members.size(); ++b) {
-        batch[members[b]].promise.set_exception(error);
+      continue;
+    }
+
+    // The group failed. Retryable failures re-queue each first-time
+    // victim exactly once (same request seed — the retried answer is
+    // bitwise the answer this forward would have produced); deterministic
+    // failures and second-time victims fail to the client.
+    const bool retry = retryable_failure(error);
+    if (retry) {
+      healthy = false;  // the backend is suspect: re-clone before reuse
+    }
+    std::vector<Request> requeue;
+    {
+      std::lock_guard<std::mutex> slot_lock(slot.mutex);
+      for (const std::size_t r : live) {
+        if (slot.done[r] != 0) {
+          continue;
+        }
+        slot.done[r] = 1;
+        Request& request = slot.requests[r];
+        if (retry && request.retries == 0) {
+          request.retries = 1;
+          requeue.push_back(std::move(request));
+        } else {
+          request.promise.set_exception(error);
+        }
       }
     }
+    if (!requeue.empty()) {
+      ctr_requeued_->inc(requeue.size());
+      // Back at the queue head BEFORE this worker returns to pop_batch:
+      // pop_batch only reports "drained" when the queue is truly empty,
+      // so a re-queued request can never be lost to a racing shutdown.
+      batcher_.requeue(std::move(requeue));
+    }
   }
+
+  {
+    std::lock_guard<std::mutex> slot_lock(slot.mutex);
+    slot.busy = false;
+    if (slot.deposed) {
+      healthy = false;  // we were declared stalled: re-clone our backend
+    }
+    slot.requests.clear();
+    slot.done.clear();
+  }
+  return healthy;
 }
 
 }  // namespace neuspin::serve

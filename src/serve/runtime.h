@@ -38,8 +38,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -52,6 +54,7 @@
 #include "obs/trace.h"
 #include "serve/backend.h"
 #include "serve/batcher.h"
+#include "serve/fault.h"
 #include "serve/policy.h"
 #include "xbar/tile.h"
 
@@ -98,6 +101,38 @@ class OverloadError : public std::runtime_error {
   ShedReason reason_;
   double retry_after_us_;
   std::size_t queue_depth_;
+};
+
+/// A request's completion deadline passed before a worker could serve it.
+/// Thrown through the request's future; the Monte-Carlo forward is never
+/// spent on an already-late request.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  DeadlineExceeded(std::uint64_t request_id, double overrun_us);
+
+  [[nodiscard]] std::uint64_t request_id() const { return request_id_; }
+  /// How far past the deadline the request was when a worker picked it up.
+  [[nodiscard]] double overrun_us() const { return overrun_us_; }
+
+ private:
+  std::uint64_t request_id_;
+  double overrun_us_;
+};
+
+/// Worker supervision: a heartbeat thread that detects workers stuck in a
+/// forward (a stall fault, a pathological input) and re-queues their
+/// in-flight requests onto healthy workers.
+struct SupervisionConfig {
+  bool enabled = false;
+  /// Health-check cadence of the supervisor thread.
+  std::chrono::microseconds heartbeat{1000};
+  /// A busy worker whose current batch has been running longer than this
+  /// is declared stalled: its unanswered requests move back to the queue
+  /// (once per request — a request stranded twice fails to the client)
+  /// and the worker's backend is re-cloned when it eventually returns.
+  /// Must comfortably exceed the honest worst-case batch time, or the
+  /// supervisor will "rescue" requests from workers that were merely slow.
+  std::chrono::microseconds stall_timeout{50000};
 };
 
 struct RuntimeConfig {
@@ -163,6 +198,19 @@ struct RuntimeConfig {
   /// the electrical path; export with tracer().write_chrome_trace().
   /// Observability only: results are bitwise identical on/off.
   obs::TraceConfig trace{};
+  /// Default completion deadline applied to every submission (0 = none;
+  /// per-submit deadlines override). A worker picking up an expired
+  /// request fails it with DeadlineExceeded BEFORE spending any forward
+  /// work on it.
+  std::chrono::microseconds default_deadline{0};
+  /// Deterministic fault injection (chaos testing; off by default). The
+  /// plan's seed fixes the whole fault schedule — see serve/fault.h.
+  FaultPlan fault{};
+  /// Where the fault decorator mounts: the whole worker backend, or just
+  /// the cascade's expensive rung (requires Backend::kCascade).
+  FaultSite fault_site = FaultSite::kWorker;
+  /// Worker stall detection + rescue (off by default).
+  SupervisionConfig supervision{};
 };
 
 /// Aggregate counters since construction, plus a rolling latency window.
@@ -177,6 +225,17 @@ struct RuntimeStats {
   /// Requests the cascade escalated to its expensive rung (0 on the
   /// single-fidelity backends).
   std::uint64_t escalated = 0;
+  /// Requests served the cheap rung's bits with degraded=true because the
+  /// expensive rung was circuit-broken or failing.
+  std::uint64_t degraded = 0;
+  /// Requests failed with DeadlineExceeded before any forward work.
+  std::uint64_t deadline_expired = 0;
+  /// Requests re-queued after a worker crash or stall (each at most once).
+  std::uint64_t requeued = 0;
+  /// Worker backends re-cloned after a crash or a deposed stall.
+  std::uint64_t worker_restarts = 0;
+  /// Stall rescues performed by the supervisor.
+  std::uint64_t worker_stalls = 0;
   double mean_batch_size = 0.0;
   double total_energy_pj = 0.0;
   double total_compute_us = 0.0;  ///< summed per-request MC compute time
@@ -208,13 +267,34 @@ class Runtime {
   /// Same, under a caller-chosen stream seed (replay / A-B testing).
   [[nodiscard]] std::future<ServedPrediction> submit(std::vector<float> features,
                                                      std::uint64_t request_seed);
+  /// Same, with a per-request completion deadline (overrides
+  /// RuntimeConfig::default_deadline; 0 = no deadline). A request still
+  /// queued when its deadline passes fails with DeadlineExceeded.
+  [[nodiscard]] std::future<ServedPrediction> submit(
+      std::vector<float> features, std::uint64_t request_seed,
+      std::chrono::microseconds deadline);
 
   /// Blocking convenience: submit + wait.
   [[nodiscard]] ServedPrediction predict(const std::vector<float>& features);
 
+  /// How shutdown treats requests still queued.
+  struct ShutdownOptions {
+    /// true: serve everything already admitted before joining (the
+    /// default, and the destructor's behaviour). false: shed the whole
+    /// backlog immediately — every queued request fails with
+    /// OverloadError (kShutdown); only batches already on workers finish.
+    bool drain = true;
+    /// Drain escape hatch: with drain=true and a positive timeout, wait at
+    /// most this long for the queue to empty, then shed the leftovers
+    /// typed. 0 = wait indefinitely.
+    std::chrono::microseconds drain_timeout{0};
+  };
+
   /// Stop accepting requests, serve everything still queued (no request is
   /// lost or answered twice), join the workers. Idempotent.
   void shutdown();
+  /// Shutdown with explicit drain semantics (see ShutdownOptions).
+  void shutdown(const ShutdownOptions& options);
 
   [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
   [[nodiscard]] const RuntimeConfig& config() const { return config_; }
@@ -246,17 +326,44 @@ class Runtime {
   [[nodiscard]] xbar::DeltaStats delta_stats() const;
 
  private:
+  /// One worker's in-flight batch, visible to the supervisor. The slot
+  /// lock serializes the worker's publish phase against the supervisor's
+  /// rescue; `done[i]` is the single source of truth for "request i is
+  /// settled" — whoever sets it owns the promise transition, so a rescued
+  /// request can never be answered twice.
+  struct InFlight {
+    std::mutex mutex;
+    std::vector<Request> requests;   ///< the popped batch (slots may be moved-from once done)
+    std::vector<std::uint8_t> done;  ///< parallel: promise settled or stolen
+    std::chrono::steady_clock::time_point started{};
+    bool busy = false;
+    /// The supervisor declared this worker stalled and rescued its batch;
+    /// the worker re-clones its backend when it eventually returns.
+    bool deposed = false;
+  };
+
   [[nodiscard]] std::future<ServedPrediction> submit_with_id(
-      std::uint64_t id, std::vector<float> features, std::uint64_t request_seed);
+      std::uint64_t id, std::vector<float> features, std::uint64_t request_seed,
+      std::chrono::microseconds deadline);
   /// Build the configured fidelity backend for worker 0 (the others are
-  /// clone()s of it).
+  /// clone()s of it), with the fault decorator mounted per fault_site.
   [[nodiscard]] std::unique_ptr<core::FidelityBackend> make_backend(
       const core::BuiltModel& model) const;
   void worker_loop(std::size_t worker_index);
   /// Serve one popped batch through the worker's backend: one batched
   /// forward per feature-count group (so a malformed submission fails its
   /// own group, never its companions), in arrival order within the group.
-  void serve_batch(std::size_t worker_index, std::vector<Request>& batch);
+  /// Returns false when the worker's backend faulted and must be
+  /// re-cloned before the next batch.
+  [[nodiscard]] bool serve_batch(std::size_t worker_index,
+                                 std::vector<Request> batch);
+  /// Replace a faulted worker's backend with a fresh clone of the pristine
+  /// prototype (no-op when no prototype was kept).
+  void restart_backend(std::size_t worker_index);
+  /// Supervisor heartbeat loop: rescue batches off stalled workers.
+  void supervisor_loop();
+  /// Fail every request still queued with OverloadError (kShutdown).
+  void shed_queue();
   /// Shared tail of the serving path: assemble the ServedPrediction,
   /// apply the policy, record metrics + per-request spans, and fulfill
   /// the request's promise.
@@ -265,7 +372,7 @@ class Runtime {
                           std::chrono::steady_clock::time_point compute_begin,
                           std::chrono::steady_clock::time_point compute_end,
                           double compute_share_us, double energy_pj,
-                          bool escalated, std::size_t batch_size,
+                          bool escalated, bool degraded, std::size_t batch_size,
                           std::size_t worker_index);
   /// Fold one batch ledger's per-component event counts and priced energy
   /// into the registry's energy.* series.
@@ -286,9 +393,20 @@ class Runtime {
   /// worker w pops. All are clone()s of one programmed instance, so every
   /// worker serves identical bits.
   std::vector<std::unique_ptr<core::FidelityBackend>> backends_;
+  /// Pristine clone kept for worker restarts (only when fault injection
+  /// or supervision is on — it costs a full replica of memory).
+  std::unique_ptr<core::FidelityBackend> prototype_;
+  /// Shared fault schedule (null unless config.fault.enabled).
+  std::shared_ptr<FaultInjector> injector_;
+  /// Per-worker in-flight slots (stable addresses; one per worker).
+  std::vector<std::unique_ptr<InFlight>> inflight_;
   /// Census-priced energy of one behavioural request (constant per config).
   double census_energy_pj_ = 0.0;
   std::vector<std::thread> threads_;
+  std::thread supervisor_;
+  std::mutex supervisor_mutex_;
+  std::condition_variable supervisor_cv_;
+  bool supervisor_stop_ = false;
   std::atomic<std::uint64_t> next_request_ = 0;
   std::mutex shutdown_mutex_;
   bool stopped_ = false;
@@ -303,6 +421,12 @@ class Runtime {
   obs::Counter* ctr_shed_queue_full_ = nullptr;
   obs::Counter* ctr_shed_shutdown_ = nullptr;
   obs::Counter* ctr_escalated_ = nullptr;
+  obs::Counter* ctr_degraded_ = nullptr;
+  obs::Counter* ctr_deadline_ = nullptr;
+  obs::Counter* ctr_requeued_ = nullptr;
+  obs::Counter* ctr_restarts_ = nullptr;
+  obs::Counter* ctr_worker_stalls_ = nullptr;
+  obs::Counter* ctr_drain_shed_ = nullptr;
   obs::Gauge* gauge_energy_total_ = nullptr;
   obs::Histogram* hist_latency_total_ = nullptr;
   obs::Histogram* hist_latency_queue_ = nullptr;

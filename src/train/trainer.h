@@ -48,6 +48,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <random>
+#include <string>
 #include <vector>
 
 #include "nn/model.h"
@@ -133,6 +135,38 @@ class Trainer {
   /// Observer invoked after every epoch (after the stats are final).
   void set_epoch_callback(EpochCallback callback) { callback_ = std::move(callback); }
 
+  /// Snapshot the COMPLETE training state to `path`: model parameters and
+  /// persistent state, optimizer moments and step count, every RNG stream
+  /// (shuffle engine, the layers' own engines and counter streams), and
+  /// the epoch/step cursor with the partially accumulated epoch stats.
+  /// A run killed at any step boundary and resumed from this snapshot
+  /// (restore() + fit()) produces final weights, optimizer moments and
+  /// epoch statistics bitwise identical to the uninterrupted run — for
+  /// the serial AND the sharded path, at any worker count.
+  /// Throws nn::CheckpointError on I/O failure.
+  void save(const std::string& path) const;
+
+  /// Restore a snapshot written by save(). All-or-nothing: throws
+  /// nn::CheckpointError (typed: truncated / shape mismatch / config
+  /// fingerprint mismatch) with the trainer and model untouched. The
+  /// numeric TrainerConfig fields must match the saving trainer's — they
+  /// define the trained bits, so resuming under different ones would
+  /// silently break the bitwise contract.
+  void restore(const std::string& path);
+
+  /// Cooperative preemption: `check` is polled after every optimizer step;
+  /// when it returns true, fit() returns early at that step boundary with
+  /// preempted() == true, leaving the trainer in a save()-able state.
+  void set_preemption_check(std::function<bool()> check) {
+    preempt_check_ = std::move(check);
+  }
+  /// Whether the last fit() returned early because of the preemption check.
+  [[nodiscard]] bool preempted() const { return preempted_; }
+  /// Next epoch to run (equals config().epochs once training completed).
+  [[nodiscard]] std::size_t cursor_epoch() const { return cursor_epoch_; }
+  /// Completed steps of the epoch the cursor points into.
+  [[nodiscard]] std::size_t cursor_step() const { return step_in_epoch_; }
+
   [[nodiscard]] const TrainerConfig& config() const { return config_; }
 
  private:
@@ -159,6 +193,24 @@ class Trainer {
   TrainerConfig config_;
   nn::Adam optimizer_;
   EpochCallback callback_;
+
+  // Resumable-training cursor. The shuffle engine and the sample order are
+  // members (not fit() locals) so they can be checkpointed — the order is
+  // CUMULATIVE state (each epoch shuffles the previous epoch's
+  // permutation). `epoch_start_engine_` / `epoch_start_order_` hold both
+  // as of the top of the cursor epoch, BEFORE that epoch's shuffle:
+  // re-shuffling from them on resume regenerates the epoch's order and
+  // leaves engine and order exactly where the uninterrupted run's would be.
+  std::mt19937_64 shuffle_engine_;
+  std::string epoch_start_engine_;
+  std::vector<std::size_t> order_;
+  std::vector<std::size_t> epoch_start_order_;
+  std::size_t cursor_epoch_ = 0;
+  std::size_t step_in_epoch_ = 0;
+  float partial_loss_ = 0.0f;        ///< epoch loss accumulated so far
+  std::size_t partial_correct_ = 0;  ///< epoch hits accumulated so far
+  std::function<bool()> preempt_check_;
+  bool preempted_ = false;
 
   // Primary views (cached once; layer storage is heap-stable).
   std::vector<nn::ParamRef> params_;

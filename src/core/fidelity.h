@@ -124,6 +124,44 @@ class FidelityBackend {
     (void)seed;
   }
 
+  /// Targeted variant: defects land on one tile only (TiledMlp tile
+  /// indexing — conv stages first, then dense layers). Chaos tests aim
+  /// bursts with this to measure per-tile detection latency. No-op without
+  /// a substrate; out-of-range tile indices are also a no-op (a cascade's
+  /// cheap rung has no tile to hit).
+  virtual void inject_defects_at(std::size_t tile_index,
+                                 const device::DefectRates& rates, std::uint64_t seed) {
+    (void)tile_index;
+    (void)rates;
+    (void)seed;
+  }
+
+  /// One conductance-drift increment across the substrate (deterministic
+  /// in `seed`, compounding). No-op without a substrate.
+  virtual void apply_drift(double magnitude, std::uint64_t seed) {
+    (void)magnitude;
+    (void)seed;
+  }
+
+  /// Canary-probe the substrate (xbar/health.h). Backends without tiles
+  /// report an empty, healthy record.
+  [[nodiscard]] virtual xbar::HealthReport check_health(
+      const xbar::ProbeConfig& config) const {
+    (void)config;
+    return {};
+  }
+
+  /// Probe + spare-line remap + recalibrate the substrate. Backends
+  /// without tiles heal vacuously (healthy_after = true, nothing touched).
+  virtual xbar::HealSummary heal(const xbar::ProbeConfig& config) {
+    (void)config;
+    return {};
+  }
+
+  /// Re-program the substrate to its reference conductances and zero ADC
+  /// offsets; returns cells moved. No-op without a substrate.
+  virtual std::size_t recalibrate() { return 0; }
+
   /// Attach a metrics registry (nullptr detaches): backends with internal
   /// health state (the cascade's circuit breaker, the fault injector) then
   /// record their counters/gauges into it. Observability only — like
@@ -224,6 +262,23 @@ class TiledBackend : public FidelityBackend {
   void inject_defects(const device::DefectRates& rates, std::uint64_t seed) override {
     replica_.inject_defects(rates, seed);
   }
+  void inject_defects_at(std::size_t tile_index, const device::DefectRates& rates,
+                         std::uint64_t seed) override {
+    if (tile_index < replica_.layer_count()) {
+      replica_.inject_defects_at(tile_index, rates, seed);
+    }
+  }
+  void apply_drift(double magnitude, std::uint64_t seed) override {
+    replica_.apply_drift(magnitude, seed);
+  }
+  [[nodiscard]] xbar::HealthReport check_health(
+      const xbar::ProbeConfig& config) const override {
+    return replica_.probe_health(config);
+  }
+  xbar::HealSummary heal(const xbar::ProbeConfig& config) override {
+    return replica_.heal(config);
+  }
+  std::size_t recalibrate() override { return replica_.recalibrate(); }
 
   [[nodiscard]] const TiledBackendConfig& config() const { return config_; }
 

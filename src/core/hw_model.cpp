@@ -295,6 +295,65 @@ void TiledMlp::inject_defects(const device::DefectRates& rates, std::uint64_t se
   }
 }
 
+void TiledMlp::inject_defects_at(std::size_t tile_index, const device::DefectRates& rates,
+                                 std::uint64_t seed) {
+  if (tile_index >= layer_count()) {
+    throw std::out_of_range("TiledMlp::inject_defects_at: tile " +
+                            std::to_string(tile_index) + " of " +
+                            std::to_string(layer_count()));
+  }
+  if (tile_index < conv_stages_.size()) {
+    conv_stages_[tile_index].tile->inject_defects(
+        rates, seed + 977 * (tiles_.size() + tile_index));
+  } else {
+    const std::size_t t = tile_index - conv_stages_.size();
+    tiles_[t].tile->inject_defects(rates, seed + 977 * t);
+  }
+}
+
+void TiledMlp::apply_drift(double magnitude, std::uint64_t seed) {
+  for (std::size_t s = 0; s < conv_stages_.size(); ++s) {
+    conv_stages_[s].tile->tile().apply_drift(magnitude,
+                                             seed + 977 * (tiles_.size() + s));
+  }
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    tiles_[t].tile->apply_drift(magnitude, seed + 977 * t);
+  }
+}
+
+xbar::HealthReport TiledMlp::probe_health(const xbar::ProbeConfig& config) const {
+  xbar::HealthReport report;
+  for (const ConvStage& stage : conv_stages_) {
+    report.fold(xbar::probe_tile(stage.tile->tile(), config));
+  }
+  for (const FoldedLayer& layer : tiles_) {
+    report.fold(xbar::probe_tile(*layer.tile, config));
+  }
+  return report;
+}
+
+xbar::HealSummary TiledMlp::heal(const xbar::ProbeConfig& config) {
+  xbar::HealSummary summary;
+  for (ConvStage& stage : conv_stages_) {
+    summary.fold(xbar::heal_tile(stage.tile->tile(), config));
+  }
+  for (FoldedLayer& layer : tiles_) {
+    summary.fold(xbar::heal_tile(*layer.tile, config));
+  }
+  return summary;
+}
+
+std::size_t TiledMlp::recalibrate() {
+  std::size_t moved = 0;
+  for (ConvStage& stage : conv_stages_) {
+    moved += stage.tile->tile().recalibrate();
+  }
+  for (FoldedLayer& layer : tiles_) {
+    moved += layer.tile->recalibrate();
+  }
+  return moved;
+}
+
 void TiledMlp::run_conv_stages(std::vector<float>& x,
                                std::vector<std::uint8_t>& enabled, double p,
                                energy::EnergyLedger* ledger) {

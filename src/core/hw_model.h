@@ -27,6 +27,7 @@
 #include "nn/layers.h"
 #include "nn/model.h"
 #include "xbar/conv_tile.h"
+#include "xbar/health.h"
 #include "xbar/tile.h"
 
 namespace neuspin::obs {
@@ -147,6 +148,23 @@ class TiledMlp {
   [[nodiscard]] std::size_t out_features() const;
   /// Inject extra stuck-at defects into every tile.
   void inject_defects(const device::DefectRates& rates, std::uint64_t seed);
+  /// Inject into one tile only. Tiles index conv stages first, then dense
+  /// layers — the order of layer_count(); the per-tile seed derivation
+  /// matches inject_defects so targeting tile t reproduces exactly the
+  /// defects a whole-model injection would have put there.
+  void inject_defects_at(std::size_t tile_index, const device::DefectRates& rates,
+                         std::uint64_t seed);
+
+  /// One conductance-drift increment on every tile (deterministic in
+  /// `seed`, compounding across calls).
+  void apply_drift(double magnitude, std::uint64_t seed);
+  /// Canary-probe every tile (localization sweep only where the canary
+  /// fails, unless `config.force_sweep`).
+  [[nodiscard]] xbar::HealthReport probe_health(const xbar::ProbeConfig& config) const;
+  /// Probe + spare-line remap + recalibrate every tile.
+  [[nodiscard]] xbar::HealSummary heal(const xbar::ProbeConfig& config);
+  /// Re-program all tiles to reference conductances and zero ADC offsets.
+  std::size_t recalibrate();
 
   /// Reset the electrical RNG stream (cycle-to-cycle read noise and MTJ
   /// dropout draws) so the next forward pass is a pure function of

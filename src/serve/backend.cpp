@@ -123,6 +123,13 @@ void BreakerCore::record_failure() {
   }
 }
 
+void BreakerCore::quarantine() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != State::kOpen) {
+    open_locked();
+  }
+}
+
 BreakerCore::State BreakerCore::state() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return state_;
@@ -198,6 +205,47 @@ void CascadeBackend::inject_defects(const device::DefectRates& rates,
                                     std::uint64_t seed) {
   cheap_->inject_defects(rates, seed);
   expensive_->inject_defects(rates, seed);
+}
+
+void CascadeBackend::inject_defects_at(std::size_t tile_index,
+                                       const device::DefectRates& rates,
+                                       std::uint64_t seed) {
+  cheap_->inject_defects_at(tile_index, rates, seed);
+  expensive_->inject_defects_at(tile_index, rates, seed);
+}
+
+void CascadeBackend::apply_drift(double magnitude, std::uint64_t seed) {
+  cheap_->apply_drift(magnitude, seed);
+  expensive_->apply_drift(magnitude, seed);
+}
+
+xbar::HealthReport CascadeBackend::check_health(
+    const xbar::ProbeConfig& config) const {
+  xbar::HealthReport report = cheap_->check_health(config);
+  const xbar::HealthReport upper = expensive_->check_health(config);
+  report.tiles += upper.tiles;
+  report.tiles_faulty += upper.tiles_faulty;
+  report.cells_checked += upper.cells_checked;
+  report.cells_faulty += upper.cells_faulty;
+  report.drift_suspected = report.drift_suspected || upper.drift_suspected;
+  report.min_tile_score = std::min(report.min_tile_score, upper.min_tile_score);
+  return report;
+}
+
+xbar::HealSummary CascadeBackend::heal(const xbar::ProbeConfig& config) {
+  xbar::HealSummary summary = cheap_->heal(config);
+  summary.fold(expensive_->heal(config));
+  return summary;
+}
+
+std::size_t CascadeBackend::recalibrate() {
+  return cheap_->recalibrate() + expensive_->recalibrate();
+}
+
+void CascadeBackend::quarantine_expensive() {
+  if (breaker_ != nullptr) {
+    breaker_->quarantine();
+  }
 }
 
 void CascadeBackend::bind_metrics(obs::Registry* registry) {

@@ -100,6 +100,10 @@ class BreakerCore {
   void record_success();
   /// Expensive forward threw, or completed over the latency ceiling.
   void record_failure();
+  /// Force the breaker open immediately: the health monitor found the
+  /// rung's substrate out of spec (failed canary). Escalations degrade
+  /// until the normal half-open probing observes the healed rung.
+  void quarantine();
 
   [[nodiscard]] State state() const;
   [[nodiscard]] std::uint64_t times_opened() const;
@@ -158,6 +162,19 @@ class CascadeBackend : public core::FidelityBackend {
   /// substrate of its own).
   void inject_defects(const device::DefectRates& rates,
                       std::uint64_t seed) override;
+  void inject_defects_at(std::size_t tile_index, const device::DefectRates& rates,
+                         std::uint64_t seed) override;
+  void apply_drift(double magnitude, std::uint64_t seed) override;
+  /// Substrate health of both rungs folded (in practice: the expensive
+  /// rung — the cheap rung has no tiles and reports vacuously healthy).
+  [[nodiscard]] xbar::HealthReport check_health(
+      const xbar::ProbeConfig& config) const override;
+  xbar::HealSummary heal(const xbar::ProbeConfig& config) override;
+  std::size_t recalibrate() override;
+  /// Trip the (shared) breaker open because a health probe failed — every
+  /// clone degrades escalations at once. No-op when the breaker is
+  /// disabled.
+  void quarantine_expensive();
   /// Binds the (shared) breaker core's instruments and propagates to both
   /// rungs. Safe to call once per clone — binding is idempotent.
   void bind_metrics(obs::Registry* registry) override;

@@ -28,10 +28,14 @@ InjectedFault::InjectedFault(std::uint64_t ticket)
 
 FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan) {
   if (plan.crash_p < 0.0 || plan.stall_p < 0.0 || plan.defect_p < 0.0 ||
-      plan.crash_p + plan.stall_p + plan.defect_p > 1.0) {
+      plan.drift_p < 0.0 ||
+      plan.crash_p + plan.stall_p + plan.defect_p + plan.drift_p > 1.0) {
     throw std::invalid_argument(
         "FaultInjector: fault probabilities must be non-negative and sum to "
         "at most 1");
+  }
+  if (plan.drift_magnitude < 0.0) {
+    throw std::invalid_argument("FaultInjector: drift_magnitude must be non-negative");
   }
   if (plan.stall.count() < 0) {
     throw std::invalid_argument("FaultInjector: stall must be non-negative");
@@ -69,6 +73,13 @@ FaultInjector::Decision FaultInjector::next() {
     if (auto* c = ctr_bursts_.load()) {
       c->inc();
     }
+  } else if (u < plan_.crash_p + plan_.stall_p + plan_.defect_p + plan_.drift_p) {
+    decision.action = Action::kDrift;
+    decision.burst_seed = nn::mix_seed(mixed, 0x6472696674ull);  // "drift"
+    drifts_.fetch_add(1);
+    if (auto* c = ctr_drifts_.load()) {
+      c->inc();
+    }
   }
   return decision;
 }
@@ -78,11 +89,13 @@ void FaultInjector::bind_metrics(obs::Registry* registry) {
     ctr_crashes_.store(nullptr);
     ctr_stalls_.store(nullptr);
     ctr_bursts_.store(nullptr);
+    ctr_drifts_.store(nullptr);
     return;
   }
   ctr_crashes_.store(&registry->counter("serve.fault.crashes"));
   ctr_stalls_.store(&registry->counter("serve.fault.stalls"));
   ctr_bursts_.store(&registry->counter("serve.fault.defect_bursts"));
+  ctr_drifts_.store(&registry->counter("serve.fault.drifts"));
 }
 
 FaultyBackend::FaultyBackend(std::unique_ptr<core::FidelityBackend> inner,
@@ -105,8 +118,17 @@ core::BackendBatch FaultyBackend::forward(
       std::this_thread::sleep_for(injector_->plan().stall);
       break;
     case FaultInjector::Action::kDefectBurst:
-      inner_->inject_defects(injector_->plan().defect_rates,
-                             decision.burst_seed);
+      if (injector_->plan().defect_tile >= 0) {
+        inner_->inject_defects_at(
+            static_cast<std::size_t>(injector_->plan().defect_tile),
+            injector_->plan().defect_rates, decision.burst_seed);
+      } else {
+        inner_->inject_defects(injector_->plan().defect_rates,
+                               decision.burst_seed);
+      }
+      break;
+    case FaultInjector::Action::kDrift:
+      inner_->apply_drift(injector_->plan().drift_magnitude, decision.burst_seed);
       break;
     case FaultInjector::Action::kNone:
       break;

@@ -73,6 +73,14 @@ struct FaultPlan {
   std::chrono::microseconds stall{2000};
   double defect_p = 0.0;   ///< inject `defect_rates` into the substrate
   device::DefectRates defect_rates{};
+  /// Aim defect bursts at ONE tile (TiledMlp indexing: conv stages first,
+  /// then dense layers). Negative targets the whole substrate. Chaos tests
+  /// use this to hit a known tile and measure detection latency.
+  int defect_tile = -1;
+  /// Fourth band: apply one conductance-drift increment of
+  /// `drift_magnitude` to the substrate (progressive aging under load).
+  double drift_p = 0.0;
+  double drift_magnitude = 0.01;
   /// Tickets below this never fault (let the system warm up).
   std::uint64_t warmup = 0;
   /// Tickets at or above this never fault (gives benches a clean recovery
@@ -90,12 +98,13 @@ class FaultInjector {
   explicit FaultInjector(const FaultPlan& plan);
 
   /// What one forward call should suffer.
-  enum class Action : std::uint8_t { kNone, kCrash, kStall, kDefectBurst };
+  enum class Action : std::uint8_t { kNone, kCrash, kStall, kDefectBurst, kDrift };
 
   struct Decision {
     Action action = Action::kNone;
     std::uint64_t ticket = 0;
-    /// Seed of a defect burst (derived from the schedule stream).
+    /// Seed of a defect burst or drift increment (derived from the
+    /// schedule stream).
     std::uint64_t burst_seed = 0;
   };
 
@@ -112,6 +121,7 @@ class FaultInjector {
   [[nodiscard]] std::uint64_t crashes() const { return crashes_.load(); }
   [[nodiscard]] std::uint64_t stalls() const { return stalls_.load(); }
   [[nodiscard]] std::uint64_t bursts() const { return bursts_.load(); }
+  [[nodiscard]] std::uint64_t drifts() const { return drifts_.load(); }
 
  private:
   FaultPlan plan_;
@@ -119,9 +129,11 @@ class FaultInjector {
   std::atomic<std::uint64_t> crashes_{0};
   std::atomic<std::uint64_t> stalls_{0};
   std::atomic<std::uint64_t> bursts_{0};
+  std::atomic<std::uint64_t> drifts_{0};
   std::atomic<obs::Counter*> ctr_crashes_{nullptr};
   std::atomic<obs::Counter*> ctr_stalls_{nullptr};
   std::atomic<obs::Counter*> ctr_bursts_{nullptr};
+  std::atomic<obs::Counter*> ctr_drifts_{nullptr};
 };
 
 /// FidelityBackend decorator that consults a shared FaultInjector before
@@ -150,9 +162,27 @@ class FaultyBackend : public core::FidelityBackend {
                       std::uint64_t seed) override {
     inner_->inject_defects(rates, seed);
   }
+  void inject_defects_at(std::size_t tile_index, const device::DefectRates& rates,
+                         std::uint64_t seed) override {
+    inner_->inject_defects_at(tile_index, rates, seed);
+  }
+  void apply_drift(double magnitude, std::uint64_t seed) override {
+    inner_->apply_drift(magnitude, seed);
+  }
+  [[nodiscard]] xbar::HealthReport check_health(
+      const xbar::ProbeConfig& config) const override {
+    return inner_->check_health(config);
+  }
+  xbar::HealSummary heal(const xbar::ProbeConfig& config) override {
+    return inner_->heal(config);
+  }
+  std::size_t recalibrate() override { return inner_->recalibrate(); }
   void bind_metrics(obs::Registry* registry) override;
 
   [[nodiscard]] const FaultInjector& injector() const { return *injector_; }
+  /// The wrapped backend — the health monitor unwraps the decorator to
+  /// reach cascade-specific controls (quarantine).
+  [[nodiscard]] core::FidelityBackend& inner() { return *inner_; }
 
  private:
   std::unique_ptr<core::FidelityBackend> inner_;

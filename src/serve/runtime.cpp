@@ -178,6 +178,19 @@ Runtime::Runtime(const core::BuiltModel& model, const RuntimeConfig& config)
   ctr_restarts_ = &metrics_.counter("serve.worker.restarts");
   ctr_worker_stalls_ = &metrics_.counter("serve.worker.stalls");
   ctr_drain_shed_ = &metrics_.counter("serve.drain.shed");
+  ctr_health_probes_ = &metrics_.counter("xbar.health.probes");
+  ctr_health_failures_ = &metrics_.counter("xbar.health.canary_failures");
+  ctr_health_sweeps_ = &metrics_.counter("xbar.health.sweeps");
+  ctr_health_cells_faulty_ = &metrics_.counter("xbar.health.cells_faulty");
+  ctr_remap_rows_ = &metrics_.counter("xbar.remap.rows");
+  ctr_remap_cols_ = &metrics_.counter("xbar.remap.cols");
+  ctr_remap_exhausted_ = &metrics_.counter("xbar.remap.exhausted");
+  ctr_recal_runs_ = &metrics_.counter("xbar.recal.runs");
+  ctr_recal_cells_ = &metrics_.counter("xbar.recal.cells");
+  ctr_heals_ = &metrics_.counter("serve.health.heals");
+  ctr_quarantines_ = &metrics_.counter("serve.health.quarantines");
+  gauge_health_score_ = &metrics_.gauge("serve.health.score");
+  gauge_health_score_->set(1.0);
   gauge_energy_total_ = &metrics_.gauge("serve.energy_pj.total");
   hist_latency_total_ = &metrics_.histogram("serve.latency.total_us");
   hist_latency_queue_ = &metrics_.histogram("serve.latency.queue_us");
@@ -205,10 +218,13 @@ Runtime::Runtime(const core::BuiltModel& model, const RuntimeConfig& config)
   for (std::size_t w = 1; w < workers; ++w) {
     backends_.push_back(backends_.front()->clone());
   }
-  if (config_.fault.enabled || config_.supervision.enabled) {
+  if (config_.fault.enabled || config_.supervision.enabled ||
+      config_.health.enabled) {
     // Crash/stall recovery re-clones a faulted worker's backend from this
     // pristine replica (a FaultyBackend clone shares the global injector,
-    // so a restarted worker stays on the fault schedule). Only kept when
+    // so a restarted worker stays on the fault schedule). Health
+    // monitoring keeps it too: a heal that cannot restore spec (spares
+    // exhausted) falls back to the same re-clone path. Only kept when
     // restarts can happen — it costs a replica of memory.
     prototype_ = backends_.front()->clone();
   }
@@ -402,6 +418,11 @@ RuntimeStats Runtime::stats() const {
   out.requeued = ctr_requeued_->value();
   out.worker_restarts = ctr_restarts_->value();
   out.worker_stalls = ctr_worker_stalls_->value();
+  out.health_probes = ctr_health_probes_->value();
+  out.health_failures = ctr_health_failures_->value();
+  out.heals = ctr_heals_->value();
+  out.quarantines = ctr_quarantines_->value();
+  out.health_score = gauge_health_score_->value();
   out.mean_batch_size =
       out.batches == 0 ? 0.0
                        : static_cast<double>(out.requests) /
@@ -437,6 +458,9 @@ void Runtime::worker_loop(std::size_t worker_index) {
       // already re-queued, so recovery costs a clone, never a request.
       restart_backend(worker_index);
     }
+    // Health monitoring runs BETWEEN batches on the worker's own thread:
+    // queued requests wait out a probe/heal, they are never dropped.
+    maybe_probe(worker_index);
   }
 }
 
@@ -450,6 +474,107 @@ void Runtime::restart_backend(std::size_t worker_index) {
   }
   backends_[worker_index]->bind_metrics(&metrics_);
   ctr_restarts_->inc();
+}
+
+namespace {
+
+/// Unwrap the fault decorator (if mounted at the worker seam) and find
+/// the cascade, so a failed probe can trip the shared breaker.
+CascadeBackend* find_cascade(core::FidelityBackend& backend) {
+  core::FidelityBackend* inner = &backend;
+  if (auto* faulty = dynamic_cast<FaultyBackend*>(inner)) {
+    inner = &faulty->inner();
+  }
+  return dynamic_cast<CascadeBackend*>(inner);
+}
+
+}  // namespace
+
+void Runtime::maybe_probe(std::size_t worker_index) {
+  if (!config_.health.enabled) {
+    return;
+  }
+  // One global ticket per served batch: whether ticket n probes is a pure
+  // function of n (same replayability contract as the fault schedule —
+  // which worker draws the ticket is a scheduling accident).
+  const std::uint64_t ticket = health_ticket_.fetch_add(1) + 1;
+  const bool probe_due =
+      config_.health.probe_every > 0 && ticket % config_.health.probe_every == 0;
+  const bool recal_due =
+      config_.health.recal_every > 0 && ticket % config_.health.recal_every == 0;
+  core::FidelityBackend& backend = *backends_[worker_index];
+  if (recal_due && !probe_due) {
+    // Preventive recalibration: blind re-program against reference
+    // weights + ADC offset zeroing, no probe cost.
+    obs::ScopedSpan span(&tracer_, "health:recal", "health");
+    const std::size_t cells = backend.recalibrate();
+    ctr_recal_runs_->inc();
+    ctr_recal_cells_->inc(cells);
+    return;
+  }
+  if (!probe_due) {
+    return;
+  }
+  xbar::HealthReport report;
+  {
+    obs::ScopedSpan span(&tracer_, "health:probe", "health");
+    span.arg("ticket", static_cast<double>(ticket));
+    span.arg("worker", static_cast<double>(worker_index));
+    report = backend.check_health(config_.health.probe);
+    span.arg("score", report.score());
+  }
+  ctr_health_probes_->inc();
+  if (report.cells_checked > 0) {
+    ctr_health_sweeps_->inc();
+    ctr_health_cells_faulty_->inc(report.cells_faulty);
+  }
+  gauge_health_score_->set(report.score());
+  if (report.healthy()) {
+    if (recal_due) {
+      obs::ScopedSpan span(&tracer_, "health:recal", "health");
+      const std::size_t cells = backend.recalibrate();
+      ctr_recal_runs_->inc();
+      ctr_recal_cells_->inc(cells);
+    }
+    return;
+  }
+  ctr_health_failures_->inc();
+  // Out of spec. First: stop trusting the electrical rung — force the
+  // (shared) breaker open so would-escalate requests on EVERY worker get
+  // the cheap rung's bits flagged `degraded` while this substrate heals.
+  if (auto* cascade = find_cascade(backend)) {
+    cascade->quarantine_expensive();
+    ctr_quarantines_->inc();
+  }
+  if (!config_.health.auto_heal) {
+    return;
+  }
+  xbar::HealSummary summary;
+  {
+    obs::ScopedSpan span(&tracer_, "health:heal", "health");
+    span.arg("ticket", static_cast<double>(ticket));
+    span.arg("worker", static_cast<double>(worker_index));
+    summary = backend.heal(config_.health.probe);
+    span.arg("healthy_after", summary.healthy_after ? 1.0 : 0.0);
+  }
+  ctr_heals_->inc();
+  ctr_remap_rows_->inc(summary.rows_remapped);
+  ctr_remap_cols_->inc(summary.cols_remapped);
+  ctr_remap_exhausted_->inc(summary.lines_unrepairable);
+  ctr_recal_runs_->inc();
+  ctr_recal_cells_->inc(summary.cells_recalibrated);
+  if (summary.healthy_after) {
+    gauge_health_score_->set(1.0);
+    return;
+  }
+  // Spares exhausted (or a defect healing cannot reach): this substrate is
+  // beyond in-place repair. Fall back to the crash-recovery path — replace
+  // the worker's backend with a pristine re-clone (chip swap). Queued
+  // requests simply wait for the clone; none are lost.
+  restart_backend(worker_index);
+  if (prototype_ != nullptr) {
+    gauge_health_score_->set(1.0);
+  }
 }
 
 void Runtime::supervisor_loop() {

@@ -56,6 +56,7 @@
 #include "serve/batcher.h"
 #include "serve/fault.h"
 #include "serve/policy.h"
+#include "xbar/health.h"
 #include "xbar/tile.h"
 
 namespace neuspin::serve {
@@ -135,6 +136,37 @@ struct SupervisionConfig {
   std::chrono::microseconds stall_timeout{50000};
 };
 
+/// Online substrate health monitoring: scheduled canary probes of the
+/// tiled substrate between batches, automatic spare-line healing, and
+/// preventive drift recalibration (ROADMAP: robustness; off by default).
+///
+/// Scheduling is deterministic the same way the fault schedule is: every
+/// served batch takes one global health ticket, and whether ticket n
+/// probes (n % probe_every == 0) or recalibrates is a pure function of
+/// the ticket — which worker draws it is a scheduling accident. Probes
+/// run on the worker's own thread BETWEEN batches, so queued requests
+/// simply wait: monitoring and healing never drop a request. A failed
+/// probe quarantines the cascade's expensive rung (escalations degrade to
+/// the cheap rung, flagged `degraded`) while healing runs; a heal that
+/// cannot restore spec falls back to the worker-restart path (re-clone
+/// from the pristine prototype — the same path crash recovery uses).
+struct HealthConfig {
+  bool enabled = false;
+  /// Probe cadence in global batch tickets (0 = never probe; preventive
+  /// recalibration may still run on its own cadence).
+  std::uint64_t probe_every = 64;
+  /// Tolerances forwarded to xbar::probe_tile / xbar::heal_tile.
+  xbar::ProbeConfig probe{};
+  /// Heal (remap + recalibrate) when a probe fails. When false the
+  /// monitor only quarantines and counts — useful for measuring raw
+  /// degradation in benchmarks.
+  bool auto_heal = true;
+  /// Preventive recalibration cadence in global batch tickets (0 = only
+  /// recalibrate as part of healing). Cheap insurance against slow drift
+  /// that stays under the probe's detection tolerance.
+  std::uint64_t recal_every = 0;
+};
+
 struct RuntimeConfig {
   Backend backend = Backend::kBehavioral;
   /// Model workers (one replica clone each): 0 = one per hardware thread.
@@ -211,6 +243,8 @@ struct RuntimeConfig {
   FaultSite fault_site = FaultSite::kWorker;
   /// Worker stall detection + rescue (off by default).
   SupervisionConfig supervision{};
+  /// Substrate health monitoring + self-healing (off by default).
+  HealthConfig health{};
 };
 
 /// Aggregate counters since construction, plus a rolling latency window.
@@ -236,6 +270,18 @@ struct RuntimeStats {
   std::uint64_t worker_restarts = 0;
   /// Stall rescues performed by the supervisor.
   std::uint64_t worker_stalls = 0;
+  /// Substrate health probes run (canary, plus sweep when the canary
+  /// failed or force_sweep is on).
+  std::uint64_t health_probes = 0;
+  /// Probes that found a substrate out of spec.
+  std::uint64_t health_failures = 0;
+  /// Heal cycles (remap + recalibrate) triggered by failed probes.
+  std::uint64_t heals = 0;
+  /// Expensive-rung quarantines forced by failed probes.
+  std::uint64_t quarantines = 0;
+  /// Worst-tile substrate health score at the last probe (1 = pristine;
+  /// 1 when health monitoring is off or no probe has run yet).
+  double health_score = 1.0;
   double mean_batch_size = 0.0;
   double total_energy_pj = 0.0;
   double total_compute_us = 0.0;  ///< summed per-request MC compute time
@@ -360,6 +406,12 @@ class Runtime {
   /// Replace a faulted worker's backend with a fresh clone of the pristine
   /// prototype (no-op when no prototype was kept).
   void restart_backend(std::size_t worker_index);
+  /// Health-monitor hook, run by each worker after every served batch:
+  /// takes one global health ticket and — when the ticket is due — canary
+  /// probes the worker's own backend, quarantines + heals on failure, and
+  /// runs preventive recalibration on its own cadence. Requests queued
+  /// meanwhile just wait; nothing is dropped.
+  void maybe_probe(std::size_t worker_index);
   /// Supervisor heartbeat loop: rescue batches off stalled workers.
   void supervisor_loop();
   /// Fail every request still queued with OverloadError (kShutdown).
@@ -408,6 +460,8 @@ class Runtime {
   std::condition_variable supervisor_cv_;
   bool supervisor_stop_ = false;
   std::atomic<std::uint64_t> next_request_ = 0;
+  /// Global health-schedule ticket: one per served batch, across workers.
+  std::atomic<std::uint64_t> health_ticket_ = 0;
   std::mutex shutdown_mutex_;
   bool stopped_ = false;
 
@@ -427,6 +481,18 @@ class Runtime {
   obs::Counter* ctr_restarts_ = nullptr;
   obs::Counter* ctr_worker_stalls_ = nullptr;
   obs::Counter* ctr_drain_shed_ = nullptr;
+  obs::Counter* ctr_health_probes_ = nullptr;
+  obs::Counter* ctr_health_failures_ = nullptr;
+  obs::Counter* ctr_health_sweeps_ = nullptr;
+  obs::Counter* ctr_health_cells_faulty_ = nullptr;
+  obs::Counter* ctr_remap_rows_ = nullptr;
+  obs::Counter* ctr_remap_cols_ = nullptr;
+  obs::Counter* ctr_remap_exhausted_ = nullptr;
+  obs::Counter* ctr_recal_runs_ = nullptr;
+  obs::Counter* ctr_recal_cells_ = nullptr;
+  obs::Counter* ctr_heals_ = nullptr;
+  obs::Counter* ctr_quarantines_ = nullptr;
+  obs::Gauge* gauge_health_score_ = nullptr;
   obs::Gauge* gauge_energy_total_ = nullptr;
   obs::Histogram* hist_latency_total_ = nullptr;
   obs::Histogram* hist_latency_queue_ = nullptr;

@@ -21,7 +21,7 @@ Adc::Adc(std::size_t bits, device::MicroAmp full_scale)
 }
 
 std::int64_t Adc::code(device::MicroAmp current) const {
-  const double clipped = std::clamp(current, -full_scale_, full_scale_);
+  const double clipped = std::clamp(current + offset_, -full_scale_, full_scale_);
   const auto max_code = std::int64_t{1} << (bits_ - 1);
   const auto c = static_cast<std::int64_t>(std::llround(clipped / lsb_));
   return std::clamp(c, -max_code, max_code);

@@ -31,10 +31,17 @@ class Adc {
   /// Smallest representable current step.
   [[nodiscard]] device::MicroAmp lsb() const { return lsb_; }
 
+  /// Input-referred offset error (uA), added to every measured current.
+  /// Drifts with temperature/aging; zeroed by offset recalibration against
+  /// a grounded input (DenseTile::recalibrate).
+  void set_offset(device::MicroAmp offset) { offset_ = offset; }
+  [[nodiscard]] device::MicroAmp offset() const { return offset_; }
+
  private:
   std::size_t bits_;
   device::MicroAmp full_scale_;
   device::MicroAmp lsb_;
+  device::MicroAmp offset_ = 0.0;
 };
 
 /// One-bit sense amplifier: sign detector with a programmable threshold.

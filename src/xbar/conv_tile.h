@@ -65,8 +65,11 @@ class ConvTile {
   [[nodiscard]] std::size_t out_channels() const { return out_ch_; }
   [[nodiscard]] std::size_t kernel() const { return kernel_; }
   [[nodiscard]] std::size_t padding() const { return padding_; }
-  /// The underlying unfolded-column tile (strategy 1 geometry).
+  /// The underlying unfolded-column tile (strategy 1 geometry). The
+  /// mutable overload exists for the self-healing path (probe / remap /
+  /// recalibrate operate on the DenseTile).
   [[nodiscard]] const DenseTile& tile() const { return *tile_; }
+  [[nodiscard]] DenseTile& tile() { return *tile_; }
 
   /// Event-engine work census of the underlying tile.
   [[nodiscard]] const DeltaStats& delta_stats() const { return tile_->delta_stats(); }

@@ -1,5 +1,7 @@
 #include "xbar/crossbar.h"
 
+#include <cmath>
+#include <numeric>
 #include <stdexcept>
 #include <string>
 
@@ -18,26 +20,42 @@ void CrossbarConfig::validate() const {
   }
 }
 
+void Crossbar::init_maps() {
+  pcols_ = physical_cols();
+  row_map_.resize(config_.rows);
+  col_map_.resize(config_.cols);
+  std::iota(row_map_.begin(), row_map_.end(), std::size_t{0});
+  std::iota(col_map_.begin(), col_map_.end(), std::size_t{0});
+}
+
 Crossbar::Crossbar(const CrossbarConfig& config)
     : config_(config),
-      g_parallel_(config.rows * config.cols,
+      g_parallel_((config.rows + config.spare_rows) * (config.cols + config.spare_cols),
                   device::conductance_from_kohm(config.mtj.r_parallel)),
-      g_antiparallel_(config.rows * config.cols,
-                      device::conductance_from_kohm(config.mtj.r_antiparallel())),
-      state_(config.rows * config.cols, device::MtjState::kAntiParallel),
-      defects_(config.rows, config.cols) {
+      g_antiparallel_(
+          (config.rows + config.spare_rows) * (config.cols + config.spare_cols),
+          device::conductance_from_kohm(config.mtj.r_antiparallel())),
+      state_((config.rows + config.spare_rows) * (config.cols + config.spare_cols),
+             device::MtjState::kAntiParallel),
+      defects_(config.rows + config.spare_rows, config.cols + config.spare_cols) {
   config_.validate();
+  init_maps();
 }
 
 Crossbar::Crossbar(const CrossbarConfig& config,
                    const device::VariabilityParams& variability,
                    const device::DefectRates& defects, std::uint64_t seed)
     : config_(config),
-      g_parallel_(config.rows * config.cols),
-      g_antiparallel_(config.rows * config.cols),
-      state_(config.rows * config.cols, device::MtjState::kAntiParallel),
-      defects_(config.rows, config.cols, defects, seed ^ 0x9e3779b97f4a7c15ULL) {
+      g_parallel_((config.rows + config.spare_rows) *
+                  (config.cols + config.spare_cols)),
+      g_antiparallel_((config.rows + config.spare_rows) *
+                      (config.cols + config.spare_cols)),
+      state_((config.rows + config.spare_rows) * (config.cols + config.spare_cols),
+             device::MtjState::kAntiParallel),
+      defects_(config.rows + config.spare_rows, config.cols + config.spare_cols,
+               defects, seed ^ 0x9e3779b97f4a7c15ULL) {
   config_.validate();
+  init_maps();
   device::VariabilityModel model(variability, seed);
   const MicroSiemens g_p = device::conductance_from_kohm(config.mtj.r_parallel);
   const MicroSiemens g_ap = device::conductance_from_kohm(config.mtj.r_antiparallel());
@@ -55,7 +73,7 @@ void Crossbar::program(std::size_t row, std::size_t col, device::MtjState state)
     throw std::out_of_range("Crossbar::program: cell (" + std::to_string(row) + "," +
                             std::to_string(col) + ") out of range");
   }
-  state_[row * config_.cols + col] = state;
+  state_[row_map_[row] * pcols_ + col_map_[col]] = state;
 }
 
 void Crossbar::program_binary(std::span<const float> weights) {
@@ -64,19 +82,114 @@ void Crossbar::program_binary(std::span<const float> weights) {
                                 std::to_string(config_.rows * config_.cols) +
                                 " weights, got " + std::to_string(weights.size()));
   }
-  for (std::size_t i = 0; i < weights.size(); ++i) {
-    state_[i] = weights[i] >= 0.0f ? device::MtjState::kParallel
-                                   : device::MtjState::kAntiParallel;
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    const std::size_t base = row_map_[r] * pcols_;
+    for (std::size_t c = 0; c < config_.cols; ++c) {
+      state_[base + col_map_[c]] = weights[r * config_.cols + c] >= 0.0f
+                                       ? device::MtjState::kParallel
+                                       : device::MtjState::kAntiParallel;
+    }
   }
 }
 
+MicroSiemens Crossbar::cell_conductance(std::size_t phys_row,
+                                        std::size_t phys_col) const {
+  const std::size_t i = phys_row * pcols_ + phys_col;
+  const double factor = drift_.empty() ? 1.0 : drift_[i];
+  const MicroSiemens gp = g_parallel_[i] * factor;
+  const MicroSiemens gap = g_antiparallel_[i] * factor;
+  const MicroSiemens healthy = state_[i] == device::MtjState::kParallel ? gp : gap;
+  return defects_.effective_conductance(phys_row, phys_col, healthy, gp, gap,
+                                        config_.short_conductance);
+}
+
 MicroSiemens Crossbar::conductance(std::size_t row, std::size_t col) const {
-  const std::size_t i = row * config_.cols + col;
-  const MicroSiemens healthy = state_[i] == device::MtjState::kParallel
-                                   ? g_parallel_[i]
-                                   : g_antiparallel_[i];
-  return defects_.effective_conductance(row, col, healthy, g_parallel_[i],
-                                        g_antiparallel_[i], config_.short_conductance);
+  return cell_conductance(row_map_[row], col_map_[col]);
+}
+
+MicroSiemens Crossbar::reference_conductance(std::size_t row, std::size_t col) const {
+  const std::size_t i = row_map_[row] * pcols_ + col_map_[col];
+  return state_[i] == device::MtjState::kParallel ? g_parallel_[i]
+                                                  : g_antiparallel_[i];
+}
+
+device::MtjState Crossbar::programmed_state(std::size_t row, std::size_t col) const {
+  return state_[row_map_[row] * pcols_ + col_map_[col]];
+}
+
+void Crossbar::inject_defect(std::size_t row, std::size_t col,
+                             device::DefectKind kind) {
+  defects_.set(row_map_[row], col_map_[col], kind);
+}
+
+device::DefectKind Crossbar::defect_at(std::size_t row, std::size_t col) const {
+  return defects_.at(row_map_[row], col_map_[col]);
+}
+
+bool Crossbar::remap_row(std::size_t row) {
+  if (row >= config_.rows || spare_rows_used_ >= config_.spare_rows) {
+    return false;
+  }
+  const std::size_t old_phys = row_map_[row];
+  const std::size_t new_phys = config_.rows + spare_rows_used_;
+  ++spare_rows_used_;
+  for (std::size_t c = 0; c < config_.cols; ++c) {
+    const std::size_t pc = col_map_[c];
+    state_[new_phys * pcols_ + pc] = state_[old_phys * pcols_ + pc];
+    if (!drift_.empty()) {
+      drift_[new_phys * pcols_ + pc] = 1.0;  // freshly programmed
+    }
+  }
+  row_map_[row] = new_phys;
+  remapped_ = true;
+  return true;
+}
+
+bool Crossbar::remap_col(std::size_t col) {
+  if (col >= config_.cols || spare_cols_used_ >= config_.spare_cols) {
+    return false;
+  }
+  const std::size_t old_phys = col_map_[col];
+  const std::size_t new_phys = config_.cols + spare_cols_used_;
+  ++spare_cols_used_;
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    const std::size_t base = row_map_[r] * pcols_;
+    state_[base + new_phys] = state_[base + old_phys];
+    if (!drift_.empty()) {
+      drift_[base + new_phys] = 1.0;
+    }
+  }
+  col_map_[col] = new_phys;
+  remapped_ = true;
+  return true;
+}
+
+void Crossbar::apply_drift(double magnitude, std::uint64_t seed) {
+  if (magnitude <= 0.0) {
+    return;
+  }
+  if (drift_.empty()) {
+    drift_.assign(state_.size(), 1.0);
+  }
+  std::mt19937_64 engine(seed);
+  std::normal_distribution<double> chi(0.0, 1.0);
+  for (auto& f : drift_) {
+    f *= std::exp(-magnitude * std::abs(chi(engine)));
+  }
+}
+
+std::size_t Crossbar::recalibrate() {
+  if (drift_.empty()) {
+    return 0;
+  }
+  std::size_t moved = 0;
+  for (double f : drift_) {
+    if (f != 1.0) {
+      ++moved;
+    }
+  }
+  drift_.clear();
+  return moved;
 }
 
 double Crossbar::ir_drop_factor(std::size_t active_rows) const {
@@ -105,6 +218,7 @@ std::vector<MicroAmp> Crossbar::mac(std::span<const Volt> row_voltages) const {
   // Hoisted: defect_count() walks the whole map, so it must not sit in the
   // per-cell loop.
   const bool has_defects = defects_.defect_count() > 0;
+  const bool fast = !has_defects && !remapped_ && drift_.empty();
 
   std::vector<MicroAmp> currents(config_.cols, 0.0);
   for (std::size_t r = 0; r < config_.rows; ++r) {
@@ -112,17 +226,21 @@ std::vector<MicroAmp> Crossbar::mac(std::span<const Volt> row_voltages) const {
     if (v == 0.0) {
       continue;
     }
-    const std::size_t base = r * config_.cols;
-    for (std::size_t c = 0; c < config_.cols; ++c) {
-      const std::size_t i = base + c;
-      MicroSiemens g = state_[i] == device::MtjState::kParallel ? g_parallel_[i]
-                                                                : g_antiparallel_[i];
-      if (has_defects) {
-        g = defects_.effective_conductance(r, c, g, g_parallel_[i], g_antiparallel_[i],
-                                           config_.short_conductance);
+    const std::size_t base = row_map_[r] * pcols_;
+    if (fast) {
+      for (std::size_t c = 0; c < config_.cols; ++c) {
+        const std::size_t i = base + c;
+        const MicroSiemens g = state_[i] == device::MtjState::kParallel
+                                   ? g_parallel_[i]
+                                   : g_antiparallel_[i];
+        // V [V] * G [uS] = I [uA]
+        currents[c] += v * g;
       }
-      // V [V] * G [uS] = I [uA]
-      currents[c] += v * g;
+    } else {
+      const std::size_t pr = row_map_[r];
+      for (std::size_t c = 0; c < config_.cols; ++c) {
+        currents[c] += v * cell_conductance(pr, col_map_[c]);
+      }
     }
   }
   for (auto& i : currents) {

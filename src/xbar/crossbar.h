@@ -12,6 +12,16 @@
 //   * cycle-to-cycle read noise (optional, per read)
 //   * IR drop along the columns: a first-order attenuation that grows with
 //     the number of simultaneously active rows and the wire resistance.
+//   * conductance drift (apply_drift) repaired by recalibrate()
+//
+// Spare lines: the physical die may provision `spare_rows` / `spare_cols`
+// extra lines beyond the logical array. All public indices are logical;
+// a row/col map translates to physical lines, so quarantined lines can be
+// remapped onto spares (remap_row / remap_col) without the callers — or
+// the event engine, which reads through conductance() — noticing anything
+// but the repaired values. IR drop stays keyed to the logical row count:
+// spare provisioning must not change the electrical length of the column
+// that the logical array was calibrated for.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +43,12 @@ using device::Volt;
 struct CrossbarConfig {
   std::size_t rows = 128;
   std::size_t cols = 128;
+  /// Spare lines provisioned beyond the logical array for self-healing
+  /// remaps. Spare cells draw their own variability/defects at fabrication
+  /// time like any other cell — a defective spare is possible and is
+  /// re-detected by the next probe after a remap onto it.
+  std::size_t spare_rows = 0;
+  std::size_t spare_cols = 0;
   device::MtjParams mtj{};              ///< junction design point
   Volt read_voltage = 0.1;              ///< row drive amplitude
   /// Column wire resistance per cell pitch (kOhm); sets the IR-drop scale.
@@ -65,8 +81,19 @@ class Crossbar {
   /// +1 -> parallel (high G), -1 -> anti-parallel (low G).
   void program_binary(std::span<const float> weights);
 
-  /// Effective conductance of a cell after defects.
+  /// Effective conductance of a cell after remap, drift and defects — the
+  /// value a read actually measures.
   [[nodiscard]] MicroSiemens conductance(std::size_t row, std::size_t col) const;
+
+  /// Programmed-target conductance of a cell: the post-variability healthy
+  /// conductance of the programmed state, before drift and defects. This is
+  /// the golden reference health probes compare measured reads against.
+  [[nodiscard]] MicroSiemens reference_conductance(std::size_t row,
+                                                   std::size_t col) const;
+
+  /// Programmed MTJ state of a (logical) cell.
+  [[nodiscard]] device::MtjState programmed_state(std::size_t row,
+                                                  std::size_t col) const;
 
   /// Analog MAC: row voltages (one per row, volts) -> column currents (uA).
   /// `active_rows` restricts the computation to rows whose voltage is
@@ -81,25 +108,93 @@ class Crossbar {
   [[nodiscard]] std::size_t rows() const { return config_.rows; }
   [[nodiscard]] std::size_t cols() const { return config_.cols; }
   [[nodiscard]] const CrossbarConfig& config() const { return config_; }
+  /// Raw defect map over the PHYSICAL array (rows+spare_rows x
+  /// cols+spare_cols). Indices here are physical; use inject_defect() /
+  /// defect_at() for logical, remap-aware access.
   [[nodiscard]] const device::DefectMap& defects() const { return defects_; }
   [[nodiscard]] device::DefectMap& defects() { return defects_; }
 
+  /// Set / read the defect kind of a LOGICAL cell (routed through the
+  /// current remap). Injection after a remap lands on the line actually in
+  /// use, like radiation hitting the active array.
+  void inject_defect(std::size_t row, std::size_t col, device::DefectKind kind);
+  [[nodiscard]] device::DefectKind defect_at(std::size_t row, std::size_t col) const;
+
+  // --- Self-healing -------------------------------------------------------
+
+  /// Remap a logical row onto the next free spare physical row, copying the
+  /// programmed weights (the reprogramming pass). The spare starts
+  /// drift-free — it was just programmed. Returns false (no change) when no
+  /// spare row is left. Callers holding EventMac delta state over this
+  /// plane must invalidate it.
+  bool remap_row(std::size_t row);
+  /// Same for a logical column.
+  bool remap_col(std::size_t col);
+
+  [[nodiscard]] std::size_t spare_rows_available() const {
+    return config_.spare_rows - spare_rows_used_;
+  }
+  [[nodiscard]] std::size_t spare_cols_available() const {
+    return config_.spare_cols - spare_cols_used_;
+  }
+  [[nodiscard]] bool remapped() const { return remapped_; }
+  [[nodiscard]] std::size_t physical_row(std::size_t row) const { return row_map_[row]; }
+  [[nodiscard]] std::size_t physical_col(std::size_t col) const { return col_map_[col]; }
+
+  /// Apply one increment of conductance drift: every physical cell's
+  /// conductance decays by a per-cell factor exp(-magnitude * |N(0,1)|)
+  /// drawn deterministically from `seed`. Repeated calls compound
+  /// (progressive drift). Stuck/short defect conductances drift too — the
+  /// material relaxes regardless of what pinned it.
+  void apply_drift(double magnitude, std::uint64_t seed);
+
+  /// Re-program every cell to its reference conductance (ideal
+  /// program-verify), clearing accumulated drift. Defects are physical and
+  /// survive recalibration. Returns the number of cells whose conductance
+  /// moved.
+  std::size_t recalibrate();
+
+  [[nodiscard]] bool drifted() const { return !drift_.empty(); }
+
   /// Conductances of the two healthy states after this instance's
-  /// variability draw, averaged over cells (used for SA thresholds).
+  /// variability draw, averaged over physical cells (used for SA
+  /// thresholds).
   [[nodiscard]] MicroSiemens mean_on_conductance() const;
   [[nodiscard]] MicroSiemens mean_off_conductance() const;
 
   /// First-order column IR-drop attenuation for `active_rows`
   /// simultaneously driven rows. Public so the event-driven evaluation
-  /// (xbar::EventMac) applies exactly the factor mac() would.
+  /// (xbar::EventMac) applies exactly the factor mac() would. Keyed to the
+  /// logical row count: spare provisioning does not change it.
   [[nodiscard]] double ir_drop_factor(std::size_t active_rows) const;
 
  private:
+  [[nodiscard]] std::size_t physical_rows() const {
+    return config_.rows + config_.spare_rows;
+  }
+  [[nodiscard]] std::size_t physical_cols() const {
+    return config_.cols + config_.spare_cols;
+  }
+  /// Measured conductance of a PHYSICAL cell (drift + defects applied).
+  [[nodiscard]] MicroSiemens cell_conductance(std::size_t phys_row,
+                                              std::size_t phys_col) const;
+  void init_maps();
+
   CrossbarConfig config_;
+  std::size_t pcols_ = 0;                     ///< physical column pitch
   std::vector<MicroSiemens> g_parallel_;      ///< per-cell P-state conductance
   std::vector<MicroSiemens> g_antiparallel_;  ///< per-cell AP-state conductance
   std::vector<device::MtjState> state_;
   device::DefectMap defects_;
+  /// Logical -> physical line maps (identity until a remap).
+  std::vector<std::size_t> row_map_;
+  std::vector<std::size_t> col_map_;
+  std::size_t spare_rows_used_ = 0;
+  std::size_t spare_cols_used_ = 0;
+  bool remapped_ = false;
+  /// Per-physical-cell multiplicative drift factor; empty means no drift
+  /// (the common case pays neither memory nor arithmetic for it).
+  std::vector<double> drift_;
 };
 
 }  // namespace neuspin::xbar

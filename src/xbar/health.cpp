@@ -1,0 +1,203 @@
+#include "xbar/health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace neuspin::xbar {
+
+double ProbeReport::health_score() const {
+  if (!swept) {
+    return canary_ok && !adc_offset_detected ? 1.0 : 0.0;
+  }
+  if (cells_checked == 0) {
+    return 1.0;
+  }
+  return 1.0 - static_cast<double>(cells_faulty) / static_cast<double>(cells_checked);
+}
+
+void HealthReport::fold(const ProbeReport& report) {
+  ++tiles;
+  if (!report.healthy()) {
+    ++tiles_faulty;
+  }
+  cells_checked += report.cells_checked;
+  cells_faulty += report.cells_faulty;
+  drift_suspected = drift_suspected || report.drift_suspected;
+  min_tile_score = std::min(min_tile_score, report.health_score());
+}
+
+void HealSummary::fold(const HealSummary& other) {
+  rows_remapped += other.rows_remapped;
+  cols_remapped += other.cols_remapped;
+  lines_unrepairable += other.lines_unrepairable;
+  cells_recalibrated += other.cells_recalibrated;
+  healthy_after = healthy_after && other.healthy_after;
+}
+
+namespace {
+
+/// Golden all-rows column currents from the reference conductances, with
+/// the exact summation order of Crossbar::mac so a healthy plane matches
+/// bitwise, not just within tolerance.
+std::vector<double> golden_all_rows(const Crossbar& xb, Volt v) {
+  std::vector<double> currents(xb.cols(), 0.0);
+  for (std::size_t r = 0; r < xb.rows(); ++r) {
+    for (std::size_t c = 0; c < xb.cols(); ++c) {
+      currents[c] += v * xb.reference_conductance(r, c);
+    }
+  }
+  const double attenuation = xb.ir_drop_factor(xb.rows());
+  for (auto& i : currents) {
+    i *= attenuation;
+  }
+  return currents;
+}
+
+bool canary_plane_ok(const Crossbar& xb, Volt v, double tolerance_ua) {
+  const std::vector<Volt> drive(xb.rows(), v);
+  const auto measured = xb.mac(drive);
+  const auto golden = golden_all_rows(xb, v);
+  for (std::size_t c = 0; c < xb.cols(); ++c) {
+    if (std::abs(measured[c] - golden[c]) > tolerance_ua) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Deterministic greedy line cover of the stuck cells of one block:
+/// repeatedly quarantine the row or column explaining the most uncovered
+/// cells (rows beat columns on ties, lower index beats higher).
+void cover_block(std::size_t block, std::size_t rows, std::size_t cols,
+                 std::vector<std::pair<std::size_t, std::size_t>> stuck,
+                 std::vector<LineFault>& faulty_rows,
+                 std::vector<LineFault>& faulty_cols) {
+  while (!stuck.empty()) {
+    std::vector<std::size_t> row_count(rows, 0);
+    std::vector<std::size_t> col_count(cols, 0);
+    for (const auto& [r, c] : stuck) {
+      ++row_count[r];
+      ++col_count[c];
+    }
+    std::size_t best_row = 0;
+    std::size_t best_col = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (row_count[r] > row_count[best_row]) {
+        best_row = r;
+      }
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (col_count[c] > col_count[best_col]) {
+        best_col = c;
+      }
+    }
+    const bool pick_row = row_count[best_row] >= col_count[best_col];
+    const std::size_t covered = pick_row ? row_count[best_row] : col_count[best_col];
+    if (pick_row) {
+      faulty_rows.push_back(LineFault{block, best_row, covered});
+    } else {
+      faulty_cols.push_back(LineFault{block, best_col, covered});
+    }
+    std::erase_if(stuck, [&](const auto& cell) {
+      return pick_row ? cell.first == best_row : cell.second == best_col;
+    });
+  }
+}
+
+}  // namespace
+
+ProbeReport probe_tile(const DenseTile& tile, const ProbeConfig& config) {
+  ProbeReport report;
+  const double unit = tile.unit_current();
+  const Volt v = tile.config().crossbar.read_voltage;
+  const double canary_tol = config.canary_tolerance * unit;
+  for (std::size_t b = 0; b < tile.block_count(); ++b) {
+    if (!canary_plane_ok(tile.plus_plane(b), v, canary_tol) ||
+        !canary_plane_ok(tile.minus_plane(b), v, canary_tol)) {
+      report.canary_ok = false;
+      break;
+    }
+  }
+  // Grounded-input read: a non-zero code on a zero input is read-out
+  // offset. Sub-LSB/2 offsets sit below the measurement floor — and below
+  // the quantizer's own error — so invisibility there is harmless.
+  if (tile.config().readout == Readout::kAdc && tile.adc().quantize(0.0) != 0.0) {
+    report.adc_offset_detected = true;
+  }
+  if (report.canary_ok && !report.adc_offset_detected && !config.force_sweep) {
+    return report;
+  }
+
+  // Localization sweep. Per-cell conductance deviation carries exactly the
+  // information a one-hot row probe measures (currents scale by
+  // v * ir_drop_factor(1)), computed in O(cells).
+  report.swept = true;
+  const double delta_g = unit / v;
+  double healthy_dev_sum = 0.0;
+  std::size_t healthy_cells = 0;
+  for (std::size_t b = 0; b < tile.block_count(); ++b) {
+    std::vector<std::pair<std::size_t, std::size_t>> stuck;
+    for (const Crossbar* xb : {&tile.plus_plane(b), &tile.minus_plane(b)}) {
+      for (std::size_t r = 0; r < xb->rows(); ++r) {
+        for (std::size_t c = 0; c < xb->cols(); ++c) {
+          const double dev =
+              std::abs(xb->conductance(r, c) - xb->reference_conductance(r, c)) /
+              delta_g;
+          ++report.cells_checked;
+          report.max_deviation = std::max(report.max_deviation, dev);
+          if (dev > config.cell_tolerance) {
+            ++report.cells_faulty;
+            stuck.emplace_back(r, c);
+          } else {
+            healthy_dev_sum += dev;
+            ++healthy_cells;
+          }
+        }
+      }
+    }
+    // Both planes share word lines and bit lines through the differential
+    // pair, so covers merge across planes: one spare line repairs both.
+    std::sort(stuck.begin(), stuck.end());
+    stuck.erase(std::unique(stuck.begin(), stuck.end()), stuck.end());
+    cover_block(b, tile.plus_plane(b).rows(), tile.plus_plane(b).cols(),
+                std::move(stuck), report.faulty_rows, report.faulty_cols);
+  }
+  if (healthy_cells > 0) {
+    report.mean_deviation = healthy_dev_sum / static_cast<double>(healthy_cells);
+  }
+  report.drift_suspected = report.mean_deviation > config.drift_tolerance;
+  return report;
+}
+
+HealSummary heal_tile(DenseTile& tile, const ProbeConfig& config) {
+  ProbeConfig swept = config;
+  swept.force_sweep = true;
+  const ProbeReport before = probe_tile(tile, swept);
+
+  HealSummary summary;
+  for (const LineFault& f : before.faulty_rows) {
+    if (tile.remap_row(f.block, f.index)) {
+      ++summary.rows_remapped;
+    } else {
+      ++summary.lines_unrepairable;
+    }
+  }
+  for (const LineFault& f : before.faulty_cols) {
+    if (tile.remap_col(f.block, f.index)) {
+      ++summary.cols_remapped;
+    } else {
+      ++summary.lines_unrepairable;
+    }
+  }
+  // Reprogram-verify every plane and zero the ADC offset. Runs even when
+  // only lines were remapped: the spare lines were programmed from the
+  // reference weights, everything else re-verifies as a no-op.
+  summary.cells_recalibrated = tile.recalibrate();
+
+  const ProbeReport after = probe_tile(tile, swept);
+  summary.healthy_after = after.healthy();
+  return summary;
+}
+
+}  // namespace neuspin::xbar

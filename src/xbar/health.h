@@ -1,0 +1,129 @@
+// Online tile health: canary probing, fault localization, and healing.
+//
+// A probe compares what the array measures against what it was programmed
+// to hold. Every crossbar keeps its programmed-target (reference)
+// conductances (Crossbar::reference_conductance), so golden outputs are
+// computable for any probe vector. Two probe stages:
+//
+//   1. Canary — one all-rows MVM per plane per block through the real
+//      electrical path (Crossbar::mac), compared column-by-column against
+//      the golden currents computed from the references with the same
+//      summation order. On a healthy, undrifted tile the two are bitwise
+//      equal, so the canary tolerance only has to reject measurement
+//      floors, not model error. A grounded-input ADC read checks for
+//      read-out offset drift.
+//   2. Localization sweep — per-cell comparison of measured vs reference
+//      conductance. A one-hot row probe of row r yields column currents
+//      v * G(r,c) * ir_drop_factor(1), so comparing per-cell conductances
+//      is exactly the information |rows| one-hot MVMs would measure,
+//      computed in O(cells) instead of O(rows * cells) (pinned equivalent
+//      by test). Cells deviating beyond `cell_tolerance` are stuck; a
+//      raised mean deviation over the remaining cells is drift.
+//
+// Faulty cells are quarantined at line granularity (that is what spare
+// lines can replace): a deterministic greedy cover picks the row/column
+// explaining the most uncovered faulty cells (rows win ties, then the
+// lower index), matching how memory BIST allocates spares.
+//
+// heal_tile() = probe -> remap quarantined lines onto spares (both planes,
+// weights reprogrammed) -> recalibrate drift + ADC offset -> re-probe.
+// After a successful heal the tile is bitwise-equal to a fresh defect-free
+// tile over healthy cells (pinned by tests/health_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "xbar/tile.h"
+
+namespace neuspin::xbar {
+
+/// Probe thresholds. Conductance tolerances are fractions of the nominal
+/// on/off conductance split (delta G), current tolerances are fractions of
+/// the tile's unit current — both voltage- and geometry-independent.
+struct ProbeConfig {
+  /// Canary: max |measured - golden| column current, in unit currents.
+  double canary_tolerance = 0.05;
+  /// Sweep: |G_measured - G_reference| above this fraction of delta G
+  /// classifies the cell as stuck.
+  double cell_tolerance = 0.25;
+  /// Sweep: mean |G_measured - G_reference| of non-stuck cells above this
+  /// fraction of delta G flags drift (schedules recalibration).
+  double drift_tolerance = 0.02;
+  /// Run the localization sweep even when the canary passes.
+  bool force_sweep = false;
+};
+
+/// One quarantined line of one row block.
+struct LineFault {
+  std::size_t block = 0;
+  /// Row index within the block, or logical column index.
+  std::size_t index = 0;
+  /// Faulty cells this line covered when it was picked (both planes).
+  std::size_t faulty_cells = 0;
+};
+
+/// Result of probing one tile.
+struct ProbeReport {
+  bool canary_ok = true;
+  /// Grounded-input ADC read returned a non-zero code (offset drift).
+  bool adc_offset_detected = false;
+  bool swept = false;
+  std::size_t cells_checked = 0;  ///< both planes, all blocks
+  std::size_t cells_faulty = 0;
+  double max_deviation = 0.0;   ///< max |dG| / delta G over swept cells
+  double mean_deviation = 0.0;  ///< mean |dG| / delta G over non-stuck cells
+  bool drift_suspected = false;
+  std::vector<LineFault> faulty_rows;
+  std::vector<LineFault> faulty_cols;
+
+  [[nodiscard]] bool healthy() const {
+    return canary_ok && !adc_offset_detected && cells_faulty == 0 &&
+           !drift_suspected;
+  }
+  /// Structural health in [0,1]: fraction of probed cells on spec. Without
+  /// a sweep the canary verdict is all the information there is.
+  [[nodiscard]] double health_score() const;
+};
+
+/// Aggregate over a model's tiles. The score is worst-tile: one sick tile
+/// corrupts every answer routed through it, so averaging would hide it.
+struct HealthReport {
+  std::size_t tiles = 0;
+  std::size_t tiles_faulty = 0;
+  std::size_t cells_checked = 0;
+  std::size_t cells_faulty = 0;
+  bool drift_suspected = false;
+  double min_tile_score = 1.0;
+
+  void fold(const ProbeReport& report);
+  [[nodiscard]] bool healthy() const {
+    return tiles_faulty == 0 && !drift_suspected;
+  }
+  [[nodiscard]] double score() const { return min_tile_score; }
+};
+
+/// What healing did to one tile (or, folded, to a whole model).
+struct HealSummary {
+  std::size_t rows_remapped = 0;
+  std::size_t cols_remapped = 0;
+  /// Quarantined lines left in place because spares ran out.
+  std::size_t lines_unrepairable = 0;
+  std::size_t cells_recalibrated = 0;
+  /// The post-heal probe came back clean.
+  bool healthy_after = true;
+
+  void fold(const HealSummary& other);
+};
+
+/// Canary probe; runs the localization sweep when the canary fails (or
+/// config.force_sweep is set).
+[[nodiscard]] ProbeReport probe_tile(const DenseTile& tile, const ProbeConfig& config);
+
+/// Probe, remap quarantined lines, recalibrate, re-probe. The tile keeps
+/// serving correct-over-healthy-cells answers immediately after return;
+/// `healthy_after == false` means a replacement (re-clone) is needed.
+[[nodiscard]] HealSummary heal_tile(DenseTile& tile, const ProbeConfig& config);
+
+}  // namespace neuspin::xbar

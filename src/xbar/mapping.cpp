@@ -45,6 +45,17 @@ MappingCensus census(const ConvGeometry& geometry, MappingStrategy strategy) {
       break;
   }
   c.total_cells = c.crossbar_count * c.crossbar_rows * c.crossbar_cols;
+  // Redundancy tax: each array is physically (rows + spare_rows) x
+  // (cols + spare_cols); everything beyond the logical grid is spare.
+  const std::size_t physical_per_array =
+      (c.crossbar_rows + geometry.spare_rows) *
+      (c.crossbar_cols + geometry.spare_cols);
+  c.spare_cells =
+      c.crossbar_count * physical_per_array - c.total_cells;
+  c.spare_overhead = c.total_cells == 0
+                         ? 0.0
+                         : static_cast<double>(c.spare_cells) /
+                               static_cast<double>(c.total_cells);
   return c;
 }
 

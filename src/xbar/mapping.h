@@ -32,6 +32,11 @@ struct ConvGeometry {
   std::size_t kernel = 3;
   std::size_t output_height = 14;
   std::size_t output_width = 14;
+  /// Spare lines provisioned PER ARRAY for self-healing remap (see
+  /// xbar/health.h). 0 = no redundancy; the census is then identical to
+  /// the spare-less one.
+  std::size_t spare_rows = 0;
+  std::size_t spare_cols = 0;
 
   [[nodiscard]] std::size_t kernel_area() const { return kernel * kernel; }
   [[nodiscard]] std::size_t output_pixels() const { return output_height * output_width; }
@@ -59,6 +64,15 @@ struct MappingCensus {
   std::size_t dropout_fanout = 0;
   /// ADC conversions per output pixel (one per column per crossbar).
   std::size_t adc_per_pixel = 0;
+  /// Self-healing redundancy: spare differential pairs across all arrays
+  /// (physical cells minus logical cells). Spares are provisioned per
+  /// array, so the two strategies price redundancy very differently —
+  /// strategy 1 amortizes one array's spare lines over the whole layer,
+  /// strategy 2 pays for spare lines in each of its K*K small arrays.
+  std::size_t spare_cells = 0;
+  /// spare_cells / total_cells: the area tax of the provisioned
+  /// redundancy (0 when no spares are provisioned).
+  double spare_overhead = 0.0;
 };
 
 /// Compute the census of `geometry` under `strategy`.

@@ -119,11 +119,13 @@ void DenseTile::inject_defects(const device::DefectRates& rates, std::uint64_t s
                                       seed + 101 * b + 57);
     for (std::size_t r = 0; r < plus_[b]->rows(); ++r) {
       for (std::size_t c = 0; c < plus_[b]->cols(); ++c) {
+        // Logical, remap-aware routing: a burst after a repair hits the
+        // lines actually in use, not abandoned physical lines.
         if (plus_map.at(r, c) != device::DefectKind::kNone) {
-          plus_[b]->defects().set(r, c, plus_map.at(r, c));
+          plus_[b]->inject_defect(r, c, plus_map.at(r, c));
         }
         if (minus_map.at(r, c) != device::DefectKind::kNone) {
-          minus_[b]->defects().set(r, c, minus_map.at(r, c));
+          minus_[b]->inject_defect(r, c, minus_map.at(r, c));
         }
       }
     }
@@ -131,6 +133,78 @@ void DenseTile::inject_defects(const device::DefectRates& rates, std::uint64_t s
     plus_state_[b].invalidate();
     minus_state_[b].invalidate();
   }
+}
+
+void DenseTile::inject_cell_defect(std::size_t block, bool plus_plane, std::size_t row,
+                                   std::size_t col, device::DefectKind kind) {
+  if (block >= plus_.size() || row >= plus_[block]->rows() ||
+      col >= plus_[block]->cols()) {
+    throw std::out_of_range("DenseTile::inject_cell_defect: cell out of range");
+  }
+  (plus_plane ? plus_ : minus_)[block]->inject_defect(row, col, kind);
+  plus_state_[block].invalidate();
+  minus_state_[block].invalidate();
+}
+
+void DenseTile::apply_drift(double magnitude, std::uint64_t seed) {
+  if (magnitude <= 0.0) {
+    return;
+  }
+  for (std::size_t b = 0; b < plus_.size(); ++b) {
+    plus_[b]->apply_drift(magnitude, seed + 2 * b);
+    minus_[b]->apply_drift(magnitude, seed + 2 * b + 1);
+    plus_state_[b].invalidate();
+    minus_state_[b].invalidate();
+  }
+  // The read-out chain ages with the array: the ADC's input-referred
+  // offset random-walks by a fraction of an LSB per drift epoch.
+  if (config_.readout == Readout::kAdc) {
+    std::mt19937_64 engine(seed ^ 0xadc0ff5e7ULL);
+    std::normal_distribution<double> step(0.0, 1.0);
+    adc_.set_offset(adc_.offset() + magnitude * adc_.lsb() * step(engine));
+  }
+}
+
+std::size_t DenseTile::recalibrate() {
+  std::size_t moved = 0;
+  for (std::size_t b = 0; b < plus_.size(); ++b) {
+    moved += plus_[b]->recalibrate();
+    moved += minus_[b]->recalibrate();
+    plus_state_[b].invalidate();
+    minus_state_[b].invalidate();
+  }
+  adc_.set_offset(0.0);
+  return moved;
+}
+
+bool DenseTile::remap_row(std::size_t block, std::size_t row) {
+  if (block >= plus_.size() || row >= plus_[block]->rows()) {
+    return false;
+  }
+  if (plus_[block]->spare_rows_available() == 0 ||
+      minus_[block]->spare_rows_available() == 0) {
+    return false;
+  }
+  const bool ok_plus = plus_[block]->remap_row(row);
+  const bool ok_minus = minus_[block]->remap_row(row);
+  plus_state_[block].invalidate();
+  minus_state_[block].invalidate();
+  return ok_plus && ok_minus;
+}
+
+bool DenseTile::remap_col(std::size_t block, std::size_t col) {
+  if (block >= plus_.size() || col >= plus_[block]->cols()) {
+    return false;
+  }
+  if (plus_[block]->spare_cols_available() == 0 ||
+      minus_[block]->spare_cols_available() == 0) {
+    return false;
+  }
+  const bool ok_plus = plus_[block]->remap_col(col);
+  const bool ok_minus = minus_[block]->remap_col(col);
+  plus_state_[block].invalidate();
+  minus_state_[block].invalidate();
+  return ok_plus && ok_minus;
 }
 
 namespace {

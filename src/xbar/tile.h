@@ -108,6 +108,42 @@ class DenseTile {
   /// every row against the new defect map.
   void inject_defects(const device::DefectRates& rates, std::uint64_t seed);
 
+  /// Targeted injection into one cell of one plane of one block (logical
+  /// indices, routed through the current remap). `plus_plane` selects the
+  /// G+ (true) or G- (false) plane. Invalidates that block's delta state.
+  void inject_cell_defect(std::size_t block, bool plus_plane, std::size_t row,
+                          std::size_t col, device::DefectKind kind);
+
+  // --- Self-healing -------------------------------------------------------
+
+  /// One increment of conductance drift on every plane plus an ADC-offset
+  /// random walk (see Crossbar::apply_drift); deterministic in `seed`,
+  /// compounding across calls.
+  void apply_drift(double magnitude, std::uint64_t seed);
+
+  /// Re-program every plane to its reference conductances and zero the ADC
+  /// offset (program-verify + offset cal against a grounded input).
+  /// Returns the number of cells whose conductance moved.
+  std::size_t recalibrate();
+
+  /// Remap logical row `row` of block `block` (or logical column `col`,
+  /// which lives per block too) onto spare lines in BOTH planes.
+  /// All-or-nothing: fails without side effects when either plane is out
+  /// of spares. Invalidates the block's delta state on success.
+  bool remap_row(std::size_t block, std::size_t row);
+  bool remap_col(std::size_t block, std::size_t col);
+
+  /// Read-only plane access for health probing (golden references and
+  /// measured conductances).
+  [[nodiscard]] const Crossbar& plus_plane(std::size_t block) const {
+    return *plus_[block];
+  }
+  [[nodiscard]] const Crossbar& minus_plane(std::size_t block) const {
+    return *minus_[block];
+  }
+  [[nodiscard]] const Adc& adc() const { return adc_; }
+  [[nodiscard]] double unit_current() const { return unit_current_; }
+
   /// Accumulated event-engine work census since construction (or the last
   /// reset): how much row propagation the delta cache skipped.
   [[nodiscard]] const DeltaStats& delta_stats() const { return delta_stats_; }

@@ -19,6 +19,14 @@
 //    drain timeout bounds the wait.
 //  * Mid-serving inject_defects keeps event-driven and full tile
 //    evaluation bitwise locked on live TiledBackends.
+//  * Self-healing (serve::HealthConfig + xbar/health.h): a seeded defect
+//    burst is detected by a scheduled canary probe within one probe
+//    cadence, quarantined (cascade rung degraded, flagged) and healed by
+//    spare-line remap — zero requests lost, post-heal answers bitwise
+//    equal to the fault-free run.
+//  * Graceful drain stays accountable under active chaos: every future
+//    settles exactly once, shed futures carry the typed shutdown error,
+//    and the drain timeout bounds the wall-clock wait.
 #include <gtest/gtest.h>
 
 #include <array>
@@ -834,6 +842,310 @@ TEST(TiledBackend, MidServingDefectBurstKeepsEventAndFullBitwiseLocked) {
   event.inject_defects(rates, 515);
   expect_equal("after the burst");
   expect_equal("steady state after the burst");
+}
+
+// -------------------------------------------------------- self-healing ----
+
+/// Find a fault-plan seed whose ticket-0 defect burst on the plan's target
+/// tile is both DETECTED by a canary probe and REPAIRABLE within the
+/// provisioned spare lines — established offline on a simulation replica
+/// built exactly the way Runtime::make_backend builds the worker's tiled
+/// substrate, so the serving tests below exercise the full
+/// detect -> quarantine -> remap -> recover path deterministically (no
+/// restart fallback, no undetectable no-op burst).
+std::uint64_t repairable_burst_seed(const core::BuiltModel& model,
+                                    const serve::RuntimeConfig& config) {
+  for (std::uint64_t seed = 1; seed <= 128; ++seed) {
+    serve::FaultPlan plan = config.fault;
+    plan.seed = seed;
+    serve::FaultInjector probe(plan);
+    const serve::FaultInjector::Decision decision = probe.next();
+    if (decision.action != serve::FaultInjector::Action::kDefectBurst) {
+      continue;
+    }
+    core::TiledBackendConfig sim_config;
+    sim_config.tile = config.tile;
+    sim_config.tile_seed = config.tile_seed;
+    sim_config.mc_samples = config.mc_samples;
+    core::BuiltModel staging = model.clone();
+    core::TiledBackend sim(staging.net, sim_config);
+    sim.inject_defects_at(static_cast<std::size_t>(config.fault.defect_tile),
+                          config.fault.defect_rates, decision.burst_seed);
+    if (sim.check_health(config.health.probe).healthy()) {
+      continue;  // the burst drew no effective defect: nothing to detect
+    }
+    if (!sim.heal(config.health.probe).healthy_after) {
+      continue;  // the damage exceeds the spare budget
+    }
+    return seed;
+  }
+  return 0;
+}
+
+/// Tiled serving with health monitoring on and a single seeded defect
+/// burst aimed at the classifier tile on forward ticket 0.
+serve::RuntimeConfig self_healing_config(std::uint64_t request_seed_base) {
+  serve::RuntimeConfig config;
+  config.backend = serve::Backend::kTiled;
+  config.workers = 1;
+  config.mc_samples = 2;
+  config.seed = request_seed_base;
+  config.tile.crossbar.spare_rows = 4;
+  config.tile.crossbar.spare_cols = 4;
+  config.health.enabled = true;
+  config.health.probe_every = 1;
+  config.fault.enabled = true;
+  config.fault.defect_p = 1.0;
+  config.fault.stop_after = 1;   // exactly one burst, on forward ticket 0
+  config.fault.defect_tile = 2;  // the 16 x 10 classifier tile
+  config.fault.defect_rates.open = 0.01;
+  config.fault.defect_rates.stuck_at_ap = 0.01;
+  return config;
+}
+
+TEST(Runtime, SelfHealingDetectsSeededBurstHealsAndLosesNoRequest) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(41, 3);
+  constexpr std::size_t kRequests = 8;
+  constexpr std::uint64_t kSeed = 909;
+
+  serve::RuntimeConfig config = self_healing_config(kSeed);
+  config.fault.seed = repairable_burst_seed(model, config);
+  ASSERT_NE(config.fault.seed, 0u);
+
+  // Fault-free reference bits (monitoring off, no faults: same substrate).
+  std::vector<std::vector<float>> reference;
+  {
+    serve::RuntimeConfig clean = config;
+    clean.fault = {};
+    clean.health.enabled = false;
+    serve::Runtime runtime(model, clean);
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      reference.push_back(
+          runtime
+              .submit(sample_row(data, i % data.size()),
+                      serve::Runtime::request_stream_seed(kSeed, i))
+              .get()
+              .probs);
+    }
+  }
+
+  serve::Runtime runtime(model, config);
+  std::vector<serve::ServedPrediction> served;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    // Serial submits: request 0 rides the burst batch; the probe scheduled
+    // right after that batch must detect and heal before request 1 runs.
+    served.push_back(
+        runtime
+            .submit(sample_row(data, i % data.size()),
+                    serve::Runtime::request_stream_seed(kSeed, i))
+            .get());
+  }
+  // Request 0 was computed on the freshly-damaged substrate — inside the
+  // detection window its bits may differ. Everything after the first
+  // probe's heal is bitwise equal to the fault-free run.
+  for (std::size_t i = 1; i < kRequests; ++i) {
+    EXPECT_EQ(served[i].probs, reference[i])
+        << "request " << i << " served after the heal must carry clean bits";
+  }
+  // Join the workers first: the probe after the LAST batch runs on the
+  // worker thread after the final future resolves.
+  runtime.shutdown();
+  const serve::RuntimeStats stats = runtime.stats();
+  EXPECT_EQ(stats.requests, kRequests) << "zero requests lost to healing";
+  EXPECT_EQ(stats.health_probes, kRequests) << "probe_every=1: one per batch";
+  EXPECT_EQ(stats.health_failures, 1u);
+  EXPECT_EQ(stats.heals, 1u);
+  EXPECT_EQ(stats.worker_restarts, 0u)
+      << "the seed was chosen repairable in-place: no chip-swap fallback";
+  EXPECT_EQ(stats.health_score, 1.0) << "healed back to pristine";
+  EXPECT_GE(runtime.metrics().counter("xbar.remap.rows").value() +
+                runtime.metrics().counter("xbar.remap.cols").value(),
+            1u)
+      << "the heal remapped at least one quarantined line onto a spare";
+  EXPECT_EQ(runtime.metrics().counter("xbar.remap.exhausted").value(), 0u);
+  EXPECT_EQ(runtime.metrics().counter("xbar.health.canary_failures").value(), 1u);
+}
+
+TEST(Runtime, DetectionLatencyIsBoundedByProbeCadence) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(44, 3);
+  constexpr std::size_t kRequests = 9;
+  constexpr std::uint64_t kSeed = 1213;
+  constexpr std::uint64_t kProbeEvery = 3;
+
+  serve::RuntimeConfig config = self_healing_config(kSeed);
+  config.health.probe_every = kProbeEvery;
+  config.fault.seed = repairable_burst_seed(model, config);
+  ASSERT_NE(config.fault.seed, 0u);
+
+  std::vector<std::vector<float>> reference;
+  {
+    serve::RuntimeConfig clean = config;
+    clean.fault = {};
+    clean.health.enabled = false;
+    serve::Runtime runtime(model, clean);
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      reference.push_back(
+          runtime
+              .submit(sample_row(data, i % data.size()),
+                      serve::Runtime::request_stream_seed(kSeed, i))
+              .get()
+              .probs);
+    }
+  }
+
+  serve::Runtime runtime(model, config);
+  std::vector<serve::ServedPrediction> served;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    served.push_back(
+        runtime
+            .submit(sample_row(data, i % data.size()),
+                    serve::Runtime::request_stream_seed(kSeed, i))
+            .get());
+  }
+  runtime.shutdown();  // join workers: the last probe trails the last future
+  const serve::RuntimeStats stats = runtime.stats();
+  // The burst lands on batch ticket 1; probes run at tickets 3, 6, 9. The
+  // FIRST scheduled probe catches it — detection latency is the probe
+  // cadence, never more — and every later probe sees the healed substrate.
+  EXPECT_EQ(stats.health_probes, kRequests / kProbeEvery);
+  EXPECT_EQ(stats.health_failures, 1u)
+      << "exactly the first post-burst probe fails";
+  EXPECT_EQ(stats.heals, 1u);
+  EXPECT_EQ(stats.health_score, 1.0);
+  // Requests inside the detection window (served before probe ticket 3)
+  // may carry damaged bits; every request after the heal is clean.
+  for (std::size_t i = kProbeEvery; i < kRequests; ++i) {
+    EXPECT_EQ(served[i].probs, reference[i])
+        << "request " << i << " follows the heal and must serve clean bits";
+  }
+}
+
+TEST(Runtime, FailedProbeQuarantinesRungDegradesTypedThenRecovers) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(45);
+  constexpr std::uint64_t kSeed = 5050;
+  constexpr std::size_t kMc = 3;
+  constexpr std::size_t kRequests = 5;
+
+  // Cheap-rung reference: degraded answers must carry ITS bits.
+  std::vector<std::vector<float>> cheap_bits;
+  {
+    serve::RuntimeConfig behavioral;
+    behavioral.backend = serve::Backend::kBehavioral;
+    behavioral.workers = 1;
+    behavioral.mc_samples = kMc;
+    serve::Runtime runtime(model, behavioral);
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      cheap_bits.push_back(
+          runtime
+              .submit(sample_row(data, i % data.size()),
+                      serve::Runtime::request_stream_seed(kSeed, i))
+              .get()
+              .probs);
+    }
+  }
+
+  serve::RuntimeConfig config = self_healing_config(kSeed);
+  config.backend = serve::Backend::kCascade;
+  config.mc_samples = kMc;
+  config.cascade.entropy_threshold = 0.0;  // every request wants the rung
+  config.cascade.breaker.enabled = true;
+  config.cascade.breaker.failure_threshold = 5;  // only the quarantine opens
+  config.cascade.breaker.open_cooldown = 2;
+  config.cascade.breaker.half_open_probes = 1;
+  config.fault_site = serve::FaultSite::kExpensiveRung;
+  config.fault.seed = repairable_burst_seed(model, config);
+  ASSERT_NE(config.fault.seed, 0u);
+  serve::Runtime runtime(model, config);
+
+  // Serial submits on one worker pin the sequence: request 0 escalates and
+  // its rung forward draws the burst; the probe after the batch fails the
+  // canary, quarantines the rung (breaker forced open) and heals the
+  // substrate in place. Request 1 is denied by the open breaker — cheap
+  // bits, flagged degraded. Request 2 is the half-open probe on the healed
+  // rung (escalated; the success closes the breaker); 3 and 4 escalate
+  // normally.
+  std::vector<serve::ServedPrediction> served;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    served.push_back(
+        runtime
+            .submit(sample_row(data, i % data.size()),
+                    serve::Runtime::request_stream_seed(kSeed, i))
+            .get());
+  }
+  EXPECT_TRUE(served[0].escalated);
+  EXPECT_FALSE(served[0].degraded);
+  EXPECT_TRUE(served[1].degraded)
+      << "the quarantined rung must degrade, not serve damaged bits";
+  EXPECT_FALSE(served[1].escalated);
+  EXPECT_EQ(served[1].probs, cheap_bits[1])
+      << "a degraded answer carries the cheap rung's exact bits";
+  for (std::size_t i = 2; i < kRequests; ++i) {
+    EXPECT_TRUE(served[i].escalated) << "request " << i << " (healed rung)";
+    EXPECT_FALSE(served[i].degraded) << "request " << i;
+  }
+  runtime.shutdown();  // join workers: the last probe trails the last future
+  const serve::RuntimeStats stats = runtime.stats();
+  EXPECT_EQ(stats.quarantines, 1u);
+  EXPECT_EQ(stats.health_failures, 1u);
+  EXPECT_EQ(stats.heals, 1u);
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_EQ(stats.escalated, kRequests - 1);
+  EXPECT_EQ(stats.health_score, 1.0);
+  EXPECT_EQ(runtime.metrics().counter("serve.breaker.opened").value(), 1u);
+  EXPECT_EQ(runtime.metrics().gauge("serve.breaker.state").value(), 0.0)
+      << "recovered: the half-open probe observed the healed rung";
+}
+
+TEST(Runtime, DrainTimeoutUnderActiveChaosAccountsEveryRequest) {
+  const core::BuiltModel model = tiny_model();
+  const nn::Dataset data = tiny_dataset(46, 3);
+  constexpr std::size_t kRequests = 12;
+  serve::RuntimeConfig config;
+  config.workers = 2;
+  config.mc_samples = 2;
+  config.batcher.max_batch = 1;  // one request per pop: the stalls serialize
+  config.fault.enabled = true;
+  config.fault.seed = 99;
+  config.fault.crash_p = 0.25;
+  config.fault.stall_p = 0.75;  // every ticket faults: crash or 20ms stall
+  config.fault.stall = 20ms;
+  serve::Runtime runtime(model, config);
+  std::vector<std::future<serve::ServedPrediction>> futures;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    futures.push_back(runtime.submit(sample_row(data, i % data.size())));
+  }
+  serve::Runtime::ShutdownOptions options;
+  options.drain = true;
+  options.drain_timeout = 30ms;  // far less than 12 x 20ms of stalls
+  const auto begin = std::chrono::steady_clock::now();
+  runtime.shutdown(options);
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  EXPECT_LT(elapsed, 2s) << "the drain timeout bounds the shutdown wait";
+
+  // Chaos accounting: every future settles exactly once — served, shed
+  // typed by the drain budget, or failed typed by a double-crash. Nothing
+  // hangs, nothing is silently dropped.
+  std::size_t served = 0;
+  std::size_t shed = 0;
+  std::size_t failed_typed = 0;
+  for (auto& future : futures) {
+    try {
+      (void)future.get();
+      ++served;
+    } catch (const serve::OverloadError& error) {
+      EXPECT_EQ(error.reason(), serve::ShedReason::kShutdown);
+      ++shed;
+    } catch (const std::runtime_error&) {
+      ++failed_typed;  // first attempt AND its one retry both crashed
+    }
+  }
+  EXPECT_EQ(served + shed + failed_typed, kRequests) << "zero requests lost";
+  EXPECT_GT(shed, 0u) << "a 30ms budget cannot drain 12 x 20ms batches";
+  EXPECT_EQ(runtime.metrics().counter("serve.drain.shed").value(), shed)
+      << "the shed counter matches the typed shed futures one for one";
 }
 
 }  // namespace

@@ -21,8 +21,10 @@
 #include "core/models.h"
 #include "data/strokes.h"
 #include "nn/binarize.h"
+#include "nn/bitpack.h"
 #include "nn/layers.h"
 #include "nn/model.h"
+#include "nn/simd.h"
 #include "nn/tensor.h"
 
 namespace {
@@ -211,6 +213,126 @@ void bench_conv() {
   }
 }
 
+/// Binary-layer inference: the bit-packed XNOR/popcount GEMM vs. the
+/// float-materialized product, on Table-I dense shapes with sign (±1)
+/// activations. Three columns:
+///   remat  — sign(W)/alpha recomputed every forward (the pre-packing
+///            inference path);
+///   float  — cached sign(W)/alpha, float GEMM (BinaryAlgo::kFloat);
+///   bgemm  — packed weights + XNOR/popcount kernel (BinaryAlgo::kAuto).
+/// All three produce bitwise identical outputs (pinned by bitpack_test);
+/// GIOP/s counts 2*m*k*n signed ops.
+void bench_binary_dense() {
+  const std::vector<GemmShape> shapes = {
+      {"request  1x256x128", 1, 256, 128},
+      {"batch   16x256x128", 16, 256, 128},
+      {"fused  128x256x128", 128, 256, 128},
+      {"hidden 128x128x128", 128, 128, 128},
+      {"logits 128x128x10", 128, 128, 10},
+      {"cnn-fc 128x256x64", 128, 256, 64},
+  };
+  std::printf("\nBinaryDense inference (±1 activations): float-materialized vs\n"
+              "bit-packed XNOR/popcount GEMM (outputs bitwise identical)\n");
+  std::printf("%-20s %11s %11s %11s %9s %9s\n", "shape", "remat GI/s",
+              "float GI/s", "bgemm GI/s", "vs remat", "vs float");
+  std::mt19937_64 engine(3);
+  for (const GemmShape& s : shapes) {
+    nn::BinaryDense layer(s.k, s.n, engine);
+    nn::Tensor x = nn::sign_of(nn::Tensor::randn({s.m, s.k}, 1.0f, engine));
+    const double iops = 2.0 * static_cast<double>(s.m * s.k * s.n);
+
+    // Pre-packing path: rebuild sign(W) and alpha per call, float GEMM.
+    const double t_remat = best_seconds(
+        [&] {
+          const nn::Tensor bw = layer.binary_weight();
+          const nn::Tensor alpha = layer.scales();
+          nn::Tensor out = nn::matmul(x, bw);
+          for (std::size_t i = 0; i < s.m; ++i) {
+            for (std::size_t j = 0; j < s.n; ++j) {
+              out.at(i, j) = out.at(i, j) * alpha[j] + layer.bias()[j];
+            }
+          }
+        },
+        9);
+
+    layer.set_binary_algo(nn::BinaryAlgo::kFloat);
+    const double t_float =
+        best_seconds([&] { (void)layer.forward(x, false); }, 9);
+    layer.set_binary_algo(nn::BinaryAlgo::kAuto);
+    const double t_bgemm =
+        best_seconds([&] { (void)layer.forward(x, false); }, 9);
+
+    std::printf("%-20s %11.2f %11.2f %11.2f %8.2fx %8.2fx\n", s.label,
+                iops / t_remat * 1e-9, iops / t_float * 1e-9,
+                iops / t_bgemm * 1e-9, t_remat / t_bgemm, t_float / t_bgemm);
+  }
+}
+
+/// BinaryConv2d inference on the small-CNN geometries: im2col + float GEMM
+/// vs. im2col + bgemm (the patches sign-pack once per batch). conv1's K is
+/// only 9 taps (one ragged lane) — below the kAuto packing floor precisely
+/// because it measures slower packed, so the bgemm column forces
+/// kBitpacked to keep timing the packed kernel; conv2 runs at K=72.
+void bench_binary_conv() {
+  const std::vector<ConvShape> shapes = {
+      {"conv1  16x1x16x16->8", 16, 1, 8, 3, 1, 16, 16},
+      {"conv2  16x8x8x8->16", 16, 8, 16, 3, 1, 8, 8},
+      {"conv1 128x1x16x16->8", 128, 1, 8, 3, 1, 16, 16},
+      {"conv2 128x8x8x8->16", 128, 8, 16, 3, 1, 8, 8},
+  };
+  std::printf("\nBinaryConv2d inference (±1 activations): im2col float GEMM vs\n"
+              "im2col bgemm (outputs bitwise identical)\n");
+  std::printf("%-22s %11s %11s %9s\n", "shape", "float GI/s", "bgemm GI/s",
+              "speedup");
+  std::mt19937_64 engine(4);
+  for (const ConvShape& s : shapes) {
+    nn::BinaryConv2d layer(s.in_ch, s.out_ch, s.kernel, s.padding, engine);
+    nn::Tensor x = nn::sign_of(
+        nn::Tensor::randn({s.batch, s.in_ch, s.h, s.w}, 1.0f, engine));
+    const std::size_t oh = s.h + 2 * s.padding - s.kernel + 1;
+    const std::size_t ow = s.w + 2 * s.padding - s.kernel + 1;
+    const double iops = 2.0 * static_cast<double>(s.batch * s.out_ch * oh * ow *
+                                                  s.in_ch * s.kernel * s.kernel);
+    layer.set_binary_algo(nn::BinaryAlgo::kFloat);
+    const double t_float =
+        best_seconds([&] { (void)layer.forward(x, false); }, 9);
+    layer.set_binary_algo(nn::BinaryAlgo::kBitpacked);
+    const double t_bgemm =
+        best_seconds([&] { (void)layer.forward(x, false); }, 9);
+    std::printf("%-22s %11.2f %11.2f %8.2fx\n", s.label, iops / t_float * 1e-9,
+                iops / t_bgemm * 1e-9, t_float / t_bgemm);
+  }
+}
+
+/// Float GEMM through the dispatched tier vs. forced scalar — the runtime
+/// dispatch win on this host (bitwise identical results; bitpack_test pins
+/// it).
+void bench_dispatch() {
+  std::printf("\nFloat GEMM: scalar tier vs. dispatched tier (%s)\n",
+              nn::simd::tier_name(nn::simd::active_tier()));
+  std::printf("%-20s %12s %12s %9s\n", "shape", "scalar GF/s", "dispatch GF/s",
+              "speedup");
+  const std::vector<GemmShape> shapes = {
+      {"fused  128x256x128", 128, 256, 128},
+      {"train  256x512x256", 256, 512, 256},
+  };
+  std::mt19937_64 engine(5);
+  for (const GemmShape& s : shapes) {
+    const nn::Tensor a = nn::Tensor::randn({s.m, s.k}, 1.0f, engine);
+    const nn::Tensor b = nn::Tensor::randn({s.k, s.n}, 1.0f, engine);
+    const double flops = 2.0 * static_cast<double>(s.m * s.k * s.n);
+    double t_scalar = 0.0;
+    {
+      nn::simd::ScopedTier tier(nn::simd::Tier::kScalar);
+      t_scalar = best_seconds([&] { (void)nn::matmul(a, b); }, 5);
+    }
+    const double t_active = best_seconds([&] { (void)nn::matmul(a, b); }, 5);
+    std::printf("%-20s %12.2f %12.2f %8.2fx\n", s.label,
+                flops / t_scalar * 1e-9, flops / t_active * 1e-9,
+                t_scalar / t_active);
+  }
+}
+
 void bench_fused_mc() {
   data::StrokeConfig sc;
   sc.samples_per_class = 4;
@@ -295,20 +417,108 @@ void bench_fused_mc() {
   }
 }
 
+/// The consecutive-duplicate inference cache on the fused MC stack: the
+/// first binary layer of each fused forward sees every request row T times
+/// in a row and computes it once when the cache is on.
+void bench_patch_cache() {
+  data::StrokeConfig sc;
+  sc.samples_per_class = 4;
+  const nn::Dataset data =
+      data::standardize_per_sample(data::make_stroke_digits_flat(sc, 3));
+  core::ModelConfig mc;
+  mc.method = core::Method::kSpinDrop;
+  mc.seed = 7;
+  const core::BuiltModel model = core::make_binary_mlp(mc, 256, {128, 128}, 10);
+
+  std::printf("\nFused MC forward with the patch/row cache off vs. on\n"
+              "(predictions bitwise identical)\n");
+  std::printf("%4s %4s %14s %14s %9s\n", "B", "T", "off req/s", "on req/s",
+              "speedup");
+  for (const auto& [batch, samples] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {8, 8}, {16, 20}, {32, 20}}) {
+    const nn::Tensor inputs = data.batch(0, batch).first;
+    std::vector<std::uint64_t> seeds(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      seeds[b] = nn::mix_seed(0xbe4c6, b);
+    }
+    core::BuiltModel off_model = model.clone();
+    off_model.enable_mc(true);
+    nn::set_patch_cache_enabled(false);
+    const double t_off = best_seconds(
+        [&] { (void)core::predict_fused_batch(off_model, inputs, seeds, samples); },
+        3);
+    core::BuiltModel on_model = model.clone();
+    on_model.enable_mc(true);
+    nn::set_patch_cache_enabled(true);
+    const double t_on = best_seconds(
+        [&] { (void)core::predict_fused_batch(on_model, inputs, seeds, samples); },
+        3);
+    const double bd = static_cast<double>(batch);
+    std::printf("%4zu %4zu %14.0f %14.0f %8.2fx\n", batch, samples, bd / t_off,
+                bd / t_on, t_off / t_on);
+  }
+}
+
+/// --digest: print FNV fingerprints of fixed-seed evaluations and exit.
+/// CI runs this twice — once dispatched, once under NEUSPIN_SIMD=scalar —
+/// and diffs the output, proving the tiers bitwise identical end to end.
+/// The output deliberately omits the tier name.
+int run_digest() {
+  core::ModelConfig mc;
+  mc.method = core::Method::kSpinDrop;
+  mc.seed = 2024;
+  core::BuiltModel mlp = core::make_binary_mlp(mc, 16, {32, 16}, 4);
+  mlp.enable_mc(true);
+  std::mt19937_64 engine(97);
+  const nn::Tensor inputs = nn::Tensor::randn({3, 16}, 1.0f, engine);
+  const std::vector<std::uint64_t> seeds = {101, 202, 303};
+  const auto preds = core::predict_fused_batch(mlp, inputs, seeds, 7);
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    std::printf("mlp[%zu] %016llx\n", i,
+                static_cast<unsigned long long>(
+                    nn::tensor_fingerprint(preds[i].mean_probs)));
+  }
+
+  core::ModelConfig cc;
+  cc.method = core::Method::kSpinDrop;
+  cc.seed = 7;
+  core::BuiltModel cnn = core::make_binary_cnn(cc);
+  cnn.enable_mc(true);
+  const nn::Tensor images = nn::Tensor::randn({4, 1, 16, 16}, 1.0f, engine);
+  cnn.reseed_stochastic(42);
+  std::printf("cnn %016llx\n", static_cast<unsigned long long>(
+                                   nn::tensor_fingerprint(
+                                       cnn.stochastic_logits(images))));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool digest = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       g_smoke = true;
+    } else if (std::strcmp(argv[i], "--digest") == 0) {
+      digest = true;
     }
+  }
+  if (digest) {
+    return run_digest();
   }
   bench::banner("bench_kernels",
                 g_smoke ? "smoke mode: one iteration per shape"
-                        : "blocked GEMM GFLOP/s, conv direct-vs-im2col and "
-                          "fused MC throughput");
+                        : "blocked GEMM GFLOP/s, binary XNOR/popcount kernels, "
+                          "conv direct-vs-im2col and fused MC throughput");
+  std::printf("\nSIMD dispatch tier: %s\n",
+              nn::simd::tier_name(nn::simd::active_tier()));
   bench_gemm();
+  bench_dispatch();
+  bench_binary_dense();
   bench_conv();
+  bench_binary_conv();
   bench_fused_mc();
+  bench_patch_cache();
   return 0;
 }

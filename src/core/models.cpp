@@ -189,6 +189,17 @@ BuiltModel BuiltModel::clone() const {
   return copy;
 }
 
+void BuiltModel::set_binary_algo(nn::BinaryAlgo algo) {
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    nn::Layer* layer = &net.layer(i);
+    if (auto* l = dynamic_cast<nn::BinaryDense*>(layer)) {
+      l->set_binary_algo(algo);
+    } else if (auto* l = dynamic_cast<nn::BinaryConv2d*>(layer)) {
+      l->set_binary_algo(algo);
+    }
+  }
+}
+
 BuiltModel make_binary_mlp(const ModelConfig& config, std::size_t inputs,
                            const std::vector<std::size_t>& hidden,
                            std::size_t classes) {

@@ -17,6 +17,7 @@
 #include "core/spinbayes.h"
 #include "core/spindrop.h"
 #include "core/subset_vi.h"
+#include "nn/binarize.h"
 #include "nn/model.h"
 
 namespace neuspin::core {
@@ -86,6 +87,11 @@ struct BuiltModel {
   /// replicate a trained model once per worker thread; clones share no
   /// mutable state (energy ledgers excepted — see the layer headers).
   [[nodiscard]] BuiltModel clone() const;
+
+  /// Pin the inference compute path of every binary layer (kAuto routes
+  /// onto the bit-packed XNOR/popcount kernels when the activations pack
+  /// exactly; kFloat is the reference oracle). Training is unaffected.
+  void set_binary_algo(nn::BinaryAlgo algo);
 };
 
 /// Binary MLP: in -> hidden... -> classes on flattened inputs.

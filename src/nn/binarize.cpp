@@ -1,10 +1,45 @@
 #include "nn/binarize.h"
 
 #include <cmath>
+#include <utility>
 
 #include "nn/conv_lowering.h"
+#include "obs/metrics.h"
 
 namespace neuspin::nn {
+
+namespace {
+
+/// Rows/images the consecutive-duplicate inference cache skipped
+/// recomputing (the fused Monte-Carlo path stacks each request T times).
+obs::Counter& patch_cache_hit_counter() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("nn.patch_cache.hits");
+  return counter;
+}
+
+/// Run `compute` (a deterministic, block-independent map over the leading
+/// axis) on the unique consecutive blocks of `input` only, then expand the
+/// results back — the cross-pass patch/row cache of the binary layers.
+/// Bitwise neutral: per-block independence means the gathered computation
+/// produces the exact bits of the full one, and the scatter only copies.
+template <typename Fn>
+Tensor dedup_leading_blocks(const Tensor& input, const Fn& compute) {
+  const std::size_t blocks = input.dim(0);
+  if (!patch_cache_enabled() || blocks <= 1) {
+    return compute(input);
+  }
+  const detail::DupMap map = detail::consecutive_dup_map(
+      input.data().data(), blocks, input.numel() / blocks);
+  if (!map.has_duplicates()) {
+    return compute(input);
+  }
+  patch_cache_hit_counter().inc(blocks - map.unique);
+  return detail::scatter_unique_blocks(
+      compute(detail::gather_unique_blocks(input, map)), map);
+}
+
+}  // namespace
 
 Tensor sign_of(const Tensor& t) {
   Tensor out = t;
@@ -45,25 +80,88 @@ BinaryDense::BinaryDense(std::size_t in_features, std::size_t out_features,
   }
 }
 
-Tensor BinaryDense::forward(const Tensor& input, bool /*training*/) {
-  if (input.rank() != 2 || input.dim(1) != in_) {
-    throw std::invalid_argument("BinaryDense: expected (batch x " + std::to_string(in_) +
-                                "), got " + shape_to_string(input.shape()));
+const detail::PackedBinaryWeights& BinaryDense::packed() {
+  const std::uint64_t fp = tensor_fingerprint(latent_weight_);
+  if (!pack_.filled || pack_.fingerprint != fp) {
+    pack_.fingerprint = fp;
+    pack_.sign_float = sign_of(latent_weight_);
+    pack_.alpha = column_abs_mean(latent_weight_);
+    // One dense ±1 row per output column: transpose sign(W) so column j's
+    // K sign bits are contiguous for the popcount kernel.
+    Tensor cols({out_, in_});
+    for (std::size_t i = 0; i < in_; ++i) {
+      for (std::size_t j = 0; j < out_; ++j) {
+        cols.at(j, i) = pack_.sign_float.at(i, j);
+      }
+    }
+    pack_.bits = BitMatrix::pack_rows_sign(cols);
+    pack_.filled = true;
   }
-  input_cache_ = input;
-  binary_cache_ = sign_of(latent_weight_);
-  alpha_cache_ = column_abs_mean(latent_weight_);
-  Tensor out = matmul(input, binary_cache_);
+  return pack_;
+}
+
+/// Inference product for one (already deduplicated) row block. The float
+/// fallback uses the cached sign(W)/alpha — the same values the training
+/// path materializes per forward — and the identical epilogue expression,
+/// so every path here is bitwise the pre-pack forward.
+Tensor BinaryDense::infer_rows(const Tensor& x) {
+  if (binary_algo_ == BinaryAlgo::kBitpacked ||
+      (binary_algo_ == BinaryAlgo::kAuto && in_ >= detail::kMinPackedK)) {
+    std::optional<BitMatrix> packed_x;
+    if (binary_algo_ == BinaryAlgo::kBitpacked) {
+      packed_x = BitMatrix::pack_rows_sign(x);  // paper's sign quantization
+    } else {
+      packed_x = BitMatrix::try_pack_rows(x);  // kAuto: only when exact
+    }
+    if (packed_x.has_value()) {
+      return bgemm(*packed_x, pack_.bits, &pack_.alpha, &bias_);
+    }
+  }
+  Tensor out = matmul(x, pack_.sign_float);
   const std::size_t batch = out.dim(0);
   for (std::size_t i = 0; i < batch; ++i) {
     for (std::size_t j = 0; j < out_; ++j) {
-      out.at(i, j) = out.at(i, j) * alpha_cache_[j] + bias_[j];
+      out.at(i, j) = out.at(i, j) * pack_.alpha[j] + bias_[j];
     }
   }
   return out;
 }
 
+Tensor BinaryDense::forward(const Tensor& input, bool training) {
+  if (input.rank() != 2 || input.dim(1) != in_) {
+    throw std::invalid_argument("BinaryDense: expected (batch x " + std::to_string(in_) +
+                                "), got " + shape_to_string(input.shape()));
+  }
+  if (training) {
+    // Training path: float STE forward, kept bit-for-bit as it always was
+    // (the bit-packed kernels are inference-only).
+    input_cache_ = input;
+    binary_cache_ = sign_of(latent_weight_);
+    alpha_cache_ = column_abs_mean(latent_weight_);
+    Tensor out = matmul(input, binary_cache_);
+    const std::size_t batch = out.dim(0);
+    for (std::size_t i = 0; i < batch; ++i) {
+      for (std::size_t j = 0; j < out_; ++j) {
+        out.at(i, j) = out.at(i, j) * alpha_cache_[j] + bias_[j];
+      }
+    }
+    return out;
+  }
+  // Inference: no backward state (mirror BinaryConv2d's contract), cached
+  // sign-packed weights, duplicate-row cache, bit-packed product when the
+  // activations allow it.
+  input_cache_ = Tensor();
+  binary_cache_ = Tensor();
+  alpha_cache_ = Tensor();
+  (void)packed();
+  return dedup_leading_blocks(input,
+                              [this](const Tensor& x) { return infer_rows(x); });
+}
+
 Tensor BinaryDense::backward(const Tensor& grad_output) {
+  if (input_cache_.empty()) {
+    throw std::logic_error("BinaryDense: backward before a training-mode forward");
+  }
   const std::size_t batch = grad_output.dim(0);
   // Scale gradients back through alpha (treated as constant per step, the
   // standard XNOR-Net simplification), then apply the STE window.
@@ -122,14 +220,123 @@ Tensor BinaryConv2d::channel_scales() const {
   return alpha;
 }
 
+const detail::PackedBinaryWeights& BinaryConv2d::packed() {
+  const std::uint64_t fp = tensor_fingerprint(latent_weight_);
+  if (!pack_.filled || pack_.fingerprint != fp) {
+    const std::size_t taps = in_ch_ * kernel_ * kernel_;
+    pack_.fingerprint = fp;
+    pack_.sign_float = sign_of(latent_weight_);
+    pack_.alpha = channel_scales();
+    pack_.gemm_operand = detail::kernel_as_gemm_operand(pack_.sign_float);
+    // Row oc = kernel oc flattened in (ic, ky, kx) order — the contiguous
+    // latent layout, and exactly column oc of the lowered GEMM operand.
+    pack_.bits =
+        BitMatrix::pack_rows_sign(pack_.sign_float.reshaped({out_ch_, taps}));
+    pack_.filled = true;
+  }
+  return pack_;
+}
+
+/// Inference forward for one (already deduplicated) NCHW block.
+Tensor BinaryConv2d::infer_images(const Tensor& x) {
+  const std::size_t n = x.dim(0);
+  const std::size_t h = x.dim(2);
+  const std::size_t w = x.dim(3);
+  const std::size_t oh = h + 2 * padding_ - kernel_ + 1;
+  const std::size_t ow = w + 2 * padding_ - kernel_ + 1;
+
+  if (algo_ == Conv2d::Algo::kIm2col) {
+    Tensor cols = im2col(x, kernel_, padding_);
+    const std::size_t taps = in_ch_ * kernel_ * kernel_;
+    if (binary_algo_ == BinaryAlgo::kBitpacked ||
+        (binary_algo_ == BinaryAlgo::kAuto && taps >= detail::kMinPackedK)) {
+      // Patches are sign-packed once per batch and reused across every
+      // output channel; padding zeros land in the mask plane, so the
+      // popcount dot is exact — see nn/bitpack.h.
+      std::optional<BitMatrix> packed_cols;
+      if (binary_algo_ == BinaryAlgo::kBitpacked) {
+        packed_cols = BitMatrix::pack_rows_sign(cols);
+      } else {
+        packed_cols = BitMatrix::try_pack_rows(cols);
+      }
+      if (packed_cols.has_value()) {
+        const Tensor out_rows =
+            bgemm(*packed_cols, pack_.bits, &pack_.alpha, &bias_);
+        return detail::rows_to_nchw(out_rows, n, out_ch_, oh, ow);
+      }
+    }
+    // Float fallback: the lowered path with cached sign(W)/alpha, epilogue
+    // expression and order identical to the training forward's.
+    Tensor out_rows = matmul(cols, pack_.gemm_operand);
+    const std::size_t rows = out_rows.dim(0);
+    const float* alpha = pack_.alpha.data().data();
+    const float* bias = bias_.data().data();
+    float* row = out_rows.data().data();
+    for (std::size_t p = 0; p < rows; ++p, row += out_ch_) {
+      for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+        row[oc] = row[oc] * alpha[oc] + bias[oc];
+      }
+    }
+    return detail::rows_to_nchw(out_rows, n, out_ch_, oh, ow);
+  }
+
+  // Direct loop (reference oracle), reading the cached sign(W)/alpha.
+  Tensor out({n, out_ch_, oh, ow});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const float alpha = pack_.alpha[oc];
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x_ = 0; x_ < ow; ++x_) {
+          float acc = 0.0f;
+          for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+            for (std::size_t ky = 0; ky < kernel_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(y + ky) - static_cast<std::ptrdiff_t>(padding_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+                continue;
+              }
+              for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(x_ + kx) - static_cast<std::ptrdiff_t>(padding_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) {
+                  continue;
+                }
+                acc += x.at4(b, ic, static_cast<std::size_t>(iy),
+                             static_cast<std::size_t>(ix)) *
+                       pack_.sign_float.at4(oc, ic, ky, kx);
+              }
+            }
+          }
+          out.at4(b, oc, y, x_) = acc * alpha + bias_[oc];
+        }
+      }
+    }
+  }
+  return out;
+}
+
 Tensor BinaryConv2d::forward(const Tensor& input, bool training) {
   if (input.rank() != 4 || input.dim(1) != in_ch_) {
     throw std::invalid_argument("BinaryConv2d: expected NCHW with C=" +
                                 std::to_string(in_ch_) + ", got " +
                                 shape_to_string(input.shape()));
   }
-  // Backward state only for training-mode forwards (see Conv2d::forward).
-  input_shape_ = training ? input.shape() : Shape{};
+  if (!training) {
+    // Inference: no backward state (see Conv2d::forward), cached
+    // sign-packed weights, duplicate-image cache, bit-packed GEMM when the
+    // im2col patches pack exactly.
+    input_shape_ = Shape{};
+    input_cache_ = Tensor();
+    cols_cache_ = Tensor();
+    binary_cache_ = Tensor();
+    alpha_cache_ = Tensor();
+    (void)packed();
+    return dedup_leading_blocks(
+        input, [this](const Tensor& x) { return infer_images(x); });
+  }
+
+  // Training path: float STE forward, kept bit-for-bit as it always was.
+  input_shape_ = input.shape();
   input_cache_ = Tensor();
   cols_cache_ = Tensor();
   binary_cache_ = sign_of(latent_weight_);
@@ -157,15 +364,11 @@ Tensor BinaryConv2d::forward(const Tensor& input, bool training) {
         row[oc] = row[oc] * alpha[oc] + bias[oc];
       }
     }
-    if (training) {
-      cols_cache_ = std::move(cols);
-    }
+    cols_cache_ = std::move(cols);
     return detail::rows_to_nchw(out_rows, n, out_ch_, oh, ow);
   }
 
-  if (training) {
-    input_cache_ = input;
-  }
+  input_cache_ = input;
   const std::size_t oh = h + 2 * padding_ - kernel_ + 1;
   const std::size_t ow = w + 2 * padding_ - kernel_ + 1;
   Tensor out({n, out_ch_, oh, ow});
@@ -291,14 +494,14 @@ Tensor BinaryConv2d::backward(const Tensor& grad_output) {
       for (std::size_t x = 0; x < ow; ++x) {
         for (std::size_t ic = 0; ic < in_ch_; ++ic) {
           for (std::size_t ky = 0; ky < kernel_; ++ky) {
-            const std::ptrdiff_t iy =
-                static_cast<std::ptrdiff_t>(y + ky) - static_cast<std::ptrdiff_t>(padding_);
+            const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(y + ky) -
+                                      static_cast<std::ptrdiff_t>(padding_);
             if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
               continue;
             }
             for (std::size_t kx = 0; kx < kernel_; ++kx) {
-              const std::ptrdiff_t ix =
-                  static_cast<std::ptrdiff_t>(x + kx) - static_cast<std::ptrdiff_t>(padding_);
+              const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(x + kx) -
+                                        static_cast<std::ptrdiff_t>(padding_);
               if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) {
                 continue;
               }

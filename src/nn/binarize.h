@@ -7,11 +7,23 @@
 // activations, the dense product is exactly the XNOR/popcount operation the
 // 2x(1T-1MTJ) bit-cell computes, so the crossbar mapping in src/xbar is a
 // faithful hardware realization of these layers.
+//
+// Inference compute path (training is untouched — float STE throughout):
+// the latent weights are sign-packed once per weight version (repack on a
+// fingerprint mismatch) and, when the incoming activations are exactly
+// {-1, 0, +1} — sign activations, SpinDrop zeros, im2col padding — the
+// forward runs on the bit-packed XNOR/popcount GEMM (nn/bitpack.h), which
+// is pinned bitwise equal to the float-materialized product. BinaryAlgo
+// selects the path the way Conv2d::Algo pins direct-vs-im2col: kFloat is
+// the always-float reference oracle, kAuto packs when exact, kBitpacked
+// additionally applies the paper's sign quantization to real-valued
+// activations (changes results; never on by default).
 #pragma once
 
 #include <memory>
 #include <random>
 
+#include "nn/bitpack.h"
 #include "nn/layers.h"
 #include "nn/tensor.h"
 
@@ -22,6 +34,38 @@ namespace neuspin::nn {
 
 /// Per-column scale alpha_j = mean_i |W_ij| of an (in x out) weight matrix.
 [[nodiscard]] Tensor column_abs_mean(const Tensor& weight);
+
+/// Inference compute path of the binary layers.
+enum class BinaryAlgo : std::uint8_t {
+  kAuto,       ///< bgemm when the inputs pack exactly, float otherwise
+  kBitpacked,  ///< always bgemm; sign-quantizes real-valued inputs
+  kFloat,      ///< always the float-materialized path (reference oracle)
+};
+
+namespace detail {
+
+/// kAuto only takes the bit-packed kernel when the reduction is at least
+/// this deep: below it the per-forward packing cost exceeds what the
+/// XNOR/popcount dot saves (a 3x3 single-channel conv has K = 9 — one
+/// ragged 9-bit lane — and measures slower packed than the float GEMM).
+/// kBitpacked ignores the floor: it is the explicit opt-in. Every path is
+/// bitwise identical, so this is a throughput knob only.
+inline constexpr std::size_t kMinPackedK = 16;
+
+/// Sign-packed weights cached across inference forwards, keyed by a
+/// fingerprint of the latent weight bytes (repack-on-mutate; the layers
+/// hand out mutable weight references, so mutation is detected by value,
+/// not by hook). Cloned by value with the layer.
+struct PackedBinaryWeights {
+  std::uint64_t fingerprint = 0;
+  bool filled = false;
+  BitMatrix bits;       ///< one dense ±1 row per output column
+  Tensor sign_float;    ///< sign(W) in the layer's own weight layout
+  Tensor gemm_operand;  ///< conv only: (taps x out_ch) lowered RHS
+  Tensor alpha;         ///< per-output-column / per-channel scales
+};
+
+}  // namespace detail
 
 /// Fully connected layer computing y = (x · sign(W)) * alpha + b.
 ///
@@ -50,10 +94,16 @@ class BinaryDense : public Layer {
   [[nodiscard]] Tensor scales() const { return column_abs_mean(latent_weight_); }
   [[nodiscard]] Tensor& latent_weight() { return latent_weight_; }
   [[nodiscard]] Tensor& bias() { return bias_; }
+  void set_binary_algo(BinaryAlgo algo) { binary_algo_ = algo; }
+  [[nodiscard]] BinaryAlgo binary_algo() const { return binary_algo_; }
 
  private:
+  [[nodiscard]] const detail::PackedBinaryWeights& packed();
+  [[nodiscard]] Tensor infer_rows(const Tensor& x);
+
   std::size_t in_;
   std::size_t out_;
+  BinaryAlgo binary_algo_ = BinaryAlgo::kAuto;
   Tensor latent_weight_;
   Tensor bias_;
   Tensor weight_grad_;
@@ -61,6 +111,7 @@ class BinaryDense : public Layer {
   Tensor input_cache_;
   Tensor binary_cache_;
   Tensor alpha_cache_;
+  detail::PackedBinaryWeights pack_;
 };
 
 /// Binary convolution: kernels binarized to sign(W) with one alpha per
@@ -68,7 +119,9 @@ class BinaryDense : public Layer {
 ///
 /// Like Conv2d it computes through either the direct per-element loop or
 /// the im2col lowering onto the blocked GEMM kernels (the default); the
-/// two algorithms are bitwise equal — see the Conv2d class comment.
+/// two algorithms are bitwise equal — see the Conv2d class comment. On
+/// top of that, BinaryAlgo routes the lowered inference GEMM onto the
+/// bit-packed kernels when the im2col patches pack exactly.
 class BinaryConv2d : public Layer {
  public:
   BinaryConv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
@@ -94,13 +147,19 @@ class BinaryConv2d : public Layer {
   [[nodiscard]] Tensor& bias() { return bias_; }
   void set_algo(Conv2d::Algo algo) { algo_ = algo; }
   [[nodiscard]] Conv2d::Algo algo() const { return algo_; }
+  void set_binary_algo(BinaryAlgo algo) { binary_algo_ = algo; }
+  [[nodiscard]] BinaryAlgo binary_algo() const { return binary_algo_; }
 
  private:
+  [[nodiscard]] const detail::PackedBinaryWeights& packed();
+  [[nodiscard]] Tensor infer_images(const Tensor& x);
+
   std::size_t in_ch_;
   std::size_t out_ch_;
   std::size_t kernel_;
   std::size_t padding_;
   Conv2d::Algo algo_ = Conv2d::Algo::kIm2col;
+  BinaryAlgo binary_algo_ = BinaryAlgo::kAuto;
   Tensor latent_weight_;  ///< (out_ch, in_ch, k, k)
   Tensor bias_;
   Tensor weight_grad_;
@@ -110,6 +169,7 @@ class BinaryConv2d : public Layer {
   Tensor binary_cache_;
   Tensor alpha_cache_;
   Shape input_shape_;
+  detail::PackedBinaryWeights pack_;
 };
 
 }  // namespace neuspin::nn

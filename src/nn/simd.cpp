@@ -1,0 +1,172 @@
+#include "nn/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace neuspin::nn::simd {
+
+namespace {
+
+const KernelTable* table_for(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return detail::scalar_table();
+    case Tier::kAvx2:
+      return detail::avx2_table();
+    case Tier::kNeon:
+      return detail::neon_table();
+  }
+  return nullptr;
+}
+
+/// CPU supports `tier` at runtime (independent of whether its TU was
+/// compiled in).
+bool cpu_supports(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kAvx2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+             __builtin_cpu_supports("popcnt");
+#else
+      return false;
+#endif
+    case Tier::kNeon:
+#if defined(__aarch64__)
+      return true;  // NEON is architecturally mandatory on aarch64
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+/// Best tier the probe can justify: the highest available vector tier,
+/// else scalar.
+Tier probe_tier() {
+  if (tier_available(Tier::kAvx2)) {
+    return Tier::kAvx2;
+  }
+  if (tier_available(Tier::kNeon)) {
+    return Tier::kNeon;
+  }
+  return Tier::kScalar;
+}
+
+/// NEUSPIN_SIMD env override + probe, evaluated once per process (or
+/// again after reset_tier). A requested tier that is unavailable —
+/// including an unrecognized name — warns on stderr and degrades to
+/// scalar, never to a different vector tier: a CI leg that asked for a
+/// specific ISA should not silently measure another one.
+Tier resolve_tier() {
+  const char* env = std::getenv("NEUSPIN_SIMD");
+  if (env != nullptr && *env != '\0' && std::strcmp(env, "auto") != 0) {
+    Tier requested = Tier::kScalar;
+    bool known = true;
+    if (std::strcmp(env, "scalar") == 0) {
+      requested = Tier::kScalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      requested = Tier::kAvx2;
+    } else if (std::strcmp(env, "neon") == 0) {
+      requested = Tier::kNeon;
+    } else {
+      known = false;
+    }
+    if (!known) {
+      std::fprintf(stderr,
+                   "neuspin: NEUSPIN_SIMD=%s not recognized "
+                   "(scalar|avx2|neon|auto); using scalar kernels\n",
+                   env);
+      return Tier::kScalar;
+    }
+    if (!tier_available(requested)) {
+      std::fprintf(stderr,
+                   "neuspin: NEUSPIN_SIMD=%s unavailable on this host/build; "
+                   "using scalar kernels\n",
+                   env);
+      return Tier::kScalar;
+    }
+    return requested;
+  }
+  return probe_tier();
+}
+
+/// Active table, published with release so readers see a fully-formed
+/// KernelTable; null until first resolve (kernels() resolves lazily).
+std::atomic<const KernelTable*> g_active{nullptr};
+std::atomic<Tier> g_active_tier{Tier::kScalar};
+
+void publish(Tier tier) {
+  const KernelTable* table = table_for(tier);
+  if (table == nullptr) {
+    throw std::invalid_argument(std::string("simd: tier ") + tier_name(tier) +
+                                " is not available in this build");
+  }
+  g_active_tier.store(tier, std::memory_order_relaxed);
+  g_active.store(table, std::memory_order_release);
+  // Observability only — never feeds back into any computation.
+  obs::Registry::global().gauge("nn.simd.tier").set(static_cast<double>(tier));
+}
+
+const KernelTable* resolve_and_publish() {
+  // Serialize first-use resolution; later calls take the lock-free load.
+  static std::mutex mu;
+  std::scoped_lock lock(mu);
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    publish(resolve_tier());
+    table = g_active.load(std::memory_order_acquire);
+  }
+  return table;
+}
+
+}  // namespace
+
+const KernelTable& kernels() {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    table = resolve_and_publish();
+  }
+  return *table;
+}
+
+Tier active_tier() {
+  (void)kernels();  // ensure resolved
+  return g_active_tier.load(std::memory_order_relaxed);
+}
+
+const char* tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool tier_available(Tier tier) {
+  return table_for(tier) != nullptr && cpu_supports(tier);
+}
+
+void force_tier(Tier tier) {
+  if (!tier_available(tier)) {
+    throw std::invalid_argument(std::string("simd: tier ") + tier_name(tier) +
+                                " is not available on this host/build");
+  }
+  publish(tier);
+}
+
+void reset_tier() { publish(resolve_tier()); }
+
+}  // namespace neuspin::nn::simd

@@ -1,0 +1,112 @@
+// Runtime CPU-feature dispatch for the hot inner kernels.
+//
+// The float GEMMs (nn/tensor.cpp) and the bit-packed XNOR/popcount GEMM
+// (nn/bitpack.cpp) route through one process-wide KernelTable picked at
+// first use: AVX2+FMA on x86-64 hosts that report it, NEON on aarch64,
+// and a baseline-ISA fallback everywhere else. Every tier compiles the
+// SAME kernel source (nn/simd_kernels.inc) — only the per-file compiler
+// flags differ — and the whole library builds with -ffp-contract=off, so
+// no tier can fuse a*b+c into an FMA or reassociate a reduction. The
+// tiers are therefore bitwise identical by construction: dispatch is a
+// pure throughput knob, never a numerics knob, and the repo's
+// determinism contract (ascending-k accumulation, row independence,
+// thread-count invariance) holds on every host.
+//
+// CI determinism: the environment variable NEUSPIN_SIMD overrides the
+// probe ("scalar", "avx2", "neon", or "auto"; unknown values warn on
+// stderr and fall back to scalar). A tier that was not compiled in or is
+// not supported by the running CPU silently degrades to scalar, so a
+// binary built with the AVX2 TU still runs on baseline hardware.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace neuspin::nn::simd {
+
+/// Kernel tiers in probe order. Values are stable: the obs gauge
+/// `nn.simd.tier` exports the numeric value.
+enum class Tier : int {
+  kScalar = 0,  ///< baseline ISA of the build (x86-64: SSE2)
+  kAvx2 = 1,    ///< x86-64 AVX2 + FMA + POPCNT translation unit
+  kNeon = 2,    ///< aarch64 NEON translation unit
+};
+
+/// One tier's kernel entry points. All kernels share the semantics of the
+/// nn/tensor.h contracts; see nn/simd_kernels.inc for the single source.
+struct KernelTable {
+  const char* name;
+  /// C(m x n) += A(m x k) * B(k x n), blocked, ascending-k accumulation.
+  void (*gemm)(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t k, std::size_t n);
+  /// C(m x n) += A^T * B with A stored (k x m); same blocked kernel.
+  void (*gemm_at)(const float* a, const float* b, float* c, std::size_t m,
+                  std::size_t k, std::size_t n);
+  /// C(m x n) = A(m x k) * B^T with B stored (n x k): 8-lane dot kernel
+  /// with the fixed pairwise combine.
+  void (*gemm_nt)(const float* a, const float* b, float* c, std::size_t m,
+                  std::size_t k, std::size_t n);
+  /// Masked XNOR/popcount GEMM over bit-packed operands: for every LHS
+  /// row i (value plane xv, mask plane xm — null when the row set is
+  /// dense ±1 — and per-row nonzero count xn) and every dense ±1 RHS row
+  /// j (value plane wv, one packed row per output column), the signed dot
+  /// product is xn[i] - 2 * popcount((xv_i ^ wv_j) & xm_i); the float
+  /// result then takes the XNOR-Net epilogue out = dot * alpha[j] +
+  /// bias[j] (alpha null skips the epilogue). `lanes` u64 words per row.
+  void (*bgemm)(const std::uint64_t* xv, const std::uint64_t* xm,
+                const std::uint32_t* xn, const std::uint64_t* wv, float* out,
+                std::size_t m, std::size_t n, std::size_t lanes,
+                const float* alpha, const float* bias);
+  /// Row-wise sign packing into (rows x lanes) value/mask planes: value
+  /// bit = (v >= 0.0f), mask full with pad bits zero. Pure integer bit
+  /// manipulation — identical output on every tier.
+  void (*pack_sign)(const float* src, std::size_t rows, std::size_t cols,
+                    std::size_t lanes, std::uint64_t* bits,
+                    std::uint64_t* mask);
+  /// Row-wise exact {-1, 0, +1} packing; returns nonzero (planes partially
+  /// written, caller discards) when any element is not exactly ternary.
+  int (*pack_ternary)(const float* src, std::size_t rows, std::size_t cols,
+                      std::size_t lanes, std::uint64_t* bits,
+                      std::uint64_t* mask);
+};
+
+/// The table serving this process (probe + env override, resolved once,
+/// lock-free afterwards).
+[[nodiscard]] const KernelTable& kernels();
+
+/// Tier behind kernels().
+[[nodiscard]] Tier active_tier();
+
+/// Human-readable tier name ("scalar", "avx2", "neon").
+[[nodiscard]] const char* tier_name(Tier tier);
+
+/// True when `tier`'s translation unit was compiled in AND the running
+/// CPU supports it (kScalar is always available).
+[[nodiscard]] bool tier_available(Tier tier);
+
+/// Force a tier (tests / benches). Throws std::invalid_argument when the
+/// tier is unavailable. Not for use while other threads are inside
+/// kernels-calling code.
+void force_tier(Tier tier);
+
+/// Drop any forced tier and re-resolve (env override + probe).
+void reset_tier();
+
+/// RAII tier override for tests: forces on construction, restores the
+/// resolved tier on destruction.
+class ScopedTier {
+ public:
+  explicit ScopedTier(Tier tier) { force_tier(tier); }
+  ~ScopedTier() { reset_tier(); }
+  ScopedTier(const ScopedTier&) = delete;
+  ScopedTier& operator=(const ScopedTier&) = delete;
+};
+
+namespace detail {
+/// Per-TU tables; null when the TU was compiled without its ISA.
+[[nodiscard]] const KernelTable* scalar_table();
+[[nodiscard]] const KernelTable* avx2_table();
+[[nodiscard]] const KernelTable* neon_table();
+}  // namespace detail
+
+}  // namespace neuspin::nn::simd

@@ -1,0 +1,37 @@
+// AVX2 kernel tier. CMake compiles this one TU — never the whole library —
+// with -mavx2 -mfma -mpopcnt -ffp-contract=off and defines
+// NEUSPIN_SIMD_AVX2_TU when the compiler supports those flags on an
+// x86-64 target; the binary still runs on baseline hardware because
+// dispatch only selects this table after __builtin_cpu_supports says the
+// running CPU has AVX2+FMA. -ffp-contract=off is what keeps -mfma from
+// fusing the GEMM's mul+add into an FMA and silently changing bits vs.
+// the scalar tier; the throughput win comes from 8-wide vectorization of
+// the independent j-panel/dot lanes and from hardware POPCNT in bgemm.
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "nn/simd.h"
+
+#if defined(NEUSPIN_SIMD_AVX2_TU)
+#include <immintrin.h>  // movemask packing fast paths in the .inc
+
+namespace neuspin::nn::simd::detail {
+namespace avx2_tier {
+#define NEUSPIN_SIMD_TIER_NAME "avx2"
+#include "nn/simd_kernels.inc"
+#undef NEUSPIN_SIMD_TIER_NAME
+}  // namespace avx2_tier
+
+const KernelTable* avx2_table() { return &avx2_tier::kLocalTable; }
+
+}  // namespace neuspin::nn::simd::detail
+
+#else  // flags unavailable or non-x86 target: tier not compiled in
+
+namespace neuspin::nn::simd::detail {
+const KernelTable* avx2_table() { return nullptr; }
+}  // namespace neuspin::nn::simd::detail
+
+#endif

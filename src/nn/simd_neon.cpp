@@ -1,0 +1,34 @@
+// NEON kernel tier. NEON is baseline on aarch64, so no extra -m flags are
+// needed; CMake defines NEUSPIN_SIMD_NEON_TU on aarch64/arm64 targets and
+// adds -ffp-contract=off (GCC on aarch64 contracts a*b+c into fmla by
+// default, which would split this tier's bits from the scalar tier's).
+// The scalar tier on aarch64 compiles the same source with the same
+// flags, so the two tables coincide bitwise — kept as distinct tiers so
+// NEUSPIN_SIMD=scalar means the same thing on every platform.
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "nn/simd.h"
+
+#if defined(NEUSPIN_SIMD_NEON_TU)
+
+namespace neuspin::nn::simd::detail {
+namespace neon_tier {
+#define NEUSPIN_SIMD_TIER_NAME "neon"
+#include "nn/simd_kernels.inc"
+#undef NEUSPIN_SIMD_TIER_NAME
+}  // namespace neon_tier
+
+const KernelTable* neon_table() { return &neon_tier::kLocalTable; }
+
+}  // namespace neuspin::nn::simd::detail
+
+#else  // not an aarch64 target: tier not compiled in
+
+namespace neuspin::nn::simd::detail {
+const KernelTable* neon_table() { return nullptr; }
+}  // namespace neuspin::nn::simd::detail
+
+#endif

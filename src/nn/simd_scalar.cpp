@@ -1,0 +1,22 @@
+// Baseline-ISA kernel tier. Compiled with no extra target flags, so this
+// TU runs on any machine the build targets (x86-64: SSE2 baseline) and is
+// the reference the vectorized tiers must match bit for bit. Always
+// present — dispatch falls back here when nothing better is available or
+// when NEUSPIN_SIMD=scalar pins it for CI determinism checks.
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "nn/simd.h"
+
+namespace neuspin::nn::simd::detail {
+namespace scalar_tier {
+#define NEUSPIN_SIMD_TIER_NAME "scalar"
+#include "nn/simd_kernels.inc"
+#undef NEUSPIN_SIMD_TIER_NAME
+}  // namespace scalar_tier
+
+const KernelTable* scalar_table() { return &scalar_tier::kLocalTable; }
+
+}  // namespace neuspin::nn::simd::detail

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <numeric>
 
+#include "nn/simd.h"
+
 namespace neuspin::nn {
 
 namespace {
@@ -164,45 +166,12 @@ std::size_t Tensor::argmax() const {
       std::distance(data_.begin(), std::max_element(data_.begin(), data_.end())));
 }
 
-namespace {
-
-/// k-strip height of the blocked kernels: 32 rows of a float B panel up to
-/// kBlockN wide stay inside a 32 KiB L1 alongside the C row segment.
-constexpr std::size_t kBlockK = 32;
-/// j-panel width: one C row segment plus the active B strip per block.
-constexpr std::size_t kBlockN = 256;
-
-/// C(m x n) += A(m x k) * B(k x n) over raw row-major buffers. Loop order
-/// (k-strip, j-panel, i, p, j): the inner j-loop is contiguous over B row p
-/// and C row i, and every C[i][j] receives its k-terms in ascending-k order
-/// whatever the blocking — the determinism/row-independence contract of
-/// the header. Shared by matmul and matmul_a_transposed (which differs
-/// only in how A is addressed).
-template <bool kATransposed>
-void blocked_gemm_accumulate(const float* a, const float* b, float* c,
-                             std::size_t m, std::size_t k, std::size_t n) {
-  for (std::size_t pc = 0; pc < k; pc += kBlockK) {
-    const std::size_t pe = std::min(k, pc + kBlockK);
-    for (std::size_t jc = 0; jc < n; jc += kBlockN) {
-      const std::size_t je = std::min(n, jc + kBlockN);
-      for (std::size_t i = 0; i < m; ++i) {
-        float* crow = c + i * n;
-        for (std::size_t p = pc; p < pe; ++p) {
-          const float av = kATransposed ? a[p * m + i] : a[i * k + p];
-          if (av == 0.0f) {
-            continue;  // adds exactly zero; common in gradients/binary nets
-          }
-          const float* brow = b + p * n;
-          for (std::size_t j = jc; j < je; ++j) {
-            crow[j] += av * brow[j];
-          }
-        }
-      }
-    }
-  }
-}
-
-}  // namespace
+// The blocked GEMM / dot kernels behind matmul and friends moved to
+// nn/simd_kernels.inc: one kernel source compiled per ISA tier and picked
+// at runtime (nn/simd.h). Every tier preserves the ascending-k
+// accumulation and fixed pairwise-combine contracts documented in the
+// header, and the tiers are bitwise identical to each other — dispatch
+// changes throughput, never results.
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
@@ -214,8 +183,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const std::size_t k = a.dim(1);
   const std::size_t n = b.dim(1);
   Tensor c({m, n});
-  blocked_gemm_accumulate<false>(a.data().data(), b.data().data(), c.data().data(),
-                                 m, k, n);
+  simd::kernels().gemm(a.data().data(), b.data().data(), c.data().data(), m, k, n);
   return c;
 }
 
@@ -229,38 +197,7 @@ Tensor matmul_transposed(const Tensor& a, const Tensor& b) {
   const std::size_t k = a.dim(1);
   const std::size_t n = b.dim(0);
   Tensor c({m, n});
-  const float* A = a.data().data();
-  const float* B = b.data().data();
-  float* C = c.data().data();
-  // Both operands are traversed along contiguous rows, so this is a pure
-  // dot-product kernel. Eight independent partial sums let the compiler
-  // vectorize without reassociating; the pairwise combine is fixed, so the
-  // result is a deterministic function of k alone.
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = A + i * k;
-    float* crow = C + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = B + j * k;
-      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-      float s4 = 0.0f, s5 = 0.0f, s6 = 0.0f, s7 = 0.0f;
-      std::size_t p = 0;
-      for (; p + 8 <= k; p += 8) {
-        s0 += arow[p] * brow[p];
-        s1 += arow[p + 1] * brow[p + 1];
-        s2 += arow[p + 2] * brow[p + 2];
-        s3 += arow[p + 3] * brow[p + 3];
-        s4 += arow[p + 4] * brow[p + 4];
-        s5 += arow[p + 5] * brow[p + 5];
-        s6 += arow[p + 6] * brow[p + 6];
-        s7 += arow[p + 7] * brow[p + 7];
-      }
-      float tail = 0.0f;
-      for (; p < k; ++p) {
-        tail += arow[p] * brow[p];
-      }
-      crow[j] = (((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))) + tail;
-    }
-  }
+  simd::kernels().gemm_nt(a.data().data(), b.data().data(), c.data().data(), m, k, n);
   return c;
 }
 
@@ -276,8 +213,8 @@ void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& c) {
                                 shape_to_string(a.shape()) + " x " +
                                 shape_to_string(b.shape()));
   }
-  blocked_gemm_accumulate<false>(a.data().data(), b.data().data(), c.data().data(),
-                                 a.dim(0), a.dim(1), b.dim(1));
+  simd::kernels().gemm(a.data().data(), b.data().data(), c.data().data(), a.dim(0),
+                       a.dim(1), b.dim(1));
 }
 
 namespace {
@@ -426,8 +363,7 @@ Tensor matmul_a_transposed(const Tensor& a, const Tensor& b) {
   const std::size_t m = a.dim(1);
   const std::size_t n = b.dim(1);
   Tensor c({m, n});
-  blocked_gemm_accumulate<true>(a.data().data(), b.data().data(), c.data().data(),
-                                m, k, n);
+  simd::kernels().gemm_at(a.data().data(), b.data().data(), c.data().data(), m, k, n);
   return c;
 }
 
